@@ -1,0 +1,64 @@
+// Ablation — Bayesian gamma tracking (SV-D): how much does learning the
+// per-device power-reduction ratio matter?  Compares scheduling with (a)
+// the conjugate Bayesian posterior, (b) the fixed Table I prior mean, and
+// (c) an oracle that knows each slot's true gamma, under scarce capacity
+// where mis-ranking devices costs real energy.
+#include <cstdio>
+
+#include "lpvs/common/stats.hpp"
+#include "lpvs/common/table.hpp"
+#include "lpvs/emu/emulator.hpp"
+
+int main() {
+  using namespace lpvs;
+
+  const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::LpvsScheduler scheduler;
+
+  std::printf("=== Ablation: gamma knowledge (Bayesian vs fixed vs oracle) "
+              "===\n\n");
+  common::Table table({"gamma mode", "energy saving %", "est. error",
+                       "selected/slot"});
+  const struct {
+    emu::GammaMode mode;
+    const char* name;
+  } modes[] = {
+      {emu::GammaMode::kFixedPrior, "fixed prior (mu=0.31)"},
+      {emu::GammaMode::kBayesian, "bayesian (paper)"},
+      {emu::GammaMode::kNigBayesian, "NIG bayesian (extension)"},
+      {emu::GammaMode::kOracle, "oracle (true gamma)"},
+  };
+  for (const auto& m : modes) {
+    common::RunningStats saving;
+    common::RunningStats error;
+    common::RunningStats selected;
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+      emu::EmulatorConfig config;
+      config.group_size = 120;
+      config.slots = 24;
+      config.chunks_per_slot = 20;
+      config.compute_capacity = 18.0;  // ~40 devices' worth: scarce
+      config.gamma_mode = m.mode;
+      config.enable_giveup = false;
+      config.seed = 31000 + seed;
+      const emu::PairedMetrics paired =
+          emu::run_paired(config, scheduler, anxiety);
+      saving.add(100.0 * paired.energy_saving_ratio());
+      selected.add(static_cast<double>(paired.with_lpvs.total_selected) /
+                   paired.with_lpvs.slots_run);
+      for (std::size_t n = 0; n < paired.with_lpvs.served.size(); ++n) {
+        if (!paired.with_lpvs.served[n]) continue;
+        error.add(std::abs(paired.with_lpvs.last_gamma_estimate[n] -
+                           paired.with_lpvs.mean_true_gamma[n]));
+      }
+    }
+    table.add_row({m.name, common::Table::num(saving.mean(), 2),
+                   common::Table::num(error.mean(), 3),
+                   common::Table::num(selected.mean(), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected ordering: oracle >= bayesian >= fixed prior, with\n"
+              "bayesian recovering most of the oracle's advantage after a\n"
+              "few observed slots.\n");
+  return 0;
+}

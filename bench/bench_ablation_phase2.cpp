@@ -1,0 +1,80 @@
+// Ablation — the two-phase heuristic (SV-C): Phase-1 only (energy ILP) vs
+// Phase-1 + Phase-2 (anxiety swaps) vs the exact joint optimum (possible in
+// the reproduction because objective (13) is separable across devices).
+// Validates that the paper's cheap swap phase recovers nearly all of the
+// anxiety benefit the full nonlinear program would.
+#include <cstdio>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/common/table.hpp"
+#include "lpvs/core/scheduler.hpp"
+
+namespace {
+
+lpvs::core::SlotProblem make_problem(lpvs::common::Rng& rng, int devices,
+                                     double lambda) {
+  lpvs::core::SlotProblem problem;
+  problem.lambda = lambda;
+  problem.compute_capacity = 45.0;
+  problem.storage_capacity = 32.0 * 1024.0;
+  for (int n = 0; n < devices; ++n) {
+    lpvs::core::DeviceSlotInput device;
+    device.id = lpvs::common::DeviceId{static_cast<std::uint32_t>(n)};
+    device.power_rates_mw.resize(30);
+    device.chunk_durations_s.assign(30, 10.0);
+    for (auto& p : device.power_rates_mw) p = rng.uniform(400.0, 1100.0);
+    device.battery_capacity_mwh = rng.uniform(2500.0, 4500.0);
+    device.initial_energy_mwh =
+        device.battery_capacity_mwh * rng.uniform(0.08, 0.95);
+    device.gamma = rng.uniform(0.13, 0.49);
+    device.compute_cost = rng.uniform(0.3, 0.8);
+    device.storage_cost = rng.uniform(50.0, 150.0);
+    problem.devices.push_back(std::move(device));
+  }
+  return problem;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lpvs;
+
+  const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::LpvsScheduler lpvs_scheduler;
+  const core::JointOptimalScheduler joint(core::scheduler_ilp_defaults());
+
+  std::printf("=== Ablation: Phase-2 anxiety swapping ===\n");
+  std::printf("(limited capacity, lambda sweeps; objective (13), lower is "
+              "better; gap vs exact joint optimum)\n\n");
+  common::Table table({"lambda", "phase1 obj", "phase1+2 obj", "joint obj",
+                       "p1 gap %", "p1+2 gap %", "swaps"});
+  common::Rng rng(42);
+  for (double lambda : {0.0, 2000.0, 10000.0, 50000.0}) {
+    const core::SlotProblem problem = make_problem(rng, 250, lambda);
+    const core::Schedule p1 =
+        lpvs_scheduler.schedule_phase1_only(problem, anxiety);
+    const core::Schedule p12 = lpvs_scheduler.schedule(problem, anxiety);
+    const core::Schedule opt = joint.schedule(problem, anxiety);
+    const double base = p1.baseline_objective;
+    auto gap = [&](const core::Schedule& s) {
+      // Fraction of the achievable objective reduction left on the table.
+      const double achievable = base - opt.objective;
+      return achievable > 0.0
+                 ? 100.0 * (s.objective - opt.objective) / achievable
+                 : 0.0;
+    };
+    table.add_row({common::Table::num(lambda, 0),
+                   common::Table::num(p1.objective, 0),
+                   common::Table::num(p12.objective, 0),
+                   common::Table::num(opt.objective, 0),
+                   common::Table::num(gap(p1), 2),
+                   common::Table::num(gap(p12), 2),
+                   std::to_string(p12.phase2_swaps +
+                                  p12.phase2_additions)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: with lambda = 0 Phase-1 is already optimal; as\n"
+              "lambda grows Phase-1 leaves a gap that Phase-2 closes almost\n"
+              "entirely at a fraction of the joint solve's cost.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Micro-benchmarks (google-benchmark) for the end-to-end machinery: survey
+// extraction throughput, trace synthesis, one emulated slot at different
+// VC sizes, and the signaling cost arithmetic.
+#include <benchmark/benchmark.h>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/core/signaling.hpp"
+#include "lpvs/emu/emulator.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+#include "lpvs/survey/population.hpp"
+#include "lpvs/trace/trace.hpp"
+
+namespace {
+
+void BM_SurveyExtraction(benchmark::State& state) {
+  lpvs::common::Rng rng(1);
+  const auto population =
+      lpvs::survey::SyntheticPopulation().generate_paper_population(rng);
+  for (auto _ : state) {
+    lpvs::survey::LbaCurveExtractor extractor;
+    extractor.add_population(population);
+    benchmark::DoNotOptimize(extractor.extract());
+  }
+}
+BENCHMARK(BM_SurveyExtraction);
+
+void BM_PopulationGeneration(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    lpvs::common::Rng rng(++seed);
+    benchmark::DoNotOptimize(
+        lpvs::survey::SyntheticPopulation().generate(
+            static_cast<int>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_PopulationGeneration)->Arg(500)->Arg(2032);
+
+void BM_TraceSynthesis(benchmark::State& state) {
+  lpvs::trace::TraceConfig config;
+  config.channel_count = static_cast<int>(state.range(0));
+  config.session_count = config.channel_count * 3;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lpvs::trace::TwitchLikeGenerator(config).generate(++seed));
+  }
+}
+BENCHMARK(BM_TraceSynthesis)->Arg(100)->Arg(1566);
+
+void BM_EmulatedRun(benchmark::State& state) {
+  const lpvs::survey::AnxietyModel anxiety =
+      lpvs::survey::AnxietyModel::reference();
+  const lpvs::core::LpvsScheduler scheduler;
+  lpvs::emu::EmulatorConfig config;
+  config.group_size = static_cast<int>(state.range(0));
+  config.slots = 4;
+  config.chunks_per_slot = 15;
+  config.enable_giveup = false;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    config.seed = ++seed;
+    lpvs::emu::Emulator emulator(config, scheduler, anxiety);
+    benchmark::DoNotOptimize(emulator.run());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EmulatedRun)->Arg(25)->Arg(50)->Arg(100)->Complexity();
+
+void BM_SignalingCost(benchmark::State& state) {
+  const lpvs::core::SignalingCostModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.report_power(lpvs::core::ReportSchema{}, 30,
+                           lpvs::common::kSlotLength));
+  }
+}
+BENCHMARK(BM_SignalingCost);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Edge encoder farm under LPVS schedules (reproduction extension): takes
+// the devices the Phase-1/Phase-2 scheduler actually selects at different
+// VC sizes and replays their chunk-transform jobs through the
+// discrete-event farm — verifying the aggregate capacity constraint (6)
+// translates into real-time, deadline-safe delivery, and showing what
+// happens when the constraint is (artificially) ignored.
+#include <cstdio>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/common/table.hpp"
+#include "lpvs/core/scheduler.hpp"
+#include "lpvs/streaming/encoder_farm.hpp"
+
+namespace {
+
+lpvs::core::SlotProblem make_problem(lpvs::common::Rng& rng, int devices,
+                                     double capacity_units) {
+  lpvs::core::SlotProblem problem;
+  problem.compute_capacity = capacity_units;
+  problem.storage_capacity = 64.0 * 1024.0;
+  problem.lambda = 2000.0;
+  for (int n = 0; n < devices; ++n) {
+    lpvs::core::DeviceSlotInput device;
+    device.id = lpvs::common::DeviceId{static_cast<std::uint32_t>(n)};
+    device.power_rates_mw.assign(30, rng.uniform(400.0, 1100.0));
+    device.chunk_durations_s.assign(30, 10.0);
+    device.battery_capacity_mwh = 3500.0;
+    device.initial_energy_mwh = 3500.0 * rng.uniform(0.1, 0.95);
+    device.gamma = rng.uniform(0.13, 0.49);
+    device.compute_cost = rng.uniform(0.3, 0.95);
+    device.storage_cost = rng.uniform(50.0, 150.0);
+    problem.devices.push_back(std::move(device));
+  }
+  return problem;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lpvs;
+
+  const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::LpvsScheduler scheduler;
+  common::Rng rng(5);
+
+  // The farm: 45 workers of 1.0 compute unit each = the paper's
+  // ~100-stream AirFrame-class box.
+  const int kWorkers = 45;
+  const double kWorkerUnits = 1.0;
+
+  std::printf("=== encoder farm under LPVS schedules ===\n\n");
+  common::Table table({"VC size", "selected", "units used", "deadline "
+                       "misses", "mean queue s", "utilization %"});
+  for (int devices : {60, 120, 200, 400}) {
+    const core::SlotProblem problem =
+        make_problem(rng, devices, kWorkers * kWorkerUnits);
+    const core::Schedule schedule = scheduler.schedule(problem, anxiety);
+    std::vector<double> selected_costs;
+    for (std::size_t n = 0; n < problem.devices.size(); ++n) {
+      if (schedule.x[n]) {
+        selected_costs.push_back(problem.devices[n].compute_cost);
+      }
+    }
+    const auto jobs =
+        streaming::slot_jobs(selected_costs, 30, 10.0, kWorkerUnits);
+    const streaming::FarmReport report =
+        streaming::EncoderFarm(kWorkers).run(jobs);
+    table.add_row({std::to_string(devices),
+                   std::to_string(schedule.selected_count()),
+                   common::Table::num(schedule.compute_used, 1),
+                   std::to_string(report.jobs_missed_deadline),
+                   common::Table::num(report.mean_queue_delay_s, 2),
+                   common::Table::num(100.0 * report.mean_utilization, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Counterfactual: serve everyone regardless of the capacity row.
+  std::printf("=== counterfactual: ignore constraint (6), serve all ===\n\n");
+  common::Table bad({"VC size", "units used", "deadline miss %",
+                     "max queue s"});
+  for (int devices : {120, 200, 400}) {
+    const core::SlotProblem problem =
+        make_problem(rng, devices, kWorkers * kWorkerUnits);
+    std::vector<double> all_costs;
+    double units = 0.0;
+    for (const auto& device : problem.devices) {
+      all_costs.push_back(device.compute_cost);
+      units += device.compute_cost;
+    }
+    const streaming::FarmReport report = streaming::EncoderFarm(kWorkers).run(
+        streaming::slot_jobs(all_costs, 30, 10.0, kWorkerUnits));
+    bad.add_row({std::to_string(devices), common::Table::num(units, 1),
+                 common::Table::num(100.0 * report.miss_ratio(), 1),
+                 common::Table::num(report.max_queue_delay_s, 1)});
+  }
+  std::printf("%s\n", bad.render().c_str());
+  std::printf("takeaway: schedules respecting (6) deliver every transformed\n"
+              "chunk on time; over-admitting turns the edge into a growing\n"
+              "queue and transformed chunks arrive after their deadlines.\n");
+  return 0;
+}

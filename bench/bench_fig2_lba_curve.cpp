@@ -1,0 +1,55 @@
+// Fig. 2 — The anxiety curve extracted from the survey of 2,032 mobile
+// users: anxiety degree vs battery level, with the published shape
+// properties (convex on [20,100], concave on [0,20], sharp jump at 20%).
+#include <cstdio>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/common/table.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+#include "lpvs/survey/population.hpp"
+
+int main() {
+  using namespace lpvs;
+
+  common::Rng rng(2032);
+  const survey::SyntheticPopulation population;
+  const auto participants = population.generate_paper_population(rng);
+
+  survey::LbaCurveExtractor extractor;
+  extractor.add_population(participants);
+  const common::PiecewiseLinear curve = extractor.extract();
+
+  std::printf("=== Fig. 2: extracted LBA curve (N = %ld answers) ===\n\n",
+              extractor.answers());
+
+  std::printf("LBA sufferers: %.2f%% (paper: 91.88%%)\n",
+              100.0 * survey::SyntheticPopulation::lba_fraction(participants));
+  std::printf(
+      "give up watching at <=10%% battery: %.1f%% (paper: ~50%%)\n\n",
+      100.0 * survey::SyntheticPopulation::giveup_fraction_at(participants,
+                                                              10));
+
+  common::Table table({"battery level %", "anxiety degree", "bar"});
+  for (int level = 100; level >= 5; level -= 5) {
+    const double a = curve(level);
+    table.add_row({std::to_string(level), common::Table::num(a, 3),
+                   std::string(static_cast<std::size_t>(a * 40), '#')});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const survey::CurveShape shape = survey::analyze_curve(curve);
+  std::printf("shape checks vs the published Fig. 2:\n");
+  std::printf("  non-increasing in battery level : %s\n",
+              shape.non_increasing ? "yes" : "NO");
+  std::printf("  convex on [20%%, 100%%]          : %s\n",
+              shape.convex_above_20 ? "yes" : "NO");
+  std::printf("  concave on [0%%, 20%%]           : %s\n",
+              shape.concave_below_20 ? "yes" : "NO");
+  std::printf("  sharp increase at 20%% (jump)    : %.3f\n",
+              shape.jump_at_20);
+  std::printf("  anxiety at full battery         : %.3f\n",
+              shape.anxiety_at_full);
+  std::printf("  anxiety at empty battery        : %.3f\n",
+              shape.anxiety_at_empty);
+  return 0;
+}

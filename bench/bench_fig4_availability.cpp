@@ -1,0 +1,77 @@
+// Fig. 4 — "Illustration of power rate estimating with the available video
+// chunks": chunk availability at the scheduling point varies per user with
+// the edge prefetch window, and LPVS prices only what is available.
+// Part 1 renders availability patterns like the figure; part 2 sweeps the
+// prefetch window through the emulator to quantify how partial windows
+// affect the realized energy saving.
+#include <cstdio>
+#include <string>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/common/table.hpp"
+#include "lpvs/emu/emulator.hpp"
+#include "lpvs/media/video.hpp"
+#include "lpvs/streaming/streaming.hpp"
+
+int main() {
+  using namespace lpvs;
+
+  // --- Part 1: the Fig. 4 picture — per-user available chunk windows.
+  std::printf("=== Fig. 4: chunk availability at the scheduling point ===\n\n");
+  streaming::CdnServer cdn;
+  streaming::EdgeCache cache(64.0);  // deliberately small: creates gaps
+  common::Rng rng(4);
+  media::ContentGenerator generator(4);
+  const int kChunks = 30;
+  for (int user = 1; user <= 3; ++user) {
+    const auto vid = common::VideoId{static_cast<std::uint32_t>(user)};
+    const media::Video video = generator.generate(
+        vid, media::Genre::kIrlChat, kChunks, 2.5);
+    cdn.publish(video);
+    const int window = static_cast<int>(rng.uniform_int(10, kChunks));
+    streaming::Prefetcher(window).prefetch(cdn, cache, vid, 0);
+    const streaming::ChunkRequest request =
+        streaming::available_request(cdn, cache, vid, 0, kChunks);
+    std::string row(kChunks, '.');
+    for (const auto chunk : request.chunks) {
+      row[chunk.value] = '#';
+    }
+    std::printf("user %d  [%s]  %2zu/%d chunks available\n", user,
+                row.c_str(), request.chunk_count(), kChunks);
+  }
+  std::printf("('#' = cached at the edge and usable for power-rate "
+              "estimation)\n\n");
+
+  // --- Part 2: how the prefetch window changes LPVS outcomes.
+  std::printf("=== prefetch window sweep (emulated) ===\n\n");
+  const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::LpvsScheduler scheduler;
+  common::Table table({"window (chunks)", "energy saving %",
+                       "anxiety reduction %", "served/slot"});
+  for (int window : {6, 12, 18, 30}) {
+    emu::EmulatorConfig config;
+    config.group_size = 80;
+    config.slots = 12;
+    config.chunks_per_slot = 30;
+    config.prefetch_window_min = window;
+    config.prefetch_window_max = window;
+    config.compute_capacity = 25.0;  // scarce: estimation quality matters
+    config.enable_giveup = false;
+    config.seed = 4000 + static_cast<std::uint64_t>(window);
+    const emu::PairedMetrics paired =
+        emu::run_paired(config, scheduler, anxiety);
+    table.add_row(
+        {std::to_string(window),
+         common::Table::num(100.0 * paired.energy_saving_ratio(), 2),
+         common::Table::num(100.0 * paired.anxiety_reduction_ratio(), 2),
+         common::Table::num(static_cast<double>(
+                                paired.with_lpvs.total_selected) /
+                                paired.with_lpvs.slots_run,
+                            1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shorter windows = fewer chunks priced per user; the paper's\n"
+              "design (estimate on whatever is available) degrades "
+              "gracefully.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fig. 5 — Histogram of video session durations in the dataset: 4,761 live
+// sessions from 1,566 channels, 5-minute sampling, <= 10 hours.
+#include <cstdio>
+
+#include "lpvs/trace/trace.hpp"
+
+int main() {
+  using namespace lpvs;
+
+  const trace::Trace twitch = trace::TwitchLikeGenerator().generate(2014);
+
+  std::printf("=== Fig. 5: session duration histogram ===\n\n");
+  std::printf("channels: %zu (paper: 1,566)\n", twitch.channels().size());
+  std::printf("sessions: %zu (paper: 4,761)\n\n", twitch.sessions().size());
+
+  const common::Histogram hist = twitch.duration_histogram(12);
+  std::printf("duration (minutes), 50-minute bins:\n%s\n",
+              hist.ascii(48).c_str());
+
+  const common::RunningStats stats = twitch.duration_stats();
+  std::printf("duration stats: mean %.1f min, sd %.1f, min %.0f, max %.0f\n",
+              stats.mean(), stats.stddev(), stats.min(), stats.max());
+  std::printf("all sessions <= 600 minutes (10-hour filter): %s\n",
+              stats.max() <= 600.0 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 9 — Time per viewer (TPV) with and without LPVS for low-battery
+// users: users whose battery starts at <= 40% and who are served by LPVS.
+// Users give up watching when their battery hits their personal give-up
+// level (from the survey answers).
+//
+// Paper's numbers: 42.3 min without LPVS -> 58.7 min with LPVS, an extra
+// 16.4 min = +38.8%.  Note the extension ratio is structurally gamma/(1 -
+// gamma): saving a gamma fraction of power stretches the battery-limited
+// watch window by exactly that factor.
+#include <cstdio>
+
+#include "lpvs/common/stats.hpp"
+#include "lpvs/common/table.hpp"
+#include "lpvs/emu/emulator.hpp"
+
+int main() {
+  using namespace lpvs;
+
+  const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::LpvsScheduler scheduler;
+
+  common::RunningStats tpv_with;
+  common::RunningStats tpv_without;
+  common::Table table({"group", "TPV w/o LPVS (min)", "TPV w/ LPVS (min)",
+                       "extra (min)", "extension %"});
+  for (int group = 50; group <= 100; group += 10) {
+    emu::EmulatorConfig config;
+    config.group_size = group;
+    config.slots = 96;               // enough horizon to reach give-up
+    config.chunks_per_slot = 30;
+    config.compute_capacity = 45.0;  // sufficient capacity regime
+    config.enable_giveup = true;
+    // Fig. 9 focuses on low-battery audiences: bias the Gaussian downward
+    // so the <= 40% stratum is well populated.
+    config.initial_battery_mean = 0.38;
+    config.initial_battery_std = 0.18;
+    config.seed = 9000 + static_cast<std::uint64_t>(group);
+    const emu::PairedMetrics paired =
+        emu::run_paired(config, scheduler, anxiety);
+    const double with =
+        paired.with_lpvs.mean_tpv(0.40, /*require_served=*/true);
+    const double without = paired.without_lpvs.mean_tpv(0.40, false);
+    tpv_with.add(with);
+    tpv_without.add(without);
+    table.add_row({std::to_string(group), common::Table::num(without, 1),
+                   common::Table::num(with, 1),
+                   common::Table::num(with - without, 1),
+                   common::Table::num(100.0 * (with / without - 1.0), 1)});
+  }
+  std::printf("=== Fig. 9: time per viewer for low-battery users ===\n\n");
+  std::printf("%s\n", table.render().c_str());
+  const double avg_ext =
+      100.0 * (tpv_with.mean() / tpv_without.mean() - 1.0);
+  std::printf("average TPV: %.1f min -> %.1f min, +%.1f min (+%.1f%%)\n",
+              tpv_without.mean(), tpv_with.mean(),
+              tpv_with.mean() - tpv_without.mean(), avg_ext);
+  std::printf("paper: 42.3 min -> 58.7 min, +16.4 min (+38.8%%)\n");
+  return 0;
+}

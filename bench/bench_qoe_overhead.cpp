@@ -1,0 +1,100 @@
+// SVII-D — "Overhead of LPVS and impact on other QoE metrics":
+// quantifies the paper's argument that the one-slot-ahead working mode
+// keeps LPVS off the chunk-delivery path.  We measure the actual LPVS
+// scheduler runtime for a range of VC sizes (the Fig. 10 measurement),
+// then replay ABR streaming sessions in which a *naive inline* scheduler
+// stalls delivery by exactly that runtime at every scheduling point,
+// versus the paper's one-slot-ahead mode (zero stall).
+#include <chrono>
+#include <cstdio>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/common/stats.hpp"
+#include "lpvs/common/table.hpp"
+#include "lpvs/core/scheduler.hpp"
+#include "lpvs/streaming/abr.hpp"
+
+namespace {
+
+double measured_scheduler_seconds(int devices) {
+  lpvs::common::Rng rng(42);
+  lpvs::core::SlotProblem problem;
+  problem.compute_capacity = 45.0;
+  problem.storage_capacity = 32.0 * 1024.0;
+  problem.lambda = 2000.0;
+  for (int n = 0; n < devices; ++n) {
+    lpvs::core::DeviceSlotInput device;
+    device.id = lpvs::common::DeviceId{static_cast<std::uint32_t>(n)};
+    device.power_rates_mw.assign(30, rng.uniform(400.0, 1100.0));
+    device.chunk_durations_s.assign(30, 10.0);
+    device.battery_capacity_mwh = 3500.0;
+    device.initial_energy_mwh = 3500.0 * rng.uniform(0.1, 0.9);
+    device.gamma = rng.uniform(0.13, 0.49);
+    device.compute_cost = rng.uniform(0.3, 0.8);
+    device.storage_cost = rng.uniform(50.0, 150.0);
+    problem.devices.push_back(std::move(device));
+  }
+  const lpvs::survey::AnxietyModel anxiety =
+      lpvs::survey::AnxietyModel::reference();
+  const lpvs::core::LpvsScheduler scheduler;
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)scheduler.schedule(problem, anxiety);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace lpvs;
+
+  std::printf("=== SVII-D: scheduling overhead vs streaming QoE ===\n\n");
+
+  common::Table table({"VC size", "sched time (s)", "mode",
+                       "rebuffer s/session", "freeze events",
+                       "mean bitrate", "QoE score"});
+  for (int devices : {500, 2000, 5000}) {
+    const double sched_s = measured_scheduler_seconds(devices);
+    // Hypothetical worst case to stress the inline mode: a solver as slow
+    // as the paper's (0.055 s/device) would stall ~ devices * 0.055 s.
+    const double paper_like_stall = 0.055 * devices;
+    struct Mode {
+      const char* name;
+      double stall_s;
+    };
+    for (const Mode& mode :
+         {Mode{"one-slot-ahead", 0.0}, Mode{"inline (ours)", sched_s},
+          Mode{"inline (paper-speed)", paper_like_stall}}) {
+      streaming::StreamingSession::Config config;
+      config.chunk_count = 180;  // 30 minutes of 10 s chunks
+      config.scheduling_stall_s = mode.stall_s;
+      const streaming::StreamingSession session(config);
+      common::RunningStats rebuffer;
+      common::RunningStats events;
+      common::RunningStats bitrate;
+      common::RunningStats score;
+      for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        streaming::ThroughputModel network;
+        streaming::BufferBasedAbr abr;
+        common::Rng rng(seed);
+        const streaming::SessionQoe qoe = session.run(network, abr, rng);
+        rebuffer.add(qoe.rebuffer_time_s);
+        events.add(qoe.rebuffer_events);
+        bitrate.add(qoe.mean_bitrate_mbps);
+        score.add(qoe.score());
+      }
+      table.add_row({std::to_string(devices),
+                     common::Table::num(mode.stall_s, 2), mode.name,
+                     common::Table::num(rebuffer.mean(), 2),
+                     common::Table::num(events.mean(), 2),
+                     common::Table::num(bitrate.mean(), 2),
+                     common::Table::num(score.mean(), 2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("reproduced claim: under one-slot-ahead scheduling the LPVS\n"
+              "optimization adds zero delivery stall, so freezing time and\n"
+              "frequency are untouched; a blocking scheduler at the\n"
+              "paper's solve speed would freeze playback for minutes.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Solver shoot-out (reproduction extension): the four ways this repo can
+// solve Phase-1-shaped selection problems — LP-based branch-and-bound
+// (default), Lagrangian relaxation + knapsack DP, density greedy, and
+// (single-row cases) the exact DP — compared on solution quality and wall
+// time across instance sizes.  This is the ablation behind choosing B&B
+// as the scheduler's default.
+#include <chrono>
+#include <cstdio>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/common/table.hpp"
+#include "lpvs/solver/lagrangian.hpp"
+
+namespace {
+
+lpvs::solver::BinaryProgram make_instance(lpvs::common::Rng& rng,
+                                          std::size_t n) {
+  lpvs::solver::BinaryProgram p;
+  p.objective.resize(n);
+  p.rows.assign(2, std::vector<double>(n));
+  double c_total = 0.0;
+  double s_total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    p.objective[j] = rng.uniform(5.0, 60.0);
+    p.rows[0][j] = rng.uniform(0.3, 0.9);
+    p.rows[1][j] = rng.uniform(40.0, 160.0);
+    c_total += p.rows[0][j];
+    s_total += p.rows[1][j];
+  }
+  p.rhs = {0.4 * c_total, 0.5 * s_total};
+  return p;
+}
+
+template <class F>
+std::pair<double, double> timed(F&& solve) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const double objective = solve();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {objective,
+          std::chrono::duration<double, std::milli>(t1 - t0).count()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace lpvs;
+  using namespace lpvs::solver;
+
+  std::printf("=== solver comparison on Phase-1-shaped instances ===\n\n");
+  common::Table table({"n", "greedy obj", "lagrangian obj", "b&b obj",
+                       "lagr. bound", "greedy ms", "lagr ms", "b&b ms"});
+  common::Rng rng(12);
+  for (std::size_t n : {50, 100, 200, 400, 800}) {
+    const BinaryProgram p = make_instance(rng, n);
+
+    const auto [greedy_obj, greedy_ms] =
+        timed([&] { return GreedySolver().solve(p).objective; });
+
+    LagrangianSolver::Options lag_options;
+    lag_options.iterations = 40;
+    lag_options.dp.resolution = 20000;
+    double lag_bound = 0.0;
+    const auto [lag_obj, lag_ms] = timed([&] {
+      const LagrangianSolution s = LagrangianSolver(lag_options).solve(p);
+      lag_bound = s.upper_bound;
+      return s.incumbent.objective;
+    });
+
+    BranchAndBoundSolver::Options bnb_options;
+    bnb_options.max_nodes = 200;
+    bnb_options.relative_gap = 1e-4;
+    const auto [bnb_obj, bnb_ms] = timed(
+        [&] { return BranchAndBoundSolver(bnb_options).solve(p).objective; });
+
+    table.add_row({std::to_string(n), common::Table::num(greedy_obj, 1),
+                   common::Table::num(lag_obj, 1),
+                   common::Table::num(bnb_obj, 1),
+                   common::Table::num(lag_bound, 1),
+                   common::Table::num(greedy_ms, 2),
+                   common::Table::num(lag_ms, 1),
+                   common::Table::num(bnb_ms, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("the Lagrangian dual value upper-bounds every solver's\n"
+              "objective, certifying how close to optimal each one lands.\n");
+  return 0;
+}

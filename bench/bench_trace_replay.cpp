@@ -1,0 +1,57 @@
+// City-scale trace replay (reproduction extension): the full synthetic
+// Twitch trace, one virtual cluster + edge server per major live session,
+// paired with/without-LPVS emulation, aggregated city-wide — what a
+// provider deploying LPVS across a metro's base stations would see.
+#include <cstdio>
+
+#include "lpvs/common/table.hpp"
+#include "lpvs/emu/replay.hpp"
+
+int main() {
+  using namespace lpvs;
+
+  const trace::Trace twitch = trace::TwitchLikeGenerator().generate(77);
+  const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::LpvsScheduler scheduler;
+
+  emu::ReplayConfig config;
+  config.start_slot = twitch.horizon_slots() / 2;
+  config.min_viewers = 40;
+  config.max_clusters = 12;
+  config.max_slots = 18;
+  config.enable_giveup = true;
+  config.seed = 99;
+
+  const emu::ReplayReport report =
+      emu::replay_city(twitch, scheduler, anxiety, config);
+
+  std::printf("=== city-scale LPVS replay ===\n\n");
+  std::printf("clusters: %zu, devices: %ld, slot horizon: <= %d\n\n",
+              report.clusters.size(), report.total_devices,
+              config.max_slots);
+
+  common::Table table({"channel", "devices", "slots", "energy saved %",
+                       "anxiety red. %", "served slots"});
+  for (const emu::ClusterOutcome& cluster : report.clusters) {
+    table.add_row(
+        {"ch-" + std::to_string(cluster.channel.value),
+         std::to_string(cluster.group_size), std::to_string(cluster.slots),
+         common::Table::num(100.0 * cluster.metrics.energy_saving_ratio(),
+                            1),
+         common::Table::num(
+             100.0 * cluster.metrics.anxiety_reduction_ratio(), 2),
+         std::to_string(cluster.metrics.with_lpvs.total_selected)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("city-wide energy saving:     %.2f%%\n",
+              100.0 * report.energy_saving_ratio());
+  std::printf("city-wide anxiety reduction: %.2f%% (viewer-weighted)\n",
+              100.0 * report.anxiety_reduction_ratio());
+  std::printf("low-battery TPV:             %.1f min -> %.1f min\n",
+              report.mean_low_battery_tpv(false),
+              report.mean_low_battery_tpv(true));
+  std::printf("mean scheduler time/slot:    %.2f ms\n",
+              report.mean_scheduler_ms);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Micro-benchmarks (google-benchmark): per-chunk transform throughput and
+// the per-slot gamma computation — the work LPVS offloads from phones to
+// the edge, and why offloading it matters.
+#include <benchmark/benchmark.h>
+
+#include "lpvs/media/video.hpp"
+#include "lpvs/transform/transform.hpp"
+
+namespace {
+
+const lpvs::media::Video& test_video() {
+  static const lpvs::media::Video video = [] {
+    lpvs::media::ContentGenerator generator(5);
+    return generator.generate(lpvs::common::VideoId{1},
+                              lpvs::media::Genre::kMovie, 30, 3.0);
+  }();
+  return video;
+}
+
+void BM_TransformChunkLcd(benchmark::State& state) {
+  const lpvs::transform::TransformEngine engine;
+  const lpvs::display::DisplaySpec spec{lpvs::display::DisplayType::kLcd,
+                                        6.1, 1080, 2340, 500.0, 0.8};
+  const auto& chunk = test_video().chunks[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.transform_chunk(spec, chunk));
+  }
+}
+BENCHMARK(BM_TransformChunkLcd);
+
+void BM_TransformChunkOled(benchmark::State& state) {
+  const lpvs::transform::TransformEngine engine;
+  const lpvs::display::DisplaySpec spec{lpvs::display::DisplayType::kOled,
+                                        6.1, 1080, 2340, 700.0, 0.8};
+  const auto& chunk = test_video().chunks[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.transform_chunk(spec, chunk));
+  }
+}
+BENCHMARK(BM_TransformChunkOled);
+
+void BM_VideoGammaPerSlot(benchmark::State& state) {
+  const lpvs::transform::TransformEngine engine;
+  const lpvs::display::DisplaySpec spec{lpvs::display::DisplayType::kOled,
+                                        6.4, 1440, 3040, 800.0, 0.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.video_gamma(spec, test_video()));
+  }
+}
+BENCHMARK(BM_VideoGammaPerSlot);
+
+void BM_ContentGeneration(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    lpvs::media::ContentGenerator generator(++seed);
+    benchmark::DoNotOptimize(generator.generate(
+        lpvs::common::VideoId{1}, lpvs::media::Genre::kSports, 30, 3.0));
+  }
+}
+BENCHMARK(BM_ContentGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Live-streaming scenario (SVI-SVII): synthesize the Twitch-like trace,
+// form trace-driven virtual clusters, and run the full LPVS emulation with
+// user give-up behavior — the closest single-program analogue of the
+// paper's end-to-end evaluation.
+//
+// Build & run:  ./build/examples/live_streaming_day
+#include <algorithm>
+#include <cstdio>
+
+#include "lpvs/common/table.hpp"
+#include "lpvs/emu/emulator.hpp"
+#include "lpvs/trace/trace.hpp"
+
+int main() {
+  using namespace lpvs;
+
+  // --- The dataset (SVI-A). -------------------------------------------
+  const trace::Trace twitch = trace::TwitchLikeGenerator().generate(1);
+  std::printf("trace: %zu channels, %zu sessions, %d slots of 5 minutes\n",
+              twitch.channels().size(), twitch.sessions().size(),
+              twitch.horizon_slots());
+  const common::RunningStats durations = twitch.duration_stats();
+  std::printf("session durations: mean %.0f min, max %.0f min\n\n",
+              durations.mean(), durations.max());
+
+  // --- Pick virtual clusters from a busy slot. --------------------------
+  const int busy_slot = twitch.horizon_slots() / 2;
+  std::printf("forming virtual clusters at slot %d (%ld total viewers)\n\n",
+              busy_slot, twitch.total_viewers(busy_slot));
+  std::vector<const trace::Session*> clusters;
+  for (const trace::Session* session : twitch.live_sessions(busy_slot)) {
+    if (session->viewers_at(busy_slot) >= 40) clusters.push_back(session);
+    if (clusters.size() == 6) break;
+  }
+
+  // --- Run LPVS vs no-LPVS per cluster. ---------------------------------
+  const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::LpvsScheduler scheduler;
+  common::Table table({"VC (channel)", "viewers", "slots", "energy saved %",
+                       "anxiety red. %", "low-batt TPV w/o",
+                       "low-batt TPV w/", "TPV gain %"});
+  common::RunningStats savings;
+  common::RunningStats tpv_gains;
+  for (const trace::Session* session : clusters) {
+    const int viewers =
+        std::min(session->viewers_at(busy_slot), 100);  // one edge server
+    emu::EmulatorConfig config;
+    config.group_size = viewers;
+    // Watch horizon: the rest of this live session.
+    config.slots = std::max(1, session->end_slot() - busy_slot);
+    config.chunks_per_slot = 30;
+    config.compute_capacity = 45.0;
+    config.enable_giveup = true;
+    config.initial_battery_mean = 0.45;
+    config.initial_battery_std = 0.2;
+    config.seed = 5000 + session->id.value;
+    const emu::PairedMetrics paired =
+        emu::run_paired(config, scheduler, anxiety);
+    const double tpv_without = paired.without_lpvs.mean_tpv(0.4, false);
+    const double tpv_with = paired.with_lpvs.mean_tpv(0.4, true);
+    const double gain = tpv_without > 0.0
+                            ? 100.0 * (tpv_with / tpv_without - 1.0)
+                            : 0.0;
+    savings.add(100.0 * paired.energy_saving_ratio());
+    if (tpv_without > 0.0) tpv_gains.add(gain);
+    table.add_row(
+        {"ch-" + std::to_string(session->channel.value),
+         std::to_string(viewers), std::to_string(config.slots),
+         common::Table::num(100.0 * paired.energy_saving_ratio(), 1),
+         common::Table::num(100.0 * paired.anxiety_reduction_ratio(), 2),
+         common::Table::num(tpv_without, 1), common::Table::num(tpv_with, 1),
+         common::Table::num(gain, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("across clusters: energy saved %.1f%% avg; low-battery TPV "
+              "gain %.1f%% avg\n",
+              savings.mean(), tpv_gains.mean());
+  std::printf("(paper: up to 37%% energy saving; +38.8%% watching time for "
+              "low-battery users)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "lpvs/bayes/gamma_estimator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lpvs::bayes {
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+constexpr double kInvSqrt2 = 0.7071067811865476;
+}  // namespace
+
+double normal_pdf(double z) {
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z * kInvSqrt2); }
+
+double truncated_normal_mean(double mu, double sigma, double lo, double hi) {
+  assert(hi > lo);
+  if (sigma <= 0.0) return std::clamp(mu, lo, hi);
+  const double alpha = (lo - mu) / sigma;
+  const double beta = (hi - mu) / sigma;
+  const double mass = normal_cdf(beta) - normal_cdf(alpha);
+  if (mass < 1e-300) {
+    // All mass numerically outside the window: snap to the nearer edge.
+    return mu < lo ? lo : hi;
+  }
+  return mu + sigma * (normal_pdf(alpha) - normal_pdf(beta)) / mass;
+}
+
+double truncated_normal_variance(double mu, double sigma, double lo,
+                                 double hi) {
+  assert(hi > lo);
+  if (sigma <= 0.0) return 0.0;
+  const double alpha = (lo - mu) / sigma;
+  const double beta = (hi - mu) / sigma;
+  const double mass = normal_cdf(beta) - normal_cdf(alpha);
+  if (mass < 1e-300) return 0.0;
+  const double pa = normal_pdf(alpha);
+  const double pb = normal_pdf(beta);
+  const double ratio = (alpha * pa - beta * pb) / mass;
+  const double shift = (pa - pb) / mass;
+  return sigma * sigma * (1.0 + ratio - shift * shift);
+}
+
+GammaEstimator::GammaEstimator(Prior prior)
+    : prior_(prior), mean_(prior.mean), variance_(prior.variance) {
+  assert(prior_.upper > prior_.lower);
+  assert(prior_.variance > 0.0);
+  assert(prior_.observation_variance > 0.0);
+}
+
+void GammaEstimator::observe(double delta) {
+  // Conjugate Gaussian update (equation (17) with Gaussian likelihood):
+  // posterior precision adds, posterior mean is the precision-weighted
+  // blend of prior mean and observation.
+  const double prior_precision = 1.0 / variance_;
+  const double obs_precision = 1.0 / prior_.observation_variance;
+  const double posterior_precision = prior_precision + obs_precision;
+  mean_ = (mean_ * prior_precision + delta * obs_precision) /
+          posterior_precision;
+  variance_ = 1.0 / posterior_precision;
+  ++observations_;
+}
+
+double GammaEstimator::expected_gamma() const {
+  // Equation (19): expectation under the posterior restricted to
+  // [gamma_L, gamma_U].
+  return truncated_normal_mean(mean_, std::sqrt(variance_), prior_.lower,
+                               prior_.upper);
+}
+
+double GammaEstimator::expected_gamma_numeric(std::size_t intervals) const {
+  // Simpson's rule on the truncated posterior: computes (18) and (19)
+  // literally as integrals.  Tests compare this to the closed form.
+  assert(intervals >= 2);
+  if (intervals % 2 == 1) ++intervals;
+  const double sigma = std::sqrt(variance_);
+  const double lo = prior_.lower;
+  const double hi = prior_.upper;
+  const double h = (hi - lo) / static_cast<double>(intervals);
+  auto pdf = [&](double g) {
+    const double z = (g - mean_) / sigma;
+    return normal_pdf(z) / sigma;
+  };
+  double mass = 0.0;
+  double moment = 0.0;
+  for (std::size_t k = 0; k <= intervals; ++k) {
+    const double g = lo + h * static_cast<double>(k);
+    const double weight =
+        (k == 0 || k == intervals) ? 1.0 : (k % 2 == 1 ? 4.0 : 2.0);
+    mass += weight * pdf(g);
+    moment += weight * g * pdf(g);
+  }
+  if (mass <= 0.0) return std::clamp(mean_, lo, hi);
+  return moment / mass;
+}
+
+}  // namespace lpvs::bayes

@@ -1,0 +1,71 @@
+// Bayesian tracking of the per-device power-reduction ratio gamma_n (SV-D).
+//
+// The true gamma_n is unknown before a transformed video is played
+// (Difficulty-3's circular argument).  The paper resolves it by treating
+// gamma_n as a random variable: a Gaussian prior N(mu, sigma^2) supported
+// on [gamma_L, gamma_U] (the Table I band; mu = 0.31, sigma^2 = 12 in the
+// paper's setup), updated after each slot with the observed power reduction
+// Delta_n via Bayes' rule.  With a Gaussian likelihood the pair is
+// conjugate, so the posterior stays Gaussian and the update is exact; the
+// expectation used for the next slot's scheduling is the mean of that
+// Gaussian truncated to [gamma_L, gamma_U] (equations (17)-(19)).
+#pragma once
+
+#include <cstddef>
+
+namespace lpvs::bayes {
+
+/// Standard normal pdf / cdf helpers (exposed for tests).
+double normal_pdf(double z);
+double normal_cdf(double z);
+
+/// Mean of N(mu, sigma^2) truncated to [lo, hi].
+double truncated_normal_mean(double mu, double sigma, double lo, double hi);
+
+/// Variance of N(mu, sigma^2) truncated to [lo, hi].
+double truncated_normal_variance(double mu, double sigma, double lo,
+                                 double hi);
+
+/// Conjugate Gaussian estimator of one device's gamma.
+class GammaEstimator {
+ public:
+  struct Prior {
+    double mean = 0.31;        ///< (0.13 + 0.49) / 2, the Table I average
+    double variance = 12.0;    ///< deliberately diffuse (paper's sigma^2)
+    double lower = 0.13;       ///< gamma_L
+    double upper = 0.49;       ///< gamma_U
+    /// Observation noise: one slot's measured saving scatters around the
+    /// device's long-run gamma because content varies chunk to chunk.
+    double observation_variance = 0.03 * 0.03;
+  };
+
+  GammaEstimator() : GammaEstimator(Prior{}) {}
+  explicit GammaEstimator(Prior prior);
+
+  /// Bayes update with one observed per-slot power reduction Delta_n.
+  /// Gaussian-Gaussian conjugacy: closed form, no approximation.
+  void observe(double delta);
+
+  /// E[gamma | observations] over the truncated support — the value the
+  /// scheduler plugs in for the next slot (equation (19)).
+  double expected_gamma() const;
+
+  /// Posterior variance of the *untruncated* Gaussian (monotonically
+  /// shrinking with each observation; property-tested).
+  double posterior_variance() const { return variance_; }
+  double posterior_mean() const { return mean_; }
+  std::size_t observations() const { return observations_; }
+  const Prior& prior() const { return prior_; }
+
+  /// Numerical-integration expectation over the truncated support; used in
+  /// tests to confirm the closed form (equations (18)-(19) literally).
+  double expected_gamma_numeric(std::size_t intervals = 4096) const;
+
+ private:
+  Prior prior_;
+  double mean_;
+  double variance_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace lpvs::bayes

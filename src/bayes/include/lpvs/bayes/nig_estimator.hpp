@@ -1,0 +1,62 @@
+// Unknown-variance gamma estimator (reproduction extension to SV-D).
+//
+// The paper's conjugate update assumes the per-slot observation noise
+// variance is known.  In practice it is not: how much a device's measured
+// saving scatters depends on its content mix.  The Normal-Inverse-Gamma
+// (NIG) prior is conjugate to a Gaussian likelihood with *both* mean and
+// variance unknown, so the same closed-form machinery extends: the
+// posterior over (gamma, sigma^2) stays NIG, and the posterior-predictive
+// over gamma is a Student-t whose mean we clamp to the Table I band.
+#pragma once
+
+#include <cstddef>
+
+namespace lpvs::bayes {
+
+/// Conjugate Normal-Inverse-Gamma estimator: gamma | sigma^2 ~
+/// N(mu, sigma^2 / kappa), sigma^2 ~ InvGamma(alpha, beta).
+class NigGammaEstimator {
+ public:
+  struct Prior {
+    double mean = 0.31;     ///< mu0: the Table I prior mean
+    double kappa = 0.05;    ///< pseudo-observations behind mu0 (diffuse)
+    double alpha = 1.5;     ///< shape; >1 so the variance mean exists
+    double beta = 0.0015;   ///< scale; E[sigma^2] = beta/(alpha-1) = 0.003
+    double lower = 0.13;    ///< gamma_L
+    double upper = 0.49;    ///< gamma_U
+  };
+
+  NigGammaEstimator() : NigGammaEstimator(Prior{}) {}
+  explicit NigGammaEstimator(Prior prior);
+
+  /// Standard NIG conjugate update with one observation.
+  void observe(double delta);
+
+  /// Posterior mean of gamma clamped to [gamma_L, gamma_U] — what the
+  /// scheduler would use.
+  double expected_gamma() const;
+
+  /// Posterior mean of the observation variance, E[sigma^2 | data].
+  double expected_observation_variance() const;
+
+  /// Variance of the posterior marginal of gamma (Student-t), defined for
+  /// alpha > 1; used to check posterior contraction.
+  double gamma_marginal_variance() const;
+
+  double posterior_mean() const { return mean_; }
+  double posterior_kappa() const { return kappa_; }
+  double posterior_alpha() const { return alpha_; }
+  double posterior_beta() const { return beta_; }
+  std::size_t observations() const { return observations_; }
+  const Prior& prior() const { return prior_; }
+
+ private:
+  Prior prior_;
+  double mean_;
+  double kappa_;
+  double alpha_;
+  double beta_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace lpvs::bayes

@@ -1,0 +1,49 @@
+#include "lpvs/bayes/nig_estimator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lpvs::bayes {
+
+NigGammaEstimator::NigGammaEstimator(Prior prior)
+    : prior_(prior),
+      mean_(prior.mean),
+      kappa_(prior.kappa),
+      alpha_(prior.alpha),
+      beta_(prior.beta) {
+  assert(prior_.kappa > 0.0);
+  assert(prior_.alpha > 1.0);
+  assert(prior_.beta > 0.0);
+  assert(prior_.upper > prior_.lower);
+}
+
+void NigGammaEstimator::observe(double delta) {
+  // One-observation NIG update (e.g. Murphy, "Conjugate Bayesian analysis
+  // of the Gaussian distribution", eqs. 85-89 with n = 1):
+  const double kappa_next = kappa_ + 1.0;
+  const double mean_next = (kappa_ * mean_ + delta) / kappa_next;
+  alpha_ += 0.5;
+  beta_ += 0.5 * kappa_ * (delta - mean_) * (delta - mean_) / kappa_next;
+  mean_ = mean_next;
+  kappa_ = kappa_next;
+  ++observations_;
+}
+
+double NigGammaEstimator::expected_gamma() const {
+  return std::clamp(mean_, prior_.lower, prior_.upper);
+}
+
+double NigGammaEstimator::expected_observation_variance() const {
+  return alpha_ > 1.0 ? beta_ / (alpha_ - 1.0) : beta_;
+}
+
+double NigGammaEstimator::gamma_marginal_variance() const {
+  // Marginal of gamma is Student-t with 2*alpha dof, scale^2 =
+  // beta/(alpha*kappa); its variance is scale^2 * dof/(dof-2) for dof>2.
+  const double dof = 2.0 * alpha_;
+  const double scale_sq = beta_ / (alpha_ * kappa_);
+  if (dof <= 2.0) return scale_sq * 1e6;  // effectively undefined: huge
+  return scale_sq * dof / (dof - 2.0);
+}
+
+}  // namespace lpvs::bayes

@@ -1,0 +1,65 @@
+// Minimal command-line flag parser for the example/CLI binaries.
+// Supports `--name value`, `--name=value`, boolean `--name` /
+// `--no-name`, typed accessors with defaults, and an auto-generated
+// `--help` text.  No global state; deliberately tiny.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lpvs::common {
+
+class Flags {
+ public:
+  /// Parses argv.  Unknown flags are collected as errors; positional
+  /// arguments are kept in order.
+  static Flags parse(int argc, const char* const* argv,
+                     const std::vector<std::string>& known_flags);
+
+  bool has(const std::string& name) const;
+
+  /// Typed accessors; return `fallback` when absent, and record a parse
+  /// error when present but malformed.
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  long get_int(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::vector<std::string>& errors() const { return errors_; }
+  bool ok() const { return errors_.empty(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::vector<std::string> errors_;
+};
+
+/// Streams rows of comma-separated values with proper quoting; used by the
+/// CLI tool to export metrics for plotting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// One string with header + all rows, RFC-4180 quoting where needed.
+  std::string str() const;
+
+  /// Writes to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lpvs::common

@@ -1,0 +1,65 @@
+// Minimal JSON document builder (output only).  Experiment results are
+// consumed by external plotting/analysis scripts; this provides a
+// dependency-free way to serialize metrics as JSON with correct escaping
+// and stable key order.  Build trees with Json::object()/array(), then
+// dump() with optional pretty-printing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lpvs::common {
+
+class Json {
+ public:
+  /// Value constructors.
+  Json() : value_(nullptr) {}                      // null
+  Json(bool b) : value_(b) {}                      // NOLINT(runtime/explicit)
+  Json(double d) : value_(d) {}                    // NOLINT(runtime/explicit)
+  Json(long n) : value_(static_cast<double>(n)) {} // NOLINT(runtime/explicit)
+  Json(int n) : value_(static_cast<double>(n)) {}  // NOLINT(runtime/explicit)
+  Json(const char* s) : value_(std::string(s)) {}  // NOLINT(runtime/explicit)
+  Json(std::string s) : value_(std::move(s)) {}    // NOLINT(runtime/explicit)
+
+  static Json object();
+  static Json array();
+
+  /// Object field assignment (first call on a default Json turns it into
+  /// an object); keys keep insertion order.
+  Json& set(const std::string& key, Json value);
+
+  /// Array append (first call turns a default Json into an array).
+  Json& push(Json value);
+
+  bool is_null() const;
+  bool is_object() const;
+  bool is_array() const;
+  std::size_t size() const;  ///< members or elements; 0 for scalars
+
+  /// Serializes; indent 0 = compact single line, otherwise pretty-printed
+  /// with `indent` spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Escapes a string per RFC 8259 (quotes, backslashes, control chars).
+  static std::string escape(const std::string& raw);
+
+ private:
+  struct ObjectRep {
+    std::vector<std::pair<std::string, Json>> members;
+  };
+  struct ArrayRep {
+    std::vector<Json> elements;
+  };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<ObjectRep>, std::shared_ptr<ArrayRep>>
+      value_;
+};
+
+}  // namespace lpvs::common

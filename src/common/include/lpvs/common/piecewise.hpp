@@ -1,0 +1,52 @@
+// Piecewise-linear function on a set of (x, y) knots.  This is the carrier
+// type for the empirical LBA curve phi(.) of Fig. 2: the survey module
+// extracts 100 knots (battery level 1..100 -> anxiety degree) and the LPVS
+// scheduler evaluates / integrates the curve when scoring schedules.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lpvs::common {
+
+/// Monotone-x piecewise-linear interpolant.  Evaluation outside the knot
+/// range clamps to the boundary values (the physically meaningful behaviour
+/// for an anxiety curve defined on battery levels [0, 100]).
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Knots must be strictly increasing in x; asserts in debug builds.
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  /// Convenience: y sampled at x = 0, 1, ..., ys.size()-1.
+  static PiecewiseLinear from_uniform_samples(std::vector<double> ys,
+                                              double x0 = 0.0,
+                                              double dx = 1.0);
+
+  double operator()(double x) const;
+
+  std::size_t size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  std::span<const double> xs() const { return xs_; }
+  std::span<const double> ys() const { return ys_; }
+  double x_min() const { return xs_.front(); }
+  double x_max() const { return xs_.back(); }
+
+  /// True iff y is non-increasing as x increases (the LBA curve property:
+  /// anxiety never grows when battery level grows).
+  bool non_increasing(double tol = 1e-12) const;
+
+  /// Trapezoidal integral over [a, b] (clamped to the knot range).
+  double integrate(double a, double b) const;
+
+  /// Numerical derivative (forward difference on the knot grid).
+  double slope_at(double x) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace lpvs::common

@@ -1,0 +1,111 @@
+// Small statistics toolkit used throughout the reproduction: running
+// moments (Welford), percentiles, histograms (Fig. 5), and ordinary
+// least-squares linear regression (the paper fits Fig. 10 with
+// y = 0.055x - 0.324, R^2 = 0.999; we report the same fit on our data).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lpvs::common {
+
+/// Numerically stable running mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double nab = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / nab;
+    mean_ = (na * mean_ + nb * other.mean_) / nab;
+    n_ += other.n_;
+    min_ = other.min_ < min_ ? other.min_ : min_;
+    max_ = other.max_ > max_ ? other.max_ : max_;
+    sum_ += other.sum_;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Equal-width histogram over [lo, hi); values outside are clamped into the
+/// edge bins so totals are preserved (matches the binning used for Fig. 5).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add(std::span<const double> xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  /// Fraction of mass in `bin` (0 if empty histogram).
+  double fraction(std::size_t bin) const;
+  /// Index of the fullest bin.
+  std::size_t mode_bin() const;
+
+  /// Renders a fixed-width ASCII bar chart, one row per bin.  Used by the
+  /// bench harnesses to print figure-shaped output.
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact percentile of a sample (linear interpolation between order
+/// statistics, the "exclusive" convention).  `p` in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+/// Ordinary least squares fit y = slope*x + intercept with R^2.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation coefficient.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace lpvs::common

@@ -1,0 +1,33 @@
+// ASCII table renderer used by the bench harnesses to print paper-shaped
+// tables (Table I, Table II, and the per-figure result rows) to stdout.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lpvs::common {
+
+/// Accumulates rows of string cells and renders them with aligned columns
+/// and a header rule, e.g.
+///
+///   group_size  energy_saving_%  anxiety_reduction_%
+///   ----------  ---------------  -------------------
+///           50            35.90                 6.71
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with fixed precision; helper for building cells.
+  static std::string num(double v, int precision = 2);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lpvs::common

@@ -1,0 +1,88 @@
+// Lightweight unit-bearing value types.  The emulator mixes power (mW),
+// energy (mWh and joules), time (seconds and 5-minute slots), and battery
+// fractions; keeping them in distinct types catches the classic
+// watt-vs-watt-hour mixups at compile time without a heavyweight units
+// library.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace lpvs::common {
+
+/// Power in milliwatts.
+struct Milliwatts {
+  double value = 0.0;
+  constexpr auto operator<=>(const Milliwatts&) const = default;
+  constexpr Milliwatts operator+(Milliwatts o) const { return {value + o.value}; }
+  constexpr Milliwatts operator-(Milliwatts o) const { return {value - o.value}; }
+  constexpr Milliwatts operator*(double k) const { return {value * k}; }
+  constexpr Milliwatts& operator+=(Milliwatts o) {
+    value += o.value;
+    return *this;
+  }
+};
+
+/// Energy in milliwatt-hours (the unit battery datasheets use).
+struct MilliwattHours {
+  double value = 0.0;
+  constexpr auto operator<=>(const MilliwattHours&) const = default;
+  constexpr MilliwattHours operator+(MilliwattHours o) const {
+    return {value + o.value};
+  }
+  constexpr MilliwattHours operator-(MilliwattHours o) const {
+    return {value - o.value};
+  }
+  constexpr MilliwattHours operator*(double k) const { return {value * k}; }
+  constexpr MilliwattHours& operator+=(MilliwattHours o) {
+    value += o.value;
+    return *this;
+  }
+  constexpr MilliwattHours& operator-=(MilliwattHours o) {
+    value -= o.value;
+    return *this;
+  }
+};
+
+/// Time in seconds.
+struct Seconds {
+  double value = 0.0;
+  constexpr auto operator<=>(const Seconds&) const = default;
+  constexpr Seconds operator+(Seconds o) const { return {value + o.value}; }
+  constexpr Seconds operator*(double k) const { return {value * k}; }
+  constexpr double minutes() const { return value / 60.0; }
+  constexpr double hours() const { return value / 3600.0; }
+};
+
+/// Energy spent drawing `p` for duration `t`.
+constexpr MilliwattHours energy(Milliwatts p, Seconds t) {
+  return {p.value * t.value / 3600.0};
+}
+
+/// Average power when `e` is spent over duration `t`.
+constexpr Milliwatts average_power(MilliwattHours e, Seconds t) {
+  return {t.value > 0.0 ? e.value * 3600.0 / t.value : 0.0};
+}
+
+inline constexpr Seconds kSlotLength{5.0 * 60.0};  // paper's 5-minute slot
+
+/// Strongly typed integer identifiers (a DeviceId is not a VideoId).
+template <class Tag>
+struct Id {
+  std::uint32_t value = 0;
+  constexpr auto operator<=>(const Id&) const = default;
+};
+
+struct DeviceTag {};
+struct VideoTag {};
+struct ChunkTag {};
+struct ChannelTag {};
+struct SessionTag {};
+
+using DeviceId = Id<DeviceTag>;
+using VideoId = Id<VideoTag>;
+using ChunkId = Id<ChunkTag>;
+using ChannelId = Id<ChannelTag>;
+using SessionId = Id<SessionTag>;
+
+}  // namespace lpvs::common

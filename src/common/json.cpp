@@ -1,0 +1,175 @@
+#include "lpvs/common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lpvs::common {
+
+Json Json::object() {
+  Json j;
+  j.value_ = std::make_shared<ObjectRep>();
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.value_ = std::make_shared<ArrayRep>();
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (!std::holds_alternative<std::shared_ptr<ObjectRep>>(value_)) {
+    value_ = std::make_shared<ObjectRep>();
+  }
+  auto& members = std::get<std::shared_ptr<ObjectRep>>(value_)->members;
+  for (auto& [existing_key, existing_value] : members) {
+    if (existing_key == key) {
+      existing_value = std::move(value);
+      return *this;
+    }
+  }
+  members.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (!std::holds_alternative<std::shared_ptr<ArrayRep>>(value_)) {
+    value_ = std::make_shared<ArrayRep>();
+  }
+  std::get<std::shared_ptr<ArrayRep>>(value_)->elements.push_back(
+      std::move(value));
+  return *this;
+}
+
+bool Json::is_null() const {
+  return std::holds_alternative<std::nullptr_t>(value_);
+}
+
+bool Json::is_object() const {
+  return std::holds_alternative<std::shared_ptr<ObjectRep>>(value_);
+}
+
+bool Json::is_array() const {
+  return std::holds_alternative<std::shared_ptr<ArrayRep>>(value_);
+}
+
+std::size_t Json::size() const {
+  if (is_object()) {
+    return std::get<std::shared_ptr<ObjectRep>>(value_)->members.size();
+  }
+  if (is_array()) {
+    return std::get<std::shared_ptr<ArrayRep>>(value_)->elements.size();
+  }
+  return 0;
+}
+
+std::string Json::escape(const std::string& raw) {
+  std::string out = "\"";
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+std::string format_number(double d) {
+  if (!std::isfinite(d)) return "null";  // JSON has no inf/nan
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", d);
+    return buffer;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", d);
+  return buffer;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string newline = indent > 0 ? "\n" : "";
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) * (depth + 1),
+                               ' ')
+                 : "";
+  const std::string closing_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) * depth, ' ')
+                 : "";
+  const std::string space = indent > 0 ? " " : "";
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    out += format_number(*d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    out += escape(*s);
+  } else if (is_object()) {
+    const auto& members =
+        std::get<std::shared_ptr<ObjectRep>>(value_)->members;
+    if (members.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : members) {
+      if (!first) out += ',';
+      first = false;
+      out += newline + pad + escape(key) + ':' + space;
+      value.dump_to(out, indent, depth + 1);
+    }
+    out += newline + closing_pad + '}';
+  } else {
+    const auto& elements =
+        std::get<std::shared_ptr<ArrayRep>>(value_)->elements;
+    if (elements.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const Json& value : elements) {
+      if (!first) out += ',';
+      first = false;
+      out += newline + pad;
+      value.dump_to(out, indent, depth + 1);
+    }
+    out += newline + closing_pad + ']';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace lpvs::common

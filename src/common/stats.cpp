@@ -1,0 +1,132 @@
+#include "lpvs/common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace lpvs::common {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::fraction(std::size_t bin) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_[bin]) /
+                           static_cast<double>(total_);
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  if (peak == 0) peak = 1;
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out << '[';
+    out.width(8);
+    out << bin_lo(b) << ',';
+    out.width(8);
+    out << bin_hi(b) << ") ";
+    out << std::string(bar, '#');
+    out << ' ' << counts_[b] << '\n';
+  }
+  return out.str();
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  LinearFit fit;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return fit;
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double resid = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += resid * resid;
+    }
+    fit.r_squared = 1.0 - ss_res / syy;
+  } else {
+    fit.r_squared = 1.0;  // all ys identical and perfectly fit by slope 0
+  }
+  return fit;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return 0.0;
+  RunningStats x_stats;
+  RunningStats y_stats;
+  for (std::size_t i = 0; i < n; ++i) {
+    x_stats.add(xs[i]);
+    y_stats.add(ys[i]);
+  }
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (xs[i] - x_stats.mean()) * (ys[i] - y_stats.mean());
+  }
+  cov /= static_cast<double>(n - 1);
+  const double denom = x_stats.stddev() * y_stats.stddev();
+  return denom == 0.0 ? 0.0 : cov / denom;
+}
+
+}  // namespace lpvs::common

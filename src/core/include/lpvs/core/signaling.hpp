@@ -1,0 +1,63 @@
+// Information-gathering signaling cost (SVI-B's first emulator block,
+// reproduction extension).
+//
+// At every scheduling point each device uploads a small report — display
+// spec, battery status, requested chunk ids — and the edge pushes back a
+// one-bit decision.  LPVS only makes sense if this signaling costs the
+// phone (and the uplink) far less than the display saving it buys; this
+// module quantifies both sides so the claim is checked, not assumed.
+#pragma once
+
+#include <cstddef>
+
+#include "lpvs/common/units.hpp"
+
+namespace lpvs::core {
+
+/// Sizes of the per-slot report protocol, in bytes.
+struct ReportSchema {
+  std::size_t header_bytes = 24;       ///< ids, slot number, auth tag
+  std::size_t display_spec_bytes = 8;  ///< panel type + resolution code
+  std::size_t battery_bytes = 4;       ///< energy status (fixed point)
+  std::size_t per_chunk_bytes = 4;     ///< one CID per available chunk
+  std::size_t decision_bytes = 16;     ///< downlink: decision + next slot
+
+  std::size_t uplink_bytes(std::size_t chunk_count) const {
+    return header_bytes + display_spec_bytes + battery_bytes +
+           per_chunk_bytes * chunk_count;
+  }
+};
+
+/// Device-side energy model for the report exchange.
+class SignalingCostModel {
+ public:
+  struct Coefficients {
+    /// Radio energy per transmitted byte (LTE/5G uplink, including the
+    /// promotion overhead amortized over the report burst).
+    double uplink_nj_per_byte = 900.0;
+    double downlink_nj_per_byte = 350.0;
+    /// Fixed radio state-promotion cost if the radio were idle (the worst
+    /// case; during streaming the radio is already active, cost ~0).
+    double promotion_mj = 0.0;
+  };
+
+  SignalingCostModel() : SignalingCostModel(Coefficients{}) {}
+  explicit SignalingCostModel(Coefficients coefficients)
+      : coefficients_(coefficients) {}
+
+  /// Energy one device spends on one scheduling point's exchange.
+  common::MilliwattHours report_energy(const ReportSchema& schema,
+                                       std::size_t chunk_count) const;
+
+  /// Average extra device power due to signaling at the slot cadence.
+  common::Milliwatts report_power(const ReportSchema& schema,
+                                  std::size_t chunk_count,
+                                  common::Seconds slot_length) const;
+
+  const Coefficients& coefficients() const { return coefficients_; }
+
+ private:
+  Coefficients coefficients_;
+};
+
+}  // namespace lpvs::core

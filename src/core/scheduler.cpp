@@ -1,0 +1,324 @@
+#include "lpvs/core/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "lpvs/common/rng.hpp"
+
+namespace lpvs::core {
+namespace {
+
+/// Capacity bookkeeping shared by the greedy selectors and Phase-2.
+struct CapacityTracker {
+  double compute_used = 0.0;
+  double storage_used = 0.0;
+  double compute_capacity;
+  double storage_capacity;
+
+  explicit CapacityTracker(const SlotProblem& problem)
+      : compute_capacity(problem.compute_capacity),
+        storage_capacity(problem.storage_capacity) {}
+
+  bool fits(const DeviceSlotInput& device) const {
+    constexpr double kSlack = 1e-9;
+    return compute_used + device.compute_cost <= compute_capacity + kSlack &&
+           storage_used + device.storage_cost <= storage_capacity + kSlack;
+  }
+  void add(const DeviceSlotInput& device) {
+    compute_used += device.compute_cost;
+    storage_used += device.storage_cost;
+  }
+  void remove(const DeviceSlotInput& device) {
+    compute_used -= device.compute_cost;
+    storage_used -= device.storage_cost;
+  }
+};
+
+/// Greedy admission over a device order; only eligible devices are taken.
+Schedule admit_in_order(const SlotProblem& problem,
+                        const survey::AnxietyModel& anxiety,
+                        const std::vector<std::size_t>& order) {
+  std::vector<int> x(problem.devices.size(), 0);
+  CapacityTracker capacity(problem);
+  for (std::size_t n : order) {
+    const DeviceSlotInput& device = problem.devices[n];
+    if (!eligible_for_transform(device)) continue;
+    if (!capacity.fits(device)) continue;
+    capacity.add(device);
+    x[n] = 1;
+  }
+  return score_selection(problem, anxiety, std::move(x));
+}
+
+/// The Phase-1 binary program: maximize slot energy saving under the two
+/// capacity rows, with (11) as the eligibility mask.
+solver::BinaryProgram phase1_program(const SlotProblem& problem) {
+  const std::size_t n = problem.devices.size();
+  solver::BinaryProgram program;
+  program.objective.resize(n);
+  program.rows.assign(2, std::vector<double>(n, 0.0));
+  program.rhs = {problem.compute_capacity, problem.storage_capacity};
+  program.eligible.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const DeviceSlotInput& device = problem.devices[j];
+    program.objective[j] = device.gamma * untransformed_energy_mwh(device);
+    program.rows[0][j] = device.compute_cost;
+    program.rows[1][j] = device.storage_cost;
+    program.eligible[j] = eligible_for_transform(device) ? 1 : 0;
+  }
+  return program;
+}
+
+}  // namespace
+
+solver::BranchAndBoundSolver::Options scheduler_ilp_defaults() {
+  // The root LP plus LP-guided rounding already lands within a fraction of
+  // a percent of the optimum on Phase-1-shaped knapsacks; a couple hundred
+  // nodes close the remaining gap.  Proving exact optimality can take an
+  // exponential tie-breaking frontier, which has no business inside a
+  // 5-minute scheduling slot.
+  solver::BranchAndBoundSolver::Options options;
+  options.max_nodes = 200;
+  options.relative_gap = 1e-4;
+  return options;
+}
+
+int Schedule::selected_count() const {
+  return static_cast<int>(std::count(x.begin(), x.end(), 1));
+}
+
+double Schedule::energy_saving_ratio() const {
+  return baseline_energy_mwh > 0.0
+             ? (baseline_energy_mwh - energy_spent_mwh) / baseline_energy_mwh
+             : 0.0;
+}
+
+double Schedule::anxiety_reduction_ratio() const {
+  return baseline_anxiety_sum > 0.0
+             ? (baseline_anxiety_sum - anxiety_sum) / baseline_anxiety_sum
+             : 0.0;
+}
+
+Schedule score_selection(const SlotProblem& problem,
+                         const survey::AnxietyModel& anxiety,
+                         std::vector<int> x) {
+  assert(x.size() == problem.devices.size());
+  Schedule schedule;
+  schedule.x = std::move(x);
+  for (std::size_t n = 0; n < problem.devices.size(); ++n) {
+    const DeviceSlotInput& device = problem.devices[n];
+    const bool transformed = schedule.x[n] != 0;
+    const DeviceEvaluation with =
+        evaluate_forward(device, transformed, anxiety);
+    const DeviceEvaluation without =
+        evaluate_forward(device, /*transformed=*/false, anxiety);
+    const double effective_lambda = problem.lambda * device.sla_weight;
+    schedule.objective += with.objective(effective_lambda);
+    schedule.baseline_objective += without.objective(effective_lambda);
+    schedule.energy_spent_mwh += with.energy_spent_mwh;
+    schedule.baseline_energy_mwh += without.energy_spent_mwh;
+    schedule.anxiety_sum += with.sum_anxiety;
+    schedule.baseline_anxiety_sum += without.sum_anxiety;
+    if (transformed) {
+      schedule.compute_used += device.compute_cost;
+      schedule.storage_used += device.storage_cost;
+    }
+  }
+  return schedule;
+}
+
+Schedule LpvsScheduler::schedule(const SlotProblem& problem,
+                                 const survey::AnxietyModel& anxiety) const {
+  return run(problem, anxiety, /*run_phase2=*/true);
+}
+
+Schedule LpvsScheduler::schedule_phase1_only(
+    const SlotProblem& problem, const survey::AnxietyModel& anxiety) const {
+  return run(problem, anxiety, /*run_phase2=*/false);
+}
+
+Schedule LpvsScheduler::run(const SlotProblem& problem,
+                            const survey::AnxietyModel& anxiety,
+                            bool run_phase2) const {
+  const std::size_t n = problem.devices.size();
+
+  // --- Phase-1: exact ILP on the energy-only objective (14). ---
+  const solver::BinaryProgram program = phase1_program(problem);
+  const solver::IlpSolution ilp =
+      solver::BranchAndBoundSolver(options_.ilp).solve(program);
+  std::vector<int> x = ilp.x;
+  x.resize(n, 0);
+
+  long nodes = ilp.nodes_explored;
+  int swaps = 0;
+  int additions = 0;
+
+  if (run_phase2 && n > 0) {
+    // --- Phase-2: anxiety-aware swapping on the full objective (13). ---
+    // The objective is separable across devices, so a swap's effect is the
+    // difference of per-device benefits (objective reduction if served).
+    std::vector<double> benefit(n, 0.0);
+    std::vector<double> start_anxiety(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const DeviceSlotInput& device = problem.devices[j];
+      start_anxiety[j] = anxiety(device.initial_energy_mwh /
+                                 device.battery_capacity_mwh);
+      if (!eligible_for_transform(device)) {
+        benefit[j] = -1.0;  // never brought in by a swap
+        continue;
+      }
+      const double effective_lambda = problem.lambda * device.sla_weight;
+      benefit[j] =
+          compacted_objective(device, false, anxiety, effective_lambda) -
+          compacted_objective(device, true, anxiety, effective_lambda);
+    }
+
+    CapacityTracker capacity(problem);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (x[j]) capacity.add(problem.devices[j]);
+    }
+
+    // Unselected users ranked by anxiety degree, most anxious first —
+    // the paper's "first (N - N') devices with the largest anxiety".
+    std::vector<std::size_t> anxious;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!x[j] && benefit[j] >= 0.0) anxious.push_back(j);
+    }
+    std::sort(anxious.begin(), anxious.end(),
+              [&](std::size_t a, std::size_t b) {
+                return start_anxiety[a] > start_anxiety[b];
+              });
+
+    constexpr double kTol = 1e-9;
+    for (int pass = 0; pass < options_.max_phase2_passes; ++pass) {
+      bool changed = false;
+      for (std::size_t u : anxious) {
+        if (x[u]) continue;
+        const DeviceSlotInput& incoming = problem.devices[u];
+        // Direct admission into leftover capacity strictly improves (13).
+        if (options_.augment_after_swaps && benefit[u] > kTol &&
+            capacity.fits(incoming)) {
+          capacity.add(incoming);
+          x[u] = 1;
+          ++additions;
+          changed = true;
+          continue;
+        }
+        // Otherwise look for the cheapest selected victim whose removal
+        // both frees enough capacity and loses less than we gain.
+        std::ptrdiff_t victim = -1;
+        double victim_benefit = benefit[u] - kTol;
+        for (std::size_t s = 0; s < n; ++s) {
+          if (!x[s] || s == u) continue;
+          if (benefit[s] >= victim_benefit) continue;
+          capacity.remove(problem.devices[s]);
+          const bool fits = capacity.fits(incoming);
+          capacity.add(problem.devices[s]);
+          if (!fits) continue;
+          victim = static_cast<std::ptrdiff_t>(s);
+          victim_benefit = benefit[s];
+        }
+        if (victim >= 0) {
+          const auto s = static_cast<std::size_t>(victim);
+          capacity.remove(problem.devices[s]);
+          capacity.add(incoming);
+          x[s] = 0;
+          x[u] = 1;
+          ++swaps;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+  }
+
+  Schedule schedule = score_selection(problem, anxiety, std::move(x));
+  schedule.ilp_nodes = nodes;
+  schedule.phase2_swaps = swaps;
+  schedule.phase2_additions = additions;
+  return schedule;
+}
+
+Schedule NoTransformScheduler::schedule(
+    const SlotProblem& problem, const survey::AnxietyModel& anxiety) const {
+  return score_selection(problem, anxiety,
+                         std::vector<int>(problem.devices.size(), 0));
+}
+
+Schedule RandomScheduler::schedule(const SlotProblem& problem,
+                                   const survey::AnxietyModel& anxiety) const {
+  std::vector<std::size_t> order(problem.devices.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  common::Rng rng(seed_);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+  return admit_in_order(problem, anxiety, order);
+}
+
+Schedule GreedyEnergyScheduler::schedule(
+    const SlotProblem& problem, const survey::AnxietyModel& anxiety) const {
+  const std::size_t n = problem.devices.size();
+  std::vector<double> saving(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    saving[j] = problem.devices[j].gamma *
+                untransformed_energy_mwh(problem.devices[j]);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return saving[a] > saving[b]; });
+  return admit_in_order(problem, anxiety, order);
+}
+
+Schedule GreedyAnxietyScheduler::schedule(
+    const SlotProblem& problem, const survey::AnxietyModel& anxiety) const {
+  const std::size_t n = problem.devices.size();
+  std::vector<double> degree(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    degree[j] = anxiety(problem.devices[j].initial_energy_mwh /
+                        problem.devices[j].battery_capacity_mwh);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return degree[a] > degree[b]; });
+  return admit_in_order(problem, anxiety, order);
+}
+
+Schedule JointOptimalScheduler::schedule(
+    const SlotProblem& problem, const survey::AnxietyModel& anxiety) const {
+  // (13) is separable, so the joint problem is itself a 2-row binary
+  // program over per-device objective benefits.
+  const std::size_t n = problem.devices.size();
+  solver::BinaryProgram program;
+  program.objective.resize(n);
+  program.rows.assign(2, std::vector<double>(n, 0.0));
+  program.rhs = {problem.compute_capacity, problem.storage_capacity};
+  program.eligible.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const DeviceSlotInput& device = problem.devices[j];
+    const bool ok = eligible_for_transform(device);
+    const double effective_lambda = problem.lambda * device.sla_weight;
+    program.eligible[j] = ok ? 1 : 0;
+    program.objective[j] =
+        ok ? compacted_objective(device, false, anxiety, effective_lambda) -
+                 compacted_objective(device, true, anxiety, effective_lambda)
+           : 0.0;
+    program.rows[0][j] = device.compute_cost;
+    program.rows[1][j] = device.storage_cost;
+  }
+  const solver::IlpSolution ilp =
+      solver::BranchAndBoundSolver(options_).solve(program);
+  std::vector<int> x = ilp.x;
+  x.resize(n, 0);
+  Schedule schedule = score_selection(problem, anxiety, std::move(x));
+  schedule.ilp_nodes = ilp.nodes_explored;
+  return schedule;
+}
+
+}  // namespace lpvs::core

@@ -1,0 +1,26 @@
+#include "lpvs/core/signaling.hpp"
+
+namespace lpvs::core {
+
+common::MilliwattHours SignalingCostModel::report_energy(
+    const ReportSchema& schema, std::size_t chunk_count) const {
+  const double uplink_nj =
+      coefficients_.uplink_nj_per_byte *
+      static_cast<double>(schema.uplink_bytes(chunk_count));
+  const double downlink_nj =
+      coefficients_.downlink_nj_per_byte *
+      static_cast<double>(schema.decision_bytes);
+  // nJ -> mWh: 1 mWh = 3.6 J = 3.6e9 nJ.
+  const double total_nj =
+      uplink_nj + downlink_nj + coefficients_.promotion_mj * 1e6;
+  return {total_nj / 3.6e9};
+}
+
+common::Milliwatts SignalingCostModel::report_power(
+    const ReportSchema& schema, std::size_t chunk_count,
+    common::Seconds slot_length) const {
+  const common::MilliwattHours energy = report_energy(schema, chunk_count);
+  return common::average_power(energy, slot_length);
+}
+
+}  // namespace lpvs::core

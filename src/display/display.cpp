@@ -1,0 +1,136 @@
+#include "lpvs/display/display.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace lpvs::display {
+
+std::string to_string(DisplayType type) {
+  return type == DisplayType::kLcd ? "LCD" : "OLED";
+}
+
+FrameStats FrameStats::clamped() const {
+  FrameStats out = *this;
+  out.mean_luminance = std::clamp(out.mean_luminance, 0.0, 1.0);
+  out.mean_r = std::clamp(out.mean_r, 0.0, 1.0);
+  out.mean_g = std::clamp(out.mean_g, 0.0, 1.0);
+  out.mean_b = std::clamp(out.mean_b, 0.0, 1.0);
+  out.peak_luminance =
+      std::clamp(out.peak_luminance, out.mean_luminance, 1.0);
+  return out;
+}
+
+double DisplaySpec::area_sq_inches() const {
+  assert(width_px > 0 && height_px > 0);
+  const double aspect =
+      static_cast<double>(std::max(width_px, height_px)) /
+      static_cast<double>(std::min(width_px, height_px));
+  return diagonal_inches * diagonal_inches * aspect / (1.0 + aspect * aspect);
+}
+
+common::Milliwatts LcdPowerModel::power(const DisplaySpec& spec,
+                                        double backlight_level) const {
+  backlight_level = std::clamp(backlight_level, 0.0, 1.0);
+  const double area = spec.area_sq_inches();
+  const double backlight =
+      (coefficients_.backlight_floor_mw_per_sq_in +
+       coefficients_.backlight_range_mw_per_sq_in * backlight_level) *
+      area;
+  const double panel = coefficients_.panel_mw_per_sq_in * area;
+  return {backlight + panel};
+}
+
+common::Milliwatts OledPowerModel::power(const DisplaySpec& spec,
+                                         const FrameStats& stats) const {
+  const FrameStats s = stats.clamped();
+  const double weighted = coefficients_.red_weight * s.mean_r +
+                          coefficients_.green_weight * s.mean_g +
+                          coefficients_.blue_weight * s.mean_b;
+  const double megapixels =
+      static_cast<double>(spec.pixel_count()) / 1.0e6;
+  const double emission = coefficients_.mw_per_megapixel_unit * megapixels *
+                          std::clamp(spec.brightness, 0.0, 1.0) * weighted;
+  const double static_power =
+      coefficients_.static_mw_per_sq_in * spec.area_sq_inches();
+  return {emission + static_power};
+}
+
+common::Milliwatts DevicePowerModel::display_power(
+    const DisplaySpec& spec, const FrameStats& stats) const {
+  if (spec.type == DisplayType::kLcd) {
+    // Without a content-adaptive transform, the backlight tracks the user's
+    // brightness setting regardless of content.
+    return lcd_.power(spec, spec.brightness);
+  }
+  return oled_.power(spec, stats);
+}
+
+common::Milliwatts DevicePowerModel::playback_power(
+    const DisplaySpec& spec, const FrameStats& stats,
+    double bitrate_mbps) const {
+  return breakdown(spec, stats, bitrate_mbps).total();
+}
+
+double DevicePowerModel::Breakdown::display_fraction() const {
+  const double t = total().value;
+  return t > 0.0 ? display.value / t : 0.0;
+}
+
+DevicePowerModel::Breakdown DevicePowerModel::breakdown(
+    const DisplaySpec& spec, const FrameStats& stats,
+    double bitrate_mbps) const {
+  bitrate_mbps = std::max(bitrate_mbps, 0.0);
+  Breakdown split;
+  split.display = display_power(spec, stats);
+  split.cpu = {rest_.cpu_decode_mw + rest_.cpu_per_mbps_mw * bitrate_mbps};
+  split.radio = {rest_.radio_mw + rest_.radio_per_mbps_mw * bitrate_mbps};
+  split.base = {rest_.base_mw};
+  return split;
+}
+
+DeviceCatalog::DeviceCatalog(std::vector<Profile> profiles)
+    : profiles_(std::move(profiles)) {
+  assert(!profiles_.empty());
+}
+
+const DeviceCatalog::Profile& DeviceCatalog::sample(common::Rng& rng) const {
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(profiles_.size()) - 1));
+  return profiles_[idx];
+}
+
+const DeviceCatalog& DeviceCatalog::standard() {
+  static const DeviceCatalog catalog({
+      // name, {type, diagonal, w, h, max_nits, brightness}, battery_mwh
+      {"budget-lcd-hd",
+       {DisplayType::kLcd, 5.5, 720, 1440, 450.0, 0.8},
+       11400.0},
+      {"mid-lcd-fhd",
+       {DisplayType::kLcd, 6.1, 1080, 2340, 500.0, 0.8},
+       13300.0},
+      {"large-lcd-fhd",
+       {DisplayType::kLcd, 6.5, 1080, 2400, 480.0, 0.8},
+       15200.0},
+      {"tablet-lcd-qhd",
+       {DisplayType::kLcd, 8.0, 1600, 2560, 420.0, 0.75},
+       19000.0},
+      {"flagship-oled-fhd",
+       {DisplayType::kOled, 6.1, 1080, 2340, 700.0, 0.8},
+       12540.0},
+      {"flagship-oled-qhd",
+       {DisplayType::kOled, 6.4, 1440, 3040, 800.0, 0.8},
+       14820.0},
+      {"compact-oled",
+       {DisplayType::kOled, 5.8, 1080, 2244, 650.0, 0.8},
+       10260.0},
+      {"large-oled-fhd",
+       {DisplayType::kOled, 6.7, 1080, 2400, 750.0, 0.85},
+       17100.0},
+  });
+  return catalog;
+}
+
+}  // namespace lpvs::display

@@ -1,0 +1,163 @@
+#include "lpvs/emu/daily_life.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/media/video.hpp"
+
+namespace lpvs::emu {
+namespace {
+
+constexpr int kMinutesPerDay = 16 * 60;  // waking hours simulated
+
+struct UserState {
+  display::DisplaySpec spec;
+  battery::Battery battery;
+  int giveup_percent = 10;
+  media::Genre genre = media::Genre::kIrlChat;
+  double playback_mw = 900.0;  ///< untransformed average playback power
+  double gamma = 0.3;          ///< device's realized saving when served
+};
+
+}  // namespace
+
+DailyLifeReport simulate_daily_life(const DailyLifeConfig& config,
+                                    const survey::AnxietyModel& anxiety) {
+  assert(config.users > 0 && config.days > 0);
+  common::Rng rng(config.seed);
+  const auto& catalog = display::DeviceCatalog::standard();
+  const media::PowerRateEstimator estimator;
+  const transform::TransformEngine engine;
+
+  // Build the fleet: hardware from the catalog, give-up levels from the
+  // survey population, playback power and gamma from the physics models
+  // over genre-typical content.
+  const survey::SyntheticPopulation population;
+  common::Rng population_rng = rng.fork(1);
+  const auto participants =
+      population.generate(config.users, population_rng);
+  std::vector<UserState> users;
+  users.reserve(static_cast<std::size_t>(config.users));
+  for (int u = 0; u < config.users; ++u) {
+    common::Rng user_rng = rng.fork(100 + static_cast<std::uint64_t>(u));
+    UserState user;
+    const auto& profile = catalog.sample(user_rng);
+    user.spec = profile.spec;
+    // Same session-scale battery budget as the slot emulator.
+    user.battery = battery::Battery(
+        common::MilliwattHours{profile.battery_mwh * 0.25}, 1.0);
+    user.giveup_percent =
+        participants[static_cast<std::size_t>(u)].giveup_level;
+    user.genre = static_cast<media::Genre>(
+        user_rng.uniform_int(0, media::kGenreCount - 1));
+    media::ContentGenerator content(user_rng());
+    const media::Video sample_video = content.generate(
+        common::VideoId{static_cast<std::uint32_t>(u)}, user.genre, 30,
+        3.0);
+    double mw = 0.0;
+    for (const auto& chunk : sample_video.chunks) {
+      mw += estimator.rate(user.spec, chunk).value;
+    }
+    user.playback_mw = mw / static_cast<double>(sample_video.chunks.size());
+    user.gamma = engine.video_gamma(user.spec, sample_video);
+    users.push_back(std::move(user));
+  }
+
+  DailyLifeReport report;
+  double anxiety_minutes = 0.0;
+  double warning_minutes = 0.0;
+  double viewing_minutes = 0.0;
+
+  for (int u = 0; u < config.users; ++u) {
+    UserState& user = users[static_cast<std::size_t>(u)];
+    common::Rng day_rng = rng.fork(5000 + static_cast<std::uint64_t>(u));
+    for (int day = 0; day < config.days; ++day) {
+      // Overnight charge to full.
+      user.battery = battery::Battery(user.battery.capacity(), 1.0);
+      // Plan today's sessions: starts uniform over waking minutes.
+      const int session_count = [&] {
+        int count = 0;
+        for (int h = 0; h < 16; ++h) {
+          if (day_rng.bernoulli(config.sessions_per_day / 16.0)) ++count;
+        }
+        return count;
+      }();
+      std::vector<std::pair<int, int>> sessions;  // (start_min, length_min)
+      for (int s = 0; s < session_count; ++s) {
+        const int length = std::clamp(
+            static_cast<int>(std::lround(day_rng.lognormal(
+                config.session_log_mean, config.session_log_sigma))),
+            5, 4 * 60);
+        const int start = static_cast<int>(
+            day_rng.uniform_int(0, kMinutesPerDay - 1));
+        sessions.emplace_back(start, length);
+      }
+      std::sort(sessions.begin(), sessions.end());
+
+      // Possible opportunistic top-up at a random daytime minute.
+      const int topup_minute =
+          day_rng.bernoulli(config.opportunistic_charge_rate)
+              ? static_cast<int>(day_rng.uniform_int(0, kMinutesPerDay - 1))
+              : -1;
+
+      std::size_t next_session = 0;
+      int session_remaining = 0;
+      bool session_abandoned = false;
+      bool session_served = false;
+      for (int minute = 0; minute < kMinutesPerDay; ++minute) {
+        if (minute == topup_minute) {
+          user.battery = battery::Battery(user.battery.capacity(), 1.0);
+        }
+        // Session management.
+        if (session_remaining == 0 && next_session < sessions.size() &&
+            minute >= sessions[next_session].first) {
+          session_remaining = sessions[next_session].second;
+          // Serving decision keyed by (seed, user, day, session) so that
+          // with/without-LPVS runs see identical worlds.
+          common::Rng serve_rng(config.seed ^
+                                (static_cast<std::uint64_t>(u) << 40) ^
+                                (static_cast<std::uint64_t>(day) << 20) ^
+                                next_session);
+          session_served = config.lpvs_enabled &&
+                           serve_rng.uniform() < config.served_fraction;
+          ++next_session;
+          ++report.sessions_started;
+          session_abandoned = false;
+        }
+        double draw_mw = config.idle_mw;
+        if (session_remaining > 0 && !session_abandoned) {
+          draw_mw = session_served
+                        ? (1.0 - user.gamma) * user.playback_mw
+                        : user.playback_mw;
+          viewing_minutes += 1.0;
+        }
+        user.battery.drain(common::Milliwatts{draw_mw},
+                           common::Seconds{60.0});
+        if (session_remaining > 0) {
+          --session_remaining;
+          if (!session_abandoned && user.giveup_percent > 0 &&
+              user.battery.percent() <=
+                  static_cast<double>(user.giveup_percent)) {
+            ++report.sessions_abandoned;
+            session_abandoned = true;
+            session_remaining = 0;  // the user stops watching
+          }
+        }
+        const double level = user.battery.fraction();
+        anxiety_minutes += anxiety(level);
+        if (level <= 0.20) warning_minutes += 1.0;
+      }
+    }
+  }
+
+  const double user_days =
+      static_cast<double>(config.users) * static_cast<double>(config.days);
+  report.anxiety_minutes_per_day = anxiety_minutes / user_days;
+  report.warning_zone_minutes_per_day = warning_minutes / user_days;
+  report.mean_viewing_minutes_per_day = viewing_minutes / user_days;
+  return report;
+}
+
+}  // namespace lpvs::emu

@@ -1,0 +1,351 @@
+#include "lpvs/emu/emulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+namespace lpvs::emu {
+namespace {
+
+/// Independent deterministic stream for a (seed, device, slot) triple.
+/// All per-device-per-slot randomness (content, prefetch window, gamma
+/// observation noise) comes from such streams so that paired runs with
+/// different schedulers see byte-identical worlds even when devices drop
+/// out at different times.
+common::Rng derived_rng(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  return common::Rng(seed ^ (a + 1) * 0x9E3779B97F4A7C15ULL ^
+                     (b + 1) * 0xC2B2AE3D27D4EB4FULL);
+}
+
+constexpr double kBitrateLadder[] = {1.8, 2.5, 3.5, 5.0};
+
+/// The paper's emulation timescale: watching sessions of tens of minutes
+/// deplete a meaningful share of the battery.  We model the energy a user
+/// is willing to spend on one viewing session as a fraction of the full
+/// battery (phones multitask; nobody budgets 100% of charge for one app).
+constexpr double kEffectiveCapacityScale = 0.25;
+
+}  // namespace
+
+double RunMetrics::mean_tpv(double max_start_fraction,
+                            bool require_served) const {
+  double sum = 0.0;
+  long count = 0;
+  for (std::size_t n = 0; n < tpv_minutes.size(); ++n) {
+    if (start_fractions[n] > max_start_fraction) continue;
+    if (require_served && !served[n]) continue;
+    sum += tpv_minutes[n];
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+Emulator::Emulator(EmulatorConfig config, const core::Scheduler& scheduler,
+                   const survey::AnxietyModel& anxiety)
+    : config_(config),
+      scheduler_(scheduler),
+      anxiety_(anxiety),
+      rng_(config.seed) {
+  assert(config_.group_size > 0);
+  assert(config_.slots > 0);
+  assert(config_.chunks_per_slot > 0);
+}
+
+void Emulator::setup_devices() {
+  devices_.clear();
+  devices_.reserve(static_cast<std::size_t>(config_.group_size));
+
+  // Give-up thresholds come from the survey answer model so the emulated
+  // audience behaves like the surveyed one (SVII-C).
+  common::Rng setup_rng = derived_rng(config_.seed, 0xDEu, 0xADu);
+  const survey::SyntheticPopulation population;
+  const std::vector<survey::Participant> participants =
+      population.generate(config_.group_size, setup_rng);
+
+  const auto& catalog = display::DeviceCatalog::standard();
+  for (int n = 0; n < config_.group_size; ++n) {
+    common::Rng device_rng = derived_rng(config_.seed, 0xD0u,
+                                         static_cast<std::uint64_t>(n));
+    DeviceState device;
+    device.id = common::DeviceId{static_cast<std::uint32_t>(n)};
+    const auto& profile = catalog.sample(device_rng);
+    device.spec = profile.spec;
+    device.start_fraction = device_rng.truncated_normal(
+        config_.initial_battery_mean, config_.initial_battery_std, 0.05, 1.0);
+    device.battery = battery::Battery(
+        common::MilliwattHours{profile.battery_mwh * kEffectiveCapacityScale},
+        device.start_fraction);
+    device.giveup_percent =
+        participants[static_cast<std::size_t>(n)].giveup_level;
+    device.genre = static_cast<media::Genre>(
+        device_rng.uniform_int(0, media::kGenreCount - 1));
+    device.bitrate_mbps = kBitrateLadder[static_cast<std::size_t>(
+        device_rng.uniform_int(0, std::ssize(kBitrateLadder) - 1))];
+    devices_.push_back(std::move(device));
+  }
+}
+
+media::Video Emulator::slot_video(const DeviceState& device, int slot) {
+  // Content is a pure function of (seed, device, slot): paired runs see
+  // identical chunks.
+  common::Rng content_seed_rng =
+      derived_rng(config_.seed, device.id.value,
+                  static_cast<std::uint64_t>(slot));
+  media::ContentGenerator generator(content_seed_rng());
+  const auto vid = common::VideoId{static_cast<std::uint32_t>(
+      device.id.value * 100000u + static_cast<std::uint32_t>(slot))};
+  return generator.generate(vid, device.genre, config_.chunks_per_slot,
+                            device.bitrate_mbps,
+                            common::Seconds{config_.chunk_seconds});
+}
+
+RunMetrics Emulator::run() {
+  setup_devices();
+
+  const auto n_devices = static_cast<std::size_t>(config_.group_size);
+  RunMetrics metrics;
+  metrics.tpv_minutes.assign(n_devices, 0.0);
+  metrics.start_fractions.assign(n_devices, 0.0);
+  metrics.final_fractions.assign(n_devices, 0.0);
+  metrics.served.assign(n_devices, 0);
+  metrics.last_gamma_estimate.assign(n_devices, 0.0);
+  metrics.mean_true_gamma.assign(n_devices, 0.0);
+  for (std::size_t n = 0; n < n_devices; ++n) {
+    metrics.start_fractions[n] = devices_[n].start_fraction;
+  }
+
+  streaming::CdnServer cdn;
+  streaming::EdgeCache cache(/*capacity_mb=*/8.0 * 1024.0);
+  const transform::ResourceModel resources;
+
+  double anxiety_accumulator = 0.0;
+  double scheduler_ms_total = 0.0;
+  std::vector<long> true_gamma_samples(n_devices, 0);
+  // One-slot-ahead mode: the decision executed in slot t was computed in
+  // slot t-1.  Slot 0 bootstraps with conventional (untransformed)
+  // streaming, exactly as a freshly attached scheduler would.
+  std::vector<std::int8_t> pending_decision(n_devices, 0);
+
+  for (int slot = 0; slot < config_.slots; ++slot) {
+    // --- (1) Information gathering ---------------------------------
+    std::vector<std::size_t> active;
+    std::vector<media::Video> videos;
+    core::SlotProblem problem;
+    problem.compute_capacity = config_.compute_capacity;
+    problem.storage_capacity = config_.storage_capacity_mb;
+    problem.lambda = config_.lambda;
+
+    for (std::size_t n = 0; n < n_devices; ++n) {
+      DeviceState& device = devices_[n];
+      if (!device.watching || device.battery.empty()) continue;
+
+      media::Video video = slot_video(device, slot);
+      cdn.publish(video);
+      common::Rng slot_rng = derived_rng(config_.seed ^ 0xF00Du,
+                                         device.id.value,
+                                         static_cast<std::uint64_t>(slot));
+      const int window = static_cast<int>(slot_rng.uniform_int(
+          config_.prefetch_window_min, config_.prefetch_window_max));
+      streaming::Prefetcher(window).prefetch(cdn, cache, video.id, 0);
+      const streaming::ChunkRequest request = streaming::available_request(
+          cdn, cache, video.id, 0,
+          static_cast<std::size_t>(config_.chunks_per_slot));
+
+      core::DeviceSlotInput input;
+      input.id = device.id;
+      // Price only the chunks available at the edge (Fig. 4): the paper
+      // estimates power rates over the available window.
+      const std::size_t known = std::max<std::size_t>(request.chunk_count(),
+                                                      1);
+      input.power_rates_mw.reserve(known);
+      input.chunk_durations_s.reserve(known);
+      for (std::size_t k = 0; k < known && k < video.chunks.size(); ++k) {
+        input.power_rates_mw.push_back(
+            estimator_.rate(device.spec, video.chunks[k]).value);
+        input.chunk_durations_s.push_back(video.chunks[k].duration.value);
+      }
+      input.initial_energy_mwh = device.battery.remaining().value;
+      input.battery_capacity_mwh = device.battery.capacity().value;
+      if (config_.one_slot_ahead) {
+        // The schedule we compute now executes next slot; predict the
+        // battery at that boundary: current energy minus the expected
+        // spend of the in-flight slot under the pending decision.
+        const double gamma_estimate =
+            device.estimator.expected_gamma();  // best current knowledge
+        double spend_mwh = 0.0;
+        for (std::size_t k = 0; k < input.power_rates_mw.size(); ++k) {
+          const double psi =
+              pending_decision[device.id.value]
+                  ? (1.0 - gamma_estimate) * input.power_rates_mw[k]
+                  : input.power_rates_mw[k];
+          spend_mwh += psi * input.chunk_durations_s[k] / 3600.0;
+        }
+        input.initial_energy_mwh =
+            std::max(input.initial_energy_mwh - spend_mwh, 0.0);
+      }
+      switch (config_.gamma_mode) {
+        case GammaMode::kBayesian:
+          input.gamma = device.estimator.expected_gamma();
+          break;
+        case GammaMode::kNigBayesian:
+          input.gamma = device.nig_estimator.expected_gamma();
+          break;
+        case GammaMode::kFixedPrior:
+          input.gamma = device.estimator.prior().mean;
+          break;
+        case GammaMode::kOracle:
+          input.gamma = engine_.video_gamma(device.spec, video);
+          break;
+      }
+      input.compute_cost = resources.compute_cost(device.spec, video);
+      input.storage_cost = resources.storage_cost(video);
+
+      problem.devices.push_back(std::move(input));
+      active.push_back(n);
+      videos.push_back(std::move(video));
+    }
+
+    if (active.empty()) break;
+
+    // --- (2) Request scheduling ------------------------------------
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::Schedule schedule = scheduler_.schedule(problem, anxiety_);
+    const auto t1 = std::chrono::steady_clock::now();
+    scheduler_ms_total +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    ++metrics.slots_run;
+
+    // --- (3) Transforming & playback -------------------------------
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      DeviceState& device = devices_[active[i]];
+      media::Video video = videos[i];
+      // One-slot-ahead: execute last slot's decision; record this slot's
+      // for the next.  Otherwise execute immediately.
+      bool selected = schedule.x[i] != 0;
+      if (config_.one_slot_ahead) {
+        const bool execute_now = pending_decision[device.id.value] != 0;
+        pending_decision[device.id.value] =
+            static_cast<std::int8_t>(schedule.x[i]);
+        selected = execute_now;
+      }
+
+      // Remark 1: the user may switch videos mid-slot; LPVS keeps the
+      // decision for this user until the next scheduling point, so the
+      // transform applies to content the scheduler never priced.
+      if (config_.switch_probability > 0.0) {
+        common::Rng switch_rng = derived_rng(
+            config_.seed ^ 0x5717C4u, device.id.value,
+            static_cast<std::uint64_t>(slot));
+        if (switch_rng.bernoulli(config_.switch_probability) &&
+            video.chunks.size() > 1) {
+          const auto cut = static_cast<std::size_t>(switch_rng.uniform_int(
+              1, static_cast<std::int64_t>(video.chunks.size()) - 1));
+          const auto new_genre = static_cast<media::Genre>(
+              switch_rng.uniform_int(0, media::kGenreCount - 1));
+          media::ContentGenerator other(switch_rng());
+          const media::Video replacement = other.generate(
+              common::VideoId{video.id.value + 50000u}, new_genre,
+              static_cast<int>(video.chunks.size() - cut),
+              device.bitrate_mbps,
+              common::Seconds{config_.chunk_seconds});
+          for (std::size_t k = cut; k < video.chunks.size(); ++k) {
+            video.chunks[k] = replacement.chunks[k - cut];
+            video.chunks[k].id =
+                common::ChunkId{static_cast<std::uint32_t>(k)};
+          }
+        }
+      }
+
+      const double true_gamma = engine_.video_gamma(device.spec, video);
+      metrics.mean_true_gamma[active[i]] += true_gamma;
+      ++true_gamma_samples[active[i]];
+      if (selected) {
+        device.ever_served = true;
+        ++device.slots_served;
+        ++metrics.total_selected;
+        metrics.served[active[i]] = 1;
+      }
+
+      for (const media::VideoChunk& chunk : video.chunks) {
+        const double rate = estimator_.rate(device.spec, chunk).value;
+        const double psi = selected ? (1.0 - true_gamma) * rate : rate;
+        anxiety_accumulator += anxiety_(device.battery.fraction());
+        ++metrics.anxiety_samples;
+        const common::MilliwattHours drawn = device.battery.drain(
+            common::Milliwatts{psi}, chunk.duration);
+        metrics.total_energy_mwh += drawn.value;
+        device.watch_minutes += chunk.duration.value / 60.0;
+        if (device.battery.empty()) {
+          device.watching = false;
+          break;
+        }
+        if (config_.enable_giveup && device.giveup_percent > 0 &&
+            device.battery.percent() <=
+                static_cast<double>(device.giveup_percent)) {
+          device.watching = false;  // the user gives up on the video
+          break;
+        }
+      }
+
+      // End-of-slot gamma observation (SV-D): the realized per-slot power
+      // reduction, noisy because measurement happens on a live device.
+      if (selected) {
+        common::Rng noise_rng = derived_rng(config_.seed ^ 0xBA1Eu,
+                                            device.id.value,
+                                            static_cast<std::uint64_t>(slot));
+        const double observed =
+            true_gamma + noise_rng.normal(0.0, config_.observation_noise);
+        device.estimator.observe(observed);
+        device.nig_estimator.observe(observed);
+      }
+    }
+  }
+
+  for (std::size_t n = 0; n < n_devices; ++n) {
+    metrics.tpv_minutes[n] = devices_[n].watch_minutes;
+    metrics.final_fractions[n] = devices_[n].battery.fraction();
+    metrics.last_gamma_estimate[n] = devices_[n].estimator.expected_gamma();
+    if (true_gamma_samples[n] > 0) {
+      metrics.mean_true_gamma[n] /=
+          static_cast<double>(true_gamma_samples[n]);
+    }
+  }
+  metrics.mean_anxiety =
+      metrics.anxiety_samples > 0
+          ? anxiety_accumulator / static_cast<double>(metrics.anxiety_samples)
+          : 0.0;
+  metrics.mean_scheduler_ms =
+      metrics.slots_run > 0
+          ? scheduler_ms_total / static_cast<double>(metrics.slots_run)
+          : 0.0;
+  return metrics;
+}
+
+double PairedMetrics::energy_saving_ratio() const {
+  return without_lpvs.total_energy_mwh > 0.0
+             ? (without_lpvs.total_energy_mwh - with_lpvs.total_energy_mwh) /
+                   without_lpvs.total_energy_mwh
+             : 0.0;
+}
+
+double PairedMetrics::anxiety_reduction_ratio() const {
+  return without_lpvs.mean_anxiety > 0.0
+             ? (without_lpvs.mean_anxiety - with_lpvs.mean_anxiety) /
+                   without_lpvs.mean_anxiety
+             : 0.0;
+}
+
+PairedMetrics run_paired(const EmulatorConfig& config,
+                         const core::Scheduler& scheduler,
+                         const survey::AnxietyModel& anxiety) {
+  PairedMetrics paired;
+  Emulator with(config, scheduler, anxiety);
+  paired.with_lpvs = with.run();
+  const core::NoTransformScheduler baseline;
+  Emulator without(config, baseline, anxiety);
+  paired.without_lpvs = without.run();
+  return paired;
+}
+
+}  // namespace lpvs::emu

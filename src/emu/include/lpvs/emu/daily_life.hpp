@@ -1,0 +1,69 @@
+// Multi-day daily-life simulation (reproduction extension).
+//
+// The paper measures LBA within single watching sessions; the anxiety a
+// user actually lives with accumulates over days — sessions drain the
+// battery, idle hours drain it slowly, overnight (and opportunistic)
+// charging resets it.  This module simulates that daily rhythm at
+// minute granularity for a fleet of devices and integrates the anxiety
+// curve over time, so LPVS's effect can be reported in the unit that
+// matters long-run: *anxiety-minutes avoided per user per day*.
+//
+// The charging behavior reuses the survey module's behavioral model
+// (anxiety-threshold charging + opportunistic top-ups), closing the loop
+// between the survey and the emulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lpvs/battery/battery.hpp"
+#include "lpvs/display/display.hpp"
+#include "lpvs/media/video.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+#include "lpvs/survey/population.hpp"
+#include "lpvs/transform/transform.hpp"
+
+namespace lpvs::emu {
+
+struct DailyLifeConfig {
+  int users = 50;
+  int days = 7;
+  /// Mean viewing sessions per user per day (Poisson-ish via Bernoulli
+  /// per candidate hour).
+  double sessions_per_day = 2.5;
+  /// Session length: log-normal in minutes (median ~ exp(mu)).
+  double session_log_mean = 3.9;  ///< median ~ 50 minutes
+  double session_log_sigma = 0.6;
+  /// Idle (non-viewing) device drain.
+  double idle_mw = 28.0;
+  /// Whether LPVS transforms the streams (true) or not (false).
+  bool lpvs_enabled = true;
+  /// Fraction of sessions actually served by LPVS (capacity share).
+  double served_fraction = 1.0;
+  /// Probability per day of an opportunistic daytime top-up to 100%.
+  double opportunistic_charge_rate = 0.35;
+  std::uint64_t seed = 1;
+};
+
+struct DailyLifeReport {
+  /// Mean over users of integral phi(level(t)) dt, per day, in
+  /// anxiety-minutes.
+  double anxiety_minutes_per_day = 0.0;
+  /// Minutes per day spent at or below 20% battery (the warning zone).
+  double warning_zone_minutes_per_day = 0.0;
+  long sessions_started = 0;
+  long sessions_abandoned = 0;  ///< user hit their give-up level
+  double mean_viewing_minutes_per_day = 0.0;
+
+  double abandon_ratio() const {
+    return sessions_started > 0
+               ? static_cast<double>(sessions_abandoned) / sessions_started
+               : 0.0;
+  }
+};
+
+/// Runs the simulation; deterministic in the config seed.
+DailyLifeReport simulate_daily_life(const DailyLifeConfig& config,
+                                    const survey::AnxietyModel& anxiety);
+
+}  // namespace lpvs::emu

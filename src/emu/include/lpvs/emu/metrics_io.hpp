@@ -1,0 +1,21 @@
+// JSON export of emulation results (reproduction extension): serializes
+// RunMetrics / PairedMetrics / ReplayReport for external analysis and
+// plotting, via the dependency-free common::Json builder.
+#pragma once
+
+#include "lpvs/common/json.hpp"
+#include "lpvs/emu/emulator.hpp"
+#include "lpvs/emu/replay.hpp"
+
+namespace lpvs::emu {
+
+/// Full per-run record, including the per-device rows.
+common::Json to_json(const RunMetrics& metrics);
+
+/// Paired record with derived ratios.
+common::Json to_json(const PairedMetrics& paired);
+
+/// City replay record with per-cluster summaries.
+common::Json to_json(const ReplayReport& report);
+
+}  // namespace lpvs::emu

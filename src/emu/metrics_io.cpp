@@ -1,0 +1,63 @@
+#include "lpvs/emu/metrics_io.hpp"
+
+namespace lpvs::emu {
+
+common::Json to_json(const RunMetrics& metrics) {
+  common::Json root = common::Json::object();
+  root.set("total_energy_mwh", metrics.total_energy_mwh);
+  root.set("mean_anxiety", metrics.mean_anxiety);
+  root.set("mean_scheduler_ms", metrics.mean_scheduler_ms);
+  root.set("total_selected", static_cast<double>(metrics.total_selected));
+  root.set("slots_run", metrics.slots_run);
+  root.set("anxiety_samples",
+           static_cast<double>(metrics.anxiety_samples));
+  common::Json devices = common::Json::array();
+  for (std::size_t n = 0; n < metrics.tpv_minutes.size(); ++n) {
+    common::Json device = common::Json::object();
+    device.set("tpv_minutes", metrics.tpv_minutes[n]);
+    device.set("start_fraction", metrics.start_fractions[n]);
+    device.set("final_fraction", metrics.final_fractions[n]);
+    device.set("served", metrics.served[n] != 0);
+    device.set("gamma_estimate", metrics.last_gamma_estimate[n]);
+    device.set("true_gamma", metrics.mean_true_gamma[n]);
+    devices.push(std::move(device));
+  }
+  root.set("devices", std::move(devices));
+  return root;
+}
+
+common::Json to_json(const PairedMetrics& paired) {
+  common::Json root = common::Json::object();
+  root.set("energy_saving_ratio", paired.energy_saving_ratio());
+  root.set("anxiety_reduction_ratio", paired.anxiety_reduction_ratio());
+  root.set("with_lpvs", to_json(paired.with_lpvs));
+  root.set("without_lpvs", to_json(paired.without_lpvs));
+  return root;
+}
+
+common::Json to_json(const ReplayReport& report) {
+  common::Json root = common::Json::object();
+  root.set("energy_saving_ratio", report.energy_saving_ratio());
+  root.set("anxiety_reduction_ratio", report.anxiety_reduction_ratio());
+  root.set("energy_with_mwh", report.energy_with_mwh);
+  root.set("energy_without_mwh", report.energy_without_mwh);
+  root.set("total_devices", static_cast<double>(report.total_devices));
+  root.set("mean_scheduler_ms", report.mean_scheduler_ms);
+  common::Json clusters = common::Json::array();
+  for (const ClusterOutcome& outcome : report.clusters) {
+    common::Json cluster = common::Json::object();
+    cluster.set("channel", static_cast<double>(outcome.channel.value));
+    cluster.set("session", static_cast<double>(outcome.session.value));
+    cluster.set("group_size", outcome.group_size);
+    cluster.set("slots", outcome.slots);
+    cluster.set("energy_saving_ratio",
+                outcome.metrics.energy_saving_ratio());
+    cluster.set("anxiety_reduction_ratio",
+                outcome.metrics.anxiety_reduction_ratio());
+    clusters.push(std::move(cluster));
+  }
+  root.set("clusters", std::move(clusters));
+  return root;
+}
+
+}  // namespace lpvs::emu

@@ -1,0 +1,110 @@
+#include "lpvs/emu/replay.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lpvs/common/thread_pool.hpp"
+
+namespace lpvs::emu {
+
+double ReplayReport::anxiety_reduction_ratio() const {
+  double weighted = 0.0;
+  double weight = 0.0;
+  for (const ClusterOutcome& cluster : clusters) {
+    const double w = static_cast<double>(cluster.group_size);
+    weighted += w * cluster.metrics.anxiety_reduction_ratio();
+    weight += w;
+  }
+  return weight > 0.0 ? weighted / weight : 0.0;
+}
+
+double ReplayReport::mean_low_battery_tpv(bool with_lpvs) const {
+  double total = 0.0;
+  int counted = 0;
+  for (const ClusterOutcome& cluster : clusters) {
+    const double tpv =
+        with_lpvs
+            ? cluster.metrics.with_lpvs.mean_tpv(0.4, /*require_served=*/true)
+            : cluster.metrics.without_lpvs.mean_tpv(0.4, false);
+    if (tpv > 0.0) {
+      total += tpv;
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+ReplayReport replay_city(const trace::Trace& trace,
+                         const core::Scheduler& scheduler,
+                         const survey::AnxietyModel& anxiety,
+                         const ReplayConfig& config) {
+  ReplayReport report;
+
+  // Candidate clusters: live sessions with enough audience, biggest first.
+  std::vector<const trace::Session*> candidates;
+  for (const trace::Session* session :
+       trace.live_sessions(config.start_slot)) {
+    if (session->viewers_at(config.start_slot) >= config.min_viewers) {
+      candidates.push_back(session);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const trace::Session* a, const trace::Session* b) {
+              return a->viewers_at(config.start_slot) >
+                     b->viewers_at(config.start_slot);
+            });
+  if (config.max_clusters > 0 &&
+      candidates.size() > static_cast<std::size_t>(config.max_clusters)) {
+    candidates.resize(static_cast<std::size_t>(config.max_clusters));
+  }
+
+  // Per-cluster emulations are independent and individually seeded, so
+  // they can run on any number of threads with bit-identical results;
+  // outcomes land in pre-assigned slots to keep ordering deterministic.
+  std::vector<ClusterOutcome> outcomes(candidates.size());
+  auto run_one = [&](std::size_t i) {
+    const trace::Session* session = candidates[i];
+    ClusterOutcome outcome;
+    outcome.channel = session->channel;
+    outcome.session = session->id;
+    outcome.group_size = std::min(session->viewers_at(config.start_slot),
+                                  config.max_group_size);
+    outcome.slots = std::clamp(session->end_slot() - config.start_slot, 1,
+                               config.max_slots);
+
+    EmulatorConfig emu_config;
+    emu_config.group_size = outcome.group_size;
+    emu_config.slots = outcome.slots;
+    emu_config.compute_capacity = config.compute_capacity;
+    emu_config.lambda = config.lambda;
+    emu_config.enable_giveup = config.enable_giveup;
+    emu_config.seed =
+        config.seed ^ (static_cast<std::uint64_t>(session->id.value) << 20);
+    outcome.metrics = run_paired(emu_config, scheduler, anxiety);
+    outcomes[i] = std::move(outcome);
+  };
+
+  if (config.threads == 1 || candidates.size() <= 1) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) run_one(i);
+  } else {
+    common::ThreadPool pool(config.threads);
+    common::parallel_for(pool, candidates.size(), run_one);
+  }
+
+  double scheduler_ms = 0.0;
+  for (ClusterOutcome& outcome : outcomes) {
+    report.energy_with_mwh += outcome.metrics.with_lpvs.total_energy_mwh;
+    report.energy_without_mwh +=
+        outcome.metrics.without_lpvs.total_energy_mwh;
+    report.total_devices += outcome.group_size;
+    report.total_served_slots += outcome.metrics.with_lpvs.total_selected;
+    scheduler_ms += outcome.metrics.with_lpvs.mean_scheduler_ms;
+    report.clusters.push_back(std::move(outcome));
+  }
+  report.mean_scheduler_ms =
+      outcomes.empty() ? 0.0
+                       : scheduler_ms / static_cast<double>(outcomes.size());
+  return report;
+}
+
+}  // namespace lpvs::emu

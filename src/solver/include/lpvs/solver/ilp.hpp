@@ -1,0 +1,99 @@
+// 0/1 integer programming on top of the LP relaxation (lp.hpp).
+//
+// Phase-1 of the LPVS heuristic is a pure binary program: maximize the
+// total power saving subject to the two edge-capacity rows (6)(7), with the
+// compacted energy-feasibility constraint (11) acting as a per-device
+// eligibility filter.  The paper feeds this to CPLEX/Gurobi; we provide an
+// exact branch-and-bound over our own simplex, plus a greedy heuristic and
+// an exhaustive enumerator used as ground truth in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lpvs/solver/lp.hpp"
+
+namespace lpvs::solver {
+
+/// max c.x  s.t.  A x <= b,  x_j in {0,1},  x_j = 0 where !eligible[j].
+/// All row coefficients must be non-negative (true for capacity rows).
+struct BinaryProgram {
+  std::vector<double> objective;
+  std::vector<std::vector<double>> rows;
+  std::vector<double> rhs;
+  std::vector<std::uint8_t> eligible;  ///< empty means all eligible
+
+  std::size_t num_vars() const { return objective.size(); }
+  bool is_eligible(std::size_t j) const {
+    return eligible.empty() || eligible[j] != 0;
+  }
+  /// Feasibility of a concrete selection against all rows.
+  bool feasible(const std::vector<int>& x, double tol = 1e-9) const;
+  /// Objective value of a concrete selection.
+  double value(const std::vector<int>& x) const;
+};
+
+enum class IlpStatus {
+  kOptimal,
+  kFeasible,      ///< node limit hit; best incumbent returned
+  kInfeasible,    ///< no 0/1 point satisfies the rows (never happens when
+                  ///< all-zeros is feasible, i.e. rhs >= 0)
+  kMalformed,
+};
+
+std::string to_string(IlpStatus status);
+
+struct IlpSolution {
+  IlpStatus status = IlpStatus::kMalformed;
+  std::vector<int> x;
+  double objective = 0.0;
+  long nodes_explored = 0;
+
+  bool optimal() const { return status == IlpStatus::kOptimal; }
+};
+
+/// Exact branch-and-bound with LP bounding, depth-first, branch-up-first,
+/// most-fractional branching, greedy warm start.
+class BranchAndBoundSolver {
+ public:
+  struct Options {
+    long max_nodes = 500'000;
+    double tolerance = 1e-7;
+    /// Prune nodes whose bound is within this relative gap of the
+    /// incumbent.  0 gives a fully exact solve; schedulers use a small
+    /// positive gap (e.g. 1e-5) to avoid chasing ties through an
+    /// exponential frontier of equivalent optima.
+    double relative_gap = 0.0;
+    LpSolver::Options lp;
+  };
+
+  BranchAndBoundSolver() : BranchAndBoundSolver(Options{}) {}
+  explicit BranchAndBoundSolver(Options options) : options_(options) {}
+
+  IlpSolution solve(const BinaryProgram& problem) const;
+
+ private:
+  Options options_;
+};
+
+/// Density greedy: sorts by objective divided by the normalized sum of row
+/// costs, admits greedily.  The "cannot be optimal" baseline of SIII-C and
+/// the B&B warm start.
+class GreedySolver {
+ public:
+  IlpSolution solve(const BinaryProgram& problem) const;
+};
+
+/// Brute force over all 2^n selections; ground truth for n <= ~22.
+class ExhaustiveSolver {
+ public:
+  explicit ExhaustiveSolver(std::size_t max_vars = 22) : max_vars_(max_vars) {}
+
+  IlpSolution solve(const BinaryProgram& problem) const;
+
+ private:
+  std::size_t max_vars_;
+};
+
+}  // namespace lpvs::solver

@@ -1,0 +1,56 @@
+// Lagrangian relaxation for the two-row Phase-1 program (reproduction
+// extension).
+//
+// Phase-1 is max c.x s.t. r0.x <= b0 (compute), r1.x <= b1 (storage),
+// x binary.  Dualizing the storage row with multiplier mu >= 0 leaves a
+// *single-row* knapsack
+//     L(mu) = mu*b1 + max { (c - mu*r1).x : r0.x <= b0, x binary },
+// solvable exactly by the DP of knapsack.hpp; L(mu) upper-bounds the
+// optimum for every mu, and projected-subgradient descent on mu tightens
+// it.  Feasible incumbents come from the relaxed solutions themselves
+// (when they happen to satisfy the storage row) plus a density-based
+// repair.  This is the classic alternative to LP-based branch-and-bound
+// for multi-constrained knapsacks, included as an independent exact-bound
+// cross-check and as an ablation subject (bench_solver_compare).
+#pragma once
+
+#include "lpvs/solver/ilp.hpp"
+#include "lpvs/solver/knapsack.hpp"
+
+namespace lpvs::solver {
+
+struct LagrangianSolution {
+  IlpSolution incumbent;      ///< best feasible selection found
+  double upper_bound = 0.0;   ///< min over tried mu of L(mu)
+  double best_mu = 0.0;
+  int iterations = 0;
+
+  /// Relative duality gap of the incumbent (0 = provably optimal).
+  double gap() const {
+    return upper_bound > 0.0
+               ? (upper_bound - incumbent.objective) / upper_bound
+               : 0.0;
+  }
+};
+
+class LagrangianSolver {
+ public:
+  struct Options {
+    int iterations = 50;
+    /// Subgradient step scale (Polyak-style: step = scale * (L - best) /
+    /// ||g||^2).
+    double step_scale = 1.0;
+    KnapsackDpSolver::Options dp;
+  };
+
+  LagrangianSolver() : LagrangianSolver(Options{}) {}
+  explicit LagrangianSolver(Options options) : options_(options) {}
+
+  /// Requires exactly two rows; returns kMalformed otherwise.
+  LagrangianSolution solve(const BinaryProgram& problem) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace lpvs::solver

@@ -1,0 +1,151 @@
+#include "lpvs/solver/lagrangian.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace lpvs::solver {
+namespace {
+
+/// Drops selected items (lowest value per storage unit first) until the
+/// storage row is satisfied; the compute row is already feasible because
+/// the inner knapsack enforces it.
+void repair_storage(const BinaryProgram& problem, std::vector<int>& x) {
+  const auto& storage = problem.rows[1];
+  const double budget = problem.rhs[1];
+  double used = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (x[j]) used += storage[j];
+  }
+  if (used <= budget + 1e-9) return;
+  std::vector<std::size_t> selected;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (x[j]) selected.push_back(j);
+  }
+  std::sort(selected.begin(), selected.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double da =
+                  problem.objective[a] / std::max(storage[a], 1e-12);
+              const double db =
+                  problem.objective[b] / std::max(storage[b], 1e-12);
+              return da < db;  // worst storage-density first
+            });
+  for (std::size_t j : selected) {
+    if (used <= budget + 1e-9) break;
+    x[j] = 0;
+    used -= storage[j];
+  }
+}
+
+/// Exact optimum of the *fractional* single-row knapsack: greedy by value
+/// density with a fractional final item.  Upper-bounds the integer inner
+/// problem, so the dual value built from it is a valid bound on the
+/// original program (the round-up DP is NOT: its rounded weights shrink
+/// the inner feasible region).
+double fractional_knapsack_bound(const BinaryProgram& inner) {
+  const std::size_t n = inner.num_vars();
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!inner.is_eligible(j) || inner.objective[j] <= 0.0) continue;
+    order.push_back(j);
+  }
+  const auto& weights = inner.rows[0];
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return inner.objective[a] * std::max(weights[b], 1e-12) >
+           inner.objective[b] * std::max(weights[a], 1e-12);
+  });
+  double remaining = inner.rhs[0];
+  double bound = 0.0;
+  for (std::size_t j : order) {
+    const double w = weights[j];
+    if (w <= 1e-12) {
+      bound += inner.objective[j];  // weightless value is free
+      continue;
+    }
+    if (w <= remaining) {
+      bound += inner.objective[j];
+      remaining -= w;
+    } else {
+      bound += inner.objective[j] * remaining / w;
+      break;
+    }
+  }
+  return bound;
+}
+
+}  // namespace
+
+LagrangianSolution LagrangianSolver::solve(
+    const BinaryProgram& problem) const {
+  LagrangianSolution result;
+  if (problem.rows.size() != 2) {
+    result.incumbent.status = IlpStatus::kMalformed;
+    return result;
+  }
+  const std::size_t n = problem.num_vars();
+  const KnapsackDpSolver inner(options_.dp);
+
+  result.incumbent.x.assign(n, 0);
+  result.incumbent.objective = 0.0;
+  result.incumbent.status = IlpStatus::kFeasible;
+  result.upper_bound = std::numeric_limits<double>::infinity();
+
+  double mu = 0.0;
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    // Inner single-row knapsack with penalized values.
+    BinaryProgram relaxed;
+    relaxed.objective.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      relaxed.objective[j] = problem.objective[j] - mu * problem.rows[1][j];
+    }
+    relaxed.rows = {problem.rows[0]};
+    relaxed.rhs = {problem.rhs[0]};
+    relaxed.eligible = problem.eligible;
+    const IlpSolution relaxed_solution = inner.solve(relaxed);
+    if (relaxed_solution.status == IlpStatus::kMalformed) {
+      result.incumbent.status = IlpStatus::kMalformed;
+      return result;
+    }
+    ++result.iterations;
+
+    // Valid dual value: the fractional inner optimum dominates the integer
+    // one, so L_frac(mu) >= L(mu) >= OPT for every mu >= 0.
+    const double dual_value =
+        fractional_knapsack_bound(relaxed) + mu * problem.rhs[1];
+    if (dual_value < result.upper_bound) {
+      result.upper_bound = dual_value;
+      result.best_mu = mu;
+    }
+
+    // Feasibility + incumbent update (with repair for the storage row).
+    std::vector<int> candidate = relaxed_solution.x;
+    repair_storage(problem, candidate);
+    if (problem.feasible(candidate)) {
+      const double value = problem.value(candidate);
+      if (value > result.incumbent.objective) {
+        result.incumbent.objective = value;
+        result.incumbent.x = candidate;
+      }
+    }
+
+    // Projected subgradient step on mu: g = r1.x* - b1 (violation).
+    double storage_used = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (relaxed_solution.x[j]) storage_used += problem.rows[1][j];
+    }
+    const double g = storage_used - problem.rhs[1];
+    if (std::fabs(g) < 1e-12) break;  // storage row tight: done
+    const double step =
+        options_.step_scale *
+        std::max(result.upper_bound - result.incumbent.objective, 1e-6) /
+        (g * g);
+    mu = std::max(0.0, mu + step * g);
+  }
+  result.incumbent.nodes_explored = result.iterations;
+  return result;
+}
+
+}  // namespace lpvs::solver

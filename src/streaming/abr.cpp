@@ -1,0 +1,112 @@
+#include "lpvs/streaming/abr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace lpvs::streaming {
+
+std::size_t RateBasedAbr::pick_rung(std::span<const double> ladder,
+                                    double buffer_s,
+                                    double throughput_estimate_mbps) {
+  (void)buffer_s;
+  assert(!ladder.empty());
+  const double budget = safety_ * throughput_estimate_mbps;
+  std::size_t rung = 0;
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    if (ladder[i] <= budget) rung = i;
+  }
+  return rung;
+}
+
+std::size_t BufferBasedAbr::pick_rung(std::span<const double> ladder,
+                                      double buffer_s,
+                                      double throughput_estimate_mbps) {
+  (void)throughput_estimate_mbps;
+  assert(!ladder.empty());
+  if (buffer_s <= reservoir_s_) return 0;
+  if (buffer_s >= cushion_s_) return ladder.size() - 1;
+  const double t =
+      (buffer_s - reservoir_s_) / (cushion_s_ - reservoir_s_);
+  return static_cast<std::size_t>(t * static_cast<double>(ladder.size() - 1) +
+                                  0.5);
+}
+
+StreamingSession::StreamingSession(Config config)
+    : config_(std::move(config)) {
+  assert(!config_.ladder_mbps.empty());
+  assert(std::is_sorted(config_.ladder_mbps.begin(),
+                        config_.ladder_mbps.end()));
+  assert(config_.chunk_seconds > 0.0);
+}
+
+SessionQoe StreamingSession::run(ThroughputModel& network,
+                                 AbrController& abr,
+                                 common::Rng& rng) const {
+  SessionQoe qoe;
+  double buffer_s = 0.0;
+  bool playing = false;
+  std::deque<double> recent_rates;  // for the harmonic-mean estimate
+  double bitrate_sum = 0.0;
+  std::size_t previous_rung = 0;
+  bool have_previous = false;
+  bool was_starved = false;
+
+  for (int k = 0; k < config_.chunk_count; ++k) {
+    // Throughput estimate: harmonic mean of the last five downloads
+    // (robust to outliers, the standard choice).
+    double estimate = 0.0;
+    if (!recent_rates.empty()) {
+      double inv_sum = 0.0;
+      for (double r : recent_rates) inv_sum += 1.0 / r;
+      estimate = static_cast<double>(recent_rates.size()) / inv_sum;
+    }
+
+    const std::size_t rung =
+        abr.pick_rung(config_.ladder_mbps, buffer_s, estimate);
+    const double bitrate = config_.ladder_mbps[rung];
+    if (have_previous && rung != previous_rung) ++qoe.bitrate_switches;
+    previous_rung = rung;
+    have_previous = true;
+
+    const double throughput = network.sample_mbps(rng);
+    double download_s = bitrate * config_.chunk_seconds / throughput;
+    // A scheduler that blocks chunk delivery while it solves adds its
+    // runtime as a stall at every scheduling point; the paper's
+    // one-slot-ahead mode sets this to zero.
+    if (config_.scheduling_stall_s > 0.0 && k > 0 &&
+        k % config_.stall_period_chunks == 0) {
+      download_s += config_.scheduling_stall_s;
+    }
+
+    recent_rates.push_back(throughput);
+    if (recent_rates.size() > 5) recent_rates.pop_front();
+
+    if (!playing) {
+      qoe.startup_delay_s += download_s;
+      buffer_s += config_.chunk_seconds;
+      if (buffer_s >= config_.startup_threshold_s) playing = true;
+    } else {
+      // Playback drains the buffer while the chunk downloads.
+      if (buffer_s >= download_s) {
+        buffer_s -= download_s;
+        was_starved = false;
+      } else {
+        qoe.rebuffer_time_s += download_s - buffer_s;
+        if (!was_starved) ++qoe.rebuffer_events;  // a new freezing episode
+        was_starved = true;
+        buffer_s = 0.0;
+      }
+      buffer_s = std::min(buffer_s + config_.chunk_seconds,
+                          config_.buffer_capacity_s);
+    }
+
+    bitrate_sum += bitrate;
+    ++qoe.chunks_played;
+  }
+  qoe.mean_bitrate_mbps =
+      qoe.chunks_played > 0 ? bitrate_sum / qoe.chunks_played : 0.0;
+  return qoe;
+}
+
+}  // namespace lpvs::streaming

@@ -1,0 +1,142 @@
+#include "lpvs/streaming/cache_policy.hpp"
+
+#include <cassert>
+
+namespace lpvs::streaming {
+namespace {
+
+std::uint64_t chunk_key(common::VideoId video, common::ChunkId chunk) {
+  return (static_cast<std::uint64_t>(video.value) << 32) | chunk.value;
+}
+
+double chunk_size_mb(const media::VideoChunk& chunk) {
+  return chunk.bitrate_mbps * chunk.duration.value / 8.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- LRU --
+
+LruChunkCache::LruChunkCache(double capacity_mb)
+    : capacity_mb_(capacity_mb) {
+  assert(capacity_mb > 0.0);
+}
+
+bool LruChunkCache::lookup(common::VideoId video, common::ChunkId chunk) {
+  const auto it = index_.find(chunk_key(video, chunk));
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return true;
+}
+
+bool LruChunkCache::contains(common::VideoId video,
+                             common::ChunkId chunk) const {
+  return index_.contains(chunk_key(video, chunk));
+}
+
+bool LruChunkCache::insert(common::VideoId video,
+                           const media::VideoChunk& chunk) {
+  const std::uint64_t key = chunk_key(video, chunk.id);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  const double size = chunk_size_mb(chunk);
+  if (size > capacity_mb_) return false;
+  while (used_mb_ + size > capacity_mb_) evict_one();
+  lru_.push_front(Entry{key, size});
+  index_[key] = lru_.begin();
+  used_mb_ += size;
+  return true;
+}
+
+void LruChunkCache::evict_one() {
+  assert(!lru_.empty());
+  const Entry& victim = lru_.back();
+  used_mb_ -= victim.size_mb;
+  index_.erase(victim.key);
+  lru_.pop_back();
+  ++stats_.evictions;
+}
+
+// ---------------------------------------------------------------- LFU --
+
+LfuChunkCache::LfuChunkCache(double capacity_mb)
+    : capacity_mb_(capacity_mb) {
+  assert(capacity_mb > 0.0);
+}
+
+bool LfuChunkCache::lookup(common::VideoId video, common::ChunkId chunk) {
+  const auto it = index_.find(chunk_key(video, chunk));
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  bump(it->second.bucket, it->second.entry);
+  ++stats_.hits;
+  return true;
+}
+
+bool LfuChunkCache::contains(common::VideoId video,
+                             common::ChunkId chunk) const {
+  return index_.contains(chunk_key(video, chunk));
+}
+
+bool LfuChunkCache::insert(common::VideoId video,
+                           const media::VideoChunk& chunk) {
+  const std::uint64_t key = chunk_key(video, chunk.id);
+  if (index_.contains(key)) return true;
+  const double size = chunk_size_mb(chunk);
+  if (size > capacity_mb_) return false;
+  while (used_mb_ + size > capacity_mb_) evict_one();
+  auto [bucket_it, inserted] = buckets_.try_emplace(1);
+  (void)inserted;
+  bucket_it->second.push_front(Entry{key, size, 1});
+  index_[key] = Locator{bucket_it, bucket_it->second.begin()};
+  used_mb_ += size;
+  return true;
+}
+
+long LfuChunkCache::frequency(common::VideoId video,
+                              common::ChunkId chunk) const {
+  const auto it = index_.find(chunk_key(video, chunk));
+  return it == index_.end() ? 0 : it->second.entry->frequency;
+}
+
+void LfuChunkCache::bump(std::map<long, Bucket>::iterator bucket_it,
+                         Bucket::iterator entry_it) {
+  Entry entry = *entry_it;
+  ++entry.frequency;
+  bucket_it->second.erase(entry_it);
+  auto next_it = buckets_.try_emplace(entry.frequency).first;
+  next_it->second.push_front(entry);
+  if (bucket_it->second.empty()) buckets_.erase(bucket_it);
+  index_[entry.key] = Locator{next_it, next_it->second.begin()};
+}
+
+void LfuChunkCache::evict_one() {
+  assert(!buckets_.empty());
+  // Lowest frequency bucket, least recently used inside it (back).
+  const auto bucket_it = buckets_.begin();
+  Bucket& bucket = bucket_it->second;
+  assert(!bucket.empty());
+  const Entry victim = bucket.back();
+  bucket.pop_back();
+  index_.erase(victim.key);
+  used_mb_ -= victim.size_mb;
+  if (bucket.empty()) buckets_.erase(bucket_it);
+  ++stats_.evictions;
+}
+
+std::unique_ptr<ChunkCache> make_cache(const std::string& policy,
+                                       double capacity_mb) {
+  if (policy == "lru") return std::make_unique<LruChunkCache>(capacity_mb);
+  if (policy == "lfu") return std::make_unique<LfuChunkCache>(capacity_mb);
+  return nullptr;
+}
+
+}  // namespace lpvs::streaming

@@ -1,0 +1,80 @@
+#include "lpvs/streaming/encoder_farm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lpvs::streaming {
+
+EncoderFarm::EncoderFarm(int workers) : workers_(workers) {
+  assert(workers > 0);
+}
+
+FarmReport EncoderFarm::run(std::vector<TransformJob> jobs) const {
+  FarmReport report;
+  if (jobs.empty()) return report;
+  // FIFO dispatch: process in arrival order; each job takes the earliest
+  // available worker.  A min-heap over worker free times is the classic
+  // event-driven formulation of an M-worker FIFO queue.
+  std::sort(jobs.begin(), jobs.end(),
+            [](const TransformJob& a, const TransformJob& b) {
+              return a.arrival_s < b.arrival_s;
+            });
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (int w = 0; w < workers_; ++w) free_at.push(0.0);
+
+  double total_delay = 0.0;
+  double busy_seconds = 0.0;
+  double last_finish = 0.0;
+  const double first_arrival = jobs.front().arrival_s;
+  for (const TransformJob& job : jobs) {
+    const double worker_free = free_at.top();
+    free_at.pop();
+    const double start = std::max(job.arrival_s, worker_free);
+    const double finish = start + job.service_s;
+    free_at.push(finish);
+
+    const double delay = start - job.arrival_s;
+    total_delay += delay;
+    report.max_queue_delay_s = std::max(report.max_queue_delay_s, delay);
+    busy_seconds += job.service_s;
+    last_finish = std::max(last_finish, finish);
+    ++report.jobs_completed;
+    if (finish > job.deadline_s) ++report.jobs_missed_deadline;
+  }
+  report.mean_queue_delay_s =
+      total_delay / static_cast<double>(report.jobs_completed);
+  report.makespan_s = std::max(last_finish - first_arrival, 1e-12);
+  report.mean_utilization =
+      busy_seconds / (static_cast<double>(workers_) * report.makespan_s);
+  return report;
+}
+
+std::vector<TransformJob> slot_jobs(std::span<const double> compute_costs,
+                                    int chunks_per_slot, double chunk_seconds,
+                                    double worker_units,
+                                    double deadline_slack_chunks) {
+  assert(worker_units > 0.0);
+  std::vector<TransformJob> jobs;
+  jobs.reserve(compute_costs.size() *
+               static_cast<std::size_t>(chunks_per_slot));
+  for (std::size_t n = 0; n < compute_costs.size(); ++n) {
+    // A device costing `c` compute units needs c/worker_units worker-
+    // seconds per second of video: transforming one chunk of s seconds
+    // takes s * c / worker_units wall seconds on one worker.
+    const double service =
+        chunk_seconds * compute_costs[n] / worker_units;
+    for (int k = 0; k < chunks_per_slot; ++k) {
+      TransformJob job;
+      job.device = static_cast<std::uint32_t>(n);
+      job.chunk = static_cast<std::uint32_t>(k);
+      job.arrival_s = static_cast<double>(k) * chunk_seconds;
+      job.service_s = service;
+      job.deadline_s =
+          job.arrival_s + deadline_slack_chunks * chunk_seconds;
+      jobs.push_back(job);
+    }
+  }
+  return jobs;
+}
+
+}  // namespace lpvs::streaming

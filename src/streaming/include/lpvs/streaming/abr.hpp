@@ -1,0 +1,114 @@
+// Client-side adaptive-bitrate streaming session (reproduction extension).
+//
+// Models what happens on the phone between the edge and the screen: a
+// playout buffer, chunk downloads over the stochastic last hop
+// (network.hpp), an ABR controller choosing the ladder rung, and the QoE
+// accounting (startup delay, rebuffering time/frequency, bitrate,
+// switches) that SVII-D says LPVS must not degrade.  The session can
+// inject a per-slot "scheduling stall" — the delay a *naive inline*
+// scheduler would add at every scheduling point — so the one-slot-ahead
+// design's QoE neutrality can be demonstrated quantitatively
+// (bench_qoe_overhead).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/streaming/network.hpp"
+
+namespace lpvs::streaming {
+
+/// Per-session quality-of-experience record.
+struct SessionQoe {
+  double startup_delay_s = 0.0;
+  double rebuffer_time_s = 0.0;   ///< total video freezing time
+  int rebuffer_events = 0;        ///< freezing frequency
+  double mean_bitrate_mbps = 0.0;
+  int bitrate_switches = 0;
+  int chunks_played = 0;
+
+  /// Standard linear QoE: bitrate reward minus rebuffering and switching
+  /// penalties (the common MPC/Pensieve-style objective).
+  double score(double rebuffer_penalty = 4.3,
+               double switch_penalty = 0.5) const {
+    return mean_bitrate_mbps - rebuffer_penalty * rebuffer_time_s /
+                                   std::max(chunks_played, 1) * 10.0 -
+           switch_penalty * bitrate_switches /
+               static_cast<double>(std::max(chunks_played, 1));
+  }
+};
+
+/// ABR policy interface: choose a ladder rung for the next chunk.
+class AbrController {
+ public:
+  virtual ~AbrController() = default;
+  virtual std::string name() const = 0;
+  /// `ladder` ascending bitrates; returns an index into it.
+  virtual std::size_t pick_rung(std::span<const double> ladder,
+                                double buffer_s,
+                                double throughput_estimate_mbps) = 0;
+};
+
+/// Rate-based: highest rung under a safety factor of the estimated
+/// throughput (harmonic mean of recent downloads).
+class RateBasedAbr : public AbrController {
+ public:
+  explicit RateBasedAbr(double safety = 0.85) : safety_(safety) {}
+  std::string name() const override { return "rate-based"; }
+  std::size_t pick_rung(std::span<const double> ladder, double buffer_s,
+                        double throughput_estimate_mbps) override;
+
+ private:
+  double safety_;
+};
+
+/// Buffer-based (BBA-style): rung is a linear function of buffer level
+/// between a reservoir and a cushion, ignoring throughput except at start.
+class BufferBasedAbr : public AbrController {
+ public:
+  BufferBasedAbr(double reservoir_s = 8.0, double cushion_s = 40.0)
+      : reservoir_s_(reservoir_s), cushion_s_(cushion_s) {}
+  std::string name() const override { return "buffer-based"; }
+  std::size_t pick_rung(std::span<const double> ladder, double buffer_s,
+                        double throughput_estimate_mbps) override;
+
+ private:
+  double reservoir_s_;
+  double cushion_s_;
+};
+
+/// One viewer's streaming session simulation.
+class StreamingSession {
+ public:
+  struct Config {
+    std::vector<double> ladder_mbps = {1.0, 1.8, 2.5, 3.5, 5.0};
+    double chunk_seconds = 10.0;
+    int chunk_count = 180;          ///< 30 minutes
+    double buffer_capacity_s = 60.0;
+    double startup_threshold_s = 10.0;  ///< buffer needed to start playing
+    /// Extra delivery stall injected every `stall_period_chunks` chunks —
+    /// models a scheduler that blocks the pipeline at scheduling points
+    /// (0 = the paper's one-slot-ahead design).
+    double scheduling_stall_s = 0.0;
+    int stall_period_chunks = 30;   ///< one 5-minute slot of 10 s chunks
+  };
+
+  StreamingSession() : StreamingSession(Config{}) {}
+  explicit StreamingSession(Config config);
+
+  /// Runs the whole session; deterministic in (rng state, model state).
+  SessionQoe run(ThroughputModel& network, AbrController& abr,
+                 common::Rng& rng) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace lpvs::streaming

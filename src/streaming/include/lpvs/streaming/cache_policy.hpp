@@ -1,0 +1,134 @@
+// Cache replacement policies for the edge chunk store (reproduction
+// extension).  SIV-A notes that "depending on different caching strategies
+// [32], the edge server might not have the whole video chunks" — chunk
+// availability, and therefore what LPVS can price and transform, depends
+// on the replacement policy.  This header generalizes the LRU cache of
+// streaming.hpp behind a common interface, adds an LFU variant and
+// hit/miss accounting, so the policies can be compared under the trace's
+// Zipf-skewed demand (bench_cache_policies).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "lpvs/common/units.hpp"
+#include "lpvs/media/video.hpp"
+
+namespace lpvs::streaming {
+
+/// Hit/miss counters shared by all policies.
+struct CacheStats {
+  long hits = 0;
+  long misses = 0;
+  long evictions = 0;
+
+  double hit_ratio() const {
+    const long total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+/// Byte-budgeted chunk cache interface.
+class ChunkCache {
+ public:
+  virtual ~ChunkCache() = default;
+
+  virtual std::string policy_name() const = 0;
+
+  /// Looks a chunk up, updating recency/frequency and the hit counters.
+  virtual bool lookup(common::VideoId video, common::ChunkId chunk) = 0;
+
+  /// Presence test without side effects.
+  virtual bool contains(common::VideoId video,
+                        common::ChunkId chunk) const = 0;
+
+  /// Inserts (no-op if present); returns false if the chunk alone exceeds
+  /// the cache.
+  virtual bool insert(common::VideoId video,
+                      const media::VideoChunk& chunk) = 0;
+
+  virtual double used_mb() const = 0;
+  virtual double capacity_mb() const = 0;
+  virtual const CacheStats& stats() const = 0;
+};
+
+/// Least-recently-used replacement.
+class LruChunkCache : public ChunkCache {
+ public:
+  explicit LruChunkCache(double capacity_mb);
+
+  std::string policy_name() const override { return "lru"; }
+  bool lookup(common::VideoId video, common::ChunkId chunk) override;
+  bool contains(common::VideoId video,
+                common::ChunkId chunk) const override;
+  bool insert(common::VideoId video, const media::VideoChunk& chunk) override;
+  double used_mb() const override { return used_mb_; }
+  double capacity_mb() const override { return capacity_mb_; }
+  const CacheStats& stats() const override { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    double size_mb;
+  };
+
+  void evict_one();
+
+  double capacity_mb_;
+  double used_mb_ = 0.0;
+  CacheStats stats_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+/// Least-frequently-used replacement with recency tie-breaking (classic
+/// frequency-list O(1) LFU).
+class LfuChunkCache : public ChunkCache {
+ public:
+  explicit LfuChunkCache(double capacity_mb);
+
+  std::string policy_name() const override { return "lfu"; }
+  bool lookup(common::VideoId video, common::ChunkId chunk) override;
+  bool contains(common::VideoId video,
+                common::ChunkId chunk) const override;
+  bool insert(common::VideoId video, const media::VideoChunk& chunk) override;
+  double used_mb() const override { return used_mb_; }
+  double capacity_mb() const override { return capacity_mb_; }
+  const CacheStats& stats() const override { return stats_; }
+
+  /// Access frequency of a resident chunk (0 if absent); for tests.
+  long frequency(common::VideoId video, common::ChunkId chunk) const;
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    double size_mb;
+    long frequency;
+  };
+  // frequency -> LRU list of entries at that frequency (front = newest).
+  using Bucket = std::list<Entry>;
+
+  void evict_one();
+  void bump(std::map<long, Bucket>::iterator bucket_it,
+            Bucket::iterator entry_it);
+
+  double capacity_mb_;
+  double used_mb_ = 0.0;
+  CacheStats stats_;
+  std::map<long, Bucket> buckets_;
+  struct Locator {
+    std::map<long, Bucket>::iterator bucket;
+    Bucket::iterator entry;
+  };
+  std::unordered_map<std::uint64_t, Locator> index_;
+};
+
+/// Factory by name ("lru" / "lfu"); nullptr for unknown names.
+std::unique_ptr<ChunkCache> make_cache(const std::string& policy,
+                                       double capacity_mb);
+
+}  // namespace lpvs::streaming

@@ -1,0 +1,48 @@
+// Wireless last-hop throughput model (reproduction extension).
+//
+// The paper's QoE discussion (SVII-D) argues LPVS's "one-slot-ahead"
+// scheduling keeps it off the chunk delivery path, so freezing time and
+// frequency are untouched.  Testing that claim requires a client-side
+// streaming model, which in turn needs a link: this module provides a
+// two-state Gilbert-Elliott-style channel — a good state and a degraded
+// state with log-normal throughput in each — the standard simple model for
+// cellular/WiFi variability.
+#pragma once
+
+#include <cstdint>
+
+#include "lpvs/common/rng.hpp"
+
+namespace lpvs::streaming {
+
+/// Stateful per-device throughput process; sample once per download.
+class ThroughputModel {
+ public:
+  struct Config {
+    double good_mbps_median = 18.0;  ///< median throughput, good state
+    double bad_mbps_median = 2.5;    ///< median throughput, degraded state
+    double log_sigma = 0.35;         ///< lognormal spread within a state
+    double p_good_to_bad = 0.06;     ///< per-sample transition probability
+    double p_bad_to_good = 0.25;
+  };
+
+  ThroughputModel() : ThroughputModel(Config{}) {}
+  explicit ThroughputModel(Config config) : config_(config) {}
+
+  /// Draws the throughput (Mbps) for the next download, advancing the
+  /// channel state.
+  double sample_mbps(common::Rng& rng);
+
+  bool in_good_state() const { return good_; }
+  const Config& config() const { return config_; }
+
+  /// Long-run fraction of time in the good state (stationary distribution
+  /// of the two-state chain).
+  double stationary_good_fraction() const;
+
+ private:
+  Config config_;
+  bool good_ = true;
+};
+
+}  // namespace lpvs::streaming

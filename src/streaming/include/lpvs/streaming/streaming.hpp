@@ -1,0 +1,163 @@
+// Streaming substrate (SIV-A, SIV-D): CDN catalog, edge chunk cache with
+// prefetch, chunk availability per user request, and edge-server transform
+// capacity.
+//
+// The paper's architecture: CDN servers at the PoP hold full videos; an
+// edge server co-located with the base station prefetches chunks according
+// to a caching strategy (which "provides underlying support for and is
+// independent of LPVS"); mobile devices in the base station's coverage form
+// a virtual cluster (VC) that shares the edge server.  At a scheduling
+// point only the chunks already at the edge count as available for power
+// estimation — user 2/3 in Fig. 4 have partial windows.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lpvs/common/units.hpp"
+#include "lpvs/media/video.hpp"
+#include "lpvs/transform/transform.hpp"
+
+namespace lpvs::streaming {
+
+/// The paper's d_n(t) = <VID, CID_1, ..., CID_Km>: what device n will play
+/// during slot t, restricted to the chunks available at the edge.
+struct ChunkRequest {
+  common::VideoId video;
+  std::vector<common::ChunkId> chunks;
+
+  bool empty() const { return chunks.empty(); }
+  std::size_t chunk_count() const { return chunks.size(); }
+};
+
+/// CDN Point-of-Presence: authoritative store of whole videos.
+class CdnServer {
+ public:
+  void publish(media::Video video);
+
+  const media::Video* find(common::VideoId id) const;
+  std::size_t catalog_size() const { return catalog_.size(); }
+
+  /// All chunk ids of a video (what a cache may prefetch).
+  std::vector<common::ChunkId> chunk_ids(common::VideoId id) const;
+
+ private:
+  std::unordered_map<std::uint32_t, media::Video> catalog_;
+};
+
+/// Byte-budgeted LRU chunk cache at the edge.
+class EdgeCache {
+ public:
+  explicit EdgeCache(double capacity_mb);
+
+  /// Inserts a chunk (evicting LRU entries if needed).  Returns false when
+  /// the chunk alone exceeds the whole cache.
+  bool insert(common::VideoId video, const media::VideoChunk& chunk);
+
+  bool contains(common::VideoId video, common::ChunkId chunk) const;
+
+  /// Marks a hit (refreshes recency); returns whether it was present.
+  bool touch(common::VideoId video, common::ChunkId chunk);
+
+  double used_mb() const { return used_mb_; }
+  double capacity_mb() const { return capacity_mb_; }
+  std::size_t entries() const { return lru_.size(); }
+  std::size_t evictions() const { return evictions_; }
+
+ private:
+  struct Key {
+    std::uint32_t video;
+    std::uint32_t chunk;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.video) << 32) | k.chunk);
+    }
+  };
+  struct Entry {
+    Key key;
+    double size_mb;
+  };
+
+  void evict_one();
+
+  double capacity_mb_;
+  double used_mb_ = 0.0;
+  std::size_t evictions_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+};
+
+/// Simple look-ahead prefetcher: pulls the next `window` chunks of every
+/// video that has active viewers into the edge cache (the "content delivery
+/// strategy between the edge servers and the CDN servers" of SIV-A).
+class Prefetcher {
+ public:
+  explicit Prefetcher(int window = 30) : window_(window) {}
+
+  /// Prefetches up to `window_` chunks of `video` starting at
+  /// `next_chunk_index` from the CDN into the cache; returns how many
+  /// chunks were newly inserted.
+  int prefetch(const CdnServer& cdn, EdgeCache& cache, common::VideoId video,
+               std::size_t next_chunk_index) const;
+
+  int window() const { return window_; }
+
+ private:
+  int window_;
+};
+
+/// Builds device n's slot request from what is actually cached: the video's
+/// next chunks starting at `next_chunk_index`, truncated at the first gap
+/// (playback cannot skip a missing chunk).
+ChunkRequest available_request(const CdnServer& cdn, const EdgeCache& cache,
+                               common::VideoId video,
+                               std::size_t next_chunk_index,
+                               std::size_t max_chunks);
+
+/// Edge server transform capacity (SIV-D): extra compute units C and
+/// staging storage S available for video transforming, with the admission
+/// arithmetic of constraints (6) and (7).
+class EdgeServer {
+ public:
+  struct Capacity {
+    /// One unit = one real-time 1080p30 transform stream; the Nokia
+    /// AirFrame-class box handles ~100 concurrent device streams (SVI-B),
+    /// i.e. ~45 units under transform::ResourceModel's 0.45 units/stream.
+    double compute_units = 45.0;
+    double storage_mb = 32.0 * 1024.0;
+  };
+
+  EdgeServer() : EdgeServer(Capacity{}) {}
+  explicit EdgeServer(Capacity capacity,
+                      transform::ResourceModel resource_model = {});
+
+  const Capacity& capacity() const { return capacity_; }
+  const transform::ResourceModel& resource_model() const {
+    return resource_model_;
+  }
+
+  /// g(d_n(t)) for one request (depends on the requesting display).
+  double compute_cost(const display::DisplaySpec& spec,
+                      const media::Video& video) const;
+  /// h(d_n(t)) for one request.
+  double storage_cost(const media::Video& video) const;
+
+  /// Checks constraints (6) and (7) for a candidate selection, given
+  /// per-device costs.
+  static bool feasible(const std::vector<int>& selection,
+                       const std::vector<double>& compute_costs,
+                       const std::vector<double>& storage_costs,
+                       double compute_capacity, double storage_capacity);
+
+ private:
+  Capacity capacity_;
+  transform::ResourceModel resource_model_;
+};
+
+}  // namespace lpvs::streaming

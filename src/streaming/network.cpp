@@ -1,0 +1,26 @@
+#include "lpvs/streaming/network.hpp"
+
+#include <cmath>
+
+namespace lpvs::streaming {
+
+double ThroughputModel::sample_mbps(common::Rng& rng) {
+  // State transition first, then a draw from the new state's law.
+  if (good_) {
+    if (rng.bernoulli(config_.p_good_to_bad)) good_ = false;
+  } else {
+    if (rng.bernoulli(config_.p_bad_to_good)) good_ = true;
+  }
+  const double median =
+      good_ ? config_.good_mbps_median : config_.bad_mbps_median;
+  return median * std::exp(rng.normal(0.0, config_.log_sigma));
+}
+
+double ThroughputModel::stationary_good_fraction() const {
+  const double to_bad = config_.p_good_to_bad;
+  const double to_good = config_.p_bad_to_good;
+  const double denom = to_bad + to_good;
+  return denom > 0.0 ? to_good / denom : 1.0;
+}
+
+}  // namespace lpvs::streaming

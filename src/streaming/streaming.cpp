@@ -1,0 +1,134 @@
+#include "lpvs/streaming/streaming.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace lpvs::streaming {
+
+void CdnServer::publish(media::Video video) {
+  const std::uint32_t key = video.id.value;
+  catalog_.insert_or_assign(key, std::move(video));
+}
+
+const media::Video* CdnServer::find(common::VideoId id) const {
+  const auto it = catalog_.find(id.value);
+  return it == catalog_.end() ? nullptr : &it->second;
+}
+
+std::vector<common::ChunkId> CdnServer::chunk_ids(common::VideoId id) const {
+  std::vector<common::ChunkId> ids;
+  if (const media::Video* video = find(id)) {
+    ids.reserve(video->chunks.size());
+    for (const media::VideoChunk& chunk : video->chunks) {
+      ids.push_back(chunk.id);
+    }
+  }
+  return ids;
+}
+
+EdgeCache::EdgeCache(double capacity_mb) : capacity_mb_(capacity_mb) {
+  assert(capacity_mb > 0.0);
+}
+
+bool EdgeCache::insert(common::VideoId video, const media::VideoChunk& chunk) {
+  const Key key{video.value, chunk.id.value};
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Already cached: refresh recency only.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  const double size_mb = chunk.bitrate_mbps * chunk.duration.value / 8.0;
+  if (size_mb > capacity_mb_) return false;
+  while (used_mb_ + size_mb > capacity_mb_) evict_one();
+  lru_.push_front(Entry{key, size_mb});
+  index_[key] = lru_.begin();
+  used_mb_ += size_mb;
+  return true;
+}
+
+void EdgeCache::evict_one() {
+  assert(!lru_.empty());
+  const Entry& victim = lru_.back();
+  used_mb_ -= victim.size_mb;
+  index_.erase(victim.key);
+  lru_.pop_back();
+  ++evictions_;
+}
+
+bool EdgeCache::contains(common::VideoId video, common::ChunkId chunk) const {
+  return index_.contains(Key{video.value, chunk.value});
+}
+
+bool EdgeCache::touch(common::VideoId video, common::ChunkId chunk) {
+  const auto it = index_.find(Key{video.value, chunk.value});
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+int Prefetcher::prefetch(const CdnServer& cdn, EdgeCache& cache,
+                         common::VideoId video,
+                         std::size_t next_chunk_index) const {
+  const media::Video* source = cdn.find(video);
+  if (source == nullptr) return 0;
+  int inserted = 0;
+  const std::size_t end = std::min(
+      source->chunks.size(), next_chunk_index + static_cast<std::size_t>(
+                                                     std::max(window_, 0)));
+  for (std::size_t k = next_chunk_index; k < end; ++k) {
+    if (cache.contains(video, source->chunks[k].id)) continue;
+    if (cache.insert(video, source->chunks[k])) ++inserted;
+  }
+  return inserted;
+}
+
+ChunkRequest available_request(const CdnServer& cdn, const EdgeCache& cache,
+                               common::VideoId video,
+                               std::size_t next_chunk_index,
+                               std::size_t max_chunks) {
+  ChunkRequest request;
+  request.video = video;
+  const media::Video* source = cdn.find(video);
+  if (source == nullptr) return request;
+  const std::size_t end =
+      std::min(source->chunks.size(), next_chunk_index + max_chunks);
+  for (std::size_t k = next_chunk_index; k < end; ++k) {
+    if (!cache.contains(video, source->chunks[k].id)) break;  // first gap
+    request.chunks.push_back(source->chunks[k].id);
+  }
+  return request;
+}
+
+EdgeServer::EdgeServer(Capacity capacity,
+                       transform::ResourceModel resource_model)
+    : capacity_(capacity), resource_model_(resource_model) {}
+
+double EdgeServer::compute_cost(const display::DisplaySpec& spec,
+                                const media::Video& video) const {
+  return resource_model_.compute_cost(spec, video);
+}
+
+double EdgeServer::storage_cost(const media::Video& video) const {
+  return resource_model_.storage_cost(video);
+}
+
+bool EdgeServer::feasible(const std::vector<int>& selection,
+                          const std::vector<double>& compute_costs,
+                          const std::vector<double>& storage_costs,
+                          double compute_capacity, double storage_capacity) {
+  assert(selection.size() == compute_costs.size());
+  assert(selection.size() == storage_costs.size());
+  double compute = 0.0;
+  double storage = 0.0;
+  for (std::size_t n = 0; n < selection.size(); ++n) {
+    if (selection[n] == 0) continue;
+    compute += compute_costs[n];
+    storage += storage_costs[n];
+  }
+  constexpr double kSlack = 1e-9;
+  return compute <= compute_capacity + kSlack &&
+         storage <= storage_capacity + kSlack;
+}
+
+}  // namespace lpvs::streaming

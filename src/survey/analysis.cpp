@@ -1,0 +1,74 @@
+#include "lpvs/survey/analysis.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lpvs/common/stats.hpp"
+
+namespace lpvs::survey {
+
+common::PiecewiseLinear extract_curve_where(
+    std::span<const Participant> population,
+    const std::function<bool(const Participant&)>& predicate) {
+  LbaCurveExtractor extractor;
+  for (const Participant& p : population) {
+    if (predicate(p)) extractor.add_answer(p.charge_level);
+  }
+  return extractor.extract();
+}
+
+SubgroupSummary summarize_subgroup(
+    std::span<const Participant> population, std::string name,
+    const std::function<bool(const Participant&)>& predicate) {
+  SubgroupSummary summary;
+  summary.name = std::move(name);
+  std::vector<double> onsets;
+  std::size_t sufferers = 0;
+  for (const Participant& p : population) {
+    if (!predicate(p)) continue;
+    ++summary.size;
+    onsets.push_back(static_cast<double>(p.charge_level));
+    sufferers += p.suffers_lba ? 1 : 0;
+  }
+  if (summary.size == 0) return summary;
+  summary.median_onset_level = common::percentile(onsets, 50.0);
+  summary.lba_fraction =
+      static_cast<double>(sufferers) / static_cast<double>(summary.size);
+  const common::PiecewiseLinear curve =
+      extract_curve_where(population, predicate);
+  summary.mean_anxiety = curve.integrate(1.0, 100.0) / 99.0;
+  return summary;
+}
+
+std::vector<SubgroupSummary> demographic_breakdown(
+    std::span<const Participant> population) {
+  std::vector<SubgroupSummary> breakdown;
+  const auto add = [&](std::string name, auto predicate) {
+    breakdown.push_back(
+        summarize_subgroup(population, std::move(name), predicate));
+  };
+  add("male", [](const Participant& p) { return p.gender == Gender::kMale; });
+  add("female",
+      [](const Participant& p) { return p.gender == Gender::kFemale; });
+  add("age<18",
+      [](const Participant& p) { return p.age == AgeBand::kUnder18; });
+  add("age 18-25",
+      [](const Participant& p) { return p.age == AgeBand::k18To25; });
+  add("age 25-35",
+      [](const Participant& p) { return p.age == AgeBand::k25To35; });
+  add("age 35-45",
+      [](const Participant& p) { return p.age == AgeBand::k35To45; });
+  add("age 45-65",
+      [](const Participant& p) { return p.age == AgeBand::k45To65; });
+  add("iPhone",
+      [](const Participant& p) { return p.brand == PhoneBrand::kIPhone; });
+  add("Huawei",
+      [](const Participant& p) { return p.brand == PhoneBrand::kHuawei; });
+  add("Xiaomi",
+      [](const Participant& p) { return p.brand == PhoneBrand::kXiaomi; });
+  add("other brand",
+      [](const Participant& p) { return p.brand == PhoneBrand::kOther; });
+  return breakdown;
+}
+
+}  // namespace lpvs::survey

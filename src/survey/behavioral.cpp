@@ -1,0 +1,81 @@
+#include "lpvs/survey/behavioral.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lpvs::survey {
+
+std::vector<ChargeEvent> BehaviorSimulator::simulate(
+    const Participant& participant, int days, common::Rng& rng) const {
+  std::vector<ChargeEvent> events;
+  events.reserve(static_cast<std::size_t>(days));
+  for (int day = 0; day < days; ++day) {
+    ChargeEvent event;
+    if (rng.bernoulli(config_.opportunistic_rate)) {
+      // Opportunistic plug-in happens somewhere on the way down, before
+      // the threshold would have triggered: uniform on
+      // [threshold, 100].  (Below the threshold the user would already
+      // have charged out of anxiety.)
+      event.opportunistic = true;
+      event.battery_level = static_cast<int>(
+          rng.uniform_int(participant.charge_level, 100));
+    } else {
+      event.opportunistic = false;
+      const double noisy = rng.normal(
+          static_cast<double>(participant.charge_level),
+          config_.threshold_noise);
+      event.battery_level =
+          std::clamp(static_cast<int>(std::lround(noisy)), 1, 100);
+    }
+    events.push_back(event);
+  }
+  return events;
+}
+
+void BehavioralLbaEstimator::add_user_log(
+    std::span<const ChargeEvent> events) {
+  std::vector<int> levels;
+  levels.reserve(events.size());
+  for (const ChargeEvent& event : events) {
+    levels.push_back(event.battery_level);
+  }
+  user_logs_.push_back(std::move(levels));
+}
+
+std::vector<int> BehavioralLbaEstimator::recovered_thresholds(
+    double quantile) const {
+  assert(quantile >= 0.0 && quantile <= 1.0);
+  std::vector<int> thresholds;
+  thresholds.reserve(user_logs_.size());
+  for (std::vector<int> levels : user_logs_) {
+    if (levels.empty()) continue;
+    std::sort(levels.begin(), levels.end());
+    const auto index = static_cast<std::size_t>(
+        quantile * static_cast<double>(levels.size() - 1) + 0.5);
+    thresholds.push_back(levels[std::min(index, levels.size() - 1)]);
+  }
+  return thresholds;
+}
+
+common::PiecewiseLinear BehavioralLbaEstimator::extract(
+    double quantile) const {
+  LbaCurveExtractor extractor;
+  for (int threshold : recovered_thresholds(quantile)) {
+    extractor.add_answer(threshold);
+  }
+  return extractor.extract();
+}
+
+double BehavioralLbaEstimator::curve_distance(
+    const common::PiecewiseLinear& a, const common::PiecewiseLinear& b) {
+  double total = 0.0;
+  int samples = 0;
+  for (int level = 1; level <= 100; ++level) {
+    total += std::fabs(a(level) - b(level));
+    ++samples;
+  }
+  return total / samples;
+}
+
+}  // namespace lpvs::survey

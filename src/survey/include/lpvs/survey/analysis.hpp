@@ -1,0 +1,51 @@
+// Demographic slicing of the LBA survey (reproduction extension).
+//
+// The paper reports Table II demographics and one population-level curve;
+// a provider tuning lambda per market segment (Remark 3) would want the
+// curve *per subgroup*.  This module extracts LBA curves for arbitrary
+// participant predicates and summarizes subgroup differences (median
+// anxiety-onset level, curve area = mean anxiety over uniform battery
+// levels).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lpvs/common/piecewise.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+#include "lpvs/survey/participant.hpp"
+
+namespace lpvs::survey {
+
+/// Extracts the LBA curve over the participants matching `predicate`.
+common::PiecewiseLinear extract_curve_where(
+    std::span<const Participant> population,
+    const std::function<bool(const Participant&)>& predicate);
+
+/// Compact subgroup summary.
+struct SubgroupSummary {
+  std::string name;
+  std::size_t size = 0;
+  /// Median charge-level answer — where half the subgroup has started to
+  /// worry about the battery.
+  double median_onset_level = 0.0;
+  /// Mean anxiety over battery levels 1..100 (area under the curve / 100);
+  /// higher = the subgroup is anxious earlier.
+  double mean_anxiety = 0.0;
+  /// Fraction reporting any LBA.
+  double lba_fraction = 0.0;
+};
+
+/// Summarizes a predicate-defined subgroup (empty subgroup -> size 0 and
+/// zeroed statistics).
+SubgroupSummary summarize_subgroup(
+    std::span<const Participant> population, std::string name,
+    const std::function<bool(const Participant&)>& predicate);
+
+/// The standard demographic breakdown: gender, age bands, phone brands.
+std::vector<SubgroupSummary> demographic_breakdown(
+    std::span<const Participant> population);
+
+}  // namespace lpvs::survey

@@ -1,0 +1,86 @@
+// Behavior-driven LBA modelling (the paper's future work, SIII-C).
+//
+// The questionnaire-based curve assumes answers truthfully reflect
+// behavior.  The alternative the paper points to ([29], [30]) is to watch
+// what users actually *do*: at what battery level they plug in.  The
+// difficulty is that observed charging events mix two processes —
+// anxiety-driven charging (at the user's latent threshold, the quantity we
+// want) and opportunistic charging (bedtime, car, desk) at arbitrary
+// levels.  This module provides
+//   * a behavior simulator that generates realistic event logs from latent
+//     thresholds, and
+//   * an estimator that recovers the per-user threshold robustly (a low
+//     quantile of the user's events — opportunistic charges happen at or
+//     above the threshold, since the user would already have plugged in
+//     below it) and feeds the recovered answers through the same 4-step
+//     extraction as the questionnaire.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lpvs/common/piecewise.hpp"
+#include "lpvs/common/rng.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+#include "lpvs/survey/participant.hpp"
+
+namespace lpvs::survey {
+
+/// One observed plug-in event.
+struct ChargeEvent {
+  int battery_level = 50;      ///< battery percentage when plugged in
+  bool opportunistic = false;  ///< ground-truth label (simulator only)
+};
+
+/// Simulates daily charging behavior from a participant's latent threshold.
+class BehaviorSimulator {
+ public:
+  struct Config {
+    /// Probability per day that the user charges opportunistically before
+    /// ever reaching their anxiety threshold.
+    double opportunistic_rate = 0.45;
+    /// Behavioral noise on the threshold itself (they don't plug in at
+    /// exactly the same level every time).
+    double threshold_noise = 3.0;
+  };
+
+  BehaviorSimulator() : BehaviorSimulator(Config{}) {}
+  explicit BehaviorSimulator(Config config) : config_(config) {}
+
+  /// One event per simulated day.
+  std::vector<ChargeEvent> simulate(const Participant& participant, int days,
+                                    common::Rng& rng) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Recovers the LBA curve from event logs.
+class BehavioralLbaEstimator {
+ public:
+  /// Adds one user's observed charge levels (their whole log).
+  void add_user_log(std::span<const ChargeEvent> events);
+
+  std::size_t users() const { return user_logs_.size(); }
+
+  /// Per-user threshold estimate: the `quantile`-quantile of the user's
+  /// observed levels.  Low quantiles reject opportunistic contamination;
+  /// quantile 0.5 reproduces the naive (biased) median estimator.
+  std::vector<int> recovered_thresholds(double quantile = 0.15) const;
+
+  /// Runs the questionnaire pipeline's 4-step extraction on the recovered
+  /// thresholds.
+  common::PiecewiseLinear extract(double quantile = 0.15) const;
+
+  /// Mean absolute difference between two curves on the level grid; used
+  /// to compare behavioral vs questionnaire curves.
+  static double curve_distance(const common::PiecewiseLinear& a,
+                               const common::PiecewiseLinear& b);
+
+ private:
+  std::vector<std::vector<int>> user_logs_;
+};
+
+}  // namespace lpvs::survey

@@ -1,0 +1,58 @@
+// Survey participant record (SIII-A).  The paper collected 2,032 effective
+// answers; the raw per-user data is not published, so the reproduction
+// synthesizes a population whose demographic marginals match Table II and
+// whose questionnaire answers are calibrated so that the *extracted* LBA
+// curve reproduces Fig. 2 (see DESIGN.md, substitution table).
+#pragma once
+
+#include <cstdint>
+
+namespace lpvs::survey {
+
+enum class Gender : std::uint8_t { kMale, kFemale };
+
+enum class AgeBand : std::uint8_t {
+  kUnder18,
+  k18To25,
+  k25To35,
+  k35To45,
+  k45To65,
+};
+
+enum class Occupation : std::uint8_t {
+  kStudent,
+  kGovernment,
+  kCompany,
+  kFreelance,
+  kOther,
+};
+
+enum class PhoneBrand : std::uint8_t {
+  kIPhone,
+  kHuawei,
+  kXiaomi,
+  kOther,
+};
+
+/// One effective questionnaire answer.
+struct Participant {
+  Gender gender = Gender::kMale;
+  AgeBand age = AgeBand::k18To25;
+  Occupation occupation = Occupation::kStudent;
+  PhoneBrand brand = PhoneBrand::kIPhone;
+
+  /// Answer to "At what battery level (1..100%) will you charge your phone
+  /// when possible?" — the anxiety-onset proxy feeding the curve extraction.
+  int charge_level = 20;
+
+  /// Answer to "At what battery level (1..100%) will you give up watching a
+  /// video you are interested in?" — feeds the time-per-viewer experiment
+  /// (Fig. 9).  0 means "never gives up" (no LBA symptoms).
+  int giveup_level = 10;
+
+  /// Whether the participant self-reports any low-battery anxiety.  The
+  /// paper found 91.88% (1,867 / 2,032) sufferers.
+  bool suffers_lba = true;
+};
+
+}  // namespace lpvs::survey

@@ -1,0 +1,101 @@
+// Synthetic survey population generator (SIII-A, Table II).
+//
+// Demographic marginals follow Table II of the paper exactly; questionnaire
+// answers (charge level / give-up level) are drawn from a calibrated mixture
+// distribution chosen so the extracted LBA curve (lba_curve.hpp) reproduces
+// the published Fig. 2 shape:
+//   * ~91.9% of participants suffer LBA;
+//   * a pronounced answer atom at the 20% battery level (the icon-turns-red
+//     threshold), giving the curve its sharp jump at 20;
+//   * anxiety convex in battery level on [20, 100], concave on [0, 20];
+//   * ~20% give-up rate at 20% battery rising to ~50% at 10% battery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/survey/participant.hpp"
+
+namespace lpvs::survey {
+
+/// Tuning knobs for the answer mixture.  Defaults are the calibrated values
+/// used for all experiments; tests sweep them to check extraction behaviour.
+struct AnswerModel {
+  /// Probability a participant reports no LBA at all (paper: 1 - 0.9188).
+  double no_lba_fraction = 1.0 - 0.9188;
+
+  /// Probability (among sufferers) that the charge answer snaps to exactly
+  /// the 20% warning threshold — the source of the Fig. 2 jump.
+  double warning_atom = 0.27;
+
+  /// Location/scale of the log-normal bulk of charge answers above 20%.
+  double bulk_log_mean = 3.65;   // exp(3.65) ~ 38.5%
+  double bulk_log_sigma = 0.45;
+
+  /// Fraction of sufferers who only worry below the warning threshold.
+  double late_worrier_fraction = 0.12;
+
+  /// Give-up model: P(giveup >= 20) ~ drop20, P(giveup >= 10) ~ drop10.
+  double drop_at_20 = 0.21;
+  double drop_at_10 = 0.50;
+};
+
+/// Table II demographic marginals (frequencies out of N = 2,032).
+struct Demographics {
+  int male = 1095;
+  int female = 937;
+  int under18 = 9;
+  int age18to25 = 888;
+  int age25to35 = 460;
+  int age35to45 = 250;
+  int age45to65 = 119;  // paper rounds percentages; counts sum handled below
+  int student = 1024;
+  int government = 271;
+  int company = 434;
+  int freelance = 144;
+  int other_occupation = 159;
+  int iphone = 737;
+  int huawei = 682;
+  int xiaomi = 228;
+  int other_brand = 385;
+};
+
+/// Deterministic synthetic population.
+class SyntheticPopulation {
+ public:
+  static constexpr int kPaperN = 2032;
+
+  explicit SyntheticPopulation(AnswerModel model = {},
+                               Demographics demographics = {});
+
+  /// Generates `n` participants.  Demographics are assigned by scaled exact
+  /// partition (so marginals match Table II up to rounding even for small
+  /// n); answers are sampled from the calibrated mixture.
+  std::vector<Participant> generate(int n, common::Rng& rng) const;
+
+  /// The paper-sized population (N = 2,032).
+  std::vector<Participant> generate_paper_population(common::Rng& rng) const {
+    return generate(kPaperN, rng);
+  }
+
+  const AnswerModel& answer_model() const { return model_; }
+  const Demographics& demographics() const { return demographics_; }
+
+  /// Fraction of participants reporting LBA (for the 91.88% headline).
+  static double lba_fraction(const std::vector<Participant>& population);
+
+  /// Fraction of participants whose give-up level is >= `battery_level`,
+  /// i.e. who would already have stopped watching at that level.
+  static double giveup_fraction_at(const std::vector<Participant>& population,
+                                   int battery_level);
+
+ private:
+  int sample_charge_level(common::Rng& rng, bool suffers) const;
+  int sample_giveup_level(common::Rng& rng, bool suffers) const;
+
+  AnswerModel model_;
+  Demographics demographics_;
+};
+
+}  // namespace lpvs::survey

@@ -1,0 +1,105 @@
+// Raw questionnaire responses and the data-cleansing step (SIII-A: "we
+// collected 2,032 effective answers after data cleansing").
+//
+// Real online surveys return dirty data: missing answers, failed attention
+// checks, speeders who click through, and internally inconsistent answers.
+// This module models the raw response stream (a clean latent participant
+// plus realistic corruption), implements the cleansing rules that map raw
+// responses to effective Participant records, and reports what was dropped
+// and why — so the curve-extraction pipeline can be tested end to end from
+// raw data, not just from pre-cleaned participants.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/survey/participant.hpp"
+#include "lpvs/survey/population.hpp"
+
+namespace lpvs::survey {
+
+/// One raw (uncleaned) response as it leaves the survey platform.
+struct RawResponse {
+  /// The answers; nullopt = question skipped.
+  std::optional<int> charge_level;
+  std::optional<int> giveup_level;
+  std::optional<Gender> gender;
+  std::optional<AgeBand> age;
+  std::optional<Occupation> occupation;
+  std::optional<PhoneBrand> brand;
+  bool reports_lba = true;
+  /// Time spent on the questionnaire; speeders are unreliable.
+  int completion_seconds = 180;
+  /// The embedded attention-check item ("select 'agree' for this row").
+  bool attention_check_passed = true;
+};
+
+/// Wraps the synthetic population and corrupts a fraction of responses the
+/// way real panels do.
+class ResponseGenerator {
+ public:
+  struct Config {
+    double skip_rate = 0.04;          ///< per-question skip probability
+    double speeder_rate = 0.05;       ///< completion < threshold
+    double attention_fail_rate = 0.03;
+    double out_of_range_rate = 0.02;  ///< fat-fingered values (0, 999, ...)
+  };
+
+  ResponseGenerator() : ResponseGenerator(Config{}) {}
+  explicit ResponseGenerator(Config config) : config_(config) {}
+
+  /// Generates `n` raw responses (latent participants drawn from the
+  /// synthetic population, then corrupted).
+  std::vector<RawResponse> generate(int n, common::Rng& rng) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Why a response was rejected.
+struct CleansingReport {
+  int total = 0;
+  int kept = 0;
+  int dropped_missing = 0;        ///< skipped a required question
+  int dropped_attention = 0;      ///< failed the attention check
+  int dropped_speeder = 0;        ///< finished implausibly fast
+  int dropped_out_of_range = 0;   ///< answers outside [1, 100]
+
+  int dropped() const {
+    return dropped_missing + dropped_attention + dropped_speeder +
+           dropped_out_of_range;
+  }
+  double keep_ratio() const {
+    return total > 0 ? static_cast<double>(kept) / total : 0.0;
+  }
+};
+
+/// The cleansing rules.
+class DataCleanser {
+ public:
+  struct Rules {
+    int min_completion_seconds = 45;
+    int min_level = 1;
+    int max_level = 100;
+  };
+
+  DataCleanser() : DataCleanser(Rules{}) {}
+  explicit DataCleanser(Rules rules) : rules_(rules) {}
+
+  /// Applies the rules; returns the effective participants and the
+  /// accounting of drops (each response counted under its *first* failed
+  /// rule, checked in the order: attention, speed, missing, range).
+  std::pair<std::vector<Participant>, CleansingReport> cleanse(
+      const std::vector<RawResponse>& raw) const;
+
+  const Rules& rules() const { return rules_; }
+
+ private:
+  Rules rules_;
+};
+
+}  // namespace lpvs::survey

@@ -1,0 +1,145 @@
+#include "lpvs/survey/population.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+namespace lpvs::survey {
+namespace {
+
+/// Scales integer category counts to a new total via the largest-remainder
+/// method, so small populations keep Table II's marginals up to rounding.
+std::vector<int> scale_counts(const std::vector<int>& counts, int target) {
+  const double total = static_cast<double>(
+      std::accumulate(counts.begin(), counts.end(), 0));
+  assert(total > 0.0);
+  std::vector<int> scaled(counts.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  int assigned = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double exact = static_cast<double>(counts[i]) / total *
+                         static_cast<double>(target);
+    scaled[i] = static_cast<int>(exact);
+    assigned += scaled[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t k = 0; assigned < target; ++k) {
+    ++scaled[remainders[k % remainders.size()].second];
+    ++assigned;
+  }
+  return scaled;
+}
+
+/// Builds a value column with exact per-category counts, then shuffles it so
+/// attribute columns are independent of each other (only the marginals of
+/// Table II are published; the joint distribution is unknown).
+template <class Enum>
+std::vector<Enum> attribute_column(const std::vector<int>& counts, int n,
+                                   common::Rng& rng) {
+  const std::vector<int> scaled = scale_counts(counts, n);
+  std::vector<Enum> column;
+  column.reserve(static_cast<std::size_t>(n));
+  for (std::size_t cat = 0; cat < scaled.size(); ++cat) {
+    column.insert(column.end(), static_cast<std::size_t>(scaled[cat]),
+                  static_cast<Enum>(cat));
+  }
+  for (std::size_t i = column.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(column[i - 1], column[j]);
+  }
+  return column;
+}
+
+}  // namespace
+
+SyntheticPopulation::SyntheticPopulation(AnswerModel model,
+                                         Demographics demographics)
+    : model_(model), demographics_(demographics) {}
+
+int SyntheticPopulation::sample_charge_level(common::Rng& rng,
+                                             bool suffers) const {
+  if (!suffers) {
+    // Non-sufferers still answer the charge question: they plug in late and
+    // out of routine rather than worry, populating the low-level bins.
+    return static_cast<int>(rng.uniform_int(1, 25));
+  }
+  const double mix = rng.uniform();
+  if (mix < model_.warning_atom) {
+    return 20;  // the battery-icon-turns-red threshold (Fig. 2 jump)
+  }
+  if (mix < model_.warning_atom + model_.late_worrier_fraction) {
+    return static_cast<int>(rng.uniform_int(5, 19));
+  }
+  const double bulk = rng.lognormal(model_.bulk_log_mean, model_.bulk_log_sigma);
+  return static_cast<int>(std::clamp<long long>(std::llround(bulk), 21, 100));
+}
+
+int SyntheticPopulation::sample_giveup_level(common::Rng& rng,
+                                             bool suffers) const {
+  if (!suffers) return 0;  // watches until the phone dies
+  const double suffer_fraction = 1.0 - model_.no_lba_fraction;
+  // Rescale the population-wide drop quantiles to the sufferer subset so
+  // the overall fractions land on the surveyed values.
+  const double q20 = std::clamp(model_.drop_at_20 / suffer_fraction, 0.0, 1.0);
+  const double q10 = std::clamp(model_.drop_at_10 / suffer_fraction, q20, 1.0);
+  const double mix = rng.uniform();
+  if (mix < q20) return static_cast<int>(rng.uniform_int(20, 35));
+  if (mix < q10) return static_cast<int>(rng.uniform_int(10, 19));
+  return static_cast<int>(rng.uniform_int(1, 9));
+}
+
+std::vector<Participant> SyntheticPopulation::generate(
+    int n, common::Rng& rng) const {
+  assert(n > 0);
+  const auto& d = demographics_;
+  const auto genders = attribute_column<Gender>({d.male, d.female}, n, rng);
+  // Table II's age counts do not sum to 2,032 in the published table (a
+  // transcription artifact); we use them as weights, which preserves the
+  // printed proportions.
+  const auto ages = attribute_column<AgeBand>(
+      {d.under18, d.age18to25, d.age25to35, d.age35to45, d.age45to65}, n, rng);
+  const auto occupations = attribute_column<Occupation>(
+      {d.student, d.government, d.company, d.freelance, d.other_occupation}, n,
+      rng);
+  const auto brands = attribute_column<PhoneBrand>(
+      {d.iphone, d.huawei, d.xiaomi, d.other_brand}, n, rng);
+
+  std::vector<Participant> population(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    Participant& p = population[i];
+    p.gender = genders[i];
+    p.age = ages[i];
+    p.occupation = occupations[i];
+    p.brand = brands[i];
+    p.suffers_lba = !rng.bernoulli(model_.no_lba_fraction);
+    p.charge_level = sample_charge_level(rng, p.suffers_lba);
+    p.giveup_level = sample_giveup_level(rng, p.suffers_lba);
+  }
+  return population;
+}
+
+double SyntheticPopulation::lba_fraction(
+    const std::vector<Participant>& population) {
+  if (population.empty()) return 0.0;
+  std::size_t sufferers = 0;
+  for (const Participant& p : population) sufferers += p.suffers_lba ? 1 : 0;
+  return static_cast<double>(sufferers) /
+         static_cast<double>(population.size());
+}
+
+double SyntheticPopulation::giveup_fraction_at(
+    const std::vector<Participant>& population, int battery_level) {
+  if (population.empty()) return 0.0;
+  std::size_t gone = 0;
+  for (const Participant& p : population) {
+    gone += p.giveup_level >= battery_level ? 1 : 0;
+  }
+  return static_cast<double>(gone) / static_cast<double>(population.size());
+}
+
+}  // namespace lpvs::survey

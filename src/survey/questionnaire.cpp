@@ -1,0 +1,90 @@
+#include "lpvs/survey/questionnaire.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lpvs::survey {
+
+std::vector<RawResponse> ResponseGenerator::generate(
+    int n, common::Rng& rng) const {
+  assert(n > 0);
+  const SyntheticPopulation population;
+  const std::vector<Participant> latent = population.generate(n, rng);
+  std::vector<RawResponse> raw;
+  raw.reserve(latent.size());
+  for (const Participant& p : latent) {
+    RawResponse response;
+    response.charge_level = p.charge_level;
+    response.giveup_level = p.giveup_level;
+    response.gender = p.gender;
+    response.age = p.age;
+    response.occupation = p.occupation;
+    response.brand = p.brand;
+    response.reports_lba = p.suffers_lba;
+    response.completion_seconds =
+        static_cast<int>(rng.uniform_int(90, 600));
+    // Corruption, in the same shapes real panels produce.
+    if (rng.bernoulli(config_.skip_rate)) response.charge_level.reset();
+    if (rng.bernoulli(config_.skip_rate)) response.giveup_level.reset();
+    if (rng.bernoulli(config_.skip_rate / 2.0)) response.gender.reset();
+    if (rng.bernoulli(config_.speeder_rate)) {
+      response.completion_seconds = static_cast<int>(rng.uniform_int(5, 40));
+    }
+    if (rng.bernoulli(config_.attention_fail_rate)) {
+      response.attention_check_passed = false;
+    }
+    if (rng.bernoulli(config_.out_of_range_rate) &&
+        response.charge_level.has_value()) {
+      response.charge_level = rng.bernoulli(0.5)
+                                  ? 0
+                                  : static_cast<int>(
+                                        rng.uniform_int(101, 999));
+    }
+    raw.push_back(response);
+  }
+  return raw;
+}
+
+std::pair<std::vector<Participant>, CleansingReport> DataCleanser::cleanse(
+    const std::vector<RawResponse>& raw) const {
+  std::vector<Participant> effective;
+  CleansingReport report;
+  report.total = static_cast<int>(raw.size());
+  for (const RawResponse& response : raw) {
+    if (!response.attention_check_passed) {
+      ++report.dropped_attention;
+      continue;
+    }
+    if (response.completion_seconds < rules_.min_completion_seconds) {
+      ++report.dropped_speeder;
+      continue;
+    }
+    if (!response.charge_level.has_value() ||
+        !response.giveup_level.has_value() ||
+        !response.gender.has_value() || !response.age.has_value() ||
+        !response.occupation.has_value() || !response.brand.has_value()) {
+      ++report.dropped_missing;
+      continue;
+    }
+    const int charge = *response.charge_level;
+    const int giveup = *response.giveup_level;
+    if (charge < rules_.min_level || charge > rules_.max_level ||
+        giveup < 0 || giveup > rules_.max_level) {
+      ++report.dropped_out_of_range;
+      continue;
+    }
+    Participant p;
+    p.charge_level = charge;
+    p.giveup_level = giveup;
+    p.gender = *response.gender;
+    p.age = *response.age;
+    p.occupation = *response.occupation;
+    p.brand = *response.brand;
+    p.suffers_lba = response.reports_lba;
+    effective.push_back(p);
+    ++report.kept;
+  }
+  return {std::move(effective), report};
+}
+
+}  // namespace lpvs::survey

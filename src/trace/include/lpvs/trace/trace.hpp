@@ -1,0 +1,113 @@
+// Synthetic Twitch-like live-streaming trace (SVI-A).
+//
+// The paper drives its emulator with a 2014 Twitch dataset: 5-minute
+// sampling, filtered to channels lasting <= 10 hours, leaving 1,566 live
+// channels and 4,761 live video sessions (Fig. 5 shows the session-duration
+// histogram).  The raw dataset is not redistributable, so this module
+// synthesizes a trace with the published aggregates: the same channel and
+// session counts, 5-minute sampling, a heavy-tailed duration distribution
+// capped at 10 h, Zipf channel popularity, and per-slot viewer-count curves
+// with ramp-up/decay.  The scheduler only ever consumes per-slot
+// viewer/bitrate/chunk streams, so an aggregate-faithful synthesis
+// exercises the exact code paths the original data would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/common/stats.hpp"
+#include "lpvs/common/units.hpp"
+#include "lpvs/media/video.hpp"
+
+namespace lpvs::trace {
+
+/// One live channel of the platform.
+struct Channel {
+  common::ChannelId id;
+  media::Genre genre = media::Genre::kIrlChat;
+  double bitrate_mbps = 3.0;
+  /// Popularity rank weight (Zipf); larger means more viewers.
+  double popularity = 1.0;
+};
+
+/// One live session of a channel: a contiguous run of 5-minute slots.
+struct Session {
+  common::SessionId id;
+  common::ChannelId channel;
+  int start_slot = 0;
+  /// Viewer count sampled at each slot of the session; size = duration in
+  /// slots (<= 120 given the 10-hour cap).
+  std::vector<int> viewers;
+
+  int duration_slots() const { return static_cast<int>(viewers.size()); }
+  double duration_minutes() const { return duration_slots() * 5.0; }
+  int end_slot() const { return start_slot + duration_slots(); }
+  bool live_at(int slot) const {
+    return slot >= start_slot && slot < end_slot();
+  }
+  int viewers_at(int slot) const {
+    return live_at(slot) ? viewers[static_cast<std::size_t>(slot - start_slot)]
+                         : 0;
+  }
+};
+
+struct TraceConfig {
+  int channel_count = 1566;   ///< paper: 1,566 live channels
+  int session_count = 4761;   ///< paper: 4,761 live video sessions
+  int max_duration_slots = 120;  ///< 10-hour filter at 5-min sampling
+  int horizon_slots = 288;       ///< one day of 5-minute slots
+  /// Log-normal duration parameters in minutes (median ~ exp(mu)).
+  double duration_log_mean = 4.5;   ///< median ~ 90 minutes
+  double duration_log_sigma = 0.85;
+  /// Zipf exponent for channel popularity.
+  double zipf_exponent = 1.15;
+  /// Mean viewers of the most popular channel.
+  double top_channel_viewers = 2000.0;
+};
+
+/// The generated dataset.
+class Trace {
+ public:
+  Trace(std::vector<Channel> channels, std::vector<Session> sessions,
+        int horizon_slots);
+
+  const std::vector<Channel>& channels() const { return channels_; }
+  const std::vector<Session>& sessions() const { return sessions_; }
+  int horizon_slots() const { return horizon_slots_; }
+
+  const Channel& channel(common::ChannelId id) const;
+
+  /// Sessions live at the given slot.
+  std::vector<const Session*> live_sessions(int slot) const;
+
+  /// Total viewers across all sessions at the given slot.
+  long total_viewers(int slot) const;
+
+  /// Fig. 5: histogram of session durations (minutes), 12 x 50-minute bins
+  /// spanning (0, 600].
+  common::Histogram duration_histogram(std::size_t bins = 12) const;
+
+  /// Summary stats of session durations in minutes.
+  common::RunningStats duration_stats() const;
+
+ private:
+  std::vector<Channel> channels_;
+  std::vector<Session> sessions_;
+  int horizon_slots_;
+};
+
+/// Deterministic trace synthesis from a seed.
+class TwitchLikeGenerator {
+ public:
+  explicit TwitchLikeGenerator(TraceConfig config = {}) : config_(config) {}
+
+  Trace generate(std::uint64_t seed) const;
+
+  const TraceConfig& config() const { return config_; }
+
+ private:
+  TraceConfig config_;
+};
+
+}  // namespace lpvs::trace

@@ -1,0 +1,121 @@
+#include "lpvs/trace/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace lpvs::trace {
+namespace {
+
+/// Streaming-ladder bitrates typical of live platforms (Mbps).
+constexpr double kBitrateLadder[] = {1.0, 1.8, 2.5, 3.5, 5.0};
+
+/// Session viewer-count envelope: quick ramp-up, plateau, slow decay.
+double session_shape(double progress) {
+  if (progress < 0.15) return 0.4 + 4.0 * progress;          // ramp to 1.0
+  if (progress < 0.75) return 1.0;                           // plateau
+  return 1.0 - 0.8 * (progress - 0.75) / 0.25;               // decay to 0.2
+}
+
+}  // namespace
+
+Trace::Trace(std::vector<Channel> channels, std::vector<Session> sessions,
+             int horizon_slots)
+    : channels_(std::move(channels)),
+      sessions_(std::move(sessions)),
+      horizon_slots_(horizon_slots) {
+  assert(horizon_slots_ > 0);
+}
+
+const Channel& Trace::channel(common::ChannelId id) const {
+  assert(id.value < channels_.size());
+  return channels_[id.value];
+}
+
+std::vector<const Session*> Trace::live_sessions(int slot) const {
+  std::vector<const Session*> live;
+  for (const Session& s : sessions_) {
+    if (s.live_at(slot)) live.push_back(&s);
+  }
+  return live;
+}
+
+long Trace::total_viewers(int slot) const {
+  long total = 0;
+  for (const Session& s : sessions_) total += s.viewers_at(slot);
+  return total;
+}
+
+common::Histogram Trace::duration_histogram(std::size_t bins) const {
+  common::Histogram hist(0.0, 600.0, bins);
+  for (const Session& s : sessions_) hist.add(s.duration_minutes());
+  return hist;
+}
+
+common::RunningStats Trace::duration_stats() const {
+  common::RunningStats stats;
+  for (const Session& s : sessions_) stats.add(s.duration_minutes());
+  return stats;
+}
+
+Trace TwitchLikeGenerator::generate(std::uint64_t seed) const {
+  common::Rng rng(seed);
+  const TraceConfig& cfg = config_;
+  assert(cfg.channel_count > 0 && cfg.session_count > 0);
+
+  std::vector<Channel> channels;
+  channels.reserve(static_cast<std::size_t>(cfg.channel_count));
+  for (int c = 0; c < cfg.channel_count; ++c) {
+    Channel channel;
+    channel.id = common::ChannelId{static_cast<std::uint32_t>(c)};
+    channel.genre = static_cast<media::Genre>(
+        rng.uniform_int(0, media::kGenreCount - 1));
+    channel.bitrate_mbps = kBitrateLadder[static_cast<std::size_t>(
+        rng.uniform_int(0, std::ssize(kBitrateLadder) - 1))];
+    // Popularity by rank: channel 0 is rank 1.  Shuffling is unnecessary
+    // since channel ids are arbitrary labels.
+    channel.popularity =
+        1.0 / std::pow(static_cast<double>(c + 1), cfg.zipf_exponent);
+    channels.push_back(channel);
+  }
+
+  std::vector<Session> sessions;
+  sessions.reserve(static_cast<std::size_t>(cfg.session_count));
+  for (int s = 0; s < cfg.session_count; ++s) {
+    Session session;
+    session.id = common::SessionId{static_cast<std::uint32_t>(s)};
+    // Popular channels also stream more sessions: pick via Zipf over ranks.
+    const auto channel_rank = rng.zipf(cfg.channel_count, cfg.zipf_exponent);
+    session.channel =
+        common::ChannelId{static_cast<std::uint32_t>(channel_rank - 1)};
+
+    // Heavy-tailed duration, capped by the paper's 10-hour filter.
+    const double minutes = rng.lognormal(cfg.duration_log_mean,
+                                         cfg.duration_log_sigma);
+    const int slots = std::clamp(
+        static_cast<int>(std::lround(minutes / 5.0)), 1,
+        cfg.max_duration_slots);
+    session.start_slot = static_cast<int>(
+        rng.uniform_int(0, std::max(0, cfg.horizon_slots - slots)));
+
+    const Channel& channel = channels[session.channel.value];
+    const double base_viewers =
+        cfg.top_channel_viewers * channel.popularity;
+    session.viewers.resize(static_cast<std::size_t>(slots));
+    for (int k = 0; k < slots; ++k) {
+      const double progress =
+          slots > 1 ? static_cast<double>(k) / static_cast<double>(slots - 1)
+                    : 0.5;
+      const double mean = base_viewers * session_shape(progress);
+      const double noisy = rng.normal(mean, 0.15 * mean + 0.5);
+      session.viewers[static_cast<std::size_t>(k)] =
+          std::max(1, static_cast<int>(std::lround(noisy)));
+    }
+    sessions.push_back(std::move(session));
+  }
+
+  return Trace(std::move(channels), std::move(sessions), cfg.horizon_slots);
+}
+
+}  // namespace lpvs::trace

@@ -1,0 +1,78 @@
+// On-device vs edge transform cost analysis (SI/SII-B's motivating
+// argument).
+//
+// The paper's case for LPVS rests on one observation: content transforms
+// save display power, but they are per-pixel computations, so running them
+// *on the phone* burns CPU/GPU power that can "offset or even negate" the
+// display saving — while running them at the edge keeps the full saving.
+// This module quantifies that argument: a cost model for executing the
+// per-pixel transform on the handset SoC, combined with the display power
+// models, yields the net on-device saving vs the net edge-offloaded saving
+// for any device/content pair (bench_offload sweeps resolutions and
+// genres).
+#pragma once
+
+#include "lpvs/common/units.hpp"
+#include "lpvs/display/display.hpp"
+#include "lpvs/media/video.hpp"
+#include "lpvs/transform/transform.hpp"
+
+namespace lpvs::transform {
+
+/// Energy cost of running the per-pixel transform on the phone itself.
+class OnDeviceCostModel {
+ public:
+  struct Coefficients {
+    /// Arithmetic per pixel: gamma decode, 3 channel multiplies, gamma
+    /// encode (LCD compensation is comparable).
+    double ops_per_pixel = 22.0;
+    /// Effective energy per op on a 2019-era mobile SoC.  The workload is
+    /// memory-bound (two full frame buffers through DRAM per frame), so
+    /// the effective cost per arithmetic op, amortizing DRAM traffic at
+    /// ~100 pJ/byte, is two orders above the ALU's raw pJ/op.
+    double picojoules_per_op = 180.0;
+    /// Frames actually transformed per second (every frame of the video).
+    double frames_per_second = 30.0;
+    /// Fixed overhead: waking the GPU/DSP path, extra memory controller
+    /// activity while the pipeline runs.
+    double overhead_mw = 45.0;
+  };
+
+  OnDeviceCostModel() : OnDeviceCostModel(Coefficients{}) {}
+  explicit OnDeviceCostModel(Coefficients coefficients)
+      : coefficients_(coefficients) {}
+
+  /// Average extra device power while transforming this display's pixel
+  /// stream locally.
+  common::Milliwatts transform_power(const display::DisplaySpec& spec) const;
+
+  const Coefficients& coefficients() const { return coefficients_; }
+
+ private:
+  Coefficients coefficients_;
+};
+
+/// The net comparison for one device playing one video.
+struct OffloadAnalysis {
+  common::Milliwatts playback_power;        ///< untransformed device power
+  common::Milliwatts display_saving;        ///< transform's display saving
+  common::Milliwatts on_device_cost;        ///< CPU cost if run locally
+  common::Milliwatts net_on_device_saving;  ///< saving - cost (can be < 0)
+  common::Milliwatts net_edge_saving;       ///< saving (cost paid at edge)
+
+  /// Fraction of the display saving the on-device cost eats.
+  double offset_fraction() const {
+    return display_saving.value > 0.0
+               ? on_device_cost.value / display_saving.value
+               : 0.0;
+  }
+  bool on_device_negated() const { return net_on_device_saving.value <= 0.0; }
+};
+
+/// Computes the on-device vs edge comparison for a device/video pair.
+OffloadAnalysis analyze_offload(const TransformEngine& engine,
+                                const OnDeviceCostModel& cost_model,
+                                const display::DisplaySpec& spec,
+                                const media::Video& video);
+
+}  // namespace lpvs::transform

@@ -1,0 +1,46 @@
+#include "lpvs/transform/offload.hpp"
+
+namespace lpvs::transform {
+
+common::Milliwatts OnDeviceCostModel::transform_power(
+    const display::DisplaySpec& spec) const {
+  const double pixels_per_second =
+      static_cast<double>(spec.pixel_count()) *
+      coefficients_.frames_per_second;
+  // pJ/s = 1e-9 mW.
+  const double compute_mw = pixels_per_second * coefficients_.ops_per_pixel *
+                            coefficients_.picojoules_per_op * 1e-9;
+  return {compute_mw + coefficients_.overhead_mw};
+}
+
+OffloadAnalysis analyze_offload(const TransformEngine& engine,
+                                const OnDeviceCostModel& cost_model,
+                                const display::DisplaySpec& spec,
+                                const media::Video& video) {
+  OffloadAnalysis analysis;
+  double base_mw_seconds = 0.0;
+  double saved_mw_seconds = 0.0;
+  double seconds = 0.0;
+  for (const media::VideoChunk& chunk : video.chunks) {
+    const double total =
+        engine.device_model()
+            .playback_power(spec, chunk.stats, chunk.bitrate_mbps)
+            .value;
+    const ChunkTransform result = engine.transform_chunk(spec, chunk);
+    base_mw_seconds += total * chunk.duration.value;
+    saved_mw_seconds += (result.display_power_before.value -
+                         result.display_power_after.value) *
+                        chunk.duration.value;
+    seconds += chunk.duration.value;
+  }
+  if (seconds <= 0.0) return analysis;
+  analysis.playback_power = {base_mw_seconds / seconds};
+  analysis.display_saving = {saved_mw_seconds / seconds};
+  analysis.on_device_cost = cost_model.transform_power(spec);
+  analysis.net_on_device_saving =
+      analysis.display_saving - analysis.on_device_cost;
+  analysis.net_edge_saving = analysis.display_saving;
+  return analysis;
+}
+
+}  // namespace lpvs::transform

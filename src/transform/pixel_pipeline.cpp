@@ -1,0 +1,131 @@
+#include "lpvs/transform/pixel_pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lpvs::transform {
+namespace {
+
+std::uint8_t scale_channel(std::uint8_t value, double factor) {
+  return media::linear_to_srgb(
+      std::clamp(media::srgb_to_linear(value) * factor, 0.0, 1.0));
+}
+
+}  // namespace
+
+common::Milliwatts oled_power_per_pixel(const display::OledPowerModel& model,
+                                        const display::DisplaySpec& spec,
+                                        const media::Frame& frame) {
+  const auto& c = model.coefficients();
+  double weighted_sum = 0.0;
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      const media::Pixel p = frame.at(x, y);
+      weighted_sum += c.red_weight * media::srgb_to_linear(p.r) +
+                      c.green_weight * media::srgb_to_linear(p.g) +
+                      c.blue_weight * media::srgb_to_linear(p.b);
+    }
+  }
+  // Normalize the frame's pixel sum to the *panel's* pixel count: the
+  // frame is a (possibly downsampled) proxy for what the panel shows.
+  const double frame_pixels =
+      std::max<double>(1.0, static_cast<double>(frame.pixel_count()));
+  const double panel_megapixels =
+      static_cast<double>(spec.pixel_count()) / 1.0e6;
+  const double mean_weighted = weighted_sum / frame_pixels;
+  const double emission = c.mw_per_megapixel_unit * panel_megapixels *
+                          std::clamp(spec.brightness, 0.0, 1.0) *
+                          mean_weighted;
+  return {emission + c.static_mw_per_sq_in * spec.area_sq_inches()};
+}
+
+media::Frame apply_color_transform(const media::Frame& frame,
+                                   const QualityBudget& budget) {
+  media::Frame out = frame;
+  const double fr = budget.darken * budget.red_scale;
+  const double fg = budget.darken;
+  const double fb = budget.darken * budget.blue_scale;
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      const media::Pixel p = out.at(x, y);
+      out.set(x, y,
+              {scale_channel(p.r, fr), scale_channel(p.g, fg),
+               scale_channel(p.b, fb)});
+    }
+  }
+  return out;
+}
+
+media::Frame apply_backlight_compensation(const media::Frame& frame,
+                                          double original_backlight,
+                                          double scaled_backlight) {
+  assert(scaled_backlight > 0.0);
+  const double boost = original_backlight / scaled_backlight;
+  media::Frame out = frame;
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      const media::Pixel p = out.at(x, y);
+      out.set(x, y,
+              {scale_channel(p.r, boost), scale_channel(p.g, boost),
+               scale_channel(p.b, boost)});
+    }
+  }
+  return out;
+}
+
+media::Frame perceived_lcd_frame(const media::Frame& frame,
+                                 double backlight_level) {
+  media::Frame out = frame;
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      const media::Pixel p = out.at(x, y);
+      out.set(x, y,
+              {scale_channel(p.r, backlight_level),
+               scale_channel(p.g, backlight_level),
+               scale_channel(p.b, backlight_level)});
+    }
+  }
+  return out;
+}
+
+PixelPipeline::PixelPipeline(display::DevicePowerModel device_model,
+                             QualityBudget budget)
+    : device_model_(device_model), budget_(budget) {}
+
+PixelTransformReport PixelPipeline::transform_frame(
+    const display::DisplaySpec& spec, const media::Frame& frame) const {
+  PixelTransformReport report;
+  if (spec.type == display::DisplayType::kOled) {
+    report.transformed = apply_color_transform(frame, budget_);
+    report.display_power_before =
+        oled_power_per_pixel(device_model_.oled(), spec, frame);
+    report.display_power_after =
+        oled_power_per_pixel(device_model_.oled(), spec, report.transformed);
+    // OLED shows pixels directly: quality is measured frame-to-frame.
+    report.psnr_db = media::psnr(frame, report.transformed);
+    report.ssim = media::ssim_luma(frame, report.transformed);
+    return report;
+  }
+
+  // LCD: choose the backlight from the frame's measured statistics (the
+  // same policy BacklightScaling applies to chunk statistics), then
+  // compensate pixel values and compare *perceived* images.
+  const display::FrameStats stats = media::compute_stats(frame);
+  const BacklightScaling scaling(device_model_.lcd(), budget_);
+  const ChunkTransform decision = scaling.apply(spec, stats);
+  report.backlight_level = decision.backlight_level;
+  report.transformed = apply_backlight_compensation(frame, spec.brightness,
+                                                    decision.backlight_level);
+  report.display_power_before = decision.display_power_before;
+  report.display_power_after = decision.display_power_after;
+  const media::Frame seen_before =
+      perceived_lcd_frame(frame, spec.brightness);
+  const media::Frame seen_after =
+      perceived_lcd_frame(report.transformed, decision.backlight_level);
+  report.psnr_db = media::psnr(seen_before, seen_after);
+  report.ssim = media::ssim_luma(seen_before, seen_after);
+  return report;
+}
+
+}  // namespace lpvs::transform

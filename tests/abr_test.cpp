@@ -1,0 +1,179 @@
+// Tests for the network model and the ABR streaming session: channel
+// statistics, controller policies, buffer dynamics, rebuffer accounting,
+// and the scheduling-stall injection used by the SVII-D QoE experiment.
+#include <gtest/gtest.h>
+
+#include "lpvs/common/stats.hpp"
+#include "lpvs/streaming/abr.hpp"
+
+namespace lpvs::streaming {
+namespace {
+
+TEST(ThroughputModelTest, SamplesPositiveAndStateful) {
+  ThroughputModel model;
+  common::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(model.sample_mbps(rng), 0.0);
+  }
+}
+
+TEST(ThroughputModelTest, GoodStateFasterThanBad) {
+  ThroughputModel::Config config;
+  config.p_good_to_bad = 0.0;  // pin the state
+  ThroughputModel good(config);
+  config.p_good_to_bad = 1.0;  // flips to bad immediately and...
+  config.p_bad_to_good = 0.0;  // ...stays there
+  ThroughputModel bad(config);
+  common::Rng rng_a(2);
+  common::Rng rng_b(2);
+  common::RunningStats good_stats;
+  common::RunningStats bad_stats;
+  for (int i = 0; i < 2000; ++i) {
+    good_stats.add(good.sample_mbps(rng_a));
+    bad_stats.add(bad.sample_mbps(rng_b));
+  }
+  EXPECT_GT(good_stats.mean(), 3.0 * bad_stats.mean());
+}
+
+TEST(ThroughputModelTest, StationaryFractionMatchesSimulation) {
+  ThroughputModel model;
+  common::Rng rng(3);
+  long good_samples = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    model.sample_mbps(rng);
+    good_samples += model.in_good_state() ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(good_samples) / n,
+              model.stationary_good_fraction(), 0.02);
+}
+
+TEST(RateBasedAbrTest, PicksHighestAffordableRung) {
+  RateBasedAbr abr(0.85);
+  const std::vector<double> ladder = {1.0, 1.8, 2.5, 3.5, 5.0};
+  EXPECT_EQ(abr.pick_rung(ladder, 0.0, 10.0), 4u);   // 8.5 budget -> 5.0
+  EXPECT_EQ(abr.pick_rung(ladder, 0.0, 3.5), 2u);    // 2.975 -> 2.5
+  EXPECT_EQ(abr.pick_rung(ladder, 0.0, 0.5), 0u);    // nothing fits -> low
+  EXPECT_EQ(abr.pick_rung(ladder, 0.0, 0.0), 0u);    // cold start
+}
+
+TEST(BufferBasedAbrTest, MapsBufferToLadder) {
+  BufferBasedAbr abr(8.0, 40.0);
+  const std::vector<double> ladder = {1.0, 1.8, 2.5, 3.5, 5.0};
+  EXPECT_EQ(abr.pick_rung(ladder, 0.0, 99.0), 0u);    // in the reservoir
+  EXPECT_EQ(abr.pick_rung(ladder, 8.0, 99.0), 0u);
+  EXPECT_EQ(abr.pick_rung(ladder, 40.0, 0.0), 4u);    // at the cushion
+  EXPECT_EQ(abr.pick_rung(ladder, 24.0, 0.0), 2u);    // midpoint
+}
+
+TEST(Session, HealthyLinkNoRebuffering) {
+  StreamingSession::Config config;
+  config.chunk_count = 120;
+  StreamingSession session(config);
+  ThroughputModel::Config net;
+  net.good_mbps_median = 40.0;
+  net.p_good_to_bad = 0.0;  // permanently excellent link
+  ThroughputModel network(net);
+  BufferBasedAbr abr;
+  common::Rng rng(4);
+  const SessionQoe qoe = session.run(network, abr, rng);
+  EXPECT_EQ(qoe.rebuffer_events, 0);
+  EXPECT_DOUBLE_EQ(qoe.rebuffer_time_s, 0.0);
+  EXPECT_EQ(qoe.chunks_played, 120);
+  EXPECT_GT(qoe.mean_bitrate_mbps, 2.0);
+}
+
+TEST(Session, StarvedLinkRebuffers) {
+  StreamingSession::Config config;
+  config.chunk_count = 60;
+  StreamingSession session(config);
+  ThroughputModel::Config net;
+  net.good_mbps_median = 0.8;  // below even the lowest rung
+  net.bad_mbps_median = 0.4;
+  ThroughputModel network(net);
+  RateBasedAbr abr;
+  common::Rng rng(5);
+  const SessionQoe qoe = session.run(network, abr, rng);
+  EXPECT_GT(qoe.rebuffer_events, 0);
+  EXPECT_GT(qoe.rebuffer_time_s, 10.0);
+}
+
+TEST(Session, RateAbrAdaptsDownUnderDegradedLink) {
+  StreamingSession::Config config;
+  config.chunk_count = 200;
+  StreamingSession session(config);
+  ThroughputModel::Config strong;
+  strong.good_mbps_median = 30.0;
+  strong.p_good_to_bad = 0.0;
+  ThroughputModel fast(strong);
+  ThroughputModel::Config weak = strong;
+  weak.good_mbps_median = 2.2;
+  ThroughputModel slow(weak);
+  RateBasedAbr abr_fast;
+  RateBasedAbr abr_slow;
+  common::Rng rng_a(6);
+  common::Rng rng_b(6);
+  const SessionQoe fast_qoe = session.run(fast, abr_fast, rng_a);
+  const SessionQoe slow_qoe = session.run(slow, abr_slow, rng_b);
+  EXPECT_GT(fast_qoe.mean_bitrate_mbps, slow_qoe.mean_bitrate_mbps);
+  EXPECT_GT(fast_qoe.score(), slow_qoe.score());
+}
+
+TEST(Session, SchedulingStallHurtsQoe) {
+  // The SVII-D experiment in miniature: a blocking scheduler that stalls
+  // delivery well past the buffer capacity at every slot boundary must
+  // increase freezing, while the zero-stall (one-slot-ahead) run stays
+  // clean under the same seed.  (Small stalls can even *reduce* later
+  // rebuffering by nudging the buffer-based ABR to a lower rung, which is
+  // why the paper worries about large blocking solves, not microseconds.)
+  ThroughputModel::Config net;
+  net.good_mbps_median = 4.0;  // tight but sufficient
+  net.bad_mbps_median = 2.0;
+  StreamingSession::Config inline_config;
+  inline_config.chunk_count = 180;
+  inline_config.scheduling_stall_s = 90.0;  // a big-VC blocking solve
+  StreamingSession::Config ahead_config = inline_config;
+  ahead_config.scheduling_stall_s = 0.0;
+
+  ThroughputModel network_a(net);
+  ThroughputModel network_b(net);
+  BufferBasedAbr abr_a;
+  BufferBasedAbr abr_b;
+  common::Rng rng_a(7);
+  common::Rng rng_b(7);
+  const SessionQoe stalled =
+      StreamingSession(inline_config).run(network_a, abr_a, rng_a);
+  const SessionQoe clean =
+      StreamingSession(ahead_config).run(network_b, abr_b, rng_b);
+  EXPECT_GE(stalled.rebuffer_time_s, clean.rebuffer_time_s);
+  EXPECT_LE(clean.score(), stalled.score() + 100.0);  // sanity
+  EXPECT_GT(stalled.rebuffer_time_s, 0.0);
+}
+
+TEST(Session, DeterministicGivenSeeds) {
+  StreamingSession session;
+  ThroughputModel net_a;
+  ThroughputModel net_b;
+  BufferBasedAbr abr_a;
+  BufferBasedAbr abr_b;
+  common::Rng rng_a(8);
+  common::Rng rng_b(8);
+  const SessionQoe a = session.run(net_a, abr_a, rng_a);
+  const SessionQoe b = session.run(net_b, abr_b, rng_b);
+  EXPECT_DOUBLE_EQ(a.rebuffer_time_s, b.rebuffer_time_s);
+  EXPECT_DOUBLE_EQ(a.mean_bitrate_mbps, b.mean_bitrate_mbps);
+  EXPECT_EQ(a.bitrate_switches, b.bitrate_switches);
+}
+
+TEST(SessionQoeTest, ScorePenalizesRebuffering) {
+  SessionQoe smooth;
+  smooth.mean_bitrate_mbps = 3.0;
+  smooth.chunks_played = 100;
+  SessionQoe freezing = smooth;
+  freezing.rebuffer_time_s = 30.0;
+  freezing.rebuffer_events = 5;
+  EXPECT_GT(smooth.score(), freezing.score());
+}
+
+}  // namespace
+}  // namespace lpvs::streaming

@@ -1,0 +1,92 @@
+// Tests for the battery model: the physical invariants the emulator relies
+// on (never negative, monotone during playback, correct drain arithmetic).
+#include <gtest/gtest.h>
+
+#include "lpvs/battery/battery.hpp"
+#include "lpvs/common/rng.hpp"
+
+namespace lpvs::battery {
+namespace {
+
+TEST(BatteryTest, InitialFractionRespected) {
+  const Battery battery(common::MilliwattHours{10000.0}, 0.5);
+  EXPECT_DOUBLE_EQ(battery.remaining().value, 5000.0);
+  EXPECT_DOUBLE_EQ(battery.fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(battery.percent(), 50.0);
+}
+
+TEST(BatteryTest, InitialFractionClamped) {
+  EXPECT_DOUBLE_EQ(Battery(common::MilliwattHours{1000.0}, 1.7).fraction(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(Battery(common::MilliwattHours{1000.0}, -0.2).fraction(),
+                   0.0);
+}
+
+TEST(BatteryTest, DrainArithmetic) {
+  Battery battery(common::MilliwattHours{10000.0}, 1.0);
+  // 1 W for 1 hour = 1000 mWh.
+  const auto drawn =
+      battery.drain(common::Milliwatts{1000.0}, common::Seconds{3600.0});
+  EXPECT_DOUBLE_EQ(drawn.value, 1000.0);
+  EXPECT_DOUBLE_EQ(battery.remaining().value, 9000.0);
+}
+
+TEST(BatteryTest, NeverGoesNegative) {
+  Battery battery(common::MilliwattHours{100.0}, 1.0);
+  const auto drawn =
+      battery.drain(common::Milliwatts{1000.0}, common::Seconds{3600.0});
+  EXPECT_DOUBLE_EQ(drawn.value, 100.0);  // only what was left
+  EXPECT_DOUBLE_EQ(battery.remaining().value, 0.0);
+  EXPECT_TRUE(battery.empty());
+  // Further drain is a no-op.
+  EXPECT_DOUBLE_EQ(
+      battery.drain(common::Milliwatts{500.0}, common::Seconds{60.0}).value,
+      0.0);
+}
+
+TEST(BatteryTest, NegativeDrainIgnored) {
+  Battery battery(common::MilliwattHours{1000.0}, 0.5);
+  battery.drain_energy(common::MilliwattHours{-50.0});
+  EXPECT_DOUBLE_EQ(battery.remaining().value, 500.0);  // charging not modeled
+}
+
+TEST(BatteryTest, MonotoneUnderRandomPlayback) {
+  common::Rng rng(1);
+  Battery battery(common::MilliwattHours{12000.0}, 0.8);
+  double prev = battery.fraction();
+  for (int i = 0; i < 1000; ++i) {
+    battery.drain(common::Milliwatts{rng.uniform(100.0, 1500.0)},
+                  common::Seconds{rng.uniform(1.0, 30.0)});
+    const double now = battery.fraction();
+    EXPECT_LE(now, prev + 1e-12);
+    EXPECT_GE(now, 0.0);
+    EXPECT_LE(now, 1.0);
+    prev = now;
+  }
+}
+
+TEST(BatteryTest, LowBatteryPredicate) {
+  const Battery battery(common::MilliwattHours{10000.0}, 0.35);
+  EXPECT_TRUE(battery.at_or_below_percent(40.0));
+  EXPECT_FALSE(battery.at_or_below_percent(30.0));
+  EXPECT_TRUE(battery.at_or_below_percent(35.0));
+}
+
+TEST(BatteryTest, TimeToEmpty) {
+  const Battery battery(common::MilliwattHours{1000.0}, 1.0);
+  EXPECT_DOUBLE_EQ(battery.time_to_empty(common::Milliwatts{500.0}).hours(),
+                   2.0);
+  // Zero draw: effectively forever.
+  EXPECT_GT(battery.time_to_empty(common::Milliwatts{0.0}).value, 1e12);
+}
+
+TEST(BatteryTest, DrainMatchesTimeToEmptyPrediction) {
+  Battery battery(common::MilliwattHours{5000.0}, 0.6);
+  const common::Milliwatts power{750.0};
+  const common::Seconds horizon = battery.time_to_empty(power);
+  battery.drain(power, horizon);
+  EXPECT_NEAR(battery.remaining().value, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace lpvs::battery

@@ -1,0 +1,172 @@
+// Tests for the Bayesian gamma estimator (SV-D): closed-form truncated
+// moments vs numerical integration, conjugate-update algebra, posterior
+// contraction and convergence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lpvs/bayes/gamma_estimator.hpp"
+#include "lpvs/common/rng.hpp"
+
+namespace lpvs::bayes {
+namespace {
+
+TEST(NormalHelpers, PdfAndCdfReferenceValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(normal_pdf(1.0), 0.2419707245, 1e-9);
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.9750021049, 1e-8);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.0249978951, 1e-8);
+}
+
+TEST(TruncatedMoments, SymmetricWindowKeepsMean) {
+  EXPECT_NEAR(truncated_normal_mean(0.5, 0.2, 0.3, 0.7), 0.5, 1e-12);
+}
+
+TEST(TruncatedMoments, OneSidedWindowShiftsMean) {
+  const double m = truncated_normal_mean(0.0, 1.0, 0.0, 10.0);
+  // Half-normal mean = sqrt(2/pi).
+  EXPECT_NEAR(m, std::sqrt(2.0 / M_PI), 1e-6);
+}
+
+TEST(TruncatedMoments, MeanStaysInsideWindow) {
+  for (double mu : {-5.0, 0.0, 0.3, 2.0, 50.0}) {
+    const double m = truncated_normal_mean(mu, 3.0, 0.13, 0.49);
+    EXPECT_GE(m, 0.13);
+    EXPECT_LE(m, 0.49);
+  }
+}
+
+TEST(TruncatedMoments, MassFarOutsideSnapsToNearEdge) {
+  EXPECT_NEAR(truncated_normal_mean(-1e6, 0.01, 0.13, 0.49), 0.13, 1e-9);
+  EXPECT_NEAR(truncated_normal_mean(1e6, 0.01, 0.13, 0.49), 0.49, 1e-9);
+}
+
+TEST(TruncatedMoments, VarianceSmallerThanUntruncated) {
+  const double v = truncated_normal_variance(0.31, 0.5, 0.13, 0.49);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 0.25);
+  // Uniform-like limit: huge sigma -> variance of U(0.13, 0.49).
+  const double flat = truncated_normal_variance(0.31, 100.0, 0.13, 0.49);
+  EXPECT_NEAR(flat, 0.36 * 0.36 / 12.0, 1e-4);
+}
+
+TEST(GammaEstimatorTest, PaperPriorDefaults) {
+  const GammaEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.prior().mean, 0.31);
+  EXPECT_DOUBLE_EQ(estimator.prior().variance, 12.0);
+  EXPECT_DOUBLE_EQ(estimator.prior().lower, 0.13);
+  EXPECT_DOUBLE_EQ(estimator.prior().upper, 0.49);
+  // With the diffuse prior, the expected gamma is near the window center
+  // (the posterior is nearly uniform on [gamma_L, gamma_U]).
+  EXPECT_NEAR(estimator.expected_gamma(), 0.31, 0.01);
+}
+
+TEST(GammaEstimatorTest, ClosedFormMatchesNumericIntegration) {
+  GammaEstimator estimator;
+  common::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    estimator.observe(rng.uniform(0.15, 0.45));
+    EXPECT_NEAR(estimator.expected_gamma(),
+                estimator.expected_gamma_numeric(), 1e-6)
+        << "after " << i + 1 << " observations";
+  }
+}
+
+TEST(GammaEstimatorTest, PosteriorVarianceStrictlyShrinks) {
+  GammaEstimator estimator;
+  double prev = estimator.posterior_variance();
+  for (int i = 0; i < 50; ++i) {
+    estimator.observe(0.3);
+    EXPECT_LT(estimator.posterior_variance(), prev);
+    prev = estimator.posterior_variance();
+  }
+}
+
+TEST(GammaEstimatorTest, ConvergesToTrueGamma) {
+  const double true_gamma = 0.27;
+  GammaEstimator estimator;
+  common::Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    estimator.observe(true_gamma + rng.normal(0.0, 0.03));
+  }
+  EXPECT_NEAR(estimator.expected_gamma(), true_gamma, 0.01);
+  EXPECT_EQ(estimator.observations(), 300u);
+}
+
+TEST(GammaEstimatorTest, SingleObservationDominatesDiffusePrior) {
+  // sigma^2 = 12 vs observation variance ~0.001: one observation should
+  // pull the posterior mean almost onto the observation.
+  GammaEstimator estimator;
+  estimator.observe(0.42);
+  EXPECT_NEAR(estimator.posterior_mean(), 0.42, 0.001);
+}
+
+TEST(GammaEstimatorTest, SequentialEqualsBatchPrecisionWeighting) {
+  // Conjugacy: updating with obs a then b must equal the closed-form batch
+  // posterior with two observations.
+  GammaEstimator sequential;
+  sequential.observe(0.25);
+  sequential.observe(0.35);
+
+  const auto prior = GammaEstimator::Prior{};
+  const double obs_prec = 1.0 / prior.observation_variance;
+  const double prior_prec = 1.0 / prior.variance;
+  const double batch_prec = prior_prec + 2.0 * obs_prec;
+  const double batch_mean =
+      (prior.mean * prior_prec + (0.25 + 0.35) * obs_prec) / batch_prec;
+  EXPECT_NEAR(sequential.posterior_mean(), batch_mean, 1e-12);
+  EXPECT_NEAR(sequential.posterior_variance(), 1.0 / batch_prec, 1e-12);
+}
+
+TEST(GammaEstimatorTest, EstimateAlwaysInsideTable1Band) {
+  GammaEstimator estimator;
+  common::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    // Wild, even nonsensical observations: the scheduling estimate must
+    // stay inside [gamma_L, gamma_U].
+    estimator.observe(rng.uniform(-1.0, 2.0));
+    const double g = estimator.expected_gamma();
+    EXPECT_GE(g, estimator.prior().lower);
+    EXPECT_LE(g, estimator.prior().upper);
+  }
+}
+
+TEST(GammaEstimatorTest, TruncationPullsOutOfBandMeansInside) {
+  GammaEstimator estimator;
+  for (int i = 0; i < 50; ++i) estimator.observe(0.9);  // above gamma_U
+  EXPECT_GT(estimator.posterior_mean(), 0.49);  // untruncated mean escapes
+  EXPECT_NEAR(estimator.expected_gamma(), 0.49, 0.01);  // estimate does not
+}
+
+TEST(GammaEstimatorTest, CustomPriorRespected) {
+  GammaEstimator::Prior prior;
+  prior.mean = 0.2;
+  prior.variance = 0.0001;  // confident prior
+  prior.lower = 0.05;
+  prior.upper = 0.6;
+  GammaEstimator estimator(prior);
+  estimator.observe(0.5);
+  // Confident prior barely moves.
+  EXPECT_LT(estimator.posterior_mean(), 0.25);
+}
+
+/// Convergence sweep over true gamma values spanning the Table I band.
+class ConvergenceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConvergenceSweep, EstimatorLocksOn) {
+  const double true_gamma = GetParam();
+  GammaEstimator estimator;
+  common::Rng rng(static_cast<std::uint64_t>(true_gamma * 1000));
+  for (int i = 0; i < 200; ++i) {
+    estimator.observe(true_gamma + rng.normal(0.0, 0.02));
+  }
+  EXPECT_NEAR(estimator.expected_gamma(), true_gamma, 0.015);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, ConvergenceSweep,
+                         ::testing::Values(0.15, 0.20, 0.25, 0.31, 0.38,
+                                           0.45));
+
+}  // namespace
+}  // namespace lpvs::bayes

@@ -1,0 +1,151 @@
+// Tests for behavior-driven LBA estimation (the paper's SIII-C future
+// work): the simulator's event structure and the estimator's robustness to
+// opportunistic-charging contamination.
+#include <gtest/gtest.h>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/survey/behavioral.hpp"
+#include "lpvs/survey/population.hpp"
+
+namespace lpvs::survey {
+namespace {
+
+Participant user_with_threshold(int level) {
+  Participant p;
+  p.charge_level = level;
+  return p;
+}
+
+TEST(BehaviorSimulator, EventCountAndRange) {
+  common::Rng rng(1);
+  const BehaviorSimulator simulator;
+  const auto events = simulator.simulate(user_with_threshold(25), 60, rng);
+  EXPECT_EQ(events.size(), 60u);
+  for (const ChargeEvent& e : events) {
+    EXPECT_GE(e.battery_level, 1);
+    EXPECT_LE(e.battery_level, 100);
+  }
+}
+
+TEST(BehaviorSimulator, AnxietyEventsClusterAtThreshold) {
+  common::Rng rng(2);
+  const BehaviorSimulator simulator;
+  const auto events = simulator.simulate(user_with_threshold(30), 500, rng);
+  double anxiety_sum = 0.0;
+  int anxiety_count = 0;
+  for (const ChargeEvent& e : events) {
+    if (!e.opportunistic) {
+      anxiety_sum += e.battery_level;
+      ++anxiety_count;
+    }
+  }
+  ASSERT_GT(anxiety_count, 100);
+  EXPECT_NEAR(anxiety_sum / anxiety_count, 30.0, 1.0);
+}
+
+TEST(BehaviorSimulator, OpportunisticEventsAboveThreshold) {
+  common::Rng rng(3);
+  const BehaviorSimulator simulator;
+  const auto events = simulator.simulate(user_with_threshold(40), 500, rng);
+  for (const ChargeEvent& e : events) {
+    if (e.opportunistic) {
+      EXPECT_GE(e.battery_level, 40);
+    }
+  }
+}
+
+TEST(BehaviorSimulator, OpportunisticRateRespected) {
+  common::Rng rng(4);
+  BehaviorSimulator::Config config;
+  config.opportunistic_rate = 0.3;
+  const BehaviorSimulator simulator(config);
+  const auto events = simulator.simulate(user_with_threshold(20), 5000, rng);
+  int opportunistic = 0;
+  for (const ChargeEvent& e : events) opportunistic += e.opportunistic;
+  EXPECT_NEAR(static_cast<double>(opportunistic) / 5000.0, 0.3, 0.03);
+}
+
+TEST(BehavioralEstimator, RecoversSingleUserThreshold) {
+  common::Rng rng(5);
+  const BehaviorSimulator simulator;
+  BehavioralLbaEstimator estimator;
+  const auto events = simulator.simulate(user_with_threshold(22), 120, rng);
+  estimator.add_user_log(events);
+  const auto thresholds = estimator.recovered_thresholds(0.15);
+  ASSERT_EQ(thresholds.size(), 1u);
+  EXPECT_NEAR(thresholds[0], 22, 5);
+}
+
+TEST(BehavioralEstimator, LowQuantileBeatsMedianUnderContamination) {
+  // Heavy opportunistic contamination: the median of observed levels is
+  // biased far above the latent threshold; the low quantile is not.
+  common::Rng rng(6);
+  BehaviorSimulator::Config config;
+  config.opportunistic_rate = 0.6;
+  const BehaviorSimulator simulator(config);
+  BehavioralLbaEstimator estimator;
+  for (int user = 0; user < 100; ++user) {
+    estimator.add_user_log(
+        simulator.simulate(user_with_threshold(20), 90, rng));
+  }
+  const auto robust = estimator.recovered_thresholds(0.15);
+  const auto naive = estimator.recovered_thresholds(0.5);
+  double robust_mean = 0.0;
+  double naive_mean = 0.0;
+  for (std::size_t i = 0; i < robust.size(); ++i) {
+    robust_mean += robust[i];
+    naive_mean += naive[i];
+  }
+  robust_mean /= static_cast<double>(robust.size());
+  naive_mean /= static_cast<double>(naive.size());
+  EXPECT_NEAR(robust_mean, 20.0, 3.0);
+  EXPECT_GT(naive_mean, 30.0);  // badly biased upward
+}
+
+TEST(BehavioralEstimator, CurveMatchesQuestionnaireCurve) {
+  // End-to-end future-work experiment: simulate behavior for the whole
+  // survey population; the behaviorally extracted curve must agree with
+  // the questionnaire curve.
+  common::Rng rng(7);
+  const auto population = SyntheticPopulation().generate(800, rng);
+
+  LbaCurveExtractor questionnaire;
+  questionnaire.add_population(population);
+  const auto questionnaire_curve = questionnaire.extract();
+
+  const BehaviorSimulator simulator;
+  BehavioralLbaEstimator behavioral;
+  for (const Participant& p : population) {
+    behavioral.add_user_log(simulator.simulate(p, 60, rng));
+  }
+  const auto behavioral_curve = behavioral.extract(0.15);
+  const double distance = BehavioralLbaEstimator::curve_distance(
+      questionnaire_curve, behavioral_curve);
+  EXPECT_LT(distance, 0.06);
+
+  // The naive median-based curve must be visibly worse.
+  const auto naive_curve = behavioral.extract(0.5);
+  const double naive_distance = BehavioralLbaEstimator::curve_distance(
+      questionnaire_curve, naive_curve);
+  EXPECT_GT(naive_distance, distance);
+}
+
+TEST(BehavioralEstimator, EmptyLogsIgnored) {
+  BehavioralLbaEstimator estimator;
+  estimator.add_user_log({});
+  EXPECT_TRUE(estimator.recovered_thresholds().empty());
+}
+
+TEST(BehavioralEstimator, CurveDistanceProperties) {
+  const auto flat_one =
+      common::PiecewiseLinear({1.0, 100.0}, {1.0, 1.0});
+  const auto flat_zero =
+      common::PiecewiseLinear({1.0, 100.0}, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(
+      BehavioralLbaEstimator::curve_distance(flat_one, flat_one), 0.0);
+  EXPECT_DOUBLE_EQ(
+      BehavioralLbaEstimator::curve_distance(flat_one, flat_zero), 1.0);
+}
+
+}  // namespace
+}  // namespace lpvs::survey

@@ -1,0 +1,364 @@
+// Tests for the LPVS two-phase scheduler and the baseline selectors:
+// feasibility of every schedule, Phase-1 exactness, Phase-2 improvement,
+// and the dominance relations the paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/core/scheduler.hpp"
+#include "lpvs/solver/ilp.hpp"
+
+namespace lpvs::core {
+namespace {
+
+const survey::AnxietyModel& anxiety() {
+  static const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  return model;
+}
+
+SlotProblem random_problem(common::Rng& rng, std::size_t devices,
+                           double capacity_fraction = 0.4,
+                           double lambda = 2000.0) {
+  SlotProblem problem;
+  problem.lambda = lambda;
+  double total_compute = 0.0;
+  double total_storage = 0.0;
+  for (std::size_t n = 0; n < devices; ++n) {
+    DeviceSlotInput device;
+    device.id = common::DeviceId{static_cast<std::uint32_t>(n)};
+    const std::size_t chunks =
+        10 + static_cast<std::size_t>(rng.uniform_int(0, 20));
+    device.power_rates_mw.resize(chunks);
+    device.chunk_durations_s.assign(chunks, 10.0);
+    for (std::size_t k = 0; k < chunks; ++k) {
+      device.power_rates_mw[k] = rng.uniform(400.0, 1100.0);
+    }
+    device.battery_capacity_mwh = rng.uniform(2500.0, 4500.0);
+    device.initial_energy_mwh =
+        device.battery_capacity_mwh * rng.uniform(0.08, 0.95);
+    device.gamma = rng.uniform(0.13, 0.49);
+    device.compute_cost = rng.uniform(0.3, 1.0);
+    device.storage_cost = rng.uniform(30.0, 120.0);
+    total_compute += device.compute_cost;
+    total_storage += device.storage_cost;
+    problem.devices.push_back(std::move(device));
+  }
+  problem.compute_capacity = total_compute * capacity_fraction;
+  problem.storage_capacity = total_storage;  // storage loose by default
+  return problem;
+}
+
+bool schedule_feasible(const SlotProblem& problem, const Schedule& s) {
+  double compute = 0.0;
+  double storage = 0.0;
+  for (std::size_t n = 0; n < problem.devices.size(); ++n) {
+    if (!s.x[n]) continue;
+    if (!eligible_for_transform(problem.devices[n])) return false;
+    compute += problem.devices[n].compute_cost;
+    storage += problem.devices[n].storage_cost;
+  }
+  return compute <= problem.compute_capacity + 1e-6 &&
+         storage <= problem.storage_capacity + 1e-6;
+}
+
+TEST(ScoreSelection, AllZeroMatchesBaselineFields) {
+  common::Rng rng(1);
+  const SlotProblem problem = random_problem(rng, 20);
+  const Schedule s = score_selection(
+      problem, anxiety(), std::vector<int>(problem.devices.size(), 0));
+  EXPECT_DOUBLE_EQ(s.objective, s.baseline_objective);
+  EXPECT_DOUBLE_EQ(s.energy_spent_mwh, s.baseline_energy_mwh);
+  EXPECT_DOUBLE_EQ(s.anxiety_sum, s.baseline_anxiety_sum);
+  EXPECT_EQ(s.selected_count(), 0);
+  EXPECT_DOUBLE_EQ(s.energy_saving_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(s.anxiety_reduction_ratio(), 0.0);
+}
+
+TEST(ScoreSelection, FullSelectionSavesEnergy) {
+  common::Rng rng(2);
+  const SlotProblem problem = random_problem(rng, 20, 10.0);
+  std::vector<int> all(problem.devices.size(), 1);
+  const Schedule s = score_selection(problem, anxiety(), std::move(all));
+  EXPECT_GT(s.energy_saving_ratio(), 0.1);
+  EXPECT_GE(s.anxiety_reduction_ratio(), 0.0);
+  EXPECT_LT(s.objective, s.baseline_objective);
+}
+
+TEST(NoTransform, SelectsNothing) {
+  common::Rng rng(3);
+  const SlotProblem problem = random_problem(rng, 15);
+  const Schedule s = NoTransformScheduler().schedule(problem, anxiety());
+  EXPECT_EQ(s.selected_count(), 0);
+}
+
+TEST(LpvsSchedulerTest, EmptyProblem) {
+  SlotProblem problem;
+  const Schedule s = LpvsScheduler().schedule(problem, anxiety());
+  EXPECT_TRUE(s.x.empty());
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+TEST(LpvsSchedulerTest, SufficientCapacityServesAllEligible) {
+  common::Rng rng(4);
+  const SlotProblem problem = random_problem(rng, 30, 10.0);
+  const Schedule s = LpvsScheduler().schedule(problem, anxiety());
+  int eligible = 0;
+  for (const auto& device : problem.devices) {
+    eligible += eligible_for_transform(device) ? 1 : 0;
+  }
+  EXPECT_EQ(s.selected_count(), eligible);
+}
+
+TEST(LpvsSchedulerTest, NeverSelectsIneligible) {
+  common::Rng rng(5);
+  SlotProblem problem = random_problem(rng, 20, 10.0);
+  problem.devices[3].initial_energy_mwh = 0.001;  // dying battery
+  problem.devices[7].gamma = 0.0;
+  const Schedule s = LpvsScheduler().schedule(problem, anxiety());
+  EXPECT_EQ(s.x[3], 0);
+  EXPECT_EQ(s.x[7], 0);
+}
+
+TEST(LpvsSchedulerTest, Phase1MatchesExhaustiveOnEnergy) {
+  // With lambda irrelevant, Phase-1's selection must equal the exact
+  // optimum of the energy-saving knapsack.
+  common::Rng rng(6);
+  const SlotProblem problem = random_problem(rng, 12, 0.4);
+  const Schedule phase1 =
+      LpvsScheduler().schedule_phase1_only(problem, anxiety());
+
+  solver::BinaryProgram program;
+  const std::size_t n = problem.devices.size();
+  program.objective.resize(n);
+  program.rows.assign(2, std::vector<double>(n));
+  program.rhs = {problem.compute_capacity, problem.storage_capacity};
+  program.eligible.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    program.objective[j] = problem.devices[j].gamma *
+                           untransformed_energy_mwh(problem.devices[j]);
+    program.rows[0][j] = problem.devices[j].compute_cost;
+    program.rows[1][j] = problem.devices[j].storage_cost;
+    program.eligible[j] =
+        eligible_for_transform(problem.devices[j]) ? 1 : 0;
+  }
+  const solver::IlpSolution exact = solver::ExhaustiveSolver().solve(program);
+  double phase1_saving = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (phase1.x[j]) phase1_saving += program.objective[j];
+  }
+  // The scheduler runs its B&B with a 0.01% relative gap (see
+  // scheduler_ilp_defaults), so allow exactly that slack here.
+  EXPECT_NEAR(phase1_saving, exact.objective, 1e-4 * exact.objective + 1e-6);
+}
+
+TEST(LpvsSchedulerTest, Phase2NeverWorsensObjective) {
+  common::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SlotProblem problem =
+        random_problem(rng, 40, 0.3, /*lambda=*/5000.0);
+    const LpvsScheduler scheduler;
+    const Schedule p1 = scheduler.schedule_phase1_only(problem, anxiety());
+    const Schedule full = scheduler.schedule(problem, anxiety());
+    EXPECT_LE(full.objective, p1.objective + 1e-6) << "trial " << trial;
+    EXPECT_TRUE(schedule_feasible(problem, full));
+  }
+}
+
+TEST(LpvsSchedulerTest, Phase2HelpsAnxiousUsersUnderHighLambda) {
+  // Construct two identical-energy users, one at 22% battery and one at
+  // 85%; capacity for one.  With large lambda, LPVS must pick the anxious
+  // one even though Phase-1 alone is indifferent.
+  SlotProblem problem;
+  problem.lambda = 50000.0;
+  problem.compute_capacity = 0.5;
+  problem.storage_capacity = 1000.0;
+  for (double fraction : {0.85, 0.22}) {
+    DeviceSlotInput device;
+    device.id = common::DeviceId{fraction < 0.5 ? 1u : 0u};
+    device.power_rates_mw.assign(30, 700.0);
+    device.chunk_durations_s.assign(30, 10.0);
+    device.battery_capacity_mwh = 3000.0;
+    device.initial_energy_mwh = 3000.0 * fraction;
+    device.gamma = 0.3;
+    device.compute_cost = 0.5;
+    device.storage_cost = 50.0;
+    problem.devices.push_back(std::move(device));
+  }
+  const Schedule s = LpvsScheduler().schedule(problem, anxiety());
+  EXPECT_EQ(s.selected_count(), 1);
+  EXPECT_EQ(s.x[1], 1) << "the 22% user must win under high lambda";
+}
+
+TEST(LpvsSchedulerTest, SlaWeightBreaksTiesTowardPremiumUsers) {
+  // Two identical low-battery users, capacity for one; the premium tier's
+  // higher anxiety weight must win the slot (Remark 3's SLA hook).
+  SlotProblem problem;
+  problem.lambda = 20000.0;
+  problem.compute_capacity = 0.5;
+  problem.storage_capacity = 1000.0;
+  for (double weight : {1.0, 4.0}) {
+    DeviceSlotInput device;
+    device.id = common::DeviceId{weight > 1.0 ? 1u : 0u};
+    device.power_rates_mw.assign(30, 700.0);
+    device.chunk_durations_s.assign(30, 10.0);
+    device.battery_capacity_mwh = 3000.0;
+    device.initial_energy_mwh = 3000.0 * 0.25;
+    device.gamma = 0.3;
+    device.compute_cost = 0.5;
+    device.storage_cost = 50.0;
+    device.sla_weight = weight;
+    problem.devices.push_back(std::move(device));
+  }
+  const Schedule s = LpvsScheduler().schedule(problem, anxiety());
+  EXPECT_EQ(s.selected_count(), 1);
+  EXPECT_EQ(s.x[1], 1) << "the premium user must be served";
+
+  const Schedule joint = JointOptimalScheduler().schedule(problem, anxiety());
+  EXPECT_EQ(joint.x[1], 1);
+}
+
+TEST(LpvsSchedulerTest, SlaWeightOneIsNeutral) {
+  common::Rng rng(13);
+  SlotProblem problem = random_problem(rng, 20, 0.4, 5000.0);
+  const Schedule base = LpvsScheduler().schedule(problem, anxiety());
+  for (auto& device : problem.devices) device.sla_weight = 1.0;
+  const Schedule same = LpvsScheduler().schedule(problem, anxiety());
+  EXPECT_EQ(base.x, same.x);
+}
+
+TEST(Baselines, AllReturnFeasibleSchedules) {
+  common::Rng rng(8);
+  const SlotProblem problem = random_problem(rng, 35, 0.35);
+  const RandomScheduler random_sched(99);
+  const GreedyEnergyScheduler greedy_energy;
+  const GreedyAnxietyScheduler greedy_anxiety;
+  const JointOptimalScheduler joint;
+  const LpvsScheduler lpvs;
+  for (const Scheduler* s :
+       std::initializer_list<const Scheduler*>{
+           &random_sched, &greedy_energy, &greedy_anxiety, &joint, &lpvs}) {
+    const Schedule schedule = s->schedule(problem, anxiety());
+    EXPECT_TRUE(schedule_feasible(problem, schedule)) << s->name();
+    EXPECT_EQ(schedule.x.size(), problem.devices.size()) << s->name();
+  }
+}
+
+TEST(Baselines, LpvsBeatsRandomOnEnergy) {
+  common::Rng rng(9);
+  double lpvs_total = 0.0;
+  double random_total = 0.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const SlotProblem problem = random_problem(rng, 40, 0.3, 0.0);
+    lpvs_total +=
+        LpvsScheduler().schedule(problem, anxiety()).energy_saving_ratio();
+    random_total += RandomScheduler(trial)
+                        .schedule(problem, anxiety())
+                        .energy_saving_ratio();
+  }
+  EXPECT_GT(lpvs_total, random_total);
+}
+
+TEST(Baselines, JointOptimalNeverWorseThanLpvs) {
+  common::Rng rng(10);
+  for (int trial = 0; trial < 8; ++trial) {
+    const SlotProblem problem = random_problem(rng, 25, 0.35, 3000.0);
+    const double lpvs =
+        LpvsScheduler().schedule(problem, anxiety()).objective;
+    const double joint =
+        JointOptimalScheduler().schedule(problem, anxiety()).objective;
+    EXPECT_LE(joint, lpvs + 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Baselines, GreedyAnxietyPrefersLowBattery) {
+  common::Rng rng(11);
+  SlotProblem problem = random_problem(rng, 20, 0.25);
+  // Find the most anxious eligible device; greedy-anxiety must serve it.
+  std::size_t most_anxious = 0;
+  double best = -1.0;
+  for (std::size_t n = 0; n < problem.devices.size(); ++n) {
+    if (!eligible_for_transform(problem.devices[n])) continue;
+    const double a = anxiety()(problem.devices[n].initial_energy_mwh /
+                               problem.devices[n].battery_capacity_mwh);
+    if (a > best) {
+      best = a;
+      most_anxious = n;
+    }
+  }
+  const Schedule s =
+      GreedyAnxietyScheduler().schedule(problem, anxiety());
+  EXPECT_EQ(s.x[most_anxious], 1);
+}
+
+TEST(Schedule, CapacityAccountingMatchesSelection) {
+  common::Rng rng(12);
+  const SlotProblem problem = random_problem(rng, 25, 0.5);
+  const Schedule s = LpvsScheduler().schedule(problem, anxiety());
+  double compute = 0.0;
+  double storage = 0.0;
+  for (std::size_t n = 0; n < problem.devices.size(); ++n) {
+    if (s.x[n]) {
+      compute += problem.devices[n].compute_cost;
+      storage += problem.devices[n].storage_cost;
+    }
+  }
+  EXPECT_NEAR(s.compute_used, compute, 1e-9);
+  EXPECT_NEAR(s.storage_used, storage, 1e-9);
+  EXPECT_LE(s.compute_used, problem.compute_capacity + 1e-6);
+}
+
+TEST(Schedule, SchedulerNames) {
+  EXPECT_EQ(LpvsScheduler().name(), "lpvs");
+  EXPECT_EQ(NoTransformScheduler().name(), "no-transform");
+  EXPECT_EQ(RandomScheduler(1).name(), "random");
+  EXPECT_EQ(GreedyEnergyScheduler().name(), "greedy-energy");
+  EXPECT_EQ(GreedyAnxietyScheduler().name(), "greedy-anxiety");
+  EXPECT_EQ(JointOptimalScheduler().name(), "joint-optimal");
+}
+
+/// Feasibility fuzz: every scheduler, many random problems, every capacity
+/// regime — no schedule may ever violate (6), (7) or eligibility.
+struct FuzzCase {
+  std::uint64_t seed;
+  double capacity_fraction;
+  double lambda;
+};
+
+class SchedulerFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(SchedulerFuzz, AlwaysFeasible) {
+  const FuzzCase& c = GetParam();
+  common::Rng rng(c.seed);
+  const SlotProblem problem =
+      random_problem(rng, 30, c.capacity_fraction, c.lambda);
+  const RandomScheduler random_sched(c.seed);
+  const GreedyEnergyScheduler greedy_energy;
+  const GreedyAnxietyScheduler greedy_anxiety;
+  const LpvsScheduler lpvs;
+  for (const Scheduler* s :
+       std::initializer_list<const Scheduler*>{&random_sched, &greedy_energy,
+                                               &greedy_anxiety, &lpvs}) {
+    EXPECT_TRUE(schedule_feasible(problem, s->schedule(problem, anxiety())))
+        << s->name() << " seed=" << c.seed;
+  }
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    for (double fraction : {0.1, 0.5, 2.0}) {
+      for (double lambda : {0.0, 2000.0, 20000.0}) {
+        cases.push_back({seed, fraction, lambda});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, SchedulerFuzz,
+                         ::testing::ValuesIn(fuzz_cases()));
+
+}  // namespace
+}  // namespace lpvs::core

@@ -1,0 +1,225 @@
+// Tests for the slot-problem machinery: the information-compacting
+// identities of SV-B (the heart of the paper's solution method) checked as
+// exact algebraic properties against forward simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/core/slot_problem.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+
+namespace lpvs::core {
+namespace {
+
+DeviceSlotInput random_device(common::Rng& rng, std::size_t chunks = 30,
+                              bool equal_durations = false) {
+  DeviceSlotInput device;
+  device.id = common::DeviceId{static_cast<std::uint32_t>(rng())};
+  device.power_rates_mw.resize(chunks);
+  device.chunk_durations_s.resize(chunks);
+  for (std::size_t k = 0; k < chunks; ++k) {
+    device.power_rates_mw[k] = rng.uniform(300.0, 1200.0);
+    device.chunk_durations_s[k] =
+        equal_durations ? 10.0 : rng.uniform(4.0, 12.0);
+  }
+  device.battery_capacity_mwh = rng.uniform(2500.0, 5000.0);
+  device.initial_energy_mwh =
+      device.battery_capacity_mwh * rng.uniform(0.05, 1.0);
+  device.gamma = rng.uniform(0.13, 0.49);
+  device.compute_cost = rng.uniform(0.2, 1.2);
+  device.storage_cost = rng.uniform(20.0, 200.0);
+  return device;
+}
+
+const survey::AnxietyModel& anxiety() {
+  static const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  return model;
+}
+
+TEST(ForwardEvaluation, TransformScalesPowerByGamma) {
+  common::Rng rng(1);
+  const DeviceSlotInput device = random_device(rng);
+  const DeviceEvaluation off = evaluate_forward(device, false, anxiety());
+  const DeviceEvaluation on = evaluate_forward(device, true, anxiety());
+  EXPECT_NEAR(on.sum_psi_mw, (1.0 - device.gamma) * off.sum_psi_mw, 1e-9);
+}
+
+TEST(ForwardEvaluation, TransformNeverIncreasesAnxietyOrEnergy) {
+  common::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const DeviceSlotInput device = random_device(rng);
+    const DeviceEvaluation off = evaluate_forward(device, false, anxiety());
+    const DeviceEvaluation on = evaluate_forward(device, true, anxiety());
+    EXPECT_LE(on.energy_spent_mwh, off.energy_spent_mwh + 1e-9);
+    EXPECT_LE(on.sum_anxiety, off.sum_anxiety + 1e-9);
+    EXPECT_GE(on.final_energy_mwh, off.final_energy_mwh - 1e-9);
+  }
+}
+
+TEST(ForwardEvaluation, EnergyConservation) {
+  common::Rng rng(3);
+  const DeviceSlotInput device = random_device(rng);
+  const DeviceEvaluation eval = evaluate_forward(device, false, anxiety());
+  EXPECT_NEAR(device.initial_energy_mwh,
+              eval.final_energy_mwh + eval.energy_spent_mwh, 1e-9);
+}
+
+TEST(ForwardEvaluation, DeadBatteryFlagged) {
+  common::Rng rng(4);
+  DeviceSlotInput device = random_device(rng);
+  device.initial_energy_mwh = 0.1;  // dies almost immediately
+  const DeviceEvaluation eval = evaluate_forward(device, false, anxiety());
+  EXPECT_FALSE(eval.battery_survives);
+  EXPECT_NEAR(eval.final_energy_mwh, 0.0, 1e-12);
+  EXPECT_NEAR(eval.energy_spent_mwh, 0.1, 1e-9);
+}
+
+TEST(ForwardEvaluation, EmptyChunkListIsNeutral) {
+  DeviceSlotInput device;
+  device.power_rates_mw.clear();
+  device.chunk_durations_s.clear();
+  device.initial_energy_mwh = 1000.0;
+  device.battery_capacity_mwh = 2000.0;
+  const DeviceEvaluation eval = evaluate_forward(device, true, anxiety());
+  EXPECT_DOUBLE_EQ(eval.sum_psi_mw, 0.0);
+  EXPECT_DOUBLE_EQ(eval.sum_anxiety, 0.0);
+  EXPECT_DOUBLE_EQ(eval.final_energy_mwh, 1000.0);
+  EXPECT_TRUE(eval.battery_survives);
+}
+
+/// The paper's equation (10): sum_kappa e(kappa) telescopes into the closed
+/// form (10d).  Exact identity (no flooring), any durations, any gamma.
+class CompactionIdentity
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompactionIdentity, EnergySumClosedFormEqualsForward) {
+  common::Rng rng(GetParam());
+  for (bool transformed : {false, true}) {
+    for (bool equal_durations : {false, true}) {
+      const std::size_t chunks =
+          1 + static_cast<std::size_t>(rng.uniform_int(0, 59));
+      const DeviceSlotInput device =
+          random_device(rng, chunks, equal_durations);
+      EXPECT_NEAR(energy_sum_closed_form(device, transformed),
+                  energy_sum_forward(device, transformed),
+                  1e-7 * std::fabs(energy_sum_forward(device, transformed)) +
+                      1e-7)
+          << "chunks=" << chunks << " transformed=" << transformed;
+    }
+  }
+}
+
+TEST_P(CompactionIdentity, CompactedObjectiveEqualsForwardObjective) {
+  common::Rng rng(GetParam() + 1000);
+  for (bool transformed : {false, true}) {
+    for (double lambda : {0.0, 500.0, 2000.0, 10000.0}) {
+      const std::size_t chunks =
+          1 + static_cast<std::size_t>(rng.uniform_int(0, 59));
+      const DeviceSlotInput device = random_device(rng, chunks);
+      const double forward =
+          evaluate_forward(device, transformed, anxiety()).objective(lambda);
+      const double compacted =
+          compacted_objective(device, transformed, anxiety(), lambda);
+      EXPECT_NEAR(forward, compacted, 1e-6 * std::fabs(forward) + 1e-6)
+          << "lambda=" << lambda << " transformed=" << transformed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactionIdentity,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(CompactedConstraint, SlackPositiveForHealthyBattery) {
+  common::Rng rng(5);
+  DeviceSlotInput device = random_device(rng);
+  device.initial_energy_mwh = device.battery_capacity_mwh;  // full battery
+  EXPECT_GT(compacted_constraint_slack(device), 0.0);
+  EXPECT_TRUE(eligible_for_transform(device));
+}
+
+TEST(CompactedConstraint, SlackNegativeForDyingBattery) {
+  common::Rng rng(6);
+  DeviceSlotInput device = random_device(rng);
+  device.initial_energy_mwh = 0.01;
+  EXPECT_LT(compacted_constraint_slack(device), 0.0);
+  EXPECT_FALSE(eligible_for_transform(device));
+}
+
+TEST(CompactedConstraint, MatchesLiteralFormula) {
+  // Hand-computable instance: 2 chunks, p = 360 mW, 10 s each, gamma 0.5.
+  DeviceSlotInput device;
+  device.power_rates_mw = {360.0, 360.0};
+  device.chunk_durations_s = {10.0, 10.0};
+  device.gamma = 0.5;
+  device.battery_capacity_mwh = 100.0;
+  device.initial_energy_mwh = 10.0;
+  // psi = 0.5 mWh per chunk (transformed: 180 mW x 10 s).
+  // closed form: 2*10 - (2-1)*0.5 - (2-2)*0.5 = 19.5.
+  EXPECT_NEAR(energy_sum_closed_form(device, true), 19.5, 1e-12);
+  // rhs = gamma * sum p*Delta = 0.5 * 2 mWh = 1.0; slack = 18.5.
+  EXPECT_NEAR(compacted_constraint_slack(device), 18.5, 1e-12);
+}
+
+TEST(Eligibility, RejectsEmptyAndZeroGamma) {
+  common::Rng rng(7);
+  DeviceSlotInput no_chunks = random_device(rng, 1);
+  no_chunks.power_rates_mw.clear();
+  no_chunks.chunk_durations_s.clear();
+  EXPECT_FALSE(eligible_for_transform(no_chunks));
+
+  DeviceSlotInput no_gamma = random_device(rng);
+  no_gamma.gamma = 0.0;
+  EXPECT_FALSE(eligible_for_transform(no_gamma));
+}
+
+TEST(UntransformedEnergy, SumsChunkEnergies) {
+  DeviceSlotInput device;
+  device.power_rates_mw = {720.0, 360.0};
+  device.chunk_durations_s = {10.0, 20.0};
+  device.initial_energy_mwh = 100.0;
+  device.battery_capacity_mwh = 100.0;
+  // 720*10/3600 + 360*20/3600 = 2 + 2 = 4 mWh.
+  EXPECT_NEAR(untransformed_energy_mwh(device), 4.0, 1e-12);
+}
+
+TEST(ObjectiveStructure, LambdaZeroIgnoresAnxiety) {
+  common::Rng rng(8);
+  const DeviceSlotInput device = random_device(rng);
+  const DeviceEvaluation eval = evaluate_forward(device, false, anxiety());
+  EXPECT_DOUBLE_EQ(eval.objective(0.0), eval.sum_psi_mw);
+}
+
+TEST(ObjectiveStructure, ObjectiveMonotoneInLambdaForAnxiousDevice) {
+  common::Rng rng(9);
+  DeviceSlotInput device = random_device(rng);
+  device.initial_energy_mwh = device.battery_capacity_mwh * 0.15;
+  const DeviceEvaluation eval = evaluate_forward(device, false, anxiety());
+  EXPECT_GT(eval.sum_anxiety, 0.0);
+  EXPECT_LT(eval.objective(100.0), eval.objective(1000.0));
+}
+
+TEST(ObjectiveStructure, LowBatteryDeviceBenefitsMoreFromTransform) {
+  // The lambda-weighted benefit of serving a near-20% device exceeds that
+  // of an identical device at 80% battery: the SIII-C insight.
+  DeviceSlotInput low;
+  low.power_rates_mw.assign(30, 700.0);
+  low.chunk_durations_s.assign(30, 10.0);
+  low.battery_capacity_mwh = 3000.0;
+  low.initial_energy_mwh = 3000.0 * 0.23;
+  low.gamma = 0.3;
+  DeviceSlotInput high = low;
+  high.initial_energy_mwh = 3000.0 * 0.8;
+
+  const double lambda = 5000.0;
+  const double benefit_low =
+      compacted_objective(low, false, anxiety(), lambda) -
+      compacted_objective(low, true, anxiety(), lambda);
+  const double benefit_high =
+      compacted_objective(high, false, anxiety(), lambda) -
+      compacted_objective(high, true, anxiety(), lambda);
+  EXPECT_GT(benefit_low, benefit_high);
+}
+
+}  // namespace
+}  // namespace lpvs::core

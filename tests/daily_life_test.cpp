@@ -1,0 +1,103 @@
+// Tests for the multi-day daily-life simulation: structural invariants,
+// determinism, paired comparability, and the long-run LPVS effect.
+#include <gtest/gtest.h>
+
+#include "lpvs/emu/daily_life.hpp"
+
+namespace lpvs::emu {
+namespace {
+
+const survey::AnxietyModel& anxiety() {
+  static const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  return model;
+}
+
+DailyLifeConfig small_config(std::uint64_t seed = 1) {
+  DailyLifeConfig config;
+  config.users = 25;
+  config.days = 3;
+  config.seed = seed;
+  return config;
+}
+
+TEST(DailyLife, ProducesPlausibleScales) {
+  const DailyLifeReport report =
+      simulate_daily_life(small_config(), anxiety());
+  // 16 waking hours = 960 minutes; anxiety-minutes must fit inside.
+  EXPECT_GT(report.anxiety_minutes_per_day, 0.0);
+  EXPECT_LT(report.anxiety_minutes_per_day, 960.0);
+  EXPECT_GE(report.warning_zone_minutes_per_day, 0.0);
+  EXPECT_LE(report.warning_zone_minutes_per_day, 960.0);
+  EXPECT_GT(report.sessions_started, 0);
+  EXPECT_GT(report.mean_viewing_minutes_per_day, 10.0);
+  EXPECT_LT(report.mean_viewing_minutes_per_day, 960.0);
+}
+
+TEST(DailyLife, Deterministic) {
+  const DailyLifeReport a = simulate_daily_life(small_config(7), anxiety());
+  const DailyLifeReport b = simulate_daily_life(small_config(7), anxiety());
+  EXPECT_DOUBLE_EQ(a.anxiety_minutes_per_day, b.anxiety_minutes_per_day);
+  EXPECT_EQ(a.sessions_started, b.sessions_started);
+  EXPECT_EQ(a.sessions_abandoned, b.sessions_abandoned);
+}
+
+TEST(DailyLife, PairedWorldsShareSessionPlan) {
+  DailyLifeConfig with = small_config(9);
+  with.lpvs_enabled = true;
+  DailyLifeConfig without = small_config(9);
+  without.lpvs_enabled = false;
+  const DailyLifeReport a = simulate_daily_life(with, anxiety());
+  const DailyLifeReport b = simulate_daily_life(without, anxiety());
+  EXPECT_EQ(a.sessions_started, b.sessions_started);
+}
+
+TEST(DailyLife, LpvsReducesLongRunAnxietyExposure) {
+  DailyLifeConfig with = small_config(11);
+  with.users = 40;
+  with.days = 5;
+  with.lpvs_enabled = true;
+  DailyLifeConfig without = with;
+  without.lpvs_enabled = false;
+  const DailyLifeReport lpvs = simulate_daily_life(with, anxiety());
+  const DailyLifeReport base = simulate_daily_life(without, anxiety());
+  EXPECT_LT(lpvs.anxiety_minutes_per_day, base.anxiety_minutes_per_day);
+  EXPECT_LE(lpvs.warning_zone_minutes_per_day,
+            base.warning_zone_minutes_per_day);
+  EXPECT_LE(lpvs.sessions_abandoned, base.sessions_abandoned);
+  // Users watch at least as long when served.
+  EXPECT_GE(lpvs.mean_viewing_minutes_per_day,
+            base.mean_viewing_minutes_per_day);
+}
+
+TEST(DailyLife, ServedFractionInterpolates) {
+  DailyLifeConfig full = small_config(13);
+  full.served_fraction = 1.0;
+  DailyLifeConfig half = small_config(13);
+  half.served_fraction = 0.5;
+  DailyLifeConfig none = small_config(13);
+  none.lpvs_enabled = false;
+  const double a =
+      simulate_daily_life(full, anxiety()).anxiety_minutes_per_day;
+  const double b =
+      simulate_daily_life(half, anxiety()).anxiety_minutes_per_day;
+  const double c =
+      simulate_daily_life(none, anxiety()).anxiety_minutes_per_day;
+  EXPECT_LE(a, b + 1e-9);
+  EXPECT_LE(b, c + 1e-9);
+}
+
+TEST(DailyLife, MoreSessionsMoreAnxiety) {
+  DailyLifeConfig light = small_config(15);
+  light.sessions_per_day = 1.0;
+  light.lpvs_enabled = false;
+  DailyLifeConfig heavy = small_config(15);
+  heavy.sessions_per_day = 6.0;
+  heavy.lpvs_enabled = false;
+  const DailyLifeReport few = simulate_daily_life(light, anxiety());
+  const DailyLifeReport many = simulate_daily_life(heavy, anxiety());
+  EXPECT_GT(many.sessions_started, few.sessions_started);
+  EXPECT_GT(many.anxiety_minutes_per_day, few.anxiety_minutes_per_day);
+}
+
+}  // namespace
+}  // namespace lpvs::emu

@@ -1,0 +1,244 @@
+// Tests for the display power models: LCD backlight affinity, OLED color
+// dependence, the Fig. 1 component breakdown, and the device catalog.
+#include <gtest/gtest.h>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/display/display.hpp"
+
+namespace lpvs::display {
+namespace {
+
+DisplaySpec lcd_spec() {
+  return {DisplayType::kLcd, 6.1, 1080, 2340, 500.0, 0.8};
+}
+
+DisplaySpec oled_spec() {
+  return {DisplayType::kOled, 6.1, 1080, 2340, 700.0, 0.8};
+}
+
+FrameStats gray(double level) {
+  FrameStats stats;
+  stats.mean_luminance = level;
+  stats.mean_r = level;
+  stats.mean_g = level;
+  stats.mean_b = level;
+  stats.peak_luminance = std::min(1.0, level + 0.3);
+  return stats;
+}
+
+TEST(FrameStatsTest, ClampedRestoresInvariants) {
+  FrameStats stats;
+  stats.mean_luminance = 1.7;
+  stats.mean_r = -0.3;
+  stats.mean_g = 0.5;
+  stats.mean_b = 2.0;
+  stats.peak_luminance = 0.1;  // below mean: must be lifted
+  const FrameStats fixed = stats.clamped();
+  EXPECT_DOUBLE_EQ(fixed.mean_luminance, 1.0);
+  EXPECT_DOUBLE_EQ(fixed.mean_r, 0.0);
+  EXPECT_DOUBLE_EQ(fixed.mean_b, 1.0);
+  EXPECT_GE(fixed.peak_luminance, fixed.mean_luminance);
+}
+
+TEST(DisplaySpecTest, AreaMatchesDiagonalAndAspect) {
+  // 16:9 6.1" panel: width = 6.1*16/sqrt(337), height = 6.1*9/sqrt(337).
+  DisplaySpec spec{DisplayType::kLcd, 6.1, 1920, 1080, 500.0, 0.8};
+  const double expected = 6.1 * 6.1 * (16.0 / 9.0) /
+                          (1.0 + (16.0 / 9.0) * (16.0 / 9.0));
+  EXPECT_NEAR(spec.area_sq_inches(), expected, 1e-9);
+}
+
+TEST(DisplaySpecTest, AreaGrowsWithDiagonal) {
+  DisplaySpec small = lcd_spec();
+  DisplaySpec large = lcd_spec();
+  large.diagonal_inches = 6.8;
+  EXPECT_GT(large.area_sq_inches(), small.area_sq_inches());
+}
+
+TEST(DisplaySpecTest, PixelCount) {
+  EXPECT_EQ(lcd_spec().pixel_count(), 1080L * 2340L);
+}
+
+TEST(LcdModel, PowerAffineInBacklight) {
+  const LcdPowerModel model;
+  const DisplaySpec spec = lcd_spec();
+  const double p0 = model.power(spec, 0.0).value;
+  const double p_half = model.power(spec, 0.5).value;
+  const double p1 = model.power(spec, 1.0).value;
+  EXPECT_GT(p0, 0.0);  // panel + backlight floor
+  EXPECT_NEAR(p_half, (p0 + p1) / 2.0, 1e-9);
+  EXPECT_GT(p1, p0);
+}
+
+TEST(LcdModel, BacklightLevelClamped) {
+  const LcdPowerModel model;
+  const DisplaySpec spec = lcd_spec();
+  EXPECT_DOUBLE_EQ(model.power(spec, -1.0).value,
+                   model.power(spec, 0.0).value);
+  EXPECT_DOUBLE_EQ(model.power(spec, 2.0).value,
+                   model.power(spec, 1.0).value);
+}
+
+TEST(LcdModel, ContentDoesNotMatter) {
+  // An LCD burns the backlight regardless of pixels: the device model must
+  // report identical display power for dark and bright content.
+  const DevicePowerModel model;
+  const DisplaySpec spec = lcd_spec();
+  EXPECT_DOUBLE_EQ(model.display_power(spec, gray(0.1)).value,
+                   model.display_power(spec, gray(0.9)).value);
+}
+
+TEST(OledModel, DarkerContentCheaper) {
+  const OledPowerModel model;
+  const DisplaySpec spec = oled_spec();
+  EXPECT_LT(model.power(spec, gray(0.2)).value,
+            model.power(spec, gray(0.8)).value);
+}
+
+TEST(OledModel, BlueCostsMoreThanGreen) {
+  const OledPowerModel model;
+  const DisplaySpec spec = oled_spec();
+  FrameStats blue = gray(0.0);
+  blue.mean_b = 0.8;
+  FrameStats green = gray(0.0);
+  green.mean_g = 0.8;
+  FrameStats red = gray(0.0);
+  red.mean_r = 0.8;
+  const double pb = model.power(spec, blue).value;
+  const double pg = model.power(spec, green).value;
+  const double pr = model.power(spec, red).value;
+  EXPECT_GT(pb, pr);
+  EXPECT_GT(pr, pg);
+  // "the blue pixels consume about twice the power of green ones" [17].
+  const double static_mw =
+      model.coefficients().static_mw_per_sq_in * spec.area_sq_inches();
+  EXPECT_NEAR((pb - static_mw) / (pg - static_mw), 2.1, 0.2);
+}
+
+TEST(OledModel, ScalesWithBrightness) {
+  const OledPowerModel model;
+  DisplaySpec dim = oled_spec();
+  dim.brightness = 0.3;
+  DisplaySpec bright = oled_spec();
+  bright.brightness = 0.9;
+  EXPECT_LT(model.power(dim, gray(0.5)).value,
+            model.power(bright, gray(0.5)).value);
+}
+
+TEST(OledModel, ScalesWithResolution) {
+  const OledPowerModel model;
+  DisplaySpec fhd = oled_spec();
+  DisplaySpec qhd = oled_spec();
+  qhd.width_px = 1440;
+  qhd.height_px = 3040;
+  EXPECT_LT(model.power(fhd, gray(0.5)).value,
+            model.power(qhd, gray(0.5)).value);
+}
+
+TEST(DeviceModel, BreakdownSumsToTotal) {
+  const DevicePowerModel model;
+  const auto split = model.breakdown(oled_spec(), gray(0.5), 3.0);
+  EXPECT_NEAR(split.total().value,
+              split.display.value + split.cpu.value + split.radio.value +
+                  split.base.value,
+              1e-12);
+  EXPECT_NEAR(model.playback_power(oled_spec(), gray(0.5), 3.0).value,
+              split.total().value, 1e-12);
+}
+
+TEST(DeviceModel, DisplayIsPrimaryGuzzler) {
+  // Fig. 1: the display dominates playback power on both panel types.
+  const DevicePowerModel model;
+  for (const DisplaySpec& spec : {lcd_spec(), oled_spec()}) {
+    const auto split = model.breakdown(spec, gray(0.5), 3.0);
+    EXPECT_GT(split.display.value, split.cpu.value);
+    EXPECT_GT(split.display.value, split.radio.value);
+    EXPECT_GT(split.display_fraction(), 0.40);
+  }
+}
+
+TEST(DeviceModel, BitrateRaisesCpuAndRadio) {
+  const DevicePowerModel model;
+  const auto low = model.breakdown(lcd_spec(), gray(0.5), 1.0);
+  const auto high = model.breakdown(lcd_spec(), gray(0.5), 8.0);
+  EXPECT_GT(high.cpu.value, low.cpu.value);
+  EXPECT_GT(high.radio.value, low.radio.value);
+  EXPECT_DOUBLE_EQ(high.display.value, low.display.value);
+}
+
+TEST(DeviceModel, NegativeBitrateTreatedAsZero) {
+  const DevicePowerModel model;
+  EXPECT_DOUBLE_EQ(model.playback_power(lcd_spec(), gray(0.5), -3.0).value,
+                   model.playback_power(lcd_spec(), gray(0.5), 0.0).value);
+}
+
+TEST(Catalog, HasBothPanelTypes) {
+  const DeviceCatalog& catalog = DeviceCatalog::standard();
+  bool lcd = false;
+  bool oled = false;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    lcd |= catalog.at(i).spec.type == DisplayType::kLcd;
+    oled |= catalog.at(i).spec.type == DisplayType::kOled;
+  }
+  EXPECT_TRUE(lcd);
+  EXPECT_TRUE(oled);
+}
+
+TEST(Catalog, ProfilesPhysicallySane) {
+  const DeviceCatalog& catalog = DeviceCatalog::standard();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& profile = catalog.at(i);
+    EXPECT_GT(profile.battery_mwh, 5000.0);
+    EXPECT_LT(profile.battery_mwh, 30000.0);
+    EXPECT_GT(profile.spec.diagonal_inches, 4.0);
+    EXPECT_LT(profile.spec.diagonal_inches, 9.0);
+    EXPECT_GT(profile.spec.pixel_count(), 500000L);
+    EXPECT_FALSE(profile.name.empty());
+  }
+}
+
+TEST(Catalog, SamplingDeterministicPerSeed) {
+  const DeviceCatalog& catalog = DeviceCatalog::standard();
+  common::Rng a(5);
+  common::Rng b(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(catalog.sample(a).name, catalog.sample(b).name);
+  }
+}
+
+TEST(Catalog, SamplingCoversCatalog) {
+  const DeviceCatalog& catalog = DeviceCatalog::standard();
+  common::Rng rng(6);
+  std::vector<int> hits(catalog.size(), 0);
+  for (int i = 0; i < 2000; ++i) {
+    for (std::size_t j = 0; j < catalog.size(); ++j) {
+      if (&catalog.sample(rng) == &catalog.at(j)) ++hits[j];
+    }
+  }
+  for (std::size_t j = 0; j < catalog.size(); ++j) {
+    EXPECT_GT(hits[j], 0) << catalog.at(j).name;
+  }
+}
+
+TEST(DisplayTypeNames, ToString) {
+  EXPECT_EQ(to_string(DisplayType::kLcd), "LCD");
+  EXPECT_EQ(to_string(DisplayType::kOled), "OLED");
+}
+
+/// Every catalog profile must show display-dominant playback (Fig. 1 holds
+/// across the whole hardware range, not just the two reference phones).
+class CatalogSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CatalogSweep, DisplayDominantAcrossCatalog) {
+  const auto& profile = DeviceCatalog::standard().at(GetParam());
+  const DevicePowerModel model;
+  const auto split = model.breakdown(profile.spec, gray(0.5), 3.0);
+  EXPECT_GT(split.display_fraction(), 0.35) << profile.name;
+  EXPECT_LT(split.display_fraction(), 0.85) << profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, CatalogSweep,
+                         ::testing::Range<std::size_t>(0, 8));
+
+}  // namespace
+}  // namespace lpvs::display

@@ -1,0 +1,327 @@
+// Tests for the emulator: determinism, paired-run comparability, the
+// headline effects (energy saving, anxiety reduction, TPV extension), and
+// the Bayesian gamma tracking loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lpvs/emu/emulator.hpp"
+
+namespace lpvs::emu {
+namespace {
+
+const survey::AnxietyModel& anxiety() {
+  static const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  return model;
+}
+
+EmulatorConfig small_config(std::uint64_t seed = 42) {
+  EmulatorConfig config;
+  config.group_size = 40;
+  config.slots = 12;
+  config.chunks_per_slot = 12;
+  config.enable_giveup = false;
+  config.seed = seed;
+  return config;
+}
+
+TEST(EmulatorTest, DeterministicForSameSeed) {
+  const core::LpvsScheduler scheduler;
+  Emulator a(small_config(7), scheduler, anxiety());
+  Emulator b(small_config(7), scheduler, anxiety());
+  const RunMetrics ma = a.run();
+  const RunMetrics mb = b.run();
+  EXPECT_DOUBLE_EQ(ma.total_energy_mwh, mb.total_energy_mwh);
+  EXPECT_DOUBLE_EQ(ma.mean_anxiety, mb.mean_anxiety);
+  EXPECT_EQ(ma.total_selected, mb.total_selected);
+  EXPECT_EQ(ma.tpv_minutes, mb.tpv_minutes);
+}
+
+TEST(EmulatorTest, DifferentSeedsDifferentWorlds) {
+  const core::LpvsScheduler scheduler;
+  Emulator a(small_config(1), scheduler, anxiety());
+  Emulator b(small_config(2), scheduler, anxiety());
+  EXPECT_NE(a.run().total_energy_mwh, b.run().total_energy_mwh);
+}
+
+TEST(EmulatorTest, PairedWorldsShareBaseline) {
+  // The same seed under two different schedulers must produce the same
+  // device fleet (start fractions) — the paired-comparison guarantee.
+  const core::LpvsScheduler lpvs;
+  const core::RandomScheduler random_sched(5);
+  Emulator a(small_config(11), lpvs, anxiety());
+  Emulator b(small_config(11), random_sched, anxiety());
+  const RunMetrics ma = a.run();
+  const RunMetrics mb = b.run();
+  EXPECT_EQ(ma.start_fractions, mb.start_fractions);
+}
+
+TEST(EmulatorTest, LpvsSavesEnergy) {
+  const core::LpvsScheduler scheduler;
+  const PairedMetrics paired =
+      run_paired(small_config(3), scheduler, anxiety());
+  EXPECT_GT(paired.energy_saving_ratio(), 0.10);
+  EXPECT_LT(paired.energy_saving_ratio(), 0.50);
+  EXPECT_GE(paired.anxiety_reduction_ratio(), 0.0);
+}
+
+TEST(EmulatorTest, NoTransformSavesNothing) {
+  const core::NoTransformScheduler scheduler;
+  const PairedMetrics paired =
+      run_paired(small_config(4), scheduler, anxiety());
+  EXPECT_NEAR(paired.energy_saving_ratio(), 0.0, 1e-12);
+  EXPECT_EQ(paired.with_lpvs.total_selected, 0);
+}
+
+TEST(EmulatorTest, BatteriesNeverNegativeAndOnlyDrain) {
+  const core::LpvsScheduler scheduler;
+  EmulatorConfig config = small_config(5);
+  config.initial_battery_mean = 0.15;  // stress near-empty batteries
+  Emulator emulator(config, scheduler, anxiety());
+  const RunMetrics metrics = emulator.run();
+  for (std::size_t n = 0; n < metrics.final_fractions.size(); ++n) {
+    EXPECT_GE(metrics.final_fractions[n], 0.0);
+    EXPECT_LE(metrics.final_fractions[n], metrics.start_fractions[n] + 1e-12);
+  }
+}
+
+TEST(EmulatorTest, SufficientCapacityServesEveryone) {
+  EmulatorConfig config = small_config(6);
+  config.compute_capacity = 1e9;
+  config.storage_capacity_mb = 1e9;
+  const core::LpvsScheduler scheduler;
+  Emulator emulator(config, scheduler, anxiety());
+  const RunMetrics metrics = emulator.run();
+  for (std::size_t n = 0; n < metrics.served.size(); ++n) {
+    EXPECT_TRUE(metrics.served[n]) << "device " << n;
+  }
+}
+
+TEST(EmulatorTest, ScarceCapacityServesSubset) {
+  EmulatorConfig config = small_config(7);
+  config.compute_capacity = 3.0;  // ~6 devices' worth
+  const core::LpvsScheduler scheduler;
+  Emulator emulator(config, scheduler, anxiety());
+  const RunMetrics metrics = emulator.run();
+  long served = 0;
+  for (const auto s : metrics.served) served += s;
+  EXPECT_GT(served, 0);
+  EXPECT_LT(served, config.group_size);
+}
+
+TEST(EmulatorTest, GiveupShortensWatchTime) {
+  EmulatorConfig with_giveup = small_config(8);
+  with_giveup.enable_giveup = true;
+  with_giveup.initial_battery_mean = 0.25;
+  with_giveup.slots = 30;
+  EmulatorConfig without_giveup = with_giveup;
+  without_giveup.enable_giveup = false;
+  const core::NoTransformScheduler scheduler;
+  Emulator a(with_giveup, scheduler, anxiety());
+  Emulator b(without_giveup, scheduler, anxiety());
+  double tpv_with = 0.0;
+  double tpv_without = 0.0;
+  const RunMetrics ma = a.run();
+  const RunMetrics mb = b.run();
+  for (std::size_t n = 0; n < ma.tpv_minutes.size(); ++n) {
+    tpv_with += ma.tpv_minutes[n];
+    tpv_without += mb.tpv_minutes[n];
+  }
+  EXPECT_LT(tpv_with, tpv_without);
+}
+
+TEST(EmulatorTest, LpvsExtendsLowBatteryTpv) {
+  // The Fig. 9 effect: low-battery users watch longer when served.
+  EmulatorConfig config = small_config(9);
+  config.group_size = 80;
+  config.slots = 60;
+  config.enable_giveup = true;
+  config.initial_battery_mean = 0.35;
+  config.initial_battery_std = 0.15;
+  const core::LpvsScheduler scheduler;
+  const PairedMetrics paired = run_paired(config, scheduler, anxiety());
+  const double with = paired.with_lpvs.mean_tpv(0.4, /*require_served=*/true);
+  const double without = paired.without_lpvs.mean_tpv(0.4, false);
+  EXPECT_GT(with, without * 1.1)
+      << "served low-battery users must watch meaningfully longer";
+}
+
+TEST(EmulatorTest, BayesianEstimatesApproachTrueGamma) {
+  EmulatorConfig config = small_config(10);
+  config.slots = 25;
+  config.compute_capacity = 1e9;  // everyone served -> everyone observed
+  const core::LpvsScheduler scheduler;
+  Emulator emulator(config, scheduler, anxiety());
+  const RunMetrics metrics = emulator.run();
+  double total_error = 0.0;
+  long counted = 0;
+  for (std::size_t n = 0; n < metrics.served.size(); ++n) {
+    if (!metrics.served[n] || metrics.mean_true_gamma[n] <= 0.0) continue;
+    total_error += std::fabs(metrics.last_gamma_estimate[n] -
+                             metrics.mean_true_gamma[n]);
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_LT(total_error / static_cast<double>(counted), 0.06);
+}
+
+TEST(EmulatorTest, OracleGammaAtLeastAsGoodAsFixedPrior) {
+  // Ablation sanity: oracle knowledge of gamma cannot lose to a never-
+  // updated prior in realized energy saving (statistically, same seeds).
+  double oracle_saving = 0.0;
+  double fixed_saving = 0.0;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    EmulatorConfig config = small_config(seed);
+    config.compute_capacity = 6.0;  // scarce: selection quality matters
+    config.slots = 20;
+    const core::LpvsScheduler scheduler;
+    config.gamma_mode = GammaMode::kOracle;
+    oracle_saving +=
+        run_paired(config, scheduler, anxiety()).energy_saving_ratio();
+    config.gamma_mode = GammaMode::kFixedPrior;
+    fixed_saving +=
+        run_paired(config, scheduler, anxiety()).energy_saving_ratio();
+  }
+  EXPECT_GE(oracle_saving, fixed_saving - 0.02);
+}
+
+TEST(EmulatorTest, VideoSwitchingKeepsDecisionAndStillSaves) {
+  // Remark 1: mid-slot switches change the played content but not the
+  // scheduling decision; the system must stay healthy and keep saving.
+  EmulatorConfig config = small_config(31);
+  config.switch_probability = 1.0;  // every user switches every slot
+  const core::LpvsScheduler scheduler;
+  const PairedMetrics paired = run_paired(config, scheduler, anxiety());
+  EXPECT_GT(paired.energy_saving_ratio(), 0.08);
+  EXPECT_LT(paired.energy_saving_ratio(), 0.50);
+}
+
+TEST(EmulatorTest, VideoSwitchingDeterministic) {
+  EmulatorConfig config = small_config(32);
+  config.switch_probability = 0.5;
+  const core::LpvsScheduler scheduler;
+  Emulator a(config, scheduler, anxiety());
+  Emulator b(config, scheduler, anxiety());
+  EXPECT_DOUBLE_EQ(a.run().total_energy_mwh, b.run().total_energy_mwh);
+}
+
+TEST(EmulatorTest, SwitchingAddsGammaEstimationError) {
+  // Switched content the scheduler never priced makes the realized gamma
+  // observations noisier; with switching on, estimation error must not
+  // shrink below the no-switching run's (same seeds).
+  auto mean_error = [&](double switch_probability) {
+    EmulatorConfig config = small_config(33);
+    config.slots = 20;
+    config.compute_capacity = 1e9;
+    config.switch_probability = switch_probability;
+    const core::LpvsScheduler scheduler;
+    Emulator emulator(config, scheduler, anxiety());
+    const RunMetrics metrics = emulator.run();
+    double total = 0.0;
+    long counted = 0;
+    for (std::size_t n = 0; n < metrics.served.size(); ++n) {
+      if (!metrics.served[n]) continue;
+      total += std::fabs(metrics.last_gamma_estimate[n] -
+                         metrics.mean_true_gamma[n]);
+      ++counted;
+    }
+    return counted > 0 ? total / counted : 0.0;
+  };
+  EXPECT_LE(mean_error(0.0), mean_error(0.9) + 0.01);
+}
+
+TEST(EmulatorTest, OneSlotAheadCloseToInstantaneous) {
+  // SVI-B's working mode: decisions are one slot stale.  It must cost a
+  // little (slot-0 bootstrap, prediction error) but stay close to the
+  // idealized instantaneous scheduler.
+  EmulatorConfig instant = small_config(41);
+  instant.slots = 16;
+  EmulatorConfig ahead = instant;
+  ahead.one_slot_ahead = true;
+  const core::LpvsScheduler scheduler;
+  const double instant_saving =
+      run_paired(instant, scheduler, anxiety()).energy_saving_ratio();
+  const double ahead_saving =
+      run_paired(ahead, scheduler, anxiety()).energy_saving_ratio();
+  EXPECT_GT(ahead_saving, 0.10);
+  EXPECT_LE(ahead_saving, instant_saving + 0.01);
+  EXPECT_GT(ahead_saving, instant_saving - 0.08);
+}
+
+TEST(EmulatorTest, OneSlotAheadBootstrapsUntransformed) {
+  // With a single slot, one-slot-ahead has nothing pending: zero saving.
+  EmulatorConfig config = small_config(42);
+  config.slots = 1;
+  config.one_slot_ahead = true;
+  const core::LpvsScheduler scheduler;
+  const PairedMetrics paired = run_paired(config, scheduler, anxiety());
+  EXPECT_NEAR(paired.energy_saving_ratio(), 0.0, 1e-12);
+}
+
+TEST(EmulatorTest, NigGammaModeWorksAndConverges) {
+  EmulatorConfig config = small_config(21);
+  config.gamma_mode = GammaMode::kNigBayesian;
+  config.slots = 25;
+  config.compute_capacity = 1e9;
+  const core::LpvsScheduler scheduler;
+  Emulator emulator(config, scheduler, anxiety());
+  const RunMetrics metrics = emulator.run();
+  EXPECT_GT(metrics.total_selected, 0);
+  // The paired saving with NIG must be in the same band as the standard
+  // Bayesian mode (both converge to the true gammas).
+  const PairedMetrics paired = run_paired(config, scheduler, anxiety());
+  EXPECT_GT(paired.energy_saving_ratio(), 0.10);
+  EXPECT_LT(paired.energy_saving_ratio(), 0.50);
+}
+
+TEST(EmulatorTest, SchedulerRuntimeRecorded) {
+  const core::LpvsScheduler scheduler;
+  Emulator emulator(small_config(12), scheduler, anxiety());
+  const RunMetrics metrics = emulator.run();
+  EXPECT_GT(metrics.mean_scheduler_ms, 0.0);
+  EXPECT_EQ(metrics.slots_run, 12);
+}
+
+TEST(EmulatorTest, AnxietySamplesAccumulate) {
+  const core::LpvsScheduler scheduler;
+  Emulator emulator(small_config(13), scheduler, anxiety());
+  const RunMetrics metrics = emulator.run();
+  // 40 devices x 12 slots x 12 chunks upper bound; must be substantial.
+  EXPECT_GT(metrics.anxiety_samples, 1000);
+  EXPECT_GT(metrics.mean_anxiety, 0.0);
+  EXPECT_LT(metrics.mean_anxiety, 1.0);
+}
+
+TEST(RunMetricsTest, MeanTpvFilters) {
+  RunMetrics metrics;
+  metrics.tpv_minutes = {10.0, 20.0, 30.0};
+  metrics.start_fractions = {0.2, 0.5, 0.3};
+  metrics.served = {1, 1, 0};
+  EXPECT_DOUBLE_EQ(metrics.mean_tpv(0.4, true), 10.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_tpv(0.4, false), 20.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_tpv(1.0, false), 20.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_tpv(0.1, true), 0.0);  // nobody matches
+}
+
+/// Group-size sweep mirroring Fig. 7's x-axis: the energy saving under
+/// sufficient capacity must stay in a stable band for every VC size.
+class GroupSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupSizeSweep, EnergySavingStableUnderSufficientCapacity) {
+  EmulatorConfig config;
+  config.group_size = GetParam();
+  config.slots = 8;
+  config.chunks_per_slot = 10;
+  config.enable_giveup = false;
+  config.seed = 1000 + static_cast<std::uint64_t>(GetParam());
+  const core::LpvsScheduler scheduler;
+  const PairedMetrics paired = run_paired(config, scheduler, anxiety());
+  EXPECT_GT(paired.energy_saving_ratio(), 0.12) << GetParam();
+  EXPECT_LT(paired.energy_saving_ratio(), 0.45) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(VcSizes, GroupSizeSweep,
+                         ::testing::Values(20, 50, 80, 100));
+
+}  // namespace
+}  // namespace lpvs::emu

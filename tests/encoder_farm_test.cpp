@@ -1,0 +1,118 @@
+// Tests for the edge encoder farm discrete-event simulation: FIFO
+// multi-worker semantics, deadline accounting, utilization arithmetic, and
+// the capacity-constraint/real-time-delivery correspondence.
+#include <gtest/gtest.h>
+
+#include "lpvs/streaming/encoder_farm.hpp"
+
+namespace lpvs::streaming {
+namespace {
+
+TransformJob job(double arrival, double service, double deadline) {
+  TransformJob j;
+  j.arrival_s = arrival;
+  j.service_s = service;
+  j.deadline_s = deadline;
+  return j;
+}
+
+TEST(EncoderFarmTest, EmptyJobListIsNeutral) {
+  const FarmReport report = EncoderFarm(4).run({});
+  EXPECT_EQ(report.jobs_completed, 0);
+  EXPECT_DOUBLE_EQ(report.miss_ratio(), 0.0);
+}
+
+TEST(EncoderFarmTest, SingleJobSingleWorker) {
+  const FarmReport report =
+      EncoderFarm(1).run({job(0.0, 2.0, 5.0)});
+  EXPECT_EQ(report.jobs_completed, 1);
+  EXPECT_EQ(report.jobs_missed_deadline, 0);
+  EXPECT_DOUBLE_EQ(report.mean_queue_delay_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.makespan_s, 2.0);
+  EXPECT_DOUBLE_EQ(report.mean_utilization, 1.0);
+}
+
+TEST(EncoderFarmTest, SerialQueueingOnOneWorker) {
+  // Two simultaneous 2 s jobs on one worker: the second waits 2 s.
+  const FarmReport report =
+      EncoderFarm(1).run({job(0.0, 2.0, 10.0), job(0.0, 2.0, 10.0)});
+  EXPECT_DOUBLE_EQ(report.mean_queue_delay_s, 1.0);
+  EXPECT_DOUBLE_EQ(report.max_queue_delay_s, 2.0);
+  EXPECT_DOUBLE_EQ(report.makespan_s, 4.0);
+}
+
+TEST(EncoderFarmTest, ParallelWorkersEliminateQueueing) {
+  const FarmReport report =
+      EncoderFarm(2).run({job(0.0, 2.0, 10.0), job(0.0, 2.0, 10.0)});
+  EXPECT_DOUBLE_EQ(report.mean_queue_delay_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.makespan_s, 2.0);
+}
+
+TEST(EncoderFarmTest, DeadlineMissesCounted) {
+  // One worker, three simultaneous 3 s jobs with 4 s deadlines: job 1
+  // finishes at 3 (ok), job 2 at 6 (miss), job 3 at 9 (miss).
+  const FarmReport report = EncoderFarm(1).run(
+      {job(0.0, 3.0, 4.0), job(0.0, 3.0, 4.0), job(0.0, 3.0, 4.0)});
+  EXPECT_EQ(report.jobs_missed_deadline, 2);
+  EXPECT_NEAR(report.miss_ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(EncoderFarmTest, UnsortedArrivalsHandled) {
+  const FarmReport report = EncoderFarm(1).run(
+      {job(5.0, 1.0, 10.0), job(0.0, 1.0, 10.0), job(2.0, 1.0, 10.0)});
+  EXPECT_EQ(report.jobs_completed, 3);
+  EXPECT_DOUBLE_EQ(report.mean_queue_delay_s, 0.0);  // well separated
+}
+
+TEST(SlotJobs, StructureMatchesSchedule) {
+  const std::vector<double> costs = {0.45, 0.9};
+  const auto jobs = slot_jobs(costs, 30, 10.0, 0.45);
+  ASSERT_EQ(jobs.size(), 60u);
+  // Device 0 at reference cost: 10 s of video = 10 s of work on one
+  // worker; device 1 at 2x: 20 s of work.
+  EXPECT_DOUBLE_EQ(jobs[0].service_s, 10.0);
+  EXPECT_DOUBLE_EQ(jobs[30].service_s, 20.0);
+  EXPECT_DOUBLE_EQ(jobs[1].arrival_s, 10.0);
+  EXPECT_DOUBLE_EQ(jobs[29].arrival_s, 290.0);
+  EXPECT_DOUBLE_EQ(jobs[0].deadline_s, 20.0);
+}
+
+TEST(SlotJobs, ScheduleWithinAggregateCapacityDeliversOnTime) {
+  // The correspondence behind constraint (6): if the selected devices'
+  // compute costs sum to <= the farm's worker-units, the farm sustains
+  // real-time delivery with (almost) no deadline misses.
+  const int workers = 45;            // one unit per worker at 1.0 units
+  const double worker_units = 1.0;
+  std::vector<double> costs(80, 0.5);  // 40 units total <= 45
+  const auto jobs = slot_jobs(costs, 30, 10.0, worker_units);
+  const FarmReport report = EncoderFarm(workers).run(jobs);
+  EXPECT_EQ(report.jobs_missed_deadline, 0);
+  // All devices' chunks arrive in aligned bursts, so some intra-burst
+  // queueing is expected — but bounded well under one chunk duration.
+  EXPECT_LT(report.mean_queue_delay_s, 10.0);
+  EXPECT_GT(report.mean_utilization, 0.5);
+}
+
+TEST(SlotJobs, OverCommittedScheduleMissesDeadlines) {
+  const int workers = 45;
+  const double worker_units = 1.0;
+  std::vector<double> costs(150, 0.5);  // 75 units >> 45
+  const auto jobs = slot_jobs(costs, 30, 10.0, worker_units);
+  const FarmReport report = EncoderFarm(workers).run(jobs);
+  EXPECT_GT(report.miss_ratio(), 0.3);
+  EXPECT_GT(report.max_queue_delay_s, 10.0);
+}
+
+TEST(SlotJobs, UtilizationScalesWithLoad) {
+  const double worker_units = 1.0;
+  std::vector<double> light(20, 0.5);
+  std::vector<double> heavy(80, 0.5);
+  const FarmReport low =
+      EncoderFarm(45).run(slot_jobs(light, 30, 10.0, worker_units));
+  const FarmReport high =
+      EncoderFarm(45).run(slot_jobs(heavy, 30, 10.0, worker_units));
+  EXPECT_LT(low.mean_utilization, high.mean_utilization);
+}
+
+}  // namespace
+}  // namespace lpvs::streaming

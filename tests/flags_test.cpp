@@ -1,0 +1,132 @@
+// Tests for the command-line flag parser and the CSV writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "lpvs/common/flags.hpp"
+
+namespace lpvs::common {
+namespace {
+
+Flags parse(std::vector<const char*> argv,
+            std::vector<std::string> known) {
+  argv.insert(argv.begin(), "prog");
+  return Flags::parse(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+TEST(FlagsTest, SpaceSeparatedValue) {
+  const Flags f = parse({"--group", "100"}, {"group"});
+  EXPECT_TRUE(f.ok());
+  EXPECT_EQ(f.get_int("group", 0), 100);
+}
+
+TEST(FlagsTest, EqualsValue) {
+  const Flags f = parse({"--lambda=2500.5"}, {"lambda"});
+  EXPECT_DOUBLE_EQ(f.get_double("lambda", 0.0), 2500.5);
+}
+
+TEST(FlagsTest, BareBooleanIsTrue) {
+  const Flags f = parse({"--giveup"}, {"giveup"});
+  EXPECT_TRUE(f.get_bool("giveup", false));
+}
+
+TEST(FlagsTest, NoPrefixNegates) {
+  const Flags f = parse({"--no-giveup"}, {"giveup"});
+  EXPECT_TRUE(f.ok());
+  EXPECT_FALSE(f.get_bool("giveup", true));
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  for (const char* truthy : {"true", "1", "yes"}) {
+    const Flags f = parse({"--x", truthy}, {"x"});
+    EXPECT_TRUE(f.get_bool("x", false)) << truthy;
+  }
+  for (const char* falsy : {"false", "0", "no"}) {
+    const Flags f = parse({"--x", falsy}, {"x"});
+    EXPECT_FALSE(f.get_bool("x", true)) << falsy;
+  }
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  const Flags f = parse({"--bogus", "3"}, {"group"});
+  EXPECT_FALSE(f.ok());
+  ASSERT_EQ(f.errors().size(), 1u);
+  EXPECT_NE(f.errors()[0].find("bogus"), std::string::npos);
+}
+
+TEST(FlagsTest, MalformedIntRecordsError) {
+  const Flags f = parse({"--group", "abc"}, {"group"});
+  EXPECT_EQ(f.get_int("group", 7), 7);
+  EXPECT_FALSE(f.ok());
+}
+
+TEST(FlagsTest, MalformedDoubleRecordsError) {
+  const Flags f = parse({"--lambda", "2.5x"}, {"lambda"});
+  EXPECT_DOUBLE_EQ(f.get_double("lambda", 1.0), 1.0);
+  EXPECT_FALSE(f.ok());
+}
+
+TEST(FlagsTest, PositionalCollected) {
+  const Flags f = parse({"input.csv", "--group", "5", "more"}, {"group"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(FlagsTest, MissingFlagUsesFallback) {
+  const Flags f = parse({}, {"group"});
+  EXPECT_EQ(f.get_int("group", 42), 42);
+  EXPECT_EQ(f.get_string("group", "dflt"), "dflt");
+  EXPECT_FALSE(f.has("group"));
+}
+
+TEST(FlagsTest, FlagFollowedByFlagReadsTrue) {
+  const Flags f = parse({"--a", "--b", "5"}, {"a", "b"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_EQ(f.get_int("b", 0), 5);
+}
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(csv.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(CsvWriterTest, QuotingRules) {
+  CsvWriter csv({"text"});
+  csv.add_row({"has,comma"});
+  csv.add_row({"has\"quote"});
+  csv.add_row({"plain"});
+  EXPECT_EQ(csv.str(), "text\n\"has,comma\"\n\"has\"\"quote\"\nplain\n");
+}
+
+TEST(CsvWriterTest, ShortRowsPadded) {
+  CsvWriter csv({"a", "b", "c"});
+  csv.add_row({"only"});
+  EXPECT_EQ(csv.str(), "a,b,c\nonly,,\n");
+}
+
+TEST(CsvWriterTest, WriteFileRoundTrip) {
+  CsvWriter csv({"x"});
+  csv.add_row({"42"});
+  const std::string path = "/tmp/lpvs_csv_test.csv";
+  ASSERT_TRUE(csv.write_file(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "42");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteFileFailsOnBadPath) {
+  CsvWriter csv({"x"});
+  EXPECT_FALSE(csv.write_file("/nonexistent-dir/foo.csv"));
+}
+
+}  // namespace
+}  // namespace lpvs::common

@@ -1,0 +1,281 @@
+// Tests for the pixel-level frame subsystem and the per-pixel transform
+// pipeline, including the key consistency property: the statistics-based
+// power/transform models equal their per-pixel counterparts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "lpvs/media/frame.hpp"
+#include "lpvs/transform/pixel_pipeline.hpp"
+
+namespace lpvs {
+namespace {
+
+using media::Frame;
+using media::Pixel;
+
+display::DisplaySpec oled_spec() {
+  return {display::DisplayType::kOled, 6.1, 1080, 2340, 700.0, 0.8};
+}
+
+display::DisplaySpec lcd_spec() {
+  return {display::DisplayType::kLcd, 6.1, 1080, 2340, 500.0, 0.8};
+}
+
+TEST(FrameTest, ConstructionAndFill) {
+  Frame frame(4, 3, {10, 20, 30});
+  EXPECT_EQ(frame.width(), 4);
+  EXPECT_EQ(frame.height(), 3);
+  EXPECT_EQ(frame.pixel_count(), 12);
+  EXPECT_EQ(frame.at(0, 0), (Pixel{10, 20, 30}));
+  EXPECT_EQ(frame.at(3, 2), (Pixel{10, 20, 30}));
+}
+
+TEST(FrameTest, SetAndGetRoundTrip) {
+  Frame frame(8, 8);
+  frame.set(5, 3, {200, 100, 50});
+  EXPECT_EQ(frame.at(5, 3), (Pixel{200, 100, 50}));
+  EXPECT_EQ(frame.at(5, 4), (Pixel{0, 0, 0}));
+}
+
+TEST(FrameTest, FillRectClips) {
+  Frame frame(10, 10);
+  frame.fill_rect(8, 8, 10, 10, {255, 255, 255});  // overflows the frame
+  EXPECT_EQ(frame.at(9, 9), (Pixel{255, 255, 255}));
+  EXPECT_EQ(frame.at(7, 7), (Pixel{0, 0, 0}));
+  frame.fill_rect(-5, -5, 7, 7, {1, 2, 3});  // negative origin clips
+  EXPECT_EQ(frame.at(0, 0), (Pixel{1, 2, 3}));
+}
+
+TEST(SrgbConversion, KnownAnchors) {
+  EXPECT_DOUBLE_EQ(media::srgb_to_linear(0), 0.0);
+  EXPECT_NEAR(media::srgb_to_linear(255), 1.0, 1e-12);
+  // 50% sRGB gray is ~21.4% linear light.
+  EXPECT_NEAR(media::srgb_to_linear(128), 0.2158, 0.001);
+}
+
+TEST(SrgbConversion, RoundTripAllCodes) {
+  for (int v = 0; v < 256; ++v) {
+    EXPECT_EQ(media::linear_to_srgb(
+                  media::srgb_to_linear(static_cast<std::uint8_t>(v))),
+              v);
+  }
+}
+
+TEST(SrgbConversion, Monotone) {
+  for (int v = 1; v < 256; ++v) {
+    EXPECT_GT(media::srgb_to_linear(static_cast<std::uint8_t>(v)),
+              media::srgb_to_linear(static_cast<std::uint8_t>(v - 1)));
+  }
+}
+
+TEST(ComputeStats, UniformGrayFrame) {
+  const std::uint8_t code = 150;
+  Frame frame(16, 16, {code, code, code});
+  const display::FrameStats stats = media::compute_stats(frame);
+  const double linear = media::srgb_to_linear(code);
+  EXPECT_NEAR(stats.mean_r, linear, 1e-12);
+  EXPECT_NEAR(stats.mean_g, linear, 1e-12);
+  EXPECT_NEAR(stats.mean_b, linear, 1e-12);
+  EXPECT_NEAR(stats.mean_luminance, linear, 1e-12);
+  EXPECT_NEAR(stats.peak_luminance, linear, 1e-12);
+}
+
+TEST(ComputeStats, PeakTracksHighlight) {
+  Frame frame(20, 20, {30, 30, 30});
+  frame.fill_rect(0, 0, 20, 4, {240, 240, 240});  // top 20% bright
+  const display::FrameStats stats = media::compute_stats(frame);
+  EXPECT_GT(stats.peak_luminance, media::srgb_to_linear(200));
+  EXPECT_LT(stats.mean_luminance, 0.4);
+}
+
+TEST(ComputeStats, EmptyFrameIsDefault) {
+  const display::FrameStats stats = media::compute_stats(Frame{});
+  EXPECT_DOUBLE_EQ(stats.mean_luminance, 0.5);  // default FrameStats
+}
+
+TEST(Synthesizer, Deterministic) {
+  media::FrameSynthesizer a(5);
+  media::FrameSynthesizer b(5);
+  const Frame fa = a.render_genre(media::Genre::kMovie, 32, 24);
+  const Frame fb = b.render_genre(media::Genre::kMovie, 32, 24);
+  EXPECT_EQ(fa.data(), fb.data());
+}
+
+TEST(Synthesizer, GenreLuminanceOrdering) {
+  media::FrameSynthesizer synth(6);
+  double dark = 0.0;
+  double bright = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    dark += media::compute_stats(
+                synth.render_genre(media::Genre::kDarkGame, 48, 32))
+                .mean_luminance;
+    bright += media::compute_stats(
+                  synth.render_genre(media::Genre::kSports, 48, 32))
+                  .mean_luminance;
+  }
+  EXPECT_LT(dark, bright);
+}
+
+TEST(Synthesizer, StatsRoughlyMatchTarget) {
+  media::FrameSynthesizer synth(7);
+  display::FrameStats target;
+  target.mean_r = 0.30;
+  target.mean_g = 0.35;
+  target.mean_b = 0.25;
+  target.mean_luminance = 0.33;
+  target.peak_luminance = 0.8;
+  const Frame frame = synth.render(target.clamped(), 64, 48);
+  const display::FrameStats measured = media::compute_stats(frame);
+  EXPECT_NEAR(measured.mean_g, target.mean_g, 0.15);
+  EXPECT_GT(measured.peak_luminance, 0.5);
+}
+
+TEST(Psnr, IdentityIsInfinite) {
+  media::FrameSynthesizer synth(8);
+  const Frame frame = synth.render_genre(media::Genre::kIrlChat, 32, 32);
+  EXPECT_EQ(media::psnr(frame, frame),
+            std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(media::ssim_luma(frame, frame), 1.0, 1e-12);
+}
+
+TEST(Psnr, DecreasesWithDistortion) {
+  media::FrameSynthesizer synth(9);
+  const Frame frame = synth.render_genre(media::Genre::kMovie, 32, 32);
+  Frame mild = frame;
+  Frame severe = frame;
+  for (std::size_t i = 0; i < mild.data().size(); ++i) {
+    mild.data()[i] = static_cast<std::uint8_t>(
+        std::min(255, mild.data()[i] + 3));
+    severe.data()[i] = static_cast<std::uint8_t>(
+        std::min(255, severe.data()[i] + 40));
+  }
+  EXPECT_GT(media::psnr(frame, mild), media::psnr(frame, severe));
+  EXPECT_GT(media::ssim_luma(frame, mild), media::ssim_luma(frame, severe));
+}
+
+TEST(PixelPower, MatchesStatsModelExactly) {
+  // The OLED power model is linear in per-pixel channel values, so the
+  // per-pixel sum must equal the closed form on the measured statistics.
+  media::FrameSynthesizer synth(10);
+  const display::OledPowerModel model;
+  for (media::Genre genre : {media::Genre::kDarkGame, media::Genre::kMusic,
+                             media::Genre::kSports}) {
+    const Frame frame = synth.render_genre(genre, 40, 30);
+    const double per_pixel =
+        transform::oled_power_per_pixel(model, oled_spec(), frame).value;
+    const double from_stats =
+        model.power(oled_spec(), media::compute_stats(frame)).value;
+    EXPECT_NEAR(per_pixel, from_stats, 1e-6 * per_pixel)
+        << media::to_string(genre);
+  }
+}
+
+TEST(PixelPower, DarkFrameCheaper) {
+  const display::OledPowerModel model;
+  const Frame dark(16, 16, {20, 20, 20});
+  const Frame bright(16, 16, {230, 230, 230});
+  EXPECT_LT(transform::oled_power_per_pixel(model, oled_spec(), dark).value,
+            transform::oled_power_per_pixel(model, oled_spec(), bright)
+                .value);
+}
+
+TEST(ColorTransformPixel, ReducesPerPixelPower) {
+  media::FrameSynthesizer synth(11);
+  const Frame frame = synth.render_genre(media::Genre::kBrightGame, 32, 32);
+  const media::Frame transformed =
+      transform::apply_color_transform(frame, transform::QualityBudget{});
+  const display::OledPowerModel model;
+  EXPECT_LT(
+      transform::oled_power_per_pixel(model, oled_spec(), transformed).value,
+      transform::oled_power_per_pixel(model, oled_spec(), frame).value);
+}
+
+TEST(ColorTransformPixel, MatchesStatsTransformPrediction) {
+  // Per-pixel color transform then measure, vs stats-based prediction of
+  // the transformed power: equal up to 8-bit quantization error.
+  media::FrameSynthesizer synth(12);
+  const Frame frame = synth.render_genre(media::Genre::kIrlChat, 48, 32);
+  const transform::QualityBudget budget;
+  const display::OledPowerModel model;
+
+  const media::Frame pixel_transformed =
+      transform::apply_color_transform(frame, budget);
+  const double measured =
+      transform::oled_power_per_pixel(model, oled_spec(), pixel_transformed)
+          .value;
+
+  const transform::OledColorTransform stats_transform(model, budget);
+  const double predicted =
+      stats_transform.apply(oled_spec(), media::compute_stats(frame))
+          .display_power_after.value;
+  EXPECT_NEAR(measured, predicted, 0.03 * predicted);
+}
+
+TEST(BacklightCompensation, PreservesPerceivedImageAwayFromClipping) {
+  // Mid-gray content compensated for a halved backlight must look the
+  // same on screen (no clipping involved).
+  const Frame frame(16, 16, {100, 100, 100});
+  const media::Frame compensated =
+      transform::apply_backlight_compensation(frame, 0.8, 0.4);
+  const media::Frame seen_before = transform::perceived_lcd_frame(frame, 0.8);
+  const media::Frame seen_after =
+      transform::perceived_lcd_frame(compensated, 0.4);
+  EXPECT_GT(media::psnr(seen_before, seen_after), 40.0);
+}
+
+TEST(BacklightCompensation, ClipsOnlyHighlights) {
+  Frame frame(16, 16, {60, 60, 60});
+  frame.fill_rect(0, 0, 4, 4, {250, 250, 250});  // highlight region
+  const media::Frame compensated =
+      transform::apply_backlight_compensation(frame, 0.8, 0.4);
+  // Highlights saturate at white; mid-tones are boosted but not clipped.
+  EXPECT_EQ(compensated.at(0, 0).g, 255);
+  EXPECT_GT(compensated.at(8, 8).g, 60);
+  EXPECT_LT(compensated.at(8, 8).g, 255);
+}
+
+TEST(PixelPipelineTest, OledFrameReport) {
+  media::FrameSynthesizer synth(13);
+  const Frame frame = synth.render_genre(media::Genre::kMusic, 40, 30);
+  const transform::PixelPipeline pipeline;
+  const auto report = pipeline.transform_frame(oled_spec(), frame);
+  EXPECT_GT(report.display_saving_fraction(), 0.2);
+  EXPECT_LT(report.display_saving_fraction(), 0.8);
+  EXPECT_GT(report.psnr_db, 10.0);
+  EXPECT_GT(report.ssim, 0.5);
+}
+
+TEST(PixelPipelineTest, LcdFrameReport) {
+  media::FrameSynthesizer synth(14);
+  const Frame frame = synth.render_genre(media::Genre::kMovie, 40, 30);
+  const transform::PixelPipeline pipeline;
+  const auto report = pipeline.transform_frame(lcd_spec(), frame);
+  EXPECT_LT(report.backlight_level, 0.8);
+  EXPECT_GT(report.display_saving_fraction(), 0.1);
+  // Compensation keeps the perceived image recognizably similar; the
+  // default budget is deliberately aggressive (peak_coverage 0.55), so
+  // highlights clip and SSIM sits well below 1.
+  EXPECT_GT(report.ssim, 0.35);
+  EXPECT_GT(report.psnr_db, 12.0);
+}
+
+TEST(PixelPipelineTest, QualityPowerTradeoffMonotone) {
+  media::FrameSynthesizer synth(15);
+  const Frame frame = synth.render_genre(media::Genre::kIrlChat, 40, 30);
+  transform::QualityBudget mild;
+  mild.darken = 0.92;
+  mild.blue_scale = 0.85;
+  mild.red_scale = 0.95;
+  const transform::PixelPipeline soft({}, mild);
+  const transform::PixelPipeline hard;  // aggressive defaults
+  const auto soft_report = soft.transform_frame(oled_spec(), frame);
+  const auto hard_report = hard.transform_frame(oled_spec(), frame);
+  EXPECT_LT(soft_report.display_saving_fraction(),
+            hard_report.display_saving_fraction());
+  EXPECT_GT(soft_report.psnr_db, hard_report.psnr_db);
+}
+
+}  // namespace
+}  // namespace lpvs

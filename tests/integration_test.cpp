@@ -1,0 +1,132 @@
+// End-to-end integration tests: the full pipeline from survey extraction to
+// emulated LPVS runs, plus trace-driven virtual-cluster sizing — the same
+// wiring the bench harnesses use for the paper's figures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lpvs/emu/emulator.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+#include "lpvs/survey/population.hpp"
+#include "lpvs/trace/trace.hpp"
+
+namespace lpvs {
+namespace {
+
+TEST(Integration, SurveyToEmulatorPipeline) {
+  // Extract the anxiety model from a synthetic survey (not the reference
+  // curve) and run the emulator with it end to end.
+  common::Rng rng(2024);
+  survey::LbaCurveExtractor extractor;
+  extractor.add_population(
+      survey::SyntheticPopulation().generate_paper_population(rng));
+  const survey::AnxietyModel model(extractor.extract());
+
+  emu::EmulatorConfig config;
+  config.group_size = 50;
+  config.slots = 10;
+  config.chunks_per_slot = 10;
+  config.enable_giveup = false;
+  config.seed = 77;
+  const core::LpvsScheduler scheduler;
+  const emu::PairedMetrics paired =
+      emu::run_paired(config, scheduler, model);
+  EXPECT_GT(paired.energy_saving_ratio(), 0.1);
+  EXPECT_GE(paired.anxiety_reduction_ratio(), 0.0);
+}
+
+TEST(Integration, ExtractedAndReferenceCurvesAgreeBroadly) {
+  common::Rng rng(31);
+  survey::LbaCurveExtractor extractor;
+  extractor.add_population(
+      survey::SyntheticPopulation().generate_paper_population(rng));
+  const auto extracted = extractor.extract();
+  const survey::AnxietyModel reference_model =
+      survey::AnxietyModel::reference();
+  const auto& reference = reference_model.curve();
+  // The two curves must agree within a coarse tolerance everywhere —
+  // they describe the same Fig. 2.
+  for (double level = 1.0; level <= 100.0; level += 3.0) {
+    EXPECT_NEAR(extracted(level), reference(level), 0.13)
+        << "battery level " << level;
+  }
+}
+
+TEST(Integration, TraceDrivenVirtualClusterSizing) {
+  // Size VCs from the trace the way the Fig. 7/8 benches do: viewers of a
+  // channel at a slot, clipped to the experiment's group-size range.
+  const trace::Trace twitch = trace::TwitchLikeGenerator().generate(5);
+  const int slot = twitch.horizon_slots() / 2;
+  int clusters = 0;
+  for (const trace::Session* session : twitch.live_sessions(slot)) {
+    const int viewers = session->viewers_at(slot);
+    if (viewers < 20) continue;
+    const int group_size = std::min(viewers, 100);
+    emu::EmulatorConfig config;
+    config.group_size = group_size;
+    config.slots = 4;
+    config.chunks_per_slot = 8;
+    config.enable_giveup = false;
+    config.seed = 9000 + static_cast<std::uint64_t>(session->id.value);
+    const core::LpvsScheduler scheduler;
+    const survey::AnxietyModel model = survey::AnxietyModel::reference();
+    const emu::PairedMetrics paired =
+        emu::run_paired(config, scheduler, model);
+    EXPECT_GT(paired.energy_saving_ratio(), 0.05)
+        << "session " << session->id.value;
+    if (++clusters >= 3) break;  // three real trace-driven VCs suffice
+  }
+  EXPECT_GE(clusters, 1) << "trace must contain usable mid-size sessions";
+}
+
+TEST(Integration, LambdaTradeoffDirection) {
+  // Fig. 8's lambda effect end-to-end: under scarce capacity, raising
+  // lambda must not decrease anxiety reduction and must not increase
+  // energy saving (ties allowed).
+  const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  const core::LpvsScheduler scheduler;
+  double prev_energy = 1e9;
+  double prev_anxiety = -1e9;
+  for (double lambda : {0.0, 5000.0, 50000.0}) {
+    emu::EmulatorConfig config;
+    config.group_size = 60;
+    config.slots = 10;
+    config.chunks_per_slot = 10;
+    config.compute_capacity = 8.0;  // scarce
+    config.lambda = lambda;
+    config.enable_giveup = false;
+    config.initial_battery_std = 0.25;
+    config.seed = 4242;
+    const emu::PairedMetrics paired =
+        emu::run_paired(config, scheduler, model);
+    EXPECT_LE(paired.energy_saving_ratio(), prev_energy + 0.03)
+        << "lambda " << lambda;
+    EXPECT_GE(paired.anxiety_reduction_ratio(), prev_anxiety - 0.005)
+        << "lambda " << lambda;
+    prev_energy = paired.energy_saving_ratio();
+    prev_anxiety = paired.anxiety_reduction_ratio();
+  }
+}
+
+TEST(Integration, SchedulerScalesLinearly) {
+  // Fig. 10's shape: runtime grows roughly linearly in VC size; check that
+  // doubling the size does not quadruple the time (ratio < 3 allows noise).
+  const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  const core::LpvsScheduler scheduler;
+  auto time_for = [&](int group) {
+    emu::EmulatorConfig config;
+    config.group_size = group;
+    config.slots = 3;
+    config.chunks_per_slot = 8;
+    config.enable_giveup = false;
+    config.seed = 5555;
+    emu::Emulator emulator(config, scheduler, model);
+    return emulator.run().mean_scheduler_ms;
+  };
+  const double t200 = time_for(200);
+  const double t400 = time_for(400);
+  EXPECT_LT(t400, std::max(t200, 0.5) * 6.0);
+}
+
+}  // namespace
+}  // namespace lpvs

@@ -1,0 +1,132 @@
+// Tests for the Lagrangian relaxation solver: bound validity (the dual
+// always upper-bounds the true optimum), incumbent feasibility, repair
+// behavior, and near-optimality against exhaustive search.
+#include <gtest/gtest.h>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/solver/lagrangian.hpp"
+
+namespace lpvs::solver {
+namespace {
+
+BinaryProgram two_row(std::vector<double> values,
+                      std::vector<double> compute,
+                      std::vector<double> storage, double b0, double b1) {
+  BinaryProgram p;
+  p.objective = std::move(values);
+  p.rows = {std::move(compute), std::move(storage)};
+  p.rhs = {b0, b1};
+  return p;
+}
+
+BinaryProgram random_two_row(common::Rng& rng, std::size_t n,
+                             double tightness0, double tightness1) {
+  std::vector<double> values(n);
+  std::vector<double> compute(n);
+  std::vector<double> storage(n);
+  double c_total = 0.0;
+  double s_total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    values[j] = rng.uniform(1.0, 10.0);
+    compute[j] = rng.uniform(0.2, 1.0);
+    storage[j] = rng.uniform(10.0, 100.0);
+    c_total += compute[j];
+    s_total += storage[j];
+  }
+  return two_row(values, compute, storage, tightness0 * c_total,
+                 tightness1 * s_total);
+}
+
+TEST(Lagrangian, RejectsWrongRowCount) {
+  BinaryProgram p;
+  p.objective = {1.0};
+  p.rows = {{1.0}};
+  p.rhs = {1.0};
+  EXPECT_EQ(LagrangianSolver().solve(p).incumbent.status,
+            IlpStatus::kMalformed);
+}
+
+TEST(Lagrangian, StorageSlackReducesToKnapsack) {
+  // Storage effectively unconstrained: mu stays 0 and the answer is the
+  // single-row optimum.
+  const BinaryProgram p = two_row({6.0, 10.0, 12.0}, {1.0, 2.0, 3.0},
+                                  {1.0, 1.0, 1.0}, 5.0, 1000.0);
+  const LagrangianSolution s = LagrangianSolver().solve(p);
+  EXPECT_DOUBLE_EQ(s.incumbent.objective, 22.0);
+  // The reported bound is the *fractional* inner optimum (6 + 10 + 12*2/3
+  // = 24), so the gap equals the LP integrality gap, not zero.
+  EXPECT_NEAR(s.upper_bound, 24.0, 1e-9);
+  EXPECT_LT(s.gap(), 0.1);
+}
+
+TEST(Lagrangian, IncumbentAlwaysFeasible) {
+  common::Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    const BinaryProgram p = random_two_row(rng, 25, 0.5, 0.3);
+    const LagrangianSolution s = LagrangianSolver().solve(p);
+    EXPECT_TRUE(p.feasible(s.incumbent.x)) << trial;
+  }
+}
+
+TEST(Lagrangian, UpperBoundsExhaustiveOptimum) {
+  common::Rng rng(2);
+  for (int trial = 0; trial < 12; ++trial) {
+    const BinaryProgram p = random_two_row(rng, 12, 0.5, 0.4);
+    const LagrangianSolution s = LagrangianSolver().solve(p);
+    const IlpSolution exact = ExhaustiveSolver().solve(p);
+    EXPECT_GE(s.upper_bound, exact.objective - 1e-6) << trial;
+    EXPECT_LE(s.incumbent.objective, exact.objective + 1e-6) << trial;
+  }
+}
+
+TEST(Lagrangian, NearOptimalOnRandomInstances) {
+  common::Rng rng(3);
+  double total_ratio = 0.0;
+  const int trials = 12;
+  for (int trial = 0; trial < trials; ++trial) {
+    const BinaryProgram p = random_two_row(rng, 14, 0.45, 0.35);
+    const LagrangianSolution s = LagrangianSolver().solve(p);
+    const IlpSolution exact = ExhaustiveSolver().solve(p);
+    ASSERT_GT(exact.objective, 0.0);
+    total_ratio += s.incumbent.objective / exact.objective;
+  }
+  EXPECT_GT(total_ratio / trials, 0.95);  // within 5% of optimal on average
+}
+
+TEST(Lagrangian, GapShrinksWithIterations) {
+  common::Rng rng(4);
+  const BinaryProgram p = random_two_row(rng, 60, 0.4, 0.3);
+  LagrangianSolver::Options few;
+  few.iterations = 2;
+  LagrangianSolver::Options many;
+  many.iterations = 80;
+  const LagrangianSolution coarse = LagrangianSolver(few).solve(p);
+  const LagrangianSolution fine = LagrangianSolver(many).solve(p);
+  EXPECT_LE(fine.upper_bound, coarse.upper_bound + 1e-9);
+  EXPECT_GE(fine.incumbent.objective, coarse.incumbent.objective - 1e-9);
+}
+
+TEST(Lagrangian, TightStorageActivatesMultiplier) {
+  common::Rng rng(5);
+  const BinaryProgram p = random_two_row(rng, 40, 0.9, 0.15);  // storage binds
+  const LagrangianSolution s = LagrangianSolver().solve(p);
+  EXPECT_GT(s.best_mu, 0.0);
+  EXPECT_TRUE(p.feasible(s.incumbent.x));
+}
+
+TEST(Lagrangian, AgreesWithBranchAndBoundAtScale) {
+  common::Rng rng(6);
+  const BinaryProgram p = random_two_row(rng, 300, 0.4, 0.35);
+  const LagrangianSolution lag = LagrangianSolver().solve(p);
+  BranchAndBoundSolver::Options opt;
+  opt.max_nodes = 500;
+  opt.relative_gap = 1e-4;
+  const IlpSolution bnb = BranchAndBoundSolver(opt).solve(p);
+  // Both methods must land within a percent of each other.
+  EXPECT_NEAR(lag.incumbent.objective, bnb.objective,
+              0.02 * bnb.objective);
+  EXPECT_GE(lag.upper_bound, bnb.objective - 1e-6);
+}
+
+}  // namespace
+}  // namespace lpvs::solver

@@ -1,0 +1,137 @@
+// Tests for the Normal-Inverse-Gamma gamma estimator: conjugate-update
+// algebra, convergence of both the mean and the learned noise variance,
+// and posterior contraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lpvs/bayes/nig_estimator.hpp"
+#include "lpvs/common/rng.hpp"
+#include "lpvs/common/stats.hpp"
+
+namespace lpvs::bayes {
+namespace {
+
+TEST(NigEstimator, PriorDefaults) {
+  const NigGammaEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.posterior_mean(), 0.31);
+  EXPECT_NEAR(estimator.expected_observation_variance(), 0.003, 1e-12);
+  EXPECT_EQ(estimator.observations(), 0u);
+}
+
+TEST(NigEstimator, SingleObservationPullsMeanHard) {
+  NigGammaEstimator estimator;
+  estimator.observe(0.45);
+  // kappa0 = 0.05 vs one real observation: mean lands near 0.45.
+  EXPECT_GT(estimator.posterior_mean(), 0.42);
+  EXPECT_LE(estimator.posterior_mean(), 0.45);
+}
+
+TEST(NigEstimator, UpdateAlgebraMatchesClosedForm) {
+  NigGammaEstimator estimator;
+  const auto prior = NigGammaEstimator::Prior{};
+  const double x = 0.4;
+  estimator.observe(x);
+  const double kappa1 = prior.kappa + 1.0;
+  EXPECT_NEAR(estimator.posterior_mean(),
+              (prior.kappa * prior.mean + x) / kappa1, 1e-12);
+  EXPECT_NEAR(estimator.posterior_kappa(), kappa1, 1e-12);
+  EXPECT_NEAR(estimator.posterior_alpha(), prior.alpha + 0.5, 1e-12);
+  EXPECT_NEAR(estimator.posterior_beta(),
+              prior.beta + 0.5 * prior.kappa * (x - prior.mean) *
+                               (x - prior.mean) / kappa1,
+              1e-12);
+}
+
+TEST(NigEstimator, SequentialMatchesBatchSufficientStats) {
+  // NIG updates must be exchangeable: order of observations irrelevant.
+  NigGammaEstimator forward;
+  NigGammaEstimator backward;
+  const double xs[] = {0.25, 0.31, 0.40, 0.28, 0.36};
+  for (double x : xs) forward.observe(x);
+  for (int i = 4; i >= 0; --i) backward.observe(xs[i]);
+  EXPECT_NEAR(forward.posterior_mean(), backward.posterior_mean(), 1e-12);
+  EXPECT_NEAR(forward.posterior_beta(), backward.posterior_beta(), 1e-12);
+  EXPECT_NEAR(forward.posterior_alpha(), backward.posterior_alpha(), 1e-12);
+}
+
+TEST(NigEstimator, MeanConvergesToTruth) {
+  const double true_gamma = 0.34;
+  NigGammaEstimator estimator;
+  common::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    estimator.observe(true_gamma + rng.normal(0.0, 0.05));
+  }
+  EXPECT_NEAR(estimator.expected_gamma(), true_gamma, 0.01);
+}
+
+TEST(NigEstimator, LearnsObservationVariance) {
+  // Unlike the fixed-noise estimator, NIG must recover sigma^2 itself.
+  const double true_sigma = 0.06;
+  NigGammaEstimator estimator;
+  common::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    estimator.observe(0.3 + rng.normal(0.0, true_sigma));
+  }
+  EXPECT_NEAR(estimator.expected_observation_variance(),
+              true_sigma * true_sigma, 0.3 * true_sigma * true_sigma);
+}
+
+TEST(NigEstimator, MarginalVarianceContracts) {
+  NigGammaEstimator estimator;
+  common::Rng rng(3);
+  estimator.observe(0.3);
+  estimator.observe(0.32);
+  double prev = estimator.gamma_marginal_variance();
+  for (int i = 0; i < 100; ++i) {
+    estimator.observe(0.31 + rng.normal(0.0, 0.02));
+    const double now = estimator.gamma_marginal_variance();
+    if (i > 5) {
+      EXPECT_LT(now, prev * 1.5) << i;  // broadly decreasing
+    }
+    prev = now;
+  }
+  EXPECT_LT(estimator.gamma_marginal_variance(), 1e-4);
+}
+
+TEST(NigEstimator, ClampsToTable1Band) {
+  NigGammaEstimator estimator;
+  for (int i = 0; i < 50; ++i) estimator.observe(0.9);
+  EXPECT_DOUBLE_EQ(estimator.expected_gamma(), 0.49);
+  NigGammaEstimator low;
+  for (int i = 0; i < 50; ++i) low.observe(0.01);
+  EXPECT_DOUBLE_EQ(low.expected_gamma(), 0.13);
+}
+
+TEST(NigEstimator, TracksBetterThanFixedNoiseWhenNoiseMisspecified) {
+  // A device whose measurement scatter (0.10) is 5x the fixed estimator's
+  // assumed 0.02-ish noise: the NIG posterior should end close to truth
+  // while never exploding outside the band.
+  const double true_gamma = 0.25;
+  NigGammaEstimator nig;
+  common::Rng rng(4);
+  for (int i = 0; i < 400; ++i) {
+    nig.observe(true_gamma + rng.normal(0.0, 0.10));
+  }
+  EXPECT_NEAR(nig.expected_gamma(), true_gamma, 0.02);
+}
+
+/// Sweep over noise levels: variance recovery must hold across scales.
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, VarianceRecovered) {
+  const double sigma = GetParam();
+  NigGammaEstimator estimator;
+  common::Rng rng(static_cast<std::uint64_t>(sigma * 1e4));
+  for (int i = 0; i < 3000; ++i) {
+    estimator.observe(0.3 + rng.normal(0.0, sigma));
+  }
+  EXPECT_NEAR(std::sqrt(estimator.expected_observation_variance()), sigma,
+              0.2 * sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, NoiseSweep,
+                         ::testing::Values(0.01, 0.03, 0.08, 0.15));
+
+}  // namespace
+}  // namespace lpvs::bayes

@@ -1,0 +1,131 @@
+// Tests for the on-device vs edge offload analysis — the quantitative
+// version of the paper's motivating claim that per-pixel transforms cost
+// enough on the phone to offset or negate their display savings.
+#include <gtest/gtest.h>
+
+#include "lpvs/transform/offload.hpp"
+
+namespace lpvs::transform {
+namespace {
+
+display::DisplaySpec spec_with_resolution(int w, int h,
+                                          display::DisplayType type =
+                                              display::DisplayType::kOled) {
+  return {type, 6.1, w, h, 700.0, 0.8};
+}
+
+media::Video test_video(media::Genre genre = media::Genre::kMovie) {
+  media::ContentGenerator generator(3);
+  return generator.generate(common::VideoId{1}, genre, 30, 3.0);
+}
+
+TEST(OnDeviceCost, ScalesWithResolution) {
+  const OnDeviceCostModel model;
+  const double fhd =
+      model.transform_power(spec_with_resolution(1080, 2340)).value;
+  const double qhd =
+      model.transform_power(spec_with_resolution(1440, 3040)).value;
+  const double hd =
+      model.transform_power(spec_with_resolution(720, 1440)).value;
+  EXPECT_GT(qhd, fhd);
+  EXPECT_GT(fhd, hd);
+  // Pixel-linear above the fixed overhead.
+  const double overhead = model.coefficients().overhead_mw;
+  EXPECT_NEAR((qhd - overhead) / (fhd - overhead),
+              (1440.0 * 3040.0) / (1080.0 * 2340.0), 1e-9);
+}
+
+TEST(OnDeviceCost, RealisticMagnitude) {
+  // Per-pixel processing of a 1080p-class stream costs hundreds of mW on
+  // a phone — comparable to the display saving itself.
+  const OnDeviceCostModel model;
+  const double mw =
+      model.transform_power(spec_with_resolution(1080, 2340)).value;
+  EXPECT_GT(mw, 150.0);
+  EXPECT_LT(mw, 1500.0);
+}
+
+TEST(OffloadAnalysisTest, EdgeAlwaysBeatsOnDevice) {
+  const TransformEngine engine;
+  const OnDeviceCostModel cost;
+  const media::Video video = test_video();
+  for (int g = 0; g < media::kGenreCount; ++g) {
+    media::ContentGenerator generator(g + 10);
+    const media::Video v = generator.generate(
+        common::VideoId{static_cast<std::uint32_t>(g)},
+        static_cast<media::Genre>(g), 30, 3.0);
+    const OffloadAnalysis analysis = analyze_offload(
+        engine, cost, spec_with_resolution(1080, 2340), v);
+    EXPECT_GT(analysis.net_edge_saving.value,
+              analysis.net_on_device_saving.value);
+    EXPECT_DOUBLE_EQ(analysis.net_edge_saving.value,
+                     analysis.display_saving.value);
+  }
+}
+
+TEST(OffloadAnalysisTest, HighResolutionNegatesOnDeviceSaving) {
+  // The paper's strongest claim: on a high-resolution display the local
+  // transform cost *negates* the display saving entirely.
+  const TransformEngine engine;
+  const OnDeviceCostModel cost;
+  const OffloadAnalysis analysis = analyze_offload(
+      engine, cost, spec_with_resolution(1440, 3040), test_video());
+  EXPECT_GT(analysis.offset_fraction(), 0.8);
+  EXPECT_GT(analysis.net_edge_saving.value, 200.0);
+}
+
+TEST(OffloadAnalysisTest, LowResolutionLcdKeepsSomeOnDeviceSaving) {
+  // LCD backlight power scales with panel *area*, not pixel count, so on
+  // a low-resolution LCD the transform is cheap relative to its saving:
+  // locally positive, but still well short of the edge-offloaded saving.
+  const TransformEngine engine;
+  const OnDeviceCostModel cost;
+  const OffloadAnalysis analysis = analyze_offload(
+      engine, cost,
+      spec_with_resolution(720, 1440, display::DisplayType::kLcd),
+      test_video());
+  EXPECT_GT(analysis.net_on_device_saving.value, 0.0);
+  EXPECT_LT(analysis.net_on_device_saving.value,
+            0.8 * analysis.net_edge_saving.value);
+}
+
+TEST(OffloadAnalysisTest, OledOffsetResolutionIndependent) {
+  // OLED emission and transform cost are both pixel-linear, so the offset
+  // fraction barely moves with resolution — the transform is a bad local
+  // deal on OLED at *any* resolution.
+  const TransformEngine engine;
+  const OnDeviceCostModel cost;
+  const double offset_hd =
+      analyze_offload(engine, cost, spec_with_resolution(720, 1440),
+                      test_video())
+          .offset_fraction();
+  const double offset_qhd =
+      analyze_offload(engine, cost, spec_with_resolution(1440, 3040),
+                      test_video())
+          .offset_fraction();
+  EXPECT_GT(offset_hd, 0.5);
+  EXPECT_GT(offset_qhd, 0.5);
+}
+
+TEST(OffloadAnalysisTest, EmptyVideoIsNeutral) {
+  const TransformEngine engine;
+  const OnDeviceCostModel cost;
+  const OffloadAnalysis analysis = analyze_offload(
+      engine, cost, spec_with_resolution(1080, 2340), media::Video{});
+  EXPECT_DOUBLE_EQ(analysis.display_saving.value, 0.0);
+  EXPECT_DOUBLE_EQ(analysis.net_edge_saving.value, 0.0);
+}
+
+TEST(OffloadAnalysisTest, OffsetFractionDefinition) {
+  OffloadAnalysis analysis;
+  analysis.display_saving = {200.0};
+  analysis.on_device_cost = {150.0};
+  EXPECT_DOUBLE_EQ(analysis.offset_fraction(), 0.75);
+  analysis.net_on_device_saving = {50.0};
+  EXPECT_FALSE(analysis.on_device_negated());
+  analysis.net_on_device_saving = {-10.0};
+  EXPECT_TRUE(analysis.on_device_negated());
+}
+
+}  // namespace
+}  // namespace lpvs::transform

@@ -1,0 +1,143 @@
+// Tests for the raw-response generator and the data-cleansing rules
+// (SIII-A's "effective answers after data cleansing" step).
+#include <gtest/gtest.h>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+#include "lpvs/survey/questionnaire.hpp"
+
+namespace lpvs::survey {
+namespace {
+
+TEST(ResponseGenerator, ProducesRequestedCount) {
+  common::Rng rng(1);
+  const auto raw = ResponseGenerator().generate(500, rng);
+  EXPECT_EQ(raw.size(), 500u);
+}
+
+TEST(ResponseGenerator, CorruptionRatesRoughlyRespected) {
+  ResponseGenerator::Config config;
+  config.skip_rate = 0.10;
+  config.speeder_rate = 0.08;
+  config.attention_fail_rate = 0.05;
+  common::Rng rng(2);
+  const auto raw = ResponseGenerator(config).generate(5000, rng);
+  int skipped_charge = 0;
+  int speeders = 0;
+  int failed_attention = 0;
+  for (const RawResponse& r : raw) {
+    skipped_charge += r.charge_level.has_value() ? 0 : 1;
+    speeders += r.completion_seconds < 45 ? 1 : 0;
+    failed_attention += r.attention_check_passed ? 0 : 1;
+  }
+  // Skip rate applies before the out-of-range corruption; allow slack.
+  EXPECT_NEAR(skipped_charge / 5000.0, 0.10, 0.02);
+  EXPECT_NEAR(speeders / 5000.0, 0.08, 0.02);
+  EXPECT_NEAR(failed_attention / 5000.0, 0.05, 0.01);
+}
+
+TEST(DataCleanserTest, CleanResponsePasses) {
+  RawResponse r;
+  r.charge_level = 20;
+  r.giveup_level = 10;
+  r.gender = Gender::kFemale;
+  r.age = AgeBand::k25To35;
+  r.occupation = Occupation::kCompany;
+  r.brand = PhoneBrand::kHuawei;
+  const auto [effective, report] = DataCleanser().cleanse({r});
+  ASSERT_EQ(effective.size(), 1u);
+  EXPECT_EQ(report.kept, 1);
+  EXPECT_EQ(report.dropped(), 0);
+  EXPECT_EQ(effective[0].charge_level, 20);
+  EXPECT_EQ(effective[0].gender, Gender::kFemale);
+}
+
+TEST(DataCleanserTest, RulesDropInPriorityOrder) {
+  RawResponse bad;
+  bad.charge_level = 999;                  // range violation AND...
+  bad.attention_check_passed = false;      // ...attention failure
+  bad.giveup_level = 10;
+  bad.gender = Gender::kMale;
+  bad.age = AgeBand::k18To25;
+  bad.occupation = Occupation::kStudent;
+  bad.brand = PhoneBrand::kIPhone;
+  const auto [effective, report] = DataCleanser().cleanse({bad});
+  EXPECT_TRUE(effective.empty());
+  EXPECT_EQ(report.dropped_attention, 1);  // counted under the first rule
+  EXPECT_EQ(report.dropped_out_of_range, 0);
+}
+
+TEST(DataCleanserTest, EachRuleFires) {
+  RawResponse base;
+  base.charge_level = 25;
+  base.giveup_level = 12;
+  base.gender = Gender::kMale;
+  base.age = AgeBand::k18To25;
+  base.occupation = Occupation::kStudent;
+  base.brand = PhoneBrand::kXiaomi;
+
+  RawResponse missing = base;
+  missing.charge_level.reset();
+  RawResponse speeder = base;
+  speeder.completion_seconds = 10;
+  RawResponse inattentive = base;
+  inattentive.attention_check_passed = false;
+  RawResponse out_of_range = base;
+  out_of_range.charge_level = 0;
+
+  const auto [effective, report] = DataCleanser().cleanse(
+      {base, missing, speeder, inattentive, out_of_range});
+  EXPECT_EQ(report.total, 5);
+  EXPECT_EQ(report.kept, 1);
+  EXPECT_EQ(report.dropped_missing, 1);
+  EXPECT_EQ(report.dropped_speeder, 1);
+  EXPECT_EQ(report.dropped_attention, 1);
+  EXPECT_EQ(report.dropped_out_of_range, 1);
+  EXPECT_DOUBLE_EQ(report.keep_ratio(), 0.2);
+}
+
+TEST(Pipeline, RawToEffectiveToCurve) {
+  // End to end: generate a dirty panel sized so that ~2,032 effective
+  // answers survive (the paper's number), cleanse, extract the curve.
+  common::Rng rng(3);
+  const auto raw = ResponseGenerator().generate(2300, rng);
+  const auto [effective, report] = DataCleanser().cleanse(raw);
+  EXPECT_GT(report.kept, 1800);
+  EXPECT_LT(report.kept, 2300);
+  EXPECT_EQ(report.kept + report.dropped(), report.total);
+
+  LbaCurveExtractor extractor;
+  extractor.add_population(effective);
+  const auto curve = extractor.extract();
+  const CurveShape shape = analyze_curve(curve);
+  EXPECT_TRUE(shape.non_increasing);
+  EXPECT_GT(shape.jump_at_20, 0.05);
+}
+
+TEST(Pipeline, CleansingRemovesOutOfRangeBias) {
+  // Without cleansing, fat-fingered answers (999, 0) corrupt the curve's
+  // tail; cleansing restores anxiety(100) to near zero.
+  ResponseGenerator::Config dirty;
+  dirty.out_of_range_rate = 0.25;  // exaggerated corruption
+  common::Rng rng(4);
+  const auto raw = ResponseGenerator(dirty).generate(2000, rng);
+
+  LbaCurveExtractor no_cleansing;
+  for (const RawResponse& r : raw) {
+    if (r.charge_level.has_value()) no_cleansing.add_answer(*r.charge_level);
+  }
+  const auto dirty_curve = no_cleansing.extract();
+
+  const auto [effective, report] = DataCleanser().cleanse(raw);
+  LbaCurveExtractor cleansed;
+  cleansed.add_population(effective);
+  const auto clean_curve = cleansed.extract();
+
+  // The 999-valued answers (clamped to 100) inflate anxiety at full
+  // battery in the dirty curve.
+  EXPECT_GT(dirty_curve(100.0), clean_curve(100.0) + 0.05);
+  EXPECT_LT(clean_curve(100.0), 0.08);
+}
+
+}  // namespace
+}  // namespace lpvs::survey

@@ -1,0 +1,143 @@
+// Tests for the city-scale trace replay.
+#include <gtest/gtest.h>
+
+#include "lpvs/emu/replay.hpp"
+
+namespace lpvs::emu {
+namespace {
+
+const survey::AnxietyModel& anxiety() {
+  static const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  return model;
+}
+
+trace::Trace small_trace(std::uint64_t seed = 3) {
+  trace::TraceConfig config;
+  config.channel_count = 60;
+  config.session_count = 200;
+  config.top_channel_viewers = 400.0;
+  return trace::TwitchLikeGenerator(config).generate(seed);
+}
+
+ReplayConfig small_replay() {
+  ReplayConfig config;
+  config.start_slot = 144;
+  config.min_viewers = 20;
+  config.max_clusters = 5;
+  config.max_slots = 6;
+  config.enable_giveup = false;
+  config.seed = 11;
+  return config;
+}
+
+TEST(CityReplay, FormsClustersFromTrace) {
+  const trace::Trace twitch = small_trace();
+  const core::LpvsScheduler scheduler;
+  const ReplayReport report =
+      replay_city(twitch, scheduler, anxiety(), small_replay());
+  ASSERT_GT(report.clusters.size(), 0u);
+  EXPECT_LE(report.clusters.size(), 5u);
+  for (const ClusterOutcome& cluster : report.clusters) {
+    EXPECT_GE(cluster.group_size, 20);
+    EXPECT_LE(cluster.group_size, 100);
+    EXPECT_GE(cluster.slots, 1);
+    EXPECT_LE(cluster.slots, 6);
+  }
+}
+
+TEST(CityReplay, LargestSessionsFirst) {
+  const trace::Trace twitch = small_trace();
+  const core::LpvsScheduler scheduler;
+  ReplayConfig config = small_replay();
+  config.max_clusters = 3;
+  const ReplayReport all =
+      replay_city(twitch, scheduler, anxiety(), small_replay());
+  const ReplayReport top =
+      replay_city(twitch, scheduler, anxiety(), config);
+  ASSERT_GE(all.clusters.size(), top.clusters.size());
+  for (std::size_t i = 0; i < top.clusters.size(); ++i) {
+    EXPECT_EQ(top.clusters[i].session, all.clusters[i].session);
+  }
+}
+
+TEST(CityReplay, AggregateEnergySavingPositive) {
+  const trace::Trace twitch = small_trace();
+  const core::LpvsScheduler scheduler;
+  const ReplayReport report =
+      replay_city(twitch, scheduler, anxiety(), small_replay());
+  EXPECT_GT(report.energy_saving_ratio(), 0.05);
+  EXPECT_LT(report.energy_saving_ratio(), 0.5);
+  EXPECT_GT(report.total_devices, 0);
+  EXPECT_GT(report.total_served_slots, 0);
+}
+
+TEST(CityReplay, NoTransformSavesNothing) {
+  const trace::Trace twitch = small_trace();
+  const core::NoTransformScheduler scheduler;
+  const ReplayReport report =
+      replay_city(twitch, scheduler, anxiety(), small_replay());
+  EXPECT_NEAR(report.energy_saving_ratio(), 0.0, 1e-12);
+  EXPECT_EQ(report.total_served_slots, 0);
+}
+
+TEST(CityReplay, Deterministic) {
+  const trace::Trace twitch = small_trace();
+  const core::LpvsScheduler scheduler;
+  const ReplayReport a =
+      replay_city(twitch, scheduler, anxiety(), small_replay());
+  const ReplayReport b =
+      replay_city(twitch, scheduler, anxiety(), small_replay());
+  EXPECT_DOUBLE_EQ(a.energy_with_mwh, b.energy_with_mwh);
+  EXPECT_DOUBLE_EQ(a.energy_without_mwh, b.energy_without_mwh);
+}
+
+TEST(CityReplay, ViewerThresholdRespected) {
+  const trace::Trace twitch = small_trace();
+  const core::LpvsScheduler scheduler;
+  ReplayConfig config = small_replay();
+  config.min_viewers = 1000000;  // nobody qualifies
+  const ReplayReport report =
+      replay_city(twitch, scheduler, anxiety(), config);
+  EXPECT_TRUE(report.clusters.empty());
+  EXPECT_DOUBLE_EQ(report.energy_saving_ratio(), 0.0);
+}
+
+TEST(CityReplay, ParallelMatchesSerialExactly) {
+  const trace::Trace twitch = small_trace();
+  const core::LpvsScheduler scheduler;
+  ReplayConfig serial = small_replay();
+  serial.threads = 1;
+  ReplayConfig parallel = small_replay();
+  parallel.threads = 4;
+  const ReplayReport a =
+      replay_city(twitch, scheduler, anxiety(), serial);
+  const ReplayReport b =
+      replay_city(twitch, scheduler, anxiety(), parallel);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  EXPECT_DOUBLE_EQ(a.energy_with_mwh, b.energy_with_mwh);
+  EXPECT_DOUBLE_EQ(a.energy_without_mwh, b.energy_without_mwh);
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].session, b.clusters[i].session);
+    EXPECT_DOUBLE_EQ(a.clusters[i].metrics.with_lpvs.total_energy_mwh,
+                     b.clusters[i].metrics.with_lpvs.total_energy_mwh);
+  }
+}
+
+TEST(CityReplay, AnxietyAggregationWeighted) {
+  const trace::Trace twitch = small_trace();
+  const core::LpvsScheduler scheduler;
+  const ReplayReport report =
+      replay_city(twitch, scheduler, anxiety(), small_replay());
+  // Weighted mean must lie within the per-cluster range.
+  double lo = 1e9;
+  double hi = -1e9;
+  for (const ClusterOutcome& c : report.clusters) {
+    lo = std::min(lo, c.metrics.anxiety_reduction_ratio());
+    hi = std::max(hi, c.metrics.anxiety_reduction_ratio());
+  }
+  EXPECT_GE(report.anxiety_reduction_ratio(), lo - 1e-12);
+  EXPECT_LE(report.anxiety_reduction_ratio(), hi + 1e-12);
+}
+
+}  // namespace
+}  // namespace lpvs::emu

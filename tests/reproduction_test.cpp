@@ -1,0 +1,144 @@
+// Reproduction regression tests: guard the calibrated headline numbers so
+// future changes to power models, transforms or the scheduler cannot
+// silently drift the paper-facing results (EXPERIMENTS.md).  Configs are
+// scaled-down versions of the bench harnesses to keep test time sane;
+// bands are wide enough for seed noise, tight enough to catch calibration
+// breakage.
+#include <gtest/gtest.h>
+
+#include "lpvs/common/stats.hpp"
+#include "lpvs/display/display.hpp"
+#include "lpvs/emu/emulator.hpp"
+#include "lpvs/media/video.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+#include "lpvs/survey/population.hpp"
+#include "lpvs/transform/transform.hpp"
+
+namespace lpvs {
+namespace {
+
+const survey::AnxietyModel& anxiety() {
+  static const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  return model;
+}
+
+TEST(Reproduction, Fig1DisplayDominatesBothPanels) {
+  const display::DevicePowerModel model;
+  display::FrameStats mid;
+  mid.mean_luminance = 0.45;
+  mid.mean_r = mid.mean_g = mid.mean_b = 0.45;
+  mid.peak_luminance = 0.75;
+  const display::DisplaySpec lcd{display::DisplayType::kLcd, 6.1, 1080,
+                                 2340, 500.0, 0.8};
+  const display::DisplaySpec oled{display::DisplayType::kOled, 6.1, 1080,
+                                  2340, 700.0, 0.8};
+  EXPECT_GT(model.breakdown(lcd, mid, 3.0).display_fraction(), 0.55);
+  EXPECT_GT(model.breakdown(oled, mid, 3.0).display_fraction(), 0.45);
+}
+
+TEST(Reproduction, Table1GammaBandCalibration) {
+  // The realized device-level gamma must stay near the paper's prior band
+  // center (0.31): this is what pins Fig. 7's ~35% and Fig. 9's ~+39%.
+  const transform::TransformEngine engine;
+  const auto& catalog = display::DeviceCatalog::standard();
+  common::RunningStats gammas;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    media::ContentGenerator generator(seed * 31);
+    for (int g = 0; g < media::kGenreCount; ++g) {
+      const media::Video video = generator.generate(
+          common::VideoId{static_cast<std::uint32_t>(g)},
+          static_cast<media::Genre>(g), 30, 3.0);
+      for (std::size_t i = 0; i < catalog.size(); ++i) {
+        gammas.add(engine.video_gamma(catalog.at(i).spec, video));
+      }
+    }
+  }
+  EXPECT_GT(gammas.mean(), 0.27);
+  EXPECT_LT(gammas.mean(), 0.38);
+  EXPECT_GT(gammas.min(), 0.10);
+  EXPECT_LT(gammas.max(), 0.55);
+}
+
+TEST(Reproduction, Fig7EnergySavingBand) {
+  // Scaled-down Fig. 7 (sufficient capacity): saving must stay within a
+  // few points of the calibrated ~32% (paper: 35.2%).
+  emu::EmulatorConfig config;
+  config.group_size = 60;
+  config.slots = 8;
+  config.chunks_per_slot = 20;
+  config.compute_capacity = 70.0;
+  config.enable_giveup = false;
+  config.seed = 7060;
+  const core::LpvsScheduler scheduler;
+  const emu::PairedMetrics paired =
+      emu::run_paired(config, scheduler, anxiety());
+  EXPECT_GT(paired.energy_saving_ratio(), 0.24);
+  EXPECT_LT(paired.energy_saving_ratio(), 0.40);
+  // Anxiety reduction in the paper's single-digit-to-low-teens band.
+  EXPECT_GT(paired.anxiety_reduction_ratio(), 0.02);
+  EXPECT_LT(paired.anxiety_reduction_ratio(), 0.20);
+}
+
+TEST(Reproduction, Fig8CapacityDilution) {
+  // Limited capacity: the saving at VC=300 must be well below VC=100 with
+  // the same server (the Fig. 8 shape).
+  const core::LpvsScheduler scheduler;
+  auto saving_for = [&](int group) {
+    emu::EmulatorConfig config;
+    config.group_size = group;
+    config.slots = 6;
+    config.chunks_per_slot = 15;
+    config.compute_capacity = 45.0;
+    config.enable_giveup = false;
+    config.seed = 8000;
+    return emu::run_paired(config, scheduler, anxiety())
+        .energy_saving_ratio();
+  };
+  const double at_100 = saving_for(100);
+  const double at_300 = saving_for(300);
+  EXPECT_GT(at_100, at_300 * 1.8);
+}
+
+TEST(Reproduction, Fig9TpvExtensionBand) {
+  // The TPV extension for served low-battery users is structurally
+  // gamma/(1-gamma) ~ +40-55% at our calibration (paper: +38.8%).
+  emu::EmulatorConfig config;
+  config.group_size = 70;
+  config.slots = 72;
+  config.chunks_per_slot = 20;
+  config.compute_capacity = 70.0;
+  config.enable_giveup = true;
+  config.initial_battery_mean = 0.38;
+  config.initial_battery_std = 0.18;
+  config.seed = 9070;
+  const core::LpvsScheduler scheduler;
+  const emu::PairedMetrics paired =
+      emu::run_paired(config, scheduler, anxiety());
+  const double with = paired.with_lpvs.mean_tpv(0.40, true);
+  const double without = paired.without_lpvs.mean_tpv(0.40, false);
+  ASSERT_GT(without, 10.0);
+  const double extension = with / without - 1.0;
+  EXPECT_GT(extension, 0.25);
+  EXPECT_LT(extension, 0.80);
+}
+
+TEST(Reproduction, SurveyHeadlines) {
+  common::Rng rng(2032);
+  const auto population =
+      survey::SyntheticPopulation().generate_paper_population(rng);
+  EXPECT_NEAR(survey::SyntheticPopulation::lba_fraction(population), 0.9188,
+              0.025);
+  EXPECT_NEAR(
+      survey::SyntheticPopulation::giveup_fraction_at(population, 10), 0.50,
+      0.06);
+  survey::LbaCurveExtractor extractor;
+  extractor.add_population(population);
+  const survey::CurveShape shape =
+      survey::analyze_curve(extractor.extract());
+  EXPECT_TRUE(shape.non_increasing);
+  EXPECT_TRUE(shape.convex_above_20);
+  EXPECT_TRUE(shape.concave_below_20);
+}
+
+}  // namespace
+}  // namespace lpvs

@@ -1,0 +1,62 @@
+// Tests for the information-gathering signaling cost model.
+#include <gtest/gtest.h>
+
+#include "lpvs/core/signaling.hpp"
+#include "lpvs/display/display.hpp"
+
+namespace lpvs::core {
+namespace {
+
+TEST(ReportSchemaTest, UplinkBytesScaleWithChunks) {
+  const ReportSchema schema;
+  EXPECT_EQ(schema.uplink_bytes(0), 24u + 8u + 4u);
+  EXPECT_EQ(schema.uplink_bytes(30), 36u + 120u);
+}
+
+TEST(SignalingCost, EnergyPositiveAndTiny) {
+  const SignalingCostModel model;
+  const auto energy = model.report_energy(ReportSchema{}, 30);
+  EXPECT_GT(energy.value, 0.0);
+  // A 156-byte uplink at ~0.9 uJ/byte is well under a thousandth of a mWh.
+  EXPECT_LT(energy.value, 1e-3);
+}
+
+TEST(SignalingCost, MoreChunksCostMore) {
+  const SignalingCostModel model;
+  EXPECT_GT(model.report_energy(ReportSchema{}, 60).value,
+            model.report_energy(ReportSchema{}, 10).value);
+}
+
+TEST(SignalingCost, PowerAmortizedOverSlot) {
+  const SignalingCostModel model;
+  const auto power =
+      model.report_power(ReportSchema{}, 30, common::kSlotLength);
+  const auto energy = model.report_energy(ReportSchema{}, 30);
+  EXPECT_NEAR(power.value, energy.value * 3600.0 / 300.0, 1e-12);
+}
+
+TEST(SignalingCost, NegligibleAgainstDisplaySaving) {
+  // The whole point: per-slot signaling costs micro-watts, the transform
+  // saves hundreds of milliwatts — five orders of magnitude apart.
+  const SignalingCostModel model;
+  const double signaling_mw =
+      model.report_power(ReportSchema{}, 30, common::kSlotLength).value;
+  const double typical_saving_mw = 200.0;
+  EXPECT_LT(signaling_mw * 1e4, typical_saving_mw);
+}
+
+TEST(SignalingCost, PromotionCostIncluded) {
+  SignalingCostModel::Coefficients idle_radio;
+  idle_radio.promotion_mj = 50.0;  // radio had to wake up just for this
+  const SignalingCostModel cold(idle_radio);
+  const SignalingCostModel warm;
+  EXPECT_GT(cold.report_energy(ReportSchema{}, 30).value,
+            warm.report_energy(ReportSchema{}, 30).value);
+  // Even the cold-radio worst case stays far below the saving.
+  const double cold_mw =
+      cold.report_power(ReportSchema{}, 30, common::kSlotLength).value;
+  EXPECT_LT(cold_mw, 1.0);
+}
+
+}  // namespace
+}  // namespace lpvs::core

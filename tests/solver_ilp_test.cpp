@@ -1,0 +1,233 @@
+// Tests for the 0/1 branch-and-bound solver: exactness against exhaustive
+// enumeration, feasibility of everything any solver returns, and the
+// greedy/exhaustive baselines themselves.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/solver/ilp.hpp"
+
+namespace lpvs::solver {
+namespace {
+
+BinaryProgram random_program(common::Rng& rng, std::size_t n,
+                             std::size_t m) {
+  BinaryProgram p;
+  p.objective.resize(n);
+  p.rows.assign(m, std::vector<double>(n));
+  p.rhs.resize(m);
+  for (std::size_t j = 0; j < n; ++j) {
+    p.objective[j] = rng.uniform(0.0, 10.0);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      p.rows[i][j] = rng.uniform(0.1, 4.0);
+      sum += p.rows[i][j];
+    }
+    p.rhs[i] = rng.uniform(0.2, 0.8) * sum;  // genuinely binding
+  }
+  return p;
+}
+
+TEST(BinaryProgram, FeasibilityChecksRowsAndEligibility) {
+  BinaryProgram p;
+  p.objective = {1.0, 1.0};
+  p.rows = {{1.0, 1.0}};
+  p.rhs = {1.0};
+  p.eligible = {1, 0};
+  EXPECT_TRUE(p.feasible({1, 0}));
+  EXPECT_FALSE(p.feasible({0, 1}));  // ineligible
+  EXPECT_FALSE(p.feasible({1, 1}));  // over capacity (and ineligible)
+}
+
+TEST(BinaryProgram, ValueSumsSelected) {
+  BinaryProgram p;
+  p.objective = {2.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(p.value({1, 0, 1}), 7.0);
+  EXPECT_DOUBLE_EQ(p.value({0, 0, 0}), 0.0);
+}
+
+TEST(Exhaustive, TinyKnapsackByHand) {
+  // values 6,10,12 weights 1,2,3 cap 5 -> take {10,12} = 22.
+  BinaryProgram p;
+  p.objective = {6.0, 10.0, 12.0};
+  p.rows = {{1.0, 2.0, 3.0}};
+  p.rhs = {5.0};
+  const IlpSolution s = ExhaustiveSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.objective, 22.0);
+  EXPECT_EQ(s.x, (std::vector<int>{0, 1, 1}));
+}
+
+TEST(Exhaustive, RefusesHugeInstances) {
+  BinaryProgram p;
+  p.objective.assign(40, 1.0);
+  EXPECT_EQ(ExhaustiveSolver().solve(p).status, IlpStatus::kMalformed);
+}
+
+TEST(Greedy, ReturnsFeasible) {
+  common::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BinaryProgram p = random_program(rng, 12, 2);
+    const IlpSolution s = GreedySolver().solve(p);
+    EXPECT_TRUE(p.feasible(s.x));
+    EXPECT_DOUBLE_EQ(s.objective, p.value(s.x));
+  }
+}
+
+TEST(Greedy, NeverBeatsExhaustive) {
+  common::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BinaryProgram p = random_program(rng, 10, 2);
+    const double greedy = GreedySolver().solve(p).objective;
+    const double exact = ExhaustiveSolver().solve(p).objective;
+    EXPECT_LE(greedy, exact + 1e-9);
+  }
+}
+
+TEST(Greedy, SkipsIneligibleAndNegative) {
+  BinaryProgram p;
+  p.objective = {5.0, -1.0, 7.0};
+  p.rows = {{1.0, 1.0, 1.0}};
+  p.rhs = {3.0};
+  p.eligible = {0, 1, 1};
+  const IlpSolution s = GreedySolver().solve(p);
+  EXPECT_EQ(s.x[0], 0);  // ineligible despite positive value
+  EXPECT_EQ(s.x[1], 0);  // negative value never helps
+  EXPECT_EQ(s.x[2], 1);
+}
+
+TEST(BranchAndBound, MatchesHandKnapsack) {
+  BinaryProgram p;
+  p.objective = {6.0, 10.0, 12.0};
+  p.rows = {{1.0, 2.0, 3.0}};
+  p.rhs = {5.0};
+  const IlpSolution s = BranchAndBoundSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.objective, 22.0);
+}
+
+TEST(BranchAndBound, RespectsEligibility) {
+  BinaryProgram p;
+  p.objective = {100.0, 1.0};
+  p.rows = {{1.0, 1.0}};
+  p.rhs = {2.0};
+  p.eligible = {0, 1};
+  const IlpSolution s = BranchAndBoundSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_EQ(s.x[0], 0);
+  EXPECT_EQ(s.x[1], 1);
+  EXPECT_DOUBLE_EQ(s.objective, 1.0);
+}
+
+TEST(BranchAndBound, ZeroCapacitySelectsNothing) {
+  BinaryProgram p;
+  p.objective = {3.0, 4.0};
+  p.rows = {{1.0, 1.0}};
+  p.rhs = {0.0};
+  const IlpSolution s = BranchAndBoundSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+TEST(BranchAndBound, LooseCapacityTakesEverything) {
+  BinaryProgram p;
+  p.objective.assign(30, 1.0);
+  p.rows.assign(1, std::vector<double>(30, 1.0));
+  p.rhs = {1000.0};
+  const IlpSolution s = BranchAndBoundSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.objective, 30.0);
+}
+
+TEST(BranchAndBound, EmptyProblem) {
+  BinaryProgram p;
+  const IlpSolution s = BranchAndBoundSolver().solve(p);
+  EXPECT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+TEST(BranchAndBound, TightCorrelatedInstance) {
+  // Equal densities force real branching.
+  BinaryProgram p;
+  p.objective = {4.0, 4.0, 4.0, 4.0, 4.0};
+  p.rows = {{2.0, 2.0, 2.0, 2.0, 2.0}};
+  p.rhs = {7.0};  // fits exactly 3
+  const IlpSolution s = BranchAndBoundSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.objective, 12.0);
+}
+
+TEST(BranchAndBound, NodeLimitDegradesGracefully) {
+  common::Rng rng(6);
+  const BinaryProgram p = random_program(rng, 18, 2);
+  BranchAndBoundSolver::Options options;
+  options.max_nodes = 1;  // only the warm start survives
+  const IlpSolution s = BranchAndBoundSolver(options).solve(p);
+  EXPECT_EQ(s.status, IlpStatus::kFeasible);
+  EXPECT_TRUE(p.feasible(s.x));
+}
+
+/// The core exactness property: B&B equals exhaustive enumeration on random
+/// instances across sizes, constraint counts, and seeds.
+struct ExactnessCase {
+  std::size_t n;
+  std::size_t m;
+  std::uint64_t seed;
+};
+
+class BnbExactness : public ::testing::TestWithParam<ExactnessCase> {};
+
+TEST_P(BnbExactness, MatchesExhaustive) {
+  const ExactnessCase& c = GetParam();
+  common::Rng rng(c.seed);
+  BinaryProgram p = random_program(rng, c.n, c.m);
+  // Randomly knock out some eligibility.
+  p.eligible.assign(c.n, 1);
+  for (std::size_t j = 0; j < c.n; ++j) {
+    if (rng.bernoulli(0.2)) p.eligible[j] = 0;
+  }
+  const IlpSolution exact = ExhaustiveSolver().solve(p);
+  const IlpSolution bnb = BranchAndBoundSolver().solve(p);
+  ASSERT_TRUE(exact.optimal());
+  ASSERT_TRUE(bnb.optimal());
+  EXPECT_NEAR(bnb.objective, exact.objective, 1e-6)
+      << "n=" << c.n << " m=" << c.m << " seed=" << c.seed;
+  EXPECT_TRUE(p.feasible(bnb.x));
+}
+
+std::vector<ExactnessCase> exactness_cases() {
+  std::vector<ExactnessCase> cases;
+  for (std::size_t n : {4, 8, 12, 15}) {
+    for (std::size_t m : {1, 2, 3}) {
+      for (std::uint64_t seed : {101u, 202u, 303u, 404u}) {
+        cases.push_back({n, m, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, BnbExactness,
+                         ::testing::ValuesIn(exactness_cases()));
+
+TEST(BranchAndBound, ScalesToHundredsOfVariables) {
+  common::Rng rng(7);
+  const BinaryProgram p = random_program(rng, 300, 2);
+  const IlpSolution s = BranchAndBoundSolver().solve(p);
+  EXPECT_TRUE(s.optimal());
+  EXPECT_TRUE(p.feasible(s.x));
+  EXPECT_GE(s.objective, GreedySolver().solve(p).objective - 1e-9);
+}
+
+TEST(IlpStatusNames, ToString) {
+  EXPECT_EQ(to_string(IlpStatus::kOptimal), "optimal");
+  EXPECT_EQ(to_string(IlpStatus::kFeasible), "feasible");
+  EXPECT_EQ(to_string(IlpStatus::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(IlpStatus::kMalformed), "malformed");
+}
+
+}  // namespace
+}  // namespace lpvs::solver

@@ -1,0 +1,198 @@
+// Stress and adversarial tests for the optimization substrate: degenerate,
+// duplicated, ill-scaled and tie-heavy instances that historically break
+// simplex/B&B implementations (cycling, bound-flip loops, incumbent
+// staleness).  Everything here must terminate and stay feasible.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/solver/ilp.hpp"
+#include "lpvs/solver/knapsack.hpp"
+#include "lpvs/solver/lp.hpp"
+
+namespace lpvs::solver {
+namespace {
+
+TEST(LpStress, ManyIdenticalColumnsDegenerateTies) {
+  // 200 identical columns against one tight row: maximal tie-breaking
+  // pressure on the pricing rule.
+  const std::size_t n = 200;
+  LpProblem p;
+  p.objective.assign(n, 1.0);
+  p.rows.assign(1, std::vector<double>(n, 1.0));
+  p.rhs = {50.0};
+  p.upper.assign(n, 1.0);
+  const LpSolution s = LpSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 50.0, 1e-6);
+}
+
+TEST(LpStress, WildlyMixedScales) {
+  // Coefficients spanning nine orders of magnitude.
+  LpProblem p;
+  p.objective = {1e6, 1e-3, 1.0};
+  p.rows = {{1e5, 1e-4, 1.0}};
+  p.rhs = {1e5};
+  p.upper = {1.0, 1.0, 1.0};
+  const LpSolution s = LpSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  // Everything fits (1e5*1 + tiny + 1 > 1e5? no: 1e5 + 1.0001 > 1e5, so
+  // the row binds and the cheapest contributor is shaved).
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_GE(s.x[j], -1e-9);
+    EXPECT_LE(s.x[j], 1.0 + 1e-9);
+  }
+  double lhs = 0.0;
+  for (std::size_t j = 0; j < 3; ++j) lhs += p.rows[0][j] * s.x[j];
+  EXPECT_LE(lhs, p.rhs[0] * (1.0 + 1e-9));
+}
+
+TEST(LpStress, ZeroRowsPureBoundProblem) {
+  const std::size_t n = 100;
+  LpProblem p;
+  p.objective.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    p.objective[j] = (j % 2 == 0) ? 1.0 : -1.0;
+  }
+  p.upper.assign(n, 0.5);
+  const LpSolution s = LpSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 25.0, 1e-9);  // 50 positive vars at 0.5
+}
+
+TEST(LpStress, AllZeroColumnVariables) {
+  // Variables that appear in no constraint must simply go to their bound.
+  LpProblem p;
+  p.objective = {3.0, 2.0};
+  p.rows = {{0.0, 1.0}};
+  p.rhs = {0.5};
+  p.upper = {1.0, 1.0};
+  const LpSolution s = LpSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 0.5, 1e-9);
+}
+
+TEST(LpStress, TerminatesQuicklyOnLargeTieHeavyInstance) {
+  const std::size_t n = 2000;
+  LpProblem p;
+  p.objective.assign(n, 1.0);
+  p.rows.assign(2, std::vector<double>(n, 1.0));
+  p.rhs = {500.0, 700.0};
+  p.upper.assign(n, 1.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  const LpSolution s = LpSolver().solve(p);
+  const auto t1 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 500.0, 1e-5);
+  EXPECT_LT(std::chrono::duration<double>(t1 - t0).count(), 30.0);
+}
+
+TEST(BnbStress, DuplicateItemsEverywhere) {
+  // 24 copies of the same item; any subset of 10 is optimal — B&B must
+  // not wander the exponentially many symmetric optima.
+  const std::size_t n = 24;
+  BinaryProgram p;
+  p.objective.assign(n, 5.0);
+  p.rows.assign(1, std::vector<double>(n, 2.0));
+  p.rhs = {20.0};
+  BranchAndBoundSolver::Options options;
+  options.max_nodes = 5000;
+  const IlpSolution s = BranchAndBoundSolver(options).solve(p);
+  EXPECT_NEAR(s.objective, 50.0, 1e-9);
+  EXPECT_TRUE(p.feasible(s.x));
+}
+
+TEST(BnbStress, AllIneligible) {
+  BinaryProgram p;
+  p.objective = {5.0, 6.0, 7.0};
+  p.rows = {{1.0, 1.0, 1.0}};
+  p.rhs = {10.0};
+  p.eligible = {0, 0, 0};
+  const IlpSolution s = BranchAndBoundSolver().solve(p);
+  EXPECT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+TEST(BnbStress, AllNegativeValues) {
+  BinaryProgram p;
+  p.objective = {-1.0, -2.0};
+  p.rows = {{1.0, 1.0}};
+  p.rhs = {10.0};
+  const IlpSolution s = BranchAndBoundSolver().solve(p);
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+  EXPECT_EQ(s.x, (std::vector<int>{0, 0}));
+}
+
+TEST(BnbStress, SingleItemLargerThanEverything) {
+  // One huge-value item that consumes the whole capacity vs many small
+  // ones adding up to slightly less: classic B&B trap.
+  BinaryProgram p;
+  p.objective = {100.0};
+  p.rows = {{10.0}};
+  p.rhs = {10.0};
+  for (int i = 0; i < 20; ++i) {
+    p.objective.push_back(4.9);
+    p.rows[0].push_back(0.5);
+  }
+  const IlpSolution s = BranchAndBoundSolver().solve(p);
+  EXPECT_TRUE(p.feasible(s.x));
+  EXPECT_GE(s.objective, 100.0 - 1e-9);
+}
+
+TEST(BnbStress, NearIntegerCoefficients) {
+  // Coefficients epsilon away from integers probe tolerance handling.
+  BinaryProgram p;
+  p.objective = {1.0 + 1e-10, 1.0 - 1e-10, 1.0};
+  p.rows = {{1.0 + 1e-12, 1.0, 1.0 - 1e-12}};
+  p.rhs = {2.0};
+  const IlpSolution s = BranchAndBoundSolver().solve(p);
+  EXPECT_TRUE(p.feasible(s.x));
+  EXPECT_NEAR(s.objective, 2.0, 1e-6);
+}
+
+TEST(KnapsackStress, ManyZeroWeightItems) {
+  const std::size_t n = 50;
+  BinaryProgram p;
+  p.objective.assign(n, 1.0);
+  p.rows.assign(1, std::vector<double>(n, 0.0));
+  p.rhs = {1.0};
+  const IlpSolution s = KnapsackDpSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.objective, 50.0);  // all free items taken
+}
+
+TEST(KnapsackStress, TinyResolutionStaysFeasible) {
+  common::Rng rng(1);
+  KnapsackDpSolver::Options options;
+  options.resolution = 3;  // absurdly coarse
+  const KnapsackDpSolver solver(options);
+  for (int trial = 0; trial < 20; ++trial) {
+    BinaryProgram p;
+    const std::size_t n = 10;
+    p.objective.resize(n);
+    p.rows.assign(1, std::vector<double>(n));
+    for (std::size_t j = 0; j < n; ++j) {
+      p.objective[j] = rng.uniform(1.0, 5.0);
+      p.rows[0][j] = rng.uniform(0.1, 2.0);
+    }
+    p.rhs = {4.0};
+    const IlpSolution s = solver.solve(p);
+    EXPECT_TRUE(p.feasible(s.x)) << trial;
+  }
+}
+
+TEST(GreedyStress, ZeroCapacityRow) {
+  BinaryProgram p;
+  p.objective = {1.0, 2.0};
+  p.rows = {{1.0, 0.0}};
+  p.rhs = {0.0};
+  const IlpSolution s = GreedySolver().solve(p);
+  EXPECT_TRUE(p.feasible(s.x));
+  EXPECT_EQ(s.x[0], 0);
+  EXPECT_EQ(s.x[1], 1);  // zero-cost item still admitted
+}
+
+}  // namespace
+}  // namespace lpvs::solver

@@ -1,0 +1,189 @@
+// Tests for the streaming substrate: CDN catalog, LRU edge cache,
+// prefetcher, chunk availability (Fig. 4) and edge capacity arithmetic.
+#include <gtest/gtest.h>
+
+#include "lpvs/media/video.hpp"
+#include "lpvs/streaming/streaming.hpp"
+
+namespace lpvs::streaming {
+namespace {
+
+media::Video make_video(std::uint32_t id, int chunks,
+                        double bitrate = 2.4) {
+  media::ContentGenerator generator(id + 100);
+  return generator.generate(common::VideoId{id}, media::Genre::kIrlChat,
+                            chunks, bitrate);
+}
+
+TEST(Cdn, PublishAndFind) {
+  CdnServer cdn;
+  cdn.publish(make_video(1, 10));
+  cdn.publish(make_video(2, 5));
+  EXPECT_EQ(cdn.catalog_size(), 2u);
+  ASSERT_NE(cdn.find(common::VideoId{1}), nullptr);
+  EXPECT_EQ(cdn.find(common::VideoId{1})->chunks.size(), 10u);
+  EXPECT_EQ(cdn.find(common::VideoId{99}), nullptr);
+}
+
+TEST(Cdn, RepublishReplaces) {
+  CdnServer cdn;
+  cdn.publish(make_video(1, 10));
+  cdn.publish(make_video(1, 20));
+  EXPECT_EQ(cdn.catalog_size(), 1u);
+  EXPECT_EQ(cdn.find(common::VideoId{1})->chunks.size(), 20u);
+}
+
+TEST(Cdn, ChunkIdsListsAll) {
+  CdnServer cdn;
+  cdn.publish(make_video(3, 7));
+  const auto ids = cdn.chunk_ids(common::VideoId{3});
+  ASSERT_EQ(ids.size(), 7u);
+  EXPECT_EQ(ids[0].value, 0u);
+  EXPECT_EQ(ids[6].value, 6u);
+  EXPECT_TRUE(cdn.chunk_ids(common::VideoId{99}).empty());
+}
+
+TEST(Cache, InsertAndContains) {
+  EdgeCache cache(100.0);
+  const media::Video video = make_video(1, 5);
+  EXPECT_TRUE(cache.insert(video.id, video.chunks[0]));
+  EXPECT_TRUE(cache.contains(video.id, video.chunks[0].id));
+  EXPECT_FALSE(cache.contains(video.id, video.chunks[1].id));
+  EXPECT_GT(cache.used_mb(), 0.0);
+}
+
+TEST(Cache, CapacityNeverExceeded) {
+  EdgeCache cache(10.0);
+  const media::Video video = make_video(1, 50);  // 3 MB per chunk at 2.4 Mbps
+  for (const auto& chunk : video.chunks) {
+    cache.insert(video.id, chunk);
+    EXPECT_LE(cache.used_mb(), cache.capacity_mb() + 1e-9);
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(Cache, EvictsLeastRecentlyUsed) {
+  // 2.4 Mbps x 10 s / 8 = 3 MB per chunk; capacity for exactly 3 chunks.
+  EdgeCache cache(9.0);
+  const media::Video video = make_video(1, 4);
+  cache.insert(video.id, video.chunks[0]);
+  cache.insert(video.id, video.chunks[1]);
+  cache.insert(video.id, video.chunks[2]);
+  // Refresh chunk 0, insert chunk 3: chunk 1 must be the victim.
+  EXPECT_TRUE(cache.touch(video.id, video.chunks[0].id));
+  cache.insert(video.id, video.chunks[3]);
+  EXPECT_TRUE(cache.contains(video.id, video.chunks[0].id));
+  EXPECT_FALSE(cache.contains(video.id, video.chunks[1].id));
+  EXPECT_TRUE(cache.contains(video.id, video.chunks[3].id));
+}
+
+TEST(Cache, OversizedChunkRejected) {
+  EdgeCache cache(0.5);
+  const media::Video video = make_video(1, 1);
+  EXPECT_FALSE(cache.insert(video.id, video.chunks[0]));
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(Cache, ReinsertRefreshesWithoutDoubleCount) {
+  EdgeCache cache(100.0);
+  const media::Video video = make_video(1, 2);
+  cache.insert(video.id, video.chunks[0]);
+  const double used = cache.used_mb();
+  cache.insert(video.id, video.chunks[0]);
+  EXPECT_DOUBLE_EQ(cache.used_mb(), used);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(Cache, TouchMissReturnsFalse) {
+  EdgeCache cache(10.0);
+  EXPECT_FALSE(cache.touch(common::VideoId{1}, common::ChunkId{0}));
+}
+
+TEST(PrefetcherTest, PullsWindowFromCdn) {
+  CdnServer cdn;
+  cdn.publish(make_video(1, 30));
+  EdgeCache cache(1024.0);
+  const int inserted =
+      Prefetcher(10).prefetch(cdn, cache, common::VideoId{1}, 0);
+  EXPECT_EQ(inserted, 10);
+  EXPECT_TRUE(cache.contains(common::VideoId{1}, common::ChunkId{9}));
+  EXPECT_FALSE(cache.contains(common::VideoId{1}, common::ChunkId{10}));
+}
+
+TEST(PrefetcherTest, WindowPastEndTruncates) {
+  CdnServer cdn;
+  cdn.publish(make_video(1, 5));
+  EdgeCache cache(1024.0);
+  EXPECT_EQ(Prefetcher(10).prefetch(cdn, cache, common::VideoId{1}, 3), 2);
+}
+
+TEST(PrefetcherTest, UnknownVideoNoop) {
+  CdnServer cdn;
+  EdgeCache cache(1024.0);
+  EXPECT_EQ(Prefetcher(10).prefetch(cdn, cache, common::VideoId{9}, 0), 0);
+}
+
+TEST(PrefetcherTest, AlreadyCachedNotCountedTwice) {
+  CdnServer cdn;
+  cdn.publish(make_video(1, 10));
+  EdgeCache cache(1024.0);
+  Prefetcher(5).prefetch(cdn, cache, common::VideoId{1}, 0);
+  EXPECT_EQ(Prefetcher(8).prefetch(cdn, cache, common::VideoId{1}, 0), 3);
+}
+
+TEST(AvailableRequest, StopsAtFirstGap) {
+  CdnServer cdn;
+  const media::Video video = make_video(1, 10);
+  cdn.publish(video);
+  EdgeCache cache(1024.0);
+  cache.insert(video.id, video.chunks[0]);
+  cache.insert(video.id, video.chunks[1]);
+  cache.insert(video.id, video.chunks[3]);  // gap at 2
+  const ChunkRequest request =
+      available_request(cdn, cache, video.id, 0, 10);
+  EXPECT_EQ(request.chunk_count(), 2u);  // chunks 0, 1 only
+  EXPECT_EQ(request.chunks[1].value, 1u);
+}
+
+TEST(AvailableRequest, RespectsStartAndLimit) {
+  CdnServer cdn;
+  const media::Video video = make_video(1, 10);
+  cdn.publish(video);
+  EdgeCache cache(1024.0);
+  Prefetcher(10).prefetch(cdn, cache, video.id, 0);
+  const ChunkRequest request =
+      available_request(cdn, cache, video.id, 4, 3);
+  EXPECT_EQ(request.chunk_count(), 3u);
+  EXPECT_EQ(request.chunks[0].value, 4u);
+  EXPECT_EQ(request.chunks[2].value, 6u);
+}
+
+TEST(AvailableRequest, UnknownVideoEmpty) {
+  CdnServer cdn;
+  EdgeCache cache(10.0);
+  EXPECT_TRUE(available_request(cdn, cache, common::VideoId{5}, 0, 10)
+                  .empty());
+}
+
+TEST(EdgeServerTest, DefaultCapacityServesHundredStreams) {
+  // SVI-B: one AirFrame-class edge server transforms ~100 device streams;
+  // at 0.45 compute units per 1080p30 stream that is 45 units.
+  const EdgeServer server;
+  EXPECT_DOUBLE_EQ(server.capacity().compute_units, 45.0);
+  display::DisplaySpec ref{display::DisplayType::kLcd, 6.1, 1920, 1080,
+                           500.0, 0.8};
+  const double per_stream = server.compute_cost(ref, media::Video{});
+  EXPECT_NEAR(server.capacity().compute_units / per_stream, 100.0, 1.0);
+}
+
+TEST(EdgeServerTest, FeasibilityArithmetic) {
+  const std::vector<double> compute = {1.0, 2.0, 3.0};
+  const std::vector<double> storage = {10.0, 20.0, 30.0};
+  EXPECT_TRUE(EdgeServer::feasible({1, 1, 0}, compute, storage, 3.0, 30.0));
+  EXPECT_FALSE(EdgeServer::feasible({1, 1, 1}, compute, storage, 5.0, 100.0));
+  EXPECT_FALSE(EdgeServer::feasible({0, 0, 1}, compute, storage, 10.0, 29.0));
+  EXPECT_TRUE(EdgeServer::feasible({0, 0, 0}, compute, storage, 0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace lpvs::streaming

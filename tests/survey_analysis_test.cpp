@@ -1,0 +1,93 @@
+// Tests for the demographic survey analysis extension.
+#include <gtest/gtest.h>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/survey/analysis.hpp"
+#include "lpvs/survey/population.hpp"
+
+namespace lpvs::survey {
+namespace {
+
+std::vector<Participant> population(std::uint64_t seed = 1) {
+  common::Rng rng(seed);
+  return SyntheticPopulation().generate_paper_population(rng);
+}
+
+TEST(SubgroupCurve, PredicateRestrictsAnswers) {
+  std::vector<Participant> people(4);
+  people[0].charge_level = 80;
+  people[0].gender = Gender::kMale;
+  people[1].charge_level = 10;
+  people[1].gender = Gender::kFemale;
+  people[2].charge_level = 80;
+  people[2].gender = Gender::kMale;
+  people[3].charge_level = 10;
+  people[3].gender = Gender::kFemale;
+  const auto male_curve = extract_curve_where(
+      people, [](const Participant& p) { return p.gender == Gender::kMale; });
+  // All male answers are 80: full anxiety up to level 80, zero above.
+  EXPECT_DOUBLE_EQ(male_curve(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(male_curve(81.0), 0.0);
+}
+
+TEST(SubgroupSummaryTest, EmptySubgroupIsZeroed) {
+  const auto people = population();
+  const SubgroupSummary s = summarize_subgroup(
+      people, "nobody", [](const Participant&) { return false; });
+  EXPECT_EQ(s.size, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_anxiety, 0.0);
+}
+
+TEST(SubgroupSummaryTest, WholePopulationMatchesHeadline) {
+  const auto people = population();
+  const SubgroupSummary s = summarize_subgroup(
+      people, "all", [](const Participant&) { return true; });
+  EXPECT_EQ(s.size, people.size());
+  EXPECT_NEAR(s.lba_fraction, 0.9188, 0.02);
+  EXPECT_GT(s.median_onset_level, 15.0);
+  EXPECT_LT(s.median_onset_level, 45.0);
+  EXPECT_GT(s.mean_anxiety, 0.1);
+  EXPECT_LT(s.mean_anxiety, 0.6);
+}
+
+TEST(DemographicBreakdown, CoversPopulationByAxis) {
+  const auto people = population();
+  const auto breakdown = demographic_breakdown(people);
+  ASSERT_GE(breakdown.size(), 11u);
+  // Gender slices partition the population.
+  std::size_t male = 0;
+  std::size_t female = 0;
+  for (const SubgroupSummary& s : breakdown) {
+    if (s.name == "male") male = s.size;
+    if (s.name == "female") female = s.size;
+  }
+  EXPECT_EQ(male + female, people.size());
+}
+
+TEST(DemographicBreakdown, SubgroupsShareTheGlobalShape) {
+  // The synthetic answer model is demographic-independent, so every
+  // sizable subgroup's mean anxiety must be near the population's — a
+  // regression guard for accidental demographic coupling in generation.
+  const auto people = population();
+  const SubgroupSummary all = summarize_subgroup(
+      people, "all", [](const Participant&) { return true; });
+  for (const SubgroupSummary& s : demographic_breakdown(people)) {
+    if (s.size < 100) continue;  // skip tiny slices (age<18)
+    EXPECT_NEAR(s.mean_anxiety, all.mean_anxiety, 0.05) << s.name;
+    EXPECT_NEAR(s.lba_fraction, all.lba_fraction, 0.05) << s.name;
+  }
+}
+
+TEST(DemographicBreakdown, DeterministicAcrossCalls) {
+  const auto people = population(5);
+  const auto a = demographic_breakdown(people);
+  const auto b = demographic_breakdown(people);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].size, b[i].size);
+    EXPECT_DOUBLE_EQ(a[i].mean_anxiety, b[i].mean_anxiety);
+  }
+}
+
+}  // namespace
+}  // namespace lpvs::survey

@@ -1,0 +1,186 @@
+// Tests for the synthetic Twitch-like trace (SVI-A / Fig. 5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lpvs/common/stats.hpp"
+#include "lpvs/trace/trace.hpp"
+
+namespace lpvs::trace {
+namespace {
+
+Trace paper_trace(std::uint64_t seed = 1) {
+  return TwitchLikeGenerator().generate(seed);
+}
+
+TEST(TraceGenerator, PaperCounts) {
+  const Trace trace = paper_trace();
+  EXPECT_EQ(trace.channels().size(), 1566u);
+  EXPECT_EQ(trace.sessions().size(), 4761u);
+}
+
+TEST(TraceGenerator, Deterministic) {
+  const Trace a = paper_trace(7);
+  const Trace b = paper_trace(7);
+  ASSERT_EQ(a.sessions().size(), b.sessions().size());
+  for (std::size_t i = 0; i < a.sessions().size(); i += 97) {
+    EXPECT_EQ(a.sessions()[i].start_slot, b.sessions()[i].start_slot);
+    EXPECT_EQ(a.sessions()[i].viewers, b.sessions()[i].viewers);
+    EXPECT_EQ(a.sessions()[i].channel, b.sessions()[i].channel);
+  }
+}
+
+TEST(TraceGenerator, SeedsDiffer) {
+  const Trace a = paper_trace(1);
+  const Trace b = paper_trace(2);
+  int same_start = 0;
+  for (std::size_t i = 0; i < a.sessions().size(); ++i) {
+    if (a.sessions()[i].start_slot == b.sessions()[i].start_slot) {
+      ++same_start;
+    }
+  }
+  EXPECT_LT(same_start, static_cast<int>(a.sessions().size()) / 5);
+}
+
+TEST(TraceGenerator, DurationsRespectTenHourFilter) {
+  const Trace trace = paper_trace();
+  for (const Session& s : trace.sessions()) {
+    EXPECT_GE(s.duration_slots(), 1);
+    EXPECT_LE(s.duration_slots(), 120);  // 10 h at 5-minute sampling
+    EXPECT_LE(s.duration_minutes(), 600.0);
+  }
+}
+
+TEST(TraceGenerator, SessionsFitHorizon) {
+  const Trace trace = paper_trace();
+  for (const Session& s : trace.sessions()) {
+    EXPECT_GE(s.start_slot, 0);
+    EXPECT_LE(s.end_slot(), trace.horizon_slots());
+  }
+}
+
+TEST(TraceGenerator, ViewersAlwaysPositiveWhileLive) {
+  const Trace trace = paper_trace();
+  for (const Session& s : trace.sessions()) {
+    for (int v : s.viewers) EXPECT_GE(v, 1);
+  }
+}
+
+TEST(TraceGenerator, DurationHistogramHeavyTailed) {
+  // Fig. 5 shape: mass concentrated at shorter sessions with a long tail;
+  // the mode must be one of the first bins and the tail non-empty.
+  const Trace trace = paper_trace();
+  const common::Histogram hist = trace.duration_histogram(12);
+  EXPECT_EQ(hist.total(), 4761u);
+  EXPECT_LE(hist.mode_bin(), 2u);
+  EXPECT_GT(hist.count(6), 0u);  // sessions beyond 5 hours exist
+  EXPECT_GT(hist.fraction(hist.mode_bin()), hist.fraction(11));
+}
+
+TEST(TraceGenerator, DurationStatsPlausible) {
+  const common::RunningStats stats = paper_trace().duration_stats();
+  EXPECT_GT(stats.mean(), 60.0);   // more than an hour on average
+  EXPECT_LT(stats.mean(), 240.0);  // but well under the 10 h cap
+  EXPECT_GT(stats.stddev(), 30.0);
+}
+
+TEST(TraceGenerator, ZipfPopularityDecreasesWithRank) {
+  const Trace trace = paper_trace();
+  const auto& channels = trace.channels();
+  for (std::size_t c = 1; c < channels.size(); ++c) {
+    EXPECT_LE(channels[c].popularity, channels[c - 1].popularity);
+  }
+}
+
+TEST(TraceGenerator, PopularChannelsGetMoreSessions) {
+  const Trace trace = paper_trace();
+  long top_decile = 0;
+  const auto cutoff =
+      static_cast<std::uint32_t>(trace.channels().size() / 10);
+  for (const Session& s : trace.sessions()) {
+    if (s.channel.value < cutoff) ++top_decile;
+  }
+  // With a Zipf exponent > 1 the top 10% of channels host the majority.
+  EXPECT_GT(top_decile, static_cast<long>(trace.sessions().size()) / 2);
+}
+
+TEST(TraceGenerator, BitratesFromLadder) {
+  const Trace trace = paper_trace();
+  for (const Channel& c : trace.channels()) {
+    EXPECT_GE(c.bitrate_mbps, 1.0);
+    EXPECT_LE(c.bitrate_mbps, 5.0);
+  }
+}
+
+TEST(Trace, LiveSessionsConsistentWithViewersAt) {
+  const Trace trace = paper_trace();
+  const int slot = trace.horizon_slots() / 2;
+  long manual = 0;
+  for (const Session& s : trace.sessions()) manual += s.viewers_at(slot);
+  EXPECT_EQ(trace.total_viewers(slot), manual);
+  for (const Session* s : trace.live_sessions(slot)) {
+    EXPECT_TRUE(s->live_at(slot));
+    EXPECT_GT(s->viewers_at(slot), 0);
+  }
+}
+
+TEST(Trace, ViewersOutsideSessionAreZero) {
+  const Trace trace = paper_trace();
+  const Session& s = trace.sessions().front();
+  EXPECT_EQ(s.viewers_at(s.start_slot - 1), 0);
+  EXPECT_EQ(s.viewers_at(s.end_slot()), 0);
+  if (s.duration_slots() > 0) {
+    EXPECT_GT(s.viewers_at(s.start_slot), 0);
+  }
+}
+
+TEST(Trace, ChannelLookup) {
+  const Trace trace = paper_trace();
+  const Channel& c = trace.channel(common::ChannelId{10});
+  EXPECT_EQ(c.id.value, 10u);
+}
+
+TEST(Trace, SessionEnvelopeRampsAndDecays) {
+  // Long sessions should peak in the plateau, not at the very start/end.
+  const Trace trace = paper_trace();
+  int checked = 0;
+  for (const Session& s : trace.sessions()) {
+    if (s.duration_slots() < 40) continue;
+    const auto mid =
+        static_cast<std::size_t>(s.duration_slots() / 2);
+    const double start = s.viewers.front();
+    const double middle = s.viewers[mid];
+    if (middle > 20.0) {  // skip noise-dominated tiny channels
+      EXPECT_GT(middle, start * 0.8);
+      ++checked;
+    }
+    if (checked > 20) break;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+/// Scaled-down configs must keep every structural invariant.
+class TraceConfigSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceConfigSweep, InvariantsAtAnyScale) {
+  TraceConfig config;
+  config.channel_count = GetParam();
+  config.session_count = GetParam() * 3;
+  const Trace trace = TwitchLikeGenerator(config).generate(11);
+  EXPECT_EQ(trace.channels().size(),
+            static_cast<std::size_t>(config.channel_count));
+  EXPECT_EQ(trace.sessions().size(),
+            static_cast<std::size_t>(config.session_count));
+  for (const Session& s : trace.sessions()) {
+    EXPECT_LE(s.end_slot(), trace.horizon_slots());
+    EXPECT_GE(s.duration_slots(), 1);
+    EXPECT_LT(s.channel.value,
+              static_cast<std::uint32_t>(config.channel_count));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, TraceConfigSweep,
+                         ::testing::Values(5, 20, 100, 400));
+
+}  // namespace
+}  // namespace lpvs::trace

@@ -1,0 +1,51 @@
+// Compile-and-link check for the umbrella header: every public API must be
+// includable together, and representative symbols from each module must be
+// usable through it.
+#include <gtest/gtest.h>
+
+#include "lpvs/lpvs.hpp"
+
+namespace lpvs {
+namespace {
+
+TEST(Umbrella, EveryModuleReachable) {
+  common::Rng rng(1);
+  EXPECT_GE(rng.uniform(), 0.0);
+
+  const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  EXPECT_GT(anxiety(0.1), anxiety(0.9));
+
+  const display::DeviceCatalog& catalog = display::DeviceCatalog::standard();
+  EXPECT_GT(catalog.size(), 0u);
+
+  media::ContentGenerator content(2);
+  const media::Video video = content.generate(
+      common::VideoId{1}, media::Genre::kMovie, 5, 3.0);
+  EXPECT_EQ(video.chunks.size(), 5u);
+
+  const transform::TransformEngine engine;
+  EXPECT_GT(engine.video_gamma(catalog.at(0).spec, video), 0.0);
+
+  battery::Battery cell(common::MilliwattHours{1000.0}, 0.5);
+  EXPECT_DOUBLE_EQ(cell.percent(), 50.0);
+
+  bayes::GammaEstimator bayes_estimator;
+  bayes::NigGammaEstimator nig_estimator;
+  EXPECT_NEAR(bayes_estimator.expected_gamma(),
+              nig_estimator.expected_gamma(), 0.05);
+
+  solver::BinaryProgram program;
+  program.objective = {1.0};
+  program.rows = {{1.0}};
+  program.rhs = {1.0};
+  EXPECT_TRUE(solver::BranchAndBoundSolver().solve(program).optimal());
+
+  const core::SignalingCostModel signaling;
+  EXPECT_GT(signaling.report_energy(core::ReportSchema{}, 30).value, 0.0);
+
+  const common::Json json = common::Json::object();
+  EXPECT_EQ(json.dump(), "{}");
+}
+
+}  // namespace
+}  // namespace lpvs
