@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bayes.dir/bench_ablation_bayes.cpp.o"
+  "CMakeFiles/bench_ablation_bayes.dir/bench_ablation_bayes.cpp.o.d"
+  "bench_ablation_bayes"
+  "bench_ablation_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_daily_life.dir/bench_daily_life.cpp.o"
+  "CMakeFiles/bench_daily_life.dir/bench_daily_life.cpp.o.d"
+  "bench_daily_life"
+  "bench_daily_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_daily_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

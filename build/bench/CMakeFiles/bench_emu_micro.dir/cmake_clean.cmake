@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emu_micro.dir/bench_emu_micro.cpp.o"
+  "CMakeFiles/bench_emu_micro.dir/bench_emu_micro.cpp.o.d"
+  "bench_emu_micro"
+  "bench_emu_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emu_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

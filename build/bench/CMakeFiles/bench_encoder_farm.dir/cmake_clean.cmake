@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encoder_farm.dir/bench_encoder_farm.cpp.o"
+  "CMakeFiles/bench_encoder_farm.dir/bench_encoder_farm.cpp.o.d"
+  "bench_encoder_farm"
+  "bench_encoder_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encoder_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

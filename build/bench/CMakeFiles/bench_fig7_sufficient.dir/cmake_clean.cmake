@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sufficient.dir/bench_fig7_sufficient.cpp.o"
+  "CMakeFiles/bench_fig7_sufficient.dir/bench_fig7_sufficient.cpp.o.d"
+  "bench_fig7_sufficient"
+  "bench_fig7_sufficient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sufficient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

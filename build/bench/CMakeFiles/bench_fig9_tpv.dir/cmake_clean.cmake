@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_tpv.dir/bench_fig9_tpv.cpp.o"
+  "CMakeFiles/bench_fig9_tpv.dir/bench_fig9_tpv.cpp.o.d"
+  "bench_fig9_tpv"
+  "bench_fig9_tpv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tpv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

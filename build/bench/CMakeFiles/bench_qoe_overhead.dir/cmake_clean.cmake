@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qoe_overhead.dir/bench_qoe_overhead.cpp.o"
+  "CMakeFiles/bench_qoe_overhead.dir/bench_qoe_overhead.cpp.o.d"
+  "bench_qoe_overhead"
+  "bench_qoe_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qoe_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solver_compare.dir/bench_solver_compare.cpp.o"
+  "CMakeFiles/bench_solver_compare.dir/bench_solver_compare.cpp.o.d"
+  "bench_solver_compare"
+  "bench_solver_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solver_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

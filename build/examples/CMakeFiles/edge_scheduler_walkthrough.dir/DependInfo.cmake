@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/edge_scheduler_walkthrough.cpp" "examples/CMakeFiles/edge_scheduler_walkthrough.dir/edge_scheduler_walkthrough.cpp.o" "gcc" "examples/CMakeFiles/edge_scheduler_walkthrough.dir/edge_scheduler_walkthrough.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lpvs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/lpvs_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/lpvs_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/lpvs_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/lpvs_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/lpvs_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lpvs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/lpvs_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lpvs_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayes/CMakeFiles/lpvs_bayes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lpvs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/lpvs_emu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_scheduler_walkthrough.dir/edge_scheduler_walkthrough.cpp.o"
+  "CMakeFiles/edge_scheduler_walkthrough.dir/edge_scheduler_walkthrough.cpp.o.d"
+  "edge_scheduler_walkthrough"
+  "edge_scheduler_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_scheduler_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_streaming_day.dir/live_streaming_day.cpp.o"
+  "CMakeFiles/live_streaming_day.dir/live_streaming_day.cpp.o.d"
+  "live_streaming_day"
+  "live_streaming_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_streaming_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

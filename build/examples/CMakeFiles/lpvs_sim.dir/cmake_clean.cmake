@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpvs_sim.dir/lpvs_sim.cpp.o"
+  "CMakeFiles/lpvs_sim.dir/lpvs_sim.cpp.o.d"
+  "lpvs_sim"
+  "lpvs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpvs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

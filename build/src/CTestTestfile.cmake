@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("survey")
+subdirs("display")
+subdirs("media")
+subdirs("transform")
+subdirs("battery")
+subdirs("trace")
+subdirs("streaming")
+subdirs("solver")
+subdirs("bayes")
+subdirs("core")
+subdirs("emu")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpvs_battery.dir/battery.cpp.o"
+  "CMakeFiles/lpvs_battery.dir/battery.cpp.o.d"
+  "liblpvs_battery.a"
+  "liblpvs_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpvs_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpvs_bayes.dir/gamma_estimator.cpp.o"
+  "CMakeFiles/lpvs_bayes.dir/gamma_estimator.cpp.o.d"
+  "CMakeFiles/lpvs_bayes.dir/nig_estimator.cpp.o"
+  "CMakeFiles/lpvs_bayes.dir/nig_estimator.cpp.o.d"
+  "liblpvs_bayes.a"
+  "liblpvs_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpvs_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpvs_common.dir/flags.cpp.o"
+  "CMakeFiles/lpvs_common.dir/flags.cpp.o.d"
+  "CMakeFiles/lpvs_common.dir/json.cpp.o"
+  "CMakeFiles/lpvs_common.dir/json.cpp.o.d"
+  "CMakeFiles/lpvs_common.dir/piecewise.cpp.o"
+  "CMakeFiles/lpvs_common.dir/piecewise.cpp.o.d"
+  "CMakeFiles/lpvs_common.dir/stats.cpp.o"
+  "CMakeFiles/lpvs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/lpvs_common.dir/table.cpp.o"
+  "CMakeFiles/lpvs_common.dir/table.cpp.o.d"
+  "CMakeFiles/lpvs_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/lpvs_common.dir/thread_pool.cpp.o.d"
+  "liblpvs_common.a"
+  "liblpvs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpvs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

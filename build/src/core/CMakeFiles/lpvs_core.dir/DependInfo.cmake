@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/lpvs_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/lpvs_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/signaling.cpp" "src/core/CMakeFiles/lpvs_core.dir/signaling.cpp.o" "gcc" "src/core/CMakeFiles/lpvs_core.dir/signaling.cpp.o.d"
+  "/root/repo/src/core/slot_problem.cpp" "src/core/CMakeFiles/lpvs_core.dir/slot_problem.cpp.o" "gcc" "src/core/CMakeFiles/lpvs_core.dir/slot_problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lpvs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/lpvs_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lpvs_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpvs_core.dir/scheduler.cpp.o"
+  "CMakeFiles/lpvs_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/lpvs_core.dir/signaling.cpp.o"
+  "CMakeFiles/lpvs_core.dir/signaling.cpp.o.d"
+  "CMakeFiles/lpvs_core.dir/slot_problem.cpp.o"
+  "CMakeFiles/lpvs_core.dir/slot_problem.cpp.o.d"
+  "liblpvs_core.a"
+  "liblpvs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpvs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpvs_display.dir/display.cpp.o"
+  "CMakeFiles/lpvs_display.dir/display.cpp.o.d"
+  "liblpvs_display.a"
+  "liblpvs_display.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpvs_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

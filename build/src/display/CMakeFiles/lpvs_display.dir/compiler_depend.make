@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lpvs_display.
+# This may be replaced when dependencies are built.

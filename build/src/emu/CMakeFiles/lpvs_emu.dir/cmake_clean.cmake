@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpvs_emu.dir/daily_life.cpp.o"
+  "CMakeFiles/lpvs_emu.dir/daily_life.cpp.o.d"
+  "CMakeFiles/lpvs_emu.dir/emulator.cpp.o"
+  "CMakeFiles/lpvs_emu.dir/emulator.cpp.o.d"
+  "CMakeFiles/lpvs_emu.dir/metrics_io.cpp.o"
+  "CMakeFiles/lpvs_emu.dir/metrics_io.cpp.o.d"
+  "CMakeFiles/lpvs_emu.dir/replay.cpp.o"
+  "CMakeFiles/lpvs_emu.dir/replay.cpp.o.d"
+  "liblpvs_emu.a"
+  "liblpvs_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpvs_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpvs_media.dir/frame.cpp.o"
+  "CMakeFiles/lpvs_media.dir/frame.cpp.o.d"
+  "CMakeFiles/lpvs_media.dir/video.cpp.o"
+  "CMakeFiles/lpvs_media.dir/video.cpp.o.d"
+  "liblpvs_media.a"
+  "liblpvs_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpvs_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

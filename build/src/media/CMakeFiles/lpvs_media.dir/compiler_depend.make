@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lpvs_media.
+# This may be replaced when dependencies are built.

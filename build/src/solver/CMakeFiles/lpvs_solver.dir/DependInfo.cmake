@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/ilp.cpp" "src/solver/CMakeFiles/lpvs_solver.dir/ilp.cpp.o" "gcc" "src/solver/CMakeFiles/lpvs_solver.dir/ilp.cpp.o.d"
+  "/root/repo/src/solver/knapsack.cpp" "src/solver/CMakeFiles/lpvs_solver.dir/knapsack.cpp.o" "gcc" "src/solver/CMakeFiles/lpvs_solver.dir/knapsack.cpp.o.d"
+  "/root/repo/src/solver/lagrangian.cpp" "src/solver/CMakeFiles/lpvs_solver.dir/lagrangian.cpp.o" "gcc" "src/solver/CMakeFiles/lpvs_solver.dir/lagrangian.cpp.o.d"
+  "/root/repo/src/solver/lp.cpp" "src/solver/CMakeFiles/lpvs_solver.dir/lp.cpp.o" "gcc" "src/solver/CMakeFiles/lpvs_solver.dir/lp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lpvs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpvs_solver.dir/ilp.cpp.o"
+  "CMakeFiles/lpvs_solver.dir/ilp.cpp.o.d"
+  "CMakeFiles/lpvs_solver.dir/knapsack.cpp.o"
+  "CMakeFiles/lpvs_solver.dir/knapsack.cpp.o.d"
+  "CMakeFiles/lpvs_solver.dir/lagrangian.cpp.o"
+  "CMakeFiles/lpvs_solver.dir/lagrangian.cpp.o.d"
+  "CMakeFiles/lpvs_solver.dir/lp.cpp.o"
+  "CMakeFiles/lpvs_solver.dir/lp.cpp.o.d"
+  "liblpvs_solver.a"
+  "liblpvs_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpvs_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblpvs_solver.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streaming/abr.cpp" "src/streaming/CMakeFiles/lpvs_streaming.dir/abr.cpp.o" "gcc" "src/streaming/CMakeFiles/lpvs_streaming.dir/abr.cpp.o.d"
+  "/root/repo/src/streaming/cache_policy.cpp" "src/streaming/CMakeFiles/lpvs_streaming.dir/cache_policy.cpp.o" "gcc" "src/streaming/CMakeFiles/lpvs_streaming.dir/cache_policy.cpp.o.d"
+  "/root/repo/src/streaming/encoder_farm.cpp" "src/streaming/CMakeFiles/lpvs_streaming.dir/encoder_farm.cpp.o" "gcc" "src/streaming/CMakeFiles/lpvs_streaming.dir/encoder_farm.cpp.o.d"
+  "/root/repo/src/streaming/network.cpp" "src/streaming/CMakeFiles/lpvs_streaming.dir/network.cpp.o" "gcc" "src/streaming/CMakeFiles/lpvs_streaming.dir/network.cpp.o.d"
+  "/root/repo/src/streaming/streaming.cpp" "src/streaming/CMakeFiles/lpvs_streaming.dir/streaming.cpp.o" "gcc" "src/streaming/CMakeFiles/lpvs_streaming.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lpvs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/lpvs_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/lpvs_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/lpvs_display.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

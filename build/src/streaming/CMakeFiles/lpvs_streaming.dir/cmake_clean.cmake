@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpvs_streaming.dir/abr.cpp.o"
+  "CMakeFiles/lpvs_streaming.dir/abr.cpp.o.d"
+  "CMakeFiles/lpvs_streaming.dir/cache_policy.cpp.o"
+  "CMakeFiles/lpvs_streaming.dir/cache_policy.cpp.o.d"
+  "CMakeFiles/lpvs_streaming.dir/encoder_farm.cpp.o"
+  "CMakeFiles/lpvs_streaming.dir/encoder_farm.cpp.o.d"
+  "CMakeFiles/lpvs_streaming.dir/network.cpp.o"
+  "CMakeFiles/lpvs_streaming.dir/network.cpp.o.d"
+  "CMakeFiles/lpvs_streaming.dir/streaming.cpp.o"
+  "CMakeFiles/lpvs_streaming.dir/streaming.cpp.o.d"
+  "liblpvs_streaming.a"
+  "liblpvs_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpvs_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

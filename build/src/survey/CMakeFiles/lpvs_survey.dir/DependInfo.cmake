@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/survey/analysis.cpp" "src/survey/CMakeFiles/lpvs_survey.dir/analysis.cpp.o" "gcc" "src/survey/CMakeFiles/lpvs_survey.dir/analysis.cpp.o.d"
+  "/root/repo/src/survey/behavioral.cpp" "src/survey/CMakeFiles/lpvs_survey.dir/behavioral.cpp.o" "gcc" "src/survey/CMakeFiles/lpvs_survey.dir/behavioral.cpp.o.d"
+  "/root/repo/src/survey/lba_curve.cpp" "src/survey/CMakeFiles/lpvs_survey.dir/lba_curve.cpp.o" "gcc" "src/survey/CMakeFiles/lpvs_survey.dir/lba_curve.cpp.o.d"
+  "/root/repo/src/survey/population.cpp" "src/survey/CMakeFiles/lpvs_survey.dir/population.cpp.o" "gcc" "src/survey/CMakeFiles/lpvs_survey.dir/population.cpp.o.d"
+  "/root/repo/src/survey/questionnaire.cpp" "src/survey/CMakeFiles/lpvs_survey.dir/questionnaire.cpp.o" "gcc" "src/survey/CMakeFiles/lpvs_survey.dir/questionnaire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lpvs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpvs_survey.dir/analysis.cpp.o"
+  "CMakeFiles/lpvs_survey.dir/analysis.cpp.o.d"
+  "CMakeFiles/lpvs_survey.dir/behavioral.cpp.o"
+  "CMakeFiles/lpvs_survey.dir/behavioral.cpp.o.d"
+  "CMakeFiles/lpvs_survey.dir/lba_curve.cpp.o"
+  "CMakeFiles/lpvs_survey.dir/lba_curve.cpp.o.d"
+  "CMakeFiles/lpvs_survey.dir/population.cpp.o"
+  "CMakeFiles/lpvs_survey.dir/population.cpp.o.d"
+  "CMakeFiles/lpvs_survey.dir/questionnaire.cpp.o"
+  "CMakeFiles/lpvs_survey.dir/questionnaire.cpp.o.d"
+  "liblpvs_survey.a"
+  "liblpvs_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpvs_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

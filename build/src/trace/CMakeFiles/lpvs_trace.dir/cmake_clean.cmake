@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpvs_trace.dir/trace.cpp.o"
+  "CMakeFiles/lpvs_trace.dir/trace.cpp.o.d"
+  "liblpvs_trace.a"
+  "liblpvs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpvs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/offload.cpp" "src/transform/CMakeFiles/lpvs_transform.dir/offload.cpp.o" "gcc" "src/transform/CMakeFiles/lpvs_transform.dir/offload.cpp.o.d"
+  "/root/repo/src/transform/pixel_pipeline.cpp" "src/transform/CMakeFiles/lpvs_transform.dir/pixel_pipeline.cpp.o" "gcc" "src/transform/CMakeFiles/lpvs_transform.dir/pixel_pipeline.cpp.o.d"
+  "/root/repo/src/transform/transform.cpp" "src/transform/CMakeFiles/lpvs_transform.dir/transform.cpp.o" "gcc" "src/transform/CMakeFiles/lpvs_transform.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lpvs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/lpvs_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/lpvs_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

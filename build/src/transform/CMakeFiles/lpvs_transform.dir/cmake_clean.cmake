@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpvs_transform.dir/offload.cpp.o"
+  "CMakeFiles/lpvs_transform.dir/offload.cpp.o.d"
+  "CMakeFiles/lpvs_transform.dir/pixel_pipeline.cpp.o"
+  "CMakeFiles/lpvs_transform.dir/pixel_pipeline.cpp.o.d"
+  "CMakeFiles/lpvs_transform.dir/transform.cpp.o"
+  "CMakeFiles/lpvs_transform.dir/transform.cpp.o.d"
+  "liblpvs_transform.a"
+  "liblpvs_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpvs_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/behavioral_test.dir/behavioral_test.cpp.o"
+  "CMakeFiles/behavioral_test.dir/behavioral_test.cpp.o.d"
+  "behavioral_test"
+  "behavioral_test.pdb"
+  "behavioral_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/behavioral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

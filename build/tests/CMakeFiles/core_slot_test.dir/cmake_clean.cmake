@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_slot_test.dir/core_slot_test.cpp.o"
+  "CMakeFiles/core_slot_test.dir/core_slot_test.cpp.o.d"
+  "core_slot_test"
+  "core_slot_test.pdb"
+  "core_slot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_slot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

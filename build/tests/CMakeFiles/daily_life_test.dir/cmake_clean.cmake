@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_life_test.dir/daily_life_test.cpp.o"
+  "CMakeFiles/daily_life_test.dir/daily_life_test.cpp.o.d"
+  "daily_life_test"
+  "daily_life_test.pdb"
+  "daily_life_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_life_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

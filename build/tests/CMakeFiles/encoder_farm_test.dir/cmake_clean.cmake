@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoder_farm_test.dir/encoder_farm_test.cpp.o"
+  "CMakeFiles/encoder_farm_test.dir/encoder_farm_test.cpp.o.d"
+  "encoder_farm_test"
+  "encoder_farm_test.pdb"
+  "encoder_farm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoder_farm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

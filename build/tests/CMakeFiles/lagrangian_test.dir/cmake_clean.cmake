@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagrangian_test.dir/lagrangian_test.cpp.o"
+  "CMakeFiles/lagrangian_test.dir/lagrangian_test.cpp.o.d"
+  "lagrangian_test"
+  "lagrangian_test.pdb"
+  "lagrangian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagrangian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

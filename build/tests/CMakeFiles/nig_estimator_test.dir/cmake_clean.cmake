@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nig_estimator_test.dir/nig_estimator_test.cpp.o"
+  "CMakeFiles/nig_estimator_test.dir/nig_estimator_test.cpp.o.d"
+  "nig_estimator_test"
+  "nig_estimator_test.pdb"
+  "nig_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nig_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

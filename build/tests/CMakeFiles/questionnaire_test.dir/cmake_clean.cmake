@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/questionnaire_test.dir/questionnaire_test.cpp.o"
+  "CMakeFiles/questionnaire_test.dir/questionnaire_test.cpp.o.d"
+  "questionnaire_test"
+  "questionnaire_test.pdb"
+  "questionnaire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/questionnaire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

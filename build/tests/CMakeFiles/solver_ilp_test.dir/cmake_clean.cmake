@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_ilp_test.dir/solver_ilp_test.cpp.o"
+  "CMakeFiles/solver_ilp_test.dir/solver_ilp_test.cpp.o.d"
+  "solver_ilp_test"
+  "solver_ilp_test.pdb"
+  "solver_ilp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_ilp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_analysis_test.dir/survey_analysis_test.cpp.o"
+  "CMakeFiles/survey_analysis_test.dir/survey_analysis_test.cpp.o.d"
+  "survey_analysis_test"
+  "survey_analysis_test.pdb"
+  "survey_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
