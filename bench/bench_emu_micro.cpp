@@ -6,6 +6,8 @@
 #include "lpvs/common/rng.hpp"
 #include "lpvs/core/signaling.hpp"
 #include "lpvs/emu/emulator.hpp"
+#include "lpvs/obs/event_trace.hpp"
+#include "lpvs/obs/metrics.hpp"
 #include "lpvs/survey/lba_curve.hpp"
 #include "lpvs/survey/population.hpp"
 #include "lpvs/trace/trace.hpp"
@@ -65,6 +67,32 @@ void BM_EmulatedRun(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_EmulatedRun)->Arg(25)->Arg(50)->Arg(100)->Complexity();
+
+// Same run with a live MetricsRegistry + EventTrace attached; the
+// acceptance bar for the observability layer is <= 5% over BM_EmulatedRun
+// at the same group size.
+void BM_EmulatedRunObserved(benchmark::State& state) {
+  const lpvs::survey::AnxietyModel anxiety =
+      lpvs::survey::AnxietyModel::reference();
+  const lpvs::core::LpvsScheduler scheduler;
+  lpvs::emu::EmulatorConfig config;
+  config.group_size = static_cast<int>(state.range(0));
+  config.slots = 4;
+  config.chunks_per_slot = 15;
+  config.enable_giveup = false;
+  lpvs::obs::MetricsRegistry registry;
+  lpvs::obs::EventTrace trace;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    config.seed = ++seed;
+    lpvs::emu::Emulator emulator(
+        config, scheduler,
+        lpvs::core::RunContext(anxiety, &registry, &trace));
+    benchmark::DoNotOptimize(emulator.run());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EmulatedRunObserved)->Arg(25)->Arg(50)->Arg(100)->Complexity();
 
 void BM_SignalingCost(benchmark::State& state) {
   const lpvs::core::SignalingCostModel model;

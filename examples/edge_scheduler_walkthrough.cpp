@@ -9,7 +9,10 @@
 
 #include "lpvs/common/rng.hpp"
 #include "lpvs/common/table.hpp"
+#include "lpvs/core/run_context.hpp"
 #include "lpvs/core/scheduler.hpp"
+#include "lpvs/obs/event_trace.hpp"
+#include "lpvs/obs/metrics.hpp"
 #include "lpvs/display/display.hpp"
 #include "lpvs/media/video.hpp"
 #include "lpvs/survey/lba_curve.hpp"
@@ -120,5 +123,25 @@ int main() {
          common::Table::num(100.0 * schedule.anxiety_reduction_ratio(), 2)});
   }
   std::printf("%s", compare.render().c_str());
+
+  // --- Step 5: the same solve, observed. -------------------------------
+  // A RunContext carries optional observability sinks alongside the
+  // anxiety model; the schedule is bit-identical with or without them.
+  std::printf("\n=== step 5: observability (RunContext + MetricsRegistry) "
+              "===\n");
+  obs::MetricsRegistry registry;
+  obs::EventTrace events;
+  const core::Schedule observed =
+      scheduler.schedule(slot, core::RunContext(anxiety, &registry, &events));
+  std::printf("  schedule identical to step 2: %s\n",
+              observed.x == full.x ? "yes" : "NO");
+  std::printf("\n--- Prometheus exposition ---\n%s",
+              registry.exposition().c_str());
+  std::printf("\n--- first trace records (JSONL) ---\n");
+  int shown = 0;
+  for (const obs::Event& event : events.events()) {
+    if (++shown > 4) break;
+    std::printf("%s\n", obs::to_json(event).dump().c_str());
+  }
   return 0;
 }

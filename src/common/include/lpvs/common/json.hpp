@@ -47,6 +47,7 @@ class Json {
   /// Escapes a string per RFC 8259 (quotes, backslashes, control chars).
   static std::string escape(const std::string& raw);
 
+
  private:
   struct ObjectRep {
     std::vector<std::pair<std::string, Json>> members;
@@ -61,5 +62,11 @@ class Json {
                std::shared_ptr<ObjectRep>, std::shared_ptr<ArrayRep>>
       value_;
 };
+
+/// Shared numeric-array serialization used by every metrics exporter
+/// (emu/metrics_io, obs snapshots) so they stay on one common::Json path
+/// instead of growing ad-hoc loops.
+Json to_json(const std::vector<double>& values);
+Json to_json(const std::vector<long>& values);
 
 }  // namespace lpvs::common

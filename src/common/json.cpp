@@ -172,4 +172,16 @@ std::string Json::dump(int indent) const {
   return out;
 }
 
+Json to_json(const std::vector<double>& values) {
+  Json array = Json::array();
+  for (double value : values) array.push(value);
+  return array;
+}
+
+Json to_json(const std::vector<long>& values) {
+  Json array = Json::array();
+  for (long value : values) array.push(value);
+  return array;
+}
+
 }  // namespace lpvs::common

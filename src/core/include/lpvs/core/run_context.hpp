@@ -1,0 +1,45 @@
+// RunContext: the per-run environment threaded through the scheduling and
+// emulation hot paths (API redesign).
+//
+// Before this existed every layer took the anxiety model as a bare
+// argument, and there was no way to hand a metrics registry or an event
+// trace to the code that actually does the work.  RunContext bundles the
+// anxiety model with *optional* observability sinks; a default-constructed
+// (or sink-less) context is the disabled state, and every instrumentation
+// site guards on the null pointers, so un-observed runs pay one branch.
+//
+// Contract: observability is purely observational.  Attaching a registry
+// or trace must never change schedules, RunMetrics, or any other computed
+// result — tests/obs_test.cpp asserts a paired on/off run is identical.
+#pragma once
+
+#include <cassert>
+
+#include "lpvs/obs/event_trace.hpp"
+#include "lpvs/obs/metrics.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+
+namespace lpvs::core {
+
+struct RunContext {
+  /// The LBA anxiety model phi; required by every scheduler.
+  const survey::AnxietyModel* anxiety = nullptr;
+  /// Optional metric sink (counters / gauges / histograms); null = off.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional structured event sink; null = off.
+  obs::EventTrace* events = nullptr;
+
+  RunContext() = default;
+  RunContext(const survey::AnxietyModel& anxiety_model,
+             obs::MetricsRegistry* registry = nullptr,
+             obs::EventTrace* sink = nullptr)
+      : anxiety(&anxiety_model), metrics(registry), events(sink) {}
+
+  const survey::AnxietyModel& anxiety_model() const {
+    assert(anxiety != nullptr);
+    return *anxiety;
+  }
+  bool observed() const { return metrics != nullptr || events != nullptr; }
+};
+
+}  // namespace lpvs::core

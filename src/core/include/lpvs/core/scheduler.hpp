@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "lpvs/core/run_context.hpp"
 #include "lpvs/core/slot_problem.hpp"
 #include "lpvs/solver/ilp.hpp"
 #include "lpvs/survey/lba_curve.hpp"
@@ -44,12 +45,20 @@ struct Schedule {
 };
 
 /// Interface shared by LPVS and all baseline selectors.
+///
+/// The primary entry point takes a RunContext (anxiety model plus optional
+/// observability sinks); the two-argument anxiety overload is a thin
+/// forwarder kept so pre-RunContext call sites compile unchanged.
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
   virtual std::string name() const = 0;
   virtual Schedule schedule(const SlotProblem& problem,
-                            const survey::AnxietyModel& anxiety) const = 0;
+                            const RunContext& context) const = 0;
+  Schedule schedule(const SlotProblem& problem,
+                    const survey::AnxietyModel& anxiety) const {
+    return schedule(problem, RunContext(anxiety));
+  }
 };
 
 /// Scores a given selection vector: fills every metric field of Schedule.
@@ -79,15 +88,20 @@ class LpvsScheduler : public Scheduler {
   explicit LpvsScheduler(Options options) : options_(options) {}
 
   std::string name() const override { return "lpvs"; }
+  using Scheduler::schedule;
   Schedule schedule(const SlotProblem& problem,
-                    const survey::AnxietyModel& anxiety) const override;
+                    const RunContext& context) const override;
 
   /// Phase-1 only (exposed for the ablation bench).
   Schedule schedule_phase1_only(const SlotProblem& problem,
-                                const survey::AnxietyModel& anxiety) const;
+                                const RunContext& context) const;
+  Schedule schedule_phase1_only(const SlotProblem& problem,
+                                const survey::AnxietyModel& anxiety) const {
+    return schedule_phase1_only(problem, RunContext(anxiety));
+  }
 
  private:
-  Schedule run(const SlotProblem& problem, const survey::AnxietyModel& anxiety,
+  Schedule run(const SlotProblem& problem, const RunContext& context,
                bool run_phase2) const;
 
   Options options_;
@@ -97,8 +111,9 @@ class LpvsScheduler : public Scheduler {
 class NoTransformScheduler : public Scheduler {
  public:
   std::string name() const override { return "no-transform"; }
+  using Scheduler::schedule;
   Schedule schedule(const SlotProblem& problem,
-                    const survey::AnxietyModel& anxiety) const override;
+                    const RunContext& context) const override;
 };
 
 /// Random admission until capacity runs out — the strategy SIII-C argues
@@ -107,8 +122,9 @@ class RandomScheduler : public Scheduler {
  public:
   explicit RandomScheduler(std::uint64_t seed) : seed_(seed) {}
   std::string name() const override { return "random"; }
+  using Scheduler::schedule;
   Schedule schedule(const SlotProblem& problem,
-                    const survey::AnxietyModel& anxiety) const override;
+                    const RunContext& context) const override;
 
  private:
   std::uint64_t seed_;
@@ -118,16 +134,18 @@ class RandomScheduler : public Scheduler {
 class GreedyEnergyScheduler : public Scheduler {
  public:
   std::string name() const override { return "greedy-energy"; }
+  using Scheduler::schedule;
   Schedule schedule(const SlotProblem& problem,
-                    const survey::AnxietyModel& anxiety) const override;
+                    const RunContext& context) const override;
 };
 
 /// Greedy by anxiety degree at the slot start (most anxious users first).
 class GreedyAnxietyScheduler : public Scheduler {
  public:
   std::string name() const override { return "greedy-anxiety"; }
+  using Scheduler::schedule;
   Schedule schedule(const SlotProblem& problem,
-                    const survey::AnxietyModel& anxiety) const override;
+                    const RunContext& context) const override;
 };
 
 /// Exact B&B on the full lambda-weighted objective (exploits that (13) is
@@ -139,8 +157,9 @@ class JointOptimalScheduler : public Scheduler {
       solver::BranchAndBoundSolver::Options options = {})
       : options_(options) {}
   std::string name() const override { return "joint-optimal"; }
+  using Scheduler::schedule;
   Schedule schedule(const SlotProblem& problem,
-                    const survey::AnxietyModel& anxiety) const override;
+                    const RunContext& context) const override;
 
  private:
   solver::BranchAndBoundSolver::Options options_;

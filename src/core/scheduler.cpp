@@ -130,19 +130,30 @@ Schedule score_selection(const SlotProblem& problem,
 }
 
 Schedule LpvsScheduler::schedule(const SlotProblem& problem,
-                                 const survey::AnxietyModel& anxiety) const {
-  return run(problem, anxiety, /*run_phase2=*/true);
+                                 const RunContext& context) const {
+  return run(problem, context, /*run_phase2=*/true);
 }
 
-Schedule LpvsScheduler::schedule_phase1_only(
-    const SlotProblem& problem, const survey::AnxietyModel& anxiety) const {
-  return run(problem, anxiety, /*run_phase2=*/false);
+Schedule LpvsScheduler::schedule_phase1_only(const SlotProblem& problem,
+                                             const RunContext& context) const {
+  return run(problem, context, /*run_phase2=*/false);
 }
 
 Schedule LpvsScheduler::run(const SlotProblem& problem,
-                            const survey::AnxietyModel& anxiety,
+                            const RunContext& context,
                             bool run_phase2) const {
+  const survey::AnxietyModel& anxiety = context.anxiety_model();
   const std::size_t n = problem.devices.size();
+
+  // Observability: a null registry skips everything, and nothing recorded
+  // here feeds back into the schedule (see run_context.hpp's contract).
+  obs::Histogram* solve_ms_hist = nullptr;
+  if (context.metrics != nullptr) {
+    solve_ms_hist = &context.metrics->histogram(
+        "lpvs_scheduler_solve_ms", obs::MetricsRegistry::time_buckets_ms(),
+        "Wall-clock time of one two-phase schedule solve");
+  }
+  obs::ScopedTimer solve_timer(solve_ms_hist);
 
   // --- Phase-1: exact ILP on the energy-only objective (14). ---
   const solver::BinaryProgram program = phase1_program(problem);
@@ -228,6 +239,14 @@ Schedule LpvsScheduler::run(const SlotProblem& problem,
           x[u] = 1;
           ++swaps;
           changed = true;
+          if (context.events != nullptr) {
+            context.events->record(
+                {obs::EventKind::kPhase2Swap, /*slot=*/-1,
+                 static_cast<int>(problem.devices[u].id.value),
+                 {{"swapped_out",
+                   static_cast<double>(problem.devices[s].id.value)},
+                  {"gain", benefit[u] - benefit[s]}}});
+          }
         }
       }
       if (!changed) break;
@@ -238,17 +257,52 @@ Schedule LpvsScheduler::run(const SlotProblem& problem,
   schedule.ilp_nodes = nodes;
   schedule.phase2_swaps = swaps;
   schedule.phase2_additions = additions;
+
+  if (context.metrics != nullptr) {
+    context.metrics
+        ->counter("lpvs_scheduler_solves_total",
+                  "Two-phase schedule solves performed")
+        .add(1);
+    context.metrics
+        ->counter("lpvs_scheduler_ilp_nodes_total",
+                  "Branch-and-bound nodes explored by Phase-1")
+        .add(nodes);
+    context.metrics
+        ->counter("lpvs_scheduler_phase2_swaps_total",
+                  "Anxiety-driven Phase-2 swaps applied")
+        .add(swaps);
+    context.metrics
+        ->counter("lpvs_scheduler_phase2_additions_total",
+                  "Phase-2 greedy additions into leftover capacity")
+        .add(additions);
+    context.metrics
+        ->histogram("lpvs_scheduler_selected_per_slot",
+                    obs::MetricsRegistry::linear_buckets(0.0, 10.0, 21),
+                    "Devices selected for transform per solve")
+        .observe(static_cast<double>(schedule.selected_count()));
+  }
+  if (context.events != nullptr) {
+    context.events->record(
+        {obs::EventKind::kScheduleSolve, /*slot=*/-1, /*device=*/-1,
+         {{"devices", static_cast<double>(n)},
+          {"selected", static_cast<double>(schedule.selected_count())},
+          {"ilp_nodes", static_cast<double>(nodes)},
+          {"phase2_swaps", static_cast<double>(swaps)},
+          {"phase2_additions", static_cast<double>(additions)},
+          {"objective", schedule.objective}}});
+  }
   return schedule;
 }
 
-Schedule NoTransformScheduler::schedule(
-    const SlotProblem& problem, const survey::AnxietyModel& anxiety) const {
-  return score_selection(problem, anxiety,
+Schedule NoTransformScheduler::schedule(const SlotProblem& problem,
+                                        const RunContext& context) const {
+  return score_selection(problem, context.anxiety_model(),
                          std::vector<int>(problem.devices.size(), 0));
 }
 
 Schedule RandomScheduler::schedule(const SlotProblem& problem,
-                                   const survey::AnxietyModel& anxiety) const {
+                                   const RunContext& context) const {
+  const survey::AnxietyModel& anxiety = context.anxiety_model();
   std::vector<std::size_t> order(problem.devices.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   common::Rng rng(seed_);
@@ -260,8 +314,9 @@ Schedule RandomScheduler::schedule(const SlotProblem& problem,
   return admit_in_order(problem, anxiety, order);
 }
 
-Schedule GreedyEnergyScheduler::schedule(
-    const SlotProblem& problem, const survey::AnxietyModel& anxiety) const {
+Schedule GreedyEnergyScheduler::schedule(const SlotProblem& problem,
+                                         const RunContext& context) const {
+  const survey::AnxietyModel& anxiety = context.anxiety_model();
   const std::size_t n = problem.devices.size();
   std::vector<double> saving(n, 0.0);
   for (std::size_t j = 0; j < n; ++j) {
@@ -275,8 +330,9 @@ Schedule GreedyEnergyScheduler::schedule(
   return admit_in_order(problem, anxiety, order);
 }
 
-Schedule GreedyAnxietyScheduler::schedule(
-    const SlotProblem& problem, const survey::AnxietyModel& anxiety) const {
+Schedule GreedyAnxietyScheduler::schedule(const SlotProblem& problem,
+                                          const RunContext& context) const {
+  const survey::AnxietyModel& anxiety = context.anxiety_model();
   const std::size_t n = problem.devices.size();
   std::vector<double> degree(n, 0.0);
   for (std::size_t j = 0; j < n; ++j) {
@@ -290,10 +346,11 @@ Schedule GreedyAnxietyScheduler::schedule(
   return admit_in_order(problem, anxiety, order);
 }
 
-Schedule JointOptimalScheduler::schedule(
-    const SlotProblem& problem, const survey::AnxietyModel& anxiety) const {
+Schedule JointOptimalScheduler::schedule(const SlotProblem& problem,
+                                         const RunContext& context) const {
   // (13) is separable, so the joint problem is itself a 2-row binary
   // program over per-device objective benefits.
+  const survey::AnxietyModel& anxiety = context.anxiety_model();
   const std::size_t n = problem.devices.size();
   solver::BinaryProgram program;
   program.objective.resize(n);

@@ -42,14 +42,15 @@ double RunMetrics::mean_tpv(double max_start_fraction,
 }
 
 Emulator::Emulator(EmulatorConfig config, const core::Scheduler& scheduler,
-                   const survey::AnxietyModel& anxiety)
+                   core::RunContext context)
     : config_(config),
       scheduler_(scheduler),
-      anxiety_(anxiety),
+      context_(context),
       rng_(config.seed) {
   assert(config_.group_size > 0);
   assert(config_.slots > 0);
   assert(config_.chunks_per_slot > 0);
+  assert(context_.anxiety != nullptr);
 }
 
 void Emulator::setup_devices() {
@@ -118,6 +119,49 @@ RunMetrics Emulator::run() {
   streaming::CdnServer cdn;
   streaming::EdgeCache cache(/*capacity_mb=*/8.0 * 1024.0);
   const transform::ResourceModel resources;
+  const survey::AnxietyModel& anxiety = context_.anxiety_model();
+
+  // Observability handles, resolved once (names are looked up under the
+  // registry mutex; the slot loop then writes lock-free).  All of this is
+  // purely observational: RunMetrics is computed from the same variables
+  // with or without a registry attached.
+  obs::MetricsRegistry* registry = context_.metrics;
+  obs::EventTrace* events = context_.events;
+  obs::Counter* obs_giveups = nullptr;
+  obs::Counter* obs_depleted = nullptr;
+  obs::Counter* obs_bayes_updates = nullptr;
+  obs::Counter* obs_slots = nullptr;
+  obs::Gauge* obs_active = nullptr;
+  obs::Gauge* obs_cache_used = nullptr;
+  obs::Gauge* obs_cache_evictions = nullptr;
+  obs::Histogram* obs_slot_energy = nullptr;
+  obs::Histogram* obs_availability = nullptr;
+  if (registry != nullptr) {
+    obs_giveups = &registry->counter(
+        "lpvs_emu_giveups_total",
+        "Users who abandoned the stream at their give-up level");
+    obs_depleted = &registry->counter("lpvs_emu_battery_depleted_total",
+                                      "Devices that ran the battery empty");
+    obs_bayes_updates = &registry->counter(
+        "lpvs_emu_bayes_updates_total",
+        "Per-slot gamma observations fed to the Bayesian estimators");
+    obs_slots = &registry->counter("lpvs_emu_slots_total",
+                                   "Emulated slots executed");
+    obs_active = &registry->gauge("lpvs_emu_active_devices",
+                                  "Devices still watching (last slot)");
+    obs_cache_used = &registry->gauge("lpvs_edge_cache_used_mb",
+                                      "Edge chunk cache occupancy, MB");
+    obs_cache_evictions = &registry->gauge(
+        "lpvs_edge_cache_evictions", "Cumulative edge cache evictions");
+    obs_slot_energy = &registry->histogram(
+        "lpvs_emu_slot_energy_mwh",
+        obs::MetricsRegistry::linear_buckets(0.0, 50.0, 24),
+        "Cluster-wide battery energy drained per slot, mWh");
+    obs_availability = &registry->histogram(
+        "lpvs_emu_chunk_availability",
+        obs::MetricsRegistry::linear_buckets(0.0, 0.1, 11),
+        "Fraction of a slot's chunks available at the edge per device");
+  }
 
   double anxiety_accumulator = 0.0;
   double scheduler_ms_total = 0.0;
@@ -135,6 +179,7 @@ RunMetrics Emulator::run() {
     problem.compute_capacity = config_.compute_capacity;
     problem.storage_capacity = config_.storage_capacity_mb;
     problem.lambda = config_.lambda;
+    long slot_chunks_available = 0;
 
     for (std::size_t n = 0; n < n_devices; ++n) {
       DeviceState& device = devices_[n];
@@ -151,6 +196,12 @@ RunMetrics Emulator::run() {
       const streaming::ChunkRequest request = streaming::available_request(
           cdn, cache, video.id, 0,
           static_cast<std::size_t>(config_.chunks_per_slot));
+      slot_chunks_available += static_cast<long>(request.chunk_count());
+      if (obs_availability != nullptr) {
+        obs_availability->observe(
+            static_cast<double>(request.chunk_count()) /
+            static_cast<double>(config_.chunks_per_slot));
+      }
 
       core::DeviceSlotInput input;
       input.id = device.id;
@@ -210,11 +261,28 @@ RunMetrics Emulator::run() {
 
     // --- (2) Request scheduling ------------------------------------
     const auto t0 = std::chrono::steady_clock::now();
-    const core::Schedule schedule = scheduler_.schedule(problem, anxiety_);
+    const core::Schedule schedule = scheduler_.schedule(problem, context_);
     const auto t1 = std::chrono::steady_clock::now();
     scheduler_ms_total +=
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     ++metrics.slots_run;
+    if (obs_slots != nullptr) {
+      obs_slots->add(1);
+      obs_active->set(static_cast<double>(active.size()));
+      obs_cache_used->set(cache.used_mb());
+      obs_cache_evictions->set(static_cast<double>(cache.evictions()));
+    }
+    if (events != nullptr) {
+      events->record(
+          {obs::EventKind::kCacheAccess, slot, /*device=*/-1,
+           {{"chunks_available", static_cast<double>(slot_chunks_available)},
+            {"chunks_requested",
+             static_cast<double>(active.size()) *
+                 static_cast<double>(config_.chunks_per_slot)},
+            {"cache_used_mb", cache.used_mb()},
+            {"evictions", static_cast<double>(cache.evictions())}}});
+    }
+    double slot_energy_mwh = 0.0;
 
     // --- (3) Transforming & playback -------------------------------
     for (std::size_t i = 0; i < active.size(); ++i) {
@@ -270,20 +338,30 @@ RunMetrics Emulator::run() {
       for (const media::VideoChunk& chunk : video.chunks) {
         const double rate = estimator_.rate(device.spec, chunk).value;
         const double psi = selected ? (1.0 - true_gamma) * rate : rate;
-        anxiety_accumulator += anxiety_(device.battery.fraction());
+        anxiety_accumulator += anxiety(device.battery.fraction());
         ++metrics.anxiety_samples;
         const common::MilliwattHours drawn = device.battery.drain(
             common::Milliwatts{psi}, chunk.duration);
         metrics.total_energy_mwh += drawn.value;
+        slot_energy_mwh += drawn.value;
         device.watch_minutes += chunk.duration.value / 60.0;
         if (device.battery.empty()) {
           device.watching = false;
+          if (obs_depleted != nullptr) obs_depleted->add(1);
           break;
         }
         if (config_.enable_giveup && device.giveup_percent > 0 &&
             device.battery.percent() <=
                 static_cast<double>(device.giveup_percent)) {
           device.watching = false;  // the user gives up on the video
+          if (obs_giveups != nullptr) obs_giveups->add(1);
+          if (events != nullptr) {
+            events->record(
+                {obs::EventKind::kGiveUp, slot,
+                 static_cast<int>(device.id.value),
+                 {{"battery_percent", device.battery.percent()},
+                  {"watch_minutes", device.watch_minutes}}});
+          }
           break;
         }
       }
@@ -298,7 +376,23 @@ RunMetrics Emulator::run() {
             true_gamma + noise_rng.normal(0.0, config_.observation_noise);
         device.estimator.observe(observed);
         device.nig_estimator.observe(observed);
+        if (obs_bayes_updates != nullptr) obs_bayes_updates->add(1);
+        if (events != nullptr) {
+          events->record({obs::EventKind::kBayesUpdate, slot,
+                          static_cast<int>(device.id.value),
+                          {{"observed_gamma", observed},
+                           {"posterior_mean",
+                            device.estimator.expected_gamma()}}});
+        }
       }
+    }
+
+    if (obs_slot_energy != nullptr) obs_slot_energy->observe(slot_energy_mwh);
+    if (events != nullptr) {
+      events->record({obs::EventKind::kBatteryDrain, slot, /*device=*/-1,
+                      {{"energy_mwh", slot_energy_mwh},
+                       {"active_devices",
+                        static_cast<double>(active.size())}}});
     }
   }
 
@@ -338,12 +432,14 @@ double PairedMetrics::anxiety_reduction_ratio() const {
 
 PairedMetrics run_paired(const EmulatorConfig& config,
                          const core::Scheduler& scheduler,
-                         const survey::AnxietyModel& anxiety) {
+                         const core::RunContext& context) {
   PairedMetrics paired;
-  Emulator with(config, scheduler, anxiety);
+  Emulator with(config, scheduler, context);
   paired.with_lpvs = with.run();
+  // The baseline leg runs un-observed: its no-op schedules would only
+  // dilute the metrics of the leg being studied.
   const core::NoTransformScheduler baseline;
-  Emulator without(config, baseline, anxiety);
+  Emulator without(config, baseline, core::RunContext(context.anxiety_model()));
   paired.without_lpvs = without.run();
   return paired;
 }

@@ -1,0 +1,33 @@
+// ClusterParams: the knobs every virtual-cluster run shares (API redesign).
+//
+// EmulatorConfig (single cluster) and ReplayConfig (city-wide, many
+// clusters) used to duplicate these fields, so a default changed in one
+// could silently drift from the other.  Both now embed this struct as a
+// base; the replay forwards its whole ClusterParams slice into each
+// per-cluster EmulatorConfig in one assignment, so a knob added here flows
+// through automatically.
+#pragma once
+
+#include <cstdint>
+
+namespace lpvs::emu {
+
+struct ClusterParams {
+  /// Edge transform capacity C of constraint (6), compute units.
+  double compute_capacity = 45.0;
+  /// Edge staging storage S of constraint (7), megabytes.
+  double storage_capacity_mb = 32.0 * 1024.0;
+  /// Objective regularizer of (8a)/(13).
+  double lambda = 2000.0;
+  /// Users leave when battery hits their survey give-up level.
+  bool enable_giveup = true;
+  /// Devices per virtual cluster: the replay caps each cluster at this
+  /// size; the single-cluster Emulator sets its exact group size via
+  /// EmulatorConfig::group_size (which may legitimately exceed this cap in
+  /// stress scenarios) and treats this field as documentation of the
+  /// deployment's per-edge-server budget.
+  int max_group_size = 100;
+  std::uint64_t seed = 42;
+};
+
+}  // namespace lpvs::emu

@@ -20,13 +20,16 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "lpvs/battery/battery.hpp"
 #include "lpvs/bayes/gamma_estimator.hpp"
 #include "lpvs/bayes/nig_estimator.hpp"
+#include "lpvs/core/run_context.hpp"
 #include "lpvs/core/scheduler.hpp"
 #include "lpvs/display/display.hpp"
+#include "lpvs/emu/cluster_params.hpp"
 #include "lpvs/media/video.hpp"
 #include "lpvs/streaming/streaming.hpp"
 #include "lpvs/survey/lba_curve.hpp"
@@ -43,14 +46,14 @@ enum class GammaMode {
   kOracle,       ///< cheat: use the slot's true physics-derived gamma
 };
 
-struct EmulatorConfig {
+/// Cluster-shared knobs (compute/storage capacity, lambda, give-up, seed)
+/// live in the ClusterParams base, shared with ReplayConfig so the two can
+/// no longer drift apart.
+struct EmulatorConfig : ClusterParams {
   int group_size = 100;             ///< N devices in the virtual cluster
   int slots = 36;                   ///< 3 hours of 5-minute slots
   int chunks_per_slot = 30;         ///< 10-second chunks
   double chunk_seconds = 10.0;
-  double compute_capacity = 45.0;   ///< C; ~100 concurrent 1080p streams
-  double storage_capacity_mb = 32.0 * 1024.0;  ///< S
-  double lambda = 2000.0;           ///< objective regularizer
   /// Initial energy status ~ Gaussian (SVI-B), truncated to [0.05, 1].
   double initial_battery_mean = 0.5;
   double initial_battery_std = 0.2;
@@ -72,9 +75,6 @@ struct EmulatorConfig {
   double switch_probability = 0.0;
   /// Noise on the per-slot observed power reduction fed to Bayes.
   double observation_noise = 0.02;
-  /// Users leave when battery hits their survey give-up level.
-  bool enable_giveup = true;
-  std::uint64_t seed = 42;
 };
 
 /// One emulated viewer and phone.
@@ -118,10 +118,18 @@ struct RunMetrics {
 };
 
 /// The emulator.  Construct once, `run()` replays the whole scenario.
+///
+/// The RunContext carries the anxiety model plus optional observability
+/// sinks; with sinks attached the run additionally reports per-slot
+/// energy/anxiety/give-up metrics and structured events, without changing
+/// RunMetrics (tests assert bit-identical results on/off).
 class Emulator {
  public:
   Emulator(EmulatorConfig config, const core::Scheduler& scheduler,
-           const survey::AnxietyModel& anxiety);
+           core::RunContext context);
+  Emulator(EmulatorConfig config, const core::Scheduler& scheduler,
+           const survey::AnxietyModel& anxiety)
+      : Emulator(std::move(config), scheduler, core::RunContext(anxiety)) {}
 
   RunMetrics run();
 
@@ -135,7 +143,7 @@ class Emulator {
 
   EmulatorConfig config_;
   const core::Scheduler& scheduler_;
-  const survey::AnxietyModel& anxiety_;
+  core::RunContext context_;
   common::Rng rng_;
   std::vector<DeviceState> devices_;
   transform::TransformEngine engine_;
@@ -153,6 +161,11 @@ struct PairedMetrics {
 };
 PairedMetrics run_paired(const EmulatorConfig& config,
                          const core::Scheduler& scheduler,
-                         const survey::AnxietyModel& anxiety);
+                         const core::RunContext& context);
+inline PairedMetrics run_paired(const EmulatorConfig& config,
+                                const core::Scheduler& scheduler,
+                                const survey::AnxietyModel& anxiety) {
+  return run_paired(config, scheduler, core::RunContext(anxiety));
+}
 
 }  // namespace lpvs::emu

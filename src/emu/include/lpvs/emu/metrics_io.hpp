@@ -1,11 +1,14 @@
 // JSON export of emulation results (reproduction extension): serializes
 // RunMetrics / PairedMetrics / ReplayReport for external analysis and
-// plotting, via the dependency-free common::Json builder.
+// plotting, via the dependency-free common::Json builder.  The obs
+// snapshot exporter rides the same path and is re-exported here, so one
+// include gives the full to_json overload set for a run's outputs.
 #pragma once
 
 #include "lpvs/common/json.hpp"
 #include "lpvs/emu/emulator.hpp"
 #include "lpvs/emu/replay.hpp"
+#include "lpvs/obs/metrics.hpp"
 
 namespace lpvs::emu {
 
@@ -17,5 +20,9 @@ common::Json to_json(const PairedMetrics& paired);
 
 /// City replay record with per-cluster summaries.
 common::Json to_json(const ReplayReport& report);
+
+/// Metrics snapshots serialize through the same common::Json path; make
+/// emu::to_json(registry.snapshot()) work alongside the overloads above.
+using obs::to_json;
 
 }  // namespace lpvs::emu

@@ -11,28 +11,30 @@
 
 #include <vector>
 
+#include "lpvs/core/run_context.hpp"
 #include "lpvs/core/scheduler.hpp"
+#include "lpvs/emu/cluster_params.hpp"
 #include "lpvs/emu/emulator.hpp"
 #include "lpvs/survey/lba_curve.hpp"
 #include "lpvs/trace/trace.hpp"
 
 namespace lpvs::emu {
 
-struct ReplayConfig {
+/// Cluster-shared knobs (capacities, lambda, give-up, group-size cap,
+/// seed) live in the ClusterParams base, shared with EmulatorConfig; the
+/// replay forwards its whole ClusterParams slice into every per-cluster
+/// emulation, so the two run kinds cannot drift apart.
+struct ReplayConfig : ClusterParams {
+  ReplayConfig() { seed = 1; }
+
   /// Slot of the trace at which clusters are formed.
   int start_slot = 144;  // midday of a 288-slot day
   /// Only sessions with at least this many viewers form a cluster.
   int min_viewers = 30;
   /// Cap on clusters replayed (largest sessions first); 0 = no cap.
   int max_clusters = 16;
-  /// Edge server per cluster: at most this many emulated devices.
-  int max_group_size = 100;
   /// Per-cluster emulation horizon cap, slots (bounded by session end).
   int max_slots = 24;
-  double compute_capacity = 45.0;
-  double lambda = 2000.0;
-  bool enable_giveup = true;
-  std::uint64_t seed = 1;
   /// Worker threads for the per-cluster emulations (clusters are
   /// independent and seeded per session, so any thread count produces
   /// bit-identical reports); 0 = hardware concurrency.
@@ -68,10 +70,19 @@ struct ReplayReport {
   double mean_low_battery_tpv(bool with_lpvs) const;
 };
 
-/// Runs the replay.  Deterministic in (trace, config.seed).
+/// Runs the replay.  Deterministic in (trace, config.seed) — with or
+/// without observability sinks in the context, and at any thread count.
+/// With a registry attached, per-cluster wall times land in the
+/// lpvs_replay_cluster_ms histogram (aggregated across the ThreadPool).
 ReplayReport replay_city(const trace::Trace& trace,
                          const core::Scheduler& scheduler,
-                         const survey::AnxietyModel& anxiety,
+                         const core::RunContext& context,
                          const ReplayConfig& config);
+inline ReplayReport replay_city(const trace::Trace& trace,
+                                const core::Scheduler& scheduler,
+                                const survey::AnxietyModel& anxiety,
+                                const ReplayConfig& config) {
+  return replay_city(trace, scheduler, core::RunContext(anxiety), config);
+}
 
 }  // namespace lpvs::emu

@@ -11,6 +11,11 @@ common::Json to_json(const RunMetrics& metrics) {
   root.set("slots_run", metrics.slots_run);
   root.set("anxiety_samples",
            static_cast<double>(metrics.anxiety_samples));
+  // Flat per-device columns (plotting scripts index these directly),
+  // serialized via the shared common::to_json array path.
+  root.set("tpv_minutes", common::to_json(metrics.tpv_minutes));
+  root.set("start_fractions", common::to_json(metrics.start_fractions));
+  root.set("final_fractions", common::to_json(metrics.final_fractions));
   common::Json devices = common::Json::array();
   for (std::size_t n = 0; n < metrics.tpv_minutes.size(); ++n) {
     common::Json device = common::Json::object();

@@ -36,9 +36,18 @@ double ReplayReport::mean_low_battery_tpv(bool with_lpvs) const {
 
 ReplayReport replay_city(const trace::Trace& trace,
                          const core::Scheduler& scheduler,
-                         const survey::AnxietyModel& anxiety,
+                         const core::RunContext& context,
                          const ReplayConfig& config) {
   ReplayReport report;
+
+  // Per-cluster wall times; the registry is thread-safe, so worker threads
+  // record concurrently without perturbing the (seed-determined) results.
+  obs::Histogram* cluster_ms_hist = nullptr;
+  if (context.metrics != nullptr) {
+    cluster_ms_hist = &context.metrics->histogram(
+        "lpvs_replay_cluster_ms", obs::MetricsRegistry::time_buckets_ms(),
+        "Wall-clock time of one cluster's paired emulation");
+  }
 
   // Candidate clusters: live sessions with enough audience, biggest first.
   std::vector<const trace::Session*> candidates;
@@ -63,6 +72,7 @@ ReplayReport replay_city(const trace::Trace& trace,
   // outcomes land in pre-assigned slots to keep ordering deterministic.
   std::vector<ClusterOutcome> outcomes(candidates.size());
   auto run_one = [&](std::size_t i) {
+    const obs::ScopedTimer timer(cluster_ms_hist);
     const trace::Session* session = candidates[i];
     ClusterOutcome outcome;
     outcome.channel = session->channel;
@@ -73,14 +83,15 @@ ReplayReport replay_city(const trace::Trace& trace,
                                config.max_slots);
 
     EmulatorConfig emu_config;
+    // Forward the whole shared-knob slice in one go (the point of
+    // ClusterParams: a knob added there flows through automatically)...
+    static_cast<ClusterParams&>(emu_config) = config;
+    // ...then the per-cluster specifics on top.
     emu_config.group_size = outcome.group_size;
     emu_config.slots = outcome.slots;
-    emu_config.compute_capacity = config.compute_capacity;
-    emu_config.lambda = config.lambda;
-    emu_config.enable_giveup = config.enable_giveup;
     emu_config.seed =
         config.seed ^ (static_cast<std::uint64_t>(session->id.value) << 20);
-    outcome.metrics = run_paired(emu_config, scheduler, anxiety);
+    outcome.metrics = run_paired(emu_config, scheduler, context);
     outcomes[i] = std::move(outcome);
   };
 
@@ -104,6 +115,15 @@ ReplayReport replay_city(const trace::Trace& trace,
   report.mean_scheduler_ms =
       outcomes.empty() ? 0.0
                        : scheduler_ms / static_cast<double>(outcomes.size());
+  if (context.metrics != nullptr) {
+    context.metrics
+        ->counter("lpvs_replay_clusters_total", "Virtual clusters replayed")
+        .add(static_cast<long>(report.clusters.size()));
+    context.metrics
+        ->gauge("lpvs_replay_total_devices",
+                "Devices across all clusters of the last replay")
+        .set(static_cast<double>(report.total_devices));
+  }
   return report;
 }
 

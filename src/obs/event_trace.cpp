@@ -1,0 +1,74 @@
+#include "lpvs/obs/event_trace.hpp"
+
+namespace lpvs::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kScheduleSolve:
+      return "schedule_solve";
+    case EventKind::kPhase2Swap:
+      return "phase2_swap";
+    case EventKind::kCacheAccess:
+      return "cache_access";
+    case EventKind::kBatteryDrain:
+      return "battery_drain";
+    case EventKind::kGiveUp:
+      return "give_up";
+    case EventKind::kBayesUpdate:
+      return "bayes_update";
+  }
+  return "unknown";
+}
+
+void EventTrace::record(Event event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::size_t EventTrace::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::size_t EventTrace::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void EventTrace::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::vector<Event> EventTrace::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string EventTrace::to_jsonl() const {
+  const std::vector<Event> copy = events();
+  std::string out;
+  for (const Event& event : copy) {
+    out += to_json(event).dump();
+    out += "\n";
+  }
+  return out;
+}
+
+common::Json to_json(const Event& event) {
+  common::Json record = common::Json::object();
+  record.set("kind", event_kind_name(event.kind));
+  record.set("slot", event.slot);
+  record.set("device", event.device);
+  for (const auto& [key, value] : event.fields) {
+    record.set(key, value);
+  }
+  return record;
+}
+
+}  // namespace lpvs::obs

@@ -1,0 +1,80 @@
+// Bounded structured event trace (reproduction extension).
+//
+// Where the MetricsRegistry answers "how much / how fast", the event trace
+// answers "what happened to slot 17": per-slot structured records of
+// schedule solves, Phase-2 swaps, cache hits/misses, battery drains,
+// give-ups and Bayes updates, exportable as JSONL for external analysis.
+// The trace is bounded — once `capacity` events are recorded, further
+// events are counted as dropped instead of growing memory — so it is safe
+// to leave attached on long replays.
+//
+// Thread safety: record() takes a mutex.  Tracing is opt-in (a null
+// EventTrace* at the instrumentation sites disables it at the cost of one
+// branch), so the lock is never touched on un-instrumented runs.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lpvs/common/json.hpp"
+
+namespace lpvs::obs {
+
+enum class EventKind {
+  kScheduleSolve,  ///< one scheduler invocation (nodes, swaps, selected...)
+  kPhase2Swap,     ///< one anxiety-driven swap (in, out)
+  kCacheAccess,    ///< per-slot chunk availability at the edge
+  kBatteryDrain,   ///< per-slot aggregate energy drained
+  kGiveUp,         ///< a user abandoned the stream at their give-up level
+  kBayesUpdate,    ///< one posterior update from an observed gamma
+};
+
+/// Stable lowercase label used in the JSONL export.
+const char* event_kind_name(EventKind kind);
+
+/// One structured record.  `slot`/`device` are -1 when not applicable
+/// (device -1 = cluster-wide).  `fields` carries the kind-specific numeric
+/// payload under stable snake_case keys.
+struct Event {
+  EventKind kind = EventKind::kScheduleSolve;
+  int slot = -1;
+  int device = -1;
+  std::vector<std::pair<const char*, double>> fields;
+};
+
+class EventTrace {
+ public:
+  explicit EventTrace(std::size_t capacity = 65536) : capacity_(capacity) {}
+  EventTrace(const EventTrace&) = delete;
+  EventTrace& operator=(const EventTrace&) = delete;
+
+  /// Appends if under capacity, else counts the event as dropped.
+  void record(Event event);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::size_t dropped() const;
+  void clear();
+
+  /// Copy of the recorded events (in record order).
+  std::vector<Event> events() const;
+
+  /// One compact JSON object per line:
+  ///   {"kind":"give_up","slot":12,"device":3,"battery_percent":10}
+  std::string to_jsonl() const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::size_t dropped_ = 0;
+};
+
+/// The shared common::Json rendering of one event (used by to_jsonl and
+/// available for callers embedding events in larger documents).
+common::Json to_json(const Event& event);
+
+}  // namespace lpvs::obs

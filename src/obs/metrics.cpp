@@ -1,0 +1,228 @@
+#include "lpvs/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace lpvs::obs {
+namespace {
+
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Integers print without a decimal point so expositions are stable and
+/// diff-friendly; everything else gets 9 significant digits.
+std::string format_number(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+/// Interpolated quantile over per-bucket counts; shared by the live
+/// histogram and its snapshot.
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<long>& counts, long total,
+                             double q) {
+  if (total <= 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < bounds.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts[b]);
+    if (cumulative + in_bucket >= rank) {
+      const double lower = b == 0 ? 0.0 : bounds[b - 1];
+      if (in_bucket <= 0.0) return lower;
+      const double fraction = (rank - cumulative) / in_bucket;
+      return lower + fraction * (bounds[b] - lower);
+    }
+    cumulative += in_bucket;
+  }
+  // Overflow bucket: attribute to the last finite bound.
+  return bounds.back();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(upper_bounds_.size() + 1) {
+  assert(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+}
+
+void Histogram::observe(double value) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  const auto index =
+      static_cast<std::size_t>(it - upper_bounds_.begin());  // == size: overflow
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+}
+
+double Histogram::quantile(double q) const {
+  std::vector<long> counts(buckets_.size());
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return quantile_from_buckets(upper_bounds_, counts, count(), q);
+}
+
+double HistogramSample::quantile(double q) const {
+  return quantile_from_buckets(upper_bounds, bucket_counts, count, q);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return *counters_[it->second].metric;
+  counter_index_.emplace(name, counters_.size());
+  counters_.push_back({name, help, std::make_unique<Counter>()});
+  return *counters_.back().metric;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return *gauges_[it->second].metric;
+  gauge_index_.emplace(name, gauges_.size());
+  gauges_.push_back({name, help, std::make_unique<Gauge>()});
+  return *gauges_.back().metric;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return *histograms_[it->second].metric;
+  histogram_index_.emplace(name, histograms_.size());
+  histograms_.push_back(
+      {name, help, std::make_unique<Histogram>(std::move(upper_bounds))});
+  return *histograms_.back().metric;
+}
+
+std::vector<double> MetricsRegistry::time_buckets_ms() {
+  return {0.05, 0.1, 0.25, 0.5, 1.0,   2.5,   5.0,
+          10.0, 25.0, 50.0, 100.0, 250.0, 1000.0};
+}
+
+std::vector<double> MetricsRegistry::linear_buckets(double start, double step,
+                                                    int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(start + step * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& entry : counters_) {
+    snap.counters.push_back({entry.name, entry.help, entry.metric->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& entry : gauges_) {
+    snap.gauges.push_back({entry.name, entry.help, entry.metric->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& entry : histograms_) {
+    HistogramSample sample;
+    sample.name = entry.name;
+    sample.help = entry.help;
+    sample.upper_bounds = entry.metric->upper_bounds();
+    sample.bucket_counts.resize(sample.upper_bounds.size() + 1);
+    for (std::size_t b = 0; b < sample.bucket_counts.size(); ++b) {
+      sample.bucket_counts[b] = entry.metric->bucket_count(b);
+    }
+    sample.count = entry.metric->count();
+    sample.sum = entry.metric->sum();
+    snap.histograms.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::exposition() const {
+  return obs::exposition(snapshot());
+}
+
+std::string exposition(const Snapshot& snapshot) {
+  std::string out;
+  auto header = [&out](const std::string& name, const std::string& help,
+                       const char* type) {
+    if (!help.empty()) out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " ";
+    out += type;
+    out += "\n";
+  };
+  for (const CounterSample& c : snapshot.counters) {
+    header(c.name, c.help, "counter");
+    out += c.name + " " + format_number(static_cast<double>(c.value)) + "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    header(g.name, g.help, "gauge");
+    out += g.name + " " + format_number(g.value) + "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    header(h.name, h.help, "histogram");
+    long cumulative = 0;
+    for (std::size_t b = 0; b < h.upper_bounds.size(); ++b) {
+      cumulative += h.bucket_counts[b];
+      out += h.name + "_bucket{le=\"" + format_number(h.upper_bounds[b]) +
+             "\"} " + format_number(static_cast<double>(cumulative)) + "\n";
+    }
+    cumulative += h.bucket_counts.back();
+    out += h.name + "_bucket{le=\"+Inf\"} " +
+           format_number(static_cast<double>(cumulative)) + "\n";
+    out += h.name + "_sum " + format_number(h.sum) + "\n";
+    out += h.name + "_count " + format_number(static_cast<double>(h.count)) +
+           "\n";
+  }
+  return out;
+}
+
+common::Json to_json(const Snapshot& snapshot) {
+  common::Json root = common::Json::object();
+  common::Json counters = common::Json::object();
+  for (const CounterSample& c : snapshot.counters) {
+    counters.set(c.name, c.value);
+  }
+  root.set("counters", std::move(counters));
+  common::Json gauges = common::Json::object();
+  for (const GaugeSample& g : snapshot.gauges) {
+    gauges.set(g.name, g.value);
+  }
+  root.set("gauges", std::move(gauges));
+  common::Json histograms = common::Json::object();
+  for (const HistogramSample& h : snapshot.histograms) {
+    common::Json hist = common::Json::object();
+    hist.set("count", h.count);
+    hist.set("sum", h.sum);
+    hist.set("upper_bounds", common::to_json(h.upper_bounds));
+    hist.set("bucket_counts", common::to_json(h.bucket_counts));
+    hist.set("p50", h.quantile(0.5));
+    hist.set("p95", h.quantile(0.95));
+    hist.set("p99", h.quantile(0.99));
+    histograms.set(h.name, std::move(hist));
+  }
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+}  // namespace lpvs::obs

@@ -15,6 +15,16 @@ double chunk_size_mb(const media::VideoChunk& chunk) {
 
 }  // namespace
 
+void ChunkCache::attach_metrics(obs::MetricsRegistry& registry) {
+  const std::string prefix = "lpvs_cache_" + policy_name() + "_";
+  hits_metric_ = &registry.counter(prefix + "hits_total",
+                                   "Chunk lookups served from the cache");
+  misses_metric_ = &registry.counter(prefix + "misses_total",
+                                     "Chunk lookups that missed the cache");
+  evictions_metric_ =
+      &registry.counter(prefix + "evictions_total", "Chunks evicted");
+}
+
 // ---------------------------------------------------------------- LRU --
 
 LruChunkCache::LruChunkCache(double capacity_mb)
@@ -26,10 +36,12 @@ bool LruChunkCache::lookup(common::VideoId video, common::ChunkId chunk) {
   const auto it = index_.find(chunk_key(video, chunk));
   if (it == index_.end()) {
     ++stats_.misses;
+    note_lookup(false);
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++stats_.hits;
+  note_lookup(true);
   return true;
 }
 
@@ -61,6 +73,7 @@ void LruChunkCache::evict_one() {
   index_.erase(victim.key);
   lru_.pop_back();
   ++stats_.evictions;
+  note_eviction();
 }
 
 // ---------------------------------------------------------------- LFU --
@@ -74,10 +87,12 @@ bool LfuChunkCache::lookup(common::VideoId video, common::ChunkId chunk) {
   const auto it = index_.find(chunk_key(video, chunk));
   if (it == index_.end()) {
     ++stats_.misses;
+    note_lookup(false);
     return false;
   }
   bump(it->second.bucket, it->second.entry);
   ++stats_.hits;
+  note_lookup(true);
   return true;
 }
 
@@ -130,6 +145,7 @@ void LfuChunkCache::evict_one() {
   used_mb_ -= victim.size_mb;
   if (bucket.empty()) buckets_.erase(bucket_it);
   ++stats_.evictions;
+  note_eviction();
 }
 
 std::unique_ptr<ChunkCache> make_cache(const std::string& policy,

@@ -9,9 +9,24 @@ EncoderFarm::EncoderFarm(int workers) : workers_(workers) {
   assert(workers > 0);
 }
 
-FarmReport EncoderFarm::run(std::vector<TransformJob> jobs) const {
+FarmReport EncoderFarm::run(std::vector<TransformJob> jobs,
+                            obs::MetricsRegistry* metrics) const {
   FarmReport report;
   if (jobs.empty()) return report;
+
+  obs::Histogram* queue_depth_hist = nullptr;
+  obs::Histogram* queue_delay_hist = nullptr;
+  if (metrics != nullptr) {
+    queue_depth_hist = &metrics->histogram(
+        "lpvs_farm_queue_depth",
+        obs::MetricsRegistry::linear_buckets(0.0, 5.0, 21),
+        "Jobs waiting for a worker at each job's dispatch");
+    queue_delay_hist = &metrics->histogram(
+        "lpvs_farm_queue_delay_s",
+        {0.0, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0},
+        "Seconds a job waited between arrival and service start");
+  }
+
   // FIFO dispatch: process in arrival order; each job takes the earliest
   // available worker.  A min-heap over worker free times is the classic
   // event-driven formulation of an M-worker FIFO queue.
@@ -26,6 +41,13 @@ FarmReport EncoderFarm::run(std::vector<TransformJob> jobs) const {
   double busy_seconds = 0.0;
   double last_finish = 0.0;
   const double first_arrival = jobs.front().arrival_s;
+  // FIFO start times are non-decreasing, so the queue depth at a job's
+  // arrival (earlier jobs still waiting to start) is a moving window over
+  // the start-time sequence.
+  std::vector<double> starts;
+  if (queue_depth_hist != nullptr) starts.reserve(jobs.size());
+  std::size_t started_before = 0;
+  std::size_t job_index = 0;
   for (const TransformJob& job : jobs) {
     const double worker_free = free_at.top();
     free_at.pop();
@@ -40,12 +62,38 @@ FarmReport EncoderFarm::run(std::vector<TransformJob> jobs) const {
     last_finish = std::max(last_finish, finish);
     ++report.jobs_completed;
     if (finish > job.deadline_s) ++report.jobs_missed_deadline;
+
+    if (queue_depth_hist != nullptr) {
+      starts.push_back(start);
+      while (started_before < job_index &&
+             starts[started_before] <= job.arrival_s) {
+        ++started_before;
+      }
+      queue_depth_hist->observe(
+          static_cast<double>(job_index - started_before));
+      queue_delay_hist->observe(delay);
+    }
+    ++job_index;
   }
   report.mean_queue_delay_s =
       total_delay / static_cast<double>(report.jobs_completed);
   report.makespan_s = std::max(last_finish - first_arrival, 1e-12);
   report.mean_utilization =
       busy_seconds / (static_cast<double>(workers_) * report.makespan_s);
+
+  if (metrics != nullptr) {
+    metrics
+        ->counter("lpvs_farm_jobs_total", "Transform jobs run to completion")
+        .add(report.jobs_completed);
+    metrics
+        ->counter("lpvs_farm_deadline_misses_total",
+                  "Transform jobs that finished past their deadline")
+        .add(report.jobs_missed_deadline);
+    metrics
+        ->gauge("lpvs_farm_utilization",
+                "Busy worker-seconds / capacity of the last run")
+        .set(report.mean_utilization);
+  }
   return report;
 }
 

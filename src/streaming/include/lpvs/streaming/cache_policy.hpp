@@ -17,6 +17,7 @@
 
 #include "lpvs/common/units.hpp"
 #include "lpvs/media/video.hpp"
+#include "lpvs/obs/metrics.hpp"
 
 namespace lpvs::streaming {
 
@@ -54,6 +55,28 @@ class ChunkCache {
   virtual double used_mb() const = 0;
   virtual double capacity_mb() const = 0;
   virtual const CacheStats& stats() const = 0;
+
+  /// Wires lookup/eviction accounting into a metrics registry as
+  /// lpvs_cache_<policy>_{hits,misses,evictions}_total.  Detached (the
+  /// default) the hooks cost one branch per lookup.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
+ protected:
+  void note_lookup(bool hit) {
+    if (hit) {
+      if (hits_metric_ != nullptr) hits_metric_->add(1);
+    } else {
+      if (misses_metric_ != nullptr) misses_metric_->add(1);
+    }
+  }
+  void note_eviction() {
+    if (evictions_metric_ != nullptr) evictions_metric_->add(1);
+  }
+
+ private:
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
+  obs::Counter* evictions_metric_ = nullptr;
 };
 
 /// Least-recently-used replacement.

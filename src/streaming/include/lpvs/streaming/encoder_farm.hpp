@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "lpvs/common/rng.hpp"
+#include "lpvs/obs/metrics.hpp"
 
 namespace lpvs::streaming {
 
@@ -53,8 +54,12 @@ class EncoderFarm {
  public:
   explicit EncoderFarm(int workers);
 
-  /// Runs all jobs to completion (jobs need not be sorted).
-  FarmReport run(std::vector<TransformJob> jobs) const;
+  /// Runs all jobs to completion (jobs need not be sorted).  With a
+  /// registry attached, also records queue depth at each arrival
+  /// (lpvs_farm_queue_depth), per-job queue delay, and completion/miss
+  /// counters; the report itself is identical either way.
+  FarmReport run(std::vector<TransformJob> jobs,
+                 obs::MetricsRegistry* metrics = nullptr) const;
 
   int workers() const { return workers_; }
 
