@@ -15,9 +15,15 @@
 
 #include <cassert>
 
+#include <cstdint>
+
 #include "lpvs/obs/event_trace.hpp"
 #include "lpvs/obs/metrics.hpp"
 #include "lpvs/survey/lba_curve.hpp"
+
+namespace lpvs::solver {
+class SolveCache;
+}  // namespace lpvs::solver
 
 namespace lpvs::core {
 
@@ -28,6 +34,15 @@ struct RunContext {
   obs::MetricsRegistry* metrics = nullptr;
   /// Optional structured event sink; null = off.
   obs::EventTrace* events = nullptr;
+  /// Optional warm-start cache for the ILP-backed schedulers; null = every
+  /// solve starts cold.  Unlike the observability sinks, a cache is allowed
+  /// to change *which* optimal assignment ties resolve to and how many
+  /// nodes the search visits — never the objective value achieved (the
+  /// differential tests enforce that).
+  solver::SolveCache* solve_cache = nullptr;
+  /// Identifies the problem stream within the cache (one key per virtual
+  /// cluster); consecutive solves under the same key warm-start each other.
+  std::uint64_t solve_key = 0;
 
   RunContext() = default;
   RunContext(const survey::AnxietyModel& anxiety_model,
@@ -40,6 +55,16 @@ struct RunContext {
     return *anxiety;
   }
   bool observed() const { return metrics != nullptr || events != nullptr; }
+
+  /// Copy of this context bound to a solve cache and stream key; the
+  /// batch/emulation layers hand each shard its own keyed view.
+  RunContext with_solve_cache(solver::SolveCache* cache,
+                              std::uint64_t key) const {
+    RunContext bound = *this;
+    bound.solve_cache = cache;
+    bound.solve_key = key;
+    return bound;
+  }
 };
 
 }  // namespace lpvs::core

@@ -67,6 +67,12 @@ Schedule score_selection(const SlotProblem& problem,
                          const survey::AnxietyModel& anxiety,
                          std::vector<int> x);
 
+/// The Phase-1 binary program (14): maximize the slot energy saving under
+/// the two capacity rows, with the compacted constraint (11) as the
+/// eligibility mask.  Exposed so the differential test harness and the
+/// warm-start bench can solve the exact workload the scheduler solves.
+solver::BinaryProgram phase1_program(const SlotProblem& problem);
+
 /// B&B settings tuned for per-slot scheduling: a bounded node budget and a
 /// 0.001% relative optimality gap, so the solver never chases ties through
 /// an exponential frontier of equivalent optima inside a 5-minute slot.

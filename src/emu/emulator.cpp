@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "lpvs/solver/solve_cache.hpp"
+
 namespace lpvs::emu {
 namespace {
 
@@ -163,6 +165,17 @@ RunMetrics Emulator::run() {
         "Fraction of a slot's chunks available at the edge per device");
   }
 
+  // Warm-start plumbing: this cluster's slot solves form one problem
+  // stream, so consecutive slots seed each other's ILP incumbents.  The
+  // cache lives for the run; a caller-provided cache (e.g. a batch layer's)
+  // takes precedence so cross-run reuse stays possible.
+  solver::SolveCache run_cache;
+  core::RunContext scheduling_context = context_;
+  if (config_.warm_start && scheduling_context.solve_cache == nullptr) {
+    scheduling_context =
+        context_.with_solve_cache(&run_cache, /*key=*/config_.seed);
+  }
+
   double anxiety_accumulator = 0.0;
   double scheduler_ms_total = 0.0;
   std::vector<long> true_gamma_samples(n_devices, 0);
@@ -261,7 +274,8 @@ RunMetrics Emulator::run() {
 
     // --- (2) Request scheduling ------------------------------------
     const auto t0 = std::chrono::steady_clock::now();
-    const core::Schedule schedule = scheduler_.schedule(problem, context_);
+    const core::Schedule schedule =
+        scheduler_.schedule(problem, scheduling_context);
     const auto t1 = std::chrono::steady_clock::now();
     scheduler_ms_total +=
         std::chrono::duration<double, std::milli>(t1 - t0).count();

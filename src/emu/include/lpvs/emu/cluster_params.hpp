@@ -21,6 +21,11 @@ struct ClusterParams {
   double lambda = 2000.0;
   /// Users leave when battery hits their survey give-up level.
   bool enable_giveup = true;
+  /// Warm-start consecutive-slot ILP solves from the previous slot's
+  /// assignment (solver::SolveCache).  Changes which optimal assignment
+  /// ties resolve to and the nodes explored, never the objective achieved;
+  /// off reproduces the historical every-solve-cold behavior exactly.
+  bool warm_start = true;
   /// Devices per virtual cluster: the replay caps each cluster at this
   /// size; the single-cluster Emulator sets its exact group size via
   /// EmulatorConfig::group_size (which may legitimately exceed this cap in

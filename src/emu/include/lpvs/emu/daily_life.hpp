@@ -17,8 +17,11 @@
 #include <vector>
 
 #include "lpvs/battery/battery.hpp"
+#include "lpvs/core/run_context.hpp"
+#include "lpvs/core/scheduler.hpp"
 #include "lpvs/display/display.hpp"
 #include "lpvs/media/video.hpp"
+#include "lpvs/solver/solve_cache.hpp"
 #include "lpvs/survey/lba_curve.hpp"
 #include "lpvs/survey/population.hpp"
 #include "lpvs/transform/transform.hpp"
@@ -65,5 +68,45 @@ struct DailyLifeReport {
 /// Runs the simulation; deterministic in the config seed.
 DailyLifeReport simulate_daily_life(const DailyLifeConfig& config,
                                     const survey::AnxietyModel& anxiety);
+
+/// Fleet mode: instead of serving a fixed fraction of sessions by coin
+/// flip, concurrent sessions compete for real edge capacity.  Users are
+/// assigned round-robin to `edge_servers` edge boxes; at every 5-minute
+/// slot boundary each box's active viewers form one SlotProblem and the
+/// whole fleet is solved in one core::BatchScheduler call — sharded across
+/// the pool, with consecutive slots warm-starting each box's ILP from its
+/// previous assignment (one solver::SolveCache stream key per box).
+struct FleetEdgeConfig {
+  int edge_servers = 2;
+  /// Per-box capacities (constraints (6)(7)) and the anxiety regularizer.
+  double compute_capacity = 18.0;
+  double storage_capacity = 4096.0;
+  double lambda = 2000.0;
+  /// Shard threads for the batch solve (0 = hardware concurrency,
+  /// 1 = inline).  Any value yields bit-identical reports.
+  unsigned threads = 1;
+  /// Warm-start consecutive slot solves; off = every solve cold.
+  bool warm_start = true;
+};
+
+struct FleetDailyReport {
+  DailyLifeReport life;
+  long slot_batches = 0;   ///< 5-minute boundaries with at least one viewer
+  long requests = 0;       ///< user-slots wanting the transform
+  long admissions = 0;     ///< user-slots granted it
+  solver::SolveCacheStats cache;  ///< warm/cold split across the run
+
+  double admission_ratio() const {
+    return requests > 0 ? static_cast<double>(admissions) / requests : 0.0;
+  }
+};
+
+/// Runs the fleet simulation; deterministic in (config.seed, edge) at any
+/// thread count.  The scheduler decides per-box admission each slot; the
+/// context's metrics/event sinks observe the batch and solver layers.
+FleetDailyReport simulate_daily_life_fleet(const DailyLifeConfig& config,
+                                           const FleetEdgeConfig& edge,
+                                           const core::Scheduler& scheduler,
+                                           const core::RunContext& context);
 
 }  // namespace lpvs::emu

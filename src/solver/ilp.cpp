@@ -138,7 +138,10 @@ IlpSolution GreedySolver::solve(const BinaryProgram& problem) const {
     for (std::size_t i = 0; i < m; ++i) used[i] += problem.rows[i][j];
   }
   solution.objective = problem.value(solution.x);
-  solution.status = IlpStatus::kFeasible;
+  // Greedy only ever adds items that fit, so the one way the result can be
+  // infeasible is a negative rhs rejecting even the all-zeros point.
+  solution.status = problem.feasible(solution.x) ? IlpStatus::kFeasible
+                                                 : IlpStatus::kInfeasible;
   return solution;
 }
 
@@ -150,8 +153,11 @@ IlpSolution ExhaustiveSolver::solve(const BinaryProgram& problem) const {
     return solution;
   }
   solution.x.assign(n, 0);
-  solution.objective = 0.0;  // all-zeros is feasible whenever rhs >= 0
-  solution.status = IlpStatus::kOptimal;
+  // Do NOT pre-seed all-zeros as the incumbent: when some rhs[i] < 0 even
+  // the empty selection violates that row and the problem is infeasible.
+  solution.objective = 0.0;
+  solution.status = IlpStatus::kInfeasible;
+  bool found_feasible = false;
   std::vector<int> candidate(n, 0);
   const std::uint64_t limit = std::uint64_t{1} << n;
   for (std::uint64_t mask = 0; mask < limit; ++mask) {
@@ -161,19 +167,42 @@ IlpSolution ExhaustiveSolver::solve(const BinaryProgram& problem) const {
     ++solution.nodes_explored;
     if (!problem.feasible(candidate)) continue;
     const double value = problem.value(candidate);
-    if (value > solution.objective) {
+    if (!found_feasible || value > solution.objective) {
+      found_feasible = true;
       solution.objective = value;
       solution.x = candidate;
+      solution.status = IlpStatus::kOptimal;
     }
   }
   return solution;
 }
 
 IlpSolution BranchAndBoundSolver::solve(const BinaryProgram& problem) const {
+  return solve_impl(problem, nullptr);
+}
+
+IlpSolution BranchAndBoundSolver::solve(
+    const BinaryProgram& problem, const std::vector<int>& incumbent) const {
+  return solve_impl(problem, &incumbent);
+}
+
+IlpSolution BranchAndBoundSolver::solve_impl(
+    const BinaryProgram& problem, const std::vector<int>* incumbent) const {
   const std::size_t n = problem.num_vars();
   const std::size_t m = problem.rows.size();
   const double tol = options_.tolerance;
-  IlpSolution best = GreedySolver().solve(problem);  // warm start
+  IlpSolution best;
+  if (incumbent != nullptr && incumbent->size() == n &&
+      problem.feasible(*incumbent)) {
+    // Warm start: a caller-supplied incumbent (e.g. the previous slot's
+    // repaired assignment) replaces the greedy seed and tightens pruning
+    // from the first node on.
+    best.x = *incumbent;
+    best.objective = problem.value(*incumbent);
+    best.status = IlpStatus::kFeasible;
+  } else {
+    best = GreedySolver().solve(problem);  // cold warm start
+  }
   best.nodes_explored = 0;
 
   // LP-guided rounding: floor the relaxation, then greedily pack the
@@ -271,8 +300,14 @@ IlpSolution BranchAndBoundSolver::solve(const BinaryProgram& problem) const {
   }
 
   best.nodes_explored = nodes;
-  best.status =
-      exhausted_within_limit ? IlpStatus::kOptimal : IlpStatus::kFeasible;
+  if (!problem.feasible(best.x)) {
+    // Only reachable when some rhs[i] < 0: the greedy fallback returned
+    // the (infeasible) all-zeros point and every node pruned at the root.
+    best.status = IlpStatus::kInfeasible;
+  } else {
+    best.status =
+        exhausted_within_limit ? IlpStatus::kOptimal : IlpStatus::kFeasible;
+  }
   return best;
 }
 

@@ -37,8 +37,9 @@ struct BinaryProgram {
 enum class IlpStatus {
   kOptimal,
   kFeasible,      ///< node limit hit; best incumbent returned
-  kInfeasible,    ///< no 0/1 point satisfies the rows (never happens when
-                  ///< all-zeros is feasible, i.e. rhs >= 0)
+  kInfeasible,    ///< no 0/1 point satisfies the rows.  With non-negative
+                  ///< row coefficients this happens exactly when some
+                  ///< rhs[i] < 0, which makes even all-zeros infeasible.
   kMalformed,
 };
 
@@ -71,21 +72,36 @@ class BranchAndBoundSolver {
   BranchAndBoundSolver() : BranchAndBoundSolver(Options{}) {}
   explicit BranchAndBoundSolver(Options options) : options_(options) {}
 
+  /// Cold solve: the incumbent is seeded by GreedySolver.
   IlpSolution solve(const BinaryProgram& problem) const;
 
+  /// Warm-started solve: `incumbent` (typically the previous slot's
+  /// assignment repaired by solver::repair_assignment) replaces the greedy
+  /// warm start.  It must be sized num_vars() and feasible; otherwise the
+  /// solver silently falls back to the greedy seed.  The incumbent only
+  /// tightens pruning — the returned objective matches a cold solve under
+  /// the same options (the differential tests enforce this).
+  IlpSolution solve(const BinaryProgram& problem,
+                    const std::vector<int>& incumbent) const;
+
  private:
+  IlpSolution solve_impl(const BinaryProgram& problem,
+                         const std::vector<int>* incumbent) const;
+
   Options options_;
 };
 
 /// Density greedy: sorts by objective divided by the normalized sum of row
 /// costs, admits greedily.  The "cannot be optimal" baseline of SIII-C and
-/// the B&B warm start.
+/// the cold B&B warm start.  Reports kInfeasible when even its all-zeros
+/// fallback violates a row (some rhs[i] < 0).
 class GreedySolver {
  public:
   IlpSolution solve(const BinaryProgram& problem) const;
 };
 
 /// Brute force over all 2^n selections; ground truth for n <= ~22.
+/// Reports kInfeasible when no candidate passes (some rhs[i] < 0).
 class ExhaustiveSolver {
  public:
   explicit ExhaustiveSolver(std::size_t max_vars = 22) : max_vars_(max_vars) {}

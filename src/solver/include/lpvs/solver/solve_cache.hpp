@@ -1,0 +1,118 @@
+// Warm-started solve cache for consecutive-slot binary programs.
+//
+// The edge scheduler re-solves a Phase-1 ILP every slot for every virtual
+// cluster, and adjacent slots differ only by small deltas (battery drain,
+// gamma posterior updates, a handful of arrivals/departures).  This module
+// exploits that repetition two ways:
+//
+//   - Exact hit: each problem is fingerprinted (a 64-bit hash over its
+//     coefficient bit patterns).  When a stream re-submits a bit-identical
+//     problem the stored solution is returned verbatim, skipping the solve
+//     entirely — sound because BranchAndBoundSolver is deterministic.
+//   - Warm start: otherwise the stream's previous assignment is
+//     greedy-repaired against the new problem (drop what no longer fits or
+//     is no longer eligible, re-pack leftover capacity by density) and
+//     seeded into BranchAndBoundSolver as the incumbent, replacing the
+//     cold greedy seed.  A near-optimal incumbent prunes the search from
+//     node one; the returned objective is unchanged (differential-tested).
+//
+// Streams are identified by a caller-chosen 64-bit key (one per virtual
+// cluster / problem stream).  The cache is thread-safe; concurrent solves
+// for *distinct* keys are deterministic.  Two in-flight solves sharing a
+// key race on the stored entry — correctness survives (a stale or fresher
+// incumbent only changes pruning), determinism does not, so batch layers
+// must keep keys unique within a batch (core::BatchScheduler asserts it).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "lpvs/solver/ilp.hpp"
+
+namespace lpvs::solver {
+
+/// Order-sensitive 64-bit FNV-1a over the problem's shape and coefficient
+/// bit patterns.  Equal fingerprints are treated as equal problems (the
+/// 2^-64 collision risk is accepted; a collision can only replay a stored
+/// assignment for the wrong problem, and exact hits additionally match on
+/// variable count before reuse).
+std::uint64_t fingerprint(const BinaryProgram& problem);
+
+/// Greedy-repairs a stale 0/1 assignment against a (slightly different)
+/// problem: forces out ineligible and non-positive-value picks, evicts the
+/// lowest-density picks until every row fits, re-packs leftover capacity
+/// by density, then polishes with budgeted 1-for-1 swap improvement (the
+/// marginal band near the capacity boundary is where the slot deltas bite,
+/// and incumbent quality there is what makes warm starts prune).  Always
+/// returns a feasible selection when one exists (all-zeros), sized
+/// problem.num_vars().
+std::vector<int> repair_assignment(const BinaryProgram& problem,
+                                   const std::vector<int>& stale);
+
+/// Running totals of what lookups found; retrievable for tests/benches
+/// (the schedulers additionally export them per-solve to the obs registry).
+struct SolveCacheStats {
+  long lookups = 0;
+  long exact_hits = 0;    ///< fingerprint matched; solve skipped
+  long warm_starts = 0;   ///< predecessor repaired into an incumbent
+  long cold_starts = 0;   ///< no predecessor for the stream key
+};
+
+/// Per-stream memory of the last solved problem and its assignment.
+class SolveCache {
+ public:
+  /// What a lookup produced for the caller to act on.
+  struct Hint {
+    bool exact_hit = false;      ///< `solution` can be reused verbatim
+    IlpSolution solution;        ///< valid when exact_hit
+    std::vector<int> incumbent;  ///< repaired warm start; empty = cold
+  };
+
+  SolveCache() = default;
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  /// Looks up stream `key` for `problem` (whose fingerprint the caller
+  /// already computed, so stores can reuse it without re-hashing).
+  Hint lookup(std::uint64_t key, const BinaryProgram& problem,
+              std::uint64_t problem_fingerprint);
+
+  /// Records the solved assignment for stream `key`; ignored unless the
+  /// solution is usable as a future incumbent (right size, solved status).
+  void store(std::uint64_t key, std::uint64_t problem_fingerprint,
+             const IlpSolution& solution);
+
+  SolveCacheStats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    IlpSolution solution;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  SolveCacheStats stats_;
+};
+
+/// One warm-started solve through the cache, with the bookkeeping callers
+/// need for metrics.  With `cache == nullptr` this is exactly
+/// `solver.solve(problem)`.
+struct CachedSolve {
+  IlpSolution solution;
+  bool exact_hit = false;
+  bool warm_started = false;
+  /// Objective of the repaired incumbent (valid when warm_started); the
+  /// incumbent-quality gap is solution.objective - incumbent_objective.
+  double incumbent_objective = 0.0;
+};
+
+CachedSolve solve_with_cache(const BranchAndBoundSolver& solver,
+                             const BinaryProgram& problem, SolveCache* cache,
+                             std::uint64_t key);
+
+}  // namespace lpvs::solver

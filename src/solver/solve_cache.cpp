@@ -1,0 +1,260 @@
+#include "lpvs/solver/solve_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <numeric>
+
+namespace lpvs::solver {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+void mix(std::uint64_t& h, std::uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (word >> (8 * byte)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+}
+
+void mix(std::uint64_t& h, double value) {
+  // +0.0 and -0.0 compare equal but hash differently; canonicalize so two
+  // numerically identical problems cannot miss on a signed zero.
+  if (value == 0.0) value = 0.0;
+  mix(h, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Density of item j under `problem` — the same value/normalized-cost
+/// ordering GreedySolver uses, so repair and cold greedy agree on what a
+/// "good" item is.  Negative means "never pick".
+double item_density(const BinaryProgram& problem, std::size_t j) {
+  if (!problem.is_eligible(j) || problem.objective[j] <= 0.0) return -1.0;
+  double normalized_cost = 1e-12;
+  for (std::size_t i = 0; i < problem.rows.size(); ++i) {
+    if (problem.rhs[i] > 0.0) {
+      normalized_cost += problem.rows[i][j] / problem.rhs[i];
+    } else if (problem.rows[i][j] > 0.0) {
+      return -1.0;  // positive cost against a zero/negative capacity
+    }
+  }
+  return problem.objective[j] / normalized_cost;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const BinaryProgram& problem) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(problem.num_vars()));
+  mix(h, static_cast<std::uint64_t>(problem.rows.size()));
+  for (double c : problem.objective) mix(h, c);
+  for (const std::vector<double>& row : problem.rows) {
+    for (double a : row) mix(h, a);
+  }
+  for (double b : problem.rhs) mix(h, b);
+  mix(h, static_cast<std::uint64_t>(problem.eligible.size()));
+  for (std::uint8_t e : problem.eligible) {
+    mix(h, static_cast<std::uint64_t>(e != 0 ? 1 : 0));
+  }
+  return h;
+}
+
+std::vector<int> repair_assignment(const BinaryProgram& problem,
+                                   const std::vector<int>& stale) {
+  const std::size_t n = problem.num_vars();
+  const std::size_t m = problem.rows.size();
+  std::vector<int> x(n, 0);
+
+  std::vector<double> density(n);
+  for (std::size_t j = 0; j < n; ++j) density[j] = item_density(problem, j);
+
+  // Keep the stale picks that still make sense under the new problem.
+  std::vector<double> used(m, 0.0);
+  for (std::size_t j = 0; j < n && j < stale.size(); ++j) {
+    if (stale[j] == 0 || density[j] < 0.0) continue;
+    x[j] = 1;
+    for (std::size_t i = 0; i < m; ++i) used[i] += problem.rows[i][j];
+  }
+
+  // Evict the worst-density survivors until every row fits.  Coefficients
+  // are non-negative, so each eviction only ever reduces usage.
+  auto overloaded = [&] {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (used[i] > problem.rhs[i] + 1e-9) return true;
+    }
+    return false;
+  };
+  while (overloaded()) {
+    std::ptrdiff_t worst = -1;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!x[j]) continue;
+      if (worst < 0 || density[j] < density[static_cast<std::size_t>(worst)]) {
+        worst = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+    if (worst < 0) break;  // nothing selected yet a row overflows: rhs < 0
+    const auto w = static_cast<std::size_t>(worst);
+    x[w] = 0;
+    for (std::size_t i = 0; i < m; ++i) used[i] -= problem.rows[i][w];
+  }
+
+  // Re-pack leftover capacity with the best unselected items (the slot
+  // deltas that freed or added room).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return density[a] > density[b];
+  });
+  for (std::size_t j : order) {
+    if (x[j] || density[j] < 0.0) continue;
+    bool fits = true;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (used[i] + problem.rows[i][j] > problem.rhs[i] + 1e-9) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) continue;
+    x[j] = 1;
+    for (std::size_t i = 0; i < m; ++i) used[i] += problem.rows[i][j];
+  }
+
+  // Swap polish: first-improvement 1-for-1 swaps close most of the gap the
+  // slot deltas opened in the marginal band near the capacity boundary.
+  // Incumbent quality is what makes warm starts prune — an incumbent a few
+  // tenths of a percent off the optimum cuts the B&B tree by a third or
+  // more, while one a few percent off loses to the root LP rounding and
+  // saves nothing.  The work budget (feasibility probes, ~O(n) per pass)
+  // keeps repair linear-ish for fleet-sized problems.
+  long budget = 64 * static_cast<long>(n) + 256;
+  for (int pass = 0; pass < 4 && budget > 0; ++pass) {
+    bool improved = false;
+    for (std::size_t j : order) {
+      if (budget <= 0) break;
+      if (x[j] || density[j] < 0.0) continue;
+      // Scanning selected items by ascending objective means the first
+      // feasible swap found is also the largest-gain one.
+      std::ptrdiff_t take_out = -1;
+      double best_gain = 1e-9;
+      for (std::size_t k = 0; k < n && budget > 0; ++k) {
+        if (!x[k]) continue;
+        const double gain = problem.objective[j] - problem.objective[k];
+        if (gain <= best_gain) continue;
+        --budget;
+        bool ok = true;
+        for (std::size_t i = 0; i < m; ++i) {
+          if (used[i] - problem.rows[i][k] + problem.rows[i][j] >
+              problem.rhs[i] + 1e-9) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          best_gain = gain;
+          take_out = static_cast<std::ptrdiff_t>(k);
+        }
+      }
+      if (take_out >= 0) {
+        const auto k = static_cast<std::size_t>(take_out);
+        x[k] = 0;
+        x[j] = 1;
+        for (std::size_t i = 0; i < m; ++i) {
+          used[i] += problem.rows[i][j] - problem.rows[i][k];
+        }
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return x;
+}
+
+SolveCache::Hint SolveCache::lookup(std::uint64_t key,
+                                    const BinaryProgram& problem,
+                                    std::uint64_t problem_fingerprint) {
+  Hint hint;
+  IlpSolution previous;
+  bool have_previous = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.fingerprint == problem_fingerprint &&
+          it->second.solution.x.size() == problem.num_vars()) {
+        ++stats_.exact_hits;
+        hint.exact_hit = true;
+        hint.solution = it->second.solution;
+        return hint;
+      }
+      previous = it->second.solution;
+      have_previous = true;
+      ++stats_.warm_starts;
+    } else {
+      ++stats_.cold_starts;
+    }
+  }
+  // Repair outside the lock: it reads only the caller's problem and the
+  // copied predecessor.
+  if (have_previous) {
+    hint.incumbent = repair_assignment(problem, previous.x);
+  }
+  return hint;
+}
+
+void SolveCache::store(std::uint64_t key, std::uint64_t problem_fingerprint,
+                       const IlpSolution& solution) {
+  if (solution.status != IlpStatus::kOptimal &&
+      solution.status != IlpStatus::kFeasible) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[key];
+  entry.fingerprint = problem_fingerprint;
+  entry.solution = solution;
+}
+
+SolveCacheStats SolveCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t SolveCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SolveCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = SolveCacheStats{};
+}
+
+CachedSolve solve_with_cache(const BranchAndBoundSolver& solver,
+                             const BinaryProgram& problem, SolveCache* cache,
+                             std::uint64_t key) {
+  CachedSolve result;
+  if (cache == nullptr) {
+    result.solution = solver.solve(problem);
+    return result;
+  }
+  const std::uint64_t fp = fingerprint(problem);
+  SolveCache::Hint hint = cache->lookup(key, problem, fp);
+  if (hint.exact_hit) {
+    result.solution = std::move(hint.solution);
+    result.solution.nodes_explored = 0;  // no search happened this slot
+    result.exact_hit = true;
+    return result;
+  }
+  if (!hint.incumbent.empty()) {
+    result.warm_started = true;
+    result.incumbent_objective = problem.value(hint.incumbent);
+    result.solution = solver.solve(problem, hint.incumbent);
+  } else {
+    result.solution = solver.solve(problem);
+  }
+  cache->store(key, fp, result.solution);
+  return result;
+}
+
+}  // namespace lpvs::solver

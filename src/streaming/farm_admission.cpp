@@ -1,0 +1,47 @@
+#include "lpvs/streaming/farm_admission.hpp"
+
+#include <utility>
+
+namespace lpvs::streaming {
+
+std::vector<FarmSlotResult> admit_and_encode(
+    const std::vector<FarmSlotRequest>& requests,
+    const core::Scheduler& scheduler, const core::RunContext& context,
+    core::BatchScheduler& batch) {
+  std::vector<core::BatchItem> items;
+  items.reserve(requests.size());
+  for (const FarmSlotRequest& request : requests) {
+    core::BatchItem item;
+    item.stream_key = request.farm_id;
+    item.problem = request.problem;
+    items.push_back(std::move(item));
+  }
+
+  std::vector<core::Schedule> schedules =
+      batch.schedule_batch(items, scheduler, context);
+
+  std::vector<FarmSlotResult> results;
+  results.reserve(requests.size());
+  for (std::size_t f = 0; f < requests.size(); ++f) {
+    const FarmSlotRequest& request = requests[f];
+    FarmSlotResult result;
+    result.schedule = std::move(schedules[f]);
+
+    std::vector<double> admitted_costs;
+    for (std::size_t d = 0; d < request.problem.devices.size(); ++d) {
+      if (d < result.schedule.x.size() && result.schedule.x[d] != 0) {
+        result.admitted.push_back(static_cast<std::uint32_t>(d));
+        admitted_costs.push_back(request.problem.devices[d].compute_cost);
+      }
+    }
+
+    const std::vector<TransformJob> jobs = slot_jobs(
+        admitted_costs, request.chunks_per_slot, request.chunk_seconds,
+        request.worker_units, request.deadline_slack_chunks);
+    result.farm = EncoderFarm(request.workers).run(jobs, context.metrics);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace lpvs::streaming

@@ -1,0 +1,58 @@
+// Batch admission for edge encoder farms (reproduction extension).
+//
+// EncoderFarm answers "can this worker pool deliver these jobs on time?";
+// the scheduler answers "which users should be transformed at all?".  This
+// module connects the two at deployment scale: every farm's active viewers
+// form one SlotProblem, the whole fleet of farms is admitted in a single
+// core::BatchScheduler call (sharded across the pool, consecutive slots
+// warm-starting each farm's ILP under its farm id), and each farm's
+// admitted set is then run through its encoder queue to yield deadline and
+// utilization numbers for exactly the load the scheduler committed it to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lpvs/core/batch_scheduler.hpp"
+#include "lpvs/core/run_context.hpp"
+#include "lpvs/core/scheduler.hpp"
+#include "lpvs/streaming/encoder_farm.hpp"
+
+namespace lpvs::streaming {
+
+/// One farm's slot: the cluster competing for its transform capacity plus
+/// the shape of its encoding pipeline.
+struct FarmSlotRequest {
+  /// Stable farm identity — the BatchScheduler stream key, so resubmitting
+  /// the same farm next slot warm-starts its ILP.  Unique within a batch.
+  std::uint64_t farm_id = 0;
+  core::SlotProblem problem;
+  /// Encoder pool shape, forwarded to EncoderFarm / slot_jobs.
+  int workers = 8;
+  int chunks_per_slot = 30;
+  double chunk_seconds = 10.0;
+  /// Compute-cost units one worker retires per second of wall time.
+  double worker_units = 1.0;
+  double deadline_slack_chunks = 2.0;
+};
+
+/// What one farm got: the admission schedule, the admitted device indices
+/// (positions into request.problem.devices), and the encoder-queue report
+/// for that admitted load.
+struct FarmSlotResult {
+  core::Schedule schedule;
+  std::vector<std::uint32_t> admitted;
+  FarmReport farm;
+};
+
+/// Admits every farm's cluster in one sharded batch solve, then simulates
+/// each farm's encoder queue on its admitted set.  Results are in request
+/// order; determinism across thread counts is inherited from
+/// BatchScheduler.  With a registry in `context`, the farms' queue metrics
+/// land alongside the batch/solver metrics.
+std::vector<FarmSlotResult> admit_and_encode(
+    const std::vector<FarmSlotRequest>& requests,
+    const core::Scheduler& scheduler, const core::RunContext& context,
+    core::BatchScheduler& batch);
+
+}  // namespace lpvs::streaming

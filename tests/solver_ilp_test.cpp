@@ -222,6 +222,38 @@ TEST(BranchAndBound, ScalesToHundredsOfVariables) {
   EXPECT_GE(s.objective, GreedySolver().solve(p).objective - 1e-9);
 }
 
+TEST(Infeasibility, NegativeRhsIsInfeasibleFromEverySolver) {
+  // Regression: ExhaustiveSolver used to pre-seed the all-zeros incumbent
+  // without checking it against the rows, so a negative capacity (which no
+  // 0/1 point can satisfy — coefficients are non-negative) came back as an
+  // "optimal" all-zeros solution instead of kInfeasible.
+  BinaryProgram p;
+  p.objective = {4.0, 7.0};
+  p.rows = {{1.0, 2.0}, {0.5, 0.5}};
+  p.rhs = {3.0, -0.25};
+  EXPECT_EQ(ExhaustiveSolver().solve(p).status, IlpStatus::kInfeasible);
+  EXPECT_EQ(GreedySolver().solve(p).status, IlpStatus::kInfeasible);
+  EXPECT_EQ(BranchAndBoundSolver().solve(p).status, IlpStatus::kInfeasible);
+  // A warm-started solve must agree, whatever incumbent it is handed.
+  EXPECT_EQ(BranchAndBoundSolver().solve(p, {0, 0}).status,
+            IlpStatus::kInfeasible);
+}
+
+TEST(Infeasibility, ZeroRhsStillAdmitsZeroCostItems) {
+  // The boundary the fix must not overshoot: rhs == 0 keeps all-zeros
+  // feasible, and items with no cost on the exhausted row remain takeable.
+  BinaryProgram p;
+  p.objective = {4.0, 7.0};
+  p.rows = {{0.0, 2.0}};
+  p.rhs = {0.0};
+  const IlpSolution exhaustive = ExhaustiveSolver().solve(p);
+  ASSERT_EQ(exhaustive.status, IlpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(exhaustive.objective, 4.0);
+  const IlpSolution bnb = BranchAndBoundSolver().solve(p);
+  ASSERT_EQ(bnb.status, IlpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(bnb.objective, 4.0);
+}
+
 TEST(IlpStatusNames, ToString) {
   EXPECT_EQ(to_string(IlpStatus::kOptimal), "optimal");
   EXPECT_EQ(to_string(IlpStatus::kFeasible), "feasible");
