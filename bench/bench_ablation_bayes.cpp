@@ -13,6 +13,7 @@ int main() {
   using namespace lpvs;
 
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::RunContext context(anxiety);
   const core::LpvsScheduler scheduler;
 
   std::printf("=== Ablation: gamma knowledge (Bayesian vs fixed vs oracle) "
@@ -42,7 +43,7 @@ int main() {
       config.enable_giveup = false;
       config.seed = 31000 + seed;
       const emu::PairedMetrics paired =
-          emu::run_paired(config, scheduler, anxiety);
+          emu::run_paired(config, scheduler, context);
       saving.add(100.0 * paired.energy_saving_ratio());
       selected.add(static_cast<double>(paired.with_lpvs.total_selected) /
                    paired.with_lpvs.slots_run);

@@ -40,6 +40,7 @@ int main() {
   using namespace lpvs;
 
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::RunContext context(anxiety);
   const core::LpvsScheduler lpvs_scheduler;
   const core::JointOptimalScheduler joint(core::scheduler_ilp_defaults());
 
@@ -52,9 +53,9 @@ int main() {
   for (double lambda : {0.0, 2000.0, 10000.0, 50000.0}) {
     const core::SlotProblem problem = make_problem(rng, 250, lambda);
     const core::Schedule p1 =
-        lpvs_scheduler.schedule_phase1_only(problem, anxiety);
-    const core::Schedule p12 = lpvs_scheduler.schedule(problem, anxiety);
-    const core::Schedule opt = joint.schedule(problem, anxiety);
+        lpvs_scheduler.schedule_phase1_only(problem, context);
+    const core::Schedule p12 = lpvs_scheduler.schedule(problem, context);
+    const core::Schedule opt = joint.schedule(problem, context);
     const double base = p1.baseline_objective;
     auto gap = [&](const core::Schedule& s) {
       // Fraction of the achievable objective reduction left on the table.

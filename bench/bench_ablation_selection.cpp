@@ -12,6 +12,7 @@ int main() {
   using namespace lpvs;
 
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::RunContext context(anxiety);
 
   const core::LpvsScheduler lpvs_scheduler;
   const core::RandomScheduler random_scheduler(99);
@@ -43,7 +44,7 @@ int main() {
       config.initial_battery_std = 0.22;
       config.seed = 60000 + seed;
       const emu::PairedMetrics paired =
-          emu::run_paired(config, *entry.scheduler, anxiety);
+          emu::run_paired(config, *entry.scheduler, context);
       saving.add(100.0 * paired.energy_saving_ratio());
       reduction.add(100.0 * paired.anxiety_reduction_ratio());
     }

@@ -40,6 +40,7 @@ int main() {
   using namespace lpvs;
 
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::RunContext context(anxiety);
   const core::LpvsScheduler scheduler;
   common::Rng rng(5);
 
@@ -54,7 +55,7 @@ int main() {
   for (int devices : {60, 120, 200, 400}) {
     const core::SlotProblem problem =
         make_problem(rng, devices, kWorkers * kWorkerUnits);
-    const core::Schedule schedule = scheduler.schedule(problem, anxiety);
+    const core::Schedule schedule = scheduler.schedule(problem, context);
     std::vector<double> selected_costs;
     for (std::size_t n = 0; n < problem.devices.size(); ++n) {
       if (schedule.x[n]) {

@@ -41,6 +41,7 @@ int main() {
   using namespace lpvs;
 
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::RunContext context(anxiety);
   const core::LpvsScheduler scheduler;
   common::Rng rng(10);
 
@@ -55,7 +56,7 @@ int main() {
     for (int rep = 0; rep < kRepeats; ++rep) {
       const core::SlotProblem problem = make_problem(rng, devices);
       const auto t0 = std::chrono::steady_clock::now();
-      const core::Schedule schedule = scheduler.schedule(problem, anxiety);
+      const core::Schedule schedule = scheduler.schedule(problem, context);
       const auto t1 = std::chrono::steady_clock::now();
       total_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
       selected = schedule.selected_count();

@@ -45,6 +45,7 @@ int main() {
   // --- Part 2: how the prefetch window changes LPVS outcomes.
   std::printf("=== prefetch window sweep (emulated) ===\n\n");
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::RunContext context(anxiety);
   const core::LpvsScheduler scheduler;
   common::Table table({"window (chunks)", "energy saving %",
                        "anxiety reduction %", "served/slot"});
@@ -59,7 +60,7 @@ int main() {
     config.enable_giveup = false;
     config.seed = 4000 + static_cast<std::uint64_t>(window);
     const emu::PairedMetrics paired =
-        emu::run_paired(config, scheduler, anxiety);
+        emu::run_paired(config, scheduler, context);
     table.add_row(
         {std::to_string(window),
          common::Table::num(100.0 * paired.energy_saving_ratio(), 2),

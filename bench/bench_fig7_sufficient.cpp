@@ -15,6 +15,7 @@ int main() {
   using namespace lpvs;
 
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::RunContext context(anxiety);
   const core::LpvsScheduler scheduler;
 
   std::printf("=== Fig. 7: LPVS with sufficient edge resource ===\n\n");
@@ -37,7 +38,7 @@ int main() {
     config.enable_giveup = false;    // Fig. 7 tracks energy/anxiety only
     config.seed = 7000 + static_cast<std::uint64_t>(group);
     const emu::PairedMetrics paired =
-        emu::run_paired(config, scheduler, anxiety);
+        emu::run_paired(config, scheduler, context);
     const double saving = 100.0 * paired.energy_saving_ratio();
     const double reduction = 100.0 * paired.anxiety_reduction_ratio();
     energy.add(saving);

@@ -14,6 +14,7 @@ int main() {
   using namespace lpvs;
 
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::RunContext context(anxiety);
   const core::LpvsScheduler scheduler;
   const double lambdas[] = {0.0, 2000.0, 10000.0, 50000.0};
 
@@ -38,7 +39,7 @@ int main() {
       config.initial_battery_std = 0.22;
       config.seed = 8000 + static_cast<std::uint64_t>(group);
       const emu::PairedMetrics paired =
-          emu::run_paired(config, scheduler, anxiety);
+          emu::run_paired(config, scheduler, context);
       energy_row.push_back(
           common::Table::num(100.0 * paired.energy_saving_ratio(), 2));
       anxiety_row.push_back(

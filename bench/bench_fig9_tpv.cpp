@@ -17,6 +17,7 @@ int main() {
   using namespace lpvs;
 
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::RunContext context(anxiety);
   const core::LpvsScheduler scheduler;
 
   common::RunningStats tpv_with;
@@ -36,7 +37,7 @@ int main() {
     config.initial_battery_std = 0.18;
     config.seed = 9000 + static_cast<std::uint64_t>(group);
     const emu::PairedMetrics paired =
-        emu::run_paired(config, scheduler, anxiety);
+        emu::run_paired(config, scheduler, context);
     const double with =
         paired.with_lpvs.mean_tpv(0.40, /*require_served=*/true);
     const double without = paired.without_lpvs.mean_tpv(0.40, false);

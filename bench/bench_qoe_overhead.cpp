@@ -36,9 +36,10 @@ double measured_scheduler_seconds(int devices) {
   }
   const lpvs::survey::AnxietyModel anxiety =
       lpvs::survey::AnxietyModel::reference();
+  const lpvs::core::RunContext context(anxiety);
   const lpvs::core::LpvsScheduler scheduler;
   const auto t0 = std::chrono::steady_clock::now();
-  (void)scheduler.schedule(problem, anxiety);
+  (void)scheduler.schedule(problem, context);
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
 }

@@ -12,6 +12,7 @@ int main() {
 
   const trace::Trace twitch = trace::TwitchLikeGenerator().generate(77);
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::RunContext context(anxiety);
   const core::LpvsScheduler scheduler;
 
   emu::ReplayConfig config;
@@ -23,7 +24,7 @@ int main() {
   config.seed = 99;
 
   const emu::ReplayReport report =
-      emu::replay_city(twitch, scheduler, anxiety, config);
+      emu::replay_city(twitch, scheduler, context, config);
 
   std::printf("=== city-scale LPVS replay ===\n\n");
   std::printf("clusters: %zu, devices: %ld, slot horizon: <= %d\n\n",

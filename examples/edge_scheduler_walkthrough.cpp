@@ -22,6 +22,7 @@ int main() {
   using namespace lpvs;
 
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::RunContext context(anxiety);
   const auto& catalog = display::DeviceCatalog::standard();
   const media::PowerRateEstimator estimator;
   const transform::TransformEngine engine;
@@ -78,8 +79,8 @@ int main() {
   // --- Step 2: Phase-1 vs full two-phase. -----------------------------
   const core::LpvsScheduler scheduler;
   const core::Schedule phase1 =
-      scheduler.schedule_phase1_only(slot, anxiety);
-  const core::Schedule full = scheduler.schedule(slot, anxiety);
+      scheduler.schedule_phase1_only(slot, context);
+  const core::Schedule full = scheduler.schedule(slot, context);
   std::printf("=== step 2: two-phase heuristic ===\n");
   std::printf("  phase-1 (energy ILP):    objective %.0f, %d selected, "
               "%ld B&B nodes\n",
@@ -116,7 +117,7 @@ int main() {
        std::initializer_list<const core::Scheduler*>{
            &scheduler, &greedy_energy, &greedy_anxiety, &random_policy,
            &joint}) {
-    const core::Schedule schedule = s->schedule(slot, anxiety);
+    const core::Schedule schedule = s->schedule(slot, context);
     compare.add_row(
         {s->name(), common::Table::num(schedule.objective, 0),
          common::Table::num(100.0 * schedule.energy_saving_ratio(), 2),

@@ -35,6 +35,7 @@ int main() {
 
   // --- Run LPVS vs no-LPVS per cluster. ---------------------------------
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::RunContext context(anxiety);
   const core::LpvsScheduler scheduler;
   common::Table table({"VC (channel)", "viewers", "slots", "energy saved %",
                        "anxiety red. %", "low-batt TPV w/o",
@@ -55,7 +56,7 @@ int main() {
     config.initial_battery_std = 0.2;
     config.seed = 5000 + session->id.value;
     const emu::PairedMetrics paired =
-        emu::run_paired(config, scheduler, anxiety);
+        emu::run_paired(config, scheduler, context);
     const double tpv_without = paired.without_lpvs.mean_tpv(0.4, false);
     const double tpv_with = paired.with_lpvs.mean_tpv(0.4, true);
     const double gain = tpv_without > 0.0

@@ -122,6 +122,7 @@ int main(int argc, char** argv) {
   }
 
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
+  const core::RunContext context(anxiety);
   common::Table table({"group", "energy saved %", "anxiety red. %",
                        "served/slot", "low-batt TPV w/o", "low-batt TPV w/",
                        "sched ms"});
@@ -147,7 +148,7 @@ int main(int argc, char** argv) {
     if (!flags.ok()) break;
 
     const emu::PairedMetrics paired =
-        emu::run_paired(config, *scheduler, anxiety);
+        emu::run_paired(config, *scheduler, context);
     const double served =
         paired.with_lpvs.slots_run > 0
             ? static_cast<double>(paired.with_lpvs.total_selected) /

@@ -42,7 +42,8 @@ int main() {
 
   // (3) Schedule: Phase-1 energy ILP + Phase-2 anxiety swaps.
   const core::LpvsScheduler scheduler;
-  const core::Schedule schedule = scheduler.schedule(slot, anxiety);
+  const core::Schedule schedule =
+      scheduler.schedule(slot, core::RunContext(anxiety));
 
   // (4) Outcome.
   std::printf("%-6s  %-9s  %-7s  %-8s\n", "device", "battery%", "gamma",

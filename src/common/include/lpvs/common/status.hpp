@@ -1,0 +1,141 @@
+// Canonical error model for the serving stack (API redesign).
+//
+// The solver and streaming layers historically reported failure three
+// incompatible ways: bool-plus-out-param, nullable pointers, and ad-hoc
+// per-module enums (IlpStatus, LpStatus).  None of those lets the retry and
+// degradation machinery distinguish the cases it must treat differently —
+// a transport drop is retryable, a deadline overrun triggers the
+// degradation ladder, an infeasible program does neither.  Status carries a
+// small canonical code (plus an optional human message); StatusOr<T> is
+// the value-or-Status sum type the converted entry points return.
+//
+// Conventions: Status() / Status::Ok() is success and carries no message.
+// StatusOr<T> constructed from a non-ok Status holds that error;
+// constructing one from an ok Status is a programming error (asserted).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace lpvs::common {
+
+/// Canonical error space, deliberately small: each code is one *distinct
+/// reaction* callers can have (retry, degrade, give up, fix the caller).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    ///< malformed input; retrying cannot help
+  kNotFound,           ///< named thing does not exist (video id, stream key)
+  kResourceExhausted,  ///< capacity exceeded (cache too small, budget spent)
+  kUnavailable,        ///< transport failure; retryable with backoff
+  kDeadlineExceeded,   ///< timeout / slot budget overrun; degrade instead
+  kInfeasible,         ///< no solution satisfies the constraints
+  kDataLoss,           ///< payload corrupted in flight
+  kInternal,           ///< invariant violation inside the callee
+};
+
+const char* to_string(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  ///< success
+  explicit Status(StatusCode code, std::string message = "")
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m = "") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m = "") {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Infeasible(std::string m = "") {
+    return Status(StatusCode::kInfeasible, std::move(m));
+  }
+  static Status DataLoss(std::string m = "") {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status Internal(std::string m = "") {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True when a retry-with-backoff loop may reasonably try again.
+  bool retryable() const { return code_ == StatusCode::kUnavailable; }
+
+  /// "OK" or "UNAVAILABLE: uplink dropped".
+  std::string to_string() const;
+
+  /// Codes compare; messages are debugging payload, not identity.
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-error: exactly one of the two is active.  Small enough to pass
+/// by value; the error arm reuses Status's message storage.
+template <typename T>
+class StatusOr {
+ public:
+  /// Error state.  `status` must be non-ok (an ok Status carries no value).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(implicit)
+    assert(!status_.ok() && "StatusOr from an ok Status needs a value");
+    if (status_.ok()) status_ = Status::Internal("ok Status without a value");
+  }
+  StatusOr(T value)  // NOLINT(implicit)
+      : status_(Status::Ok()), value_(std::move(value)), has_value_(true) {}
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(has_value_);
+    return value_;
+  }
+  T& value() & {
+    assert(has_value_);
+    return value_;
+  }
+  T&& value() && {
+    assert(has_value_);
+    return std::move(value_);
+  }
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return has_value_ ? value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const {
+    assert(has_value_);
+    return &value_;
+  }
+  T* operator->() {
+    assert(has_value_);
+    return &value_;
+  }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_ = false;
+};
+
+}  // namespace lpvs::common

@@ -23,6 +23,20 @@
 
 namespace lpvs::core {
 
+/// How much of the two-phase heuristic a slot actually got before its
+/// deadline/fault budget ran out.  LpvsScheduler walks these rungs top to
+/// bottom; every rung below kFullSolve still yields a feasible schedule,
+/// trading optimality for bounded latency (graceful degradation).
+enum class DegradationRung : int {
+  kFullSolve = 0,       ///< exact Phase-1 B&B (+ Phase-2)
+  kWarmRepair = 1,      ///< greedy repair of the previous assignment
+  kReplayPrevious = 2,  ///< previous slot's assignment replayed verbatim
+  kPassthrough = 3,     ///< x = 0 everywhere (no-transform)
+};
+
+/// Stable lowercase label ("full_solve", "warm_repair", ...).
+const char* degradation_rung_name(DegradationRung rung);
+
 /// A slot schedule plus everything the evaluation section reports about it.
 struct Schedule {
   std::vector<int> x;  ///< x_n per device
@@ -38,6 +52,9 @@ struct Schedule {
   long ilp_nodes = 0;
   int phase2_swaps = 0;
   int phase2_additions = 0;
+  /// Which ladder rung produced this schedule (kFullSolve unless the run
+  /// context carried a deadline or an active fault injector).
+  DegradationRung rung = DegradationRung::kFullSolve;
 
   int selected_count() const;
   double energy_saving_ratio() const;   ///< (baseline - actual) / baseline
@@ -55,8 +72,11 @@ class Scheduler {
   virtual std::string name() const = 0;
   virtual Schedule schedule(const SlotProblem& problem,
                             const RunContext& context) const = 0;
-  Schedule schedule(const SlotProblem& problem,
-                    const survey::AnxietyModel& anxiety) const {
+  [[deprecated(
+      "construct a core::RunContext (RunContext(anxiety) or the fluent "
+      "with_* builder) and call schedule(problem, context)")]] Schedule
+  schedule(const SlotProblem& problem,
+           const survey::AnxietyModel& anxiety) const {
     return schedule(problem, RunContext(anxiety));
   }
 };
@@ -88,6 +108,15 @@ class LpvsScheduler : public Scheduler {
     /// Also greedily add eligible unselected users into leftover capacity
     /// when their objective benefit is positive (strictly improves (13)).
     bool augment_after_swaps = true;
+    /// Deadline-to-node-budget conversion for SlotDeadline::budget_ms.
+    /// Deterministic by construction: the budget truncates the B&B node
+    /// limit instead of racing a wall clock, so two runs with the same
+    /// deadline always produce bit-identical schedules.
+    double nodes_per_ms = 100.0;
+    /// Below this derived node budget a truncated B&B is pointless (the
+    /// root LP alone dominates the cost); the ladder skips straight to
+    /// kWarmRepair.
+    long min_full_solve_nodes = 16;
   };
 
   LpvsScheduler() : LpvsScheduler(Options{}) {}
@@ -101,8 +130,11 @@ class LpvsScheduler : public Scheduler {
   /// Phase-1 only (exposed for the ablation bench).
   Schedule schedule_phase1_only(const SlotProblem& problem,
                                 const RunContext& context) const;
-  Schedule schedule_phase1_only(const SlotProblem& problem,
-                                const survey::AnxietyModel& anxiety) const {
+  [[deprecated(
+      "construct a core::RunContext and call "
+      "schedule_phase1_only(problem, context)")]] Schedule
+  schedule_phase1_only(const SlotProblem& problem,
+                       const survey::AnxietyModel& anxiety) const {
     return schedule_phase1_only(problem, RunContext(anxiety));
   }
 

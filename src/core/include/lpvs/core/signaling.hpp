@@ -9,8 +9,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
+#include "lpvs/common/status.hpp"
 #include "lpvs/common/units.hpp"
+#include "lpvs/fault/fault_injector.hpp"
+#include "lpvs/fault/retry.hpp"
 
 namespace lpvs::core {
 
@@ -58,6 +62,54 @@ class SignalingCostModel {
 
  private:
   Coefficients coefficients_;
+};
+
+/// What one scheduling point's report exchange actually cost once the link
+/// was allowed to be lossy.
+struct SignalingOutcome {
+  int uplink_attempts = 1;
+  int downlink_attempts = 1;
+  double backoff_ms = 0.0;  ///< accounted (not slept) retry backoff
+  double delay_ms = 0.0;    ///< injected transit delay, both directions
+  /// Device-side energy including every retransmission (the clean-link
+  /// exchange costs exactly SignalingCostModel::report_energy).
+  common::MilliwattHours energy{0.0};
+
+  int retries() const { return uplink_attempts + downlink_attempts - 2; }
+};
+
+/// The report exchange over a lossy link (tentpole): uplink report and
+/// downlink decision, each delivered with retry-with-exponential-backoff
+/// under injected kSignalingUplink / kSignalingDownlink faults.
+///
+/// Deterministic: every fault decision is keyed on (device, slot, attempt),
+/// so a replayed run retries the same messages the same number of times.
+/// With a null/disabled injector the exchange always succeeds on the first
+/// attempt at exactly the clean-link energy.
+class SignalingLink {
+ public:
+  SignalingLink() = default;
+  SignalingLink(ReportSchema schema, SignalingCostModel cost_model,
+                fault::BackoffPolicy backoff = {})
+      : schema_(schema), cost_model_(cost_model), backoff_(backoff) {}
+
+  /// Attempts the full exchange for (device, slot).  Returns the outcome
+  /// when both directions eventually deliver; kUnavailable when either
+  /// still fails after the retry budget (the edge then schedules without
+  /// this device's report); kDeadlineExceeded when `timeout_ms` > 0 and
+  /// the accumulated backoff would overrun it.
+  common::StatusOr<SignalingOutcome> exchange(
+      const fault::FaultInjector* injector, std::uint64_t device,
+      std::uint64_t slot, std::size_t chunk_count,
+      double timeout_ms = 0.0) const;
+
+  const ReportSchema& schema() const { return schema_; }
+  const fault::BackoffPolicy& backoff() const { return backoff_; }
+
+ private:
+  ReportSchema schema_{};
+  SignalingCostModel cost_model_{};
+  fault::BackoffPolicy backoff_{};
 };
 
 }  // namespace lpvs::core

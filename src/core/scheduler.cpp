@@ -94,7 +94,33 @@ void record_solve_metrics(obs::MetricsRegistry* metrics,
       .observe(static_cast<double>(cached.solution.nodes_explored));
 }
 
+/// Key stride for per-rung fault decisions: each slot draws at most one
+/// decision per rung, keyed (solve_key, slot * stride + rung), so replays
+/// walk the identical rungs and adjacent slots draw independent faults.
+constexpr std::uint64_t kRungStride = 8;
+constexpr int kPassthroughRung =
+    static_cast<int>(DegradationRung::kPassthrough);
+
+/// Salt mixed into cache fingerprints of degraded (rung > 0) results so a
+/// repaired or replayed assignment can warm-start later solves but never
+/// masquerade as an exact full-quality hit.
+constexpr std::uint64_t kDegradedFingerprintSalt = 0xD46A1D5C90F0C0DDULL;
+
 }  // namespace
+
+const char* degradation_rung_name(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::kFullSolve:
+      return "full_solve";
+    case DegradationRung::kWarmRepair:
+      return "warm_repair";
+    case DegradationRung::kReplayPrevious:
+      return "replay_previous";
+    case DegradationRung::kPassthrough:
+      return "passthrough";
+  }
+  return "unknown";
+}
 
 solver::BinaryProgram phase1_program(const SlotProblem& problem) {
   const std::size_t n = problem.devices.size();
@@ -195,23 +221,100 @@ Schedule LpvsScheduler::run(const SlotProblem& problem,
   }
   obs::ScopedTimer solve_timer(solve_ms_hist);
 
+  // --- Degradation ladder: pick the rung this slot can afford. ---
+  // A wall-clock deadline is converted into a node budget (deterministic —
+  // no clock race), an active injector may knock the slot further down via
+  // kSolverBudget drops, and force_rung pins the rung outright (ops kill
+  // switch / test handle).
+  int rung = 0;
+  solver::BranchAndBoundSolver::Options ilp_options = options_.ilp;
+  if (context.deadline.budget_ms > 0.0) {
+    const long node_budget = std::max<long>(
+        1, std::lround(context.deadline.budget_ms * options_.nodes_per_ms));
+    if (node_budget < options_.min_full_solve_nodes) {
+      rung = 1;
+    } else if (node_budget < ilp_options.max_nodes) {
+      ilp_options.max_nodes = node_budget;
+    }
+  }
+  if (context.faults_active()) {
+    const auto slot_key = static_cast<std::uint64_t>(context.slot + 1);
+    while (rung < kPassthroughRung &&
+           context.faults->should_drop(
+               fault::FaultSite::kSolverBudget, context.solve_key,
+               slot_key * kRungStride + static_cast<std::uint64_t>(rung))) {
+      ++rung;
+    }
+  }
+  const bool forced = context.deadline.force_rung >= 0;
+  if (forced) {
+    rung = std::min(context.deadline.force_rung, kPassthroughRung);
+  }
+
   // --- Phase-1: exact ILP on the energy-only objective (14). ---
   // With a cache in the context, consecutive-slot solves for the same
   // stream key reuse the previous assignment as the B&B incumbent (or the
-  // whole solution, when the problem is bit-identical).
+  // whole solution, when the problem is bit-identical).  Degraded rungs
+  // skip the B&B: kWarmRepair greedy-repairs the previous assignment
+  // against the new program (a cold repair degenerates to the density
+  // greedy), kReplayPrevious replays it verbatim when it still fits, and
+  // kPassthrough serves everyone untransformed.
   const solver::BinaryProgram program = phase1_program(problem);
-  const solver::CachedSolve cached =
-      solver::solve_with_cache(solver::BranchAndBoundSolver(options_.ilp),
-                               program, context.solve_cache,
-                               context.solve_key);
-  const solver::IlpSolution& ilp = cached.solution;
-  record_solve_metrics(context.metrics, cached);
-  std::vector<int> x = ilp.x;
+  const std::uint64_t budget_fp = solver::budget_fingerprint(ilp_options);
+  std::vector<int> x;
+  long nodes = 0;
+  if (rung == 0) {
+    const solver::CachedSolve cached = solver::solve_with_cache(
+        solver::BranchAndBoundSolver(ilp_options), program,
+        context.solve_cache, context.solve_key, budget_fp);
+    record_solve_metrics(context.metrics, cached);
+    x = cached.solution.x;
+    nodes = cached.solution.nodes_explored;
+  } else {
+    std::vector<int> previous;
+    if (context.solve_cache != nullptr) {
+      previous = context.solve_cache->previous_assignment(context.solve_key);
+    }
+    if (rung == 1) {
+      x = solver::repair_assignment(program, previous);
+    } else if (rung == 2) {
+      if (previous.size() == n) {
+        x = previous;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (!program.is_eligible(j)) x[j] = 0;  // departed eligibility
+        }
+        if (!program.feasible(x)) rung = kPassthroughRung;
+      } else {
+        rung = kPassthroughRung;  // nothing to replay (cold / resized VC)
+      }
+    }
+    if (rung == kPassthroughRung) x.clear();
+    x.resize(n, 0);
+    // Degraded results still feed the warm-start chain, under a salted
+    // fingerprint so they can never exact-hit a full-quality lookup.
+    // Passthrough is withheld: an all-zeros incumbent would poison repair.
+    if (context.solve_cache != nullptr && rung < kPassthroughRung) {
+      solver::IlpSolution degraded;
+      degraded.status = solver::IlpStatus::kFeasible;
+      degraded.x = x;
+      degraded.objective = program.value(x);
+      context.solve_cache->store(
+          context.solve_key,
+          solver::combine_fingerprints(
+              solver::combine_fingerprints(solver::fingerprint(program),
+                                           budget_fp),
+              kDegradedFingerprintSalt + static_cast<std::uint64_t>(rung)),
+          degraded);
+    }
+  }
   x.resize(n, 0);
 
-  long nodes = ilp.nodes_explored;
   int swaps = 0;
   int additions = 0;
+
+  // Verbatim replay and passthrough stay verbatim: Phase-2 only polishes
+  // the rungs that already paid for a fresh Phase-1 answer.
+  run_phase2 = run_phase2 && rung <= 1;
 
   if (run_phase2 && n > 0) {
     // --- Phase-2: anxiety-aware swapping on the full objective (13). ---
@@ -304,6 +407,22 @@ Schedule LpvsScheduler::run(const SlotProblem& problem,
   schedule.ilp_nodes = nodes;
   schedule.phase2_swaps = swaps;
   schedule.phase2_additions = additions;
+  schedule.rung = static_cast<DegradationRung>(rung);
+
+  if (context.metrics != nullptr) {
+    context.metrics
+        ->counter(std::string("lpvs_scheduler_rung_") +
+                      degradation_rung_name(schedule.rung) + "_total",
+                  "Slot solves that landed on this degradation rung")
+        .add(1);
+  }
+  if (rung > 0 && context.events != nullptr) {
+    context.events->record(
+        {obs::EventKind::kDegradation, static_cast<int>(context.slot),
+         /*device=*/-1,
+         {{"rung", static_cast<double>(rung)},
+          {"forced", forced ? 1.0 : 0.0}}});
+  }
 
   if (context.metrics != nullptr) {
     context.metrics
@@ -416,10 +535,9 @@ Schedule JointOptimalScheduler::schedule(const SlotProblem& problem,
     program.rows[0][j] = device.compute_cost;
     program.rows[1][j] = device.storage_cost;
   }
-  const solver::CachedSolve cached =
-      solver::solve_with_cache(solver::BranchAndBoundSolver(options_),
-                               program, context.solve_cache,
-                               context.solve_key);
+  const solver::CachedSolve cached = solver::solve_with_cache(
+      solver::BranchAndBoundSolver(options_), program, context.solve_cache,
+      context.solve_key, solver::budget_fingerprint(options_));
   record_solve_metrics(context.metrics, cached);
   std::vector<int> x = cached.solution.x;
   x.resize(n, 0);

@@ -23,4 +23,77 @@ common::Milliwatts SignalingCostModel::report_power(
   return common::average_power(energy, slot_length);
 }
 
+namespace {
+
+/// Keys one delivery attempt: attempts of the same (device, slot) message
+/// draw distinct fault decisions, replays of the same run draw identical
+/// ones.  The stride bounds the retry budget a site may configure.
+constexpr std::uint64_t kAttemptStride = 64;
+
+double nj_to_mwh(double nj) { return nj / 3.6e9; }
+
+}  // namespace
+
+common::StatusOr<SignalingOutcome> SignalingLink::exchange(
+    const fault::FaultInjector* injector, std::uint64_t device,
+    std::uint64_t slot, std::size_t chunk_count, double timeout_ms) const {
+  const auto& coeff = cost_model_.coefficients();
+  const double uplink_mwh =
+      nj_to_mwh(coeff.uplink_nj_per_byte *
+                static_cast<double>(schema_.uplink_bytes(chunk_count))) +
+      coeff.promotion_mj / 3.6e6;
+  const double downlink_mwh = nj_to_mwh(
+      coeff.downlink_nj_per_byte * static_cast<double>(schema_.decision_bytes));
+
+  SignalingOutcome outcome;
+  const bool lossy = injector != nullptr && injector->enabled();
+
+  // One delivery direction: charge the radio for every attempt, retry on
+  // injected drops, accumulate injected transit delay on the attempt that
+  // finally lands.  Corruption of the fixed-format report is detected by
+  // the auth tag and treated as a drop (the edge cannot act on it).
+  auto deliver = [&](fault::FaultSite site, double attempt_mwh,
+                     int& attempts_out) -> common::Status {
+    // Both directions share one timeout budget: the downlink only gets
+    // whatever backoff room the uplink retries left.
+    double remaining_ms = 0.0;
+    if (timeout_ms > 0.0) {
+      remaining_ms = timeout_ms - outcome.backoff_ms;
+      if (remaining_ms <= 0.0) {
+        return common::Status::DeadlineExceeded(
+            "signaling timeout spent before delivery");
+      }
+    }
+    const fault::RetryResult result = fault::retry_with_backoff(
+        backoff_,
+        [&](int attempt) -> common::Status {
+          outcome.energy.value += attempt_mwh;
+          if (!lossy) return common::Status::Ok();
+          const fault::FaultDecision decision = injector->decide(
+              site, device, slot * kAttemptStride + static_cast<std::uint64_t>(attempt));
+          if (decision.dropped() || decision.corrupted()) {
+            return common::Status::Unavailable(fault_site_name(site));
+          }
+          outcome.delay_ms += decision.delay_ms;
+          return common::Status::Ok();
+        },
+        remaining_ms);
+    attempts_out = result.attempts;
+    outcome.backoff_ms += result.backoff_ms;
+    return result.status;
+  };
+
+  if (common::Status up = deliver(fault::FaultSite::kSignalingUplink,
+                                  uplink_mwh, outcome.uplink_attempts);
+      !up.ok()) {
+    return up;
+  }
+  if (common::Status down = deliver(fault::FaultSite::kSignalingDownlink,
+                                    downlink_mwh, outcome.downlink_attempts);
+      !down.ok()) {
+    return down;
+  }
+  return outcome;
+}
+
 }  // namespace lpvs::core

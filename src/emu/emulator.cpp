@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "lpvs/core/signaling.hpp"
 #include "lpvs/solver/solve_cache.hpp"
 
 namespace lpvs::emu {
@@ -165,6 +166,33 @@ RunMetrics Emulator::run() {
         "Fraction of a slot's chunks available at the edge per device");
   }
 
+  // Fault layer (tentpole): with an active injector in the context, each
+  // device's per-slot report exchange crosses a lossy signaling link (with
+  // retry + accounted backoff), CDN-to-edge chunk deliveries can drop, and
+  // the end-of-slot Bayes report can be lost or corrupted in transit.
+  // Every decision is keyed on (device, slot), so a replay under the same
+  // injector config is bit-identical; with a null or disabled injector
+  // every fault branch below is skipped — including the signaling energy
+  // drain, which is only modeled when the link is allowed to be lossy —
+  // so RunMetrics match the fault-free pipeline bit for bit.
+  const fault::FaultInjector* faults = context_.faults;
+  const bool faults_active = context_.faults_active();
+  const core::SignalingLink signaling{};
+  obs::Counter* obs_signaling_retries = nullptr;
+  obs::Counter* obs_signaling_failures = nullptr;
+  obs::Counter* obs_bayes_lost = nullptr;
+  if (registry != nullptr && faults_active) {
+    obs_signaling_retries = &registry->counter(
+        "lpvs_signaling_retries_total",
+        "Report-exchange delivery retries under injected faults");
+    obs_signaling_failures = &registry->counter(
+        "lpvs_signaling_failures_total",
+        "Report exchanges that failed after the whole retry budget");
+    obs_bayes_lost = &registry->counter(
+        "lpvs_emu_bayes_reports_lost_total",
+        "Gamma observations lost to injected report faults");
+  }
+
   // Warm-start plumbing: this cluster's slot solves form one problem
   // stream, so consecutive slots seed each other's ILP incumbents.  The
   // cache lives for the run; a caller-provided cache (e.g. a batch layer's)
@@ -188,6 +216,11 @@ RunMetrics Emulator::run() {
     // --- (1) Information gathering ---------------------------------
     std::vector<std::size_t> active;
     std::vector<media::Video> videos;
+    // Maps each active device to its row in problem.devices, or -1 when
+    // its report exchange failed: the edge cannot schedule a device it
+    // never heard from, so that device plays the slot untransformed while
+    // staying in the playback loop.  Without faults this is the identity.
+    std::vector<std::ptrdiff_t> problem_index;
     core::SlotProblem problem;
     problem.compute_capacity = config_.compute_capacity;
     problem.storage_capacity = config_.storage_capacity_mb;
@@ -205,7 +238,8 @@ RunMetrics Emulator::run() {
                                          static_cast<std::uint64_t>(slot));
       const int window = static_cast<int>(slot_rng.uniform_int(
           config_.prefetch_window_min, config_.prefetch_window_max));
-      streaming::Prefetcher(window).prefetch(cdn, cache, video.id, 0);
+      streaming::Prefetcher(window).prefetch(cdn, cache, video.id, 0, faults,
+                                             /*fault_key=*/device.id.value);
       const streaming::ChunkRequest request = streaming::available_request(
           cdn, cache, video.id, 0,
           static_cast<std::size_t>(config_.chunks_per_slot));
@@ -214,6 +248,65 @@ RunMetrics Emulator::run() {
         obs_availability->observe(
             static_cast<double>(request.chunk_count()) /
             static_cast<double>(config_.chunks_per_slot));
+      }
+
+      // Report exchange over the (lossy) signaling link.  The radio energy
+      // of every attempt — retries included — comes out of the battery
+      // before the report is priced, so the edge sees the post-exchange
+      // energy status.
+      bool report_delivered = true;
+      if (faults_active) {
+        const common::StatusOr<core::SignalingOutcome> exchange =
+            signaling.exchange(faults, device.id.value,
+                               static_cast<std::uint64_t>(slot),
+                               request.chunk_count());
+        double signaling_mwh = 0.0;
+        if (exchange.ok()) {
+          const core::SignalingOutcome& outcome = exchange.value();
+          signaling_mwh = outcome.energy.value;
+          if (outcome.retries() > 0) {
+            if (obs_signaling_retries != nullptr) {
+              obs_signaling_retries->add(outcome.retries());
+            }
+            if (events != nullptr) {
+              events->record({obs::EventKind::kRetry, slot,
+                              static_cast<int>(device.id.value),
+                              {{"attempts", static_cast<double>(
+                                                outcome.uplink_attempts +
+                                                outcome.downlink_attempts)},
+                               {"backoff_ms", outcome.backoff_ms}}});
+            }
+          }
+        } else {
+          report_delivered = false;
+          // The whole retry budget was burned before giving up; charge the
+          // clean per-attempt cost for each attempt.
+          signaling_mwh =
+              core::SignalingCostModel{}
+                  .report_energy(signaling.schema(), request.chunk_count())
+                  .value *
+              signaling.backoff().max_attempts;
+          if (obs_signaling_failures != nullptr) {
+            obs_signaling_failures->add(1);
+          }
+          if (events != nullptr) {
+            events->record(
+                {obs::EventKind::kFaultInjected, slot,
+                 static_cast<int>(device.id.value),
+                 {{"site", static_cast<double>(static_cast<int>(
+                               fault::FaultSite::kSignalingUplink))}}});
+          }
+        }
+        metrics.total_energy_mwh +=
+            device.battery
+                .drain_energy(common::MilliwattHours{signaling_mwh})
+                .value;
+      }
+      if (!report_delivered) {
+        problem_index.push_back(-1);
+        active.push_back(n);
+        videos.push_back(std::move(video));
+        continue;
       }
 
       core::DeviceSlotInput input;
@@ -265,6 +358,8 @@ RunMetrics Emulator::run() {
       input.compute_cost = resources.compute_cost(device.spec, video);
       input.storage_cost = resources.storage_cost(video);
 
+      problem_index.push_back(
+          static_cast<std::ptrdiff_t>(problem.devices.size()));
       problem.devices.push_back(std::move(input));
       active.push_back(n);
       videos.push_back(std::move(video));
@@ -275,7 +370,7 @@ RunMetrics Emulator::run() {
     // --- (2) Request scheduling ------------------------------------
     const auto t0 = std::chrono::steady_clock::now();
     const core::Schedule schedule =
-        scheduler_.schedule(problem, scheduling_context);
+        scheduler_.schedule(problem, scheduling_context.with_slot(slot));
     const auto t1 = std::chrono::steady_clock::now();
     scheduler_ms_total +=
         std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -303,12 +398,16 @@ RunMetrics Emulator::run() {
       DeviceState& device = devices_[active[i]];
       media::Video video = videos[i];
       // One-slot-ahead: execute last slot's decision; record this slot's
-      // for the next.  Otherwise execute immediately.
-      bool selected = schedule.x[i] != 0;
+      // for the next.  Otherwise execute immediately.  A device whose
+      // report never reached the edge (problem_index -1) was not in the
+      // problem and plays untransformed.
+      const std::ptrdiff_t pi = problem_index[i];
+      bool selected =
+          pi >= 0 && schedule.x[static_cast<std::size_t>(pi)] != 0;
       if (config_.one_slot_ahead) {
         const bool execute_now = pending_decision[device.id.value] != 0;
-        pending_decision[device.id.value] =
-            static_cast<std::int8_t>(schedule.x[i]);
+        pending_decision[device.id.value] = static_cast<std::int8_t>(
+            pi >= 0 ? schedule.x[static_cast<std::size_t>(pi)] : 0);
         selected = execute_now;
       }
 
@@ -386,8 +485,31 @@ RunMetrics Emulator::run() {
         common::Rng noise_rng = derived_rng(config_.seed ^ 0xBA1Eu,
                                             device.id.value,
                                             static_cast<std::uint64_t>(slot));
-        const double observed =
+        double observed =
             true_gamma + noise_rng.normal(0.0, config_.observation_noise);
+        // The observation travels the same lossy path as the report: an
+        // injected drop loses it (the posterior simply doesn't move), a
+        // corruption garbles the accepted measurement.
+        bool observation_delivered = true;
+        if (faults_active) {
+          const fault::FaultDecision decision =
+              faults->decide(fault::FaultSite::kBayesReport, device.id.value,
+                             static_cast<std::uint64_t>(slot));
+          if (decision.dropped()) {
+            observation_delivered = false;
+            if (obs_bayes_lost != nullptr) obs_bayes_lost->add(1);
+            if (events != nullptr) {
+              events->record(
+                  {obs::EventKind::kFaultInjected, slot,
+                   static_cast<int>(device.id.value),
+                   {{"site", static_cast<double>(static_cast<int>(
+                                 fault::FaultSite::kBayesReport))}}});
+            }
+          } else if (decision.corrupted()) {
+            observed += decision.corrupt_factor;
+          }
+        }
+        if (!observation_delivered) continue;
         device.estimator.observe(observed);
         device.nig_estimator.observe(observed);
         if (obs_bayes_updates != nullptr) obs_bayes_updates->add(1);

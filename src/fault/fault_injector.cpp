@@ -1,0 +1,99 @@
+#include "lpvs/fault/fault_injector.hpp"
+
+namespace lpvs::fault {
+namespace {
+
+/// Independent deterministic stream for one (seed, site, key_a, key_b)
+/// decision — the same derivation discipline the emulator uses for device
+/// worlds, so decisions are independent of call order and thread count.
+common::Rng decision_rng(std::uint64_t seed, FaultSite site, std::uint64_t a,
+                         std::uint64_t b) {
+  const auto s = static_cast<std::uint64_t>(static_cast<int>(site));
+  return common::Rng(seed ^ (s + 1) * 0xA24BAED4963EE407ULL ^
+                     (a + 1) * 0x9E3779B97F4A7C15ULL ^
+                     (b + 1) * 0xC2B2AE3D27D4EB4FULL);
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSignalingUplink:
+      return "signaling_uplink";
+    case FaultSite::kSignalingDownlink:
+      return "signaling_downlink";
+    case FaultSite::kBayesReport:
+      return "bayes_report";
+    case FaultSite::kChunkDelivery:
+      return "chunk_delivery";
+    case FaultSite::kEncoderWorker:
+      return "encoder_worker";
+    case FaultSite::kNetworkLink:
+      return "network_link";
+    case FaultSite::kSolverBudget:
+      return "solver_budget";
+  }
+  return "unknown";
+}
+
+FaultInjector::Config FaultInjector::Config::uniform(std::uint64_t seed,
+                                                     double drop, double delay,
+                                                     double corrupt) {
+  Config config;
+  config.seed = seed;
+  for (SiteConfig& site : config.sites) {
+    site.drop = drop;
+    site.delay = delay;
+    site.corrupt = corrupt;
+  }
+  return config;
+}
+
+FaultDecision FaultInjector::decide(FaultSite site, std::uint64_t key_a,
+                                    std::uint64_t key_b) const {
+  FaultDecision decision;
+  const SiteConfig& cfg = config_.site(site);
+  if (!cfg.enabled()) return decision;
+
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  common::Rng rng = decision_rng(config_.seed, site, key_a, key_b);
+  const double u = rng.uniform();
+  if (u < cfg.drop) {
+    decision.kind = FaultKind::kDrop;
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    site_drops_[static_cast<int>(site)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  } else if (u < cfg.drop + cfg.delay) {
+    decision.kind = FaultKind::kDelay;
+    decision.delay_ms = rng.exponential(1.0 / cfg.delay_ms_mean);
+    delays_.fetch_add(1, std::memory_order_relaxed);
+  } else if (u < cfg.drop + cfg.delay + cfg.corrupt) {
+    decision.kind = FaultKind::kCorrupt;
+    decision.corrupt_factor =
+        rng.uniform(-cfg.corrupt_scale, cfg.corrupt_scale);
+    corruptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats stats;
+  stats.decisions = decisions_.load(std::memory_order_relaxed);
+  stats.drops = drops_.load(std::memory_order_relaxed);
+  stats.delays = delays_.load(std::memory_order_relaxed);
+  stats.corruptions = corruptions_.load(std::memory_order_relaxed);
+  for (int s = 0; s < kFaultSiteCount; ++s) {
+    stats.drops_by_site[s] = site_drops_[s].load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+void FaultInjector::reset_stats() {
+  decisions_.store(0, std::memory_order_relaxed);
+  drops_.store(0, std::memory_order_relaxed);
+  delays_.store(0, std::memory_order_relaxed);
+  corruptions_.store(0, std::memory_order_relaxed);
+  for (auto& site : site_drops_) site.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace lpvs::fault

@@ -1,0 +1,76 @@
+// Retry-with-exponential-backoff and timeout policies (tentpole).
+//
+// Signaling exchanges and chunk fetches fail transiently under injected
+// (or real) faults; the standard remedy is bounded retry with exponential
+// backoff.  Because the whole stack is an emulator, the backoff wait is
+// *accounted, not slept*: retry_with_backoff sums the schedule it would
+// have waited and reports it, so a run under 20% loss finishes in the same
+// wall time as a clean one while the latency cost of the faults stays
+// measurable.  The schedule is a pure function of the policy (plus an
+// optional seeded Rng for jitter), so retried runs replay bit-for-bit.
+#pragma once
+
+#include <utility>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/common/status.hpp"
+
+namespace lpvs::fault {
+
+/// Exponential backoff schedule: before retry k (the k-th attempt overall,
+/// 1-based) the caller waits initial_ms * multiplier^(k-2), capped at
+/// max_ms.  No wait precedes the first attempt.
+struct BackoffPolicy {
+  int max_attempts = 4;
+  double initial_ms = 10.0;
+  double multiplier = 2.0;
+  double max_ms = 1000.0;
+  /// Uniform jitter fraction: the realized wait is delay * (1 +- jitter),
+  /// drawn from the caller's seeded Rng so schedules stay reproducible.
+  double jitter = 0.0;
+
+  /// The deterministic (jitter-free) wait before `attempt` (1-based).
+  double delay_ms(int attempt) const;
+  /// Same with jitter applied from `rng`.
+  double delay_ms(int attempt, common::Rng& rng) const;
+  /// Sum of all jitter-free waits a fully exhausted retry loop performs.
+  double total_backoff_ms() const;
+};
+
+/// Outcome of a retry loop.
+struct RetryResult {
+  common::Status status;    ///< final status (ok = some attempt succeeded)
+  int attempts = 0;         ///< attempts actually made, >= 1
+  double backoff_ms = 0.0;  ///< accounted (not slept) backoff total
+};
+
+/// Runs `attempt` (a callable returning common::Status, invoked with the
+/// 1-based attempt number) until it succeeds, returns a non-retryable
+/// error, the attempt budget is exhausted, or the accumulated backoff
+/// would exceed `timeout_ms` (then kDeadlineExceeded wins, because the
+/// caller's slot budget — not the transport — is what gave out).
+template <typename F>
+RetryResult retry_with_backoff(const BackoffPolicy& policy, F&& attempt,
+                               double timeout_ms = 0.0,
+                               common::Rng* jitter_rng = nullptr) {
+  RetryResult result;
+  for (int k = 1; k <= policy.max_attempts; ++k) {
+    if (k > 1) {
+      const double wait = jitter_rng != nullptr
+                              ? policy.delay_ms(k, *jitter_rng)
+                              : policy.delay_ms(k);
+      if (timeout_ms > 0.0 && result.backoff_ms + wait > timeout_ms) {
+        result.status = common::Status::DeadlineExceeded(
+            "retry backoff exceeded the timeout budget");
+        return result;
+      }
+      result.backoff_ms += wait;
+    }
+    ++result.attempts;
+    result.status = std::forward<F>(attempt)(k);
+    if (result.status.ok() || !result.status.retryable()) return result;
+  }
+  return result;  // last retryable failure stands
+}
+
+}  // namespace lpvs::fault

@@ -1,0 +1,27 @@
+#include "lpvs/fault/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lpvs::fault {
+
+double BackoffPolicy::delay_ms(int attempt) const {
+  if (attempt <= 1) return 0.0;
+  const double raw =
+      initial_ms * std::pow(multiplier, static_cast<double>(attempt - 2));
+  return std::min(raw, max_ms);
+}
+
+double BackoffPolicy::delay_ms(int attempt, common::Rng& rng) const {
+  const double base = delay_ms(attempt);
+  if (jitter <= 0.0 || base <= 0.0) return base;
+  return base * (1.0 + rng.uniform(-jitter, jitter));
+}
+
+double BackoffPolicy::total_backoff_ms() const {
+  double total = 0.0;
+  for (int k = 2; k <= max_attempts; ++k) total += delay_ms(k);
+  return total;
+}
+
+}  // namespace lpvs::fault

@@ -16,6 +16,12 @@ const char* event_kind_name(EventKind kind) {
       return "give_up";
     case EventKind::kBayesUpdate:
       return "bayes_update";
+    case EventKind::kFaultInjected:
+      return "fault_injected";
+    case EventKind::kRetry:
+      return "retry";
+    case EventKind::kDegradation:
+      return "degradation";
   }
   return "unknown";
 }

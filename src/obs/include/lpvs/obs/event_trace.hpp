@@ -30,6 +30,9 @@ enum class EventKind {
   kBatteryDrain,   ///< per-slot aggregate energy drained
   kGiveUp,         ///< a user abandoned the stream at their give-up level
   kBayesUpdate,    ///< one posterior update from an observed gamma
+  kFaultInjected,  ///< an injected fault fired at some site (site, kind)
+  kRetry,          ///< a delivery needed retries (site, attempts, backoff)
+  kDegradation,    ///< the scheduler left rung 0 (rung, forced)
 };
 
 /// Stable lowercase label used in the JSONL export.

@@ -93,6 +93,19 @@ std::string to_string(IlpStatus status) {
   return "unknown";
 }
 
+common::Status to_status(IlpStatus status) {
+  switch (status) {
+    case IlpStatus::kOptimal:
+    case IlpStatus::kFeasible:
+      return common::Status::Ok();
+    case IlpStatus::kInfeasible:
+      return common::Status::Infeasible("no 0/1 point satisfies the rows");
+    case IlpStatus::kMalformed:
+      return common::Status::InvalidArgument("malformed binary program");
+  }
+  return common::Status::Internal("unknown ilp status");
+}
+
 IlpSolution GreedySolver::solve(const BinaryProgram& problem) const {
   const std::size_t n = problem.num_vars();
   const std::size_t m = problem.rows.size();
@@ -184,6 +197,24 @@ IlpSolution BranchAndBoundSolver::solve(const BinaryProgram& problem) const {
 IlpSolution BranchAndBoundSolver::solve(
     const BinaryProgram& problem, const std::vector<int>& incumbent) const {
   return solve_impl(problem, &incumbent);
+}
+
+common::StatusOr<IlpSolution> BranchAndBoundSolver::try_solve(
+    const BinaryProgram& problem) const {
+  IlpSolution solution = solve_impl(problem, nullptr);
+  if (common::Status status = to_status(solution.status); !status.ok()) {
+    return status;
+  }
+  return solution;
+}
+
+common::StatusOr<IlpSolution> BranchAndBoundSolver::try_solve(
+    const BinaryProgram& problem, const std::vector<int>& incumbent) const {
+  IlpSolution solution = solve_impl(problem, &incumbent);
+  if (common::Status status = to_status(solution.status); !status.ok()) {
+    return status;
+  }
+  return solution;
 }
 
 IlpSolution BranchAndBoundSolver::solve_impl(

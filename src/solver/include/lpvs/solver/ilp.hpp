@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "lpvs/common/status.hpp"
 #include "lpvs/solver/lp.hpp"
 
 namespace lpvs::solver {
@@ -44,6 +45,12 @@ enum class IlpStatus {
 };
 
 std::string to_string(IlpStatus status);
+
+/// Canonical-status view of an ILP outcome.  kOptimal *and* kFeasible map
+/// to OK — a node-limit incumbent is a usable schedule, and the precise
+/// status stays on IlpSolution::status.  kInfeasible maps to kInfeasible,
+/// kMalformed to kInvalidArgument.
+common::Status to_status(IlpStatus status);
 
 struct IlpSolution {
   IlpStatus status = IlpStatus::kMalformed;
@@ -83,6 +90,14 @@ class BranchAndBoundSolver {
   /// the same options (the differential tests enforce this).
   IlpSolution solve(const BinaryProgram& problem,
                     const std::vector<int>& incumbent) const;
+
+  /// Status-typed solve: OK carries the solution (optimal or node-limit
+  /// incumbent), non-OK carries why there is none (kInfeasible,
+  /// kInvalidArgument).  Preferred over inspecting IlpSolution::status at
+  /// call sites that propagate errors.
+  common::StatusOr<IlpSolution> try_solve(const BinaryProgram& problem) const;
+  common::StatusOr<IlpSolution> try_solve(
+      const BinaryProgram& problem, const std::vector<int>& incumbent) const;
 
  private:
   IlpSolution solve_impl(const BinaryProgram& problem,

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "lpvs/common/status.hpp"
+
 namespace lpvs::solver {
 
 /// max c.x  s.t.  A x <= b,  0 <= x <= upper.
@@ -39,6 +41,12 @@ enum class LpStatus {
 };
 
 std::string to_string(LpStatus status);
+
+/// Canonical-status view of an LP outcome: kOptimal maps to OK,
+/// kIterationLimit to kResourceExhausted (raise Options::max_iterations),
+/// kUnbounded to kInternal (capacity rows cannot produce it), kMalformed
+/// to kInvalidArgument.
+common::Status to_status(LpStatus status);
 
 struct LpSolution {
   LpStatus status = LpStatus::kMalformed;

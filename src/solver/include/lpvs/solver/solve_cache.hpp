@@ -40,6 +40,19 @@ namespace lpvs::solver {
 /// variable count before reuse).
 std::uint64_t fingerprint(const BinaryProgram& problem);
 
+/// Fingerprint of the solve budget a solution was produced under (node
+/// limit, tolerance, relative gap, LP iteration cap).  The degradation
+/// ladder truncates budgets under deadline pressure; mixing the budget into
+/// the cache fingerprint keeps a truncated solve from ever replaying as an
+/// exact hit for a full-budget solve of the same problem, and vice versa.
+std::uint64_t budget_fingerprint(const BranchAndBoundSolver::Options& options);
+
+/// Order-sensitive fingerprint combination.  By convention a zero
+/// `budget_fp` means "untagged" and leaves `problem_fp` unchanged, so
+/// callers that never vary the budget keep their stored entries valid.
+std::uint64_t combine_fingerprints(std::uint64_t problem_fp,
+                                   std::uint64_t budget_fp);
+
 /// Greedy-repairs a stale 0/1 assignment against a (slightly different)
 /// problem: forces out ineligible and non-positive-value picks, evicts the
 /// lowest-density picks until every row fits, re-packs leftover capacity
@@ -84,6 +97,12 @@ class SolveCache {
   void store(std::uint64_t key, std::uint64_t problem_fingerprint,
              const IlpSolution& solution);
 
+  /// The raw assignment last stored for stream `key` (empty when none).
+  /// The degradation ladder's replay rung reuses it verbatim when there is
+  /// no time to solve at all; callers must re-check feasibility against the
+  /// current problem themselves.
+  std::vector<int> previous_assignment(std::uint64_t key) const;
+
   SolveCacheStats stats() const;
   std::size_t size() const;
   void clear();
@@ -111,8 +130,11 @@ struct CachedSolve {
   double incumbent_objective = 0.0;
 };
 
+/// `budget_fp` tags the cache entry with the solve budget that produced it
+/// (see budget_fingerprint); 0 means untagged.  Entries stored under one
+/// budget never exact-hit lookups under another, but still warm-start them.
 CachedSolve solve_with_cache(const BranchAndBoundSolver& solver,
                              const BinaryProgram& problem, SolveCache* cache,
-                             std::uint64_t key);
+                             std::uint64_t key, std::uint64_t budget_fp = 0);
 
 }  // namespace lpvs::solver

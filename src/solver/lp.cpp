@@ -76,6 +76,20 @@ std::string to_string(LpStatus status) {
   return "unknown";
 }
 
+common::Status to_status(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return common::Status::Ok();
+    case LpStatus::kUnbounded:
+      return common::Status::Internal("lp relaxation unbounded");
+    case LpStatus::kIterationLimit:
+      return common::Status::ResourceExhausted("simplex iteration limit");
+    case LpStatus::kMalformed:
+      return common::Status::InvalidArgument("malformed lp problem");
+  }
+  return common::Status::Internal("unknown lp status");
+}
+
 LpSolution LpSolver::solve(const LpProblem& problem) const {
   LpSolution solution;
   if (!problem.well_formed()) {

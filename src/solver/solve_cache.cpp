@@ -59,6 +59,25 @@ std::uint64_t fingerprint(const BinaryProgram& problem) {
   return h;
 }
 
+std::uint64_t budget_fingerprint(
+    const BranchAndBoundSolver::Options& options) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(options.max_nodes));
+  mix(h, options.tolerance);
+  mix(h, options.relative_gap);
+  mix(h, static_cast<std::uint64_t>(options.lp.max_iterations));
+  mix(h, options.lp.tolerance);
+  return h;
+}
+
+std::uint64_t combine_fingerprints(std::uint64_t problem_fp,
+                                   std::uint64_t budget_fp) {
+  if (budget_fp == 0) return problem_fp;
+  std::uint64_t h = problem_fp;
+  mix(h, budget_fp);
+  return h;
+}
+
 std::vector<int> repair_assignment(const BinaryProgram& problem,
                                    const std::vector<int>& stale) {
   const std::size_t n = problem.num_vars();
@@ -214,6 +233,13 @@ void SolveCache::store(std::uint64_t key, std::uint64_t problem_fingerprint,
   entry.solution = solution;
 }
 
+std::vector<int> SolveCache::previous_assignment(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  return it->second.solution.x;
+}
+
 SolveCacheStats SolveCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
@@ -232,13 +258,14 @@ void SolveCache::clear() {
 
 CachedSolve solve_with_cache(const BranchAndBoundSolver& solver,
                              const BinaryProgram& problem, SolveCache* cache,
-                             std::uint64_t key) {
+                             std::uint64_t key, std::uint64_t budget_fp) {
   CachedSolve result;
   if (cache == nullptr) {
     result.solution = solver.solve(problem);
     return result;
   }
-  const std::uint64_t fp = fingerprint(problem);
+  const std::uint64_t fp =
+      combine_fingerprints(fingerprint(problem), budget_fp);
   SolveCache::Hint hint = cache->lookup(key, problem, fp);
   if (hint.exact_hit) {
     result.solution = std::move(hint.solution);

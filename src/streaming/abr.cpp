@@ -42,7 +42,9 @@ StreamingSession::StreamingSession(Config config)
 
 SessionQoe StreamingSession::run(ThroughputModel& network,
                                  AbrController& abr,
-                                 common::Rng& rng) const {
+                                 common::Rng& rng,
+                                 const fault::FaultInjector* faults,
+                                 std::uint64_t fault_key) const {
   SessionQoe qoe;
   double buffer_s = 0.0;
   bool playing = false;
@@ -69,7 +71,8 @@ SessionQoe StreamingSession::run(ThroughputModel& network,
     previous_rung = rung;
     have_previous = true;
 
-    const double throughput = network.sample_mbps(rng);
+    const double throughput = network.sample_mbps(
+        rng, faults, fault_key, static_cast<std::uint64_t>(k));
     double download_s = bitrate * config_.chunk_seconds / throughput;
     // A scheduler that blocks chunk delivery while it solves adds its
     // runtime as a stall at every scheduling point; the paper's

@@ -10,8 +10,33 @@ EncoderFarm::EncoderFarm(int workers) : workers_(workers) {
 }
 
 FarmReport EncoderFarm::run(std::vector<TransformJob> jobs,
-                            obs::MetricsRegistry* metrics) const {
+                            obs::MetricsRegistry* metrics,
+                            const fault::FaultInjector* faults,
+                            std::uint64_t fault_key) const {
   FarmReport report;
+  if (faults != nullptr && faults->enabled()) {
+    std::vector<TransformJob> surviving;
+    surviving.reserve(jobs.size());
+    for (TransformJob job : jobs) {
+      const fault::FaultDecision decision = faults->decide(
+          fault::FaultSite::kEncoderWorker, fault_key,
+          (static_cast<std::uint64_t>(job.device) << 32) | job.chunk);
+      if (decision.dropped()) {
+        ++report.jobs_failed;
+        continue;
+      }
+      if (decision.delayed()) job.service_s += decision.delay_ms / 1000.0;
+      if (decision.corrupted()) job.service_s *= 2.0;  // re-encode once
+      surviving.push_back(job);
+    }
+    jobs = std::move(surviving);
+    if (metrics != nullptr && report.jobs_failed > 0) {
+      metrics
+          ->counter("lpvs_farm_jobs_failed_total",
+                    "Transform jobs lost to injected worker faults")
+          .add(report.jobs_failed);
+    }
+  }
   if (jobs.empty()) return report;
 
   obs::Histogram* queue_depth_hist = nullptr;

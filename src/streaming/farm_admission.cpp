@@ -38,7 +38,9 @@ std::vector<FarmSlotResult> admit_and_encode(
     const std::vector<TransformJob> jobs = slot_jobs(
         admitted_costs, request.chunks_per_slot, request.chunk_seconds,
         request.worker_units, request.deadline_slack_chunks);
-    result.farm = EncoderFarm(request.workers).run(jobs, context.metrics);
+    result.farm = EncoderFarm(request.workers)
+                      .run(jobs, context.metrics, context.faults,
+                           /*fault_key=*/request.farm_id);
     results.push_back(std::move(result));
   }
   return results;

@@ -102,8 +102,13 @@ class StreamingSession {
   explicit StreamingSession(Config config);
 
   /// Runs the whole session; deterministic in (rng state, model state).
+  /// With an injector, each chunk download samples the link under
+  /// kNetworkLink faults keyed (fault_key, chunk index); a null or
+  /// disabled injector leaves the session bit-identical to the plain run.
   SessionQoe run(ThroughputModel& network, AbrController& abr,
-                 common::Rng& rng) const;
+                 common::Rng& rng,
+                 const fault::FaultInjector* faults = nullptr,
+                 std::uint64_t fault_key = 0) const;
 
   const Config& config() const { return config_; }
 

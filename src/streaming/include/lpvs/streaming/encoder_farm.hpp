@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "lpvs/common/rng.hpp"
+#include "lpvs/fault/fault_injector.hpp"
 #include "lpvs/obs/metrics.hpp"
 
 namespace lpvs::streaming {
@@ -37,6 +38,9 @@ struct TransformJob {
 struct FarmReport {
   long jobs_completed = 0;
   long jobs_missed_deadline = 0;
+  /// Jobs lost to injected kEncoderWorker drops (a crashed worker whose
+  /// chunk never gets transformed — the device plays it untransformed).
+  long jobs_failed = 0;
   double mean_queue_delay_s = 0.0;
   double max_queue_delay_s = 0.0;
   double mean_utilization = 0.0;  ///< busy worker-seconds / capacity
@@ -58,8 +62,16 @@ class EncoderFarm {
   /// registry attached, also records queue depth at each arrival
   /// (lpvs_farm_queue_depth), per-job queue delay, and completion/miss
   /// counters; the report itself is identical either way.
+  ///
+  /// With an active injector, each job draws one kEncoderWorker decision
+  /// keyed (fault_key, device, chunk): a drop kills the job (jobs_failed),
+  /// a delay inflates its service time by the drawn transit delay, a
+  /// corruption doubles it (the chunk is re-encoded).  Null/disabled
+  /// injector leaves the report bit-identical to the fault-free run.
   FarmReport run(std::vector<TransformJob> jobs,
-                 obs::MetricsRegistry* metrics = nullptr) const;
+                 obs::MetricsRegistry* metrics = nullptr,
+                 const fault::FaultInjector* faults = nullptr,
+                 std::uint64_t fault_key = 0) const;
 
   int workers() const { return workers_; }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "lpvs/common/rng.hpp"
+#include "lpvs/fault/fault_injector.hpp"
 
 namespace lpvs::streaming {
 
@@ -32,6 +33,14 @@ class ThroughputModel {
   /// Draws the throughput (Mbps) for the next download, advancing the
   /// channel state.
   double sample_mbps(common::Rng& rng);
+
+  /// Same, under injected kNetworkLink faults keyed (key_a, key_b): a drop
+  /// is a radio outage (~0.01 Mbps, channel knocked into the bad state), a
+  /// delay forces the bad state before the draw, a corruption scales the
+  /// drawn rate by the decision's factor (retransmissions eating goodput).
+  /// With a null/disabled injector this is exactly sample_mbps(rng).
+  double sample_mbps(common::Rng& rng, const fault::FaultInjector* faults,
+                     std::uint64_t key_a, std::uint64_t key_b = 0);
 
   bool in_good_state() const { return good_; }
   const Config& config() const { return config_; }

@@ -17,7 +17,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "lpvs/common/status.hpp"
 #include "lpvs/common/units.hpp"
+#include "lpvs/fault/fault_injector.hpp"
+#include "lpvs/fault/retry.hpp"
 #include "lpvs/media/video.hpp"
 #include "lpvs/transform/transform.hpp"
 
@@ -53,9 +56,10 @@ class EdgeCache {
  public:
   explicit EdgeCache(double capacity_mb);
 
-  /// Inserts a chunk (evicting LRU entries if needed).  Returns false when
-  /// the chunk alone exceeds the whole cache.
-  bool insert(common::VideoId video, const media::VideoChunk& chunk);
+  /// Inserts a chunk (evicting LRU entries if needed).  Returns
+  /// kResourceExhausted when the chunk alone exceeds the whole cache; a
+  /// re-insert of a cached chunk is OK and only refreshes recency.
+  common::Status insert(common::VideoId video, const media::VideoChunk& chunk);
 
   bool contains(common::VideoId video, common::ChunkId chunk) const;
 
@@ -98,18 +102,34 @@ class EdgeCache {
 /// strategy between the edge servers and the CDN servers" of SIV-A).
 class Prefetcher {
  public:
-  explicit Prefetcher(int window = 30) : window_(window) {}
+  explicit Prefetcher(int window = 30, fault::BackoffPolicy backoff = {})
+      : window_(window), backoff_(backoff) {}
 
   /// Prefetches up to `window_` chunks of `video` starting at
   /// `next_chunk_index` from the CDN into the cache; returns how many
-  /// chunks were newly inserted.
-  int prefetch(const CdnServer& cdn, EdgeCache& cache, common::VideoId video,
-               std::size_t next_chunk_index) const;
+  /// chunks were newly inserted, or kNotFound when the CDN does not carry
+  /// the video.
+  ///
+  /// With an active injector, each CDN-to-edge chunk delivery is subject
+  /// to kChunkDelivery faults and retried under the backoff policy
+  /// (backoff accounted, not slept).  A chunk whose retry budget runs out
+  /// is simply not cached this round — available_request() then truncates
+  /// the device's window at the gap, which is the paper's partial-
+  /// availability path (Fig. 4), and the next slot's prefetch tries again.
+  /// Decisions are keyed on (fault_key, video, chunk, attempt), so replays
+  /// drop identical chunks.
+  common::StatusOr<int> prefetch(const CdnServer& cdn, EdgeCache& cache,
+                                 common::VideoId video,
+                                 std::size_t next_chunk_index,
+                                 const fault::FaultInjector* faults = nullptr,
+                                 std::uint64_t fault_key = 0) const;
 
   int window() const { return window_; }
+  const fault::BackoffPolicy& backoff() const { return backoff_; }
 
  private:
   int window_;
+  fault::BackoffPolicy backoff_;
 };
 
 /// Builds device n's slot request from what is actually cached: the video's

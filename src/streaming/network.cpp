@@ -16,6 +16,24 @@ double ThroughputModel::sample_mbps(common::Rng& rng) {
   return median * std::exp(rng.normal(0.0, config_.log_sigma));
 }
 
+double ThroughputModel::sample_mbps(common::Rng& rng,
+                                    const fault::FaultInjector* faults,
+                                    std::uint64_t key_a, std::uint64_t key_b) {
+  if (faults == nullptr || !faults->enabled()) return sample_mbps(rng);
+  const fault::FaultDecision decision =
+      faults->decide(fault::FaultSite::kNetworkLink, key_a, key_b);
+  if (decision.dropped()) {
+    good_ = false;  // an outage never leaves the channel healthy
+    return 0.01;
+  }
+  if (decision.delayed()) good_ = false;
+  double mbps = sample_mbps(rng);
+  if (decision.corrupted()) {
+    mbps *= std::max(0.05, 1.0 - std::abs(decision.corrupt_factor));
+  }
+  return mbps;
+}
+
 double ThroughputModel::stationary_good_fraction() const {
   const double to_bad = config_.p_good_to_bad;
   const double to_good = config_.p_bad_to_good;

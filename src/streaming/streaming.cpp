@@ -31,20 +31,24 @@ EdgeCache::EdgeCache(double capacity_mb) : capacity_mb_(capacity_mb) {
   assert(capacity_mb > 0.0);
 }
 
-bool EdgeCache::insert(common::VideoId video, const media::VideoChunk& chunk) {
+common::Status EdgeCache::insert(common::VideoId video,
+                                 const media::VideoChunk& chunk) {
   const Key key{video.value, chunk.id.value};
   if (const auto it = index_.find(key); it != index_.end()) {
     // Already cached: refresh recency only.
     lru_.splice(lru_.begin(), lru_, it->second);
-    return true;
+    return common::Status::Ok();
   }
   const double size_mb = chunk.bitrate_mbps * chunk.duration.value / 8.0;
-  if (size_mb > capacity_mb_) return false;
+  if (size_mb > capacity_mb_) {
+    return common::Status::ResourceExhausted(
+        "chunk exceeds whole cache capacity");
+  }
   while (used_mb_ + size_mb > capacity_mb_) evict_one();
   lru_.push_front(Entry{key, size_mb});
   index_[key] = lru_.begin();
   used_mb_ += size_mb;
-  return true;
+  return common::Status::Ok();
 }
 
 void EdgeCache::evict_one() {
@@ -67,18 +71,44 @@ bool EdgeCache::touch(common::VideoId video, common::ChunkId chunk) {
   return true;
 }
 
-int Prefetcher::prefetch(const CdnServer& cdn, EdgeCache& cache,
-                         common::VideoId video,
-                         std::size_t next_chunk_index) const {
+common::StatusOr<int> Prefetcher::prefetch(const CdnServer& cdn,
+                                           EdgeCache& cache,
+                                           common::VideoId video,
+                                           std::size_t next_chunk_index,
+                                           const fault::FaultInjector* faults,
+                                           std::uint64_t fault_key) const {
   const media::Video* source = cdn.find(video);
-  if (source == nullptr) return 0;
+  if (source == nullptr) {
+    return common::Status::NotFound("video not in CDN catalog");
+  }
+  // Attempts of one chunk's delivery draw distinct decisions; the stride
+  // bounds the retry budget a backoff policy may configure.
+  constexpr std::uint64_t kAttemptStride = 64;
+  const bool lossy = faults != nullptr && faults->enabled();
   int inserted = 0;
   const std::size_t end = std::min(
       source->chunks.size(), next_chunk_index + static_cast<std::size_t>(
                                                      std::max(window_, 0)));
   for (std::size_t k = next_chunk_index; k < end; ++k) {
     if (cache.contains(video, source->chunks[k].id)) continue;
-    if (cache.insert(video, source->chunks[k])) ++inserted;
+    if (lossy) {
+      const fault::RetryResult delivery = fault::retry_with_backoff(
+          backoff_, [&](int attempt) -> common::Status {
+            const fault::FaultDecision decision = faults->decide(
+                fault::FaultSite::kChunkDelivery, fault_key,
+                ((static_cast<std::uint64_t>(video.value) << 24) ^ k) *
+                        kAttemptStride +
+                    static_cast<std::uint64_t>(attempt));
+            if (decision.dropped() || decision.corrupted()) {
+              // A corrupted chunk fails its checksum at the edge and is
+              // re-requested, which costs the same as a drop.
+              return common::Status::Unavailable("chunk delivery");
+            }
+            return common::Status::Ok();
+          });
+      if (!delivery.status.ok()) continue;  // retried next slot
+    }
+    if (cache.insert(video, source->chunks[k]).ok()) ++inserted;
   }
   return inserted;
 }

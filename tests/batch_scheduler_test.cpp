@@ -22,6 +22,11 @@ const survey::AnxietyModel& anxiety() {
   return model;
 }
 
+const core::RunContext& context() {
+  static const core::RunContext ctx(anxiety());
+  return ctx;
+}
+
 SlotProblem random_problem(common::Rng& rng, int devices) {
   SlotProblem problem;
   problem.lambda = 2000.0;
@@ -196,10 +201,10 @@ TEST(BatchScheduler, ReplayCityIdenticalAcrossThreadCounts) {
 
   config.threads = 1;
   const emu::ReplayReport one =
-      replay_city(twitch, scheduler, anxiety(), config);
+      replay_city(twitch, scheduler, context(), config);
   config.threads = 4;
   const emu::ReplayReport four =
-      replay_city(twitch, scheduler, anxiety(), config);
+      replay_city(twitch, scheduler, context(), config);
   ASSERT_EQ(one.clusters.size(), four.clusters.size());
   EXPECT_EQ(one.energy_with_mwh, four.energy_with_mwh);
   EXPECT_EQ(one.energy_without_mwh, four.energy_without_mwh);

@@ -1,0 +1,224 @@
+// Chaos soak (stress label): drives the emulator and the city replay under
+// injected fault rates of 5% / 10% / 20% and asserts the resilience
+// contract — every slot of every run still completes with a feasible
+// schedule, the runs stay deterministic, and the degradation-ladder rung
+// distribution is visible in the metrics registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lpvs/core/scheduler.hpp"
+#include "lpvs/emu/replay.hpp"
+#include "lpvs/fault/fault_injector.hpp"
+#include "lpvs/obs/metrics.hpp"
+#include "lpvs/solver/solve_cache.hpp"
+
+namespace lpvs {
+namespace {
+
+constexpr double kFaultRates[] = {0.05, 0.10, 0.20};
+
+const survey::AnxietyModel& anxiety() {
+  static const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  return model;
+}
+
+fault::FaultInjector::Config chaos_config(std::uint64_t seed, double rate) {
+  // Drop at the full rate, delay and corrupt at half each — the mix keeps
+  // every fault kind exercised while drop (the harshest) dominates.
+  return fault::FaultInjector::Config::uniform(seed, rate, rate / 2.0,
+                                               rate / 2.0);
+}
+
+core::SlotProblem soak_problem(common::Rng& rng, std::size_t devices) {
+  core::SlotProblem problem;
+  double total_compute = 0.0;
+  for (std::size_t n = 0; n < devices; ++n) {
+    core::DeviceSlotInput device;
+    device.id = common::DeviceId{static_cast<std::uint32_t>(n)};
+    const std::size_t chunks =
+        8 + static_cast<std::size_t>(rng.uniform_int(0, 12));
+    device.power_rates_mw.resize(chunks);
+    device.chunk_durations_s.assign(chunks, 10.0);
+    for (std::size_t k = 0; k < chunks; ++k) {
+      device.power_rates_mw[k] = rng.uniform(400.0, 1100.0);
+    }
+    device.battery_capacity_mwh = rng.uniform(2500.0, 4500.0);
+    device.initial_energy_mwh =
+        device.battery_capacity_mwh * rng.uniform(0.08, 0.95);
+    device.gamma = rng.uniform(0.13, 0.49);
+    device.compute_cost = rng.uniform(0.3, 1.0);
+    device.storage_cost = rng.uniform(30.0, 120.0);
+    total_compute += device.compute_cost;
+    problem.devices.push_back(std::move(device));
+  }
+  problem.compute_capacity = total_compute * rng.uniform(0.25, 0.6);
+  problem.storage_capacity = 1e9;
+  return problem;
+}
+
+bool schedule_feasible(const core::SlotProblem& problem,
+                       const core::Schedule& s) {
+  double compute = 0.0;
+  double storage = 0.0;
+  for (std::size_t n = 0; n < problem.devices.size(); ++n) {
+    if (!s.x[n]) continue;
+    if (!core::eligible_for_transform(problem.devices[n])) return false;
+    compute += problem.devices[n].compute_cost;
+    storage += problem.devices[n].storage_cost;
+  }
+  return compute <= problem.compute_capacity + 1e-6 &&
+         storage <= problem.storage_capacity + 1e-6;
+}
+
+long rung_counter_sum(obs::MetricsRegistry& registry) {
+  long total = 0;
+  for (const char* rung :
+       {"full_solve", "warm_repair", "replay_previous", "passthrough"}) {
+    total += registry
+                 .counter(std::string("lpvs_scheduler_rung_") + rung +
+                          "_total")
+                 .value();
+  }
+  return total;
+}
+
+// Every slot of a fault-ridden scheduling stream must still produce a
+// feasible schedule, whatever rung the ladder lands on.
+TEST(ChaosSoak, EverySlotSchedulesFeasiblyUnderInjectedFaults) {
+  for (double rate : kFaultRates) {
+    const fault::FaultInjector injector(
+        chaos_config(/*seed=*/1000 + static_cast<std::uint64_t>(rate * 100),
+                     rate));
+    obs::MetricsRegistry registry;
+    solver::SolveCache cache;
+    const core::LpvsScheduler scheduler;
+    const core::RunContext base = core::RunContext(anxiety(), &registry)
+                                      .with_fault_injector(&injector)
+                                      .with_solve_cache(&cache, /*key=*/42)
+                                      .with_deadline(core::SlotDeadline{
+                                          /*budget_ms=*/2.0, -1});
+    common::Rng rng(static_cast<std::uint64_t>(rate * 1000));
+    const int slots = 50;
+    for (int slot = 0; slot < slots; ++slot) {
+      const core::SlotProblem problem = soak_problem(rng, 20);
+      const core::Schedule s =
+          scheduler.schedule(problem, base.with_slot(slot));
+      EXPECT_TRUE(schedule_feasible(problem, s))
+          << "rate " << rate << " slot " << slot << " rung "
+          << core::degradation_rung_name(s.rung);
+    }
+    // The rung distribution is visible, and every slot is accounted for.
+    EXPECT_EQ(rung_counter_sum(registry), slots) << "rate " << rate;
+  }
+}
+
+// At a harsh rate the ladder must actually degrade sometimes — otherwise
+// the soak is not exercising the fallback paths at all.
+TEST(ChaosSoak, HarshRateExercisesDegradedRungs) {
+  const fault::FaultInjector injector(chaos_config(77, 0.20));
+  obs::MetricsRegistry registry;
+  solver::SolveCache cache;
+  const core::LpvsScheduler scheduler;
+  const core::RunContext base = core::RunContext(anxiety(), &registry)
+                                    .with_fault_injector(&injector)
+                                    .with_solve_cache(&cache, 7);
+  common::Rng rng(4242);
+  for (int slot = 0; slot < 60; ++slot) {
+    const core::SlotProblem problem = soak_problem(rng, 20);
+    (void)scheduler.schedule(problem, base.with_slot(slot));
+  }
+  const long full =
+      registry.counter("lpvs_scheduler_rung_full_solve_total").value();
+  EXPECT_EQ(rung_counter_sum(registry), 60);
+  EXPECT_LT(full, 60) << "20% budget loss over 60 slots must degrade once";
+  EXPECT_GT(full, 0) << "most slots should still solve fully";
+}
+
+// The emulator completes full runs at every fault rate: all slots run, the
+// accounting stays finite and ordered, and the run is deterministic.
+TEST(ChaosSoak, EmulatorCompletesAllSlotsAtEveryRate) {
+  for (double rate : kFaultRates) {
+    emu::EmulatorConfig config;
+    config.group_size = 30;
+    config.slots = 12;
+    config.chunks_per_slot = 10;
+    config.seed = 900 + static_cast<std::uint64_t>(rate * 100);
+
+    const fault::FaultInjector injector(chaos_config(config.seed, rate));
+    obs::MetricsRegistry registry;
+    const core::LpvsScheduler scheduler;
+    const core::RunContext context = core::RunContext(anxiety(), &registry)
+                                         .with_fault_injector(&injector);
+    emu::Emulator emulator(config, scheduler, context);
+    const emu::RunMetrics metrics = emulator.run();
+
+    EXPECT_EQ(metrics.slots_run, config.slots) << "rate " << rate;
+    EXPECT_TRUE(std::isfinite(metrics.total_energy_mwh));
+    EXPECT_GT(metrics.total_energy_mwh, 0.0);
+    for (std::size_t n = 0; n < metrics.final_fractions.size(); ++n) {
+      EXPECT_GE(metrics.final_fractions[n], 0.0);
+      EXPECT_LE(metrics.final_fractions[n],
+                metrics.start_fractions[n] + 1e-12);
+    }
+    EXPECT_EQ(rung_counter_sum(registry), config.slots) << "rate " << rate;
+
+    // Replay the identical chaos run: bit-identical results.
+    emu::Emulator again(config, scheduler,
+                        core::RunContext(anxiety()).with_fault_injector(
+                            &injector));
+    const emu::RunMetrics replay = again.run();
+    EXPECT_EQ(metrics.total_energy_mwh, replay.total_energy_mwh);
+    EXPECT_EQ(metrics.tpv_minutes, replay.tpv_minutes);
+    EXPECT_EQ(metrics.served, replay.served);
+  }
+}
+
+// City-scale soak: the threaded replay survives injected faults, reports a
+// coherent aggregate, and surfaces the fault counters.
+TEST(ChaosSoak, CityReplaySurvivesInjectedFaults) {
+  trace::TraceConfig trace_config;
+  trace_config.channel_count = 60;
+  trace_config.session_count = 200;
+  trace_config.top_channel_viewers = 400.0;
+  const trace::Trace twitch =
+      trace::TwitchLikeGenerator(trace_config).generate(3);
+
+  for (double rate : kFaultRates) {
+    emu::ReplayConfig config;
+    config.start_slot = 144;
+    config.min_viewers = 20;
+    config.max_clusters = 4;
+    config.max_slots = 6;
+    config.enable_giveup = false;
+    config.seed = 11;
+    config.threads = 2;
+
+    const fault::FaultInjector injector(chaos_config(555, rate));
+    obs::MetricsRegistry registry;
+    const core::LpvsScheduler scheduler;
+    const emu::ReplayReport report = emu::replay_city(
+        twitch, scheduler,
+        core::RunContext(anxiety(), &registry).with_fault_injector(&injector),
+        config);
+
+    ASSERT_FALSE(report.clusters.empty()) << "rate " << rate;
+    EXPECT_GT(report.energy_with_mwh, 0.0);
+    EXPECT_GT(report.energy_without_mwh, 0.0);
+    EXPECT_TRUE(std::isfinite(report.energy_saving_ratio()));
+    for (const emu::ClusterOutcome& cluster : report.clusters) {
+      EXPECT_EQ(cluster.metrics.with_lpvs.slots_run, cluster.slots);
+      EXPECT_EQ(cluster.metrics.without_lpvs.slots_run, cluster.slots);
+    }
+    // Ladder bookkeeping from the with-LPVS legs is visible city-wide.
+    EXPECT_GT(rung_counter_sum(registry), 0) << "rate " << rate;
+    // The injector actually fired at these rates.
+    EXPECT_GT(injector.stats().injected(), 0) << "rate " << rate;
+  }
+}
+
+}  // namespace
+}  // namespace lpvs

@@ -18,6 +18,11 @@ const survey::AnxietyModel& anxiety() {
   return model;
 }
 
+const core::RunContext& context() {
+  static const core::RunContext ctx(anxiety());
+  return ctx;
+}
+
 SlotProblem random_problem(common::Rng& rng, std::size_t devices,
                            double capacity_fraction = 0.4,
                            double lambda = 2000.0) {
@@ -89,13 +94,13 @@ TEST(ScoreSelection, FullSelectionSavesEnergy) {
 TEST(NoTransform, SelectsNothing) {
   common::Rng rng(3);
   const SlotProblem problem = random_problem(rng, 15);
-  const Schedule s = NoTransformScheduler().schedule(problem, anxiety());
+  const Schedule s = NoTransformScheduler().schedule(problem, context());
   EXPECT_EQ(s.selected_count(), 0);
 }
 
 TEST(LpvsSchedulerTest, EmptyProblem) {
   SlotProblem problem;
-  const Schedule s = LpvsScheduler().schedule(problem, anxiety());
+  const Schedule s = LpvsScheduler().schedule(problem, context());
   EXPECT_TRUE(s.x.empty());
   EXPECT_DOUBLE_EQ(s.objective, 0.0);
 }
@@ -103,7 +108,7 @@ TEST(LpvsSchedulerTest, EmptyProblem) {
 TEST(LpvsSchedulerTest, SufficientCapacityServesAllEligible) {
   common::Rng rng(4);
   const SlotProblem problem = random_problem(rng, 30, 10.0);
-  const Schedule s = LpvsScheduler().schedule(problem, anxiety());
+  const Schedule s = LpvsScheduler().schedule(problem, context());
   int eligible = 0;
   for (const auto& device : problem.devices) {
     eligible += eligible_for_transform(device) ? 1 : 0;
@@ -116,7 +121,7 @@ TEST(LpvsSchedulerTest, NeverSelectsIneligible) {
   SlotProblem problem = random_problem(rng, 20, 10.0);
   problem.devices[3].initial_energy_mwh = 0.001;  // dying battery
   problem.devices[7].gamma = 0.0;
-  const Schedule s = LpvsScheduler().schedule(problem, anxiety());
+  const Schedule s = LpvsScheduler().schedule(problem, context());
   EXPECT_EQ(s.x[3], 0);
   EXPECT_EQ(s.x[7], 0);
 }
@@ -127,7 +132,7 @@ TEST(LpvsSchedulerTest, Phase1MatchesExhaustiveOnEnergy) {
   common::Rng rng(6);
   const SlotProblem problem = random_problem(rng, 12, 0.4);
   const Schedule phase1 =
-      LpvsScheduler().schedule_phase1_only(problem, anxiety());
+      LpvsScheduler().schedule_phase1_only(problem, context());
 
   solver::BinaryProgram program;
   const std::size_t n = problem.devices.size();
@@ -159,8 +164,8 @@ TEST(LpvsSchedulerTest, Phase2NeverWorsensObjective) {
     const SlotProblem problem =
         random_problem(rng, 40, 0.3, /*lambda=*/5000.0);
     const LpvsScheduler scheduler;
-    const Schedule p1 = scheduler.schedule_phase1_only(problem, anxiety());
-    const Schedule full = scheduler.schedule(problem, anxiety());
+    const Schedule p1 = scheduler.schedule_phase1_only(problem, context());
+    const Schedule full = scheduler.schedule(problem, context());
     EXPECT_LE(full.objective, p1.objective + 1e-6) << "trial " << trial;
     EXPECT_TRUE(schedule_feasible(problem, full));
   }
@@ -186,7 +191,7 @@ TEST(LpvsSchedulerTest, Phase2HelpsAnxiousUsersUnderHighLambda) {
     device.storage_cost = 50.0;
     problem.devices.push_back(std::move(device));
   }
-  const Schedule s = LpvsScheduler().schedule(problem, anxiety());
+  const Schedule s = LpvsScheduler().schedule(problem, context());
   EXPECT_EQ(s.selected_count(), 1);
   EXPECT_EQ(s.x[1], 1) << "the 22% user must win under high lambda";
 }
@@ -211,20 +216,20 @@ TEST(LpvsSchedulerTest, SlaWeightBreaksTiesTowardPremiumUsers) {
     device.sla_weight = weight;
     problem.devices.push_back(std::move(device));
   }
-  const Schedule s = LpvsScheduler().schedule(problem, anxiety());
+  const Schedule s = LpvsScheduler().schedule(problem, context());
   EXPECT_EQ(s.selected_count(), 1);
   EXPECT_EQ(s.x[1], 1) << "the premium user must be served";
 
-  const Schedule joint = JointOptimalScheduler().schedule(problem, anxiety());
+  const Schedule joint = JointOptimalScheduler().schedule(problem, context());
   EXPECT_EQ(joint.x[1], 1);
 }
 
 TEST(LpvsSchedulerTest, SlaWeightOneIsNeutral) {
   common::Rng rng(13);
   SlotProblem problem = random_problem(rng, 20, 0.4, 5000.0);
-  const Schedule base = LpvsScheduler().schedule(problem, anxiety());
+  const Schedule base = LpvsScheduler().schedule(problem, context());
   for (auto& device : problem.devices) device.sla_weight = 1.0;
-  const Schedule same = LpvsScheduler().schedule(problem, anxiety());
+  const Schedule same = LpvsScheduler().schedule(problem, context());
   EXPECT_EQ(base.x, same.x);
 }
 
@@ -239,7 +244,7 @@ TEST(Baselines, AllReturnFeasibleSchedules) {
   for (const Scheduler* s :
        std::initializer_list<const Scheduler*>{
            &random_sched, &greedy_energy, &greedy_anxiety, &joint, &lpvs}) {
-    const Schedule schedule = s->schedule(problem, anxiety());
+    const Schedule schedule = s->schedule(problem, context());
     EXPECT_TRUE(schedule_feasible(problem, schedule)) << s->name();
     EXPECT_EQ(schedule.x.size(), problem.devices.size()) << s->name();
   }
@@ -252,9 +257,9 @@ TEST(Baselines, LpvsBeatsRandomOnEnergy) {
   for (int trial = 0; trial < 8; ++trial) {
     const SlotProblem problem = random_problem(rng, 40, 0.3, 0.0);
     lpvs_total +=
-        LpvsScheduler().schedule(problem, anxiety()).energy_saving_ratio();
+        LpvsScheduler().schedule(problem, context()).energy_saving_ratio();
     random_total += RandomScheduler(trial)
-                        .schedule(problem, anxiety())
+                        .schedule(problem, context())
                         .energy_saving_ratio();
   }
   EXPECT_GT(lpvs_total, random_total);
@@ -265,9 +270,9 @@ TEST(Baselines, JointOptimalNeverWorseThanLpvs) {
   for (int trial = 0; trial < 8; ++trial) {
     const SlotProblem problem = random_problem(rng, 25, 0.35, 3000.0);
     const double lpvs =
-        LpvsScheduler().schedule(problem, anxiety()).objective;
+        LpvsScheduler().schedule(problem, context()).objective;
     const double joint =
-        JointOptimalScheduler().schedule(problem, anxiety()).objective;
+        JointOptimalScheduler().schedule(problem, context()).objective;
     EXPECT_LE(joint, lpvs + 1e-6) << "trial " << trial;
   }
 }
@@ -288,14 +293,14 @@ TEST(Baselines, GreedyAnxietyPrefersLowBattery) {
     }
   }
   const Schedule s =
-      GreedyAnxietyScheduler().schedule(problem, anxiety());
+      GreedyAnxietyScheduler().schedule(problem, context());
   EXPECT_EQ(s.x[most_anxious], 1);
 }
 
 TEST(Schedule, CapacityAccountingMatchesSelection) {
   common::Rng rng(12);
   const SlotProblem problem = random_problem(rng, 25, 0.5);
-  const Schedule s = LpvsScheduler().schedule(problem, anxiety());
+  const Schedule s = LpvsScheduler().schedule(problem, context());
   double compute = 0.0;
   double storage = 0.0;
   for (std::size_t n = 0; n < problem.devices.size(); ++n) {
@@ -340,7 +345,7 @@ TEST_P(SchedulerFuzz, AlwaysFeasible) {
   for (const Scheduler* s :
        std::initializer_list<const Scheduler*>{&random_sched, &greedy_energy,
                                                &greedy_anxiety, &lpvs}) {
-    EXPECT_TRUE(schedule_feasible(problem, s->schedule(problem, anxiety())))
+    EXPECT_TRUE(schedule_feasible(problem, s->schedule(problem, context())))
         << s->name() << " seed=" << c.seed;
   }
 }

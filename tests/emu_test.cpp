@@ -15,6 +15,11 @@ const survey::AnxietyModel& anxiety() {
   return model;
 }
 
+const core::RunContext& context() {
+  static const core::RunContext ctx(anxiety());
+  return ctx;
+}
+
 EmulatorConfig small_config(std::uint64_t seed = 42) {
   EmulatorConfig config;
   config.group_size = 40;
@@ -27,8 +32,8 @@ EmulatorConfig small_config(std::uint64_t seed = 42) {
 
 TEST(EmulatorTest, DeterministicForSameSeed) {
   const core::LpvsScheduler scheduler;
-  Emulator a(small_config(7), scheduler, anxiety());
-  Emulator b(small_config(7), scheduler, anxiety());
+  Emulator a(small_config(7), scheduler, context());
+  Emulator b(small_config(7), scheduler, context());
   const RunMetrics ma = a.run();
   const RunMetrics mb = b.run();
   EXPECT_DOUBLE_EQ(ma.total_energy_mwh, mb.total_energy_mwh);
@@ -39,8 +44,8 @@ TEST(EmulatorTest, DeterministicForSameSeed) {
 
 TEST(EmulatorTest, DifferentSeedsDifferentWorlds) {
   const core::LpvsScheduler scheduler;
-  Emulator a(small_config(1), scheduler, anxiety());
-  Emulator b(small_config(2), scheduler, anxiety());
+  Emulator a(small_config(1), scheduler, context());
+  Emulator b(small_config(2), scheduler, context());
   EXPECT_NE(a.run().total_energy_mwh, b.run().total_energy_mwh);
 }
 
@@ -49,8 +54,8 @@ TEST(EmulatorTest, PairedWorldsShareBaseline) {
   // device fleet (start fractions) — the paired-comparison guarantee.
   const core::LpvsScheduler lpvs;
   const core::RandomScheduler random_sched(5);
-  Emulator a(small_config(11), lpvs, anxiety());
-  Emulator b(small_config(11), random_sched, anxiety());
+  Emulator a(small_config(11), lpvs, context());
+  Emulator b(small_config(11), random_sched, context());
   const RunMetrics ma = a.run();
   const RunMetrics mb = b.run();
   EXPECT_EQ(ma.start_fractions, mb.start_fractions);
@@ -59,7 +64,7 @@ TEST(EmulatorTest, PairedWorldsShareBaseline) {
 TEST(EmulatorTest, LpvsSavesEnergy) {
   const core::LpvsScheduler scheduler;
   const PairedMetrics paired =
-      run_paired(small_config(3), scheduler, anxiety());
+      run_paired(small_config(3), scheduler, context());
   EXPECT_GT(paired.energy_saving_ratio(), 0.10);
   EXPECT_LT(paired.energy_saving_ratio(), 0.50);
   EXPECT_GE(paired.anxiety_reduction_ratio(), 0.0);
@@ -68,7 +73,7 @@ TEST(EmulatorTest, LpvsSavesEnergy) {
 TEST(EmulatorTest, NoTransformSavesNothing) {
   const core::NoTransformScheduler scheduler;
   const PairedMetrics paired =
-      run_paired(small_config(4), scheduler, anxiety());
+      run_paired(small_config(4), scheduler, context());
   EXPECT_NEAR(paired.energy_saving_ratio(), 0.0, 1e-12);
   EXPECT_EQ(paired.with_lpvs.total_selected, 0);
 }
@@ -77,7 +82,7 @@ TEST(EmulatorTest, BatteriesNeverNegativeAndOnlyDrain) {
   const core::LpvsScheduler scheduler;
   EmulatorConfig config = small_config(5);
   config.initial_battery_mean = 0.15;  // stress near-empty batteries
-  Emulator emulator(config, scheduler, anxiety());
+  Emulator emulator(config, scheduler, context());
   const RunMetrics metrics = emulator.run();
   for (std::size_t n = 0; n < metrics.final_fractions.size(); ++n) {
     EXPECT_GE(metrics.final_fractions[n], 0.0);
@@ -90,7 +95,7 @@ TEST(EmulatorTest, SufficientCapacityServesEveryone) {
   config.compute_capacity = 1e9;
   config.storage_capacity_mb = 1e9;
   const core::LpvsScheduler scheduler;
-  Emulator emulator(config, scheduler, anxiety());
+  Emulator emulator(config, scheduler, context());
   const RunMetrics metrics = emulator.run();
   for (std::size_t n = 0; n < metrics.served.size(); ++n) {
     EXPECT_TRUE(metrics.served[n]) << "device " << n;
@@ -101,7 +106,7 @@ TEST(EmulatorTest, ScarceCapacityServesSubset) {
   EmulatorConfig config = small_config(7);
   config.compute_capacity = 3.0;  // ~6 devices' worth
   const core::LpvsScheduler scheduler;
-  Emulator emulator(config, scheduler, anxiety());
+  Emulator emulator(config, scheduler, context());
   const RunMetrics metrics = emulator.run();
   long served = 0;
   for (const auto s : metrics.served) served += s;
@@ -117,8 +122,8 @@ TEST(EmulatorTest, GiveupShortensWatchTime) {
   EmulatorConfig without_giveup = with_giveup;
   without_giveup.enable_giveup = false;
   const core::NoTransformScheduler scheduler;
-  Emulator a(with_giveup, scheduler, anxiety());
-  Emulator b(without_giveup, scheduler, anxiety());
+  Emulator a(with_giveup, scheduler, context());
+  Emulator b(without_giveup, scheduler, context());
   double tpv_with = 0.0;
   double tpv_without = 0.0;
   const RunMetrics ma = a.run();
@@ -139,7 +144,7 @@ TEST(EmulatorTest, LpvsExtendsLowBatteryTpv) {
   config.initial_battery_mean = 0.35;
   config.initial_battery_std = 0.15;
   const core::LpvsScheduler scheduler;
-  const PairedMetrics paired = run_paired(config, scheduler, anxiety());
+  const PairedMetrics paired = run_paired(config, scheduler, context());
   const double with = paired.with_lpvs.mean_tpv(0.4, /*require_served=*/true);
   const double without = paired.without_lpvs.mean_tpv(0.4, false);
   EXPECT_GT(with, without * 1.1)
@@ -151,7 +156,7 @@ TEST(EmulatorTest, BayesianEstimatesApproachTrueGamma) {
   config.slots = 25;
   config.compute_capacity = 1e9;  // everyone served -> everyone observed
   const core::LpvsScheduler scheduler;
-  Emulator emulator(config, scheduler, anxiety());
+  Emulator emulator(config, scheduler, context());
   const RunMetrics metrics = emulator.run();
   double total_error = 0.0;
   long counted = 0;
@@ -177,10 +182,10 @@ TEST(EmulatorTest, OracleGammaAtLeastAsGoodAsFixedPrior) {
     const core::LpvsScheduler scheduler;
     config.gamma_mode = GammaMode::kOracle;
     oracle_saving +=
-        run_paired(config, scheduler, anxiety()).energy_saving_ratio();
+        run_paired(config, scheduler, context()).energy_saving_ratio();
     config.gamma_mode = GammaMode::kFixedPrior;
     fixed_saving +=
-        run_paired(config, scheduler, anxiety()).energy_saving_ratio();
+        run_paired(config, scheduler, context()).energy_saving_ratio();
   }
   EXPECT_GE(oracle_saving, fixed_saving - 0.02);
 }
@@ -191,7 +196,7 @@ TEST(EmulatorTest, VideoSwitchingKeepsDecisionAndStillSaves) {
   EmulatorConfig config = small_config(31);
   config.switch_probability = 1.0;  // every user switches every slot
   const core::LpvsScheduler scheduler;
-  const PairedMetrics paired = run_paired(config, scheduler, anxiety());
+  const PairedMetrics paired = run_paired(config, scheduler, context());
   EXPECT_GT(paired.energy_saving_ratio(), 0.08);
   EXPECT_LT(paired.energy_saving_ratio(), 0.50);
 }
@@ -200,8 +205,8 @@ TEST(EmulatorTest, VideoSwitchingDeterministic) {
   EmulatorConfig config = small_config(32);
   config.switch_probability = 0.5;
   const core::LpvsScheduler scheduler;
-  Emulator a(config, scheduler, anxiety());
-  Emulator b(config, scheduler, anxiety());
+  Emulator a(config, scheduler, context());
+  Emulator b(config, scheduler, context());
   EXPECT_DOUBLE_EQ(a.run().total_energy_mwh, b.run().total_energy_mwh);
 }
 
@@ -215,7 +220,7 @@ TEST(EmulatorTest, SwitchingAddsGammaEstimationError) {
     config.compute_capacity = 1e9;
     config.switch_probability = switch_probability;
     const core::LpvsScheduler scheduler;
-    Emulator emulator(config, scheduler, anxiety());
+    Emulator emulator(config, scheduler, context());
     const RunMetrics metrics = emulator.run();
     double total = 0.0;
     long counted = 0;
@@ -240,9 +245,9 @@ TEST(EmulatorTest, OneSlotAheadCloseToInstantaneous) {
   ahead.one_slot_ahead = true;
   const core::LpvsScheduler scheduler;
   const double instant_saving =
-      run_paired(instant, scheduler, anxiety()).energy_saving_ratio();
+      run_paired(instant, scheduler, context()).energy_saving_ratio();
   const double ahead_saving =
-      run_paired(ahead, scheduler, anxiety()).energy_saving_ratio();
+      run_paired(ahead, scheduler, context()).energy_saving_ratio();
   EXPECT_GT(ahead_saving, 0.10);
   EXPECT_LE(ahead_saving, instant_saving + 0.01);
   EXPECT_GT(ahead_saving, instant_saving - 0.08);
@@ -254,7 +259,7 @@ TEST(EmulatorTest, OneSlotAheadBootstrapsUntransformed) {
   config.slots = 1;
   config.one_slot_ahead = true;
   const core::LpvsScheduler scheduler;
-  const PairedMetrics paired = run_paired(config, scheduler, anxiety());
+  const PairedMetrics paired = run_paired(config, scheduler, context());
   EXPECT_NEAR(paired.energy_saving_ratio(), 0.0, 1e-12);
 }
 
@@ -264,19 +269,19 @@ TEST(EmulatorTest, NigGammaModeWorksAndConverges) {
   config.slots = 25;
   config.compute_capacity = 1e9;
   const core::LpvsScheduler scheduler;
-  Emulator emulator(config, scheduler, anxiety());
+  Emulator emulator(config, scheduler, context());
   const RunMetrics metrics = emulator.run();
   EXPECT_GT(metrics.total_selected, 0);
   // The paired saving with NIG must be in the same band as the standard
   // Bayesian mode (both converge to the true gammas).
-  const PairedMetrics paired = run_paired(config, scheduler, anxiety());
+  const PairedMetrics paired = run_paired(config, scheduler, context());
   EXPECT_GT(paired.energy_saving_ratio(), 0.10);
   EXPECT_LT(paired.energy_saving_ratio(), 0.50);
 }
 
 TEST(EmulatorTest, SchedulerRuntimeRecorded) {
   const core::LpvsScheduler scheduler;
-  Emulator emulator(small_config(12), scheduler, anxiety());
+  Emulator emulator(small_config(12), scheduler, context());
   const RunMetrics metrics = emulator.run();
   EXPECT_GT(metrics.mean_scheduler_ms, 0.0);
   EXPECT_EQ(metrics.slots_run, 12);
@@ -284,7 +289,7 @@ TEST(EmulatorTest, SchedulerRuntimeRecorded) {
 
 TEST(EmulatorTest, AnxietySamplesAccumulate) {
   const core::LpvsScheduler scheduler;
-  Emulator emulator(small_config(13), scheduler, anxiety());
+  Emulator emulator(small_config(13), scheduler, context());
   const RunMetrics metrics = emulator.run();
   // 40 devices x 12 slots x 12 chunks upper bound; must be substantial.
   EXPECT_GT(metrics.anxiety_samples, 1000);
@@ -315,7 +320,7 @@ TEST_P(GroupSizeSweep, EnergySavingStableUnderSufficientCapacity) {
   config.enable_giveup = false;
   config.seed = 1000 + static_cast<std::uint64_t>(GetParam());
   const core::LpvsScheduler scheduler;
-  const PairedMetrics paired = run_paired(config, scheduler, anxiety());
+  const PairedMetrics paired = run_paired(config, scheduler, context());
   EXPECT_GT(paired.energy_saving_ratio(), 0.12) << GetParam();
   EXPECT_LT(paired.energy_saving_ratio(), 0.45) << GetParam();
 }

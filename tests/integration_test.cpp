@@ -30,7 +30,7 @@ TEST(Integration, SurveyToEmulatorPipeline) {
   config.seed = 77;
   const core::LpvsScheduler scheduler;
   const emu::PairedMetrics paired =
-      emu::run_paired(config, scheduler, model);
+      emu::run_paired(config, scheduler, core::RunContext(model));
   EXPECT_GT(paired.energy_saving_ratio(), 0.1);
   EXPECT_GE(paired.anxiety_reduction_ratio(), 0.0);
 }
@@ -71,7 +71,7 @@ TEST(Integration, TraceDrivenVirtualClusterSizing) {
     const core::LpvsScheduler scheduler;
     const survey::AnxietyModel model = survey::AnxietyModel::reference();
     const emu::PairedMetrics paired =
-        emu::run_paired(config, scheduler, model);
+        emu::run_paired(config, scheduler, core::RunContext(model));
     EXPECT_GT(paired.energy_saving_ratio(), 0.05)
         << "session " << session->id.value;
     if (++clusters >= 3) break;  // three real trace-driven VCs suffice
@@ -98,7 +98,7 @@ TEST(Integration, LambdaTradeoffDirection) {
     config.initial_battery_std = 0.25;
     config.seed = 4242;
     const emu::PairedMetrics paired =
-        emu::run_paired(config, scheduler, model);
+        emu::run_paired(config, scheduler, core::RunContext(model));
     EXPECT_LE(paired.energy_saving_ratio(), prev_energy + 0.03)
         << "lambda " << lambda;
     EXPECT_GE(paired.anxiety_reduction_ratio(), prev_anxiety - 0.005)
@@ -120,7 +120,7 @@ TEST(Integration, SchedulerScalesLinearly) {
     config.chunks_per_slot = 8;
     config.enable_giveup = false;
     config.seed = 5555;
-    emu::Emulator emulator(config, scheduler, model);
+    emu::Emulator emulator(config, scheduler, core::RunContext(model));
     return emulator.run().mean_scheduler_ms;
   };
   const double t200 = time_for(200);

@@ -197,7 +197,7 @@ TEST(ObsDeterminism, ObservedRunIsBitIdenticalToUnobserved) {
   const core::LpvsScheduler scheduler;
   const emu::EmulatorConfig config = small_config();
 
-  emu::Emulator plain(config, scheduler, anxiety());
+  emu::Emulator plain(config, scheduler, core::RunContext(anxiety()));
   const emu::RunMetrics off = plain.run();
 
   MetricsRegistry registry;
@@ -215,6 +215,11 @@ TEST(ObsDeterminism, ObservedRunIsBitIdenticalToUnobserved) {
 }
 
 TEST(ObsDeterminism, SchedulerForwarderMatchesContextOverload) {
+  // Intentionally exercises the deprecated anxiety-only forwarders to pin
+  // down that they stay equivalent to the RunContext overloads until the
+  // legacy surface is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const core::LpvsScheduler scheduler;
   const emu::EmulatorConfig config = small_config();
   emu::Emulator emulator(config, scheduler, anxiety());
@@ -237,6 +242,7 @@ TEST(ObsDeterminism, SchedulerForwarderMatchesContextOverload) {
       scheduler.schedule(problem, core::RunContext(anxiety()));
   EXPECT_EQ(via_anxiety.x, via_context.x);
   EXPECT_EQ(via_anxiety.objective, via_context.objective);
+#pragma GCC diagnostic pop
 }
 
 TEST(ObsDeterminism, ObservedThreadedReplayMatchesPlainSerial) {
@@ -248,7 +254,7 @@ TEST(ObsDeterminism, ObservedThreadedReplayMatchesPlainSerial) {
   config.max_slots = 4;
 
   const emu::ReplayReport plain =
-      replay_city(twitch, scheduler, anxiety(), config);
+      replay_city(twitch, scheduler, core::RunContext(anxiety()), config);
 
   MetricsRegistry registry;
   config.threads = 4;

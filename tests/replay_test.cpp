@@ -11,6 +11,11 @@ const survey::AnxietyModel& anxiety() {
   return model;
 }
 
+const core::RunContext& context() {
+  static const core::RunContext ctx(anxiety());
+  return ctx;
+}
+
 trace::Trace small_trace(std::uint64_t seed = 3) {
   trace::TraceConfig config;
   config.channel_count = 60;
@@ -34,7 +39,7 @@ TEST(CityReplay, FormsClustersFromTrace) {
   const trace::Trace twitch = small_trace();
   const core::LpvsScheduler scheduler;
   const ReplayReport report =
-      replay_city(twitch, scheduler, anxiety(), small_replay());
+      replay_city(twitch, scheduler, context(), small_replay());
   ASSERT_GT(report.clusters.size(), 0u);
   EXPECT_LE(report.clusters.size(), 5u);
   for (const ClusterOutcome& cluster : report.clusters) {
@@ -51,9 +56,9 @@ TEST(CityReplay, LargestSessionsFirst) {
   ReplayConfig config = small_replay();
   config.max_clusters = 3;
   const ReplayReport all =
-      replay_city(twitch, scheduler, anxiety(), small_replay());
+      replay_city(twitch, scheduler, context(), small_replay());
   const ReplayReport top =
-      replay_city(twitch, scheduler, anxiety(), config);
+      replay_city(twitch, scheduler, context(), config);
   ASSERT_GE(all.clusters.size(), top.clusters.size());
   for (std::size_t i = 0; i < top.clusters.size(); ++i) {
     EXPECT_EQ(top.clusters[i].session, all.clusters[i].session);
@@ -64,7 +69,7 @@ TEST(CityReplay, AggregateEnergySavingPositive) {
   const trace::Trace twitch = small_trace();
   const core::LpvsScheduler scheduler;
   const ReplayReport report =
-      replay_city(twitch, scheduler, anxiety(), small_replay());
+      replay_city(twitch, scheduler, context(), small_replay());
   EXPECT_GT(report.energy_saving_ratio(), 0.05);
   EXPECT_LT(report.energy_saving_ratio(), 0.5);
   EXPECT_GT(report.total_devices, 0);
@@ -75,7 +80,7 @@ TEST(CityReplay, NoTransformSavesNothing) {
   const trace::Trace twitch = small_trace();
   const core::NoTransformScheduler scheduler;
   const ReplayReport report =
-      replay_city(twitch, scheduler, anxiety(), small_replay());
+      replay_city(twitch, scheduler, context(), small_replay());
   EXPECT_NEAR(report.energy_saving_ratio(), 0.0, 1e-12);
   EXPECT_EQ(report.total_served_slots, 0);
 }
@@ -84,9 +89,9 @@ TEST(CityReplay, Deterministic) {
   const trace::Trace twitch = small_trace();
   const core::LpvsScheduler scheduler;
   const ReplayReport a =
-      replay_city(twitch, scheduler, anxiety(), small_replay());
+      replay_city(twitch, scheduler, context(), small_replay());
   const ReplayReport b =
-      replay_city(twitch, scheduler, anxiety(), small_replay());
+      replay_city(twitch, scheduler, context(), small_replay());
   EXPECT_DOUBLE_EQ(a.energy_with_mwh, b.energy_with_mwh);
   EXPECT_DOUBLE_EQ(a.energy_without_mwh, b.energy_without_mwh);
 }
@@ -97,7 +102,7 @@ TEST(CityReplay, ViewerThresholdRespected) {
   ReplayConfig config = small_replay();
   config.min_viewers = 1000000;  // nobody qualifies
   const ReplayReport report =
-      replay_city(twitch, scheduler, anxiety(), config);
+      replay_city(twitch, scheduler, context(), config);
   EXPECT_TRUE(report.clusters.empty());
   EXPECT_DOUBLE_EQ(report.energy_saving_ratio(), 0.0);
 }
@@ -110,9 +115,9 @@ TEST(CityReplay, ParallelMatchesSerialExactly) {
   ReplayConfig parallel = small_replay();
   parallel.threads = 4;
   const ReplayReport a =
-      replay_city(twitch, scheduler, anxiety(), serial);
+      replay_city(twitch, scheduler, context(), serial);
   const ReplayReport b =
-      replay_city(twitch, scheduler, anxiety(), parallel);
+      replay_city(twitch, scheduler, context(), parallel);
   ASSERT_EQ(a.clusters.size(), b.clusters.size());
   EXPECT_DOUBLE_EQ(a.energy_with_mwh, b.energy_with_mwh);
   EXPECT_DOUBLE_EQ(a.energy_without_mwh, b.energy_without_mwh);
@@ -127,7 +132,7 @@ TEST(CityReplay, AnxietyAggregationWeighted) {
   const trace::Trace twitch = small_trace();
   const core::LpvsScheduler scheduler;
   const ReplayReport report =
-      replay_city(twitch, scheduler, anxiety(), small_replay());
+      replay_city(twitch, scheduler, context(), small_replay());
   // Weighted mean must lie within the per-cluster range.
   double lo = 1e9;
   double hi = -1e9;

@@ -22,6 +22,11 @@ const survey::AnxietyModel& anxiety() {
   return model;
 }
 
+const core::RunContext& context() {
+  static const core::RunContext ctx(anxiety());
+  return ctx;
+}
+
 TEST(Reproduction, Fig1DisplayDominatesBothPanels) {
   const display::DevicePowerModel model;
   display::FrameStats mid;
@@ -71,7 +76,7 @@ TEST(Reproduction, Fig7EnergySavingBand) {
   config.seed = 7060;
   const core::LpvsScheduler scheduler;
   const emu::PairedMetrics paired =
-      emu::run_paired(config, scheduler, anxiety());
+      emu::run_paired(config, scheduler, context());
   EXPECT_GT(paired.energy_saving_ratio(), 0.24);
   EXPECT_LT(paired.energy_saving_ratio(), 0.40);
   // Anxiety reduction in the paper's single-digit-to-low-teens band.
@@ -91,7 +96,7 @@ TEST(Reproduction, Fig8CapacityDilution) {
     config.compute_capacity = 45.0;
     config.enable_giveup = false;
     config.seed = 8000;
-    return emu::run_paired(config, scheduler, anxiety())
+    return emu::run_paired(config, scheduler, context())
         .energy_saving_ratio();
   };
   const double at_100 = saving_for(100);
@@ -113,7 +118,7 @@ TEST(Reproduction, Fig9TpvExtensionBand) {
   config.seed = 9070;
   const core::LpvsScheduler scheduler;
   const emu::PairedMetrics paired =
-      emu::run_paired(config, scheduler, anxiety());
+      emu::run_paired(config, scheduler, context());
   const double with = paired.with_lpvs.mean_tpv(0.40, true);
   const double without = paired.without_lpvs.mean_tpv(0.40, false);
   ASSERT_GT(without, 10.0);

@@ -46,7 +46,7 @@ TEST(Cdn, ChunkIdsListsAll) {
 TEST(Cache, InsertAndContains) {
   EdgeCache cache(100.0);
   const media::Video video = make_video(1, 5);
-  EXPECT_TRUE(cache.insert(video.id, video.chunks[0]));
+  EXPECT_TRUE(cache.insert(video.id, video.chunks[0]).ok());
   EXPECT_TRUE(cache.contains(video.id, video.chunks[0].id));
   EXPECT_FALSE(cache.contains(video.id, video.chunks[1].id));
   EXPECT_GT(cache.used_mb(), 0.0);
@@ -80,7 +80,8 @@ TEST(Cache, EvictsLeastRecentlyUsed) {
 TEST(Cache, OversizedChunkRejected) {
   EdgeCache cache(0.5);
   const media::Video video = make_video(1, 1);
-  EXPECT_FALSE(cache.insert(video.id, video.chunks[0]));
+  const common::Status status = cache.insert(video.id, video.chunks[0]);
+  EXPECT_EQ(status.code(), common::StatusCode::kResourceExhausted);
   EXPECT_EQ(cache.entries(), 0u);
 }
 
@@ -103,9 +104,10 @@ TEST(PrefetcherTest, PullsWindowFromCdn) {
   CdnServer cdn;
   cdn.publish(make_video(1, 30));
   EdgeCache cache(1024.0);
-  const int inserted =
+  const common::StatusOr<int> inserted =
       Prefetcher(10).prefetch(cdn, cache, common::VideoId{1}, 0);
-  EXPECT_EQ(inserted, 10);
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_EQ(inserted.value(), 10);
   EXPECT_TRUE(cache.contains(common::VideoId{1}, common::ChunkId{9}));
   EXPECT_FALSE(cache.contains(common::VideoId{1}, common::ChunkId{10}));
 }
@@ -114,21 +116,26 @@ TEST(PrefetcherTest, WindowPastEndTruncates) {
   CdnServer cdn;
   cdn.publish(make_video(1, 5));
   EdgeCache cache(1024.0);
-  EXPECT_EQ(Prefetcher(10).prefetch(cdn, cache, common::VideoId{1}, 3), 2);
+  EXPECT_EQ(Prefetcher(10).prefetch(cdn, cache, common::VideoId{1}, 3).value(),
+            2);
 }
 
-TEST(PrefetcherTest, UnknownVideoNoop) {
+TEST(PrefetcherTest, UnknownVideoNotFound) {
   CdnServer cdn;
   EdgeCache cache(1024.0);
-  EXPECT_EQ(Prefetcher(10).prefetch(cdn, cache, common::VideoId{9}, 0), 0);
+  const common::StatusOr<int> result =
+      Prefetcher(10).prefetch(cdn, cache, common::VideoId{9}, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kNotFound);
 }
 
 TEST(PrefetcherTest, AlreadyCachedNotCountedTwice) {
   CdnServer cdn;
   cdn.publish(make_video(1, 10));
   EdgeCache cache(1024.0);
-  Prefetcher(5).prefetch(cdn, cache, common::VideoId{1}, 0);
-  EXPECT_EQ(Prefetcher(8).prefetch(cdn, cache, common::VideoId{1}, 0), 3);
+  ASSERT_TRUE(Prefetcher(5).prefetch(cdn, cache, common::VideoId{1}, 0).ok());
+  EXPECT_EQ(Prefetcher(8).prefetch(cdn, cache, common::VideoId{1}, 0).value(),
+            3);
 }
 
 TEST(AvailableRequest, StopsAtFirstGap) {
