@@ -61,7 +61,8 @@ void BM_EmulatedRun(benchmark::State& state) {
   std::uint64_t seed = 0;
   for (auto _ : state) {
     config.seed = ++seed;
-    lpvs::emu::Emulator emulator(config, scheduler, anxiety);
+    lpvs::emu::Emulator emulator(config, scheduler,
+                                 lpvs::core::RunContext(anxiety));
     benchmark::DoNotOptimize(emulator.run());
   }
   state.SetComplexityN(state.range(0));

@@ -1,0 +1,44 @@
+// Machine-readable bench output: benches that back a performance claim
+// write a BENCH_<name>.json next to their stdout tables, so CI and
+// regression tooling can diff runs without scraping text.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lpvs/common/json.hpp"
+
+namespace lpvs::bench {
+
+/// Writes `doc` to BENCH_<name>.json in the working directory.
+inline bool write_bench_json(const std::string& name,
+                             const common::Json& doc) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << doc.dump(2) << '\n';
+  out.flush();
+  if (!out) return false;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+/// Exact q-th percentile of the samples (nearest-rank on a sorted copy);
+/// 0 when there are no samples.
+inline double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+}  // namespace lpvs::bench

@@ -2,17 +2,22 @@
 // Twitch trace, one virtual cluster + edge server per major live session,
 // paired with/without-LPVS emulation, aggregated city-wide — what a
 // provider deploying LPVS across a metro's base stations would see.
+#include <chrono>
 #include <cstdio>
 
+#include "bench_output.hpp"
 #include "lpvs/common/table.hpp"
 #include "lpvs/emu/replay.hpp"
+#include "lpvs/obs/metrics.hpp"
 
 int main() {
   using namespace lpvs;
 
   const trace::Trace twitch = trace::TwitchLikeGenerator().generate(77);
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
-  const core::RunContext context(anxiety);
+  obs::MetricsRegistry registry;
+  const core::RunContext context =
+      core::RunContext(anxiety).with_metrics(&registry);
   const core::LpvsScheduler scheduler;
 
   emu::ReplayConfig config;
@@ -23,8 +28,12 @@ int main() {
   config.enable_giveup = true;
   config.seed = 99;
 
+  const auto t0 = std::chrono::steady_clock::now();
   const emu::ReplayReport report =
       emu::replay_city(twitch, scheduler, context, config);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
 
   std::printf("=== city-scale LPVS replay ===\n\n");
   std::printf("clusters: %zu, devices: %ld, slot horizon: <= %d\n\n",
@@ -54,5 +63,35 @@ int main() {
               report.mean_low_battery_tpv(true));
   std::printf("mean scheduler time/slot:    %.2f ms\n",
               report.mean_scheduler_ms);
-  return 0;
+
+  // Machine-readable contract: throughput, slot-solve latency quantiles
+  // (from the scheduler's own solve-time histogram), and search effort.
+  long cluster_slots = 0;
+  for (const emu::ClusterOutcome& cluster : report.clusters) {
+    cluster_slots += cluster.slots;
+  }
+  const obs::Histogram& solve_ms =
+      registry.histogram("lpvs_scheduler_solve_ms",
+                         obs::MetricsRegistry::time_buckets_ms());
+  common::Json doc = common::Json::object();
+  doc.set("bench", "trace_replay");
+  doc.set("clusters", static_cast<long>(report.clusters.size()));
+  doc.set("devices", report.total_devices);
+  doc.set("cluster_slots", cluster_slots);
+  doc.set("wall_ms", wall_ms);
+  doc.set("slots_per_sec",
+          wall_ms > 0.0 ? 1000.0 * static_cast<double>(cluster_slots) /
+                              wall_ms
+                        : 0.0);
+  common::Json latency = common::Json::object();
+  latency.set("mean_ms", report.mean_scheduler_ms);
+  latency.set("p50_ms", solve_ms.quantile(0.5));
+  latency.set("p99_ms", solve_ms.quantile(0.99));
+  doc.set("slot_latency", std::move(latency));
+  doc.set("ilp_nodes_total",
+          static_cast<long>(
+              registry.counter("lpvs_scheduler_ilp_nodes_total").value()));
+  doc.set("energy_saving_ratio", report.energy_saving_ratio());
+  doc.set("anxiety_reduction_ratio", report.anxiety_reduction_ratio());
+  return lpvs::bench::write_bench_json("trace_replay", doc) ? 0 : 1;
 }

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_output.hpp"
 #include "lpvs/common/rng.hpp"
 #include "lpvs/common/table.hpp"
 #include "lpvs/core/scheduler.hpp"
@@ -93,6 +94,20 @@ struct LegResult {
   long nodes = 0;
   double wall_ms = 0.0;
   std::vector<double> objectives;
+  std::vector<double> slot_ms;  ///< per-slot solve latency
+
+  lpvs::common::Json to_json() const {
+    lpvs::common::Json leg = lpvs::common::Json::object();
+    leg.set("nodes", nodes);
+    leg.set("wall_ms", wall_ms);
+    leg.set("slots_per_sec",
+            wall_ms > 0.0 ? 1000.0 * static_cast<double>(slot_ms.size()) /
+                                wall_ms
+                          : 0.0);
+    leg.set("p50_ms", lpvs::bench::percentile(slot_ms, 0.5));
+    leg.set("p99_ms", lpvs::bench::percentile(slot_ms, 0.99));
+    return leg;
+  }
 };
 
 }  // namespace
@@ -113,6 +128,7 @@ int main() {
   common::Table table({"devices", "cold nodes", "warm nodes", "node cut",
                        "cold ms", "warm ms", "warm starts"});
   bool all_pass = true;
+  common::Json rows = common::Json::array();
 
   for (const int devices : {40, 60, 120}) {
     // The identical slot-problem stream feeds both legs.
@@ -129,11 +145,15 @@ int main() {
       LegResult leg;
       const auto t0 = std::chrono::steady_clock::now();
       for (const core::SlotProblem& slot : slots) {
+        const auto s0 = std::chrono::steady_clock::now();
         const solver::BinaryProgram program = core::phase1_program(slot);
         const solver::CachedSolve solved =
             solver::solve_with_cache(solver, program, cache, /*key=*/1);
+        const auto s1 = std::chrono::steady_clock::now();
         leg.nodes += solved.solution.nodes_explored;
         leg.objectives.push_back(solved.solution.objective);
+        leg.slot_ms.push_back(
+            std::chrono::duration<double, std::milli>(s1 - s0).count());
       }
       const auto t1 = std::chrono::steady_clock::now();
       leg.wall_ms =
@@ -169,10 +189,25 @@ int main() {
                    common::Table::num(cold.wall_ms, 1),
                    common::Table::num(warm.wall_ms, 1),
                    std::to_string(cache.stats().warm_starts)});
+
+    common::Json row = common::Json::object();
+    row.set("devices", devices);
+    row.set("slots", kSlots);
+    row.set("node_cut_percent", cut);
+    row.set("warm_starts", cache.stats().warm_starts);
+    row.set("cold", cold.to_json());
+    row.set("warm", warm.to_json());
+    rows.push(std::move(row));
   }
 
   std::printf("%s\n", table.render().c_str());
   std::printf("acceptance (>=30%% fewer nodes, identical objectives): %s\n",
               all_pass ? "PASS" : "FAIL");
-  return all_pass ? 0 : 1;
+
+  common::Json doc = common::Json::object();
+  doc.set("bench", "warm_start");
+  doc.set("pass", all_pass);
+  doc.set("legs", std::move(rows));
+  const bool wrote = lpvs::bench::write_bench_json("warm_start", doc);
+  return all_pass && wrote ? 0 : 1;
 }

@@ -51,6 +51,23 @@ GammaEstimator::GammaEstimator(Prior prior)
   assert(prior_.observation_variance > 0.0);
 }
 
+GammaEstimator::State GammaEstimator::state() const {
+  State state;
+  state.prior = prior_;
+  state.mean = mean_;
+  state.variance = variance_;
+  state.observations = observations_;
+  return state;
+}
+
+GammaEstimator GammaEstimator::from_state(const State& state) {
+  GammaEstimator estimator(state.prior);
+  estimator.mean_ = state.mean;
+  estimator.variance_ = state.variance;
+  estimator.observations_ = static_cast<std::size_t>(state.observations);
+  return estimator;
+}
+
 void GammaEstimator::observe(double delta) {
   // Conjugate Gaussian update (equation (17) with Gaussian likelihood):
   // posterior precision adds, posterior mean is the precision-weighted

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace lpvs::bayes {
 
@@ -39,8 +40,23 @@ class GammaEstimator {
     double observation_variance = 0.03 * 0.03;
   };
 
+  /// The full posterior, as plain data.  Round-trips bit-exactly through
+  /// state()/from_state(), so a posterior serialized on one edge server
+  /// (fleet handoff, checkpoint) yields an estimator whose next
+  /// expected_gamma() — and every later update — is bit-identical to the
+  /// original's.
+  struct State {
+    Prior prior;
+    double mean = 0.0;
+    double variance = 0.0;
+    std::uint64_t observations = 0;
+  };
+
   GammaEstimator() : GammaEstimator(Prior{}) {}
   explicit GammaEstimator(Prior prior);
+
+  State state() const;
+  static GammaEstimator from_state(const State& state);
 
   /// Bayes update with one observed per-slot power reduction Delta_n.
   /// Gaussian-Gaussian conjugacy: closed form, no approximation.

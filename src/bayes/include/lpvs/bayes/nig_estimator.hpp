@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace lpvs::bayes {
 
@@ -26,8 +27,22 @@ class NigGammaEstimator {
     double upper = 0.49;    ///< gamma_U
   };
 
+  /// The full NIG posterior, as plain data; round-trips bit-exactly
+  /// through state()/from_state() (fleet handoff and checkpoint carry it).
+  struct State {
+    Prior prior;
+    double mean = 0.0;
+    double kappa = 0.0;
+    double alpha = 0.0;
+    double beta = 0.0;
+    std::uint64_t observations = 0;
+  };
+
   NigGammaEstimator() : NigGammaEstimator(Prior{}) {}
   explicit NigGammaEstimator(Prior prior);
+
+  State state() const;
+  static NigGammaEstimator from_state(const State& state);
 
   /// Standard NIG conjugate update with one observation.
   void observe(double delta);

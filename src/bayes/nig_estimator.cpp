@@ -17,6 +17,27 @@ NigGammaEstimator::NigGammaEstimator(Prior prior)
   assert(prior_.upper > prior_.lower);
 }
 
+NigGammaEstimator::State NigGammaEstimator::state() const {
+  State state;
+  state.prior = prior_;
+  state.mean = mean_;
+  state.kappa = kappa_;
+  state.alpha = alpha_;
+  state.beta = beta_;
+  state.observations = observations_;
+  return state;
+}
+
+NigGammaEstimator NigGammaEstimator::from_state(const State& state) {
+  NigGammaEstimator estimator(state.prior);
+  estimator.mean_ = state.mean;
+  estimator.kappa_ = state.kappa;
+  estimator.alpha_ = state.alpha;
+  estimator.beta_ = state.beta;
+  estimator.observations_ = static_cast<std::size_t>(state.observations);
+  return estimator;
+}
+
 void NigGammaEstimator::observe(double delta) {
   // One-observation NIG update (e.g. Murphy, "Conjugate Bayesian analysis
   // of the Gaussian distribution", eqs. 85-89 with n = 1):

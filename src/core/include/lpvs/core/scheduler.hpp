@@ -63,22 +63,14 @@ struct Schedule {
 
 /// Interface shared by LPVS and all baseline selectors.
 ///
-/// The primary entry point takes a RunContext (anxiety model plus optional
-/// observability sinks); the two-argument anxiety overload is a thin
-/// forwarder kept so pre-RunContext call sites compile unchanged.
+/// The single entry point takes a RunContext: the anxiety model plus the
+/// optional capabilities (metrics, tracing, solve cache, faults, deadline).
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
   virtual std::string name() const = 0;
   virtual Schedule schedule(const SlotProblem& problem,
                             const RunContext& context) const = 0;
-  [[deprecated(
-      "construct a core::RunContext (RunContext(anxiety) or the fluent "
-      "with_* builder) and call schedule(problem, context)")]] Schedule
-  schedule(const SlotProblem& problem,
-           const survey::AnxietyModel& anxiety) const {
-    return schedule(problem, RunContext(anxiety));
-  }
 };
 
 /// Scores a given selection vector: fills every metric field of Schedule.
@@ -123,20 +115,12 @@ class LpvsScheduler : public Scheduler {
   explicit LpvsScheduler(Options options) : options_(options) {}
 
   std::string name() const override { return "lpvs"; }
-  using Scheduler::schedule;
   Schedule schedule(const SlotProblem& problem,
                     const RunContext& context) const override;
 
   /// Phase-1 only (exposed for the ablation bench).
   Schedule schedule_phase1_only(const SlotProblem& problem,
                                 const RunContext& context) const;
-  [[deprecated(
-      "construct a core::RunContext and call "
-      "schedule_phase1_only(problem, context)")]] Schedule
-  schedule_phase1_only(const SlotProblem& problem,
-                       const survey::AnxietyModel& anxiety) const {
-    return schedule_phase1_only(problem, RunContext(anxiety));
-  }
 
  private:
   Schedule run(const SlotProblem& problem, const RunContext& context,
@@ -149,7 +133,6 @@ class LpvsScheduler : public Scheduler {
 class NoTransformScheduler : public Scheduler {
  public:
   std::string name() const override { return "no-transform"; }
-  using Scheduler::schedule;
   Schedule schedule(const SlotProblem& problem,
                     const RunContext& context) const override;
 };
@@ -160,7 +143,6 @@ class RandomScheduler : public Scheduler {
  public:
   explicit RandomScheduler(std::uint64_t seed) : seed_(seed) {}
   std::string name() const override { return "random"; }
-  using Scheduler::schedule;
   Schedule schedule(const SlotProblem& problem,
                     const RunContext& context) const override;
 
@@ -172,7 +154,6 @@ class RandomScheduler : public Scheduler {
 class GreedyEnergyScheduler : public Scheduler {
  public:
   std::string name() const override { return "greedy-energy"; }
-  using Scheduler::schedule;
   Schedule schedule(const SlotProblem& problem,
                     const RunContext& context) const override;
 };
@@ -181,7 +162,6 @@ class GreedyEnergyScheduler : public Scheduler {
 class GreedyAnxietyScheduler : public Scheduler {
  public:
   std::string name() const override { return "greedy-anxiety"; }
-  using Scheduler::schedule;
   Schedule schedule(const SlotProblem& problem,
                     const RunContext& context) const override;
 };
@@ -195,7 +175,6 @@ class JointOptimalScheduler : public Scheduler {
       solver::BranchAndBoundSolver::Options options = {})
       : options_(options) {}
   std::string name() const override { return "joint-optimal"; }
-  using Scheduler::schedule;
   Schedule schedule(const SlotProblem& problem,
                     const RunContext& context) const override;
 

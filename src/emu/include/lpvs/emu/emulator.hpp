@@ -127,12 +127,6 @@ class Emulator {
  public:
   Emulator(EmulatorConfig config, const core::Scheduler& scheduler,
            core::RunContext context);
-  [[deprecated(
-      "construct a core::RunContext (RunContext(anxiety) or the fluent "
-      "with_* builder) and use Emulator(config, scheduler, context)")]]
-  Emulator(EmulatorConfig config, const core::Scheduler& scheduler,
-           const survey::AnxietyModel& anxiety)
-      : Emulator(std::move(config), scheduler, core::RunContext(anxiety)) {}
 
   RunMetrics run();
 
@@ -165,12 +159,5 @@ struct PairedMetrics {
 PairedMetrics run_paired(const EmulatorConfig& config,
                          const core::Scheduler& scheduler,
                          const core::RunContext& context);
-[[deprecated(
-    "construct a core::RunContext and use "
-    "run_paired(config, scheduler, context)")]] inline PairedMetrics
-run_paired(const EmulatorConfig& config, const core::Scheduler& scheduler,
-           const survey::AnxietyModel& anxiety) {
-  return run_paired(config, scheduler, core::RunContext(anxiety));
-}
 
 }  // namespace lpvs::emu

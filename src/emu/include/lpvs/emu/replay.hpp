@@ -78,12 +78,5 @@ ReplayReport replay_city(const trace::Trace& trace,
                          const core::Scheduler& scheduler,
                          const core::RunContext& context,
                          const ReplayConfig& config);
-[[deprecated(
-    "construct a core::RunContext and use "
-    "replay_city(trace, scheduler, context, config)")]] inline ReplayReport
-replay_city(const trace::Trace& trace, const core::Scheduler& scheduler,
-            const survey::AnxietyModel& anxiety, const ReplayConfig& config) {
-  return replay_city(trace, scheduler, core::RunContext(anxiety), config);
-}
 
 }  // namespace lpvs::emu

@@ -32,6 +32,10 @@ const char* fault_site_name(FaultSite site) {
       return "network_link";
     case FaultSite::kSolverBudget:
       return "solver_budget";
+    case FaultSite::kServerCrash:
+      return "server_crash";
+    case FaultSite::kHandoffTransfer:
+      return "handoff_transfer";
   }
   return "unknown";
 }

@@ -37,8 +37,10 @@ enum class FaultSite : int {
   kEncoderWorker,        ///< transform job at the encoder farm
   kNetworkLink,          ///< device last-hop throughput (outage / degrade)
   kSolverBudget,         ///< per-slot solve deadline (overrun -> degrade)
+  kServerCrash,          ///< edge server loses in-memory state (fleet)
+  kHandoffTransfer,      ///< inter-server session-state transfer (fleet)
 };
-inline constexpr int kFaultSiteCount = 7;
+inline constexpr int kFaultSiteCount = 9;
 
 /// Stable lowercase label (metrics names, traces, logs).
 const char* fault_site_name(FaultSite site);

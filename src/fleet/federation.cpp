@@ -1,0 +1,793 @@
+#include "lpvs/fleet/federation.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "lpvs/battery/battery.hpp"
+#include "lpvs/bayes/gamma_estimator.hpp"
+#include "lpvs/bayes/nig_estimator.hpp"
+#include "lpvs/common/thread_pool.hpp"
+#include "lpvs/display/display.hpp"
+#include "lpvs/fleet/wire.hpp"
+#include "lpvs/media/video.hpp"
+#include "lpvs/survey/population.hpp"
+#include "lpvs/transform/transform.hpp"
+
+namespace lpvs::fleet {
+namespace {
+
+/// Same derived-stream construction as the emulator: all per-entity-per-slot
+/// randomness is a pure function of (seed, entity, slot), so federation
+/// replays are bit-identical regardless of thread count or server layout.
+common::Rng derived_rng(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  return common::Rng(seed ^ (a + 1) * 0x9E3779B97F4A7C15ULL ^
+                     (b + 1) * 0xC2B2AE3D27D4EB4FULL);
+}
+
+/// Seed salts for the federation's own derived streams (distinct from the
+/// emulator's 0xF00D/0x5717C4/0xBA1E family except the Bayes-noise salt,
+/// which is shared deliberately: a user observed by any server sees the
+/// same measurement noise).
+constexpr std::uint64_t kMobilitySalt = 0x0F1EE7u;
+constexpr std::uint64_t kDeviceSalt = 0xF1u;
+constexpr std::uint64_t kBayesNoiseSalt = 0xBA1Eu;
+
+/// Same session-budget convention as the emulator (kEffectiveCapacityScale
+/// there): a user budgets a quarter of the charge for one viewing session.
+constexpr double kEffectiveCapacityScale = 0.25;
+
+/// Fingerprint under which a server stores the handoff-derived warm hint.
+/// It matches no real problem fingerprint (collisions are the cache's
+/// accepted 2^-64 risk), so the hint never replays as an exact hit — it can
+/// only be greedy-repaired into a warm incumbent, index-aligned with the
+/// current slot's session order.
+constexpr std::uint64_t kHintFingerprint = 0xF1EE7F00DB17E5ULL;
+
+/// Placement key for a user: the mobility epoch in the high bits redraws
+/// the rendezvous permutation for this user only, leaving everyone else's
+/// assignment untouched.
+std::uint64_t place_key(std::uint64_t user, std::uint32_t epoch) {
+  return (static_cast<std::uint64_t>(epoch) << 32) ^ user;
+}
+
+}  // namespace
+
+/// One emulated viewer: the device-side ground truth (battery, watching
+/// state, content identity).  Server-side learned state lives in the
+/// sessions; a crash can lose the learning, never the device.
+struct Federation::FleetUser {
+  std::uint64_t id = 0;
+  media::Genre genre = media::Genre::kIrlChat;
+  double bitrate_mbps = 3.0;
+  display::DisplaySpec spec;
+  battery::Battery battery;
+  double start_fraction = 0.5;
+  int giveup_percent = 10;
+  int end_slot = 0;  ///< trace slot after which the user stops watching
+  bool watching = true;
+  double watch_minutes = 0.0;
+  std::uint32_t epoch = 0;       ///< mobility epoch (placement key salt)
+  std::uint32_t prev_epoch = 0;  ///< epoch at the previous reconcile
+  bool placed = false;
+  std::uint64_t server = 0;
+  /// A session existed at some point; re-creating one afterwards is a cold
+  /// restart (learned state lost), unlike the initial attach.
+  bool established = false;
+};
+
+/// Per-session learned state held by the owning server (what handoff moves
+/// and checkpoints snapshot).
+struct ServerSession {
+  bayes::GammaEstimator estimator;
+  bayes::NigGammaEstimator nig;
+  std::uint8_t last_assignment = 0;
+  std::uint32_t slots_served = 0;
+};
+
+/// One emulated edge server.  Owns its sessions, its solve cache (one
+/// warm-start stream keyed by the logical server id), and private copies of
+/// the pricing models so the parallel serve phase shares nothing mutable.
+struct Federation::EdgeServer {
+  ServerInfo info;
+  std::map<std::uint64_t, ServerSession> sessions;  // user-id order
+  solver::SolveCache cache;
+  std::uint64_t slots_run = 0;
+  ServerReport report;
+  transform::TransformEngine engine;
+  media::PowerRateEstimator estimator;
+  transform::ResourceModel resources;
+  bool leaving = false;
+
+  /// What the parallel serve phase produced this slot; folded into the
+  /// totals sequentially (sorted server order) after the barrier so double
+  /// summation order is thread-count independent.
+  double slot_energy_mwh = 0.0;
+  double slot_objective = 0.0;
+  double slot_anxiety = 0.0;
+  long slot_anxiety_samples = 0;
+  long slot_selected = 0;
+  long slot_scheduled = 0;
+  long slot_capacity_violations = 0;
+};
+
+Federation::Federation(FederationConfig config, const trace::Trace& trace,
+                       const core::Scheduler& scheduler,
+                       core::RunContext context)
+    : config_(std::move(config)),
+      trace_(trace),
+      scheduler_(scheduler),
+      context_(context),
+      placement_(std::vector<ServerInfo>{}) {
+  assert(config_.servers > 0);
+  assert(config_.slots > 0);
+  assert(config_.chunks_per_slot > 0);
+  assert(context_.anxiety != nullptr);
+}
+
+Federation::~Federation() = default;
+
+Federation::EdgeServer& Federation::server(std::uint64_t id) {
+  auto it = servers_.find(id);
+  assert(it != servers_.end());
+  return *it->second;
+}
+
+void Federation::setup_servers() {
+  std::vector<ServerInfo> members;
+  members.reserve(static_cast<std::size_t>(config_.servers));
+  for (int s = 0; s < config_.servers; ++s) {
+    ServerInfo info;
+    info.id = static_cast<std::uint64_t>(s);
+    if (static_cast<std::size_t>(s) < config_.server_weights.size()) {
+      info.capacity_weight = config_.server_weights[static_cast<std::size_t>(s)];
+    }
+    members.push_back(info);
+    auto edge = std::make_unique<EdgeServer>();
+    edge->info = info;
+    edge->report.id = info.id;
+    servers_[info.id] = std::move(edge);
+  }
+  placement_ = Placement(members);
+}
+
+void Federation::setup_users() {
+  // Users come from the trace: sessions live at the start slot with enough
+  // viewers, most-watched first, one user per session round-robin until the
+  // cap — so the audience mirrors the trace's popularity skew.
+  std::vector<const trace::Session*> live =
+      trace_.live_sessions(config_.start_slot);
+  std::erase_if(live, [&](const trace::Session* s) {
+    return s->viewers_at(config_.start_slot) < config_.min_viewers;
+  });
+  if (live.empty()) live = trace_.live_sessions(config_.start_slot);
+  std::sort(live.begin(), live.end(),
+            [&](const trace::Session* a, const trace::Session* b) {
+              const int va = a->viewers_at(config_.start_slot);
+              const int vb = b->viewers_at(config_.start_slot);
+              if (va != vb) return va > vb;
+              return a->id.value < b->id.value;
+            });
+
+  const int user_count = live.empty() ? 0 : config_.users;
+  users_.clear();
+  users_.reserve(static_cast<std::size_t>(user_count));
+
+  // Give-up thresholds from the survey answer model, exactly like the
+  // single-server emulator.
+  common::Rng setup_rng = derived_rng(config_.seed, 0xDEu, 0xADu);
+  const survey::SyntheticPopulation population;
+  const std::vector<survey::Participant> participants =
+      population.generate(user_count, setup_rng);
+
+  const auto& catalog = display::DeviceCatalog::standard();
+  for (int n = 0; n < user_count; ++n) {
+    const trace::Session* session = live[static_cast<std::size_t>(n) %
+                                         live.size()];
+    const trace::Channel& channel = trace_.channel(session->channel);
+
+    common::Rng device_rng =
+        derived_rng(config_.seed, kDeviceSalt, static_cast<std::uint64_t>(n));
+    FleetUser user;
+    user.id = static_cast<std::uint64_t>(n);
+    user.genre = channel.genre;
+    user.bitrate_mbps = channel.bitrate_mbps;
+    const auto& profile = catalog.sample(device_rng);
+    user.spec = profile.spec;
+    user.start_fraction = device_rng.truncated_normal(
+        config_.initial_battery_mean, config_.initial_battery_std, 0.05, 1.0);
+    user.battery = battery::Battery(
+        common::MilliwattHours{profile.battery_mwh * kEffectiveCapacityScale},
+        user.start_fraction);
+    user.giveup_percent =
+        participants[static_cast<std::size_t>(n)].giveup_level;
+    user.end_slot = session->end_slot();
+    users_.push_back(std::move(user));
+  }
+}
+
+void Federation::handle_crashes(int slot, FederationReport& report) {
+  const fault::FaultInjector* faults = context_.faults;
+  if (faults == nullptr ||
+      !faults->site_enabled(fault::FaultSite::kServerCrash)) {
+    return;
+  }
+  obs::MetricsRegistry* registry = context_.metrics;
+  const int global_slot = config_.start_slot + slot;
+
+  for (auto& [id, edge] : servers_) {
+    if (edge->leaving) continue;
+    if (!faults->should_drop(fault::FaultSite::kServerCrash, id,
+                             static_cast<std::uint64_t>(global_slot))) {
+      continue;
+    }
+    // The server's memory is gone: sessions, solve cache, slot counter.
+    edge->sessions.clear();
+    edge->cache.clear();
+    edge->slots_run = 0;
+    ++edge->report.failovers;
+    ++report.failovers;
+    if (registry != nullptr) {
+      registry
+          ->counter("fleet_failover_total",
+                    "Server crashes recovered by checkpoint failover")
+          .add(1);
+    }
+    if (context_.events != nullptr) {
+      context_.events->record(
+          {obs::EventKind::kFaultInjected, global_slot, /*device=*/-1,
+           {{"site", static_cast<double>(
+                         static_cast<int>(fault::FaultSite::kServerCrash))},
+            {"server", static_cast<double>(id)}}});
+    }
+
+    // Failover: the peer holding the replicated checkpoint restores the
+    // crashed server's logical cluster through the full decode path.
+    common::StatusOr<Checkpoint> restored = checkpoints_.restore(id);
+    if (!restored.ok()) continue;  // nothing replicated: full cold restart
+    const Checkpoint& checkpoint = restored.value();
+    const double staleness =
+        static_cast<double>(global_slot - 1 - checkpoint.slot);
+    obs::Histogram* staleness_hist = nullptr;
+    if (registry != nullptr) {
+      staleness_hist = &registry->histogram(
+          "fleet_posterior_staleness_slots",
+          obs::MetricsRegistry::linear_buckets(0.0, 1.0, 17),
+          "Slots of posterior learning lost per restored session");
+    }
+    for (const SessionState& state : checkpoint.sessions) {
+      ServerSession session;
+      session.estimator = bayes::GammaEstimator::from_state(state.gamma);
+      session.nig = bayes::NigGammaEstimator::from_state(state.nig);
+      session.last_assignment = state.last_assignment;
+      session.slots_served = state.slots_served;
+      edge->sessions[state.user] = std::move(session);
+      if (staleness_hist != nullptr) staleness_hist->observe(staleness);
+    }
+    edge->cache.import_entries(checkpoint.cache_entries);
+    edge->slots_run = checkpoint.slots_run;
+  }
+}
+
+void Federation::reconcile_placement(int slot, bool rebalancing,
+                                     FederationReport& report) {
+  obs::MetricsRegistry* registry = context_.metrics;
+  const int global_slot = config_.start_slot + slot;
+  const fault::FaultInjector* faults = context_.faults;
+
+  for (FleetUser& user : users_) {
+    // Trace lifetime: the channel's session ended, the viewer leaves.
+    if (user.watching && global_slot >= user.end_slot) user.watching = false;
+    const bool active = user.watching && !user.battery.empty();
+
+    if (!active) {
+      if (user.placed) {
+        auto it = servers_.find(user.server);
+        if (it != servers_.end()) it->second->sessions.erase(user.id);
+        user.placed = false;
+      }
+      user.prev_epoch = user.epoch;
+      continue;
+    }
+
+    if (placement_.servers().empty()) {
+      user.placed = false;
+      user.prev_epoch = user.epoch;
+      continue;
+    }
+    const std::uint64_t desired = placement_.place(place_key(user.id,
+                                                             user.epoch));
+
+    if (!user.placed) {
+      // First attach (or re-attach after inactivity): cold session, no
+      // state to move.
+      user.server = desired;
+      user.placed = true;
+      EdgeServer& dest = server(desired);
+      if (dest.sessions.find(user.id) == dest.sessions.end()) {
+        dest.sessions[user.id] = ServerSession{};
+        if (user.established) {
+          ++dest.report.cold_restarts;
+          if (registry != nullptr) {
+            registry
+                ->counter("fleet_cold_restarts_total",
+                          "Sessions rebuilt at the prior after lost state")
+                .add(1);
+          }
+        }
+        user.established = true;
+      }
+      user.prev_epoch = user.epoch;
+      continue;
+    }
+
+    if (desired == user.server) {
+      // Stationary — but the owning server may have crashed without a
+      // checkpoint, in which case the session must be rebuilt cold.
+      EdgeServer& home = server(user.server);
+      if (home.sessions.find(user.id) == home.sessions.end()) {
+        home.sessions[user.id] = ServerSession{};
+        ++home.report.cold_restarts;
+        if (registry != nullptr) {
+          registry
+              ->counter("fleet_cold_restarts_total",
+                        "Sessions rebuilt at the prior after lost state")
+              .add(1);
+        }
+      }
+      user.prev_epoch = user.epoch;
+      continue;
+    }
+
+    // Migration: mobility redraws (epoch changed) or membership
+    // rebalancing moved the user's rendezvous winner.
+    const bool moved_by_rebalance = user.epoch == user.prev_epoch;
+    if (moved_by_rebalance) {
+      ++report.placement_moves;
+      if (registry != nullptr) {
+        registry
+            ->counter("fleet_placement_moves_total",
+                      "Users re-placed by server join/leave rebalancing")
+            .add(1);
+      }
+    }
+
+    EdgeServer& dest = server(desired);
+    auto source_it = servers_.find(user.server);
+    ServerSession* source_session = nullptr;
+    if (source_it != servers_.end()) {
+      auto sit = source_it->second->sessions.find(user.id);
+      if (sit != source_it->second->sessions.end()) {
+        source_session = &sit->second;
+      }
+    }
+
+    bool installed = false;
+    if (source_session != nullptr) {
+      SessionState state;
+      state.user = user.id;
+      state.gamma = source_session->estimator.state();
+      state.nig = source_session->nig.state();
+      state.battery_fraction = user.battery.fraction();
+      state.last_assignment = source_session->last_assignment;
+      state.slots_served = source_session->slots_served;
+
+      SessionState received;
+      const HandoffOutcome outcome = handoff_.transfer(
+          faults, state, static_cast<std::uint64_t>(global_slot), received);
+      if (registry != nullptr) {
+        registry
+            ->counter("fleet_handoff_total",
+                      "Session-state transfers attempted between servers")
+            .add(1);
+        if (outcome.attempts > 1) {
+          registry
+              ->counter("fleet_handoff_retries_total",
+                        "Extra delivery attempts across all handoffs")
+              .add(outcome.attempts - 1);
+        }
+      }
+      if (outcome.transferred) {
+        ServerSession session;
+        session.estimator =
+            bayes::GammaEstimator::from_state(received.gamma);
+        session.nig = bayes::NigGammaEstimator::from_state(received.nig);
+        session.last_assignment = received.last_assignment;
+        session.slots_served = received.slots_served;
+        dest.sessions[user.id] = std::move(session);
+        installed = true;
+        ++report.handoffs;
+        ++dest.report.handoffs_in;
+        if (source_it != servers_.end()) {
+          ++source_it->second->report.handoffs_out;
+        }
+      } else {
+        ++report.handoff_failures;
+        if (registry != nullptr) {
+          registry
+              ->counter("fleet_handoff_failures_total",
+                        "Handoffs that burned the retry budget (cold restart)")
+              .add(1);
+        }
+      }
+      source_it->second->sessions.erase(user.id);
+    }
+
+    if (!installed) {
+      dest.sessions[user.id] = ServerSession{};
+      ++dest.report.cold_restarts;
+      if (registry != nullptr) {
+        registry
+            ->counter("fleet_cold_restarts_total",
+                      "Sessions rebuilt at the prior after lost state")
+            .add(1);
+      }
+    }
+    user.server = desired;
+    user.prev_epoch = user.epoch;
+  }
+
+  // Retire servers that left the placement once their users are gone.
+  for (auto it = servers_.begin(); it != servers_.end();) {
+    if (it->second->leaving && it->second->sessions.empty()) {
+      departed_[it->first] = it->second->report;
+      it = servers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  (void)rebalancing;
+  (void)slot;
+}
+
+void Federation::serve_slot(int slot, FederationReport& report,
+                            double& anxiety_accumulator) {
+  const int global_slot = config_.start_slot + slot;
+  const survey::AnxietyModel& anxiety = context_.anxiety_model();
+  const fault::FaultInjector* faults = context_.faults;
+
+  std::vector<EdgeServer*> active;
+  active.reserve(servers_.size());
+  for (auto& [id, edge] : servers_) {
+    if (!edge->leaving) active.push_back(edge.get());
+  }
+
+  // The per-server body.  Each worker touches only its own server and that
+  // server's users (placement partitions users across servers), plus
+  // commutative registry counter adds inside the scheduler — so any thread
+  // count produces the bit-identical report.  The scheduling context is
+  // stripped of the fault injector and event sink: fleet faults live at the
+  // federation layer (crash, handoff), not inside the solver, and an event
+  // trace appended from racing workers would be order-nondeterministic.
+  const auto serve_one = [&](std::size_t index) {
+    EdgeServer& edge = *active[index];
+    edge.slot_energy_mwh = 0.0;
+    edge.slot_objective = 0.0;
+    edge.slot_anxiety = 0.0;
+    edge.slot_anxiety_samples = 0;
+    edge.slot_selected = 0;
+    edge.slot_scheduled = 0;
+    edge.slot_capacity_violations = 0;
+    ++edge.slots_run;
+    ++edge.report.slots_run;
+    if (edge.sessions.empty()) return;
+
+    core::SlotProblem problem;
+    problem.compute_capacity = config_.compute_capacity;
+    problem.storage_capacity = config_.storage_capacity_mb;
+    problem.lambda = config_.lambda;
+    std::vector<std::uint64_t> order;
+    std::vector<media::Video> videos;
+    std::vector<int> hint;
+    order.reserve(edge.sessions.size());
+    videos.reserve(edge.sessions.size());
+    hint.reserve(edge.sessions.size());
+
+    for (auto& [user_id, session] : edge.sessions) {
+      FleetUser& user = users_[static_cast<std::size_t>(user_id)];
+      // Content is a pure function of (seed, user, slot) — identical no
+      // matter which server happens to own the user.
+      common::Rng content_seed_rng =
+          derived_rng(config_.seed, user_id,
+                      static_cast<std::uint64_t>(global_slot));
+      media::ContentGenerator generator(content_seed_rng());
+      media::Video video = generator.generate(
+          common::VideoId{static_cast<std::uint32_t>(
+              user_id * 100000u + static_cast<std::uint64_t>(global_slot))},
+          user.genre, config_.chunks_per_slot, user.bitrate_mbps,
+          common::Seconds{config_.chunk_seconds});
+
+      core::DeviceSlotInput input;
+      input.id = common::DeviceId{static_cast<std::uint32_t>(user_id)};
+      input.power_rates_mw.reserve(video.chunks.size());
+      input.chunk_durations_s.reserve(video.chunks.size());
+      for (const media::VideoChunk& chunk : video.chunks) {
+        input.power_rates_mw.push_back(
+            edge.estimator.rate(user.spec, chunk).value);
+        input.chunk_durations_s.push_back(chunk.duration.value);
+      }
+      input.initial_energy_mwh = user.battery.remaining().value;
+      input.battery_capacity_mwh = user.battery.capacity().value;
+      input.gamma = session.estimator.expected_gamma();
+      input.compute_cost = edge.resources.compute_cost(user.spec, video);
+      input.storage_cost = edge.resources.storage_cost(video);
+
+      hint.push_back(session.last_assignment != 0 ? 1 : 0);
+      order.push_back(user_id);
+      problem.devices.push_back(std::move(input));
+      videos.push_back(std::move(video));
+    }
+    edge.slot_scheduled = static_cast<long>(problem.devices.size());
+
+    // Seed the warm hint: the sessions' previous assignments, in this
+    // slot's problem order.  After a handoff or failover the carried
+    // last_assignment bits land index-correct here, so an arriving user
+    // does not cold-start the destination's ILP stream.  The salted
+    // fingerprint never exact-hits; the cache greedy-repairs the hint into
+    // the B&B incumbent.
+    if (config_.warm_start) {
+      solver::IlpSolution hint_solution;
+      hint_solution.status = solver::IlpStatus::kFeasible;
+      hint_solution.x = hint;
+      edge.cache.store(edge.info.id, kHintFingerprint, hint_solution);
+    }
+
+    core::RunContext scheduling_context =
+        context_.with_fault_injector(nullptr)
+            .with_trace(nullptr)
+            .with_slot(global_slot);
+    if (config_.warm_start) {
+      scheduling_context =
+          scheduling_context.with_solve_cache(&edge.cache, edge.info.id);
+    }
+    const core::Schedule schedule =
+        scheduler_.schedule(problem, scheduling_context);
+    edge.slot_objective = schedule.objective;
+    if (schedule.compute_used > problem.compute_capacity + 1e-9 ||
+        schedule.storage_used > problem.storage_capacity + 1e-9) {
+      ++edge.slot_capacity_violations;
+    }
+
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      FleetUser& user = users_[static_cast<std::size_t>(order[i])];
+      ServerSession& session = edge.sessions[order[i]];
+      const media::Video& video = videos[i];
+      const bool selected = schedule.x[i] != 0;
+      const double true_gamma = edge.engine.video_gamma(user.spec, video);
+
+      session.last_assignment = selected ? 1 : 0;
+      if (selected) {
+        ++session.slots_served;
+        ++edge.slot_selected;
+      }
+
+      for (const media::VideoChunk& chunk : video.chunks) {
+        const double rate = edge.estimator.rate(user.spec, chunk).value;
+        const double psi = selected ? (1.0 - true_gamma) * rate : rate;
+        edge.slot_anxiety += anxiety(user.battery.fraction());
+        ++edge.slot_anxiety_samples;
+        const common::MilliwattHours drawn =
+            user.battery.drain(common::Milliwatts{psi}, chunk.duration);
+        edge.slot_energy_mwh += drawn.value;
+        user.watch_minutes += chunk.duration.value / 60.0;
+        if (user.battery.empty()) {
+          user.watching = false;
+          break;
+        }
+        if (config_.enable_giveup && user.giveup_percent > 0 &&
+            user.battery.percent() <=
+                static_cast<double>(user.giveup_percent)) {
+          user.watching = false;
+          break;
+        }
+      }
+
+      // End-of-slot gamma observation; noise keyed on (user, global slot),
+      // server-independent, through the same lossy Bayes-report path the
+      // emulator models (gated on that site being configured).
+      if (selected) {
+        common::Rng noise_rng =
+            derived_rng(config_.seed ^ kBayesNoiseSalt, order[i],
+                        static_cast<std::uint64_t>(global_slot));
+        double observed =
+            true_gamma + noise_rng.normal(0.0, config_.observation_noise);
+        bool delivered = true;
+        if (faults != nullptr &&
+            faults->site_enabled(fault::FaultSite::kBayesReport)) {
+          const fault::FaultDecision decision =
+              faults->decide(fault::FaultSite::kBayesReport, order[i],
+                             static_cast<std::uint64_t>(global_slot));
+          if (decision.dropped()) delivered = false;
+          if (decision.corrupted()) observed += decision.corrupt_factor;
+        }
+        if (delivered) {
+          session.estimator.observe(observed);
+          session.nig.observe(observed);
+        }
+      }
+    }
+  };
+
+  if (config_.threads == 1 || active.size() <= 1) {
+    for (std::size_t i = 0; i < active.size(); ++i) serve_one(i);
+  } else {
+    common::ThreadPool pool(config_.threads);
+    common::parallel_for(pool, active.size(), serve_one);
+  }
+
+  // Sequential epilogue in sorted-server order: double summation order is
+  // fixed, so totals are bit-identical at any thread count.
+  for (EdgeServer* edge : active) {
+    edge->report.scheduled_users += edge->slot_scheduled;
+    edge->report.selected += edge->slot_selected;
+    edge->report.energy_mwh += edge->slot_energy_mwh;
+    edge->report.objective += edge->slot_objective;
+    report.total_energy_mwh += edge->slot_energy_mwh;
+    report.total_objective += edge->slot_objective;
+    report.total_selected += edge->slot_selected;
+    report.capacity_violations += edge->slot_capacity_violations;
+    anxiety_accumulator += edge->slot_anxiety;
+    report.anxiety_samples += edge->slot_anxiety_samples;
+  }
+}
+
+void Federation::take_checkpoints(int slot) {
+  if (config_.checkpoint_interval <= 0) return;
+  if ((slot + 1) % config_.checkpoint_interval != 0) return;
+  const int global_slot = config_.start_slot + slot;
+  for (auto& [id, edge] : servers_) {
+    if (edge->leaving) continue;
+    Checkpoint checkpoint;
+    checkpoint.server = id;
+    checkpoint.slot = global_slot;
+    checkpoint.slots_run = edge->slots_run;
+    checkpoint.sessions.reserve(edge->sessions.size());
+    for (const auto& [user_id, session] : edge->sessions) {
+      SessionState state;
+      state.user = user_id;
+      state.gamma = session.estimator.state();
+      state.nig = session.nig.state();
+      state.battery_fraction =
+          users_[static_cast<std::size_t>(user_id)].battery.fraction();
+      state.last_assignment = session.last_assignment;
+      state.slots_served = session.slots_served;
+      checkpoint.sessions.push_back(std::move(state));
+    }
+    checkpoint.cache_entries = edge->cache.export_entries();
+    checkpoints_.put(id, checkpoint.encode());
+  }
+  if (context_.metrics != nullptr) {
+    context_.metrics
+        ->gauge("fleet_checkpoint_bytes",
+                "Total bytes of replicated server checkpoints")
+        .set(static_cast<double>(checkpoints_.stored_bytes()));
+  }
+}
+
+FederationReport Federation::run() {
+  setup_servers();
+  setup_users();
+
+  FederationReport report;
+  report.users = static_cast<long>(users_.size());
+  obs::MetricsRegistry* registry = context_.metrics;
+
+  double anxiety_accumulator = 0.0;
+  for (int slot = 0; slot < config_.slots; ++slot) {
+    const int global_slot = config_.start_slot + slot;
+
+    // (1) Membership: scheduled joins/leaves fire at the slot start, each
+    // rebalancing only the users whose rendezvous winner changed.
+    bool rebalancing = false;
+    for (const MembershipEvent& event : config_.membership) {
+      if (event.slot != slot) continue;
+      rebalancing = true;
+      if (event.join) {
+        placement_.add_server({event.server, event.weight});
+        if (servers_.find(event.server) == servers_.end()) {
+          auto edge = std::make_unique<EdgeServer>();
+          edge->info = {event.server, event.weight};
+          edge->report.id = event.server;
+          // A re-joining server continues its old report (and starts with
+          // empty state: its memory did not survive the absence).
+          const auto old = departed_.find(event.server);
+          if (old != departed_.end()) {
+            edge->report = old->second;
+            departed_.erase(old);
+          }
+          servers_[event.server] = std::move(edge);
+        } else {
+          servers_[event.server]->leaving = false;
+          servers_[event.server]->info.capacity_weight = event.weight;
+        }
+      } else {
+        placement_.remove_server(event.server);
+        const auto it = servers_.find(event.server);
+        if (it != servers_.end()) it->second->leaving = true;
+      }
+    }
+
+    // (2) Crashes and checkpoint failover.
+    handle_crashes(slot, report);
+
+    // (3) Mobility: each active user may roam, redrawing their placement.
+    if (config_.mobility_rate > 0.0) {
+      for (FleetUser& user : users_) {
+        if (!user.watching || user.battery.empty()) continue;
+        common::Rng mobility_rng =
+            derived_rng(config_.seed ^ kMobilitySalt, user.id,
+                        static_cast<std::uint64_t>(global_slot));
+        if (mobility_rng.bernoulli(config_.mobility_rate)) ++user.epoch;
+      }
+    }
+
+    // (4) Reconcile: desired vs. actual placement; moved users hand off.
+    reconcile_placement(slot, rebalancing, report);
+
+    // (5) Serve the slot on every server (parallel across servers).
+    serve_slot(slot, report, anxiety_accumulator);
+    ++report.slots_run;
+    if (registry != nullptr) {
+      registry->counter("fleet_slots_total", "Federation slots executed")
+          .add(1);
+    }
+
+    // (6) Replicate end-of-interval checkpoints.
+    take_checkpoints(slot);
+
+    bool any_active = false;
+    for (const FleetUser& user : users_) {
+      if (user.watching && !user.battery.empty()) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active) break;
+  }
+
+  report.mean_anxiety =
+      report.anxiety_samples > 0
+          ? anxiety_accumulator / static_cast<double>(report.anxiety_samples)
+          : 0.0;
+
+  // Final per-server rows: live servers and departed ones, sorted by id.
+  std::map<std::uint64_t, ServerReport> rows = departed_;
+  for (const auto& [id, edge] : servers_) rows[id] = edge->report;
+  report.servers.reserve(rows.size());
+  for (auto& [id, row] : rows) report.servers.push_back(row);
+
+  // State digest: every user's end state plus every surviving session's
+  // posterior, as bit patterns.  Two runs agree on this iff they agree on
+  // all of it.
+  wire::Writer digest;
+  for (const FleetUser& user : users_) {
+    digest.u64(user.id);
+    digest.u8(user.watching ? 1 : 0);
+    digest.f64(user.battery.fraction());
+    digest.f64(user.watch_minutes);
+  }
+  for (const auto& [id, edge] : servers_) {
+    digest.u64(id);
+    for (const auto& [user_id, session] : edge->sessions) {
+      digest.u64(user_id);
+      const bayes::GammaEstimator::State gamma = session.estimator.state();
+      digest.f64(gamma.mean);
+      digest.f64(gamma.variance);
+      digest.u64(gamma.observations);
+      const bayes::NigGammaEstimator::State nig = session.nig.state();
+      digest.f64(nig.mean);
+      digest.f64(nig.kappa);
+      digest.f64(nig.alpha);
+      digest.f64(nig.beta);
+      digest.u8(session.last_assignment);
+      digest.u32(session.slots_served);
+    }
+  }
+  report.state_digest =
+      wire::checksum(digest.bytes(), digest.bytes().size());
+  return report;
+}
+
+}  // namespace lpvs::fleet

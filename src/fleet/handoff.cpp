@@ -1,0 +1,159 @@
+#include "lpvs/fleet/handoff.hpp"
+
+#include <utility>
+
+#include "lpvs/fleet/wire.hpp"
+
+namespace lpvs::fleet {
+namespace {
+
+constexpr std::uint32_t kSessionVersion = 1;
+constexpr std::uint32_t kSessionMagic = 0x4C505653u;  // "LPVS"
+// Same per-message attempt keying as core::signaling: retries of one
+// message draw fresh decisions, replays of one run do not.
+constexpr std::uint64_t kAttemptStride = 64;
+
+void encode_gamma_state(wire::Writer& w,
+                        const bayes::GammaEstimator::State& s) {
+  w.f64(s.prior.mean);
+  w.f64(s.prior.variance);
+  w.f64(s.prior.lower);
+  w.f64(s.prior.upper);
+  w.f64(s.prior.observation_variance);
+  w.f64(s.mean);
+  w.f64(s.variance);
+  w.u64(s.observations);
+}
+
+bool decode_gamma_state(wire::Reader& r, bayes::GammaEstimator::State& s) {
+  return r.f64(s.prior.mean) && r.f64(s.prior.variance) &&
+         r.f64(s.prior.lower) && r.f64(s.prior.upper) &&
+         r.f64(s.prior.observation_variance) && r.f64(s.mean) &&
+         r.f64(s.variance) && r.u64(s.observations);
+}
+
+void encode_nig_state(wire::Writer& w,
+                      const bayes::NigGammaEstimator::State& s) {
+  w.f64(s.prior.mean);
+  w.f64(s.prior.kappa);
+  w.f64(s.prior.alpha);
+  w.f64(s.prior.beta);
+  w.f64(s.prior.lower);
+  w.f64(s.prior.upper);
+  w.f64(s.mean);
+  w.f64(s.kappa);
+  w.f64(s.alpha);
+  w.f64(s.beta);
+  w.u64(s.observations);
+}
+
+bool decode_nig_state(wire::Reader& r, bayes::NigGammaEstimator::State& s) {
+  return r.f64(s.prior.mean) && r.f64(s.prior.kappa) && r.f64(s.prior.alpha) &&
+         r.f64(s.prior.beta) && r.f64(s.prior.lower) && r.f64(s.prior.upper) &&
+         r.f64(s.mean) && r.f64(s.kappa) && r.f64(s.alpha) && r.f64(s.beta) &&
+         r.u64(s.observations);
+}
+
+}  // namespace
+
+void encode_session_body(wire::Writer& w, const SessionState& state) {
+  w.u64(state.user);
+  encode_gamma_state(w, state.gamma);
+  encode_nig_state(w, state.nig);
+  w.f64(state.battery_fraction);
+  w.u8(state.last_assignment);
+  w.u32(state.slots_served);
+}
+
+bool decode_session_body(wire::Reader& r, SessionState& state) {
+  return r.u64(state.user) && decode_gamma_state(r, state.gamma) &&
+         decode_nig_state(r, state.nig) && r.f64(state.battery_fraction) &&
+         r.u8(state.last_assignment) && r.u32(state.slots_served);
+}
+
+std::vector<std::uint8_t> encode_session(const SessionState& state) {
+  wire::Writer w;
+  w.u32(kSessionMagic);
+  w.u32(kSessionVersion);
+  encode_session_body(w, state);
+  std::vector<std::uint8_t> bytes = w.take();
+  wire::seal(bytes);
+  return bytes;
+}
+
+common::StatusOr<SessionState> decode_session(
+    std::vector<std::uint8_t> bytes) {
+  const common::Status sealed = wire::unseal(bytes);
+  if (!sealed.ok()) return sealed;
+  wire::Reader r(bytes);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!r.u32(magic) || magic != kSessionMagic) {
+    return common::Status::InvalidArgument("not a session payload");
+  }
+  if (!r.u32(version) || version != kSessionVersion) {
+    return common::Status::InvalidArgument("unsupported session version");
+  }
+  SessionState state;
+  if (!decode_session_body(r, state) || !r.exhausted()) {
+    return common::Status::DataLoss("truncated session payload");
+  }
+  return state;
+}
+
+HandoffOutcome SessionHandoff::transfer(const fault::FaultInjector* injector,
+                                        const SessionState& state,
+                                        std::uint64_t slot,
+                                        SessionState& received) const {
+  const std::vector<std::uint8_t> payload = encode_session(state);
+
+  HandoffOutcome outcome;
+  outcome.payload_bytes = payload.size();
+
+  const bool lossy =
+      injector != nullptr &&
+      injector->site_enabled(fault::FaultSite::kHandoffTransfer);
+
+  const fault::RetryResult result = fault::retry_with_backoff(
+      backoff_, [&](int attempt) -> common::Status {
+        std::vector<std::uint8_t> in_flight = payload;
+        if (lossy) {
+          const fault::FaultDecision decision = injector->decide(
+              fault::FaultSite::kHandoffTransfer, state.user,
+              slot * kAttemptStride + static_cast<std::uint64_t>(attempt));
+          if (decision.dropped()) {
+            return common::Status::Unavailable("handoff payload dropped");
+          }
+          if (decision.corrupted()) {
+            // Garble one byte in flight; the checksum below rejects it and
+            // the attempt retries like a drop, but through the same decode
+            // path a real receiver would run.
+            const std::size_t victim =
+                static_cast<std::size_t>(
+                    decision.corrupt_factor * 1e6 < 0
+                        ? -decision.corrupt_factor * 1e6
+                        : decision.corrupt_factor * 1e6) %
+                in_flight.size();
+            in_flight[victim] ^= 0xA5u;
+          }
+          // An injected delay delivers late but intact; the lateness is
+          // accounted with the backoff total.
+          if (decision.delayed()) outcome.backoff_ms += decision.delay_ms;
+        }
+        common::StatusOr<SessionState> decoded =
+            decode_session(std::move(in_flight));
+        if (!decoded.ok()) {
+          // Corruption is detected, not delivered — retryable.
+          return common::Status::Unavailable(decoded.status().message());
+        }
+        received = std::move(decoded).value();
+        return common::Status::Ok();
+      });
+
+  outcome.transferred = result.status.ok();
+  outcome.attempts = result.attempts;
+  outcome.backoff_ms += result.backoff_ms;
+  return outcome;
+}
+
+}  // namespace lpvs::fleet

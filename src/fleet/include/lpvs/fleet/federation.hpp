@@ -1,0 +1,158 @@
+// The federation driver (fleet tentpole, part 4): N emulated edge servers
+// over one partitioned Twitch trace.
+//
+// Each server runs the paper's per-slot pipeline (price content, solve the
+// Phase-1 ILP through core::LpvsScheduler, play back, update the Bayes
+// posteriors) for *its* users only; which server owns which user is decided
+// by fleet::Placement (weighted rendezvous hashing), users roam between
+// servers at a configurable mobility rate (fleet::SessionHandoff moves
+// their learned state over the lossy channel), servers can crash
+// (fault::FaultSite::kServerCrash) and fail over from fleet::Checkpoint,
+// and membership itself can change mid-run (scheduled join/leave events,
+// each triggering the minimal rendezvous rebalancing).
+//
+// Determinism contract (the same one the emulator and batch scheduler
+// keep): the whole run is a pure function of (trace, config, injector
+// seed).  Every control decision — mobility, crash, handoff loss — is
+// keyed on stable (entity, slot) pairs; the per-slot server phase runs the
+// servers in parallel on a ThreadPool with results landing in
+// pre-assigned slots and users partitioned across servers, so any thread
+// count produces the bit-identical FederationReport
+// (tests/fleet_test.cpp runs 1/2/8 threads).
+//
+// What the federation deliberately does NOT re-model: the per-device
+// signaling energy of report exchanges (the single-server Emulator owns
+// that path); here reports always arrive and the federation-level faults
+// are the interesting ones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "lpvs/core/run_context.hpp"
+#include "lpvs/core/scheduler.hpp"
+#include "lpvs/emu/cluster_params.hpp"
+#include "lpvs/fleet/checkpoint.hpp"
+#include "lpvs/fleet/handoff.hpp"
+#include "lpvs/fleet/placement.hpp"
+#include "lpvs/trace/trace.hpp"
+
+namespace lpvs::fleet {
+
+/// A scheduled membership change: `server` joins (with `weight`) or leaves
+/// at the start of `slot` (relative to the run, not the trace).
+struct MembershipEvent {
+  int slot = 0;
+  std::uint64_t server = 0;
+  bool join = true;
+  double weight = 1.0;
+};
+
+/// Per-server capacities and seed come from the shared ClusterParams base
+/// (each edge server is one "virtual cluster" of the paper, federated).
+struct FederationConfig : emu::ClusterParams {
+  FederationConfig() { seed = 7; }
+
+  /// Initial fleet size: servers 0..servers-1, weight 1.0 each unless
+  /// `server_weights` overrides (indexed by initial server id).
+  int servers = 4;
+  std::vector<double> server_weights;
+
+  /// Cap on users drawn from the trace's live sessions at start_slot.
+  int users = 48;
+  /// Trace sessions need at least this many viewers to contribute users.
+  int min_viewers = 20;
+  int start_slot = 144;  ///< trace slot where the run begins
+  int slots = 48;        ///< federation slots to run
+
+  int chunks_per_slot = 12;
+  double chunk_seconds = 10.0;
+  double initial_battery_mean = 0.5;
+  double initial_battery_std = 0.2;
+  double observation_noise = 0.02;
+
+  /// Per-user per-slot probability of roaming to a fresh placement draw.
+  double mobility_rate = 0.0;
+  /// Slots between checkpoints; 1 = every slot (fresh checkpoints, the
+  /// bit-exact failover regime).  0 disables checkpointing entirely
+  /// (every crash is a full cold restart).
+  int checkpoint_interval = 1;
+  /// Worker threads for the per-server phase; 0 = hardware concurrency.
+  unsigned threads = 1;
+
+  std::vector<MembershipEvent> membership;
+};
+
+/// One server's totals over the run.
+struct ServerReport {
+  std::uint64_t id = 0;
+  long slots_run = 0;
+  long scheduled_users = 0;  ///< user-slots placed into the ILP
+  long selected = 0;         ///< user-slots granted the transform
+  double energy_mwh = 0.0;
+  double objective = 0.0;
+  long handoffs_in = 0;
+  long handoffs_out = 0;
+  long cold_restarts = 0;  ///< sessions rebuilt at the prior
+  long failovers = 0;      ///< crashes of this logical server
+};
+
+/// Fleet-wide aggregate; every field is deterministic in (trace, config).
+struct FederationReport {
+  std::vector<ServerReport> servers;  // sorted by id, incl. departed ones
+  int slots_run = 0;
+  long users = 0;
+  double total_energy_mwh = 0.0;
+  double total_objective = 0.0;
+  long total_selected = 0;
+  double mean_anxiety = 0.0;
+  long anxiety_samples = 0;
+  long handoffs = 0;          ///< successful session transfers
+  long handoff_failures = 0;  ///< transfers that fell back to cold restart
+  long failovers = 0;
+  long placement_moves = 0;   ///< users moved by join/leave rebalancing
+  long capacity_violations = 0;  ///< schedules breaking a capacity row (0!)
+  /// FNV-1a digest over every user's end state (battery, posterior,
+  /// watch-time bit patterns) — one number that differs iff any of it
+  /// does; the bit-exactness tests compare it.
+  std::uint64_t state_digest = 0;
+};
+
+/// Runs the fleet.  Construct once, run() replays the whole scenario.
+class Federation {
+ public:
+  Federation(FederationConfig config, const trace::Trace& trace,
+             const core::Scheduler& scheduler, core::RunContext context);
+  ~Federation();
+
+  FederationReport run();
+
+ private:
+  struct EdgeServer;
+  struct FleetUser;
+
+  void setup_users();
+  void setup_servers();
+  EdgeServer& server(std::uint64_t id);
+  void handle_crashes(int slot, FederationReport& report);
+  void reconcile_placement(int slot, bool rebalancing,
+                           FederationReport& report);
+  void serve_slot(int slot, FederationReport& report,
+                  double& anxiety_accumulator);
+  void take_checkpoints(int slot);
+
+  FederationConfig config_;
+  const trace::Trace& trace_;
+  const core::Scheduler& scheduler_;
+  core::RunContext context_;
+  Placement placement_;
+  SessionHandoff handoff_;
+  CheckpointStore checkpoints_;
+  std::vector<FleetUser> users_;
+  std::map<std::uint64_t, std::unique_ptr<EdgeServer>> servers_;
+  std::map<std::uint64_t, ServerReport> departed_;  ///< reports of left servers
+};
+
+}  // namespace lpvs::fleet

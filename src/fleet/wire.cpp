@@ -1,0 +1,44 @@
+#include "lpvs/fleet/wire.hpp"
+
+namespace lpvs::fleet::wire {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+}  // namespace
+
+std::uint64_t checksum(const std::vector<std::uint8_t>& bytes,
+                       std::size_t count) {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < count && i < bytes.size(); ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void seal(std::vector<std::uint8_t>& bytes) {
+  const std::uint64_t sum = checksum(bytes, bytes.size());
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>((sum >> (8 * i)) & 0xFFu));
+  }
+}
+
+common::Status unseal(std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 8) {
+    return common::Status::DataLoss("payload shorter than its checksum");
+  }
+  const std::size_t body = bytes.size() - 8;
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(bytes[body + i]) << (8 * i);
+  }
+  if (stored != checksum(bytes, body)) {
+    return common::Status::DataLoss("payload checksum mismatch");
+  }
+  bytes.resize(body);
+  return common::Status::Ok();
+}
+
+}  // namespace lpvs::fleet::wire

@@ -107,6 +107,24 @@ class SolveCache {
   std::size_t size() const;
   void clear();
 
+  /// One stream's stored entry as plain data — what a server checkpoint
+  /// carries (fleet::Checkpoint) so a failed-over peer warm-starts exactly
+  /// where the crashed server left off.
+  struct ExportedEntry {
+    std::uint64_t key = 0;
+    std::uint64_t fingerprint = 0;
+    IlpSolution solution;
+  };
+
+  /// Snapshot of every stored entry, sorted by key (deterministic order).
+  std::vector<ExportedEntry> export_entries() const;
+
+  /// Re-installs exported entries verbatim (fingerprints included), so a
+  /// restore followed by the same lookups behaves exactly like the cache
+  /// the entries came from.  Existing entries under the same keys are
+  /// overwritten; stats are not restored (they are observability).
+  void import_entries(const std::vector<ExportedEntry>& entries);
+
  private:
   struct Entry {
     std::uint64_t fingerprint = 0;

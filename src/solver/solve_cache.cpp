@@ -256,6 +256,31 @@ void SolveCache::clear() {
   stats_ = SolveCacheStats{};
 }
 
+std::vector<SolveCache::ExportedEntry> SolveCache::export_entries() const {
+  std::vector<ExportedEntry> exported;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    exported.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      exported.push_back({key, entry.fingerprint, entry.solution});
+    }
+  }
+  std::sort(exported.begin(), exported.end(),
+            [](const ExportedEntry& a, const ExportedEntry& b) {
+              return a.key < b.key;
+            });
+  return exported;
+}
+
+void SolveCache::import_entries(const std::vector<ExportedEntry>& entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const ExportedEntry& exported : entries) {
+    Entry& entry = entries_[exported.key];
+    entry.fingerprint = exported.fingerprint;
+    entry.solution = exported.solution;
+  }
+}
+
 CachedSolve solve_with_cache(const BranchAndBoundSolver& solver,
                              const BinaryProgram& problem, SolveCache* cache,
                              std::uint64_t key, std::uint64_t budget_fp) {

@@ -69,6 +69,11 @@ struct TraceConfig {
 /// The generated dataset.
 class Trace {
  public:
+  /// Empty trace (no channels, zero horizon) — the inert value a
+  /// StatusOr<Trace> holds on the error path.  Every populated trace comes
+  /// from the main constructor below.
+  Trace() = default;
+
   Trace(std::vector<Channel> channels, std::vector<Session> sessions,
         int horizon_slots);
 
@@ -94,7 +99,7 @@ class Trace {
  private:
   std::vector<Channel> channels_;
   std::vector<Session> sessions_;
-  int horizon_slots_;
+  int horizon_slots_ = 0;
 };
 
 /// Deterministic trace synthesis from a seed.

@@ -1,0 +1,40 @@
+// Text serialization for traces (satellite of the fleet PR): a generated
+// trace can be saved once and replayed by later runs — federation tests,
+// benches, external tooling — without regenerating it.
+//
+// Format, line-oriented and diff-friendly:
+//
+//   lpvs-trace v1 horizon=288
+//   C <id> <genre> <bitrate_mbps> <popularity>
+//   S <id> <channel> <start_slot> <n> <v1> ... <vn>
+//
+// load() returns StatusOr instead of aborting: a missing file or a foreign
+// header is kInvalidArgument/kNotFound, and *malformed body lines are
+// skipped, not fatal* — real trace dumps grow truncated tails and stray
+// comments, and one bad row should not discard the other 4,760 sessions.
+// Each skipped line increments lpvs_trace_skipped_lines_total on the
+// optional registry, so silent decay is visible in the metrics.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lpvs/common/status.hpp"
+#include "lpvs/obs/metrics.hpp"
+#include "lpvs/trace/trace.hpp"
+
+namespace lpvs::trace {
+
+/// Writes the trace in the v1 text format.
+void save(const Trace& trace, std::ostream& out);
+common::Status save_file(const Trace& trace, const std::string& path);
+
+/// Parses the v1 text format.  Malformed or out-of-range body lines are
+/// skipped (counted on `registry` when given); a bad header, an empty
+/// channel set, or a session referencing no valid channel fails the load.
+common::StatusOr<Trace> load(std::istream& in,
+                             obs::MetricsRegistry* registry = nullptr);
+common::StatusOr<Trace> load_file(const std::string& path,
+                                  obs::MetricsRegistry* registry = nullptr);
+
+}  // namespace lpvs::trace

@@ -1,0 +1,156 @@
+#include "lpvs/trace/trace_io.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lpvs::trace {
+namespace {
+
+constexpr const char* kHeaderTag = "lpvs-trace";
+constexpr const char* kVersionTag = "v1";
+
+}  // namespace
+
+void save(const Trace& trace, std::ostream& out) {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << kHeaderTag << ' ' << kVersionTag << " horizon="
+      << trace.horizon_slots() << '\n';
+  for (const Channel& channel : trace.channels()) {
+    out << "C " << channel.id.value << ' '
+        << static_cast<int>(channel.genre) << ' ' << channel.bitrate_mbps
+        << ' ' << channel.popularity << '\n';
+  }
+  for (const Session& session : trace.sessions()) {
+    out << "S " << session.id.value << ' ' << session.channel.value << ' '
+        << session.start_slot << ' ' << session.viewers.size();
+    for (const int v : session.viewers) out << ' ' << v;
+    out << '\n';
+  }
+}
+
+common::Status save_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return common::Status::InvalidArgument("cannot open trace file for write: " +
+                                           path);
+  }
+  save(trace, out);
+  out.flush();
+  if (!out) return common::Status::Internal("short write saving trace: " + path);
+  return common::Status::Ok();
+}
+
+common::StatusOr<Trace> load(std::istream& in,
+                             obs::MetricsRegistry* registry) {
+  obs::Counter* skipped = nullptr;
+  if (registry != nullptr) {
+    skipped = &registry->counter(
+        "lpvs_trace_skipped_lines_total",
+        "Malformed trace lines skipped (not fatal) during load");
+  }
+
+  std::string header;
+  if (!std::getline(in, header)) {
+    return common::Status::InvalidArgument("empty trace stream");
+  }
+  std::istringstream header_stream(header);
+  std::string tag;
+  std::string version;
+  std::string horizon_field;
+  header_stream >> tag >> version >> horizon_field;
+  if (tag != kHeaderTag) {
+    return common::Status::InvalidArgument("not an lpvs trace stream");
+  }
+  if (version != kVersionTag) {
+    return common::Status::InvalidArgument("unsupported trace version: " +
+                                           version);
+  }
+  int horizon = 0;
+  if (horizon_field.rfind("horizon=", 0) != 0 ||
+      (horizon = std::atoi(horizon_field.c_str() + 8)) <= 0) {
+    return common::Status::InvalidArgument("bad trace horizon field");
+  }
+
+  std::vector<Channel> channels;
+  std::vector<Session> sessions;
+  const auto skip = [&] {
+    if (skipped != nullptr) skipped->add(1);
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string kind;
+    row >> kind;
+    if (kind == "C") {
+      Channel channel;
+      std::uint32_t id = 0;
+      int genre = -1;
+      if (!(row >> id >> genre >> channel.bitrate_mbps >>
+            channel.popularity) ||
+          genre < 0 || genre >= media::kGenreCount ||
+          channel.bitrate_mbps <= 0.0) {
+        skip();
+        continue;
+      }
+      // Channels are addressed by index; out-of-order rows would silently
+      // rewire every session, so they are skipped instead.
+      if (id != channels.size()) {
+        skip();
+        continue;
+      }
+      channel.id = common::ChannelId{id};
+      channel.genre = static_cast<media::Genre>(genre);
+      channels.push_back(channel);
+    } else if (kind == "S") {
+      Session session;
+      std::uint32_t id = 0;
+      std::uint32_t channel = 0;
+      std::size_t count = 0;
+      if (!(row >> id >> channel >> session.start_slot >> count) ||
+          channel >= channels.size() || session.start_slot < 0 ||
+          count == 0) {
+        skip();
+        continue;
+      }
+      session.viewers.reserve(count);
+      bool ok = true;
+      for (std::size_t i = 0; i < count; ++i) {
+        int viewers = 0;
+        if (!(row >> viewers) || viewers < 0) {
+          ok = false;
+          break;
+        }
+        session.viewers.push_back(viewers);
+      }
+      if (!ok) {
+        skip();
+        continue;
+      }
+      session.id = common::SessionId{id};
+      session.channel = common::ChannelId{channel};
+      sessions.push_back(std::move(session));
+    } else {
+      skip();
+    }
+  }
+
+  if (channels.empty()) {
+    return common::Status::InvalidArgument("trace has no valid channels");
+  }
+  return Trace(std::move(channels), std::move(sessions), horizon);
+}
+
+common::StatusOr<Trace> load_file(const std::string& path,
+                                  obs::MetricsRegistry* registry) {
+  std::ifstream in(path);
+  if (!in) return common::Status::NotFound("trace file not found: " + path);
+  return load(in, registry);
+}
+
+}  // namespace lpvs::trace

@@ -151,6 +151,56 @@ TEST(GammaEstimatorTest, CustomPriorRespected) {
   EXPECT_LT(estimator.posterior_mean(), 0.25);
 }
 
+TEST(GammaEstimatorTest, StateRoundTripIsBitExact) {
+  // The fleet ships posteriors between edge servers as State structs; a
+  // restored estimator must be indistinguishable from the original — the
+  // next expected_gamma() and every later update agree to the bit.
+  GammaEstimator original;
+  common::Rng rng(91);
+  for (int i = 0; i < 23; ++i) original.observe(rng.uniform(0.1, 0.5));
+
+  const GammaEstimator::State state = original.state();
+  GammaEstimator restored = GammaEstimator::from_state(state);
+
+  EXPECT_EQ(restored.posterior_mean(), original.posterior_mean());
+  EXPECT_EQ(restored.posterior_variance(), original.posterior_variance());
+  EXPECT_EQ(restored.observations(), original.observations());
+  EXPECT_EQ(restored.expected_gamma(), original.expected_gamma());
+  EXPECT_EQ(restored.prior().observation_variance,
+            original.prior().observation_variance);
+
+  for (int i = 0; i < 7; ++i) {
+    const double delta = rng.uniform(0.1, 0.5);
+    original.observe(delta);
+    restored.observe(delta);
+    EXPECT_EQ(restored.expected_gamma(), original.expected_gamma());
+  }
+  // The double round-trip is stable: state(from_state(s)) == s.
+  const GammaEstimator::State again =
+      GammaEstimator::from_state(restored.state()).state();
+  EXPECT_EQ(again.mean, restored.state().mean);
+  EXPECT_EQ(again.variance, restored.state().variance);
+  EXPECT_EQ(again.observations, restored.state().observations);
+}
+
+TEST(GammaEstimatorTest, StateCarriesCustomPrior) {
+  GammaEstimator::Prior prior;
+  prior.mean = 0.2;
+  prior.variance = 0.5;
+  prior.lower = 0.05;
+  prior.upper = 0.6;
+  prior.observation_variance = 0.01;
+  GammaEstimator estimator(prior);
+  estimator.observe(0.3);
+
+  const GammaEstimator restored =
+      GammaEstimator::from_state(estimator.state());
+  EXPECT_EQ(restored.prior().mean, 0.2);
+  EXPECT_EQ(restored.prior().lower, 0.05);
+  EXPECT_EQ(restored.prior().upper, 0.6);
+  EXPECT_EQ(restored.expected_gamma(), estimator.expected_gamma());
+}
+
 /// Convergence sweep over true gamma values spanning the Table I band.
 class ConvergenceSweep : public ::testing::TestWithParam<double> {};
 

@@ -13,6 +13,7 @@
 #include "lpvs/core/scheduler.hpp"
 #include "lpvs/emu/replay.hpp"
 #include "lpvs/fault/fault_injector.hpp"
+#include "lpvs/fleet/federation.hpp"
 #include "lpvs/obs/metrics.hpp"
 #include "lpvs/solver/solve_cache.hpp"
 
@@ -218,6 +219,66 @@ TEST(ChaosSoak, CityReplaySurvivesInjectedFaults) {
     // The injector actually fired at these rates.
     EXPECT_GT(injector.stats().injected(), 0) << "rate " << rate;
   }
+}
+
+// Fleet failover soak: servers crash at 10% per slot while 10% of session
+// handoffs drop in flight, with users roaming between servers the whole
+// run.  The resilience contract is the federation's strongest: every slot
+// of every surviving server still produces a feasible schedule (zero
+// capacity violations), the run completes its full horizon, and the whole
+// scenario replays bit-for-bit.
+TEST(ChaosSoak, FleetSurvivesCrashAndHandoffLoss) {
+  const trace::Trace twitch = [] {
+    trace::TraceConfig config;
+    config.channel_count = 60;
+    config.session_count = 300;
+    config.horizon_slots = 192;
+    config.duration_log_mean = 5.5;
+    return trace::TwitchLikeGenerator(config).generate(17);
+  }();
+
+  fleet::FederationConfig config;
+  config.servers = 4;
+  config.users = 24;
+  config.min_viewers = 1;
+  config.start_slot = 24;
+  config.slots = 96;
+  config.chunks_per_slot = 6;
+  config.initial_battery_mean = 0.8;
+  config.mobility_rate = 0.15;
+  config.checkpoint_interval = 1;
+  config.threads = 2;
+  config.seed = 29;
+
+  fault::FaultInjector::Config faults;
+  faults.seed = 4242;
+  faults.site(fault::FaultSite::kServerCrash).drop = 0.10;
+  faults.site(fault::FaultSite::kHandoffTransfer).drop = 0.10;
+
+  auto run_once = [&]() {
+    const fault::FaultInjector injector(faults);
+    const core::LpvsScheduler scheduler;
+    fleet::Federation federation(
+        config, twitch, scheduler,
+        core::RunContext(anxiety()).with_fault_injector(&injector));
+    return federation.run();
+  };
+
+  const fleet::FederationReport report = run_once();
+  EXPECT_EQ(report.slots_run, config.slots);
+  EXPECT_EQ(report.capacity_violations, 0);
+  EXPECT_GT(report.failovers, 0);
+  EXPECT_GT(report.handoffs, 0);
+  EXPECT_GT(report.total_energy_mwh, 0.0);
+  // 10% loss per attempt with retries: most transfers still land; the ones
+  // that burn the budget surface as cold restarts, not corruption.
+  EXPECT_GT(report.handoffs, report.handoff_failures);
+
+  const fleet::FederationReport replay = run_once();
+  EXPECT_EQ(replay.state_digest, report.state_digest);
+  EXPECT_EQ(replay.total_energy_mwh, report.total_energy_mwh);
+  EXPECT_EQ(replay.failovers, report.failovers);
+  EXPECT_EQ(replay.handoffs, report.handoffs);
 }
 
 }  // namespace

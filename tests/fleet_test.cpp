@@ -1,0 +1,575 @@
+// Fleet federation unit suite (label `fleet`): weighted rendezvous
+// placement, session wire codecs, lossy handoff, checkpoints, and the
+// federation driver's determinism contract (bit-identical reports at any
+// thread count).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/core/scheduler.hpp"
+#include "lpvs/fault/fault_injector.hpp"
+#include "lpvs/fleet/checkpoint.hpp"
+#include "lpvs/fleet/federation.hpp"
+#include "lpvs/fleet/handoff.hpp"
+#include "lpvs/fleet/placement.hpp"
+#include "lpvs/fleet/wire.hpp"
+#include "lpvs/obs/metrics.hpp"
+#include "lpvs/trace/trace.hpp"
+
+namespace lpvs {
+namespace {
+
+const survey::AnxietyModel& anxiety() {
+  static const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  return model;
+}
+
+std::vector<fleet::ServerInfo> uniform_servers(int n) {
+  std::vector<fleet::ServerInfo> servers;
+  for (int s = 0; s < n; ++s) {
+    servers.push_back({static_cast<std::uint64_t>(s), 1.0});
+  }
+  return servers;
+}
+
+fleet::SessionState sample_session(std::uint64_t user) {
+  bayes::GammaEstimator gamma;
+  bayes::NigGammaEstimator nig;
+  common::Rng rng(user * 7919 + 17);
+  for (int i = 0; i < 9; ++i) {
+    const double observed = rng.uniform(0.1, 0.5);
+    gamma.observe(observed);
+    nig.observe(observed);
+  }
+  fleet::SessionState state;
+  state.user = user;
+  state.gamma = gamma.state();
+  state.nig = nig.state();
+  state.battery_fraction = rng.uniform(0.05, 0.95);
+  state.last_assignment = user % 2 == 0 ? 1 : 0;
+  state.slots_served = static_cast<std::uint32_t>(user % 13);
+  return state;
+}
+
+// ---------------------------------------------------------------- wire --
+
+TEST(FleetWire, RoundTripsEveryFieldType) {
+  fleet::wire::Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(-0.15625);
+  std::vector<std::uint8_t> bytes = w.take();
+
+  fleet::wire::Reader r(bytes);
+  std::uint8_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t c = 0;
+  std::int64_t d = 0;
+  double e = 0.0;
+  ASSERT_TRUE(r.u8(a));
+  ASSERT_TRUE(r.u32(b));
+  ASSERT_TRUE(r.u64(c));
+  ASSERT_TRUE(r.i64(d));
+  ASSERT_TRUE(r.f64(e));
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(a, 0xAB);
+  EXPECT_EQ(b, 0xDEADBEEFu);
+  EXPECT_EQ(c, 0x0123456789ABCDEFull);
+  EXPECT_EQ(d, -42);
+  EXPECT_EQ(e, -0.15625);
+}
+
+TEST(FleetWire, SealDetectsCorruptionAnywhere) {
+  fleet::wire::Writer w;
+  for (int i = 0; i < 40; ++i) w.u8(static_cast<std::uint8_t>(i * 3));
+  std::vector<std::uint8_t> bytes = w.take();
+  fleet::wire::seal(bytes);
+
+  std::vector<std::uint8_t> intact = bytes;
+  EXPECT_TRUE(fleet::wire::unseal(intact).ok());
+
+  for (std::size_t victim = 0; victim < bytes.size(); victim += 7) {
+    std::vector<std::uint8_t> garbled = bytes;
+    garbled[victim] ^= 0x10u;
+    EXPECT_EQ(fleet::wire::unseal(garbled).code(),
+              common::StatusCode::kDataLoss);
+  }
+}
+
+TEST(FleetWire, ReaderRejectsShortBuffers) {
+  fleet::wire::Writer w;
+  w.u32(7);
+  std::vector<std::uint8_t> bytes = w.take();
+  bytes.pop_back();
+  fleet::wire::Reader r(bytes);
+  std::uint32_t value = 0;
+  EXPECT_FALSE(r.u32(value));
+}
+
+// ----------------------------------------------------------- placement --
+
+TEST(FleetPlacement, DeterministicAndCoversAllServers) {
+  const fleet::Placement placement(uniform_servers(5));
+  const fleet::Placement replay(uniform_servers(5));
+  std::set<std::uint64_t> used;
+  for (std::uint64_t user = 0; user < 500; ++user) {
+    const std::uint64_t server = placement.place(user);
+    EXPECT_EQ(server, replay.place(user));
+    EXPECT_LT(server, 5u);
+    used.insert(server);
+  }
+  EXPECT_EQ(used.size(), 5u);  // no server starves at this scale
+}
+
+TEST(FleetPlacement, BalancesRoughlyEvenlyAtEqualWeights) {
+  const int kServers = 4;
+  const int kUsers = 2000;
+  const fleet::Placement placement(uniform_servers(kServers));
+  std::map<std::uint64_t, int> load;
+  for (std::uint64_t user = 0; user < kUsers; ++user) {
+    ++load[placement.place(user)];
+  }
+  const double expected = static_cast<double>(kUsers) / kServers;
+  for (const auto& [server, count] : load) {
+    EXPECT_GT(count, expected * 0.7) << "server " << server;
+    EXPECT_LT(count, expected * 1.3) << "server " << server;
+  }
+}
+
+TEST(FleetPlacement, WeightsSkewLoadProportionally) {
+  fleet::Placement placement(
+      {{0, 1.0}, {1, 1.0}, {2, 2.0}});  // server 2 twice as heavy
+  std::map<std::uint64_t, int> load;
+  for (std::uint64_t user = 0; user < 4000; ++user) {
+    ++load[placement.place(user)];
+  }
+  // Expected split 25/25/50%; accept generous tolerance.
+  EXPECT_GT(load[2], load[0] * 1.5);
+  EXPECT_GT(load[2], load[1] * 1.5);
+}
+
+TEST(FleetPlacement, SingleJoinMovesOnlyABoundedMinority) {
+  const int kServers = 4;
+  const int kUsers = 1200;
+  fleet::Placement placement(uniform_servers(kServers));
+  std::vector<std::uint64_t> before(kUsers);
+  for (int u = 0; u < kUsers; ++u) {
+    before[static_cast<std::size_t>(u)] =
+        placement.place(static_cast<std::uint64_t>(u));
+  }
+
+  placement.add_server({static_cast<std::uint64_t>(kServers), 1.0});
+  int moved = 0;
+  for (int u = 0; u < kUsers; ++u) {
+    const std::uint64_t now = placement.place(static_cast<std::uint64_t>(u));
+    if (now != before[static_cast<std::size_t>(u)]) {
+      ++moved;
+      // Rendezvous property: every move lands on the new server.
+      EXPECT_EQ(now, static_cast<std::uint64_t>(kServers));
+    }
+  }
+  // Ideal share is U/(N+1); allow 50% slack over the ideal.
+  const int bound = kUsers / (kServers + 1) + kUsers / (2 * (kServers + 1));
+  EXPECT_GT(moved, 0);
+  EXPECT_LE(moved, bound);
+}
+
+TEST(FleetPlacement, LeaveRestoresExactPriorAssignments) {
+  fleet::Placement placement(uniform_servers(4));
+  std::vector<std::uint64_t> before(600);
+  for (std::uint64_t u = 0; u < before.size(); ++u) {
+    before[u] = placement.place(u);
+  }
+  placement.add_server({9, 1.0});
+  EXPECT_TRUE(placement.remove_server(9));
+  for (std::uint64_t u = 0; u < before.size(); ++u) {
+    EXPECT_EQ(placement.place(u), before[u]);
+  }
+  // Leaving a member only re-homes its own users.
+  ASSERT_TRUE(placement.remove_server(2));
+  for (std::uint64_t u = 0; u < before.size(); ++u) {
+    if (before[u] != 2) {
+      EXPECT_EQ(placement.place(u), before[u]);
+    }
+  }
+}
+
+// ------------------------------------------------------- session codec --
+
+TEST(FleetHandoff, SessionRoundTripIsBitExact) {
+  const fleet::SessionState state = sample_session(11);
+  const std::vector<std::uint8_t> bytes = fleet::encode_session(state);
+  common::StatusOr<fleet::SessionState> decoded =
+      fleet::decode_session(bytes);
+  ASSERT_TRUE(decoded.ok());
+  const fleet::SessionState& out = decoded.value();
+
+  EXPECT_EQ(out.user, state.user);
+  EXPECT_EQ(out.gamma.mean, state.gamma.mean);
+  EXPECT_EQ(out.gamma.variance, state.gamma.variance);
+  EXPECT_EQ(out.gamma.observations, state.gamma.observations);
+  EXPECT_EQ(out.nig.mean, state.nig.mean);
+  EXPECT_EQ(out.nig.kappa, state.nig.kappa);
+  EXPECT_EQ(out.nig.alpha, state.nig.alpha);
+  EXPECT_EQ(out.nig.beta, state.nig.beta);
+  EXPECT_EQ(out.battery_fraction, state.battery_fraction);
+  EXPECT_EQ(out.last_assignment, state.last_assignment);
+  EXPECT_EQ(out.slots_served, state.slots_served);
+
+  // The restored estimator's *next* estimate matches the original's to the
+  // bit — the invariant that makes a successful handoff invisible.
+  bayes::GammaEstimator original =
+      bayes::GammaEstimator::from_state(state.gamma);
+  bayes::GammaEstimator restored =
+      bayes::GammaEstimator::from_state(out.gamma);
+  original.observe(0.271828);
+  restored.observe(0.271828);
+  EXPECT_EQ(original.expected_gamma(), restored.expected_gamma());
+}
+
+TEST(FleetHandoff, DecodeRejectsCorruptionAndTruncation) {
+  const std::vector<std::uint8_t> bytes =
+      fleet::encode_session(sample_session(3));
+
+  std::vector<std::uint8_t> garbled = bytes;
+  garbled[bytes.size() / 2] ^= 0x40u;
+  EXPECT_EQ(fleet::decode_session(garbled).status().code(),
+            common::StatusCode::kDataLoss);
+
+  std::vector<std::uint8_t> truncated = bytes;
+  truncated.resize(truncated.size() - 9);
+  EXPECT_FALSE(fleet::decode_session(truncated).ok());
+
+  std::vector<std::uint8_t> foreign = bytes;
+  foreign[0] ^= 0xFFu;  // breaks the magic *and* the checksum
+  EXPECT_FALSE(fleet::decode_session(foreign).ok());
+}
+
+TEST(FleetHandoff, CleanChannelTransfersFirstAttempt) {
+  const fleet::SessionHandoff handoff;
+  const fleet::SessionState state = sample_session(5);
+  fleet::SessionState received;
+  const fleet::HandoffOutcome outcome =
+      handoff.transfer(nullptr, state, /*slot=*/12, received);
+  EXPECT_TRUE(outcome.transferred);
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(outcome.backoff_ms, 0.0);
+  EXPECT_EQ(received.gamma.mean, state.gamma.mean);
+  EXPECT_GT(outcome.payload_bytes, 0u);
+}
+
+TEST(FleetHandoff, LossyChannelRetriesDeterministically) {
+  fault::FaultInjector::Config config;
+  config.seed = 404;
+  config.site(fault::FaultSite::kHandoffTransfer).drop = 0.5;
+  const fault::FaultInjector injector(config);
+  const fleet::SessionHandoff handoff;
+
+  int transferred = 0;
+  int retried = 0;
+  int failed = 0;
+  std::vector<int> attempts_by_slot;
+  for (std::uint64_t slot = 0; slot < 64; ++slot) {
+    const fleet::SessionState state = sample_session(slot % 7);
+    fleet::SessionState received;
+    const fleet::HandoffOutcome outcome =
+        handoff.transfer(&injector, state, slot, received);
+    attempts_by_slot.push_back(outcome.attempts);
+    if (outcome.transferred) {
+      ++transferred;
+      // A delivered payload is the payload that was sent.
+      EXPECT_EQ(received.gamma.mean, state.gamma.mean);
+      EXPECT_EQ(received.nig.beta, state.nig.beta);
+    } else {
+      ++failed;
+    }
+    if (outcome.attempts > 1) ++retried;
+  }
+  EXPECT_GT(transferred, 0);
+  EXPECT_GT(retried, 0);  // 50% drop must force retries somewhere
+
+  // Pure decisions: a replay draws the identical attempt counts.
+  for (std::uint64_t slot = 0; slot < 64; ++slot) {
+    const fleet::SessionState state = sample_session(slot % 7);
+    fleet::SessionState received;
+    const fleet::HandoffOutcome outcome =
+        handoff.transfer(&injector, state, slot, received);
+    EXPECT_EQ(outcome.attempts,
+              attempts_by_slot[static_cast<std::size_t>(slot)]);
+  }
+  (void)failed;
+}
+
+TEST(FleetHandoff, CorruptionIsCaughtNeverDelivered) {
+  fault::FaultInjector::Config config;
+  config.seed = 77;
+  config.site(fault::FaultSite::kHandoffTransfer).corrupt = 0.6;
+  const fault::FaultInjector injector(config);
+  const fleet::SessionHandoff handoff;
+  for (std::uint64_t slot = 0; slot < 48; ++slot) {
+    const fleet::SessionState state = sample_session(2);
+    fleet::SessionState received;
+    const fleet::HandoffOutcome outcome =
+        handoff.transfer(&injector, state, slot, received);
+    if (outcome.transferred) {
+      // Whatever arrived passed the checksum, so it is the original.
+      EXPECT_EQ(received.gamma.mean, state.gamma.mean);
+      EXPECT_EQ(received.battery_fraction, state.battery_fraction);
+    }
+  }
+}
+
+// ----------------------------------------------------------- checkpoint --
+
+TEST(FleetCheckpoint, RoundTripsSessionsAndCacheEntries) {
+  fleet::Checkpoint checkpoint;
+  checkpoint.server = 3;
+  checkpoint.slot = 91;
+  checkpoint.slots_run = 17;
+  for (std::uint64_t user : {2ull, 5ull, 11ull}) {
+    checkpoint.sessions.push_back(sample_session(user));
+  }
+  solver::SolveCache::ExportedEntry entry;
+  entry.key = 3;
+  entry.fingerprint = 0xFEEDFACEull;
+  entry.solution.status = solver::IlpStatus::kOptimal;
+  entry.solution.objective = -1234.5;
+  entry.solution.nodes_explored = 42;
+  entry.solution.x = {1, 0, 1};
+  checkpoint.cache_entries.push_back(entry);
+
+  const std::vector<std::uint8_t> bytes = checkpoint.encode();
+  common::StatusOr<fleet::Checkpoint> decoded =
+      fleet::Checkpoint::decode(bytes);
+  ASSERT_TRUE(decoded.ok());
+  const fleet::Checkpoint& out = decoded.value();
+  EXPECT_EQ(out.server, 3u);
+  EXPECT_EQ(out.slot, 91);
+  EXPECT_EQ(out.slots_run, 17u);
+  ASSERT_EQ(out.sessions.size(), 3u);
+  EXPECT_EQ(out.sessions[1].user, 5u);
+  EXPECT_EQ(out.sessions[1].gamma.mean, checkpoint.sessions[1].gamma.mean);
+  ASSERT_EQ(out.cache_entries.size(), 1u);
+  EXPECT_EQ(out.cache_entries[0].fingerprint, 0xFEEDFACEull);
+  EXPECT_EQ(out.cache_entries[0].solution.x, entry.solution.x);
+  EXPECT_EQ(out.cache_entries[0].solution.objective, -1234.5);
+}
+
+TEST(FleetCheckpoint, DecodeRejectsCorruptionAndForeignFrames) {
+  fleet::Checkpoint checkpoint;
+  checkpoint.server = 1;
+  checkpoint.slot = 5;
+  checkpoint.sessions.push_back(sample_session(0));
+  std::vector<std::uint8_t> bytes = checkpoint.encode();
+
+  std::vector<std::uint8_t> garbled = bytes;
+  garbled[10] ^= 0x08u;
+  EXPECT_EQ(fleet::Checkpoint::decode(garbled).status().code(),
+            common::StatusCode::kDataLoss);
+
+  // A sealed session payload is not a checkpoint frame.
+  const std::vector<std::uint8_t> session_bytes =
+      fleet::encode_session(sample_session(0));
+  EXPECT_EQ(fleet::Checkpoint::decode(session_bytes).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(FleetCheckpoint, StoreKeepsLatestPerServer) {
+  fleet::CheckpointStore store;
+  EXPECT_FALSE(store.contains(4));
+  EXPECT_EQ(store.restore(4).status().code(), common::StatusCode::kNotFound);
+
+  fleet::Checkpoint first;
+  first.server = 4;
+  first.slot = 10;
+  store.put(4, first.encode());
+  fleet::Checkpoint second;
+  second.server = 4;
+  second.slot = 11;
+  store.put(4, second.encode());
+
+  ASSERT_TRUE(store.contains(4));
+  EXPECT_EQ(store.size(), 1u);
+  common::StatusOr<fleet::Checkpoint> restored = store.restore(4);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().slot, 11);
+  EXPECT_GT(store.stored_bytes(), 0u);
+}
+
+TEST(FleetCheckpoint, JsonSidecarCarriesTheSummary) {
+  fleet::Checkpoint checkpoint;
+  checkpoint.server = 2;
+  checkpoint.slot = 7;
+  checkpoint.sessions.push_back(sample_session(9));
+  const std::string json = checkpoint.to_json().dump();
+  EXPECT_NE(json.find("\"server\""), std::string::npos);
+  EXPECT_NE(json.find("\"posterior_mean\""), std::string::npos);
+}
+
+// ----------------------------------------------------------- federation --
+
+trace::Trace small_trace() {
+  trace::TraceConfig config;
+  config.channel_count = 40;
+  config.session_count = 160;
+  config.horizon_slots = 96;
+  return trace::TwitchLikeGenerator(config).generate(21);
+}
+
+fleet::FederationConfig small_federation(unsigned threads) {
+  fleet::FederationConfig config;
+  config.servers = 3;
+  config.users = 18;
+  config.min_viewers = 1;
+  config.start_slot = 40;
+  config.slots = 8;
+  config.chunks_per_slot = 6;
+  config.mobility_rate = 0.15;
+  config.checkpoint_interval = 1;
+  config.threads = threads;
+  config.seed = 7;
+  return config;
+}
+
+TEST(FleetFederation, ReportIsBitIdenticalAtAnyThreadCount) {
+  const trace::Trace twitch = small_trace();
+  const core::LpvsScheduler scheduler;
+  const core::RunContext context(anxiety());
+
+  fleet::FederationReport reports[3];
+  const unsigned thread_counts[] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    fleet::Federation federation(small_federation(thread_counts[i]), twitch,
+                                 scheduler, context);
+    reports[i] = federation.run();
+  }
+
+  ASSERT_GT(reports[0].users, 0);
+  EXPECT_GT(reports[0].total_energy_mwh, 0.0);
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(reports[i].state_digest, reports[0].state_digest);
+    EXPECT_EQ(reports[i].total_energy_mwh, reports[0].total_energy_mwh);
+    EXPECT_EQ(reports[i].total_objective, reports[0].total_objective);
+    EXPECT_EQ(reports[i].total_selected, reports[0].total_selected);
+    EXPECT_EQ(reports[i].mean_anxiety, reports[0].mean_anxiety);
+    EXPECT_EQ(reports[i].handoffs, reports[0].handoffs);
+    EXPECT_EQ(reports[i].slots_run, reports[0].slots_run);
+    ASSERT_EQ(reports[i].servers.size(), reports[0].servers.size());
+    for (std::size_t s = 0; s < reports[0].servers.size(); ++s) {
+      EXPECT_EQ(reports[i].servers[s].energy_mwh,
+                reports[0].servers[s].energy_mwh);
+      EXPECT_EQ(reports[i].servers[s].selected,
+                reports[0].servers[s].selected);
+    }
+  }
+}
+
+TEST(FleetFederation, MobilityDrivesHandoffsWithoutInfeasibility) {
+  const trace::Trace twitch = small_trace();
+  const core::LpvsScheduler scheduler;
+  obs::MetricsRegistry registry;
+  const core::RunContext context =
+      core::RunContext(anxiety()).with_metrics(&registry);
+
+  fleet::FederationConfig config = small_federation(1);
+  config.mobility_rate = 0.3;
+  fleet::Federation federation(config, twitch, scheduler, context);
+  const fleet::FederationReport report = federation.run();
+
+  EXPECT_GT(report.handoffs, 0);
+  EXPECT_EQ(report.capacity_violations, 0);
+  EXPECT_EQ(registry.counter("fleet_handoff_total").value(),
+            report.handoffs + report.handoff_failures);
+  EXPECT_EQ(registry.counter("fleet_slots_total").value(),
+            static_cast<long>(report.slots_run));
+  // Lossless channel: every transfer lands.
+  EXPECT_EQ(report.handoff_failures, 0);
+  EXPECT_EQ(report.failovers, 0);
+}
+
+TEST(FleetFederation, SuccessfulHandoffPreservesTheScheduleStream) {
+  // Two identical runs, one with mobility handing sessions between servers
+  // over a *clean* channel: posteriors move bit-exactly, so the user's own
+  // Bayes trajectory is unaffected by which server holds it.  (Schedules
+  // can differ — the user is packed with a different neighborhood — but
+  // the run must stay deterministic and feasible.)
+  const trace::Trace twitch = small_trace();
+  const core::LpvsScheduler scheduler;
+  const core::RunContext context(anxiety());
+
+  fleet::FederationConfig mobile = small_federation(1);
+  mobile.mobility_rate = 0.4;
+  fleet::Federation a(mobile, twitch, scheduler, context);
+  fleet::Federation b(mobile, twitch, scheduler, context);
+  const fleet::FederationReport first = a.run();
+  const fleet::FederationReport second = b.run();
+  EXPECT_GT(first.handoffs, 0);
+  EXPECT_EQ(first.state_digest, second.state_digest);
+  EXPECT_EQ(first.total_energy_mwh, second.total_energy_mwh);
+}
+
+TEST(FleetFederation, MembershipJoinRebalancesBoundedly) {
+  const trace::Trace twitch = small_trace();
+  const core::LpvsScheduler scheduler;
+  obs::MetricsRegistry registry;
+  const core::RunContext context =
+      core::RunContext(anxiety()).with_metrics(&registry);
+
+  fleet::FederationConfig config = small_federation(1);
+  config.mobility_rate = 0.0;
+  config.slots = 6;
+  config.membership.push_back({/*slot=*/3, /*server=*/7, /*join=*/true, 1.0});
+  fleet::Federation federation(config, twitch, scheduler, context);
+  const fleet::FederationReport report = federation.run();
+
+  // Rendezvous bound: a join moves about U/(N+1) users, never more than
+  // the ceiling plus slack.
+  const long bound = report.users / (3 + 1) + 4;
+  EXPECT_GT(report.placement_moves, 0);
+  EXPECT_LE(report.placement_moves, bound);
+  EXPECT_EQ(registry.counter("fleet_placement_moves_total").value(),
+            report.placement_moves);
+  // The joined server served slots after the join.
+  bool found = false;
+  for (const fleet::ServerReport& row : report.servers) {
+    if (row.id == 7) {
+      found = true;
+      EXPECT_GT(row.slots_run, 0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FleetFederation, ServerLeaveDrainsItsSessions) {
+  const trace::Trace twitch = small_trace();
+  const core::LpvsScheduler scheduler;
+  const core::RunContext context(anxiety());
+
+  fleet::FederationConfig config = small_federation(1);
+  config.mobility_rate = 0.0;
+  config.slots = 6;
+  config.membership.push_back(
+      {/*slot=*/3, /*server=*/1, /*join=*/false, 1.0});
+  fleet::Federation federation(config, twitch, scheduler, context);
+  const fleet::FederationReport report = federation.run();
+
+  EXPECT_GT(report.placement_moves, 0);
+  EXPECT_EQ(report.capacity_violations, 0);
+  for (const fleet::ServerReport& row : report.servers) {
+    if (row.id == 1) {
+      // The departed server stopped serving at the leave slot.
+      EXPECT_LE(row.slots_run, 3);
+      EXPECT_GT(row.handoffs_out, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lpvs

@@ -116,6 +116,34 @@ TEST(NigEstimator, TracksBetterThanFixedNoiseWhenNoiseMisspecified) {
   EXPECT_NEAR(nig.expected_gamma(), true_gamma, 0.02);
 }
 
+TEST(NigEstimator, StateRoundTripIsBitExact) {
+  // Same contract the fixed-noise estimator keeps: a posterior serialized
+  // for handoff/checkpoint restores to a bit-identical estimator.
+  NigGammaEstimator original;
+  common::Rng rng(47);
+  for (int i = 0; i < 31; ++i) original.observe(rng.uniform(0.1, 0.5));
+
+  const NigGammaEstimator::State state = original.state();
+  NigGammaEstimator restored = NigGammaEstimator::from_state(state);
+
+  EXPECT_EQ(restored.posterior_mean(), original.posterior_mean());
+  EXPECT_EQ(restored.posterior_kappa(), original.posterior_kappa());
+  EXPECT_EQ(restored.posterior_alpha(), original.posterior_alpha());
+  EXPECT_EQ(restored.posterior_beta(), original.posterior_beta());
+  EXPECT_EQ(restored.observations(), original.observations());
+  EXPECT_EQ(restored.expected_gamma(), original.expected_gamma());
+  EXPECT_EQ(restored.expected_observation_variance(),
+            original.expected_observation_variance());
+
+  for (int i = 0; i < 7; ++i) {
+    const double delta = rng.uniform(0.1, 0.5);
+    original.observe(delta);
+    restored.observe(delta);
+    EXPECT_EQ(restored.expected_gamma(), original.expected_gamma());
+    EXPECT_EQ(restored.posterior_beta(), original.posterior_beta());
+  }
+}
+
 /// Sweep over noise levels: variance recovery must hold across scales.
 class NoiseSweep : public ::testing::TestWithParam<double> {};
 

@@ -214,16 +214,11 @@ TEST(ObsDeterminism, ObservedRunIsBitIdenticalToUnobserved) {
   EXPECT_GT(trace.size(), 0u);
 }
 
-TEST(ObsDeterminism, SchedulerForwarderMatchesContextOverload) {
-  // Intentionally exercises the deprecated anxiety-only forwarders to pin
-  // down that they stay equivalent to the RunContext overloads until the
-  // legacy surface is removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ObsDeterminism, BareContextMatchesCapabilityFreeRun) {
+  // A RunContext carrying nothing but the anxiety model is the scheduler's
+  // minimal input; binding capabilities later (with_slot here) must not
+  // change the schedule.
   const core::LpvsScheduler scheduler;
-  const emu::EmulatorConfig config = small_config();
-  emu::Emulator emulator(config, scheduler, anxiety());
-  (void)emulator;  // exercise the legacy ctor path
 
   core::SlotProblem problem;
   for (int n = 0; n < 10; ++n) {
@@ -237,12 +232,12 @@ TEST(ObsDeterminism, SchedulerForwarderMatchesContextOverload) {
   }
   problem.compute_capacity = 2.0;
 
-  const core::Schedule via_anxiety = scheduler.schedule(problem, anxiety());
-  const core::Schedule via_context =
+  const core::Schedule bare =
       scheduler.schedule(problem, core::RunContext(anxiety()));
-  EXPECT_EQ(via_anxiety.x, via_context.x);
-  EXPECT_EQ(via_anxiety.objective, via_context.objective);
-#pragma GCC diagnostic pop
+  const core::Schedule with_slot =
+      scheduler.schedule(problem, core::RunContext(anxiety()).with_slot(3));
+  EXPECT_EQ(bare.x, with_slot.x);
+  EXPECT_EQ(bare.objective, with_slot.objective);
 }
 
 TEST(ObsDeterminism, ObservedThreadedReplayMatchesPlainSerial) {

@@ -2,9 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
 
 #include "lpvs/common/stats.hpp"
 #include "lpvs/trace/trace.hpp"
+#include "lpvs/trace/trace_io.hpp"
 
 namespace lpvs::trace {
 namespace {
@@ -181,6 +185,91 @@ TEST_P(TraceConfigSweep, InvariantsAtAnyScale) {
 
 INSTANTIATE_TEST_SUITE_P(Scales, TraceConfigSweep,
                          ::testing::Values(5, 20, 100, 400));
+
+// ---------------------------------------------------- text serialization --
+
+Trace tiny_trace(std::uint64_t seed = 3) {
+  TraceConfig config;
+  config.channel_count = 12;
+  config.session_count = 40;
+  config.horizon_slots = 48;
+  return TwitchLikeGenerator(config).generate(seed);
+}
+
+TEST(TraceIo, SaveLoadRoundTripsTheDataset) {
+  const Trace original = tiny_trace();
+  std::stringstream stream;
+  save(original, stream);
+
+  common::StatusOr<Trace> loaded = load(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const Trace& trace = loaded.value();
+
+  EXPECT_EQ(trace.horizon_slots(), original.horizon_slots());
+  ASSERT_EQ(trace.channels().size(), original.channels().size());
+  ASSERT_EQ(trace.sessions().size(), original.sessions().size());
+  for (std::size_t c = 0; c < original.channels().size(); ++c) {
+    EXPECT_EQ(trace.channels()[c].genre, original.channels()[c].genre);
+    EXPECT_EQ(trace.channels()[c].bitrate_mbps,
+              original.channels()[c].bitrate_mbps);
+  }
+  for (std::size_t s = 0; s < original.sessions().size(); ++s) {
+    EXPECT_EQ(trace.sessions()[s].channel.value,
+              original.sessions()[s].channel.value);
+    EXPECT_EQ(trace.sessions()[s].start_slot,
+              original.sessions()[s].start_slot);
+    EXPECT_EQ(trace.sessions()[s].viewers, original.sessions()[s].viewers);
+  }
+}
+
+TEST(TraceIo, MalformedBodyLinesAreSkippedAndCounted) {
+  const Trace original = tiny_trace();
+  std::stringstream stream;
+  save(original, stream);
+
+  // Splice garbage into the body: a stray comment, a truncated session
+  // row, and a session naming a channel that does not exist.
+  std::string text = stream.str();
+  text += "# a stray comment line\n";
+  text += "S 9999\n";
+  text += "S 9999 500000 3 2 10 10\n";
+
+  obs::MetricsRegistry registry;
+  std::stringstream spliced(text);
+  common::StatusOr<Trace> loaded = load(spliced, &registry);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().sessions().size(), original.sessions().size());
+  EXPECT_EQ(registry.counter("lpvs_trace_skipped_lines_total").value(), 3);
+}
+
+TEST(TraceIo, ForeignHeaderFailsTheLoad) {
+  std::stringstream not_a_trace("hello world\nC 0 0 3.0 1.0\n");
+  EXPECT_EQ(load(not_a_trace).status().code(),
+            common::StatusCode::kInvalidArgument);
+
+  std::stringstream wrong_version("lpvs-trace v9 horizon=48\n");
+  EXPECT_EQ(load(wrong_version).status().code(),
+            common::StatusCode::kInvalidArgument);
+
+  std::stringstream no_channels("lpvs-trace v1 horizon=48\n");
+  EXPECT_EQ(load(no_channels).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(TraceIo, FileRoundTripAndMissingFile) {
+  const Trace original = tiny_trace(9);
+  const std::string path =
+      ::testing::TempDir() + "/lpvs_trace_io_roundtrip.txt";
+  ASSERT_TRUE(save_file(original, path).ok());
+
+  common::StatusOr<Trace> loaded = load_file(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().sessions().size(), original.sessions().size());
+  std::remove(path.c_str());
+
+  EXPECT_EQ(load_file(path + ".does-not-exist").status().code(),
+            common::StatusCode::kNotFound);
+}
 
 }  // namespace
 }  // namespace lpvs::trace

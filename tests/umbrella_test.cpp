@@ -45,6 +45,12 @@ TEST(Umbrella, EveryModuleReachable) {
 
   const common::Json json = common::Json::object();
   EXPECT_EQ(json.dump(), "{}");
+
+  const fault::FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+
+  const fleet::Placement placement({{0, 1.0}, {1, 1.0}});
+  EXPECT_LT(placement.place(123), 2u);
 }
 
 }  // namespace
