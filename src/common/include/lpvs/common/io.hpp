@@ -1,0 +1,73 @@
+// POSIX fd helpers for the networked serving layer.
+//
+// Every place the server or load generator touches a file descriptor goes
+// through these wrappers, so the fiddly parts of socket I/O are handled
+// once and tested once:
+//
+//   - EINTR: all loops retry interrupted syscalls instead of surfacing a
+//     spurious failure when a signal lands mid-read.
+//   - SIGPIPE: a peer that closes mid-write must produce EPIPE (a Status),
+//     not kill the process; ignore_sigpipe() installs the process-wide
+//     suppression exactly once.
+//   - Partial I/O: the *_all/_exact variants loop until the full count is
+//     transferred (blocking fds — the load-generator clients); the bare
+//     read_retry/write_retry variants return short counts and kWouldBlock
+//     (non-blocking fds — the server's event loop).
+//
+// Nothing here allocates or takes locks; results travel as IoResult /
+// common::Status so callers can branch on the canonical codes
+// (kUnavailable = transport gone, kDeadlineExceeded et al. stay upstream).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "lpvs/common/status.hpp"
+
+namespace lpvs::common::io {
+
+/// Outcome of one non-blocking read/write attempt.
+struct IoResult {
+  enum class Kind {
+    kOk,          ///< `count` bytes transferred (may be short)
+    kWouldBlock,  ///< EAGAIN/EWOULDBLOCK — retry after the next poll wakeup
+    kEof,         ///< orderly peer shutdown (reads only)
+    kError,       ///< transport error; connection is dead
+  };
+  Kind kind = Kind::kOk;
+  std::size_t count = 0;  ///< bytes transferred when kind == kOk
+  int error = 0;          ///< errno when kind == kError
+
+  bool ok() const { return kind == Kind::kOk; }
+};
+
+/// Installs SIG_IGN for SIGPIPE (idempotent, thread-safe).  Call before any
+/// socket writes; afterwards a closed peer surfaces as EPIPE from write().
+void ignore_sigpipe();
+
+/// O_NONBLOCK on, via fcntl.  kInternal with the errno text on failure.
+common::Status set_nonblocking(int fd);
+
+/// TCP_NODELAY on (no-op Status on non-TCP fds is fine to ignore): the
+/// session protocol exchanges small frames request/response style, exactly
+/// the pattern Nagle's algorithm penalizes.
+common::Status set_tcp_nodelay(int fd);
+
+/// One read(2), retrying EINTR.  Never blocks longer than the fd does.
+IoResult read_retry(int fd, void* buf, std::size_t count);
+
+/// One write(2), retrying EINTR.
+IoResult write_retry(int fd, const void* buf, std::size_t count);
+
+/// Blocking helper: loops until exactly `count` bytes are read.
+/// kUnavailable on EOF or transport error (the message says which).
+common::Status read_exact(int fd, void* buf, std::size_t count);
+
+/// Blocking helper: loops until exactly `count` bytes are written.
+common::Status write_all(int fd, const void* buf, std::size_t count);
+
+/// close(2), retrying EINTR (and swallowing the post-close EINTR ambiguity
+/// the POSIX way: the fd is gone either way).
+void close_fd(int fd);
+
+}  // namespace lpvs::common::io

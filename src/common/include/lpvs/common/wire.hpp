@@ -1,0 +1,161 @@
+// Shared binary wire codec (fixed-width fields, varints, FNV-1a sealing).
+//
+// Two independent wire formats grew out of the fleet work: the inter-server
+// payloads (session handoff, checkpoints) and the client-facing session
+// protocol served by src/server.  Both need the same primitives — and the
+// same guarantees — so the codec lives here, in common, and the format
+// layers (fleet/wire.hpp, server/protocol.hpp) build frame layouts on top:
+//
+//   - Bit-exact round-trips: doubles travel as their IEEE-754 bit patterns
+//     (std::bit_cast through uint64) rather than through any decimal
+//     formatting, because the failover / handoff / serving acceptance tests
+//     compare posteriors and whole schedules bit for bit.
+//   - Fixed endianness: integers are little-endian regardless of host order.
+//   - Detected corruption: payloads are sealed with an FNV-1a checksum
+//     trailer so a corrupted transfer is *detected* (kDataLoss) instead of
+//     silently installing a garbled posterior or schedule at the receiver.
+//   - No overreads: every Reader accessor reports truncation instead of
+//     walking past the end, so a short payload surfaces as a decode error
+//     rather than undefined behavior.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lpvs/common/status.hpp"
+
+namespace lpvs::common::wire {
+
+/// Appends fixed-width fields to a byte buffer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xFFu);
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xFFu);
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  /// LEB128 unsigned varint: 7 bits per byte, high bit = continuation.
+  /// Small values (lengths, counts) cost one byte instead of eight.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80u) {
+      bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Length-prefixed (varint) byte string.
+  void str(const std::string& s) {
+    varint(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Reads fixed-width fields back; every read reports truncation instead of
+/// walking past the end, so a short payload surfaces as kDataLoss at the
+/// decode layer rather than as undefined behavior.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    v = bytes_[pos_++];
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  bool i64(std::int64_t& v) {
+    std::uint64_t raw = 0;
+    if (!u64(raw)) return false;
+    v = static_cast<std::int64_t>(raw);
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t raw = 0;
+    if (!u64(raw)) return false;
+    v = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  /// LEB128 unsigned varint.  Rejects encodings longer than 10 bytes (the
+  /// maximum a 64-bit value needs), so a malicious all-continuation stream
+  /// cannot spin the decoder.
+  bool varint(std::uint64_t& v) {
+    v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      std::uint8_t byte = 0;
+      if (!u8(byte)) return false;
+      v |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+      if ((byte & 0x80u) == 0) return true;
+    }
+    return false;  // 10th byte still had the continuation bit set
+  }
+
+  /// Varint-length-prefixed byte string.  Rejects lengths running past the
+  /// end of the buffer before allocating.
+  bool str(std::string& s) {
+    std::uint64_t length = 0;
+    if (!varint(length)) return false;
+    if (pos_ + length > bytes_.size()) return false;
+    s.assign(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + length));
+    pos_ += length;
+    return true;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// 64-bit FNV-1a over the first `count` bytes of the buffer.
+std::uint64_t checksum(const std::vector<std::uint8_t>& bytes,
+                       std::size_t count);
+
+/// Incremental FNV-1a: fold more bytes into a running hash.  Used by the
+/// serving layer to digest the schedule payload stream a session receives.
+std::uint64_t fnv1a(std::uint64_t hash, const std::uint8_t* data,
+                    std::size_t count);
+
+/// The FNV-1a offset basis — the seed for an incremental fnv1a() chain.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+
+/// Appends an 8-byte checksum trailer covering everything before it.
+void seal(std::vector<std::uint8_t>& bytes);
+
+/// Verifies and strips the trailer; kDataLoss when the buffer is shorter
+/// than a trailer or the checksum does not match the contents.
+common::Status unseal(std::vector<std::uint8_t>& bytes);
+
+}  // namespace lpvs::common::wire

@@ -1,0 +1,126 @@
+#include "lpvs/common/io.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+namespace lpvs::common::io {
+namespace {
+
+std::once_flag sigpipe_once;
+
+Status errno_status(const char* what, int err) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+void ignore_sigpipe() {
+  std::call_once(sigpipe_once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+common::Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return errno_status("fcntl(F_GETFL)", errno);
+  if ((flags & O_NONBLOCK) != 0) return Status::Ok();
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return errno_status("fcntl(F_SETFL, O_NONBLOCK)", errno);
+  }
+  return Status::Ok();
+}
+
+common::Status set_tcp_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return errno_status("setsockopt(TCP_NODELAY)", errno);
+  }
+  return Status::Ok();
+}
+
+IoResult read_retry(int fd, void* buf, std::size_t count) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, count);
+    if (n > 0) {
+      return IoResult{IoResult::Kind::kOk, static_cast<std::size_t>(n), 0};
+    }
+    if (n == 0) return IoResult{IoResult::Kind::kEof, 0, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoResult{IoResult::Kind::kWouldBlock, 0, 0};
+    }
+    return IoResult{IoResult::Kind::kError, 0, errno};
+  }
+}
+
+IoResult write_retry(int fd, const void* buf, std::size_t count) {
+  for (;;) {
+    const ssize_t n = ::write(fd, buf, count);
+    if (n >= 0) {
+      return IoResult{IoResult::Kind::kOk, static_cast<std::size_t>(n), 0};
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoResult{IoResult::Kind::kWouldBlock, 0, 0};
+    }
+    return IoResult{IoResult::Kind::kError, 0, errno};
+  }
+}
+
+common::Status read_exact(int fd, void* buf, std::size_t count) {
+  auto* cursor = static_cast<std::uint8_t*>(buf);
+  std::size_t done = 0;
+  while (done < count) {
+    const IoResult r = read_retry(fd, cursor + done, count - done);
+    switch (r.kind) {
+      case IoResult::Kind::kOk:
+        done += r.count;
+        break;
+      case IoResult::Kind::kEof:
+        return Status::Unavailable("peer closed mid-read");
+      case IoResult::Kind::kWouldBlock:
+        // A blocking fd only reports EAGAIN under SO_RCVTIMEO; treat the
+        // elapsed timeout as the transport giving up.
+        return Status::Unavailable("read timed out");
+      case IoResult::Kind::kError:
+        return Status::Unavailable(std::string("read: ") +
+                                   std::strerror(r.error));
+    }
+  }
+  return Status::Ok();
+}
+
+common::Status write_all(int fd, const void* buf, std::size_t count) {
+  const auto* cursor = static_cast<const std::uint8_t*>(buf);
+  std::size_t done = 0;
+  while (done < count) {
+    const IoResult r = write_retry(fd, cursor + done, count - done);
+    switch (r.kind) {
+      case IoResult::Kind::kOk:
+        done += r.count;
+        break;
+      case IoResult::Kind::kWouldBlock:
+        return Status::Unavailable("write timed out");
+      case IoResult::Kind::kEof:  // unreachable for writes
+      case IoResult::Kind::kError:
+        return Status::Unavailable(std::string("write: ") +
+                                   std::strerror(r.error));
+    }
+  }
+  return Status::Ok();
+}
+
+void close_fd(int fd) {
+  if (fd < 0) return;
+  // POSIX leaves the fd state unspecified after EINTR from close; Linux
+  // guarantees it is closed.  Retrying would risk closing a recycled fd, so
+  // call once and move on.
+  ::close(fd);
+}
+
+}  // namespace lpvs::common::io

@@ -1,21 +1,25 @@
-#include "lpvs/fleet/wire.hpp"
+#include "lpvs/common/wire.hpp"
 
-namespace lpvs::fleet::wire {
+namespace lpvs::common::wire {
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
 constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
 
 }  // namespace
 
+std::uint64_t fnv1a(std::uint64_t hash, const std::uint8_t* data,
+                    std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    hash ^= data[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
 std::uint64_t checksum(const std::vector<std::uint8_t>& bytes,
                        std::size_t count) {
-  std::uint64_t h = kFnvOffset;
-  for (std::size_t i = 0; i < count && i < bytes.size(); ++i) {
-    h ^= bytes[i];
-    h *= kFnvPrime;
-  }
-  return h;
+  return fnv1a(kFnvOffsetBasis, bytes.data(),
+               count < bytes.size() ? count : bytes.size());
 }
 
 void seal(std::vector<std::uint8_t>& bytes) {
@@ -41,4 +45,4 @@ common::Status unseal(std::vector<std::uint8_t>& bytes) {
   return common::Status::Ok();
 }
 
-}  // namespace lpvs::fleet::wire
+}  // namespace lpvs::common::wire

@@ -1,102 +1,17 @@
 // Binary wire format helpers for the fleet's inter-server payloads
 // (session handoff, server checkpoints).
 //
-// Everything the fleet ships between servers must round-trip *bit-exactly*
-// — the failover and handoff acceptance tests compare posteriors and whole
-// replays bit for bit — so doubles travel as their IEEE-754 bit patterns
-// (std::bit_cast through uint64) rather than through any decimal
-// formatting.  Integers are little-endian regardless of host order.
-// Payloads are sealed with an FNV-1a checksum trailer so a corrupted
-// transfer is *detected* (kDataLoss) instead of silently installing a
-// garbled posterior on the receiving server.
+// The codec itself (fixed-width little-endian fields, bit-cast doubles,
+// varints, FNV-1a seal/unseal) moved to lpvs/common/wire.hpp when the
+// client-facing session protocol (server/protocol.hpp) started needing the
+// exact same primitives; fleet::wire is now an alias of that shared codec,
+// so the two formats can never drift apart on checksum or field encoding.
 #pragma once
 
-#include <bit>
-#include <cstdint>
-#include <vector>
+#include "lpvs/common/wire.hpp"
 
-#include "lpvs/common/status.hpp"
+namespace lpvs::fleet {
 
-namespace lpvs::fleet::wire {
+namespace wire = lpvs::common::wire;
 
-/// Appends fixed-width fields to a byte buffer.
-class Writer {
- public:
-  void u8(std::uint8_t v) { bytes_.push_back(v); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xFFu);
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xFFu);
-  }
-  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-
-  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
-  std::vector<std::uint8_t> take() { return std::move(bytes_); }
-
- private:
-  std::vector<std::uint8_t> bytes_;
-};
-
-/// Reads fixed-width fields back; every read reports truncation instead of
-/// walking past the end, so a short payload surfaces as kDataLoss at the
-/// decode layer rather than as undefined behavior.
-class Reader {
- public:
-  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
-
-  bool u8(std::uint8_t& v) {
-    if (pos_ + 1 > bytes_.size()) return false;
-    v = bytes_[pos_++];
-    return true;
-  }
-  bool u32(std::uint32_t& v) {
-    if (pos_ + 4 > bytes_.size()) return false;
-    v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
-    }
-    return true;
-  }
-  bool u64(std::uint64_t& v) {
-    if (pos_ + 8 > bytes_.size()) return false;
-    v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
-    }
-    return true;
-  }
-  bool i64(std::int64_t& v) {
-    std::uint64_t raw = 0;
-    if (!u64(raw)) return false;
-    v = static_cast<std::int64_t>(raw);
-    return true;
-  }
-  bool f64(double& v) {
-    std::uint64_t raw = 0;
-    if (!u64(raw)) return false;
-    v = std::bit_cast<double>(raw);
-    return true;
-  }
-
-  std::size_t remaining() const { return bytes_.size() - pos_; }
-  bool exhausted() const { return pos_ == bytes_.size(); }
-
- private:
-  const std::vector<std::uint8_t>& bytes_;
-  std::size_t pos_ = 0;
-};
-
-/// 64-bit FNV-1a over the buffer contents.
-std::uint64_t checksum(const std::vector<std::uint8_t>& bytes,
-                       std::size_t count);
-
-/// Appends an 8-byte checksum trailer covering everything before it.
-void seal(std::vector<std::uint8_t>& bytes);
-
-/// Verifies and strips the trailer; kDataLoss when the buffer is shorter
-/// than a trailer or the checksum does not match the contents.
-common::Status unseal(std::vector<std::uint8_t>& bytes);
-
-}  // namespace lpvs::fleet::wire
+}  // namespace lpvs::fleet

@@ -1,0 +1,90 @@
+// Open-loop load generator for the edge-server daemon.
+//
+// Drives a fleet of lpvs-wire/session clients against an EdgeServerDaemon
+// over loopback: clusters of sessions arrive by a Poisson process (open
+// loop — arrivals do not wait for the server), each cluster plays its
+// slots in lockstep, and every client records the request→schedule latency
+// of each slot plus an FNV-1a digest of every payload byte the server sent
+// it.
+//
+// Lockstep is load-bearing, not a convenience: the server barriers slot k
+// of a cluster until *all* members' REPORTs arrive, so a client that
+// blocked reading its SCHEDULE before its cluster-mates had reported would
+// deadlock.  Each worker therefore drives a whole cluster: send every
+// member's REPORT, then read every member's SCHEDULE + GRANT (TCP
+// preserves per-connection order, so the reads cannot interleave wrongly).
+//
+// Determinism: all client behavior — battery trajectories, observed
+// deltas, give-up decisions — is derived from (seed, user, slot), and the
+// server's schedules are pure functions of the reported state, so the
+// digest each user accumulates is identical no matter how many worker
+// threads carried the traffic.  The serving integration test runs the same
+// fleet at two thread counts and asserts exactly that.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "lpvs/common/status.hpp"
+#include "lpvs/obs/metrics.hpp"
+
+namespace lpvs::loadgen {
+
+struct LoadGenConfig {
+  /// Server port on 127.0.0.1.
+  std::uint16_t port = 0;
+
+  std::uint32_t clusters = 4;
+  std::uint32_t cluster_size = 4;
+  /// Slots each session plays (trace mode: the cap on a session's length).
+  std::uint32_t slots = 20;
+  /// Worker threads; clusters are assigned round-robin.  Payload digests
+  /// are independent of this by construction.
+  std::uint32_t threads = 2;
+  std::uint64_t seed = 1;
+
+  /// Poisson cluster-arrival rate per second; 0 = all clusters arrive
+  /// immediately.  Arrival times are precomputed from the seed, so pacing
+  /// never perturbs payloads — only timing.
+  double arrival_rate_per_s = 0.0;
+
+  /// Replay Twitch-like trace sessions: per-cluster slot counts, genres and
+  /// bitrates come from trace::TwitchLikeGenerator instead of being uniform.
+  bool use_trace = false;
+
+  /// Clients report watching = 0 (give up) when their simulated battery
+  /// falls below this fraction; 0 = never give up.
+  double giveup_battery_fraction = 0.0;
+
+  /// Optional sink for lpvs_loadgen_request_schedule_ms; null = off.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct LoadGenReport {
+  long sessions = 0;           ///< sessions opened (HELLO sent)
+  long completed = 0;          ///< sessions ended with an orderly BYE
+  long gave_up = 0;            ///< sessions that left via watching = 0
+  long slots_driven = 0;       ///< SCHEDULE+GRANT pairs consumed
+  long transport_errors = 0;   ///< connect/read/write failures
+  long protocol_errors = 0;    ///< unexpected or ERROR frames
+
+  double elapsed_s = 0.0;
+  /// Request→schedule latency over every (session, slot): the wall time
+  /// from a member's REPORT write to its SCHEDULE arrival (includes the
+  /// cluster barrier — the metric a provider actually experiences).
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  long latency_samples = 0;
+
+  /// Per-user FNV-1a digest over every payload byte received, in order.
+  /// The cross-run / cross-thread-count determinism witness.
+  std::map<std::uint64_t, std::uint64_t> digests;
+};
+
+/// Runs the configured fleet to completion.  kInvalidArgument for a
+/// nonsensical config; transport failures are counted per session in the
+/// report, not fatal to the run.
+common::StatusOr<LoadGenReport> run_load(const LoadGenConfig& config);
+
+}  // namespace lpvs::loadgen

@@ -1,0 +1,168 @@
+#include "lpvs/server/event_loop.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define LPVS_HAVE_EPOLL 1
+#else
+#define LPVS_HAVE_EPOLL 0
+#endif
+
+namespace lpvs::server {
+namespace {
+
+common::Status errno_status(const char* what, int err) {
+  return common::Status::Internal(std::string(what) + ": " +
+                                  std::strerror(err));
+}
+
+#if LPVS_HAVE_EPOLL
+std::uint32_t epoll_mask(bool want_read, bool want_write) {
+  std::uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+#endif
+
+short poll_mask(bool want_read, bool want_write) {
+  short mask = 0;
+  if (want_read) mask |= POLLIN;
+  if (want_write) mask |= POLLOUT;
+  return mask;
+}
+
+}  // namespace
+
+EventLoop::EventLoop(Backend backend) : backend_(backend) {
+#if LPVS_HAVE_EPOLL
+  if (backend_ == Backend::kAuto) backend_ = Backend::kEpoll;
+  if (backend_ == Backend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) backend_ = Backend::kPoll;  // degraded, still correct
+  }
+#else
+  backend_ = Backend::kPoll;
+#endif
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+common::Status EventLoop::add(int fd, bool want_read, bool want_write) {
+#if LPVS_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return errno_status("epoll_ctl(ADD)", errno);
+    }
+    ++watched_;
+    return common::Status::Ok();
+  }
+#endif
+  for (const PollEntry& entry : poll_) {
+    if (entry.fd == fd) {
+      return common::Status::InvalidArgument("fd already registered");
+    }
+  }
+  poll_.push_back(PollEntry{fd, poll_mask(want_read, want_write)});
+  ++watched_;
+  return common::Status::Ok();
+}
+
+common::Status EventLoop::modify(int fd, bool want_read, bool want_write) {
+#if LPVS_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+      return errno_status("epoll_ctl(MOD)", errno);
+    }
+    return common::Status::Ok();
+  }
+#endif
+  for (PollEntry& entry : poll_) {
+    if (entry.fd == fd) {
+      entry.events = poll_mask(want_read, want_write);
+      return common::Status::Ok();
+    }
+  }
+  return common::Status::NotFound("fd not registered");
+}
+
+common::Status EventLoop::remove(int fd) {
+#if LPVS_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) < 0) {
+      return errno_status("epoll_ctl(DEL)", errno);
+    }
+    --watched_;
+    return common::Status::Ok();
+  }
+#endif
+  for (std::size_t i = 0; i < poll_.size(); ++i) {
+    if (poll_[i].fd == fd) {
+      poll_[i] = poll_.back();
+      poll_.pop_back();
+      --watched_;
+      return common::Status::Ok();
+    }
+  }
+  return common::Status::NotFound("fd not registered");
+}
+
+common::StatusOr<int> EventLoop::wait(int timeout_ms,
+                                      std::vector<LoopEvent>& out) {
+  out.clear();
+#if LPVS_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event events[64];
+    int count;
+    do {
+      count = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    } while (count < 0 && errno == EINTR);
+    if (count < 0) return errno_status("epoll_wait", errno);
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      LoopEvent event;
+      event.fd = events[i].data.fd;
+      event.readable = (events[i].events & EPOLLIN) != 0;
+      event.writable = (events[i].events & EPOLLOUT) != 0;
+      event.broken = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(event);
+    }
+    return count;
+  }
+#endif
+  std::vector<pollfd> fds;
+  fds.reserve(poll_.size());
+  for (const PollEntry& entry : poll_) {
+    fds.push_back(pollfd{entry.fd, entry.events, 0});
+  }
+  int count;
+  do {
+    count = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (count < 0 && errno == EINTR);
+  if (count < 0) return errno_status("poll", errno);
+  for (const pollfd& fd : fds) {
+    if (fd.revents == 0) continue;
+    LoopEvent event;
+    event.fd = fd.fd;
+    event.readable = (fd.revents & POLLIN) != 0;
+    event.writable = (fd.revents & POLLOUT) != 0;
+    event.broken = (fd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(event);
+  }
+  return count;
+}
+
+}  // namespace lpvs::server

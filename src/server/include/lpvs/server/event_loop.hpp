@@ -1,0 +1,66 @@
+// Readiness event loop for the edge-server daemon.
+//
+// A thin, allocation-light abstraction over epoll (level-triggered) with a
+// portable poll(2) fallback.  The daemon is single-threaded — one loop owns
+// every connection — so the interface is deliberately minimal: register an
+// fd with its interest set, adjust the interest set as outbound buffers
+// fill and drain, wait.  Both backends are built on Linux and the backend
+// is runtime-selectable, so the test suite exercises the poll path on the
+// same machine that runs epoll in production.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lpvs/common/status.hpp"
+
+namespace lpvs::server {
+
+/// One fd's readiness, as reported by wait().
+struct LoopEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error or hangup: the connection is dead regardless of interest set.
+  bool broken = false;
+};
+
+class EventLoop {
+ public:
+  enum class Backend {
+    kAuto,   ///< epoll where available, poll otherwise
+    kEpoll,  ///< fails to construct off Linux
+    kPoll,
+  };
+
+  explicit EventLoop(Backend backend = Backend::kAuto);
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// The backend actually in use (kAuto resolved).
+  Backend backend() const { return backend_; }
+
+  common::Status add(int fd, bool want_read, bool want_write);
+  common::Status modify(int fd, bool want_read, bool want_write);
+  common::Status remove(int fd);
+
+  /// Blocks up to timeout_ms (-1 = indefinitely) and appends ready fds to
+  /// `out` (cleared first).  Returns the number of events, 0 on timeout.
+  common::StatusOr<int> wait(int timeout_ms, std::vector<LoopEvent>& out);
+
+  std::size_t watched() const { return watched_; }
+
+ private:
+  struct PollEntry {
+    int fd;
+    short events;
+  };
+
+  Backend backend_;
+  int epoll_fd_ = -1;            // epoll backend
+  std::vector<PollEntry> poll_;  // poll backend: registered interest sets
+  std::size_t watched_ = 0;
+};
+
+}  // namespace lpvs::server

@@ -1,0 +1,191 @@
+// lpvs-wire/session v1 — the client-facing binary session protocol.
+//
+// The paper's edge-server deployment (§V) has mobile clients report their
+// battery / power state every slot and receive the scheduler's per-slot
+// transform decision back.  This header defines the frames that carry that
+// conversation over a TCP stream:
+//
+//   stream    := frame*
+//   frame     := length(u32 LE) payload
+//   payload   := magic(u32) version(u32) type(u8) body checksum(u64)
+//
+// `length` counts the payload bytes that follow it (including the FNV-1a
+// checksum trailer, excluding the length field itself).  The payload is
+// sealed with common::wire::seal — the same codec the fleet's handoff and
+// checkpoint payloads use — so a flipped bit anywhere surfaces as kDataLoss
+// at the decoder instead of a garbled schedule at the client.
+//
+// Session conversation (state machine in server.hpp / docs/server.md):
+//
+//   client                          server
+//     HELLO  ──────────────────────▶        (admission control)
+//            ◀────────────────────── HELLO_ACK | ERROR+close
+//     REPORT(slot k) ──────────────▶        (cluster barrier)
+//            ◀────────────────────── SCHEDULE(slot k)
+//            ◀────────────────────── GRANT(slot k)
+//     ... repeat per slot ...
+//     BYE    ──────────────────────▶        (flush + close)
+//
+// Determinism contract: SCHEDULE/GRANT bodies are pure functions of the
+// session's cluster composition and the reported state — never of socket
+// interleaving — so the byte stream a session receives is bit-identical
+// across runs (the serving integration test asserts it via FNV digests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "lpvs/common/status.hpp"
+#include "lpvs/common/wire.hpp"
+
+namespace lpvs::server::protocol {
+
+/// "LWS1" little-endian: lpvs-wire/session.
+inline constexpr std::uint32_t kMagic = 0x3153574Cu;
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Hard ceiling on one frame's payload size.  Every body below fits in well
+/// under 256 bytes; the slack covers ERROR messages.  A length prefix above
+/// this is rejected *before* buffering, so a hostile 4 GiB length cannot
+/// balloon the connection's inbound buffer.
+inline constexpr std::uint32_t kMaxFrameBytes = 4096;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,     ///< client → server: session open + device description
+  kHelloAck = 2,  ///< server → client: admitted
+  kReport = 3,    ///< client → server: battery/power state for one slot
+  kSchedule = 4,  ///< server → client: the slot's transform decision
+  kGrant = 5,     ///< server → client: the slot's chunk grant
+  kBye = 6,       ///< client → server: orderly session end
+  kError = 7,     ///< server → client: terminal error before close
+};
+
+const char* frame_type_name(FrameType type);
+
+/// Session open.  Cluster fields bind the session to its virtual cluster:
+/// the server barriers slot k of cluster c until all `cluster_size` members
+/// have reported, which is what makes schedule bytes independent of socket
+/// arrival order.  All members must agree on cluster_size.
+struct Hello {
+  std::uint64_t user_id = 0;
+  std::uint64_t cluster_id = 0;
+  std::uint32_t cluster_size = 1;
+  /// Slots this session intends to play (drain bookkeeping; a session may
+  /// still BYE early when its battery empties).
+  std::uint32_t slots_total = 0;
+  double battery_capacity_mwh = 13000.0;
+  double bitrate_mbps = 3.0;
+  std::uint8_t genre = 0;          ///< media::Genre, as its underlying value
+  std::uint8_t giveup_percent = 0; ///< 0 = watches to the end regardless
+};
+
+struct HelloAck {
+  std::uint64_t user_id = 0;
+  /// Slot the cluster will schedule next (0 for a fresh cluster); lets a
+  /// client joining a drained-and-reformed cluster resynchronize.
+  std::uint32_t next_slot = 0;
+};
+
+/// Per-slot battery/power report.  `observed_delta` is the realized power
+/// reduction measured while playing the *previous* slot transformed — the
+/// Bayes observation of gamma_n (§V-D); has_delta = 0 when the previous
+/// slot ran untransformed (no observation exists).
+struct Report {
+  std::uint32_t slot = 0;
+  double battery_fraction = 1.0;
+  double observed_delta = 0.0;
+  std::uint8_t has_delta = 0;
+  std::uint8_t watching = 1;  ///< 0 = giving up; the session will BYE next
+};
+
+/// The scheduler's decision for one session's slot.
+struct Schedule {
+  std::uint32_t slot = 0;
+  std::uint8_t transform = 0;      ///< x_n for this device
+  std::uint8_t rung = 0;           ///< core::DegradationRung actually used
+  double expected_gamma = 0.0;     ///< the posterior mean the solve used
+  double objective = 0.0;          ///< cluster objective (13) achieved
+  std::uint32_t selected_count = 0;
+  std::uint32_t cluster_devices = 0;
+};
+
+/// Chunk grant for the slot: what the client may fetch and at what
+/// effective power scale (1 - gamma when transformed, 1 otherwise).
+struct Grant {
+  std::uint32_t slot = 0;
+  std::uint32_t chunks = 0;
+  double chunk_seconds = 0.0;
+  double power_scale = 1.0;
+};
+
+struct Bye {
+  std::uint8_t reason = 0;  ///< 0 = completed, 1 = gave up, 2 = battery dead
+};
+
+struct Error {
+  std::uint8_t code = 0;  ///< common::StatusCode, as its underlying value
+  std::string message;
+};
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::variant<Hello, HelloAck, Report, Schedule, Grant, Bye, Error> body;
+
+  template <typename T>
+  const T& as() const {
+    return std::get<T>(body);
+  }
+};
+
+/// Encodes a frame into its full wire form: length prefix + sealed payload.
+std::vector<std::uint8_t> encode(const Frame& frame);
+
+/// Convenience constructors (fill Frame::type from the body type).
+Frame make_frame(Hello body);
+Frame make_frame(HelloAck body);
+Frame make_frame(Report body);
+Frame make_frame(Schedule body);
+Frame make_frame(Grant body);
+Frame make_frame(Bye body);
+Frame make_frame(Error body);
+
+/// Decodes one *payload* (the bytes after a length prefix).  Rejects bad
+/// checksums (kDataLoss), short bodies (kDataLoss), unknown magic/version/
+/// type and trailing garbage (kInvalidArgument).
+common::StatusOr<Frame> decode_payload(std::vector<std::uint8_t> payload);
+
+/// Incremental frame decoder over a byte stream with partial-I/O handling:
+/// feed() whatever the socket produced, then drain next() until it reports
+/// kNeedMore.  A non-ok status is terminal for the stream (the server drops
+/// the connection); the decoder does not resynchronize mid-stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint32_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes from the transport.
+  void feed(const std::uint8_t* data, std::size_t count);
+
+  struct Result {
+    enum class Kind { kFrame, kNeedMore, kError };
+    Kind kind = Kind::kNeedMore;
+    Frame frame;            ///< valid when kind == kFrame
+    common::Status status;  ///< non-ok when kind == kError
+  };
+
+  /// Extracts the next complete frame, if any.
+  Result next();
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::uint32_t max_frame_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already decoded
+};
+
+}  // namespace lpvs::server::protocol

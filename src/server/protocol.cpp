@@ -1,0 +1,250 @@
+#include "lpvs/server/protocol.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace lpvs::server::protocol {
+namespace {
+
+using common::wire::Reader;
+using common::wire::Writer;
+
+void encode_body(Writer& w, const Hello& b) {
+  w.u64(b.user_id);
+  w.u64(b.cluster_id);
+  w.u32(b.cluster_size);
+  w.u32(b.slots_total);
+  w.f64(b.battery_capacity_mwh);
+  w.f64(b.bitrate_mbps);
+  w.u8(b.genre);
+  w.u8(b.giveup_percent);
+}
+
+bool decode_body(Reader& r, Hello& b) {
+  return r.u64(b.user_id) && r.u64(b.cluster_id) && r.u32(b.cluster_size) &&
+         r.u32(b.slots_total) && r.f64(b.battery_capacity_mwh) &&
+         r.f64(b.bitrate_mbps) && r.u8(b.genre) && r.u8(b.giveup_percent);
+}
+
+void encode_body(Writer& w, const HelloAck& b) {
+  w.u64(b.user_id);
+  w.u32(b.next_slot);
+}
+
+bool decode_body(Reader& r, HelloAck& b) {
+  return r.u64(b.user_id) && r.u32(b.next_slot);
+}
+
+void encode_body(Writer& w, const Report& b) {
+  w.u32(b.slot);
+  w.f64(b.battery_fraction);
+  w.f64(b.observed_delta);
+  w.u8(b.has_delta);
+  w.u8(b.watching);
+}
+
+bool decode_body(Reader& r, Report& b) {
+  return r.u32(b.slot) && r.f64(b.battery_fraction) &&
+         r.f64(b.observed_delta) && r.u8(b.has_delta) && r.u8(b.watching);
+}
+
+void encode_body(Writer& w, const Schedule& b) {
+  w.u32(b.slot);
+  w.u8(b.transform);
+  w.u8(b.rung);
+  w.f64(b.expected_gamma);
+  w.f64(b.objective);
+  w.u32(b.selected_count);
+  w.u32(b.cluster_devices);
+}
+
+bool decode_body(Reader& r, Schedule& b) {
+  return r.u32(b.slot) && r.u8(b.transform) && r.u8(b.rung) &&
+         r.f64(b.expected_gamma) && r.f64(b.objective) &&
+         r.u32(b.selected_count) && r.u32(b.cluster_devices);
+}
+
+void encode_body(Writer& w, const Grant& b) {
+  w.u32(b.slot);
+  w.u32(b.chunks);
+  w.f64(b.chunk_seconds);
+  w.f64(b.power_scale);
+}
+
+bool decode_body(Reader& r, Grant& b) {
+  return r.u32(b.slot) && r.u32(b.chunks) && r.f64(b.chunk_seconds) &&
+         r.f64(b.power_scale);
+}
+
+void encode_body(Writer& w, const Bye& b) { w.u8(b.reason); }
+
+bool decode_body(Reader& r, Bye& b) { return r.u8(b.reason); }
+
+void encode_body(Writer& w, const Error& b) {
+  w.u8(b.code);
+  w.str(b.message);
+}
+
+bool decode_body(Reader& r, Error& b) {
+  return r.u8(b.code) && r.str(b.message);
+}
+
+template <typename Body>
+common::StatusOr<Frame> finish_decode(Reader& r, FrameType type) {
+  Body body;
+  if (!decode_body(r, body)) {
+    return common::Status::DataLoss("truncated frame body");
+  }
+  if (!r.exhausted()) {
+    return common::Status::InvalidArgument("trailing bytes after frame body");
+  }
+  Frame frame;
+  frame.type = type;
+  frame.body = std::move(body);
+  return frame;
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kHelloAck: return "HELLO_ACK";
+    case FrameType::kReport: return "REPORT";
+    case FrameType::kSchedule: return "SCHEDULE";
+    case FrameType::kGrant: return "GRANT";
+    case FrameType::kBye: return "BYE";
+    case FrameType::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<std::uint8_t> encode(const Frame& frame) {
+  Writer w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u8(static_cast<std::uint8_t>(frame.type));
+  std::visit([&w](const auto& body) { encode_body(w, body); }, frame.body);
+  std::vector<std::uint8_t> payload = w.take();
+  common::wire::seal(payload);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + payload.size());
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((length >> (8 * i)) & 0xFFu));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Frame make_frame(Hello body) {
+  return Frame{FrameType::kHello, std::move(body)};
+}
+Frame make_frame(HelloAck body) {
+  return Frame{FrameType::kHelloAck, std::move(body)};
+}
+Frame make_frame(Report body) {
+  return Frame{FrameType::kReport, std::move(body)};
+}
+Frame make_frame(Schedule body) {
+  return Frame{FrameType::kSchedule, std::move(body)};
+}
+Frame make_frame(Grant body) {
+  return Frame{FrameType::kGrant, std::move(body)};
+}
+Frame make_frame(Bye body) { return Frame{FrameType::kBye, std::move(body)}; }
+Frame make_frame(Error body) {
+  return Frame{FrameType::kError, std::move(body)};
+}
+
+common::StatusOr<Frame> decode_payload(std::vector<std::uint8_t> payload) {
+  const common::Status sealed = common::wire::unseal(payload);
+  if (!sealed.ok()) return sealed;
+
+  Reader r(payload);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint8_t type_raw = 0;
+  if (!r.u32(magic) || !r.u32(version) || !r.u8(type_raw)) {
+    return common::Status::DataLoss("truncated frame header");
+  }
+  if (magic != kMagic) {
+    return common::Status::InvalidArgument("not an lpvs-wire/session frame");
+  }
+  if (version != kVersion) {
+    return common::Status::InvalidArgument("unsupported session version");
+  }
+  switch (static_cast<FrameType>(type_raw)) {
+    case FrameType::kHello:
+      return finish_decode<Hello>(r, FrameType::kHello);
+    case FrameType::kHelloAck:
+      return finish_decode<HelloAck>(r, FrameType::kHelloAck);
+    case FrameType::kReport:
+      return finish_decode<Report>(r, FrameType::kReport);
+    case FrameType::kSchedule:
+      return finish_decode<Schedule>(r, FrameType::kSchedule);
+    case FrameType::kGrant:
+      return finish_decode<Grant>(r, FrameType::kGrant);
+    case FrameType::kBye:
+      return finish_decode<Bye>(r, FrameType::kBye);
+    case FrameType::kError:
+      return finish_decode<Error>(r, FrameType::kError);
+  }
+  return common::Status::InvalidArgument("unknown frame type");
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t count) {
+  // Compact lazily: drop the consumed prefix before growing, so a chatty
+  // connection does not accumulate an unbounded buffer of decoded frames.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + count);
+}
+
+FrameDecoder::Result FrameDecoder::next() {
+  Result result;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return result;  // kNeedMore: partial length prefix
+
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(buffer_[consumed_ + i]) << (8 * i);
+  }
+  if (length > max_frame_bytes_) {
+    result.kind = Result::Kind::kError;
+    result.status = common::Status::InvalidArgument(
+        "frame length " + std::to_string(length) + " exceeds limit " +
+        std::to_string(max_frame_bytes_));
+    return result;
+  }
+  // A sealed payload is at least header (9) + checksum (8) bytes.
+  if (length < 17) {
+    result.kind = Result::Kind::kError;
+    result.status = common::Status::DataLoss("frame shorter than a header");
+    return result;
+  }
+  if (available < 4 + static_cast<std::size_t>(length)) {
+    return result;  // kNeedMore: partial payload
+  }
+
+  std::vector<std::uint8_t> payload(
+      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4),
+      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4 + length));
+  consumed_ += 4 + length;
+
+  common::StatusOr<Frame> decoded = decode_payload(std::move(payload));
+  if (!decoded.ok()) {
+    result.kind = Result::Kind::kError;
+    result.status = decoded.status();
+    return result;
+  }
+  result.kind = Result::Kind::kFrame;
+  result.frame = std::move(decoded).value();
+  return result;
+}
+
+}  // namespace lpvs::server::protocol

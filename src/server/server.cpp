@@ -1,0 +1,798 @@
+#include "lpvs/server/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "lpvs/bayes/gamma_estimator.hpp"
+#include "lpvs/bayes/nig_estimator.hpp"
+#include "lpvs/common/io.hpp"
+#include "lpvs/common/rng.hpp"
+#include "lpvs/display/display.hpp"
+#include "lpvs/media/video.hpp"
+#include "lpvs/obs/metrics.hpp"
+#include "lpvs/solver/solve_cache.hpp"
+#include "lpvs/transform/transform.hpp"
+
+namespace lpvs::server {
+namespace {
+
+namespace io = common::io;
+
+/// Same derived-stream construction as the emulator and federation: all
+/// per-(entity, slot) randomness is a pure function of (seed, entity, slot),
+/// so the daemon's slot problems are independent of socket interleaving.
+common::Rng derived_rng(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  return common::Rng(seed ^ (a + 1) * 0x9E3779B97F4A7C15ULL ^
+                     (b + 1) * 0xC2B2AE3D27D4EB4FULL);
+}
+
+constexpr std::uint64_t kDeviceSalt = 0xD15CuLL;
+
+}  // namespace
+
+struct EdgeServerDaemon::Connection {
+  enum class Phase { kAwaitHello, kActive, kClosing };
+
+  int fd = -1;
+  Phase phase = Phase::kAwaitHello;
+  protocol::FrameDecoder decoder;
+
+  std::vector<std::uint8_t> outbound;
+  std::size_t out_offset = 0;
+  bool want_write = false;
+  bool close_after_flush = false;
+  bool orderly = false;  ///< reached BYE; counted as completed on close
+
+  // Session state (valid once phase >= kActive).
+  protocol::Hello hello;
+  display::DisplaySpec spec;
+  bayes::GammaEstimator gamma;
+  bayes::NigGammaEstimator nig;
+  Cluster* cluster = nullptr;
+  bool has_report = false;
+  protocol::Report report;
+  std::uint32_t slots_completed = 0;
+
+  explicit Connection(std::uint32_t max_frame_bytes)
+      : decoder(max_frame_bytes) {}
+};
+
+struct EdgeServerDaemon::Cluster {
+  std::uint64_t id = 0;
+  std::uint32_t expected_size = 0;
+  std::uint32_t next_slot = 0;
+  /// Membership in user-id order: the slot problem's device order, which is
+  /// what keeps schedules independent of connection arrival order.
+  std::map<std::uint64_t, Connection*> members;
+  solver::SolveCache cache;
+  bool ever_complete = false;
+  bool queued = false;  ///< already in this batch's ready list
+};
+
+class EdgeServerDaemon::Impl {
+ public:
+  Impl(ServerConfig config, const core::Scheduler& scheduler,
+       core::RunContext context)
+      : config_(std::move(config)), scheduler_(scheduler), context_(context) {
+    // The daemon manages its own per-cluster caches and runs no fault
+    // injection of its own; scrub those capabilities off the base context.
+    context_.solve_cache = nullptr;
+    context_.faults = nullptr;
+    if (obs::MetricsRegistry* registry = context_.metrics) {
+      m_accepted_ = &registry->counter("lpvs_server_accepted_total",
+                                       "connections accepted");
+      m_rejects_ = &registry->counter("lpvs_server_admission_rejects_total",
+                                      "sessions rejected at HELLO");
+      m_decode_errors_ = &registry->counter("lpvs_server_decode_errors_total",
+                                            "malformed frames dropped");
+      m_backpressure_ = &registry->counter(
+          "lpvs_server_backpressure_closes_total",
+          "sessions closed for an over-limit outbound queue");
+      m_frames_rx_ = &registry->counter("lpvs_server_frames_rx_total",
+                                        "frames received");
+      m_frames_tx_ = &registry->counter("lpvs_server_frames_tx_total",
+                                        "frames sent");
+      m_slots_ = &registry->counter("lpvs_server_slots_total",
+                                    "cluster slots scheduled");
+      m_completed_ = &registry->counter("lpvs_server_sessions_completed_total",
+                                        "sessions ended with an orderly BYE");
+      m_shed_ = &registry->counter(
+          "lpvs_server_shed_total",
+          "slots forced down the degradation ladder by overload");
+      m_active_ = &registry->gauge("lpvs_server_active_sessions",
+                                   "currently open sessions");
+      m_schedule_ms_ = &registry->histogram(
+          "lpvs_server_schedule_ms", obs::MetricsRegistry::time_buckets_ms(),
+          "per-cluster slot scheduling wall time");
+    }
+  }
+
+  ~Impl() { shutdown_fds(); }
+
+  common::Status start(std::uint16_t& bound_port) {
+    io::ignore_sigpipe();
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return common::Status::Unavailable("socket: " +
+                                         std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config_.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      return common::Status::Unavailable("bind: " +
+                                         std::string(std::strerror(errno)));
+    }
+    if (::listen(listen_fd_, config_.backlog) < 0) {
+      return common::Status::Unavailable("listen: " +
+                                         std::string(std::strerror(errno)));
+    }
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &addr_len) < 0) {
+      return common::Status::Internal("getsockname failed");
+    }
+    bound_port = ntohs(addr.sin_port);
+
+    common::Status status = io::set_nonblocking(listen_fd_);
+    if (!status.ok()) return status;
+
+    if (::pipe(wake_pipe_) < 0) {
+      return common::Status::Internal("pipe: " +
+                                      std::string(std::strerror(errno)));
+    }
+    (void)io::set_nonblocking(wake_pipe_[0]);
+    (void)io::set_nonblocking(wake_pipe_[1]);
+
+    loop_ = std::make_unique<EventLoop>(config_.backend);
+    status = loop_->add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
+    if (!status.ok()) return status;
+    status = loop_->add(wake_pipe_[0], true, false);
+    if (!status.ok()) return status;
+
+    thread_ = std::thread([this] { run(); });
+    return common::Status::Ok();
+  }
+
+  void request_drain(int timeout_ms) {
+    drain_deadline_ = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(timeout_ms);
+    draining_.store(true, std::memory_order_release);
+    wake();
+  }
+
+  void request_stop() {
+    stopping_.store(true, std::memory_order_release);
+    wake();
+  }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool drain_forced() const {
+    return drain_forced_.load(std::memory_order_acquire);
+  }
+
+  ServerStats stats() const {
+    ServerStats out;
+    out.accepted = accepted_.load();
+    out.active = active_.load();
+    out.admission_rejects = admission_rejects_.load();
+    out.decode_errors = decode_errors_.load();
+    out.protocol_errors = protocol_errors_.load();
+    out.backpressure_closes = backpressure_closes_.load();
+    out.frames_rx = frames_rx_.load();
+    out.frames_tx = frames_tx_.load();
+    out.slots_scheduled = slots_scheduled_.load();
+    out.sessions_completed = sessions_completed_.load();
+    out.forced_closes = forced_closes_.load();
+    out.shed_slots = shed_slots_.load();
+    return out;
+  }
+
+ private:
+  // ---- Event loop -------------------------------------------------------
+
+  void run() {
+    std::vector<LoopEvent> events;
+    bool accepting = true;
+    while (true) {
+      const bool draining = draining_.load(std::memory_order_acquire);
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (draining && accepting) {
+        (void)loop_->remove(listen_fd_);
+        io::close_fd(listen_fd_);
+        listen_fd_ = -1;
+        accepting = false;
+      }
+      if (draining && connections_.empty()) break;
+      if (draining && std::chrono::steady_clock::now() >= drain_deadline_) {
+        drain_forced_.store(true, std::memory_order_release);
+        break;
+      }
+
+      common::StatusOr<int> waited =
+          loop_->wait(config_.poll_interval_ms, events);
+      if (!waited.ok()) break;  // loop fd gone; nothing recoverable
+
+      for (const LoopEvent& event : events) {
+        if (event.fd == wake_pipe_[0]) {
+          drain_wake_pipe();
+          continue;
+        }
+        if (event.fd == listen_fd_ && accepting) {
+          accept_ready();
+          continue;
+        }
+        auto it = connections_.find(event.fd);
+        if (it == connections_.end()) continue;  // closed earlier this batch
+        Connection* conn = it->second.get();
+        if (event.broken) {
+          close_connection(conn, /*orderly=*/false);
+          continue;
+        }
+        if (event.readable) {
+          handle_readable(conn);
+          if (connections_.find(event.fd) == connections_.end()) continue;
+        }
+        if (event.writable) flush(conn);
+      }
+
+      schedule_ready_clusters();
+    }
+
+    // Loop exit: anything still open is cut short.
+    const long leftover = static_cast<long>(connections_.size());
+    if (leftover > 0) forced_closes_.fetch_add(leftover);
+    while (!connections_.empty()) {
+      close_connection(connections_.begin()->second.get(), /*orderly=*/false,
+                       /*count_forced=*/false);
+    }
+  }
+
+  void wake() {
+    if (wake_pipe_[1] >= 0) {
+      const std::uint8_t byte = 1;
+      (void)io::write_retry(wake_pipe_[1], &byte, 1);
+    }
+  }
+
+  void drain_wake_pipe() {
+    std::uint8_t sink[64];
+    while (io::read_retry(wake_pipe_[0], sink, sizeof(sink)).ok()) {
+    }
+  }
+
+  void accept_ready() {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN or transient accept failure: try next wakeup
+      }
+      if (!io::set_nonblocking(fd).ok()) {
+        io::close_fd(fd);
+        continue;
+      }
+      (void)io::set_tcp_nodelay(fd);
+      auto conn = std::make_unique<Connection>(config_.max_frame_bytes);
+      conn->fd = fd;
+      if (!loop_->add(fd, true, false).ok()) {
+        io::close_fd(fd);
+        continue;
+      }
+      connections_[fd] = std::move(conn);
+      accepted_.fetch_add(1);
+      active_.store(static_cast<long>(connections_.size()));
+      if (m_accepted_ != nullptr) m_accepted_->add();
+      if (m_active_ != nullptr) {
+        m_active_->set(static_cast<double>(connections_.size()));
+      }
+    }
+  }
+
+  void handle_readable(Connection* conn) {
+    std::uint8_t buffer[4096];
+    bool hung_up = false;
+    for (;;) {
+      const io::IoResult r = io::read_retry(conn->fd, buffer, sizeof(buffer));
+      if (r.kind == io::IoResult::Kind::kOk) {
+        conn->decoder.feed(buffer, r.count);
+        if (r.count < sizeof(buffer)) break;  // drained the socket
+        continue;
+      }
+      if (r.kind == io::IoResult::Kind::kWouldBlock) break;
+      // EOF or error.  A peer may BYE and hang up in one burst, so the
+      // buffered frames are decoded below *before* the close — otherwise an
+      // orderly goodbye would race its own EOF and count as a cut session.
+      hung_up = true;
+      break;
+    }
+
+    for (;;) {
+      protocol::FrameDecoder::Result result = conn->decoder.next();
+      if (result.kind == protocol::FrameDecoder::Result::Kind::kNeedMore) {
+        break;
+      }
+      if (result.kind == protocol::FrameDecoder::Result::Kind::kError) {
+        // Malformed input is terminal: count it and drop the connection.
+        decode_errors_.fetch_add(1);
+        if (m_decode_errors_ != nullptr) m_decode_errors_->add();
+        close_connection(conn, /*orderly=*/false);
+        return;
+      }
+      frames_rx_.fetch_add(1);
+      if (m_frames_rx_ != nullptr) m_frames_rx_->add();
+      if (!handle_frame(conn, result.frame)) return;  // connection closed
+    }
+    if (hung_up) close_connection(conn, /*orderly=*/false);
+  }
+
+  // ---- Frame handling ---------------------------------------------------
+
+  /// Returns false when the connection was closed.
+  bool handle_frame(Connection* conn, const protocol::Frame& frame) {
+    switch (frame.type) {
+      case protocol::FrameType::kHello:
+        return handle_hello(conn, frame.as<protocol::Hello>());
+      case protocol::FrameType::kReport:
+        return handle_report(conn, frame.as<protocol::Report>());
+      case protocol::FrameType::kBye:
+        conn->orderly = true;
+        close_connection(conn, /*orderly=*/true);
+        return false;
+      case protocol::FrameType::kHelloAck:
+      case protocol::FrameType::kSchedule:
+      case protocol::FrameType::kGrant:
+      case protocol::FrameType::kError:
+        return fail_session(conn, common::StatusCode::kInvalidArgument,
+                            "client sent a server-only frame");
+    }
+    return fail_session(conn, common::StatusCode::kInvalidArgument,
+                        "unknown frame type");
+  }
+
+  bool handle_hello(Connection* conn, const protocol::Hello& hello) {
+    if (conn->phase != Connection::Phase::kAwaitHello) {
+      return fail_session(conn, common::StatusCode::kInvalidArgument,
+                          "duplicate HELLO");
+    }
+    if (active_sessions() > config_.max_sessions) {
+      admission_rejects_.fetch_add(1);
+      if (m_rejects_ != nullptr) m_rejects_->add();
+      return fail_session(conn, common::StatusCode::kResourceExhausted,
+                          "session limit reached");
+    }
+    if (hello.cluster_size == 0 ||
+        hello.cluster_size > config_.max_cluster_size) {
+      return fail_session(conn, common::StatusCode::kInvalidArgument,
+                          "cluster size out of range");
+    }
+
+    Cluster* cluster = nullptr;
+    auto it = clusters_.find(hello.cluster_id);
+    if (it == clusters_.end()) {
+      auto fresh = std::make_unique<Cluster>();
+      fresh->id = hello.cluster_id;
+      fresh->expected_size = hello.cluster_size;
+      cluster = fresh.get();
+      clusters_[hello.cluster_id] = std::move(fresh);
+    } else {
+      cluster = it->second.get();
+      if (cluster->expected_size != hello.cluster_size) {
+        return fail_session(conn, common::StatusCode::kInvalidArgument,
+                            "cluster size disagrees with existing members");
+      }
+      if (cluster->members.size() >= cluster->expected_size) {
+        return fail_session(conn, common::StatusCode::kResourceExhausted,
+                            "cluster already full");
+      }
+      if (cluster->members.count(hello.user_id) != 0) {
+        return fail_session(conn, common::StatusCode::kInvalidArgument,
+                            "duplicate user in cluster");
+      }
+    }
+
+    conn->hello = hello;
+    conn->phase = Connection::Phase::kActive;
+    conn->cluster = cluster;
+    // The panel spec is server-derived (the provider knows the handset
+    // catalog); keyed on the user so it is stable across reconnects.
+    common::Rng spec_rng = derived_rng(config_.seed, hello.user_id,
+                                       kDeviceSalt);
+    conn->spec = display::DeviceCatalog::standard().sample(spec_rng).spec;
+    cluster->members[hello.user_id] = conn;
+    if (cluster->members.size() == cluster->expected_size) {
+      cluster->ever_complete = true;
+    }
+
+    protocol::HelloAck ack;
+    ack.user_id = hello.user_id;
+    ack.next_slot = cluster->next_slot;
+    if (!send_frame(conn, protocol::make_frame(ack))) return false;
+    mark_ready_if_barrier_met(cluster);
+    return true;
+  }
+
+  bool handle_report(Connection* conn, const protocol::Report& report) {
+    if (conn->phase != Connection::Phase::kActive ||
+        conn->cluster == nullptr) {
+      return fail_session(conn, common::StatusCode::kInvalidArgument,
+                          "REPORT before HELLO");
+    }
+    Cluster* cluster = conn->cluster;
+    if (conn->has_report || report.slot != cluster->next_slot) {
+      return fail_session(conn, common::StatusCode::kInvalidArgument,
+                          "REPORT out of slot order");
+    }
+    // The Bayes observation of the previous slot's realized saving (§V-D):
+    // feed both estimators, as the emulator does.
+    if (report.has_delta != 0) {
+      conn->gamma.observe(report.observed_delta);
+      conn->nig.observe(report.observed_delta);
+    }
+    if (report.watching == 0) {
+      // The user gave up; it leaves the cluster now so remaining members'
+      // barrier does not wait on it, and BYE follows.
+      cluster->members.erase(conn->hello.user_id);
+      conn->cluster = nullptr;
+      mark_ready_if_barrier_met(cluster);
+      reap_cluster(cluster);
+      return true;
+    }
+    conn->has_report = true;
+    conn->report = report;
+    mark_ready_if_barrier_met(cluster);
+    return true;
+  }
+
+  // ---- Slot cadence -----------------------------------------------------
+
+  void mark_ready_if_barrier_met(Cluster* cluster) {
+    if (cluster->queued || cluster->members.empty()) return;
+    // A cluster schedules only once fully assembled — the composition of
+    // slot 0 is fixed by the HELLOs, not by which member's bytes arrived
+    // first.  After assembly, members may only leave (give-up, BYE).
+    if (!cluster->ever_complete) return;
+    for (const auto& [user, member] : cluster->members) {
+      if (!member->has_report) return;
+    }
+    cluster->queued = true;
+    ready_.push_back(cluster);
+  }
+
+  void schedule_ready_clusters() {
+    if (ready_.empty()) return;
+    // Stable processing order (map order is by cluster id already, but the
+    // ready list fills in arrival order).
+    std::sort(ready_.begin(), ready_.end(),
+              [](const Cluster* a, const Cluster* b) { return a->id < b->id; });
+    const std::size_t batch = ready_.size();
+    for (std::size_t i = 0; i < batch; ++i) {
+      Cluster* cluster = ready_[i];
+      // `queued` stays set while scheduling: it pins the cluster against
+      // reap_cluster when a member's close fires mid-send.
+      if (!cluster->members.empty()) {
+        schedule_cluster(cluster, overload_rung(batch, i));
+      }
+      cluster->queued = false;
+      reap_cluster(cluster);
+    }
+    ready_.erase(ready_.begin(), ready_.begin() + static_cast<std::ptrdiff_t>(
+                                                      batch));
+  }
+
+  /// Overload shedding: past the configured ready-queue depth, force slots
+  /// down the ladder — deeper backlog, lower rung.  -1 = schedule normally.
+  int overload_rung(std::size_t batch, std::size_t index) const {
+    if (config_.shed_ready_depth == 0) return -1;
+    if (batch <= config_.shed_ready_depth || index < config_.shed_ready_depth) {
+      return -1;
+    }
+    const bool deep = batch > 2 * config_.shed_ready_depth;
+    return static_cast<int>(deep ? core::DegradationRung::kReplayPrevious
+                                 : core::DegradationRung::kWarmRepair);
+  }
+
+  void schedule_cluster(Cluster* cluster, int forced_rung) {
+    obs::ScopedTimer timer(m_schedule_ms_);
+
+    core::SlotProblem problem;
+    problem.compute_capacity = config_.compute_capacity;
+    problem.storage_capacity = config_.storage_capacity_mb;
+    problem.lambda = config_.lambda;
+
+    std::vector<Connection*> order;
+    order.reserve(cluster->members.size());
+    for (auto& [user_id, member] : cluster->members) {
+      // Content is a pure function of (seed, user, slot): the same derived
+      // streams the emulator and federation use.
+      common::Rng content_rng = derived_rng(config_.seed, user_id,
+                                            cluster->next_slot);
+      media::ContentGenerator generator(content_rng());
+      const auto genre = static_cast<media::Genre>(
+          member->hello.genre % media::kGenreCount);
+      const media::Video video = generator.generate(
+          common::VideoId{static_cast<std::uint32_t>(
+              user_id * 100000u + cluster->next_slot)},
+          genre, config_.chunks_per_slot, member->hello.bitrate_mbps,
+          common::Seconds{config_.chunk_seconds});
+
+      core::DeviceSlotInput input;
+      input.id = common::DeviceId{static_cast<std::uint32_t>(user_id)};
+      input.power_rates_mw.reserve(video.chunks.size());
+      input.chunk_durations_s.reserve(video.chunks.size());
+      for (const media::VideoChunk& chunk : video.chunks) {
+        input.power_rates_mw.push_back(
+            rate_estimator_.rate(member->spec, chunk).value);
+        input.chunk_durations_s.push_back(chunk.duration.value);
+      }
+      input.battery_capacity_mwh = member->hello.battery_capacity_mwh;
+      input.initial_energy_mwh = member->report.battery_fraction *
+                                 member->hello.battery_capacity_mwh *
+                                 config_.effective_capacity_scale;
+      input.gamma = member->gamma.expected_gamma();
+      input.compute_cost = resources_.compute_cost(member->spec, video);
+      input.storage_cost = resources_.storage_cost(video);
+
+      order.push_back(member);
+      problem.devices.push_back(std::move(input));
+    }
+
+    core::RunContext ctx =
+        context_.with_slot(static_cast<std::int64_t>(cluster->next_slot));
+    if (config_.warm_start) {
+      ctx = ctx.with_solve_cache(&cluster->cache, cluster->id);
+    }
+    core::SlotDeadline deadline = config_.deadline;
+    if (forced_rung >= 0 &&
+        (deadline.force_rung < 0 || forced_rung > deadline.force_rung)) {
+      deadline.force_rung = forced_rung;
+      shed_slots_.fetch_add(1);
+      if (m_shed_ != nullptr) m_shed_->add();
+    }
+    ctx = ctx.with_deadline(deadline);
+
+    const core::Schedule schedule = scheduler_.schedule(problem, ctx);
+    slots_scheduled_.fetch_add(1);
+    if (m_slots_ != nullptr) m_slots_->add();
+
+    const auto selected = static_cast<std::uint32_t>(schedule.selected_count());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      Connection* member = order[i];
+      const bool transformed = schedule.x[i] != 0;
+
+      protocol::Schedule push;
+      push.slot = cluster->next_slot;
+      push.transform = transformed ? 1 : 0;
+      push.rung = static_cast<std::uint8_t>(schedule.rung);
+      push.expected_gamma = problem.devices[i].gamma;
+      push.objective = schedule.objective;
+      push.selected_count = selected;
+      push.cluster_devices = static_cast<std::uint32_t>(order.size());
+
+      protocol::Grant grant;
+      grant.slot = cluster->next_slot;
+      grant.chunks = static_cast<std::uint32_t>(config_.chunks_per_slot);
+      grant.chunk_seconds = config_.chunk_seconds;
+      grant.power_scale =
+          transformed ? 1.0 - problem.devices[i].gamma : 1.0;
+
+      member->has_report = false;
+      ++member->slots_completed;
+      if (!send_frame(member, protocol::make_frame(push))) continue;
+      (void)send_frame(member, protocol::make_frame(grant));
+    }
+    ++cluster->next_slot;
+  }
+
+  // ---- Outbound path ----------------------------------------------------
+
+  /// Returns false when the connection was closed (backpressure / error).
+  bool send_frame(Connection* conn, const protocol::Frame& frame) {
+    const std::vector<std::uint8_t> bytes = protocol::encode(frame);
+    conn->outbound.insert(conn->outbound.end(), bytes.begin(), bytes.end());
+    frames_tx_.fetch_add(1);
+    if (m_frames_tx_ != nullptr) m_frames_tx_->add();
+    if (conn->outbound.size() - conn->out_offset >
+        config_.max_outbound_bytes) {
+      // The peer stopped reading; shedding it beats buffering without
+      // bound.  Nothing useful can be flushed to a non-reading peer.
+      backpressure_closes_.fetch_add(1);
+      if (m_backpressure_ != nullptr) m_backpressure_->add();
+      close_connection(conn, /*orderly=*/false);
+      return false;
+    }
+    return flush(conn);
+  }
+
+  /// Returns false when the connection was closed.
+  bool flush(Connection* conn) {
+    while (conn->out_offset < conn->outbound.size()) {
+      const io::IoResult r =
+          io::write_retry(conn->fd, conn->outbound.data() + conn->out_offset,
+                          conn->outbound.size() - conn->out_offset);
+      if (r.kind == io::IoResult::Kind::kOk) {
+        conn->out_offset += r.count;
+        continue;
+      }
+      if (r.kind == io::IoResult::Kind::kWouldBlock) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          (void)loop_->modify(conn->fd, true, true);
+        }
+        return true;
+      }
+      close_connection(conn, /*orderly=*/false);
+      return false;
+    }
+    conn->outbound.clear();
+    conn->out_offset = 0;
+    if (conn->close_after_flush) {
+      close_connection(conn, conn->orderly);
+      return false;
+    }
+    if (conn->want_write) {
+      conn->want_write = false;
+      (void)loop_->modify(conn->fd, true, false);
+    }
+    return true;
+  }
+
+  /// Terminal protocol failure: best-effort ERROR frame, then close.
+  bool fail_session(Connection* conn, common::StatusCode code,
+                    std::string message) {
+    protocol_errors_.fetch_add(1);
+    protocol::Error error;
+    error.code = static_cast<std::uint8_t>(code);
+    error.message = std::move(message);
+    const std::vector<std::uint8_t> bytes =
+        protocol::encode(protocol::make_frame(error));
+    conn->outbound.insert(conn->outbound.end(), bytes.begin(), bytes.end());
+    conn->close_after_flush = true;
+    conn->phase = Connection::Phase::kClosing;
+    flush(conn);  // closes on full flush; waits for writability otherwise
+    return false;
+  }
+
+  void close_connection(Connection* conn, bool orderly,
+                        bool count_forced = true) {
+    (void)count_forced;
+    if (conn->cluster != nullptr) {
+      Cluster* cluster = conn->cluster;
+      cluster->members.erase(conn->hello.user_id);
+      conn->cluster = nullptr;
+      // Remaining members may now satisfy the barrier without the leaver.
+      mark_ready_if_barrier_met(cluster);
+      reap_cluster(cluster);
+    }
+    if (orderly) {
+      sessions_completed_.fetch_add(1);
+      if (m_completed_ != nullptr) m_completed_->add();
+    }
+    (void)loop_->remove(conn->fd);
+    io::close_fd(conn->fd);
+    connections_.erase(conn->fd);  // destroys conn
+    active_.store(static_cast<long>(connections_.size()));
+    if (m_active_ != nullptr) {
+      m_active_->set(static_cast<double>(connections_.size()));
+    }
+  }
+
+  void reap_cluster(Cluster* cluster) {
+    if (cluster->members.empty() && !cluster->queued) {
+      clusters_.erase(cluster->id);
+    }
+  }
+
+  std::uint32_t active_sessions() const {
+    return static_cast<std::uint32_t>(connections_.size());
+  }
+
+  void shutdown_fds() {
+    io::close_fd(listen_fd_);
+    io::close_fd(wake_pipe_[0]);
+    io::close_fd(wake_pipe_[1]);
+    listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+  }
+
+  ServerConfig config_;
+  const core::Scheduler& scheduler_;
+  core::RunContext context_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::unique_ptr<EventLoop> loop_;
+  std::thread thread_;
+
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  std::map<std::uint64_t, std::unique_ptr<Cluster>> clusters_;
+  std::vector<Cluster*> ready_;
+
+  media::PowerRateEstimator rate_estimator_;
+  transform::ResourceModel resources_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> drain_forced_{false};
+  std::chrono::steady_clock::time_point drain_deadline_{};
+
+  std::atomic<long> accepted_{0};
+  std::atomic<long> active_{0};
+  std::atomic<long> admission_rejects_{0};
+  std::atomic<long> decode_errors_{0};
+  std::atomic<long> protocol_errors_{0};
+  std::atomic<long> backpressure_closes_{0};
+  std::atomic<long> frames_rx_{0};
+  std::atomic<long> frames_tx_{0};
+  std::atomic<long> slots_scheduled_{0};
+  std::atomic<long> sessions_completed_{0};
+  std::atomic<long> forced_closes_{0};
+  std::atomic<long> shed_slots_{0};
+
+  obs::Counter* m_accepted_ = nullptr;
+  obs::Counter* m_rejects_ = nullptr;
+  obs::Counter* m_decode_errors_ = nullptr;
+  obs::Counter* m_backpressure_ = nullptr;
+  obs::Counter* m_frames_rx_ = nullptr;
+  obs::Counter* m_frames_tx_ = nullptr;
+  obs::Counter* m_slots_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Gauge* m_active_ = nullptr;
+  obs::Histogram* m_schedule_ms_ = nullptr;
+};
+
+EdgeServerDaemon::EdgeServerDaemon(ServerConfig config,
+                                   const core::Scheduler& scheduler,
+                                   core::RunContext context)
+    : impl_(std::make_unique<Impl>(std::move(config), scheduler, context)) {}
+
+EdgeServerDaemon::~EdgeServerDaemon() { stop(); }
+
+common::Status EdgeServerDaemon::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return common::Status::InvalidArgument("daemon already running");
+  }
+  const common::Status status = impl_->start(port_);
+  if (status.ok()) running_.store(true, std::memory_order_release);
+  return status;
+}
+
+common::Status EdgeServerDaemon::drain(int timeout_ms) {
+  if (!running_.load(std::memory_order_acquire)) return common::Status::Ok();
+  impl_->request_drain(timeout_ms);
+  impl_->join();
+  running_.store(false, std::memory_order_release);
+  if (impl_->drain_forced()) {
+    return common::Status::DeadlineExceeded(
+        "drain timed out; remaining sessions were force-closed");
+  }
+  return common::Status::Ok();
+}
+
+void EdgeServerDaemon::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  impl_->request_stop();
+  impl_->join();
+  running_.store(false, std::memory_order_release);
+}
+
+ServerStats EdgeServerDaemon::stats() const { return impl_->stats(); }
+
+}  // namespace lpvs::server

@@ -1,0 +1,143 @@
+// common::io — the POSIX fd helpers the serving layer is built on:
+// EINTR-retrying read/write, partial-I/O semantics on non-blocking fds,
+// SIGPIPE suppression, and the blocking *_exact/_all loops.
+#include "lpvs/common/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace io = lpvs::common::io;
+using lpvs::common::StatusCode;
+
+namespace {
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    io::close_fd(a);
+    io::close_fd(b);
+  }
+};
+
+}  // namespace
+
+TEST(IoNonblocking, SetAndObserve) {
+  SocketPair pair;
+  ASSERT_TRUE(io::set_nonblocking(pair.a).ok());
+  const int flags = ::fcntl(pair.a, F_GETFL);
+  ASSERT_GE(flags, 0);
+  EXPECT_NE(flags & O_NONBLOCK, 0);
+}
+
+TEST(IoNonblocking, BadFdFails) {
+  EXPECT_FALSE(io::set_nonblocking(-1).ok());
+}
+
+TEST(IoReadRetry, WouldBlockOnEmptyNonblockingSocket) {
+  SocketPair pair;
+  ASSERT_TRUE(io::set_nonblocking(pair.a).ok());
+  std::uint8_t buf[16];
+  const io::IoResult r = io::read_retry(pair.a, buf, sizeof(buf));
+  EXPECT_EQ(r.kind, io::IoResult::Kind::kWouldBlock);
+}
+
+TEST(IoReadRetry, EofAfterPeerClose) {
+  SocketPair pair;
+  io::close_fd(pair.b);
+  pair.b = -1;
+  std::uint8_t buf[16];
+  const io::IoResult r = io::read_retry(pair.a, buf, sizeof(buf));
+  EXPECT_EQ(r.kind, io::IoResult::Kind::kEof);
+}
+
+TEST(IoReadRetry, ShortReadIsOk) {
+  SocketPair pair;
+  const char* msg = "abc";
+  ASSERT_TRUE(io::write_all(pair.b, msg, 3).ok());
+  std::uint8_t buf[64];
+  const io::IoResult r = io::read_retry(pair.a, buf, sizeof(buf));
+  ASSERT_EQ(r.kind, io::IoResult::Kind::kOk);
+  EXPECT_EQ(r.count, 3u);  // short count, not an error
+}
+
+TEST(IoExact, RoundTripAcrossPartialWrites) {
+  SocketPair pair;
+  // Writer thread dribbles the message in small pieces; read_exact must
+  // assemble the full count regardless of the fragmentation.
+  std::vector<std::uint8_t> message(64 * 1024);
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  std::thread writer([&] {
+    std::size_t sent = 0;
+    while (sent < message.size()) {
+      const std::size_t piece = std::min<std::size_t>(4096 + sent % 777,
+                                                      message.size() - sent);
+      ASSERT_TRUE(io::write_all(pair.b, message.data() + sent, piece).ok());
+      sent += piece;
+    }
+  });
+  std::vector<std::uint8_t> received(message.size());
+  EXPECT_TRUE(io::read_exact(pair.a, received.data(), received.size()).ok());
+  writer.join();
+  EXPECT_EQ(received, message);
+}
+
+TEST(IoExact, EofMidMessageIsUnavailable) {
+  SocketPair pair;
+  ASSERT_TRUE(io::write_all(pair.b, "xy", 2).ok());
+  io::close_fd(pair.b);
+  pair.b = -1;
+  std::uint8_t buf[8];
+  const lpvs::common::Status status = io::read_exact(pair.a, buf, sizeof(buf));
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST(IoSigpipe, WriteToClosedPeerIsErrorNotDeath) {
+  io::ignore_sigpipe();
+  SocketPair pair;
+  io::close_fd(pair.a);
+  pair.a = -1;
+  // Without suppression this write would raise SIGPIPE and kill the test
+  // runner; with it, the failure must surface as a result value.
+  std::vector<std::uint8_t> junk(1 << 16, 0x5A);
+  io::IoResult r{};
+  for (int i = 0; i < 8; ++i) {
+    r = io::write_retry(pair.b, junk.data(), junk.size());
+    if (r.kind == io::IoResult::Kind::kError) break;
+  }
+  EXPECT_EQ(r.kind, io::IoResult::Kind::kError);
+  EXPECT_EQ(r.error, EPIPE);
+}
+
+TEST(IoWriteAll, ClosedPeerIsUnavailable) {
+  io::ignore_sigpipe();
+  SocketPair pair;
+  io::close_fd(pair.a);
+  pair.a = -1;
+  std::vector<std::uint8_t> junk(1 << 18, 0x5A);
+  const lpvs::common::Status status =
+      io::write_all(pair.b, junk.data(), junk.size());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST(IoCloseFd, NegativeFdIsNoop) {
+  io::close_fd(-1);  // must not crash or touch errno meaningfully
+  SUCCEED();
+}

@@ -1,0 +1,227 @@
+// Loopback integration: the EdgeServerDaemon under the open-loop load
+// generator.  Carries the PR's acceptance criteria:
+//   - a concurrent fleet completes all its slots,
+//   - per-session payloads are bit-identical across runs with different
+//     client thread counts (the determinism contract),
+//   - graceful drain leaves zero half-open sessions,
+//   - request→schedule latency lands in the metrics registry.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lpvs/core/scheduler.hpp"
+#include "lpvs/loadgen/loadgen.hpp"
+#include "lpvs/obs/metrics.hpp"
+#include "lpvs/server/server.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+
+namespace lpvs {
+namespace {
+
+const survey::AnxietyModel& anxiety() {
+  static const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  return model;
+}
+
+const core::LpvsScheduler& scheduler() {
+  static const core::LpvsScheduler instance;
+  return instance;
+}
+
+/// Boots a daemon, runs the fleet, drains, returns the loadgen report.
+loadgen::LoadGenReport run_fleet(server::ServerConfig server_config,
+                                 loadgen::LoadGenConfig load,
+                                 server::ServerStats* stats_out = nullptr,
+                                 common::Status* drain_out = nullptr) {
+  server::EdgeServerDaemon daemon(server_config, scheduler(),
+                                  core::RunContext(anxiety()));
+  EXPECT_TRUE(daemon.start().ok());
+  load.port = daemon.port();
+  auto report = loadgen::run_load(load);
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+  const common::Status drained = daemon.drain(10000);
+  if (drain_out != nullptr) *drain_out = drained;
+  EXPECT_TRUE(drained.ok()) << drained.to_string();
+  if (stats_out != nullptr) *stats_out = daemon.stats();
+  return report.ok() ? *report : loadgen::LoadGenReport{};
+}
+
+}  // namespace
+
+TEST(ServingIntegration, ConcurrentFleetCompletesAllSlots) {
+  // 64 concurrent clients (16 clusters x 4), 200 slots each.
+  server::ServerConfig server_config;
+  loadgen::LoadGenConfig load;
+  load.clusters = 16;
+  load.cluster_size = 4;
+  load.slots = 200;
+  load.threads = 8;
+  load.seed = 11;
+
+  server::ServerStats stats;
+  const loadgen::LoadGenReport report =
+      run_fleet(server_config, load, &stats);
+
+  EXPECT_EQ(report.sessions, 64);
+  EXPECT_EQ(report.completed, 64);
+  EXPECT_EQ(report.transport_errors, 0);
+  EXPECT_EQ(report.protocol_errors, 0);
+  EXPECT_EQ(report.slots_driven, 64L * 200L);
+  EXPECT_EQ(stats.slots_scheduled, 16L * 200L);
+  EXPECT_EQ(stats.sessions_completed, 64);
+}
+
+TEST(ServingIntegration, PayloadsBitIdenticalAcrossThreadCounts) {
+  // The same fleet carried by 2 worker threads and by 8 must deliver
+  // byte-identical schedule payloads to every session: the schedule is a
+  // function of (seed, cluster composition, reported state), never of
+  // socket interleaving.
+  const auto digests_at = [](std::uint32_t threads) {
+    server::ServerConfig server_config;
+    server_config.seed = 21;
+    loadgen::LoadGenConfig load;
+    load.clusters = 8;
+    load.cluster_size = 8;
+    load.slots = 50;
+    load.threads = threads;
+    load.seed = 21;
+    return run_fleet(server_config, load).digests;
+  };
+
+  const std::map<std::uint64_t, std::uint64_t> two = digests_at(2);
+  const std::map<std::uint64_t, std::uint64_t> eight = digests_at(8);
+  ASSERT_EQ(two.size(), 64u);
+  EXPECT_EQ(two, eight);
+}
+
+TEST(ServingIntegration, PayloadsBitIdenticalAcrossRuns) {
+  const auto digests = [] {
+    server::ServerConfig server_config;
+    server_config.seed = 5;
+    loadgen::LoadGenConfig load;
+    load.clusters = 4;
+    load.cluster_size = 4;
+    load.slots = 40;
+    load.threads = 4;
+    load.seed = 5;
+    return run_fleet(server_config, load).digests;
+  };
+  EXPECT_EQ(digests(), digests());
+}
+
+TEST(ServingIntegration, GiveUpsShrinkClustersWithoutDeadlock) {
+  server::ServerConfig server_config;
+  loadgen::LoadGenConfig load;
+  load.clusters = 4;
+  load.cluster_size = 6;
+  load.slots = 60;
+  load.threads = 4;
+  load.seed = 33;
+  load.giveup_battery_fraction = 0.5;  // most sessions give up mid-run
+
+  server::ServerStats stats;
+  const loadgen::LoadGenReport report =
+      run_fleet(server_config, load, &stats);
+  EXPECT_GT(report.gave_up, 0);
+  // Every session still ends with an orderly BYE (reason: gave up).
+  EXPECT_EQ(report.completed, 24);
+  EXPECT_EQ(stats.sessions_completed, 24);
+  EXPECT_EQ(stats.forced_closes, 0);
+}
+
+TEST(ServingIntegration, DrainLeavesZeroHalfOpenSessions) {
+  server::ServerConfig server_config;
+  loadgen::LoadGenConfig load;
+  load.clusters = 8;
+  load.cluster_size = 4;
+  load.slots = 30;
+  load.threads = 4;
+  load.seed = 44;
+  load.arrival_rate_per_s = 200.0;  // staggered Poisson arrivals
+
+  server::ServerStats stats;
+  common::Status drained;
+  const loadgen::LoadGenReport report =
+      run_fleet(server_config, load, &stats, &drained);
+
+  EXPECT_TRUE(drained.ok());
+  EXPECT_EQ(stats.active, 0);
+  EXPECT_EQ(stats.forced_closes, 0);
+  // accepted == completed: nobody left half-open.
+  EXPECT_EQ(stats.accepted, stats.sessions_completed);
+  EXPECT_EQ(report.completed, 32);
+}
+
+TEST(ServingIntegration, LatencyExportedThroughMetricsRegistry) {
+  obs::MetricsRegistry registry;
+
+  server::ServerConfig server_config;
+  server::EdgeServerDaemon daemon(
+      server_config, scheduler(),
+      core::RunContext(anxiety()).with_metrics(&registry));
+  ASSERT_TRUE(daemon.start().ok());
+
+  loadgen::LoadGenConfig load;
+  load.port = daemon.port();
+  load.clusters = 4;
+  load.cluster_size = 4;
+  load.slots = 25;
+  load.threads = 4;
+  load.seed = 7;
+  load.metrics = &registry;
+  auto report = loadgen::run_load(load);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(daemon.drain(10000).ok());
+
+  EXPECT_GT(report->latency_p99_ms, 0.0);
+  EXPECT_GE(report->latency_p99_ms, report->latency_p50_ms);
+  EXPECT_EQ(report->latency_samples, 4L * 4L * 25L);
+
+  // Both sides of the wire exported through the registry.
+  const obs::Snapshot snapshot = registry.snapshot();
+  bool loadgen_hist = false;
+  bool server_hist = false;
+  for (const obs::HistogramSample& h : snapshot.histograms) {
+    if (h.name == "lpvs_loadgen_request_schedule_ms") {
+      loadgen_hist = true;
+      EXPECT_EQ(h.count, 4L * 4L * 25L);
+      EXPECT_GE(h.quantile(0.99), h.quantile(0.50));
+    }
+    if (h.name == "lpvs_server_schedule_ms") {
+      server_hist = true;
+      EXPECT_EQ(h.count, 4L * 25L);  // one observation per cluster slot
+    }
+  }
+  EXPECT_TRUE(loadgen_hist);
+  EXPECT_TRUE(server_hist);
+
+  bool slots_counter = false;
+  for (const obs::CounterSample& c : snapshot.counters) {
+    if (c.name == "lpvs_server_slots_total") {
+      slots_counter = true;
+      EXPECT_EQ(c.value, 4L * 25L);
+    }
+  }
+  EXPECT_TRUE(slots_counter);
+}
+
+TEST(ServingIntegration, TraceReplaySessionsComplete) {
+  server::ServerConfig server_config;
+  loadgen::LoadGenConfig load;
+  load.clusters = 6;
+  load.cluster_size = 3;
+  load.slots = 40;  // cap; trace durations vary below it
+  load.threads = 3;
+  load.seed = 17;
+  load.use_trace = true;
+
+  server::ServerStats stats;
+  const loadgen::LoadGenReport report =
+      run_fleet(server_config, load, &stats);
+  EXPECT_EQ(report.sessions, 18);
+  EXPECT_EQ(report.completed, 18);
+  EXPECT_EQ(report.transport_errors, 0);
+  EXPECT_GT(stats.slots_scheduled, 0);
+}
+
+}  // namespace lpvs

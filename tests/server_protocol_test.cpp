@@ -1,0 +1,307 @@
+// lpvs-wire/session v1 — frame round-trips, incremental decoding under
+// arbitrary fragmentation, and a table-driven malformed-input corpus: every
+// mutation class a hostile or broken client can produce must surface as a
+// clean Status, never as a crash or an accepted garbled frame.
+#include "lpvs/server/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace protocol = lpvs::server::protocol;
+namespace wire = lpvs::common::wire;
+using lpvs::common::StatusCode;
+
+namespace {
+
+protocol::Hello sample_hello() {
+  protocol::Hello hello;
+  hello.user_id = 42;
+  hello.cluster_id = 7;
+  hello.cluster_size = 8;
+  hello.slots_total = 200;
+  hello.battery_capacity_mwh = 12345.5;
+  hello.bitrate_mbps = 4.25;
+  hello.genre = 3;
+  hello.giveup_percent = 20;
+  return hello;
+}
+
+/// Strips the length prefix: the bytes decode_payload consumes.
+std::vector<std::uint8_t> payload_of(const std::vector<std::uint8_t>& framed) {
+  return {framed.begin() + 4, framed.end()};
+}
+
+}  // namespace
+
+TEST(SessionProtocol, HelloRoundTrip) {
+  const protocol::Hello hello = sample_hello();
+  const std::vector<std::uint8_t> framed =
+      protocol::encode(protocol::make_frame(hello));
+  auto decoded = protocol::decode_payload(payload_of(framed));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  ASSERT_EQ(decoded->type, protocol::FrameType::kHello);
+  const auto& back = decoded->as<protocol::Hello>();
+  EXPECT_EQ(back.user_id, hello.user_id);
+  EXPECT_EQ(back.cluster_id, hello.cluster_id);
+  EXPECT_EQ(back.cluster_size, hello.cluster_size);
+  EXPECT_EQ(back.slots_total, hello.slots_total);
+  EXPECT_DOUBLE_EQ(back.battery_capacity_mwh, hello.battery_capacity_mwh);
+  EXPECT_DOUBLE_EQ(back.bitrate_mbps, hello.bitrate_mbps);
+  EXPECT_EQ(back.genre, hello.genre);
+  EXPECT_EQ(back.giveup_percent, hello.giveup_percent);
+}
+
+TEST(SessionProtocol, EveryFrameTypeRoundTrips) {
+  std::vector<protocol::Frame> frames;
+  frames.push_back(protocol::make_frame(sample_hello()));
+  frames.push_back(protocol::make_frame(protocol::HelloAck{42, 3}));
+  protocol::Report report;
+  report.slot = 5;
+  report.battery_fraction = 0.62;
+  report.observed_delta = 0.27;
+  report.has_delta = 1;
+  report.watching = 1;
+  frames.push_back(protocol::make_frame(report));
+  protocol::Schedule schedule;
+  schedule.slot = 5;
+  schedule.transform = 1;
+  schedule.rung = 2;
+  schedule.expected_gamma = 0.31;
+  schedule.objective = -123.75;
+  schedule.selected_count = 6;
+  schedule.cluster_devices = 8;
+  frames.push_back(protocol::make_frame(schedule));
+  frames.push_back(protocol::make_frame(protocol::Grant{5, 3, 100.0, 0.69}));
+  frames.push_back(protocol::make_frame(protocol::Bye{1}));
+  protocol::Error error;
+  error.code = static_cast<std::uint8_t>(StatusCode::kResourceExhausted);
+  error.message = "session limit reached";
+  frames.push_back(protocol::make_frame(error));
+
+  for (const protocol::Frame& frame : frames) {
+    auto decoded = protocol::decode_payload(payload_of(protocol::encode(frame)));
+    ASSERT_TRUE(decoded.ok())
+        << protocol::frame_type_name(frame.type) << ": "
+        << decoded.status().to_string();
+    EXPECT_EQ(decoded->type, frame.type);
+  }
+  // Spot-check the string-bearing body.
+  auto decoded =
+      protocol::decode_payload(payload_of(protocol::encode(frames.back())));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->as<protocol::Error>().message, "session limit reached");
+}
+
+TEST(FrameDecoder, ByteAtATimeFeedYieldsIdenticalFrames) {
+  const std::vector<std::uint8_t> one =
+      protocol::encode(protocol::make_frame(sample_hello()));
+  const std::vector<std::uint8_t> two =
+      protocol::encode(protocol::make_frame(protocol::Grant{9, 3, 100.0, 1.0}));
+  std::vector<std::uint8_t> stream = one;
+  stream.insert(stream.end(), two.begin(), two.end());
+
+  protocol::FrameDecoder decoder;
+  std::vector<protocol::FrameType> seen;
+  for (const std::uint8_t byte : stream) {
+    decoder.feed(&byte, 1);
+    for (;;) {
+      auto result = decoder.next();
+      if (result.kind != protocol::FrameDecoder::Result::Kind::kFrame) {
+        ASSERT_EQ(result.kind, protocol::FrameDecoder::Result::Kind::kNeedMore);
+        break;
+      }
+      seen.push_back(result.frame.type);
+    }
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], protocol::FrameType::kHello);
+  EXPECT_EQ(seen[1], protocol::FrameType::kGrant);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input corpus.  Each case is one mutation class applied to a
+// valid frame; the expected outcome is a specific error code (or, for
+// mid-frame truncation, kNeedMore — awaiting bytes that never arrive is the
+// correct stance until the peer hangs up).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct CorpusCase {
+  const char* name;
+  /// Builds the malformed byte stream from a valid encoded frame.
+  std::vector<std::uint8_t> (*mutate)(std::vector<std::uint8_t> valid);
+  /// kOk means "decoder must just wait for more bytes" (kNeedMore).
+  StatusCode expected;
+};
+
+std::vector<std::uint8_t> set_length(std::vector<std::uint8_t> bytes,
+                                     std::uint32_t length) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((length >> (8 * i)) & 0xFFu);
+  }
+  return bytes;
+}
+
+const CorpusCase kCorpus[] = {
+    {"oversized_length_prefix",
+     [](std::vector<std::uint8_t> valid) {
+       // 4 GiB claim: must be rejected before any buffering.
+       return set_length(std::move(valid), 0xFFFFFFFFu);
+     },
+     StatusCode::kInvalidArgument},
+    {"length_just_over_limit",
+     [](std::vector<std::uint8_t> valid) {
+       return set_length(std::move(valid), protocol::kMaxFrameBytes + 1);
+     },
+     StatusCode::kInvalidArgument},
+    {"length_below_minimum",
+     [](std::vector<std::uint8_t> valid) {
+       return set_length(std::move(valid), 16);  // < header + checksum
+     },
+     StatusCode::kDataLoss},
+    {"zero_length",
+     [](std::vector<std::uint8_t> valid) {
+       return set_length(std::move(valid), 0);
+     },
+     StatusCode::kDataLoss},
+    {"payload_truncated_short_of_checksum",
+     [](std::vector<std::uint8_t> valid) {
+       // Length claims the full payload but only part arrives: the decoder
+       // must wait (kNeedMore), never decode a partial frame.
+       valid.resize(valid.size() - 5);
+       return valid;
+     },
+     StatusCode::kOk},
+    {"bad_magic",
+     [](std::vector<std::uint8_t> valid) {
+       // Rewrite magic and re-seal so only the magic check can object.
+       std::vector<std::uint8_t> payload(valid.begin() + 4, valid.end());
+       payload.resize(payload.size() - 8);  // strip trailer
+       payload[0] ^= 0xFF;
+       wire::seal(payload);
+       std::vector<std::uint8_t> out(valid.begin(), valid.begin() + 4);
+       out.insert(out.end(), payload.begin(), payload.end());
+       return out;
+     },
+     StatusCode::kInvalidArgument},
+    {"unsupported_version",
+     [](std::vector<std::uint8_t> valid) {
+       std::vector<std::uint8_t> payload(valid.begin() + 4, valid.end());
+       payload.resize(payload.size() - 8);
+       payload[4] = 0x7F;  // version LSB
+       wire::seal(payload);
+       std::vector<std::uint8_t> out(valid.begin(), valid.begin() + 4);
+       out.insert(out.end(), payload.begin(), payload.end());
+       return out;
+     },
+     StatusCode::kInvalidArgument},
+    {"unknown_frame_type",
+     [](std::vector<std::uint8_t> valid) {
+       std::vector<std::uint8_t> payload(valid.begin() + 4, valid.end());
+       payload.resize(payload.size() - 8);
+       payload[8] = 0xEE;  // type byte
+       wire::seal(payload);
+       std::vector<std::uint8_t> out(valid.begin(), valid.begin() + 4);
+       out.insert(out.end(), payload.begin(), payload.end());
+       return out;
+     },
+     StatusCode::kInvalidArgument},
+    {"truncated_body_resealed",
+     [](std::vector<std::uint8_t> valid) {
+       // Drop the body's last byte and re-seal: checksum passes, the body
+       // decoder must still notice the short body.
+       std::vector<std::uint8_t> payload(valid.begin() + 4, valid.end());
+       payload.resize(payload.size() - 8);
+       payload.pop_back();
+       wire::seal(payload);
+       std::vector<std::uint8_t> out;
+       const auto length = static_cast<std::uint32_t>(payload.size());
+       for (int i = 0; i < 4; ++i) {
+         out.push_back(static_cast<std::uint8_t>((length >> (8 * i)) & 0xFFu));
+       }
+       out.insert(out.end(), payload.begin(), payload.end());
+       return out;
+     },
+     StatusCode::kDataLoss},
+    {"trailing_garbage_resealed",
+     [](std::vector<std::uint8_t> valid) {
+       std::vector<std::uint8_t> payload(valid.begin() + 4, valid.end());
+       payload.resize(payload.size() - 8);
+       payload.push_back(0xAA);
+       wire::seal(payload);
+       std::vector<std::uint8_t> out;
+       const auto length = static_cast<std::uint32_t>(payload.size());
+       for (int i = 0; i < 4; ++i) {
+         out.push_back(static_cast<std::uint8_t>((length >> (8 * i)) & 0xFFu));
+       }
+       out.insert(out.end(), payload.begin(), payload.end());
+       return out;
+     },
+     StatusCode::kInvalidArgument},
+};
+
+}  // namespace
+
+TEST(MalformedCorpus, EveryCaseSurfacesTheExpectedStatus) {
+  for (const CorpusCase& test_case : kCorpus) {
+    const std::vector<std::uint8_t> valid =
+        protocol::encode(protocol::make_frame(sample_hello()));
+    const std::vector<std::uint8_t> mutated = test_case.mutate(valid);
+
+    protocol::FrameDecoder decoder;
+    decoder.feed(mutated.data(), mutated.size());
+    const auto result = decoder.next();
+    if (test_case.expected == StatusCode::kOk) {
+      EXPECT_EQ(result.kind, protocol::FrameDecoder::Result::Kind::kNeedMore)
+          << test_case.name;
+    } else {
+      ASSERT_EQ(result.kind, protocol::FrameDecoder::Result::Kind::kError)
+          << test_case.name;
+      EXPECT_EQ(result.status.code(), test_case.expected) << test_case.name;
+    }
+  }
+}
+
+TEST(MalformedCorpus, EveryPayloadBitFlipIsDetected) {
+  // Flip every bit of the sealed payload in turn.  Most flips break the
+  // checksum (kDataLoss); flips that happen to hit the length-independent
+  // header fields after a still-valid checksum are impossible (FNV covers
+  // the whole payload), so *every* flip must be rejected.
+  const std::vector<std::uint8_t> framed =
+      protocol::encode(protocol::make_frame(sample_hello()));
+  for (std::size_t i = 4; i < framed.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> copy = framed;
+      copy[i] ^= static_cast<std::uint8_t>(1u << bit);
+      protocol::FrameDecoder decoder;
+      decoder.feed(copy.data(), copy.size());
+      const auto result = decoder.next();
+      EXPECT_EQ(result.kind, protocol::FrameDecoder::Result::Kind::kError)
+          << "byte " << i << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(MalformedCorpus, RandomNoiseNeverDecodes) {
+  // Deterministic pseudo-noise: whatever the length prefix claims, the
+  // decoder must either wait for more bytes or reject — never return a
+  // frame.
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  for (int round = 0; round < 64; ++round) {
+    std::vector<std::uint8_t> noise(64 + round * 3);
+    for (std::uint8_t& byte : noise) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      byte = static_cast<std::uint8_t>(state >> 56);
+    }
+    protocol::FrameDecoder decoder;
+    decoder.feed(noise.data(), noise.size());
+    const auto result = decoder.next();
+    EXPECT_NE(result.kind, protocol::FrameDecoder::Result::Kind::kFrame)
+        << "round " << round;
+  }
+}
