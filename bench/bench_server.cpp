@@ -1,10 +1,12 @@
-// Serving front-end throughput/latency: the EdgeServerDaemon under the
-// open-loop load generator, over loopback, at increasing fleet sizes.
+// Serving front-end throughput/latency: the multi-reactor EdgeServerDaemon
+// under the open-loop load generator, over loopback, sweeping the worker
+// count at increasing fleet sizes.
 //
 // Reports sustained sessions/sec and slots/sec plus the client-observed
 // request→schedule latency (p50 / p99, which includes the cluster barrier
 // and the scheduler's solve) — the numbers a capacity plan for the paper's
-// edge deployment (§V) starts from.  Emits BENCH_server.json.
+// edge deployment (§V) starts from, and the data behind the worker-count
+// sizing guidance in docs/server.md.  Emits BENCH_server.json.
 #include <cstdio>
 
 #include "bench_output.hpp"
@@ -28,87 +30,94 @@ struct FleetShape {
 }  // namespace
 
 int main() {
-  std::printf("=== Edge-server daemon under open-loop load (loopback) ===\n\n");
+  std::printf(
+      "=== Edge-server daemon under open-loop load (loopback), worker sweep "
+      "===\n\n");
 
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
   const core::LpvsScheduler scheduler;
 
   const FleetShape shapes[] = {
-      {8, 4, 100},    // 32 sessions
-      {16, 8, 100},   // 128 sessions
-      {32, 8, 100},   // 256 sessions
+      {8, 4, 100},   // 32 sessions
+      {16, 8, 100},  // 128 sessions
+      {32, 8, 100},  // 256 sessions
   };
+  const std::uint32_t worker_counts[] = {1, 2, 4, 8};
 
-  common::Table table({"sessions", "slots", "elapsed s", "sessions/s",
-                       "slots/s", "p50 ms", "p99 ms"});
+  common::Table table({"workers", "sessions", "slots", "elapsed s",
+                       "sessions/s", "slots/s", "p50 ms", "p99 ms"});
   common::Json rows = common::Json::array();
   bool all_clean = true;
 
-  for (const FleetShape& shape : shapes) {
-    obs::MetricsRegistry registry;
-    server::ServerConfig server_config;
-    server_config.seed = 7;
-    server::EdgeServerDaemon daemon(
-        server_config, scheduler,
-        core::RunContext(anxiety).with_metrics(&registry));
-    if (!daemon.start().ok()) {
-      std::fprintf(stderr, "daemon failed to start\n");
-      return 1;
+  for (const std::uint32_t workers : worker_counts) {
+    for (const FleetShape& shape : shapes) {
+      obs::MetricsRegistry registry;
+      const server::ServerConfig server_config =
+          server::ServerConfig{}.with_seed(7).with_workers(workers);
+      server::EdgeServerDaemon daemon(
+          server_config, scheduler,
+          core::RunContext(anxiety).with_metrics(&registry));
+      if (!daemon.start().ok()) {
+        std::fprintf(stderr, "daemon failed to start\n");
+        return 1;
+      }
+
+      loadgen::LoadGenConfig load;
+      load.port = daemon.port();
+      load.clusters = shape.clusters;
+      load.cluster_size = shape.cluster_size;
+      load.slots = shape.slots;
+      load.threads = 8;
+      load.seed = 7;
+      load.metrics = &registry;
+
+      auto report = loadgen::run_load(load);
+      if (!report.ok()) {
+        std::fprintf(stderr, "loadgen: %s\n",
+                     report.status().to_string().c_str());
+        return 1;
+      }
+      if (!daemon.drain(30000).ok()) all_clean = false;
+      const server::ServerStats stats = daemon.stats();
+
+      const long sessions = report->sessions;
+      const double sessions_per_s =
+          report->elapsed_s > 0.0
+              ? static_cast<double>(sessions) / report->elapsed_s
+              : 0.0;
+      const double slots_per_s =
+          report->elapsed_s > 0.0
+              ? static_cast<double>(report->slots_driven) / report->elapsed_s
+              : 0.0;
+      if (report->completed != sessions || report->transport_errors != 0 ||
+          stats.forced_closes != 0) {
+        all_clean = false;
+      }
+
+      table.add_row({std::to_string(workers), std::to_string(sessions),
+                     std::to_string(report->slots_driven),
+                     common::Table::num(report->elapsed_s, 2),
+                     common::Table::num(sessions_per_s, 1),
+                     common::Table::num(slots_per_s, 1),
+                     common::Table::num(report->latency_p50_ms, 3),
+                     common::Table::num(report->latency_p99_ms, 3)});
+
+      common::Json row = common::Json::object();
+      row.set("workers", static_cast<long>(workers));
+      row.set("sessions", sessions);
+      row.set("clusters", static_cast<long>(shape.clusters));
+      row.set("cluster_size", static_cast<long>(shape.cluster_size));
+      row.set("slots_per_session", static_cast<long>(shape.slots));
+      row.set("slots_driven", report->slots_driven);
+      row.set("elapsed_s", report->elapsed_s);
+      row.set("sessions_per_sec", sessions_per_s);
+      row.set("slots_per_sec", slots_per_s);
+      row.set("request_schedule_p50_ms", report->latency_p50_ms);
+      row.set("request_schedule_p99_ms", report->latency_p99_ms);
+      row.set("server_slots_scheduled", stats.slots_scheduled);
+      row.set("server_sessions_completed", stats.sessions_completed);
+      rows.push(std::move(row));
     }
-
-    loadgen::LoadGenConfig load;
-    load.port = daemon.port();
-    load.clusters = shape.clusters;
-    load.cluster_size = shape.cluster_size;
-    load.slots = shape.slots;
-    load.threads = 8;
-    load.seed = 7;
-    load.metrics = &registry;
-
-    auto report = loadgen::run_load(load);
-    if (!report.ok()) {
-      std::fprintf(stderr, "loadgen: %s\n", report.status().to_string().c_str());
-      return 1;
-    }
-    if (!daemon.drain(30000).ok()) all_clean = false;
-    const server::ServerStats stats = daemon.stats();
-
-    const long sessions = report->sessions;
-    const double sessions_per_s =
-        report->elapsed_s > 0.0
-            ? static_cast<double>(sessions) / report->elapsed_s
-            : 0.0;
-    const double slots_per_s =
-        report->elapsed_s > 0.0
-            ? static_cast<double>(report->slots_driven) / report->elapsed_s
-            : 0.0;
-    if (report->completed != sessions || report->transport_errors != 0 ||
-        stats.forced_closes != 0) {
-      all_clean = false;
-    }
-
-    table.add_row({std::to_string(sessions),
-                   std::to_string(report->slots_driven),
-                   common::Table::num(report->elapsed_s, 2),
-                   common::Table::num(sessions_per_s, 1),
-                   common::Table::num(slots_per_s, 1),
-                   common::Table::num(report->latency_p50_ms, 3),
-                   common::Table::num(report->latency_p99_ms, 3)});
-
-    common::Json row = common::Json::object();
-    row.set("sessions", sessions);
-    row.set("clusters", static_cast<long>(shape.clusters));
-    row.set("cluster_size", static_cast<long>(shape.cluster_size));
-    row.set("slots_per_session", static_cast<long>(shape.slots));
-    row.set("slots_driven", report->slots_driven);
-    row.set("elapsed_s", report->elapsed_s);
-    row.set("sessions_per_sec", sessions_per_s);
-    row.set("slots_per_sec", slots_per_s);
-    row.set("request_schedule_p50_ms", report->latency_p50_ms);
-    row.set("request_schedule_p99_ms", report->latency_p99_ms);
-    row.set("server_slots_scheduled", stats.slots_scheduled);
-    row.set("server_sessions_completed", stats.sessions_completed);
-    rows.push(std::move(row));
   }
 
   std::printf("%s\n", table.render().c_str());

@@ -27,8 +27,8 @@ int main() {
   const core::LpvsScheduler scheduler;
   obs::MetricsRegistry registry;
 
-  server::ServerConfig server_config;
-  server_config.seed = 42;
+  const server::ServerConfig server_config =
+      server::ServerConfig{}.with_seed(42).with_workers(2);
   server::EdgeServerDaemon daemon(
       server_config, scheduler,
       core::RunContext(anxiety).with_metrics(&registry));

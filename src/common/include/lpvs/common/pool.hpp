@@ -1,0 +1,64 @@
+// Object pool for hot-path allocation elision.
+//
+// The serving hot path used to pay one heap allocation per accepted
+// connection (the Connection object plus its decoder and outbound buffers)
+// and several per frame.  The pool converts those into free-list pops:
+// objects are constructed once, recycled through reset(), and keep their
+// internal buffer capacity across reuses, so a steady-state worker stops
+// touching the allocator entirely.
+//
+// Deliberately not thread-safe: each worker reactor owns one pool per
+// pooled type, matching the share-nothing design — cross-thread recycling
+// would reintroduce the synchronization the sharding removed.
+//
+// T must be default-constructible and expose `void reset()` restoring it to
+// an as-new state *without* releasing buffer capacity (clear(), not
+// shrink_to_fit()).  Every object is owned by the pool for its whole life;
+// destruction of the pool destroys everything exactly once, so ASan/LSan
+// see a leak-free shutdown even when objects are still checked out (the
+// daemon force-closes connections on stop without returning them one by
+// one).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace lpvs::common {
+
+template <typename T>
+class ObjectPool {
+ public:
+  ObjectPool() = default;
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  /// A recycled object (already reset) or a freshly constructed one.
+  T* acquire() {
+    if (!free_.empty()) {
+      T* object = free_.back();
+      free_.pop_back();
+      return object;
+    }
+    all_.push_back(std::make_unique<T>());
+    return all_.back().get();
+  }
+
+  /// Returns an object to the pool.  The object must have come from this
+  /// pool's acquire() and must not be touched after release.
+  void release(T* object) {
+    object->reset();
+    free_.push_back(object);
+  }
+
+  /// Objects constructed over the pool's lifetime (high-water mark).
+  std::size_t size() const { return all_.size(); }
+  /// Objects currently checked out.
+  std::size_t outstanding() const { return all_.size() - free_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<T>> all_;
+  std::vector<T*> free_;
+};
+
+}  // namespace lpvs::common

@@ -1,0 +1,171 @@
+// Bounded lock-free rings for cross-thread handoff inside the daemon.
+//
+// The multi-reactor server moves work between threads in exactly two
+// patterns, and each gets the narrowest structure that serves it:
+//
+//   - SpscRing: one producer, one consumer.  The dispatcher thread hands
+//     accepted connections to the worker that owns their cluster — one ring
+//     per worker, so each ring has exactly one writer (the dispatcher) and
+//     one reader (the worker).  Lamport's classic design with *cached*
+//     opposite indices: the producer re-reads the consumer's head only when
+//     its cached copy says the ring looks full (and vice versa), so the
+//     steady-state cost is one relaxed load and one release store per
+//     operation, with no cache-line ping-pong.
+//
+//   - MpscRing: many producers, one consumer.  Worker threads push control
+//     acknowledgements and shed signals toward the dispatcher.  Vyukov's
+//     bounded MPMC queue (safe a fortiori for MPSC): every cell carries a
+//     sequence number that encodes both ownership and lap count, so
+//     producers claim slots with a single CAS and never spin behind a
+//     stalled peer beyond their own slot.
+//
+// Both rings are fixed-capacity (rounded up to a power of two) and never
+// allocate after construction — full is a normal, reportable condition
+// (try_push returns false), which is what gives the handoff path
+// backpressure instead of unbounded queueing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace lpvs::common {
+
+namespace ring_detail {
+
+/// Smallest power of two >= n (and >= 2), so index masking replaces modulo.
+inline std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace ring_detail
+
+/// Single-producer / single-consumer bounded ring.  Exactly one thread may
+/// call try_push and exactly one (possibly different) thread may call
+/// try_pop; anything else is a data race by contract.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : mask_(ring_detail::pow2_at_least(capacity) - 1),
+        cells_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// False when the ring is full (the item is untouched, caller keeps it).
+  bool try_push(T&& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;  // genuinely full
+    }
+    cells_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;  // genuinely empty
+    }
+    out = std::move(cells_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> cells_;
+  // Producer side: owns tail_, keeps a stale copy of head_.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+  // Consumer side: owns head_, keeps a stale copy of tail_.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+};
+
+/// Multi-producer / single-consumer bounded ring (Vyukov bounded queue).
+/// Any number of threads may try_push concurrently; one thread pops.
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t capacity)
+      : mask_(ring_detail::pow2_at_least(capacity) - 1),
+        cells_(mask_ + 1) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// False when the ring is full.
+  bool try_push(T&& item) {
+    std::size_t tail = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[tail & mask_];
+      const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const auto delta = static_cast<std::intptr_t>(seq) -
+                         static_cast<std::intptr_t>(tail);
+      if (delta == 0) {
+        if (tail_.compare_exchange_weak(tail, tail + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(item);
+          cell.sequence.store(tail + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS lost: tail was reloaded; retry at the new position.
+      } else if (delta < 0) {
+        return false;  // the cell is still a full lap behind: ring is full
+      } else {
+        tail = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// False when the ring is empty.  Single consumer only.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[head & mask_];
+    const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+    const auto delta = static_cast<std::intptr_t>(seq) -
+                       static_cast<std::intptr_t>(head + 1);
+    if (delta < 0) return false;  // producer has not published this cell yet
+    out = std::move(cell.value);
+    cell.sequence.store(head + mask_ + 1, std::memory_order_release);
+    head_.store(head + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  const std::size_t mask_;
+  std::vector<Cell> cells_;
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+}  // namespace lpvs::common

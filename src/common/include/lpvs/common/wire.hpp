@@ -28,15 +28,22 @@
 
 namespace lpvs::common::wire {
 
-/// Appends fixed-width fields to a byte buffer.
+/// Appends fixed-width fields to a byte buffer.  By default the Writer
+/// owns its buffer; the hot serving path instead binds one to an existing
+/// (reused) vector so per-frame encoding appends in place and a session's
+/// outbound buffer is the only allocation, amortized to zero once grown.
 class Writer {
  public:
-  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  Writer() : bytes_(&owned_) {}
+  /// Appends to `out` (which the caller keeps owning); take() is invalid.
+  explicit Writer(std::vector<std::uint8_t>* out) : bytes_(out) {}
+
+  void u8(std::uint8_t v) { bytes_->push_back(v); }
   void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xFFu);
+    for (int i = 0; i < 4; ++i) bytes_->push_back((v >> (8 * i)) & 0xFFu);
   }
   void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xFFu);
+    for (int i = 0; i < 8; ++i) bytes_->push_back((v >> (8 * i)) & 0xFFu);
   }
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
   void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
@@ -45,23 +52,24 @@ class Writer {
   /// Small values (lengths, counts) cost one byte instead of eight.
   void varint(std::uint64_t v) {
     while (v >= 0x80u) {
-      bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+      bytes_->push_back(static_cast<std::uint8_t>(v) | 0x80u);
       v >>= 7;
     }
-    bytes_.push_back(static_cast<std::uint8_t>(v));
+    bytes_->push_back(static_cast<std::uint8_t>(v));
   }
 
   /// Length-prefixed (varint) byte string.
   void str(const std::string& s) {
     varint(s.size());
-    bytes_.insert(bytes_.end(), s.begin(), s.end());
+    bytes_->insert(bytes_->end(), s.begin(), s.end());
   }
 
-  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
-  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  const std::vector<std::uint8_t>& bytes() const { return *bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(owned_); }
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint8_t> owned_;
+  std::vector<std::uint8_t>* bytes_;
 };
 
 /// Reads fixed-width fields back; every read reports truncation instead of
@@ -69,26 +77,32 @@ class Writer {
 /// decode layer rather than as undefined behavior.
 class Reader {
  public:
-  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+  explicit Reader(const std::vector<std::uint8_t>& bytes)
+      : Reader(bytes.data(), bytes.size()) {}
+  /// Reads from a borrowed span — the in-place decode path: the serving
+  /// layer parses frames directly out of the connection's receive buffer
+  /// without copying each payload into its own vector first.
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
 
   bool u8(std::uint8_t& v) {
-    if (pos_ + 1 > bytes_.size()) return false;
-    v = bytes_[pos_++];
+    if (pos_ + 1 > size_) return false;
+    v = data_[pos_++];
     return true;
   }
   bool u32(std::uint32_t& v) {
-    if (pos_ + 4 > bytes_.size()) return false;
+    if (pos_ + 4 > size_) return false;
     v = 0;
     for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
     }
     return true;
   }
   bool u64(std::uint64_t& v) {
-    if (pos_ + 8 > bytes_.size()) return false;
+    if (pos_ + 8 > size_) return false;
     v = 0;
     for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
     }
     return true;
   }
@@ -124,18 +138,19 @@ class Reader {
   bool str(std::string& s) {
     std::uint64_t length = 0;
     if (!varint(length)) return false;
-    if (pos_ + length > bytes_.size()) return false;
-    s.assign(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
-             bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + length));
+    if (pos_ + length > size_) return false;
+    s.assign(reinterpret_cast<const char*>(data_ + pos_),
+             static_cast<std::size_t>(length));
     pos_ += length;
     return true;
   }
 
-  std::size_t remaining() const { return bytes_.size() - pos_; }
-  bool exhausted() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
 
  private:
-  const std::vector<std::uint8_t>& bytes_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;
 };
 
@@ -154,8 +169,18 @@ inline constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
 /// Appends an 8-byte checksum trailer covering everything before it.
 void seal(std::vector<std::uint8_t>& bytes);
 
+/// Seals only the suffix [from, end): the in-place encode path, where one
+/// outbound buffer holds several frames and each frame's trailer must
+/// cover that frame's payload alone.
+void seal(std::vector<std::uint8_t>& bytes, std::size_t from);
+
 /// Verifies and strips the trailer; kDataLoss when the buffer is shorter
 /// than a trailer or the checksum does not match the contents.
 common::Status unseal(std::vector<std::uint8_t>& bytes);
+
+/// Span form of unseal for in-place decoding: verifies that the last 8
+/// bytes of [data, data+size) seal the prefix, without copying or
+/// truncating.  On Ok the payload proper is the first size-8 bytes.
+common::Status verify_seal(const std::uint8_t* data, std::size_t size);
 
 }  // namespace lpvs::common::wire

@@ -22,8 +22,11 @@ std::uint64_t checksum(const std::vector<std::uint8_t>& bytes,
                count < bytes.size() ? count : bytes.size());
 }
 
-void seal(std::vector<std::uint8_t>& bytes) {
-  const std::uint64_t sum = checksum(bytes, bytes.size());
+void seal(std::vector<std::uint8_t>& bytes) { seal(bytes, 0); }
+
+void seal(std::vector<std::uint8_t>& bytes, std::size_t from) {
+  const std::uint64_t sum =
+      fnv1a(kFnvOffsetBasis, bytes.data() + from, bytes.size() - from);
   for (int i = 0; i < 8; ++i) {
     bytes.push_back(static_cast<std::uint8_t>((sum >> (8 * i)) & 0xFFu));
   }
@@ -42,6 +45,21 @@ common::Status unseal(std::vector<std::uint8_t>& bytes) {
     return common::Status::DataLoss("payload checksum mismatch");
   }
   bytes.resize(body);
+  return common::Status::Ok();
+}
+
+common::Status verify_seal(const std::uint8_t* data, std::size_t size) {
+  if (size < 8) {
+    return common::Status::DataLoss("payload shorter than its checksum");
+  }
+  const std::size_t body = size - 8;
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(data[body + i]) << (8 * i);
+  }
+  if (stored != fnv1a(kFnvOffsetBasis, data, body)) {
+    return common::Status::DataLoss("payload checksum mismatch");
+  }
   return common::Status::Ok();
 }
 

@@ -1,0 +1,91 @@
+// SlotProblemConfig: the one type that parameterizes slot-problem assembly.
+//
+// Four subsystems build core::SlotProblem instances from the same knobs —
+// the emulator (one virtual cluster), the city replay (many), the fleet
+// federation (per edge server), and the serving daemon (per connected
+// cluster).  Each used to carry its own copy of the fields, so a default
+// changed in one could silently drift from the others and the daemon's
+// inline duplicates ("kept inline here so the daemon has no emu dep") were
+// the worst offender.  This struct is the single source: emu::ClusterParams
+// derives from it, server::ServerConfig embeds it, and the per-subsystem
+// configs only override defaults in their constructors.
+//
+// The load generator never assembles slot problems itself — it receives the
+// scheduler's decisions over the wire — so it consumes this type only
+// indirectly, through the daemon it drives.
+//
+// Fluent `with_*` builders mirror core::RunContext: each returns an updated
+// copy, so call sites can assemble a config in one expression without
+// mutating a shared instance.
+#pragma once
+
+#include <cstdint>
+
+namespace lpvs::core {
+
+struct SlotProblemConfig {
+  /// Edge transform capacity C of constraint (6), compute units.
+  double compute_capacity = 45.0;
+  /// Edge staging storage S of constraint (7), megabytes.
+  double storage_capacity_mb = 32.0 * 1024.0;
+  /// Objective regularizer of (8a)/(13).
+  double lambda = 2000.0;
+  /// Chunks generated (and priced) per device per slot.
+  int chunks_per_slot = 30;
+  /// Playback seconds per chunk.
+  double chunk_seconds = 10.0;
+  /// Fraction of the full charge a user budgets for one viewing session —
+  /// the session-budget convention every subsystem shares, so absolute
+  /// watch-time numbers land on the paper's scale.
+  double effective_capacity_scale = 0.25;
+  /// Seeds the derived per-(entity, slot) randomness streams.
+  std::uint64_t seed = 42;
+  /// Warm-start consecutive-slot ILP solves from the previous slot's
+  /// assignment (solver::SolveCache).  Changes which optimal assignment
+  /// ties resolve to and the nodes explored, never the objective achieved;
+  /// off reproduces the historical every-solve-cold behavior exactly.
+  bool warm_start = true;
+
+  SlotProblemConfig with_compute_capacity(double v) const {
+    SlotProblemConfig c = *this;
+    c.compute_capacity = v;
+    return c;
+  }
+  SlotProblemConfig with_storage_capacity_mb(double v) const {
+    SlotProblemConfig c = *this;
+    c.storage_capacity_mb = v;
+    return c;
+  }
+  SlotProblemConfig with_lambda(double v) const {
+    SlotProblemConfig c = *this;
+    c.lambda = v;
+    return c;
+  }
+  SlotProblemConfig with_chunks_per_slot(int v) const {
+    SlotProblemConfig c = *this;
+    c.chunks_per_slot = v;
+    return c;
+  }
+  SlotProblemConfig with_chunk_seconds(double v) const {
+    SlotProblemConfig c = *this;
+    c.chunk_seconds = v;
+    return c;
+  }
+  SlotProblemConfig with_effective_capacity_scale(double v) const {
+    SlotProblemConfig c = *this;
+    c.effective_capacity_scale = v;
+    return c;
+  }
+  SlotProblemConfig with_seed(std::uint64_t v) const {
+    SlotProblemConfig c = *this;
+    c.seed = v;
+    return c;
+  }
+  SlotProblemConfig with_warm_start(bool v) const {
+    SlotProblemConfig c = *this;
+    c.warm_start = v;
+    return c;
+  }
+};
+
+}  // namespace lpvs::core

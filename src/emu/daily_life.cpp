@@ -265,7 +265,7 @@ FleetDailyReport simulate_daily_life_fleet(const DailyLifeConfig& config,
         for (std::size_t s = 0; s < items.size(); ++s) {
           items[s].stream_key = static_cast<std::uint64_t>(s);
           items[s].problem.compute_capacity = edge.compute_capacity;
-          items[s].problem.storage_capacity = edge.storage_capacity;
+          items[s].problem.storage_capacity = edge.storage_capacity_mb;
           items[s].problem.lambda = edge.lambda;
         }
         for (std::size_t u = 0; u < n_users; ++u) {

@@ -23,12 +23,6 @@ common::Rng derived_rng(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
 
 constexpr double kBitrateLadder[] = {1.8, 2.5, 3.5, 5.0};
 
-/// The paper's emulation timescale: watching sessions of tens of minutes
-/// deplete a meaningful share of the battery.  We model the energy a user
-/// is willing to spend on one viewing session as a fraction of the full
-/// battery (phones multitask; nobody budgets 100% of charge for one app).
-constexpr double kEffectiveCapacityScale = 0.25;
-
 }  // namespace
 
 double RunMetrics::mean_tpv(double max_start_fraction,
@@ -78,7 +72,7 @@ void Emulator::setup_devices() {
     device.start_fraction = device_rng.truncated_normal(
         config_.initial_battery_mean, config_.initial_battery_std, 0.05, 1.0);
     device.battery = battery::Battery(
-        common::MilliwattHours{profile.battery_mwh * kEffectiveCapacityScale},
+        common::MilliwattHours{profile.battery_mwh * config_.effective_capacity_scale},
         device.start_fraction);
     device.giveup_percent =
         participants[static_cast<std::size_t>(n)].giveup_level;

@@ -6,33 +6,27 @@
 // base; the replay forwards its whole ClusterParams slice into each
 // per-cluster EmulatorConfig in one assignment, so a knob added here flows
 // through automatically.
+//
+// The slot-problem knobs themselves (capacities, lambda, chunk shape,
+// session budget, seed, warm start) live one layer lower, in
+// core::SlotProblemConfig — the single type the emulator, replay,
+// federation, and serving daemon all assemble slot problems from.  This
+// struct only adds what is cluster-lifecycle-specific.
 #pragma once
 
-#include <cstdint>
+#include "lpvs/core/slot_problem_config.hpp"
 
 namespace lpvs::emu {
 
-struct ClusterParams {
-  /// Edge transform capacity C of constraint (6), compute units.
-  double compute_capacity = 45.0;
-  /// Edge staging storage S of constraint (7), megabytes.
-  double storage_capacity_mb = 32.0 * 1024.0;
-  /// Objective regularizer of (8a)/(13).
-  double lambda = 2000.0;
+struct ClusterParams : core::SlotProblemConfig {
   /// Users leave when battery hits their survey give-up level.
   bool enable_giveup = true;
-  /// Warm-start consecutive-slot ILP solves from the previous slot's
-  /// assignment (solver::SolveCache).  Changes which optimal assignment
-  /// ties resolve to and the nodes explored, never the objective achieved;
-  /// off reproduces the historical every-solve-cold behavior exactly.
-  bool warm_start = true;
   /// Devices per virtual cluster: the replay caps each cluster at this
   /// size; the single-cluster Emulator sets its exact group size via
   /// EmulatorConfig::group_size (which may legitimately exceed this cap in
   /// stress scenarios) and treats this field as documentation of the
   /// deployment's per-edge-server budget.
   int max_group_size = 100;
-  std::uint64_t seed = 42;
 };
 
 }  // namespace lpvs::emu

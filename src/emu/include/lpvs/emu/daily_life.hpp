@@ -19,6 +19,7 @@
 #include "lpvs/battery/battery.hpp"
 #include "lpvs/core/run_context.hpp"
 #include "lpvs/core/scheduler.hpp"
+#include "lpvs/core/slot_problem_config.hpp"
 #include "lpvs/display/display.hpp"
 #include "lpvs/media/video.hpp"
 #include "lpvs/solver/solve_cache.hpp"
@@ -76,17 +77,19 @@ DailyLifeReport simulate_daily_life(const DailyLifeConfig& config,
 /// whole fleet is solved in one core::BatchScheduler call — sharded across
 /// the pool, with consecutive slots warm-starting each box's ILP from its
 /// previous assignment (one solver::SolveCache stream key per box).
-struct FleetEdgeConfig {
+/// Per-box capacities (constraints (6)(7)), the anxiety regularizer, and
+/// warm-start come from the shared core::SlotProblemConfig base; the fleet
+/// constructor only shrinks the defaults to daily-life edge boxes.
+struct FleetEdgeConfig : core::SlotProblemConfig {
+  FleetEdgeConfig() {
+    compute_capacity = 18.0;
+    storage_capacity_mb = 4096.0;
+  }
+
   int edge_servers = 2;
-  /// Per-box capacities (constraints (6)(7)) and the anxiety regularizer.
-  double compute_capacity = 18.0;
-  double storage_capacity = 4096.0;
-  double lambda = 2000.0;
   /// Shard threads for the batch solve (0 = hardware concurrency,
   /// 1 = inline).  Any value yields bit-identical reports.
   unsigned threads = 1;
-  /// Warm-start consecutive slot solves; off = every solve cold.
-  bool warm_start = true;
 };
 
 struct FleetDailyReport {

@@ -46,14 +46,13 @@ enum class GammaMode {
   kOracle,       ///< cheat: use the slot's true physics-derived gamma
 };
 
-/// Cluster-shared knobs (compute/storage capacity, lambda, give-up, seed)
-/// live in the ClusterParams base, shared with ReplayConfig so the two can
-/// no longer drift apart.
+/// Cluster-shared knobs (compute/storage capacity, lambda, chunk shape,
+/// give-up, seed) live in the ClusterParams base (itself built on
+/// core::SlotProblemConfig), shared with ReplayConfig so the two can no
+/// longer drift apart.
 struct EmulatorConfig : ClusterParams {
   int group_size = 100;             ///< N devices in the virtual cluster
   int slots = 36;                   ///< 3 hours of 5-minute slots
-  int chunks_per_slot = 30;         ///< 10-second chunks
-  double chunk_seconds = 10.0;
   /// Initial energy status ~ Gaussian (SVI-B), truncated to [0.05, 1].
   double initial_battery_mean = 0.5;
   double initial_battery_std = 0.2;

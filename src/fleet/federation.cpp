@@ -35,10 +35,6 @@ constexpr std::uint64_t kMobilitySalt = 0x0F1EE7u;
 constexpr std::uint64_t kDeviceSalt = 0xF1u;
 constexpr std::uint64_t kBayesNoiseSalt = 0xBA1Eu;
 
-/// Same session-budget convention as the emulator (kEffectiveCapacityScale
-/// there): a user budgets a quarter of the charge for one viewing session.
-constexpr double kEffectiveCapacityScale = 0.25;
-
 /// Fingerprint under which a server stores the handoff-derived warm hint.
 /// It matches no real problem fingerprint (collisions are the cache's
 /// accepted 2^-64 risk), so the hint never replays as an exact hit — it can
@@ -199,7 +195,7 @@ void Federation::setup_users() {
     user.start_fraction = device_rng.truncated_normal(
         config_.initial_battery_mean, config_.initial_battery_std, 0.05, 1.0);
     user.battery = battery::Battery(
-        common::MilliwattHours{profile.battery_mwh * kEffectiveCapacityScale},
+        common::MilliwattHours{profile.battery_mwh * config_.effective_capacity_scale},
         user.start_fraction);
     user.giveup_percent =
         participants[static_cast<std::size_t>(n)].giveup_level;

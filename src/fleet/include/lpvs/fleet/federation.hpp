@@ -53,7 +53,12 @@ struct MembershipEvent {
 /// Per-server capacities and seed come from the shared ClusterParams base
 /// (each edge server is one "virtual cluster" of the paper, federated).
 struct FederationConfig : emu::ClusterParams {
-  FederationConfig() { seed = 7; }
+  FederationConfig() {
+    seed = 7;
+    // Federation slots price a shorter chunk train per user than the
+    // single-cluster emulator (12 x 10 s vs 30 x 10 s).
+    chunks_per_slot = 12;
+  }
 
   /// Initial fleet size: servers 0..servers-1, weight 1.0 each unless
   /// `server_weights` overrides (indexed by initial server id).
@@ -67,8 +72,6 @@ struct FederationConfig : emu::ClusterParams {
   int start_slot = 144;  ///< trace slot where the run begins
   int slots = 48;        ///< federation slots to run
 
-  int chunks_per_slot = 12;
-  double chunk_seconds = 10.0;
   double initial_battery_mean = 0.5;
   double initial_battery_std = 0.2;
   double observation_noise = 0.02;

@@ -61,6 +61,8 @@ struct Client {
   bool watching = true;  ///< still in the cluster barrier
   std::uint64_t digest = common::wire::kFnvOffsetBasis;
   Clock::time_point report_sent{};
+  std::vector<std::uint8_t> rx;  ///< buffered unconsumed socket bytes
+  std::size_t rx_off = 0;        ///< consumed prefix of rx
 };
 
 struct WorkerResult {
@@ -93,34 +95,67 @@ int connect_loopback(std::uint16_t port) {
   return fd;
 }
 
-bool send_frame(Client& client, const protocol::Frame& frame) {
-  const std::vector<std::uint8_t> bytes = protocol::encode(frame);
-  if (!io::write_all(client.fd, bytes.data(), bytes.size()).ok()) {
+bool send_frame(Client& client, const protocol::Frame& frame,
+                std::vector<std::uint8_t>& scratch) {
+  scratch.clear();
+  protocol::encode_into(frame, scratch);
+  if (!io::write_all(client.fd, scratch.data(), scratch.size()).ok()) {
     client.alive = false;
     return false;
   }
   return true;
 }
 
+/// Blocking buffered fill: ensures `need` unconsumed bytes sit in client.rx.
+/// One read(2) usually lands a whole coalesced SCHEDULE+GRANT burst, so the
+/// per-frame syscall count drops from two (prefix + payload) to amortized
+/// well under one.
+common::Status fill(Client& client, std::size_t need) {
+  while (client.rx.size() - client.rx_off < need) {
+    if (client.rx_off > 0) {
+      client.rx.erase(client.rx.begin(),
+                      client.rx.begin() +
+                          static_cast<std::ptrdiff_t>(client.rx_off));
+      client.rx_off = 0;
+    }
+    std::uint8_t chunk[4096];
+    const io::IoResult got = io::read_retry(client.fd, chunk, sizeof(chunk));
+    if (!got.ok() || got.count == 0) {
+      return common::Status::Unavailable(
+          got.kind == io::IoResult::Kind::kEof ? "peer closed the connection"
+                                               : "read failed");
+    }
+    client.rx.insert(client.rx.end(), chunk, chunk + got.count);
+  }
+  return common::Status::Ok();
+}
+
 /// Blocking read of one frame; folds the payload bytes into the client's
 /// running digest (length prefix excluded: the digest witnesses *content*).
 common::StatusOr<protocol::Frame> read_frame(Client& client) {
-  std::uint8_t prefix[4];
-  common::Status status = io::read_exact(client.fd, prefix, sizeof(prefix));
+  common::Status status = fill(client, 4);
   if (!status.ok()) return status;
   std::uint32_t length = 0;
   for (int i = 0; i < 4; ++i) {
-    length |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+    length |= static_cast<std::uint32_t>(client.rx[client.rx_off +
+                                                   static_cast<std::size_t>(i)])
+              << (8 * i);
   }
   if (length > protocol::kMaxFrameBytes) {
     return common::Status::InvalidArgument("oversized frame from server");
   }
-  std::vector<std::uint8_t> payload(length);
-  status = io::read_exact(client.fd, payload.data(), payload.size());
+  status = fill(client, 4 + static_cast<std::size_t>(length));
   if (!status.ok()) return status;
-  client.digest =
-      common::wire::fnv1a(client.digest, payload.data(), payload.size());
-  return protocol::decode_payload(std::move(payload));
+  const std::uint8_t* payload = client.rx.data() + client.rx_off + 4;
+  client.digest = common::wire::fnv1a(client.digest, payload, length);
+  common::StatusOr<protocol::Frame> frame =
+      protocol::decode_payload(payload, length);
+  client.rx_off += 4 + static_cast<std::size_t>(length);
+  if (client.rx_off == client.rx.size()) {
+    client.rx.clear();
+    client.rx_off = 0;
+  }
+  return frame;
 }
 
 void close_client(Client& client) {
@@ -133,6 +168,7 @@ void close_client(Client& client) {
 void drive_cluster(const LoadGenConfig& config, const ClusterPlan& plan,
                    WorkerResult& result, obs::Histogram* latency_hist) {
   std::vector<Client> clients(plan.size);
+  std::vector<std::uint8_t> tx;  // reused encode scratch for every frame
 
   // --- Connect + HELLO for every member, then read every HELLO_ACK.
   for (std::uint32_t m = 0; m < plan.size; ++m) {
@@ -163,7 +199,7 @@ void drive_cluster(const LoadGenConfig& config, const ClusterPlan& plan,
     hello.genre = plan.genre;
     hello.giveup_percent = static_cast<std::uint8_t>(
         config.giveup_battery_fraction * 100.0);
-    if (!send_frame(client, protocol::make_frame(hello))) {
+    if (!send_frame(client, protocol::make_frame(hello), tx)) {
       ++result.transport_errors;
       close_client(client);
     }
@@ -205,7 +241,7 @@ void drive_cluster(const LoadGenConfig& config, const ClusterPlan& plan,
       }
       report.watching = giving_up ? 0 : 1;
       client.report_sent = Clock::now();
-      if (!send_frame(client, protocol::make_frame(report))) {
+      if (!send_frame(client, protocol::make_frame(report), tx)) {
         ++result.transport_errors;
         close_client(client);
         continue;
@@ -261,7 +297,7 @@ void drive_cluster(const LoadGenConfig& config, const ClusterPlan& plan,
     if (!client.alive) continue;
     protocol::Bye bye;
     bye.reason = client.watching ? 0 : 1;
-    if (send_frame(client, protocol::make_frame(bye))) ++result.completed;
+    if (send_frame(client, protocol::make_frame(bye), tx)) ++result.completed;
     result.digests[client.user_id] = client.digest;
     close_client(client);
   }

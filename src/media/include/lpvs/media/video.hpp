@@ -72,6 +72,14 @@ class ContentGenerator {
                  double bitrate_mbps,
                  common::Seconds chunk_duration = common::Seconds{10.0});
 
+  /// Same generation into a caller-owned Video, reusing its chunk buffer —
+  /// the serving hot path prices one video per (member, slot) and would
+  /// otherwise pay a chunk-vector allocation each time.  Bit-identical to
+  /// generate() for the same seed and arguments.
+  void generate_into(Video& out, common::VideoId id, Genre genre,
+                     int chunk_count, double bitrate_mbps,
+                     common::Seconds chunk_duration = common::Seconds{10.0});
+
   /// Genre parameters used by the generator (exposed for tests).
   static const GenreProfile& profile(Genre genre);
 

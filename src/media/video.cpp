@@ -47,12 +47,21 @@ const ContentGenerator::GenreProfile& ContentGenerator::profile(Genre genre) {
 Video ContentGenerator::generate(common::VideoId id, Genre genre,
                                  int chunk_count, double bitrate_mbps,
                                  common::Seconds chunk_duration) {
+  Video video;
+  generate_into(video, id, genre, chunk_count, bitrate_mbps, chunk_duration);
+  return video;
+}
+
+void ContentGenerator::generate_into(Video& video, common::VideoId id,
+                                     Genre genre, int chunk_count,
+                                     double bitrate_mbps,
+                                     common::Seconds chunk_duration) {
   assert(chunk_count >= 0);
   const GenreProfile& p = profile(genre);
-  Video video;
   video.id = id;
   video.genre = genre;
   video.bitrate_mbps = bitrate_mbps;
+  video.chunks.clear();
   video.chunks.reserve(static_cast<std::size_t>(chunk_count));
 
   // AR(1) walk of the scene luminance around the genre mean.
@@ -82,7 +91,6 @@ Video ContentGenerator::generate(common::VideoId id, Genre genre,
     chunk.stats = stats.clamped();
     video.chunks.push_back(chunk);
   }
-  return video;
 }
 
 common::Milliwatts PowerRateEstimator::rate(const display::DisplaySpec& spec,

@@ -1,0 +1,165 @@
+// Serving configuration (API redesign): the monolithic ServerConfig split
+// into composable sections, each owning one concern.
+//
+//   ListenerConfig   — where and how the daemon accepts: port, backlog,
+//                      event-loop backend, and the worker-reactor count.
+//   AdmissionConfig  — the protection envelope: session cap, cluster-size
+//                      sanity bound, per-session outbound backpressure
+//                      bound, frame-size ceiling.
+//   SlotProblemConfig (core) — how slot problems are assembled, shared
+//                      verbatim with the emulator / replay / federation so
+//                      the daemon can no longer drift from them.
+//
+// ServerConfig composes the three plus the daemon-specific degradation
+// knobs (deadline, shed depth), with fluent with_* builders mirroring
+// core::RunContext.  There is deliberately no poll_interval_ms any more:
+// the loops are fully event-driven (wake pipes), so an idle daemon makes
+// zero wakeups and drain latency is bounded by session completion, not by
+// a polling granularity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "lpvs/core/run_context.hpp"
+#include "lpvs/core/slot_problem_config.hpp"
+#include "lpvs/server/event_loop.hpp"
+#include "lpvs/server/protocol.hpp"
+
+namespace lpvs::server {
+
+struct ListenerConfig {
+  /// TCP port on 127.0.0.1; 0 = pick an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  int backlog = 128;
+  EventLoop::Backend backend = EventLoop::Backend::kAuto;
+  /// Worker reactors.  Connections are sharded by cluster id, so every
+  /// cluster's barrier, solve cache, and problem assembly stay thread-local
+  /// and the payload bytes are identical at any worker count.
+  std::uint32_t workers = 1;
+
+  ListenerConfig with_port(std::uint16_t v) const {
+    ListenerConfig c = *this;
+    c.port = v;
+    return c;
+  }
+  ListenerConfig with_backlog(int v) const {
+    ListenerConfig c = *this;
+    c.backlog = v;
+    return c;
+  }
+  ListenerConfig with_backend(EventLoop::Backend v) const {
+    ListenerConfig c = *this;
+    c.backend = v;
+    return c;
+  }
+  ListenerConfig with_workers(std::uint32_t v) const {
+    ListenerConfig c = *this;
+    c.workers = v;
+    return c;
+  }
+};
+
+struct AdmissionConfig {
+  /// Admission cap: concurrent sessions beyond this are rejected at HELLO.
+  std::uint32_t max_sessions = 1024;
+  /// Sanity cap on a HELLO's declared cluster size.
+  std::uint32_t max_cluster_size = 512;
+  /// Backpressure bound on one session's outbound queue, bytes.
+  std::size_t max_outbound_bytes = 256 * 1024;
+  std::uint32_t max_frame_bytes = protocol::kMaxFrameBytes;
+
+  AdmissionConfig with_max_sessions(std::uint32_t v) const {
+    AdmissionConfig c = *this;
+    c.max_sessions = v;
+    return c;
+  }
+  AdmissionConfig with_max_cluster_size(std::uint32_t v) const {
+    AdmissionConfig c = *this;
+    c.max_cluster_size = v;
+    return c;
+  }
+  AdmissionConfig with_max_outbound_bytes(std::size_t v) const {
+    AdmissionConfig c = *this;
+    c.max_outbound_bytes = v;
+    return c;
+  }
+  AdmissionConfig with_max_frame_bytes(std::uint32_t v) const {
+    AdmissionConfig c = *this;
+    c.max_frame_bytes = v;
+    return c;
+  }
+};
+
+struct ServerConfig {
+  ServerConfig() {
+    // The serving slots are long (a few 100-second chunks) compared to the
+    // emulator's 30x10s; the wire protocol prices fewer, bigger chunks.
+    slot.chunks_per_slot = 3;
+    slot.chunk_seconds = 100.0;
+    slot.seed = 1;
+  }
+
+  ListenerConfig listener;
+  AdmissionConfig admission;
+  /// Slot-problem knobs shared with emulator / replay / federation — one
+  /// type, one set of defaults, no inline duplicates.
+  core::SlotProblemConfig slot;
+
+  /// Deterministic per-slot deadline: budget_ms converts to a B&B node
+  /// budget (never a wall-clock race), walking the degradation ladder when
+  /// exceeded.  Disabled by default.
+  core::SlotDeadline deadline{};
+  /// Adaptive shedding threshold (ready cluster barriers per worker batch);
+  /// 0 = off.  Enabling sacrifices payload bit-determinism under load.
+  std::uint32_t shed_ready_depth = 0;
+
+  ServerConfig with_listener(ListenerConfig v) const {
+    ServerConfig c = *this;
+    c.listener = v;
+    return c;
+  }
+  ServerConfig with_admission(AdmissionConfig v) const {
+    ServerConfig c = *this;
+    c.admission = v;
+    return c;
+  }
+  ServerConfig with_slot_problem(core::SlotProblemConfig v) const {
+    ServerConfig c = *this;
+    c.slot = v;
+    return c;
+  }
+  ServerConfig with_deadline(core::SlotDeadline v) const {
+    ServerConfig c = *this;
+    c.deadline = v;
+    return c;
+  }
+  ServerConfig with_shed_ready_depth(std::uint32_t v) const {
+    ServerConfig c = *this;
+    c.shed_ready_depth = v;
+    return c;
+  }
+  // Shorthands for the most-set leaves.
+  ServerConfig with_port(std::uint16_t v) const {
+    ServerConfig c = *this;
+    c.listener.port = v;
+    return c;
+  }
+  ServerConfig with_backend(EventLoop::Backend v) const {
+    ServerConfig c = *this;
+    c.listener.backend = v;
+    return c;
+  }
+  ServerConfig with_workers(std::uint32_t v) const {
+    ServerConfig c = *this;
+    c.listener.workers = v;
+    return c;
+  }
+  ServerConfig with_seed(std::uint64_t v) const {
+    ServerConfig c = *this;
+    c.slot.seed = v;
+    return c;
+  }
+};
+
+}  // namespace lpvs::server

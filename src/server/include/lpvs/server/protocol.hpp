@@ -143,6 +143,11 @@ struct Frame {
 /// Encodes a frame into its full wire form: length prefix + sealed payload.
 std::vector<std::uint8_t> encode(const Frame& frame);
 
+/// Appends the frame's wire form to `out` without intermediate buffers —
+/// the serving hot path: a session's outbound vector accumulates
+/// SCHEDULE+GRANT back to back and both leave in one write(2).
+void encode_into(const Frame& frame, std::vector<std::uint8_t>& out);
+
 /// Convenience constructors (fill Frame::type from the body type).
 Frame make_frame(Hello body);
 Frame make_frame(HelloAck body);
@@ -156,6 +161,11 @@ Frame make_frame(Error body);
 /// checksums (kDataLoss), short bodies (kDataLoss), unknown magic/version/
 /// type and trailing garbage (kInvalidArgument).
 common::StatusOr<Frame> decode_payload(std::vector<std::uint8_t> payload);
+
+/// Span form: decodes a payload in place (no copy, no mutation) — what
+/// FrameDecoder uses to parse frames directly out of its receive buffer.
+common::StatusOr<Frame> decode_payload(const std::uint8_t* data,
+                                       std::size_t size);
 
 /// Incremental frame decoder over a byte stream with partial-I/O handling:
 /// feed() whatever the socket produced, then drain next() until it reports
@@ -181,6 +191,30 @@ class FrameDecoder {
 
   /// Bytes buffered but not yet consumed by a complete frame.
   std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+  /// Returns the decoder to its as-new state, keeping buffer capacity —
+  /// pooled connections reuse one decoder across sessions.
+  void reset() {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+
+  /// Adjusts the frame-size ceiling (pooled connections are constructed
+  /// once with the default and re-limited per daemon config on acquire).
+  void set_limit(std::uint32_t max_frame_bytes) {
+    max_frame_bytes_ = max_frame_bytes;
+  }
+
+  /// Moves out the unconsumed suffix (a partial or pipelined next frame)
+  /// and resets the decoder — the dispatcher hands these bytes to the
+  /// worker reactor along with the socket.
+  std::vector<std::uint8_t> take_unconsumed() {
+    std::vector<std::uint8_t> out(
+        buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_),
+        buffer_.end());
+    reset();
+    return out;
+  }
 
  private:
   std::uint32_t max_frame_bytes_;

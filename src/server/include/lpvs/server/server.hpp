@@ -1,13 +1,29 @@
 // EdgeServerDaemon: the networked serving front end.
 //
-// A single-threaded epoll (poll-fallback) event loop that hosts the LPVS
-// slot cadence over real sockets — the paper's §V edge-server deployment
-// with actual bytes on the wire instead of in-process calls.  Mobile
-// clients connect over TCP, speak lpvs-wire/session v1 (protocol.hpp),
-// report battery/power state every slot, and receive the scheduler's
-// per-slot transform decision plus a chunk grant.
+// A multi-reactor epoll (poll-fallback) server that hosts the LPVS slot
+// cadence over real sockets — the paper's §V edge-server deployment with
+// actual bytes on the wire instead of in-process calls.  Mobile clients
+// connect over TCP, speak lpvs-wire/session v1 (protocol.hpp), report
+// battery/power state every slot, and receive the scheduler's per-slot
+// transform decision plus a chunk grant.
 //
-// Per-connection session state machine:
+// Threading model (docs/server.md has the full picture):
+//
+//   dispatcher thread                    worker reactors (listener.workers)
+//   ┌───────────────────┐   SPSC ring    ┌──────────────────────────────┐
+//   │ accept()          │  + wake pipe   │ epoll loop, owns:            │
+//   │ read first frame  ├───────────────▶│   connections of its shard   │
+//   │ admission control │  (fd, HELLO,   │   clusters (barrier, cache)  │
+//   │ route by cluster  │   leftover)    │   slot-problem scratch       │
+//   └───────────────────┘                └──────────────────────────────┘
+//
+// Connections are sharded by cluster id (cluster_id % workers), so every
+// per-cluster REPORT barrier, SolveCache, and problem assembly stays
+// thread-local: no locks on the serving path, and the schedule bytes a
+// session receives are bit-identical at any worker count.
+//
+// Per-connection session state machine (unchanged from the single-reactor
+// daemon):
 //
 //          accept
 //            │
@@ -24,81 +40,46 @@
 // the slot problem is assembled in user-id order, so the schedule each
 // session receives is a pure function of (seed, cluster composition,
 // reported state).  Socket timing changes *when* bytes move, never *which*
-// bytes.  The serving integration test runs the same fleet at different
-// client thread counts and asserts bit-identical per-session payloads.
+// bytes.  The multi-worker test runs the same fleet at 1/2/8 workers and
+// 2/8 client threads and asserts bit-identical per-session payloads.
 //
 // Overload behavior:
-//   - Admission control: past max_sessions, a HELLO is answered with
-//     ERROR(kResourceExhausted) and the connection closed.
+//   - Admission control: past admission.max_sessions, a HELLO is answered
+//     with ERROR(kResourceExhausted) and the connection closed.
 //   - Backpressure: each session's outbound queue is bounded; a client
 //     that stops reading past max_outbound_bytes is closed, not buffered.
+//     The dispatcher→worker rings are bounded too: a full ring rejects the
+//     session instead of queueing without bound.
 //   - Deadline shedding: `deadline` rides into the scheduler's existing
 //     degradation ladder deterministically (node-budget truncation).  With
-//     shed_ready_depth > 0 the daemon additionally *forces* lower ladder
-//     rungs when more than that many cluster barriers complete in one poll
+//     shed_ready_depth > 0 a worker additionally *forces* lower ladder
+//     rungs when more than that many cluster barriers complete in one
 //     batch — bounded latency at the cost of the bit-determinism contract,
 //     so it is off by default and the tests for it are behavioral.
 //
 // Shutdown: drain() stops accepting and lets live sessions finish their
 // declared slots (BYE → flush → close); after the timeout any stragglers
-// are force-closed.  stop() is immediate.
+// are force-closed.  stop() is immediate.  Both are event-driven — a wake
+// pipe per loop — so an idle daemon sleeps in epoll_wait indefinitely and
+// drain completes the moment the last session does.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <thread>
-#include <vector>
 
 #include "lpvs/core/run_context.hpp"
 #include "lpvs/core/scheduler.hpp"
-#include "lpvs/server/event_loop.hpp"
-#include "lpvs/server/protocol.hpp"
+#include "lpvs/obs/metrics.hpp"
+#include "lpvs/server/config.hpp"
 
 namespace lpvs::server {
 
-struct ServerConfig {
-  /// TCP port on 127.0.0.1; 0 = pick an ephemeral port (see port()).
-  std::uint16_t port = 0;
-  int backlog = 128;
-  EventLoop::Backend backend = EventLoop::Backend::kAuto;
-
-  /// Admission cap: concurrent sessions beyond this are rejected at HELLO.
-  std::uint32_t max_sessions = 1024;
-  /// Sanity cap on a HELLO's declared cluster size.
-  std::uint32_t max_cluster_size = 512;
-  /// Backpressure bound on one session's outbound queue, bytes.
-  std::size_t max_outbound_bytes = 256 * 1024;
-  std::uint32_t max_frame_bytes = protocol::kMaxFrameBytes;
-
-  /// Slot-problem knobs shared by every cluster (one VC per cluster, as in
-  /// emu::ClusterParams; kept inline here so the daemon has no emu dep).
-  double compute_capacity = 45.0;
-  double storage_capacity_mb = 32768.0;
-  double lambda = 2000.0;
-  int chunks_per_slot = 3;
-  double chunk_seconds = 100.0;
-  /// Fraction of the full charge a user budgets for one viewing session
-  /// (same convention as the emulator / federation).
-  double effective_capacity_scale = 0.25;
-  /// Seeds the derived per-(user, slot) content streams.
-  std::uint64_t seed = 1;
-  bool warm_start = true;
-
-  /// Deterministic per-slot deadline: budget_ms converts to a B&B node
-  /// budget (never a wall-clock race), walking the degradation ladder when
-  /// exceeded.  Disabled by default.
-  core::SlotDeadline deadline{};
-  /// Adaptive shedding threshold (ready cluster barriers per poll batch);
-  /// 0 = off.  Enabling sacrifices payload bit-determinism under load.
-  std::uint32_t shed_ready_depth = 0;
-
-  /// Event-loop wakeup granularity for drain/stop checks, milliseconds.
-  int poll_interval_ms = 50;
-};
-
-/// Monotonic counters mirrored into the obs registry (when attached).
+/// A point-in-time view of the daemon's counters, produced from the obs
+/// MetricsRegistry — the single source of truth.  Workers count into
+/// thread-local blocks; stats() folds them into the registry and parses
+/// the snapshot back into this struct, so the registry a caller attaches
+/// via RunContext and the struct returned here can never disagree.
 struct ServerStats {
   long accepted = 0;
   long active = 0;
@@ -112,22 +93,28 @@ struct ServerStats {
   long sessions_completed = 0;  ///< orderly BYE + flush + close
   long forced_closes = 0;       ///< cut by stop() or a drain timeout
   long shed_slots = 0;          ///< slots pushed down the ladder by overload
+
+  /// Parses the lpvs_server_* samples out of a registry snapshot.  Fields
+  /// whose metric is absent stay zero.
+  static ServerStats from_snapshot(const obs::Snapshot& snapshot);
 };
 
 class EdgeServerDaemon {
  public:
   /// `scheduler` and everything `context` points at (anxiety model,
-  /// registry, trace) must outlive the daemon.  The context's solve-cache /
-  /// fault fields are ignored: caches are per-cluster inside the daemon,
-  /// and fault injection belongs to the transport tests, not the daemon.
+  /// registry, trace) must outlive the daemon.  The scheduler's schedule()
+  /// must be const-thread-safe (core::LpvsScheduler is; the batch layer
+  /// already relies on it).  The context's solve-cache / fault fields are
+  /// ignored: caches are per-cluster inside the workers, and fault
+  /// injection belongs to the transport tests, not the daemon.
   EdgeServerDaemon(ServerConfig config, const core::Scheduler& scheduler,
                    core::RunContext context);
   ~EdgeServerDaemon();
   EdgeServerDaemon(const EdgeServerDaemon&) = delete;
   EdgeServerDaemon& operator=(const EdgeServerDaemon&) = delete;
 
-  /// Binds 127.0.0.1, starts the loop thread.  kUnavailable when the port
-  /// cannot be bound.
+  /// Binds 127.0.0.1, starts the dispatcher and worker threads.
+  /// kUnavailable when the port cannot be bound.
   common::Status start();
 
   /// The bound port (valid after start(); resolves port = 0 requests).
@@ -136,7 +123,7 @@ class EdgeServerDaemon {
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Graceful drain: stop accepting, let live sessions finish, then stop
-  /// the loop.  Ok when every session ended orderly inside the timeout;
+  /// the loops.  Ok when every session ended orderly inside the timeout;
   /// kDeadlineExceeded when stragglers had to be force-closed.
   common::Status drain(int timeout_ms = 30000);
 
@@ -146,8 +133,6 @@ class EdgeServerDaemon {
   ServerStats stats() const;
 
  private:
-  struct Connection;
-  struct Cluster;
   class Impl;
   std::unique_ptr<Impl> impl_;
 

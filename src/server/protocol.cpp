@@ -119,22 +119,30 @@ const char* frame_type_name(FrameType type) {
   return "UNKNOWN";
 }
 
-std::vector<std::uint8_t> encode(const Frame& frame) {
-  Writer w;
+void encode_into(const Frame& frame, std::vector<std::uint8_t>& out) {
+  // Reserve the length prefix, write the payload in place, seal it, then
+  // patch the prefix — no per-frame temporary buffers.
+  const std::size_t prefix_at = out.size();
+  out.insert(out.end(), 4, 0);
+  const std::size_t payload_at = out.size();
+
+  Writer w(&out);
   w.u32(kMagic);
   w.u32(kVersion);
   w.u8(static_cast<std::uint8_t>(frame.type));
   std::visit([&w](const auto& body) { encode_body(w, body); }, frame.body);
-  std::vector<std::uint8_t> payload = w.take();
-  common::wire::seal(payload);
+  common::wire::seal(out, payload_at);
 
-  std::vector<std::uint8_t> out;
-  out.reserve(4 + payload.size());
-  const auto length = static_cast<std::uint32_t>(payload.size());
+  const auto length = static_cast<std::uint32_t>(out.size() - payload_at);
   for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>((length >> (8 * i)) & 0xFFu));
+    out[prefix_at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((length >> (8 * i)) & 0xFFu);
   }
-  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t> encode(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  encode_into(frame, out);
   return out;
 }
 
@@ -159,10 +167,15 @@ Frame make_frame(Error body) {
 }
 
 common::StatusOr<Frame> decode_payload(std::vector<std::uint8_t> payload) {
-  const common::Status sealed = common::wire::unseal(payload);
+  return decode_payload(payload.data(), payload.size());
+}
+
+common::StatusOr<Frame> decode_payload(const std::uint8_t* data,
+                                       std::size_t size) {
+  const common::Status sealed = common::wire::verify_seal(data, size);
   if (!sealed.ok()) return sealed;
 
-  Reader r(payload);
+  Reader r(data, size - 8);  // the trailer is not part of the body
   std::uint32_t magic = 0;
   std::uint32_t version = 0;
   std::uint8_t type_raw = 0;
@@ -231,12 +244,10 @@ FrameDecoder::Result FrameDecoder::next() {
     return result;  // kNeedMore: partial payload
   }
 
-  std::vector<std::uint8_t> payload(
-      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4),
-      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4 + length));
+  // Decode straight out of the receive buffer; no per-frame payload copy.
+  common::StatusOr<Frame> decoded =
+      decode_payload(buffer_.data() + consumed_ + 4, length);
   consumed_ += 4 + length;
-
-  common::StatusOr<Frame> decoded = decode_payload(std::move(payload));
   if (!decoded.ok()) {
     result.kind = Result::Kind::kError;
     result.status = decoded.status();

@@ -1,82 +1,73 @@
 #include "lpvs/server/server.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include "lpvs/bayes/gamma_estimator.hpp"
-#include "lpvs/bayes/nig_estimator.hpp"
 #include "lpvs/common/io.hpp"
-#include "lpvs/common/rng.hpp"
-#include "lpvs/display/display.hpp"
-#include "lpvs/media/video.hpp"
-#include "lpvs/obs/metrics.hpp"
-#include "lpvs/solver/solve_cache.hpp"
-#include "lpvs/transform/transform.hpp"
+#include "worker.hpp"
 
 namespace lpvs::server {
 namespace {
 
 namespace io = common::io;
-
-/// Same derived-stream construction as the emulator and federation: all
-/// per-(entity, slot) randomness is a pure function of (seed, entity, slot),
-/// so the daemon's slot problems are independent of socket interleaving.
-common::Rng derived_rng(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
-  return common::Rng(seed ^ (a + 1) * 0x9E3779B97F4A7C15ULL ^
-                     (b + 1) * 0xC2B2AE3D27D4EB4FULL);
-}
-
-constexpr std::uint64_t kDeviceSalt = 0xD15CuLL;
+using internal::ConnectionHandoff;
+using internal::CounterId;
+using internal::LocalCounters;
+using internal::SharedControl;
+using internal::Worker;
 
 }  // namespace
 
-struct EdgeServerDaemon::Connection {
-  enum class Phase { kAwaitHello, kActive, kClosing };
+ServerStats ServerStats::from_snapshot(const obs::Snapshot& snapshot) {
+  ServerStats out;
+  for (const obs::CounterSample& sample : snapshot.counters) {
+    if (sample.name == "lpvs_server_accepted_total") {
+      out.accepted = sample.value;
+    } else if (sample.name == "lpvs_server_admission_rejects_total") {
+      out.admission_rejects = sample.value;
+    } else if (sample.name == "lpvs_server_decode_errors_total") {
+      out.decode_errors = sample.value;
+    } else if (sample.name == "lpvs_server_protocol_errors_total") {
+      out.protocol_errors = sample.value;
+    } else if (sample.name == "lpvs_server_backpressure_closes_total") {
+      out.backpressure_closes = sample.value;
+    } else if (sample.name == "lpvs_server_frames_rx_total") {
+      out.frames_rx = sample.value;
+    } else if (sample.name == "lpvs_server_frames_tx_total") {
+      out.frames_tx = sample.value;
+    } else if (sample.name == "lpvs_server_slots_total") {
+      out.slots_scheduled = sample.value;
+    } else if (sample.name == "lpvs_server_sessions_completed_total") {
+      out.sessions_completed = sample.value;
+    } else if (sample.name == "lpvs_server_forced_closes_total") {
+      out.forced_closes = sample.value;
+    } else if (sample.name == "lpvs_server_shed_total") {
+      out.shed_slots = sample.value;
+    }
+  }
+  for (const obs::GaugeSample& sample : snapshot.gauges) {
+    if (sample.name == "lpvs_server_active_sessions") {
+      out.active = static_cast<long>(sample.value);
+    }
+  }
+  return out;
+}
 
-  int fd = -1;
-  Phase phase = Phase::kAwaitHello;
-  protocol::FrameDecoder decoder;
-
-  std::vector<std::uint8_t> outbound;
-  std::size_t out_offset = 0;
-  bool want_write = false;
-  bool close_after_flush = false;
-  bool orderly = false;  ///< reached BYE; counted as completed on close
-
-  // Session state (valid once phase >= kActive).
-  protocol::Hello hello;
-  display::DisplaySpec spec;
-  bayes::GammaEstimator gamma;
-  bayes::NigGammaEstimator nig;
-  Cluster* cluster = nullptr;
-  bool has_report = false;
-  protocol::Report report;
-  std::uint32_t slots_completed = 0;
-
-  explicit Connection(std::uint32_t max_frame_bytes)
-      : decoder(max_frame_bytes) {}
-};
-
-struct EdgeServerDaemon::Cluster {
-  std::uint64_t id = 0;
-  std::uint32_t expected_size = 0;
-  std::uint32_t next_slot = 0;
-  /// Membership in user-id order: the slot problem's device order, which is
-  /// what keeps schedules independent of connection arrival order.
-  std::map<std::uint64_t, Connection*> members;
-  solver::SolveCache cache;
-  bool ever_complete = false;
-  bool queued = false;  ///< already in this batch's ready list
-};
-
+/// The dispatcher: accepts, reads each connection's first frame, applies
+/// admission control, and routes admitted sessions to the worker that owns
+/// their cluster.  Owns no session state beyond the pre-HELLO window.
 class EdgeServerDaemon::Impl {
  public:
   Impl(ServerConfig config, const core::Scheduler& scheduler,
@@ -86,36 +77,30 @@ class EdgeServerDaemon::Impl {
     // injection of its own; scrub those capabilities off the base context.
     context_.solve_cache = nullptr;
     context_.faults = nullptr;
-    if (obs::MetricsRegistry* registry = context_.metrics) {
-      m_accepted_ = &registry->counter("lpvs_server_accepted_total",
-                                       "connections accepted");
-      m_rejects_ = &registry->counter("lpvs_server_admission_rejects_total",
-                                      "sessions rejected at HELLO");
-      m_decode_errors_ = &registry->counter("lpvs_server_decode_errors_total",
-                                            "malformed frames dropped");
-      m_backpressure_ = &registry->counter(
-          "lpvs_server_backpressure_closes_total",
-          "sessions closed for an over-limit outbound queue");
-      m_frames_rx_ = &registry->counter("lpvs_server_frames_rx_total",
-                                        "frames received");
-      m_frames_tx_ = &registry->counter("lpvs_server_frames_tx_total",
-                                        "frames sent");
-      m_slots_ = &registry->counter("lpvs_server_slots_total",
-                                    "cluster slots scheduled");
-      m_completed_ = &registry->counter("lpvs_server_sessions_completed_total",
-                                        "sessions ended with an orderly BYE");
-      m_shed_ = &registry->counter(
-          "lpvs_server_shed_total",
-          "slots forced down the degradation ladder by overload");
-      m_active_ = &registry->gauge("lpvs_server_active_sessions",
-                                   "currently open sessions");
-      m_schedule_ms_ = &registry->histogram(
-          "lpvs_server_schedule_ms", obs::MetricsRegistry::time_buckets_ms(),
-          "per-cluster slot scheduling wall time");
+    if (config_.listener.workers == 0) config_.listener.workers = 1;
+
+    // The registry is the single source of truth for counters: an attached
+    // one when the caller provided it, a private one otherwise, so stats()
+    // has exactly one code path.
+    registry_ = context_.metrics != nullptr ? context_.metrics
+                                            : &owned_registry_;
+    const auto& specs = internal::counter_specs();
+    for (int i = 0; i < internal::kNumCounters; ++i) {
+      counters_[i] = &registry_->counter(specs[static_cast<std::size_t>(i)].name,
+                                         specs[static_cast<std::size_t>(i)].help);
     }
+    m_active_ = &registry_->gauge("lpvs_server_active_sessions",
+                                  "currently open sessions");
+    m_schedule_ms_ = &registry_->histogram(
+        "lpvs_server_schedule_ms", obs::MetricsRegistry::time_buckets_ms(),
+        "per-cluster slot scheduling wall time");
   }
 
-  ~Impl() { shutdown_fds(); }
+  ~Impl() {
+    request_stop();
+    join_all();
+    shutdown_fds();
+  }
 
   common::Status start(std::uint16_t& bound_port) {
     io::ignore_sigpipe();
@@ -131,13 +116,13 @@ class EdgeServerDaemon::Impl {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(config_.port);
+    addr.sin_port = htons(config_.listener.port);
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
         0) {
       return common::Status::Unavailable("bind: " +
                                          std::string(std::strerror(errno)));
     }
-    if (::listen(listen_fd_, config_.backlog) < 0) {
+    if (::listen(listen_fd_, config_.listener.backlog) < 0) {
       return common::Status::Unavailable("listen: " +
                                          std::string(std::strerror(errno)));
     }
@@ -158,77 +143,117 @@ class EdgeServerDaemon::Impl {
     (void)io::set_nonblocking(wake_pipe_[0]);
     (void)io::set_nonblocking(wake_pipe_[1]);
 
-    loop_ = std::make_unique<EventLoop>(config_.backend);
+    loop_ = std::make_unique<EventLoop>(config_.listener.backend);
     status = loop_->add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
     if (!status.ok()) return status;
     status = loop_->add(wake_pipe_[0], true, false);
     if (!status.ok()) return status;
 
-    thread_ = std::thread([this] { run(); });
+    workers_.reserve(config_.listener.workers);
+    for (std::uint32_t i = 0; i < config_.listener.workers; ++i) {
+      workers_.push_back(std::make_unique<Worker>(
+          config_, scheduler_, context_, control_, m_schedule_ms_));
+      status = workers_.back()->start();
+      if (!status.ok()) {
+        // Unwind whatever already started.
+        control_.stopping.store(true, std::memory_order_release);
+        for (auto& worker : workers_) worker->wake();
+        for (auto& worker : workers_) worker->join();
+        workers_.clear();
+        control_.stopping.store(false, std::memory_order_release);
+        return status;
+      }
+    }
+
+    dispatcher_ = std::thread([this] { run_dispatcher(); });
     return common::Status::Ok();
   }
 
   void request_drain(int timeout_ms) {
-    drain_deadline_ = std::chrono::steady_clock::now() +
-                      std::chrono::milliseconds(timeout_ms);
-    draining_.store(true, std::memory_order_release);
+    control_.drain_deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(timeout_ms);
+    control_.draining.store(true, std::memory_order_release);
     wake();
+    for (auto& worker : workers_) worker->wake();
   }
 
   void request_stop() {
-    stopping_.store(true, std::memory_order_release);
+    control_.stopping.store(true, std::memory_order_release);
     wake();
+    for (auto& worker : workers_) worker->wake();
   }
 
-  void join() {
-    if (thread_.joinable()) thread_.join();
+  void join_all() {
+    if (dispatcher_.joinable()) dispatcher_.join();
+    for (auto& worker : workers_) worker->join();
+    // An immediate stop can strand routed-but-not-adopted sockets in the
+    // handoff rings; with every thread joined, closing them is race-free.
+    for (auto& worker : workers_) (void)worker->close_abandoned();
+    fold();
   }
 
   bool drain_forced() const {
-    return drain_forced_.load(std::memory_order_acquire);
+    return control_.drain_forced.load(std::memory_order_acquire);
   }
 
   ServerStats stats() const {
-    ServerStats out;
-    out.accepted = accepted_.load();
-    out.active = active_.load();
-    out.admission_rejects = admission_rejects_.load();
-    out.decode_errors = decode_errors_.load();
-    out.protocol_errors = protocol_errors_.load();
-    out.backpressure_closes = backpressure_closes_.load();
-    out.frames_rx = frames_rx_.load();
-    out.frames_tx = frames_tx_.load();
-    out.slots_scheduled = slots_scheduled_.load();
-    out.sessions_completed = sessions_completed_.load();
-    out.forced_closes = forced_closes_.load();
-    out.shed_slots = shed_slots_.load();
-    return out;
+    fold();
+    return ServerStats::from_snapshot(registry_->snapshot());
   }
 
  private:
-  // ---- Event loop -------------------------------------------------------
+  /// A connection the dispatcher still owns: accepted, first frame not yet
+  /// complete (or an ERROR still flushing).  Pooled like worker sessions.
+  struct Pending {
+    int fd = -1;
+    protocol::FrameDecoder decoder;
+    std::vector<std::uint8_t> outbound;
+    std::size_t out_offset = 0;
+    bool want_write = false;
+    bool close_after_flush = false;
+    bool orderly = false;
 
-  void run() {
+    void reset() {
+      fd = -1;
+      decoder.reset();
+      outbound.clear();
+      out_offset = 0;
+      want_write = false;
+      close_after_flush = false;
+      orderly = false;
+    }
+  };
+
+  // ---- Dispatcher loop ----------------------------------------------------
+
+  void run_dispatcher() {
     std::vector<LoopEvent> events;
     bool accepting = true;
-    while (true) {
-      const bool draining = draining_.load(std::memory_order_acquire);
-      if (stopping_.load(std::memory_order_acquire)) break;
-      if (draining && accepting) {
-        (void)loop_->remove(listen_fd_);
-        io::close_fd(listen_fd_);
-        listen_fd_ = -1;
-        accepting = false;
-      }
-      if (draining && connections_.empty()) break;
-      if (draining && std::chrono::steady_clock::now() >= drain_deadline_) {
-        drain_forced_.store(true, std::memory_order_release);
-        break;
+    for (;;) {
+      if (control_.stopping.load(std::memory_order_acquire)) break;
+      int timeout_ms = -1;
+      if (control_.draining.load(std::memory_order_acquire)) {
+        if (accepting) {
+          (void)loop_->remove(listen_fd_);
+          io::close_fd(listen_fd_);
+          listen_fd_ = -1;
+          accepting = false;
+        }
+        if (pending_.empty()) break;
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= control_.drain_deadline) {
+          control_.drain_forced.store(true, std::memory_order_release);
+          break;
+        }
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                control_.drain_deadline - now)
+                .count();
+        timeout_ms = static_cast<int>(std::max<long long>(1, remaining));
       }
 
-      common::StatusOr<int> waited =
-          loop_->wait(config_.poll_interval_ms, events);
-      if (!waited.ok()) break;  // loop fd gone; nothing recoverable
+      common::StatusOr<int> waited = loop_->wait(timeout_ms, events);
+      if (!waited.ok()) break;
 
       for (const LoopEvent& event : events) {
         if (event.fd == wake_pipe_[0]) {
@@ -239,30 +264,31 @@ class EdgeServerDaemon::Impl {
           accept_ready();
           continue;
         }
-        auto it = connections_.find(event.fd);
-        if (it == connections_.end()) continue;  // closed earlier this batch
-        Connection* conn = it->second.get();
+        auto it = pending_.find(event.fd);
+        if (it == pending_.end()) continue;  // routed or closed this batch
+        Pending* conn = it->second;
         if (event.broken) {
-          close_connection(conn, /*orderly=*/false);
+          close_pending(conn, /*orderly=*/false);
           continue;
         }
         if (event.readable) {
           handle_readable(conn);
-          if (connections_.find(event.fd) == connections_.end()) continue;
+          if (pending_.find(event.fd) == pending_.end()) continue;
         }
-        if (event.writable) flush(conn);
+        if (event.writable) flush_pending(conn);
       }
-
-      schedule_ready_clusters();
     }
 
-    // Loop exit: anything still open is cut short.
-    const long leftover = static_cast<long>(connections_.size());
-    if (leftover > 0) forced_closes_.fetch_add(leftover);
-    while (!connections_.empty()) {
-      close_connection(connections_.begin()->second.get(), /*orderly=*/false,
-                       /*count_forced=*/false);
+    // Exit: connections still waiting on their first frame are cut short.
+    const long leftover = static_cast<long>(pending_.size());
+    if (leftover > 0) counters_block_.add(internal::kForcedCloses, leftover);
+    while (!pending_.empty()) {
+      close_pending(pending_.begin()->second, /*orderly=*/false);
     }
+    // After this store (release), no further ring pushes can happen; workers
+    // acquire it before concluding their ring is dry.
+    control_.dispatcher_done.store(true, std::memory_order_release);
+    for (auto& worker : workers_) worker->wake();
   }
 
   void wake() {
@@ -290,339 +316,138 @@ class EdgeServerDaemon::Impl {
         continue;
       }
       (void)io::set_tcp_nodelay(fd);
-      auto conn = std::make_unique<Connection>(config_.max_frame_bytes);
+      Pending* conn = pending_pool_.acquire();
       conn->fd = fd;
+      conn->decoder.set_limit(config_.admission.max_frame_bytes);
       if (!loop_->add(fd, true, false).ok()) {
         io::close_fd(fd);
+        pending_pool_.release(conn);
         continue;
       }
-      connections_[fd] = std::move(conn);
-      accepted_.fetch_add(1);
-      active_.store(static_cast<long>(connections_.size()));
-      if (m_accepted_ != nullptr) m_accepted_->add();
-      if (m_active_ != nullptr) {
-        m_active_->set(static_cast<double>(connections_.size()));
-      }
+      pending_[fd] = conn;
+      control_.open_connections.fetch_add(1);
+      counters_block_.add(internal::kAccepted);
     }
   }
 
-  void handle_readable(Connection* conn) {
+  void handle_readable(Pending* conn) {
     std::uint8_t buffer[4096];
     bool hung_up = false;
     for (;;) {
       const io::IoResult r = io::read_retry(conn->fd, buffer, sizeof(buffer));
       if (r.kind == io::IoResult::Kind::kOk) {
         conn->decoder.feed(buffer, r.count);
-        if (r.count < sizeof(buffer)) break;  // drained the socket
+        if (r.count < sizeof(buffer)) break;
         continue;
       }
       if (r.kind == io::IoResult::Kind::kWouldBlock) break;
-      // EOF or error.  A peer may BYE and hang up in one burst, so the
-      // buffered frames are decoded below *before* the close — otherwise an
-      // orderly goodbye would race its own EOF and count as a cut session.
-      hung_up = true;
+      hung_up = true;  // buffered frames are still decoded before the close
       break;
     }
+    const int fd = conn->fd;
 
-    for (;;) {
+    if (!conn->close_after_flush) {
       protocol::FrameDecoder::Result result = conn->decoder.next();
-      if (result.kind == protocol::FrameDecoder::Result::Kind::kNeedMore) {
-        break;
-      }
       if (result.kind == protocol::FrameDecoder::Result::Kind::kError) {
-        // Malformed input is terminal: count it and drop the connection.
-        decode_errors_.fetch_add(1);
-        if (m_decode_errors_ != nullptr) m_decode_errors_->add();
-        close_connection(conn, /*orderly=*/false);
+        counters_block_.add(internal::kDecodeErrors);
+        close_pending(conn, /*orderly=*/false);
         return;
       }
-      frames_rx_.fetch_add(1);
-      if (m_frames_rx_ != nullptr) m_frames_rx_->add();
-      if (!handle_frame(conn, result.frame)) return;  // connection closed
+      if (result.kind == protocol::FrameDecoder::Result::Kind::kFrame) {
+        counters_block_.add(internal::kFramesRx);
+        handle_first_frame(conn, result.frame);
+        if (pending_.find(fd) == pending_.end()) return;  // routed or closed
+      }
     }
-    if (hung_up) close_connection(conn, /*orderly=*/false);
+    if (hung_up) {
+      auto it = pending_.find(fd);
+      if (it != pending_.end()) close_pending(it->second, /*orderly=*/false);
+    }
   }
 
-  // ---- Frame handling ---------------------------------------------------
-
-  /// Returns false when the connection was closed.
-  bool handle_frame(Connection* conn, const protocol::Frame& frame) {
+  /// Acts on a connection's first frame: HELLO → admission + route, BYE →
+  /// orderly close, anything else → protocol error.
+  void handle_first_frame(Pending* conn, const protocol::Frame& frame) {
     switch (frame.type) {
       case protocol::FrameType::kHello:
-        return handle_hello(conn, frame.as<protocol::Hello>());
-      case protocol::FrameType::kReport:
-        return handle_report(conn, frame.as<protocol::Report>());
+        route_hello(conn, frame.as<protocol::Hello>());
+        return;
       case protocol::FrameType::kBye:
         conn->orderly = true;
-        close_connection(conn, /*orderly=*/true);
-        return false;
+        close_pending(conn, /*orderly=*/true);
+        return;
+      case protocol::FrameType::kReport:
+        (void)fail_pending(conn, common::StatusCode::kInvalidArgument,
+                           "REPORT before HELLO");
+        return;
       case protocol::FrameType::kHelloAck:
       case protocol::FrameType::kSchedule:
       case protocol::FrameType::kGrant:
       case protocol::FrameType::kError:
-        return fail_session(conn, common::StatusCode::kInvalidArgument,
-                            "client sent a server-only frame");
+        (void)fail_pending(conn, common::StatusCode::kInvalidArgument,
+                           "client sent a server-only frame");
+        return;
     }
-    return fail_session(conn, common::StatusCode::kInvalidArgument,
-                        "unknown frame type");
+    (void)fail_pending(conn, common::StatusCode::kInvalidArgument,
+                       "unknown frame type");
   }
 
-  bool handle_hello(Connection* conn, const protocol::Hello& hello) {
-    if (conn->phase != Connection::Phase::kAwaitHello) {
-      return fail_session(conn, common::StatusCode::kInvalidArgument,
-                          "duplicate HELLO");
-    }
-    if (active_sessions() > config_.max_sessions) {
-      admission_rejects_.fetch_add(1);
-      if (m_rejects_ != nullptr) m_rejects_->add();
-      return fail_session(conn, common::StatusCode::kResourceExhausted,
-                          "session limit reached");
+  void route_hello(Pending* conn, const protocol::Hello& hello) {
+    // open_connections counts this connection already, so the check reads
+    // "would admitting leave more than max_sessions open" — the same
+    // boundary the single-reactor daemon enforced.
+    if (control_.open_connections.load(std::memory_order_relaxed) >
+        static_cast<long>(config_.admission.max_sessions)) {
+      counters_block_.add(internal::kAdmissionRejects);
+      (void)fail_pending(conn, common::StatusCode::kResourceExhausted,
+                         "session limit reached");
+      return;
     }
     if (hello.cluster_size == 0 ||
-        hello.cluster_size > config_.max_cluster_size) {
-      return fail_session(conn, common::StatusCode::kInvalidArgument,
-                          "cluster size out of range");
+        hello.cluster_size > config_.admission.max_cluster_size) {
+      (void)fail_pending(conn, common::StatusCode::kInvalidArgument,
+                         "cluster size out of range");
+      return;
     }
 
-    Cluster* cluster = nullptr;
-    auto it = clusters_.find(hello.cluster_id);
-    if (it == clusters_.end()) {
-      auto fresh = std::make_unique<Cluster>();
-      fresh->id = hello.cluster_id;
-      fresh->expected_size = hello.cluster_size;
-      cluster = fresh.get();
-      clusters_[hello.cluster_id] = std::move(fresh);
-    } else {
-      cluster = it->second.get();
-      if (cluster->expected_size != hello.cluster_size) {
-        return fail_session(conn, common::StatusCode::kInvalidArgument,
-                            "cluster size disagrees with existing members");
-      }
-      if (cluster->members.size() >= cluster->expected_size) {
-        return fail_session(conn, common::StatusCode::kResourceExhausted,
-                            "cluster already full");
-      }
-      if (cluster->members.count(hello.user_id) != 0) {
-        return fail_session(conn, common::StatusCode::kInvalidArgument,
-                            "duplicate user in cluster");
-      }
-    }
+    // Shard by cluster: every member of a cluster lands on the same worker,
+    // which is what keeps barrier and solve state thread-local.
+    Worker* worker =
+        workers_[hello.cluster_id % workers_.size()].get();
+    ConnectionHandoff handoff;
+    handoff.fd = conn->fd;
+    handoff.hello = hello;
+    handoff.leftover = conn->decoder.take_unconsumed();
 
-    conn->hello = hello;
-    conn->phase = Connection::Phase::kActive;
-    conn->cluster = cluster;
-    // The panel spec is server-derived (the provider knows the handset
-    // catalog); keyed on the user so it is stable across reconnects.
-    common::Rng spec_rng = derived_rng(config_.seed, hello.user_id,
-                                       kDeviceSalt);
-    conn->spec = display::DeviceCatalog::standard().sample(spec_rng).spec;
-    cluster->members[hello.user_id] = conn;
-    if (cluster->members.size() == cluster->expected_size) {
-      cluster->ever_complete = true;
+    (void)loop_->remove(conn->fd);
+    if (!worker->submit(std::move(handoff))) {
+      // Ring full: reject instead of queueing without bound.
+      (void)loop_->add(conn->fd, true, false);
+      counters_block_.add(internal::kAdmissionRejects);
+      (void)fail_pending(conn, common::StatusCode::kUnavailable,
+                         "worker handoff queue full");
+      return;
     }
-
-    protocol::HelloAck ack;
-    ack.user_id = hello.user_id;
-    ack.next_slot = cluster->next_slot;
-    if (!send_frame(conn, protocol::make_frame(ack))) return false;
-    mark_ready_if_barrier_met(cluster);
-    return true;
+    worker->wake();
+    counters_block_.add(internal::kHandoffs);
+    pending_.erase(conn->fd);  // the socket now belongs to the worker
+    conn->fd = -1;
+    pending_pool_.release(conn);
   }
 
-  bool handle_report(Connection* conn, const protocol::Report& report) {
-    if (conn->phase != Connection::Phase::kActive ||
-        conn->cluster == nullptr) {
-      return fail_session(conn, common::StatusCode::kInvalidArgument,
-                          "REPORT before HELLO");
-    }
-    Cluster* cluster = conn->cluster;
-    if (conn->has_report || report.slot != cluster->next_slot) {
-      return fail_session(conn, common::StatusCode::kInvalidArgument,
-                          "REPORT out of slot order");
-    }
-    // The Bayes observation of the previous slot's realized saving (§V-D):
-    // feed both estimators, as the emulator does.
-    if (report.has_delta != 0) {
-      conn->gamma.observe(report.observed_delta);
-      conn->nig.observe(report.observed_delta);
-    }
-    if (report.watching == 0) {
-      // The user gave up; it leaves the cluster now so remaining members'
-      // barrier does not wait on it, and BYE follows.
-      cluster->members.erase(conn->hello.user_id);
-      conn->cluster = nullptr;
-      mark_ready_if_barrier_met(cluster);
-      reap_cluster(cluster);
-      return true;
-    }
-    conn->has_report = true;
-    conn->report = report;
-    mark_ready_if_barrier_met(cluster);
-    return true;
+  bool fail_pending(Pending* conn, common::StatusCode code,
+                    std::string message) {
+    counters_block_.add(internal::kProtocolErrors);
+    protocol::Error error;
+    error.code = static_cast<std::uint8_t>(code);
+    error.message = std::move(message);
+    protocol::encode_into(protocol::make_frame(error), conn->outbound);
+    conn->close_after_flush = true;
+    flush_pending(conn);
+    return false;
   }
 
-  // ---- Slot cadence -----------------------------------------------------
-
-  void mark_ready_if_barrier_met(Cluster* cluster) {
-    if (cluster->queued || cluster->members.empty()) return;
-    // A cluster schedules only once fully assembled — the composition of
-    // slot 0 is fixed by the HELLOs, not by which member's bytes arrived
-    // first.  After assembly, members may only leave (give-up, BYE).
-    if (!cluster->ever_complete) return;
-    for (const auto& [user, member] : cluster->members) {
-      if (!member->has_report) return;
-    }
-    cluster->queued = true;
-    ready_.push_back(cluster);
-  }
-
-  void schedule_ready_clusters() {
-    if (ready_.empty()) return;
-    // Stable processing order (map order is by cluster id already, but the
-    // ready list fills in arrival order).
-    std::sort(ready_.begin(), ready_.end(),
-              [](const Cluster* a, const Cluster* b) { return a->id < b->id; });
-    const std::size_t batch = ready_.size();
-    for (std::size_t i = 0; i < batch; ++i) {
-      Cluster* cluster = ready_[i];
-      // `queued` stays set while scheduling: it pins the cluster against
-      // reap_cluster when a member's close fires mid-send.
-      if (!cluster->members.empty()) {
-        schedule_cluster(cluster, overload_rung(batch, i));
-      }
-      cluster->queued = false;
-      reap_cluster(cluster);
-    }
-    ready_.erase(ready_.begin(), ready_.begin() + static_cast<std::ptrdiff_t>(
-                                                      batch));
-  }
-
-  /// Overload shedding: past the configured ready-queue depth, force slots
-  /// down the ladder — deeper backlog, lower rung.  -1 = schedule normally.
-  int overload_rung(std::size_t batch, std::size_t index) const {
-    if (config_.shed_ready_depth == 0) return -1;
-    if (batch <= config_.shed_ready_depth || index < config_.shed_ready_depth) {
-      return -1;
-    }
-    const bool deep = batch > 2 * config_.shed_ready_depth;
-    return static_cast<int>(deep ? core::DegradationRung::kReplayPrevious
-                                 : core::DegradationRung::kWarmRepair);
-  }
-
-  void schedule_cluster(Cluster* cluster, int forced_rung) {
-    obs::ScopedTimer timer(m_schedule_ms_);
-
-    core::SlotProblem problem;
-    problem.compute_capacity = config_.compute_capacity;
-    problem.storage_capacity = config_.storage_capacity_mb;
-    problem.lambda = config_.lambda;
-
-    std::vector<Connection*> order;
-    order.reserve(cluster->members.size());
-    for (auto& [user_id, member] : cluster->members) {
-      // Content is a pure function of (seed, user, slot): the same derived
-      // streams the emulator and federation use.
-      common::Rng content_rng = derived_rng(config_.seed, user_id,
-                                            cluster->next_slot);
-      media::ContentGenerator generator(content_rng());
-      const auto genre = static_cast<media::Genre>(
-          member->hello.genre % media::kGenreCount);
-      const media::Video video = generator.generate(
-          common::VideoId{static_cast<std::uint32_t>(
-              user_id * 100000u + cluster->next_slot)},
-          genre, config_.chunks_per_slot, member->hello.bitrate_mbps,
-          common::Seconds{config_.chunk_seconds});
-
-      core::DeviceSlotInput input;
-      input.id = common::DeviceId{static_cast<std::uint32_t>(user_id)};
-      input.power_rates_mw.reserve(video.chunks.size());
-      input.chunk_durations_s.reserve(video.chunks.size());
-      for (const media::VideoChunk& chunk : video.chunks) {
-        input.power_rates_mw.push_back(
-            rate_estimator_.rate(member->spec, chunk).value);
-        input.chunk_durations_s.push_back(chunk.duration.value);
-      }
-      input.battery_capacity_mwh = member->hello.battery_capacity_mwh;
-      input.initial_energy_mwh = member->report.battery_fraction *
-                                 member->hello.battery_capacity_mwh *
-                                 config_.effective_capacity_scale;
-      input.gamma = member->gamma.expected_gamma();
-      input.compute_cost = resources_.compute_cost(member->spec, video);
-      input.storage_cost = resources_.storage_cost(video);
-
-      order.push_back(member);
-      problem.devices.push_back(std::move(input));
-    }
-
-    core::RunContext ctx =
-        context_.with_slot(static_cast<std::int64_t>(cluster->next_slot));
-    if (config_.warm_start) {
-      ctx = ctx.with_solve_cache(&cluster->cache, cluster->id);
-    }
-    core::SlotDeadline deadline = config_.deadline;
-    if (forced_rung >= 0 &&
-        (deadline.force_rung < 0 || forced_rung > deadline.force_rung)) {
-      deadline.force_rung = forced_rung;
-      shed_slots_.fetch_add(1);
-      if (m_shed_ != nullptr) m_shed_->add();
-    }
-    ctx = ctx.with_deadline(deadline);
-
-    const core::Schedule schedule = scheduler_.schedule(problem, ctx);
-    slots_scheduled_.fetch_add(1);
-    if (m_slots_ != nullptr) m_slots_->add();
-
-    const auto selected = static_cast<std::uint32_t>(schedule.selected_count());
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      Connection* member = order[i];
-      const bool transformed = schedule.x[i] != 0;
-
-      protocol::Schedule push;
-      push.slot = cluster->next_slot;
-      push.transform = transformed ? 1 : 0;
-      push.rung = static_cast<std::uint8_t>(schedule.rung);
-      push.expected_gamma = problem.devices[i].gamma;
-      push.objective = schedule.objective;
-      push.selected_count = selected;
-      push.cluster_devices = static_cast<std::uint32_t>(order.size());
-
-      protocol::Grant grant;
-      grant.slot = cluster->next_slot;
-      grant.chunks = static_cast<std::uint32_t>(config_.chunks_per_slot);
-      grant.chunk_seconds = config_.chunk_seconds;
-      grant.power_scale =
-          transformed ? 1.0 - problem.devices[i].gamma : 1.0;
-
-      member->has_report = false;
-      ++member->slots_completed;
-      if (!send_frame(member, protocol::make_frame(push))) continue;
-      (void)send_frame(member, protocol::make_frame(grant));
-    }
-    ++cluster->next_slot;
-  }
-
-  // ---- Outbound path ----------------------------------------------------
-
-  /// Returns false when the connection was closed (backpressure / error).
-  bool send_frame(Connection* conn, const protocol::Frame& frame) {
-    const std::vector<std::uint8_t> bytes = protocol::encode(frame);
-    conn->outbound.insert(conn->outbound.end(), bytes.begin(), bytes.end());
-    frames_tx_.fetch_add(1);
-    if (m_frames_tx_ != nullptr) m_frames_tx_->add();
-    if (conn->outbound.size() - conn->out_offset >
-        config_.max_outbound_bytes) {
-      // The peer stopped reading; shedding it beats buffering without
-      // bound.  Nothing useful can be flushed to a non-reading peer.
-      backpressure_closes_.fetch_add(1);
-      if (m_backpressure_ != nullptr) m_backpressure_->add();
-      close_connection(conn, /*orderly=*/false);
-      return false;
-    }
-    return flush(conn);
-  }
-
-  /// Returns false when the connection was closed.
-  bool flush(Connection* conn) {
+  bool flush_pending(Pending* conn) {
     while (conn->out_offset < conn->outbound.size()) {
       const io::IoResult r =
           io::write_retry(conn->fd, conn->outbound.data() + conn->out_offset,
@@ -638,13 +463,13 @@ class EdgeServerDaemon::Impl {
         }
         return true;
       }
-      close_connection(conn, /*orderly=*/false);
+      close_pending(conn, /*orderly=*/false);
       return false;
     }
     conn->outbound.clear();
     conn->out_offset = 0;
     if (conn->close_after_flush) {
-      close_connection(conn, conn->orderly);
+      close_pending(conn, conn->orderly);
       return false;
     }
     if (conn->want_write) {
@@ -654,54 +479,13 @@ class EdgeServerDaemon::Impl {
     return true;
   }
 
-  /// Terminal protocol failure: best-effort ERROR frame, then close.
-  bool fail_session(Connection* conn, common::StatusCode code,
-                    std::string message) {
-    protocol_errors_.fetch_add(1);
-    protocol::Error error;
-    error.code = static_cast<std::uint8_t>(code);
-    error.message = std::move(message);
-    const std::vector<std::uint8_t> bytes =
-        protocol::encode(protocol::make_frame(error));
-    conn->outbound.insert(conn->outbound.end(), bytes.begin(), bytes.end());
-    conn->close_after_flush = true;
-    conn->phase = Connection::Phase::kClosing;
-    flush(conn);  // closes on full flush; waits for writability otherwise
-    return false;
-  }
-
-  void close_connection(Connection* conn, bool orderly,
-                        bool count_forced = true) {
-    (void)count_forced;
-    if (conn->cluster != nullptr) {
-      Cluster* cluster = conn->cluster;
-      cluster->members.erase(conn->hello.user_id);
-      conn->cluster = nullptr;
-      // Remaining members may now satisfy the barrier without the leaver.
-      mark_ready_if_barrier_met(cluster);
-      reap_cluster(cluster);
-    }
-    if (orderly) {
-      sessions_completed_.fetch_add(1);
-      if (m_completed_ != nullptr) m_completed_->add();
-    }
+  void close_pending(Pending* conn, bool orderly) {
+    if (orderly) counters_block_.add(internal::kCompleted);
     (void)loop_->remove(conn->fd);
     io::close_fd(conn->fd);
-    connections_.erase(conn->fd);  // destroys conn
-    active_.store(static_cast<long>(connections_.size()));
-    if (m_active_ != nullptr) {
-      m_active_->set(static_cast<double>(connections_.size()));
-    }
-  }
-
-  void reap_cluster(Cluster* cluster) {
-    if (cluster->members.empty() && !cluster->queued) {
-      clusters_.erase(cluster->id);
-    }
-  }
-
-  std::uint32_t active_sessions() const {
-    return static_cast<std::uint32_t>(connections_.size());
+    pending_.erase(conn->fd);
+    pending_pool_.release(conn);
+    control_.open_connections.fetch_sub(1);
   }
 
   void shutdown_fds() {
@@ -711,51 +495,53 @@ class EdgeServerDaemon::Impl {
     listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
   }
 
+  // ---- Metrics fold -------------------------------------------------------
+
+  /// Pushes every thread-local counter delta into the registry.  Safe while
+  /// the daemon runs (owning threads add with relaxed atomics; `published`
+  /// is guarded by the fold mutex) and after it stops.
+  void fold() const {
+    std::lock_guard<std::mutex> lock(fold_mutex_);
+    fold_block(counters_block_);
+    for (const auto& worker : workers_) fold_block(worker->counters());
+    m_active_->set(
+        static_cast<double>(control_.open_connections.load()));
+  }
+
+  void fold_block(LocalCounters& block) const {
+    for (int i = 0; i < internal::kNumCounters; ++i) {
+      const auto index = static_cast<std::size_t>(i);
+      const long current = block.value[index].load(std::memory_order_relaxed);
+      const long delta = current - block.published[index];
+      if (delta != 0) {
+        counters_[index]->add(delta);
+        block.published[index] = current;
+      }
+    }
+  }
+
   ServerConfig config_;
   const core::Scheduler& scheduler_;
   core::RunContext context_;
 
+  obs::MetricsRegistry owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter* counters_[internal::kNumCounters] = {};
+  obs::Gauge* m_active_ = nullptr;
+  obs::Histogram* m_schedule_ms_ = nullptr;
+  mutable std::mutex fold_mutex_;
+  mutable LocalCounters counters_block_;  ///< the dispatcher's slab
+
+  SharedControl control_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   std::unique_ptr<EventLoop> loop_;
-  std::thread thread_;
+  std::thread dispatcher_;
 
-  std::map<int, std::unique_ptr<Connection>> connections_;
-  std::map<std::uint64_t, std::unique_ptr<Cluster>> clusters_;
-  std::vector<Cluster*> ready_;
-
-  media::PowerRateEstimator rate_estimator_;
-  transform::ResourceModel resources_;
-
-  std::atomic<bool> draining_{false};
-  std::atomic<bool> stopping_{false};
-  std::atomic<bool> drain_forced_{false};
-  std::chrono::steady_clock::time_point drain_deadline_{};
-
-  std::atomic<long> accepted_{0};
-  std::atomic<long> active_{0};
-  std::atomic<long> admission_rejects_{0};
-  std::atomic<long> decode_errors_{0};
-  std::atomic<long> protocol_errors_{0};
-  std::atomic<long> backpressure_closes_{0};
-  std::atomic<long> frames_rx_{0};
-  std::atomic<long> frames_tx_{0};
-  std::atomic<long> slots_scheduled_{0};
-  std::atomic<long> sessions_completed_{0};
-  std::atomic<long> forced_closes_{0};
-  std::atomic<long> shed_slots_{0};
-
-  obs::Counter* m_accepted_ = nullptr;
-  obs::Counter* m_rejects_ = nullptr;
-  obs::Counter* m_decode_errors_ = nullptr;
-  obs::Counter* m_backpressure_ = nullptr;
-  obs::Counter* m_frames_rx_ = nullptr;
-  obs::Counter* m_frames_tx_ = nullptr;
-  obs::Counter* m_slots_ = nullptr;
-  obs::Counter* m_completed_ = nullptr;
-  obs::Counter* m_shed_ = nullptr;
-  obs::Gauge* m_active_ = nullptr;
-  obs::Histogram* m_schedule_ms_ = nullptr;
+  common::ObjectPool<Pending> pending_pool_;
+  std::map<int, Pending*> pending_;
 };
 
 EdgeServerDaemon::EdgeServerDaemon(ServerConfig config,
@@ -777,7 +563,7 @@ common::Status EdgeServerDaemon::start() {
 common::Status EdgeServerDaemon::drain(int timeout_ms) {
   if (!running_.load(std::memory_order_acquire)) return common::Status::Ok();
   impl_->request_drain(timeout_ms);
-  impl_->join();
+  impl_->join_all();
   running_.store(false, std::memory_order_release);
   if (impl_->drain_forced()) {
     return common::Status::DeadlineExceeded(
@@ -789,7 +575,7 @@ common::Status EdgeServerDaemon::drain(int timeout_ms) {
 void EdgeServerDaemon::stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   impl_->request_stop();
-  impl_->join();
+  impl_->join_all();
   running_.store(false, std::memory_order_release);
 }
 

@@ -1,0 +1,579 @@
+#include "worker.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+#include <unistd.h>
+
+#include "lpvs/common/io.hpp"
+
+namespace lpvs::server::internal {
+namespace {
+
+namespace io = common::io;
+
+/// Handoffs the dispatcher may park at one worker before the ring pushes
+/// back (rejecting the session instead of queueing without bound).
+constexpr std::size_t kHandoffRingSlots = 1024;
+
+}  // namespace
+
+const std::array<CounterSpec, kNumCounters>& counter_specs() {
+  static const std::array<CounterSpec, kNumCounters> specs = {{
+      {"lpvs_server_accepted_total", "connections accepted"},
+      {"lpvs_server_admission_rejects_total", "sessions rejected at HELLO"},
+      {"lpvs_server_decode_errors_total", "malformed frames dropped"},
+      {"lpvs_server_protocol_errors_total",
+       "sessions failed for a protocol violation"},
+      {"lpvs_server_backpressure_closes_total",
+       "sessions closed for an over-limit outbound queue"},
+      {"lpvs_server_frames_rx_total", "frames received"},
+      {"lpvs_server_frames_tx_total", "frames sent"},
+      {"lpvs_server_slots_total", "cluster slots scheduled"},
+      {"lpvs_server_sessions_completed_total",
+       "sessions ended with an orderly BYE"},
+      {"lpvs_server_forced_closes_total",
+       "sessions cut by stop() or a drain timeout"},
+      {"lpvs_server_shed_total",
+       "slots forced down the degradation ladder by overload"},
+      {"lpvs_server_handoffs_total",
+       "connections routed from the dispatcher to a worker"},
+  }};
+  return specs;
+}
+
+Worker::Worker(const ServerConfig& config, const core::Scheduler& scheduler,
+               const core::RunContext& context, SharedControl& control,
+               obs::Histogram* schedule_ms)
+    : config_(config),
+      scheduler_(scheduler),
+      context_(context),
+      control_(control),
+      schedule_ms_(schedule_ms),
+      ring_(kHandoffRingSlots) {}
+
+Worker::~Worker() {
+  join();
+  io::close_fd(wake_pipe_[0]);
+  io::close_fd(wake_pipe_[1]);
+}
+
+common::Status Worker::start() {
+  if (::pipe(wake_pipe_) < 0) {
+    return common::Status::Internal("pipe: worker wake pipe");
+  }
+  (void)io::set_nonblocking(wake_pipe_[0]);
+  (void)io::set_nonblocking(wake_pipe_[1]);
+
+  loop_ = std::make_unique<EventLoop>(config_.listener.backend);
+  const common::Status status =
+      loop_->add(wake_pipe_[0], /*want_read=*/true, /*want_write=*/false);
+  if (!status.ok()) return status;
+
+  thread_ = std::thread([this] { run(); });
+  return common::Status::Ok();
+}
+
+void Worker::wake() {
+  if (wake_pipe_[1] >= 0) {
+    const std::uint8_t byte = 1;
+    (void)io::write_retry(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Worker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+long Worker::close_abandoned() {
+  long cut = 0;
+  ConnectionHandoff handoff;
+  while (ring_.try_pop(handoff)) {
+    io::close_fd(handoff.fd);
+    control_.open_connections.fetch_sub(1);
+    counters_.add(kForcedCloses);
+    ++cut;
+  }
+  return cut;
+}
+
+// ---- Event loop -----------------------------------------------------------
+
+void Worker::run() {
+  std::vector<LoopEvent> events;
+  for (;;) {
+    if (control_.stopping.load(std::memory_order_acquire)) break;
+    int timeout_ms = -1;  // idle workers sleep indefinitely: zero wakeups
+    if (control_.draining.load(std::memory_order_acquire)) {
+      // Acquire dispatcher_done *before* draining the ring: once it reads
+      // true, every push the dispatcher ever made is visible, so an empty
+      // ring plus an empty shard really is the end.
+      const bool dispatcher_done =
+          control_.dispatcher_done.load(std::memory_order_acquire);
+      adopt_pending();
+      if (dispatcher_done && connections_.empty()) break;
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= control_.drain_deadline) {
+        control_.drain_forced.store(true, std::memory_order_release);
+        break;
+      }
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              control_.drain_deadline - now)
+              .count();
+      timeout_ms = static_cast<int>(std::max<long long>(1, remaining));
+    }
+
+    common::StatusOr<int> waited = loop_->wait(timeout_ms, events);
+    if (!waited.ok()) break;  // loop fd gone; nothing recoverable
+
+    for (const LoopEvent& event : events) {
+      if (event.fd == wake_pipe_[0]) {
+        drain_wake_pipe();
+        adopt_pending();
+        continue;
+      }
+      auto it = connections_.find(event.fd);
+      if (it == connections_.end()) continue;  // closed earlier this batch
+      Connection* conn = it->second;
+      if (event.broken) {
+        close_connection(conn, /*orderly=*/false);
+        continue;
+      }
+      if (event.readable) {
+        handle_readable(conn);
+        if (connections_.find(event.fd) == connections_.end()) continue;
+      }
+      if (event.writable) flush(conn);
+    }
+
+    schedule_ready_clusters();
+  }
+
+  // Loop exit: anything still open is cut short.
+  const long leftover = static_cast<long>(connections_.size());
+  if (leftover > 0) counters_.add(kForcedCloses, leftover);
+  while (!connections_.empty()) {
+    close_connection(connections_.begin()->second, /*orderly=*/false);
+  }
+}
+
+void Worker::drain_wake_pipe() {
+  std::uint8_t sink[64];
+  while (io::read_retry(wake_pipe_[0], sink, sizeof(sink)).ok()) {
+  }
+}
+
+void Worker::adopt_pending() {
+  ConnectionHandoff handoff;
+  while (ring_.try_pop(handoff)) adopt(std::move(handoff));
+}
+
+// ---- Adoption: the worker-side half of HELLO ------------------------------
+
+void Worker::adopt(ConnectionHandoff&& handoff) {
+  Connection* conn = pool_.acquire();
+  conn->fd = handoff.fd;
+  conn->decoder.set_limit(config_.admission.max_frame_bytes);
+  if (!handoff.leftover.empty()) {
+    conn->decoder.feed(handoff.leftover.data(), handoff.leftover.size());
+  }
+  if (!loop_->add(handoff.fd, /*want_read=*/true, /*want_write=*/false)
+           .ok()) {
+    io::close_fd(handoff.fd);
+    pool_.release(conn);
+    control_.open_connections.fetch_sub(1);
+    counters_.add(kForcedCloses);
+    return;
+  }
+  connections_[handoff.fd] = conn;
+  conn->hello = handoff.hello;
+
+  // Cluster membership rules live here, with the cluster map (the
+  // dispatcher only checked admission and the size range).
+  const protocol::Hello& hello = conn->hello;
+  Cluster* cluster = nullptr;
+  auto it = clusters_.find(hello.cluster_id);
+  if (it == clusters_.end()) {
+    auto fresh = std::make_unique<Cluster>();
+    fresh->id = hello.cluster_id;
+    fresh->expected_size = hello.cluster_size;
+    cluster = fresh.get();
+    clusters_[hello.cluster_id] = std::move(fresh);
+  } else {
+    cluster = it->second.get();
+    if (cluster->expected_size != hello.cluster_size) {
+      (void)fail_session(conn, common::StatusCode::kInvalidArgument,
+                         "cluster size disagrees with existing members");
+      return;
+    }
+    if (cluster->members.size() >= cluster->expected_size) {
+      (void)fail_session(conn, common::StatusCode::kResourceExhausted,
+                         "cluster already full");
+      return;
+    }
+    if (cluster->members.count(hello.user_id) != 0) {
+      (void)fail_session(conn, common::StatusCode::kInvalidArgument,
+                         "duplicate user in cluster");
+      return;
+    }
+  }
+
+  conn->cluster = cluster;
+  // The panel spec is server-derived (the provider knows the handset
+  // catalog); keyed on the user so it is stable across reconnects.
+  common::Rng spec_rng =
+      derived_rng(config_.slot.seed, hello.user_id, kDeviceSalt);
+  conn->spec = display::DeviceCatalog::standard().sample(spec_rng).spec;
+  cluster->members[hello.user_id] = conn;
+  if (cluster->members.size() == cluster->expected_size) {
+    cluster->ever_complete = true;
+  }
+
+  protocol::HelloAck ack;
+  ack.user_id = hello.user_id;
+  ack.next_slot = cluster->next_slot;
+  if (!queue_frame(conn, protocol::make_frame(ack))) return;
+  if (!flush(conn)) return;
+  mark_ready_if_barrier_met(cluster);
+
+  // A pipelined client may have sent its first REPORT (or more) in the same
+  // burst as the HELLO; those bytes rode along in the handoff.
+  if (conn->decoder.buffered() > 0 &&
+      connections_.find(conn->fd) != connections_.end()) {
+    for (;;) {
+      protocol::FrameDecoder::Result result = conn->decoder.next();
+      if (result.kind != protocol::FrameDecoder::Result::Kind::kFrame) {
+        if (result.kind == protocol::FrameDecoder::Result::Kind::kError) {
+          counters_.add(kDecodeErrors);
+          close_connection(conn, /*orderly=*/false);
+        }
+        break;
+      }
+      counters_.add(kFramesRx);
+      if (!handle_frame(conn, result.frame)) break;
+    }
+  }
+}
+
+// ---- Inbound path ---------------------------------------------------------
+
+void Worker::handle_readable(Connection* conn) {
+  std::uint8_t buffer[4096];
+  bool hung_up = false;
+  for (;;) {
+    const io::IoResult r = io::read_retry(conn->fd, buffer, sizeof(buffer));
+    if (r.kind == io::IoResult::Kind::kOk) {
+      conn->decoder.feed(buffer, r.count);
+      if (r.count < sizeof(buffer)) break;  // drained the socket
+      continue;
+    }
+    if (r.kind == io::IoResult::Kind::kWouldBlock) break;
+    // EOF or error.  A peer may BYE and hang up in one burst, so the
+    // buffered frames are decoded below *before* the close — otherwise an
+    // orderly goodbye would race its own EOF and count as a cut session.
+    hung_up = true;
+    break;
+  }
+
+  if (!conn->close_after_flush) {
+    for (;;) {
+      protocol::FrameDecoder::Result result = conn->decoder.next();
+      if (result.kind == protocol::FrameDecoder::Result::Kind::kNeedMore) {
+        break;
+      }
+      if (result.kind == protocol::FrameDecoder::Result::Kind::kError) {
+        // Malformed input is terminal: count it and drop the connection.
+        counters_.add(kDecodeErrors);
+        close_connection(conn, /*orderly=*/false);
+        return;
+      }
+      counters_.add(kFramesRx);
+      if (!handle_frame(conn, result.frame)) return;  // connection closed
+    }
+  }
+  if (hung_up) close_connection(conn, /*orderly=*/false);
+}
+
+bool Worker::handle_frame(Connection* conn, const protocol::Frame& frame) {
+  switch (frame.type) {
+    case protocol::FrameType::kHello:
+      // Every worker connection already completed its HELLO at the
+      // dispatcher; a second one is a protocol violation.
+      return fail_session(conn, common::StatusCode::kInvalidArgument,
+                          "duplicate HELLO");
+    case protocol::FrameType::kReport:
+      return handle_report(conn, frame.as<protocol::Report>());
+    case protocol::FrameType::kBye:
+      conn->orderly = true;
+      close_connection(conn, /*orderly=*/true);
+      return false;
+    case protocol::FrameType::kHelloAck:
+    case protocol::FrameType::kSchedule:
+    case protocol::FrameType::kGrant:
+    case protocol::FrameType::kError:
+      return fail_session(conn, common::StatusCode::kInvalidArgument,
+                          "client sent a server-only frame");
+  }
+  return fail_session(conn, common::StatusCode::kInvalidArgument,
+                      "unknown frame type");
+}
+
+bool Worker::handle_report(Connection* conn, const protocol::Report& report) {
+  if (conn->cluster == nullptr) {
+    return fail_session(conn, common::StatusCode::kInvalidArgument,
+                        "REPORT before HELLO");
+  }
+  Cluster* cluster = conn->cluster;
+  if (conn->has_report || report.slot != cluster->next_slot) {
+    return fail_session(conn, common::StatusCode::kInvalidArgument,
+                        "REPORT out of slot order");
+  }
+  // The Bayes observation of the previous slot's realized saving (§V-D):
+  // feed both estimators, as the emulator does.
+  if (report.has_delta != 0) {
+    conn->gamma.observe(report.observed_delta);
+    conn->nig.observe(report.observed_delta);
+  }
+  if (report.watching == 0) {
+    // The user gave up; it leaves the cluster now so remaining members'
+    // barrier does not wait on it, and BYE follows.
+    cluster->members.erase(conn->hello.user_id);
+    conn->cluster = nullptr;
+    mark_ready_if_barrier_met(cluster);
+    reap_cluster(cluster);
+    return true;
+  }
+  conn->has_report = true;
+  conn->report = report;
+  mark_ready_if_barrier_met(cluster);
+  return true;
+}
+
+// ---- Slot cadence ---------------------------------------------------------
+
+void Worker::mark_ready_if_barrier_met(Cluster* cluster) {
+  if (cluster->queued || cluster->members.empty()) return;
+  // A cluster schedules only once fully assembled — the composition of
+  // slot 0 is fixed by the HELLOs, not by which member's bytes arrived
+  // first.  After assembly, members may only leave (give-up, BYE).
+  if (!cluster->ever_complete) return;
+  for (const auto& [user, member] : cluster->members) {
+    if (!member->has_report) return;
+  }
+  cluster->queued = true;
+  ready_.push_back(cluster);
+}
+
+void Worker::schedule_ready_clusters() {
+  if (ready_.empty()) return;
+  // Stable processing order (map order is by cluster id already, but the
+  // ready list fills in arrival order).
+  std::sort(ready_.begin(), ready_.end(),
+            [](const Cluster* a, const Cluster* b) { return a->id < b->id; });
+  const std::size_t batch = ready_.size();
+  for (std::size_t i = 0; i < batch; ++i) {
+    Cluster* cluster = ready_[i];
+    // `queued` stays set while scheduling: it pins the cluster against
+    // reap_cluster when a member's close fires mid-send.
+    if (!cluster->members.empty()) {
+      schedule_cluster(cluster, overload_rung(batch, i));
+    }
+    cluster->queued = false;
+    reap_cluster(cluster);
+  }
+  ready_.erase(ready_.begin(),
+               ready_.begin() + static_cast<std::ptrdiff_t>(batch));
+}
+
+int Worker::overload_rung(std::size_t batch, std::size_t index) const {
+  if (config_.shed_ready_depth == 0) return -1;
+  if (batch <= config_.shed_ready_depth || index < config_.shed_ready_depth) {
+    return -1;
+  }
+  const bool deep = batch > 2 * config_.shed_ready_depth;
+  return static_cast<int>(deep ? core::DegradationRung::kReplayPrevious
+                               : core::DegradationRung::kWarmRepair);
+}
+
+void Worker::schedule_cluster(Cluster* cluster, int forced_rung) {
+  obs::ScopedTimer timer(schedule_ms_);
+
+  problem_.compute_capacity = config_.slot.compute_capacity;
+  problem_.storage_capacity = config_.slot.storage_capacity_mb;
+  problem_.lambda = config_.slot.lambda;
+  if (problem_.devices.size() > cluster->members.size()) {
+    problem_.devices.resize(cluster->members.size());
+  }
+  order_.clear();
+
+  std::size_t index = 0;
+  for (auto& [user_id, member] : cluster->members) {
+    // Content is a pure function of (seed, user, slot): the same derived
+    // streams the emulator and federation use.
+    common::Rng content_rng =
+        derived_rng(config_.slot.seed, user_id, cluster->next_slot);
+    media::ContentGenerator generator(content_rng());
+    const auto genre =
+        static_cast<media::Genre>(member->hello.genre % media::kGenreCount);
+    generator.generate_into(
+        video_,
+        common::VideoId{
+            static_cast<std::uint32_t>(user_id * 100000u + cluster->next_slot)},
+        genre, config_.slot.chunks_per_slot, member->hello.bitrate_mbps,
+        common::Seconds{config_.slot.chunk_seconds});
+
+    if (index == problem_.devices.size()) problem_.devices.emplace_back();
+    core::DeviceSlotInput& input = problem_.devices[index];
+    input.id = common::DeviceId{static_cast<std::uint32_t>(user_id)};
+    input.power_rates_mw.clear();
+    input.chunk_durations_s.clear();
+    for (const media::VideoChunk& chunk : video_.chunks) {
+      input.power_rates_mw.push_back(
+          rate_estimator_.rate(member->spec, chunk).value);
+      input.chunk_durations_s.push_back(chunk.duration.value);
+    }
+    input.battery_capacity_mwh = member->hello.battery_capacity_mwh;
+    input.initial_energy_mwh = member->report.battery_fraction *
+                               member->hello.battery_capacity_mwh *
+                               config_.slot.effective_capacity_scale;
+    input.gamma = member->gamma.expected_gamma();
+    input.compute_cost = resources_.compute_cost(member->spec, video_);
+    input.storage_cost = resources_.storage_cost(video_);
+    input.sla_weight = 1.0;
+
+    order_.push_back(member);
+    ++index;
+  }
+
+  core::RunContext ctx =
+      context_.with_slot(static_cast<std::int64_t>(cluster->next_slot));
+  if (config_.slot.warm_start) {
+    ctx = ctx.with_solve_cache(&cluster->cache, cluster->id);
+  }
+  core::SlotDeadline deadline = config_.deadline;
+  if (forced_rung >= 0 &&
+      (deadline.force_rung < 0 || forced_rung > deadline.force_rung)) {
+    deadline.force_rung = forced_rung;
+    counters_.add(kShed);
+  }
+  ctx = ctx.with_deadline(deadline);
+
+  const core::Schedule schedule = scheduler_.schedule(problem_, ctx);
+  counters_.add(kSlots);
+
+  const auto selected = static_cast<std::uint32_t>(schedule.selected_count());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    Connection* member = order_[i];
+    const bool transformed = schedule.x[i] != 0;
+
+    protocol::Schedule push;
+    push.slot = cluster->next_slot;
+    push.transform = transformed ? 1 : 0;
+    push.rung = static_cast<std::uint8_t>(schedule.rung);
+    push.expected_gamma = problem_.devices[i].gamma;
+    push.objective = schedule.objective;
+    push.selected_count = selected;
+    push.cluster_devices = static_cast<std::uint32_t>(order_.size());
+
+    protocol::Grant grant;
+    grant.slot = cluster->next_slot;
+    grant.chunks = static_cast<std::uint32_t>(config_.slot.chunks_per_slot);
+    grant.chunk_seconds = config_.slot.chunk_seconds;
+    grant.power_scale = transformed ? 1.0 - problem_.devices[i].gamma : 1.0;
+
+    member->has_report = false;
+    // SCHEDULE and GRANT accumulate back to back in the outbound buffer and
+    // leave in one write(2) — half the syscalls of flushing per frame.
+    if (!queue_frame(member, protocol::make_frame(push))) continue;
+    if (!queue_frame(member, protocol::make_frame(grant))) continue;
+    (void)flush(member);
+  }
+  ++cluster->next_slot;
+}
+
+// ---- Outbound path --------------------------------------------------------
+
+bool Worker::queue_frame(Connection* conn, const protocol::Frame& frame) {
+  protocol::encode_into(frame, conn->outbound);
+  counters_.add(kFramesTx);
+  if (conn->outbound.size() - conn->out_offset >
+      config_.admission.max_outbound_bytes) {
+    // The peer stopped reading; shedding it beats buffering without bound.
+    // Nothing useful can be flushed to a non-reading peer.
+    counters_.add(kBackpressureCloses);
+    close_connection(conn, /*orderly=*/false);
+    return false;
+  }
+  return true;
+}
+
+bool Worker::flush(Connection* conn) {
+  while (conn->out_offset < conn->outbound.size()) {
+    const io::IoResult r =
+        io::write_retry(conn->fd, conn->outbound.data() + conn->out_offset,
+                        conn->outbound.size() - conn->out_offset);
+    if (r.kind == io::IoResult::Kind::kOk) {
+      conn->out_offset += r.count;
+      continue;
+    }
+    if (r.kind == io::IoResult::Kind::kWouldBlock) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        (void)loop_->modify(conn->fd, true, true);
+      }
+      return true;
+    }
+    close_connection(conn, /*orderly=*/false);
+    return false;
+  }
+  conn->outbound.clear();
+  conn->out_offset = 0;
+  if (conn->close_after_flush) {
+    close_connection(conn, conn->orderly);
+    return false;
+  }
+  if (conn->want_write) {
+    conn->want_write = false;
+    (void)loop_->modify(conn->fd, true, false);
+  }
+  return true;
+}
+
+bool Worker::fail_session(Connection* conn, common::StatusCode code,
+                          std::string message) {
+  counters_.add(kProtocolErrors);
+  protocol::Error error;
+  error.code = static_cast<std::uint8_t>(code);
+  error.message = std::move(message);
+  protocol::encode_into(protocol::make_frame(error), conn->outbound);
+  conn->close_after_flush = true;
+  flush(conn);  // closes on full flush; waits for writability otherwise
+  return false;
+}
+
+void Worker::close_connection(Connection* conn, bool orderly) {
+  if (conn->cluster != nullptr) {
+    Cluster* cluster = conn->cluster;
+    cluster->members.erase(conn->hello.user_id);
+    conn->cluster = nullptr;
+    // Remaining members may now satisfy the barrier without the leaver.
+    mark_ready_if_barrier_met(cluster);
+    reap_cluster(cluster);
+  }
+  if (orderly) counters_.add(kCompleted);
+  (void)loop_->remove(conn->fd);
+  io::close_fd(conn->fd);
+  connections_.erase(conn->fd);
+  pool_.release(conn);
+  control_.open_connections.fetch_sub(1);
+}
+
+void Worker::reap_cluster(Cluster* cluster) {
+  if (cluster->members.empty() && !cluster->queued) {
+    clusters_.erase(cluster->id);
+  }
+}
+
+}  // namespace lpvs::server::internal

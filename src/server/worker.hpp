@@ -1,0 +1,244 @@
+// Internal machinery of the multi-reactor EdgeServerDaemon: the worker
+// reactor, the dispatcher→worker handoff record, the shared control block,
+// and the thread-local counter slabs the metrics fold reads.
+//
+// This header is private to src/server — the public surface is server.hpp.
+//
+// Share-nothing layout: each Worker owns an event loop, the connections of
+// its shard, the clusters those connections form (barrier state + solve
+// cache), a connection pool, and slot-problem scratch buffers.  The only
+// cross-thread traffic is the SPSC handoff ring (dispatcher → worker), the
+// wake pipes, and a handful of shared atomics (session count, drain/stop
+// flags).  Everything on the per-frame path is thread-local.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lpvs/bayes/gamma_estimator.hpp"
+#include "lpvs/bayes/nig_estimator.hpp"
+#include "lpvs/common/pool.hpp"
+#include "lpvs/common/ring.hpp"
+#include "lpvs/common/rng.hpp"
+#include "lpvs/core/run_context.hpp"
+#include "lpvs/core/scheduler.hpp"
+#include "lpvs/core/slot_problem.hpp"
+#include "lpvs/display/display.hpp"
+#include "lpvs/media/video.hpp"
+#include "lpvs/obs/metrics.hpp"
+#include "lpvs/server/config.hpp"
+#include "lpvs/server/event_loop.hpp"
+#include "lpvs/server/protocol.hpp"
+#include "lpvs/solver/solve_cache.hpp"
+#include "lpvs/transform/transform.hpp"
+
+namespace lpvs::server::internal {
+
+/// Same derived-stream construction as the emulator and federation: all
+/// per-(entity, slot) randomness is a pure function of (seed, entity, slot),
+/// so the daemon's slot problems are independent of socket interleaving —
+/// and of which worker serves the cluster.
+inline common::Rng derived_rng(std::uint64_t seed, std::uint64_t a,
+                               std::uint64_t b) {
+  return common::Rng(seed ^ (a + 1) * 0x9E3779B97F4A7C15ULL ^
+                     (b + 1) * 0xC2B2AE3D27D4EB4FULL);
+}
+
+inline constexpr std::uint64_t kDeviceSalt = 0xD15CuLL;
+
+/// Everything the daemon counts, indexed so the fold loop is table-driven.
+enum CounterId : int {
+  kAccepted = 0,
+  kAdmissionRejects,
+  kDecodeErrors,
+  kProtocolErrors,
+  kBackpressureCloses,
+  kFramesRx,
+  kFramesTx,
+  kSlots,
+  kCompleted,
+  kForcedCloses,
+  kShed,
+  kHandoffs,
+  kNumCounters,
+};
+
+struct CounterSpec {
+  const char* name;
+  const char* help;
+};
+
+/// Registry names for each CounterId, in enum order.
+const std::array<CounterSpec, kNumCounters>& counter_specs();
+
+/// One thread's counter slab.  The owning thread adds with relaxed atomics
+/// (no contention: one writer); the fold reads the live values and tracks
+/// what it already pushed into the registry in `published` (guarded by the
+/// daemon's fold mutex).
+struct LocalCounters {
+  std::array<std::atomic<long>, kNumCounters> value{};
+  std::array<long, kNumCounters> published{};
+
+  void add(CounterId id, long delta = 1) {
+    value[static_cast<std::size_t>(id)].fetch_add(delta,
+                                                  std::memory_order_relaxed);
+  }
+};
+
+/// What the dispatcher hands a worker: an admitted socket, its validated
+/// HELLO, and whatever bytes followed the HELLO in the receive buffer.
+struct ConnectionHandoff {
+  int fd = -1;
+  protocol::Hello hello{};
+  std::vector<std::uint8_t> leftover;
+};
+
+/// Control state shared by the dispatcher and every worker.
+struct SharedControl {
+  /// Every accepted-and-not-yet-closed socket, wherever it currently lives
+  /// (dispatcher pending list, handoff ring, or a worker).  The admission
+  /// check and the active-sessions gauge read it.
+  std::atomic<long> open_connections{0};
+  std::atomic<bool> draining{false};
+  std::atomic<bool> stopping{false};
+  /// Set (release) by the dispatcher after its last possible ring push;
+  /// workers acquire-load it before judging their ring empty.
+  std::atomic<bool> dispatcher_done{false};
+  std::atomic<bool> drain_forced{false};
+  /// Written before `draining` is released; read after it is acquired.
+  std::chrono::steady_clock::time_point drain_deadline{};
+};
+
+/// One worker reactor: an event-loop thread owning a shard of connections.
+class Worker {
+ public:
+  /// `config`, `scheduler`, `control`, and whatever `context` points at must
+  /// outlive the worker.  `schedule_ms` may be null (no timing).
+  Worker(const ServerConfig& config, const core::Scheduler& scheduler,
+         const core::RunContext& context, SharedControl& control,
+         obs::Histogram* schedule_ms);
+  ~Worker();
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  common::Status start();
+  void wake();
+  void join();
+
+  /// Dispatcher thread only (single producer).  False = ring full; the
+  /// caller keeps the handoff and rejects the session.  wake() after.
+  bool submit(ConnectionHandoff&& handoff) {
+    return ring_.try_push(std::move(handoff));
+  }
+
+  /// After join(): closes any handoffs stranded in the ring by an immediate
+  /// stop.  Returns how many sockets were cut.
+  long close_abandoned();
+
+  LocalCounters& counters() { return counters_; }
+
+ private:
+  struct Cluster;
+
+  /// Pooled per-session state.  reset() restores as-new while keeping the
+  /// decoder and outbound buffer capacity — steady state recycles these
+  /// without touching the allocator.
+  struct Connection {
+    int fd = -1;
+    protocol::FrameDecoder decoder;
+
+    std::vector<std::uint8_t> outbound;
+    std::size_t out_offset = 0;
+    bool want_write = false;
+    bool close_after_flush = false;
+    bool orderly = false;  ///< reached BYE; counted as completed on close
+
+    protocol::Hello hello{};
+    display::DisplaySpec spec{};
+    bayes::GammaEstimator gamma{};
+    bayes::NigGammaEstimator nig{};
+    Cluster* cluster = nullptr;
+    bool has_report = false;
+    protocol::Report report{};
+
+    void reset() {
+      fd = -1;
+      decoder.reset();
+      outbound.clear();
+      out_offset = 0;
+      want_write = false;
+      close_after_flush = false;
+      orderly = false;
+      hello = {};
+      gamma = {};
+      nig = {};
+      cluster = nullptr;
+      has_report = false;
+    }
+  };
+
+  struct Cluster {
+    std::uint64_t id = 0;
+    std::uint32_t expected_size = 0;
+    std::uint32_t next_slot = 0;
+    /// Membership in user-id order: the slot problem's device order, which
+    /// is what keeps schedules independent of connection arrival order.
+    std::map<std::uint64_t, Connection*> members;
+    solver::SolveCache cache;
+    bool ever_complete = false;
+    bool queued = false;  ///< already in this batch's ready list
+  };
+
+  void run();
+  void drain_wake_pipe();
+  void adopt_pending();
+  void adopt(ConnectionHandoff&& handoff);
+  void handle_readable(Connection* conn);
+  bool handle_frame(Connection* conn, const protocol::Frame& frame);
+  bool handle_report(Connection* conn, const protocol::Report& report);
+  void mark_ready_if_barrier_met(Cluster* cluster);
+  void schedule_ready_clusters();
+  int overload_rung(std::size_t batch, std::size_t index) const;
+  void schedule_cluster(Cluster* cluster, int forced_rung);
+  bool queue_frame(Connection* conn, const protocol::Frame& frame);
+  bool flush(Connection* conn);
+  bool fail_session(Connection* conn, common::StatusCode code,
+                    std::string message);
+  void close_connection(Connection* conn, bool orderly);
+  void reap_cluster(Cluster* cluster);
+
+  const ServerConfig& config_;
+  const core::Scheduler& scheduler_;
+  core::RunContext context_;
+  SharedControl& control_;
+  obs::Histogram* schedule_ms_ = nullptr;
+  LocalCounters counters_;
+
+  common::SpscRing<ConnectionHandoff> ring_;
+  int wake_pipe_[2] = {-1, -1};
+  std::unique_ptr<EventLoop> loop_;
+  std::thread thread_;
+
+  common::ObjectPool<Connection> pool_;
+  std::map<int, Connection*> connections_;  ///< fd → pooled session
+  std::map<std::uint64_t, std::unique_ptr<Cluster>> clusters_;
+  std::vector<Cluster*> ready_;
+
+  media::PowerRateEstimator rate_estimator_;
+  transform::ResourceModel resources_;
+
+  // Slot-problem scratch, reused across every (cluster, slot): the inner
+  // vectors keep their capacity, so steady-state assembly allocates nothing.
+  core::SlotProblem problem_;
+  std::vector<Connection*> order_;
+  media::Video video_;
+};
+
+}  // namespace lpvs::server::internal

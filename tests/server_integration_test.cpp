@@ -78,7 +78,7 @@ TEST(ServingIntegration, PayloadsBitIdenticalAcrossThreadCounts) {
   // socket interleaving.
   const auto digests_at = [](std::uint32_t threads) {
     server::ServerConfig server_config;
-    server_config.seed = 21;
+    server_config.slot.seed = 21;
     loadgen::LoadGenConfig load;
     load.clusters = 8;
     load.cluster_size = 8;
@@ -97,7 +97,7 @@ TEST(ServingIntegration, PayloadsBitIdenticalAcrossThreadCounts) {
 TEST(ServingIntegration, PayloadsBitIdenticalAcrossRuns) {
   const auto digests = [] {
     server::ServerConfig server_config;
-    server_config.seed = 5;
+    server_config.slot.seed = 5;
     loadgen::LoadGenConfig load;
     load.clusters = 4;
     load.cluster_size = 4;

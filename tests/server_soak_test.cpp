@@ -21,8 +21,9 @@ const survey::AnxietyModel& anxiety() {
 
 TEST(ServerSoak, TwoHundredFiftySixClientsTwoHundredSlots) {
   const core::LpvsScheduler scheduler;
-  server::ServerConfig server_config;
-  server_config.seed = 99;
+  // Multi-reactor configuration: 4 worker shards under the soak load.
+  const server::ServerConfig server_config =
+      server::ServerConfig{}.with_seed(99).with_workers(4);
   server::EdgeServerDaemon daemon(server_config, scheduler,
                                   core::RunContext(anxiety()));
   ASSERT_TRUE(daemon.start().ok());

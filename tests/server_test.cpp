@@ -246,7 +246,7 @@ TEST(EdgeServerDaemon, ClusterBarrierWaitsForAllMembers) {
 
 TEST(EdgeServerDaemon, AdmissionControlRejectsPastCapacity) {
   server::ServerConfig config;
-  config.max_sessions = 1;
+  config.admission.max_sessions = 1;
   server::EdgeServerDaemon daemon(config, scheduler(),
                                   core::RunContext(anxiety()));
   ASSERT_TRUE(daemon.start().ok());
@@ -316,7 +316,7 @@ TEST(EdgeServerDaemon, MalformedFrameDropsConnectionServerSurvives) {
 
 TEST(EdgeServerDaemon, BackpressureClosesNonReadingPeer) {
   server::ServerConfig config;
-  config.max_outbound_bytes = 1;  // any queued frame trips the bound
+  config.admission.max_outbound_bytes = 1;  // any queued frame trips the bound
   server::EdgeServerDaemon daemon(config, scheduler(),
                                   core::RunContext(anxiety()));
   ASSERT_TRUE(daemon.start().ok());
@@ -352,7 +352,7 @@ TEST(EdgeServerDaemon, ReportBeforeHelloIsAProtocolError) {
 
 TEST(EdgeServerDaemon, PollBackendServesEndToEnd) {
   server::ServerConfig config;
-  config.backend = server::EventLoop::Backend::kPoll;
+  config.listener.backend = server::EventLoop::Backend::kPoll;
   server::EdgeServerDaemon daemon(config, scheduler(),
                                   core::RunContext(anxiety()));
   ASSERT_TRUE(daemon.start().ok());
