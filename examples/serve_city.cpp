@@ -24,11 +24,14 @@ int main() {
 
   // (1) The daemon: scheduler + anxiety model behind a socket front end.
   const survey::AnxietyModel anxiety = survey::AnxietyModel::reference();
-  const core::LpvsScheduler scheduler;
   obs::MetricsRegistry registry;
 
   const server::ServerConfig server_config =
       server::ServerConfig{}.with_seed(42).with_workers(2);
+  // Honor the config's solver knobs (lp_engine) when building the
+  // scheduler the daemon serves with.
+  const core::LpvsScheduler scheduler(
+      core::scheduler_options_for(server_config.slot));
   server::EdgeServerDaemon daemon(
       server_config, scheduler,
       core::RunContext(anxiety).with_metrics(&registry));

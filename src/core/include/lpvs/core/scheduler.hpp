@@ -18,6 +18,7 @@
 
 #include "lpvs/core/run_context.hpp"
 #include "lpvs/core/slot_problem.hpp"
+#include "lpvs/core/slot_problem_config.hpp"
 #include "lpvs/solver/ilp.hpp"
 #include "lpvs/survey/lba_curve.hpp"
 
@@ -88,7 +89,12 @@ solver::BinaryProgram phase1_program(const SlotProblem& problem);
 /// B&B settings tuned for per-slot scheduling: a bounded node budget and a
 /// 0.001% relative optimality gap, so the solver never chases ties through
 /// an exponential frontier of equivalent optima inside a 5-minute slot.
+/// The zero-argument form selects the revised/dual-simplex engine — the
+/// serving hot path; pass solver::LpEngine::kDense to pin the historical
+/// oracle instead.
 solver::BranchAndBoundSolver::Options scheduler_ilp_defaults();
+solver::BranchAndBoundSolver::Options scheduler_ilp_defaults(
+    solver::LpEngine engine);
 
 /// The paper's two-phase heuristic (SV-C).
 class LpvsScheduler : public Scheduler {
@@ -128,6 +134,12 @@ class LpvsScheduler : public Scheduler {
 
   Options options_;
 };
+
+/// LpvsScheduler options honoring a SlotProblemConfig's solver knobs
+/// (lp_engine today); the subsystem configs that embed SlotProblemConfig
+/// construct their schedulers through this so the engine choice actually
+/// reaches the solver.
+LpvsScheduler::Options scheduler_options_for(const SlotProblemConfig& config);
 
 /// x = 0 everywhere: conventional streaming without LPVS.
 class NoTransformScheduler : public Scheduler {

@@ -21,6 +21,8 @@
 
 #include <cstdint>
 
+#include "lpvs/solver/lp.hpp"
+
 namespace lpvs::core {
 
 struct SlotProblemConfig {
@@ -45,6 +47,15 @@ struct SlotProblemConfig {
   /// ties resolve to and the nodes explored, never the objective achieved;
   /// off reproduces the historical every-solve-cold behavior exactly.
   bool warm_start = true;
+  /// Which LP relaxation engine drives the per-slot B&B.  kRevised (the
+  /// default) presolves, re-solves each node dually from its parent basis,
+  /// and reuses the previous slot's root basis across coefficient deltas;
+  /// kDense is the historical from-scratch simplex kept as the
+  /// differential oracle.  Objectives are engine-independent (the
+  /// differential tests enforce it); node counts and tie-broken
+  /// assignments are not, so the engine is part of the solve-budget
+  /// fingerprint (solver::budget_fingerprint).
+  solver::LpEngine lp_engine = solver::LpEngine::kRevised;
 
   SlotProblemConfig with_compute_capacity(double v) const {
     SlotProblemConfig c = *this;
@@ -84,6 +95,11 @@ struct SlotProblemConfig {
   SlotProblemConfig with_warm_start(bool v) const {
     SlotProblemConfig c = *this;
     c.warm_start = v;
+    return c;
+  }
+  SlotProblemConfig with_lp_engine(solver::LpEngine v) const {
+    SlotProblemConfig c = *this;
+    c.lp_engine = v;
     return c;
   }
 };

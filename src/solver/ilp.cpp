@@ -4,8 +4,12 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <vector>
+
+#include "lpvs/solver/presolve.hpp"
+#include "lpvs/solver/revised_lp.hpp"
 
 namespace lpvs::solver {
 namespace {
@@ -191,17 +195,23 @@ IlpSolution ExhaustiveSolver::solve(const BinaryProgram& problem) const {
 }
 
 IlpSolution BranchAndBoundSolver::solve(const BinaryProgram& problem) const {
-  return solve_impl(problem, nullptr);
+  return solve_impl(problem, nullptr, nullptr);
 }
 
 IlpSolution BranchAndBoundSolver::solve(
     const BinaryProgram& problem, const std::vector<int>& incumbent) const {
-  return solve_impl(problem, &incumbent);
+  return solve_impl(problem, &incumbent, nullptr);
+}
+
+IlpSolution BranchAndBoundSolver::solve_with_memory(
+    const BinaryProgram& problem, const std::vector<int>* incumbent,
+    BasisHint* basis_memory) const {
+  return solve_impl(problem, incumbent, basis_memory);
 }
 
 common::StatusOr<IlpSolution> BranchAndBoundSolver::try_solve(
     const BinaryProgram& problem) const {
-  IlpSolution solution = solve_impl(problem, nullptr);
+  IlpSolution solution = solve_impl(problem, nullptr, nullptr);
   if (common::Status status = to_status(solution.status); !status.ok()) {
     return status;
   }
@@ -210,7 +220,7 @@ common::StatusOr<IlpSolution> BranchAndBoundSolver::try_solve(
 
 common::StatusOr<IlpSolution> BranchAndBoundSolver::try_solve(
     const BinaryProgram& problem, const std::vector<int>& incumbent) const {
-  IlpSolution solution = solve_impl(problem, &incumbent);
+  IlpSolution solution = solve_impl(problem, &incumbent, nullptr);
   if (common::Status status = to_status(solution.status); !status.ok()) {
     return status;
   }
@@ -218,6 +228,18 @@ common::StatusOr<IlpSolution> BranchAndBoundSolver::try_solve(
 }
 
 IlpSolution BranchAndBoundSolver::solve_impl(
+    const BinaryProgram& problem, const std::vector<int>* incumbent,
+    BasisHint* basis_memory) const {
+  if (options_.engine == LpEngine::kRevised) {
+    return solve_revised(problem, incumbent, basis_memory);
+  }
+  if (basis_memory != nullptr) {
+    *basis_memory = BasisHint{};  // dense solves carry no basis forward
+  }
+  return solve_dense(problem, incumbent);
+}
+
+IlpSolution BranchAndBoundSolver::solve_dense(
     const BinaryProgram& problem, const std::vector<int>* incumbent) const {
   const std::size_t n = problem.num_vars();
   const std::size_t m = problem.rows.size();
@@ -340,6 +362,241 @@ IlpSolution BranchAndBoundSolver::solve_impl(
         exhausted_within_limit ? IlpStatus::kOptimal : IlpStatus::kFeasible;
   }
   return best;
+}
+
+IlpSolution BranchAndBoundSolver::solve_revised(
+    const BinaryProgram& problem, const std::vector<int>* incumbent,
+    BasisHint* basis_memory) const {
+  const std::size_t n = problem.num_vars();
+  const double tol = options_.tolerance;
+  IlpSolution out;
+
+  PresolveResult pre = presolve_binary_program(problem, tol);
+  if (pre.malformed) {
+    out.status = IlpStatus::kMalformed;
+    return out;
+  }
+  if (pre.infeasible) {
+    // Some rhs < -tol: even the all-zeros point violates a row.  Report it
+    // immediately — in particular a budget-truncated solve must say
+    // kInfeasible here, never hand back a stale incumbent.
+    out.status = IlpStatus::kInfeasible;
+    out.x.assign(n, 0);
+    out.nodes_explored = 0;
+    if (basis_memory != nullptr) *basis_memory = BasisHint{};
+    return out;
+  }
+
+  const BinaryProgram& red = pre.reduced;
+  const std::size_t rn = red.num_vars();
+  const std::size_t rm = red.rows.size();
+
+  if (rn == 0) {
+    // Presolve decided everything.
+    out.x = expand_solution(pre, {});
+    out.objective = problem.value(out.x);
+    out.nodes_explored = 0;
+    out.status = problem.feasible(out.x) ? IlpStatus::kOptimal
+                                         : IlpStatus::kInfeasible;
+    if (basis_memory != nullptr) *basis_memory = BasisHint{};
+    return out;
+  }
+
+  // Incumbent seeding in reduced space.  A feasible full-space incumbent
+  // projects to a reduced-feasible point (fixed-to-one variables have zero
+  // coefficients on every active row), and the projection never loses
+  // objective: fix-0 strips only non-positive or infeasible entries and
+  // fix-1 only adds profitable ones.
+  IlpSolution best_r;
+  bool seeded = false;
+  if (incumbent != nullptr && incumbent->size() == n &&
+      problem.feasible(*incumbent)) {
+    std::vector<int> projected(rn, 0);
+    for (std::size_t r = 0; r < rn; ++r) {
+      projected[r] = (*incumbent)[pre.var_map[r]];
+    }
+    if (red.feasible(projected)) {
+      best_r.x = std::move(projected);
+      best_r.objective = red.value(best_r.x);
+      best_r.status = IlpStatus::kFeasible;
+      seeded = true;
+    }
+  }
+  if (!seeded) best_r = GreedySolver().solve(red);
+
+  // The relaxation engine holds the reduced problem once; branch fixings
+  // are bound overrides, never a rebuild.
+  LpProblem lp;
+  lp.objective = red.objective;
+  lp.rows = red.rows;
+  lp.rhs = red.rhs;
+  lp.upper.assign(rn, 1.0);
+  RevisedLpSolver::Options lp_options;
+  lp_options.max_iterations = options_.lp.max_iterations;
+  lp_options.tolerance = options_.lp.tolerance;
+  RevisedLpSolver engine(lp_options);
+  if (!engine.load(lp)) {
+    out.status = IlpStatus::kMalformed;
+    return out;
+  }
+
+  // Cross-solve root-basis memory: valid only when the caller's previous
+  // solve presolved to the same variable/row maps (coefficient values may
+  // differ arbitrarily — that delta is what the dual re-solve absorbs).
+  const bool reuse_memory = basis_memory != nullptr &&
+                            !basis_memory->empty() &&
+                            basis_memory->var_map == pre.var_map &&
+                            basis_memory->row_map == pre.row_map;
+
+  // LP-guided rounding over the reduced space (mirror of the dense
+  // engine's try_round).
+  auto try_round = [&](const Fixing& fixing, const std::vector<double>& lp_x) {
+    std::vector<int> candidate(rn, 0);
+    std::vector<double> used(rm, 0.0);
+    auto fits = [&](std::size_t j) {
+      for (std::size_t i = 0; i < rm; ++i) {
+        if (used[i] + red.rows[i][j] > red.rhs[i] + 1e-9) return false;
+      }
+      return true;
+    };
+    auto take = [&](std::size_t j) {
+      candidate[j] = 1;
+      for (std::size_t i = 0; i < rm; ++i) used[i] += red.rows[i][j];
+    };
+    std::vector<std::pair<double, std::size_t>> rest;
+    for (std::size_t j = 0; j < rn; ++j) {
+      if (fixing[j] == 1) {
+        take(j);  // fixed by the node, feasible by construction
+      } else if (fixing[j] == -1) {
+        if (lp_x[j] > 1.0 - 1e-6) {
+          if (fits(j)) take(j);
+        } else if (lp_x[j] > 1e-9 && red.objective[j] > 0.0) {
+          rest.emplace_back(lp_x[j] * red.objective[j], j);
+        }
+      }
+    }
+    std::sort(rest.begin(), rest.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [score, j] : rest) {
+      if (fits(j)) take(j);
+    }
+    const double value = red.value(candidate);
+    if (value > best_r.objective + tol && red.feasible(candidate)) {
+      best_r.objective = value;
+      best_r.x = std::move(candidate);
+    }
+  };
+
+  // Best-first node heap: highest parent bound first, FIFO (sequence
+  // number) among ties so exploration order — and with it the node count —
+  // is a pure function of the input.
+  struct HeapNode {
+    double bound;
+    std::uint64_t seq;
+    Fixing fixing;
+    std::shared_ptr<const SimplexBasis> parent_basis;
+  };
+  auto heap_before = [](const HeapNode& a, const HeapNode& b) {
+    if (a.bound != b.bound) return a.bound < b.bound;
+    return a.seq > b.seq;  // max-heap: lower seq pops first on bound ties
+  };
+  std::vector<HeapNode> heap;
+  std::uint64_t next_seq = 0;
+  heap.push_back(HeapNode{std::numeric_limits<double>::infinity(), next_seq++,
+                          Fixing(rn, -1), nullptr});
+
+  long nodes = 0;
+  bool exhausted_within_limit = true;
+  bool root = true;
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_before);
+    HeapNode node = std::move(heap.back());
+    heap.pop_back();
+
+    const double prune_margin =
+        std::max(tol, options_.relative_gap * std::fabs(best_r.objective));
+    if (node.bound <= best_r.objective + prune_margin) {
+      continue;  // stale: incumbent moved past it while queued (not counted)
+    }
+    if (nodes >= options_.max_nodes) {
+      exhausted_within_limit = false;
+      break;
+    }
+    ++nodes;
+
+    engine.reset_bounds();
+    for (std::size_t j = 0; j < rn; ++j) {
+      if (node.fixing[j] != -1) {
+        const double v = node.fixing[j] == 1 ? 1.0 : 0.0;
+        engine.set_bounds(j, v, v);
+      }
+    }
+    LpSolution relaxed;
+    if (node.parent_basis != nullptr) {
+      relaxed = engine.resolve(*node.parent_basis);
+    } else if (root && reuse_memory) {
+      relaxed = engine.resolve(basis_memory->basis);
+    } else {
+      relaxed = engine.solve();
+    }
+    if (root) {
+      root = false;
+      if (basis_memory != nullptr) {
+        if (relaxed.optimal()) {
+          *basis_memory =
+              BasisHint{engine.basis(), pre.var_map, pre.row_map};
+        } else {
+          *basis_memory = BasisHint{};
+        }
+      }
+    }
+    if (!relaxed.optimal()) continue;  // infeasible/limit: prune (counted)
+    const double bound = relaxed.objective;
+    if (bound <= best_r.objective + prune_margin) continue;
+
+    try_round(node.fixing, relaxed.x);
+    if (bound <= best_r.objective + prune_margin) continue;
+
+    // Most fractional variable, lowest index on ties.
+    std::ptrdiff_t branch_var = -1;
+    double best_fractionality = tol;
+    for (std::size_t j = 0; j < rn; ++j) {
+      if (node.fixing[j] != -1) continue;
+      const double frac = std::fabs(relaxed.x[j] - std::round(relaxed.x[j]));
+      if (frac > best_fractionality) {
+        best_fractionality = frac;
+        branch_var = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+    if (branch_var < 0) continue;  // integral: try_round already recorded it
+
+    // Children inherit this node's optimal basis — one refactorization and
+    // typically a couple of dual pivots each instead of a cold solve.
+    auto basis = std::make_shared<const SimplexBasis>(engine.basis());
+    const auto bv = static_cast<std::size_t>(branch_var);
+    HeapNode up{bound, next_seq++, node.fixing, basis};
+    up.fixing[bv] = 1;
+    HeapNode down{bound, next_seq++, std::move(node.fixing), basis};
+    down.fixing[bv] = 0;
+    heap.push_back(std::move(up));
+    std::push_heap(heap.begin(), heap.end(), heap_before);
+    heap.push_back(std::move(down));
+    std::push_heap(heap.begin(), heap.end(), heap_before);
+  }
+
+  out.x = expand_solution(pre, best_r.x);
+  out.objective = problem.value(out.x);
+  out.nodes_explored = nodes;
+  if (!problem.feasible(out.x)) {
+    // Only reachable in the rhs-within-tolerance gray zone where presolve
+    // accepts a row that feasible() rejects; mirror the dense verdict.
+    out.status = IlpStatus::kInfeasible;
+  } else {
+    out.status =
+        exhausted_within_limit ? IlpStatus::kOptimal : IlpStatus::kFeasible;
+  }
+  return out;
 }
 
 }  // namespace lpvs::solver

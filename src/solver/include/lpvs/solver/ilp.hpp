@@ -14,6 +14,7 @@
 
 #include "lpvs/common/status.hpp"
 #include "lpvs/solver/lp.hpp"
+#include "lpvs/solver/revised_lp.hpp"
 
 namespace lpvs::solver {
 
@@ -61,8 +62,23 @@ struct IlpSolution {
   bool optimal() const { return status == IlpStatus::kOptimal; }
 };
 
-/// Exact branch-and-bound with LP bounding, depth-first, branch-up-first,
-/// most-fractional branching, greedy warm start.
+/// Exact branch-and-bound with LP bounding, most-fractional branching, and
+/// a greedy warm start.  Two relaxation engines (see LpEngine):
+///
+///   kDense    depth-first, branch-up-first, per-node dense LP from
+///             scratch — the historical path, kept bit-for-bit as the
+///             differential oracle.
+///   kRevised  presolve + best-first node heap + per-node dual-simplex
+///             re-solve from the parent basis (RevisedLpSolver), with
+///             optional cross-solve root-basis memory (BasisHint).
+///
+/// Both engines are deterministic: node counts and objectives are pure
+/// functions of (problem, options, incumbent, basis memory) — no wall
+/// clocks, no thread-count dependence — which is what keeps SolveCache
+/// budget fingerprints and the degradation ladder's node budgets stable.
+/// The returned objective additionally never depends on the incumbent or
+/// the basis memory (they only steer pruning); the differential tests
+/// enforce this.
 class BranchAndBoundSolver {
  public:
   struct Options {
@@ -73,6 +89,10 @@ class BranchAndBoundSolver {
     /// positive gap (e.g. 1e-5) to avoid chasing ties through an
     /// exponential frontier of equivalent optima.
     double relative_gap = 0.0;
+    /// Which per-node relaxation engine to run.  Defaults to the dense
+    /// oracle; scheduler_ilp_defaults() selects kRevised for the serving
+    /// hot path.
+    LpEngine engine = LpEngine::kDense;
     LpSolver::Options lp;
   };
 
@@ -99,9 +119,25 @@ class BranchAndBoundSolver {
   common::StatusOr<IlpSolution> try_solve(
       const BinaryProgram& problem, const std::vector<int>& incumbent) const;
 
+  /// Full-control solve: optional warm incumbent (nullptr for greedy) plus
+  /// optional cross-solve basis memory.  With the revised engine,
+  /// `basis_memory` seeds the root relaxation when its presolve maps match
+  /// this problem's, and is overwritten with this solve's root basis for
+  /// the next slot; with the dense engine it is cleared.  Results never
+  /// depend on the memory's content — only the pivot path does.
+  IlpSolution solve_with_memory(const BinaryProgram& problem,
+                                const std::vector<int>* incumbent,
+                                BasisHint* basis_memory) const;
+
  private:
   IlpSolution solve_impl(const BinaryProgram& problem,
-                         const std::vector<int>* incumbent) const;
+                         const std::vector<int>* incumbent,
+                         BasisHint* basis_memory) const;
+  IlpSolution solve_dense(const BinaryProgram& problem,
+                          const std::vector<int>* incumbent) const;
+  IlpSolution solve_revised(const BinaryProgram& problem,
+                            const std::vector<int>* incumbent,
+                            BasisHint* basis_memory) const;
 
   Options options_;
 };

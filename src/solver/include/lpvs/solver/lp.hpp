@@ -27,9 +27,10 @@ struct LpProblem {
   std::size_t num_vars() const { return objective.size(); }
   std::size_t num_rows() const { return rows.size(); }
 
-  /// Structural sanity (matching sizes, finite bounds, b >= 0 not required
-  /// but every row must have rhs >= 0 for the trivial slack basis; callers
-  /// with negative rhs must pre-scale).  Asserted by the solver.
+  /// Structural sanity (matching sizes, every row with rhs >= 0 so the
+  /// trivial slack basis is feasible; callers with negative rhs must
+  /// pre-scale or use RevisedLpSolver, which runs its own dual phase 1).
+  /// Upper bounds may be +infinity.  Asserted by the solver.
   bool well_formed() const;
 };
 
@@ -38,9 +39,29 @@ enum class LpStatus {
   kUnbounded,
   kIterationLimit,
   kMalformed,
+  kInfeasible,  ///< no point satisfies the rows within the bounds.  Only the
+                ///< revised engine can report it: the dense solver requires
+                ///< rhs >= 0, which makes the slack basis always feasible.
 };
 
 std::string to_string(LpStatus status);
+
+/// Which LP relaxation engine BranchAndBoundSolver runs per node.
+///
+///   kDense    the historical bounded-variable primal simplex (LpSolver):
+///             every node rebuilds the relaxation and re-inverts the basis
+///             from scratch.  Retained bit-for-bit as the differential
+///             oracle.
+///   kRevised  the revised/dual-simplex engine (RevisedLpSolver): one
+///             factorized basis per solve, per-node dual re-solve from the
+///             parent basis after bound tightening, presolve, best-first
+///             node ordering, and cross-slot root-basis reuse.
+enum class LpEngine : unsigned char {
+  kDense,
+  kRevised,
+};
+
+std::string to_string(LpEngine engine);
 
 /// Canonical-status view of an LP outcome: kOptimal maps to OK,
 /// kIterationLimit to kResourceExhausted (raise Options::max_iterations),

@@ -81,6 +81,11 @@ class SolveCache {
     bool exact_hit = false;      ///< `solution` can be reused verbatim
     IlpSolution solution;        ///< valid when exact_hit
     std::vector<int> incumbent;  ///< repaired warm start; empty = cold
+    /// Root-relaxation basis memory from the stream's previous solve (see
+    /// BasisHint); empty when none was stored.  Feed it back through
+    /// BranchAndBoundSolver::solve_with_memory — the revised engine's
+    /// cross-slot dual re-solve runs off it.
+    BasisHint basis;
   };
 
   SolveCache() = default;
@@ -94,8 +99,13 @@ class SolveCache {
 
   /// Records the solved assignment for stream `key`; ignored unless the
   /// solution is usable as a future incumbent (right size, solved status).
+  /// `basis` optionally attaches the solve's root-relaxation basis memory
+  /// (nullptr or empty clears any stored basis).  Basis memory is
+  /// in-memory only: it never affects results, only the pivot path, so
+  /// checkpoints do not carry it and a failed-over peer simply rebuilds it
+  /// on its first solve.
   void store(std::uint64_t key, std::uint64_t problem_fingerprint,
-             const IlpSolution& solution);
+             const IlpSolution& solution, const BasisHint* basis = nullptr);
 
   /// The raw assignment last stored for stream `key` (empty when none).
   /// The degradation ladder's replay rung reuses it verbatim when there is
@@ -129,6 +139,7 @@ class SolveCache {
   struct Entry {
     std::uint64_t fingerprint = 0;
     IlpSolution solution;
+    BasisHint basis;  ///< in-memory only; not exported/imported
   };
 
   mutable std::mutex mutex_;

@@ -57,7 +57,7 @@ bool LpProblem::well_formed() const {
     if (!(b >= 0.0)) return false;  // slack basis must be feasible
   }
   for (double u : upper) {
-    if (!(u >= 0.0) || !std::isfinite(u)) return false;
+    if (!(u >= 0.0) || std::isnan(u)) return false;  // +inf allowed
   }
   return true;
 }
@@ -72,6 +72,18 @@ std::string to_string(LpStatus status) {
       return "iteration-limit";
     case LpStatus::kMalformed:
       return "malformed";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+  }
+  return "unknown";
+}
+
+std::string to_string(LpEngine engine) {
+  switch (engine) {
+    case LpEngine::kDense:
+      return "dense";
+    case LpEngine::kRevised:
+      return "revised";
   }
   return "unknown";
 }
@@ -86,6 +98,8 @@ common::Status to_status(LpStatus status) {
       return common::Status::ResourceExhausted("simplex iteration limit");
     case LpStatus::kMalformed:
       return common::Status::InvalidArgument("malformed lp problem");
+    case LpStatus::kInfeasible:
+      return common::Status::Infeasible("no point satisfies the lp rows");
   }
   return common::Status::Internal("unknown lp status");
 }

@@ -1,0 +1,495 @@
+#include "lpvs/solver/revised_lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lpvs::solver {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::uint8_t kAtLower = 0;
+constexpr std::uint8_t kAtUpper = 1;
+constexpr std::uint8_t kBasic = 2;
+
+}  // namespace
+
+bool RevisedLpSolver::load(const LpProblem& problem) {
+  const std::size_t n = problem.num_vars();
+  const std::size_t m = problem.num_rows();
+  if (problem.upper.size() != n || problem.rhs.size() != m) return false;
+  for (const auto& row : problem.rows) {
+    if (row.size() != n) return false;
+  }
+  for (double u : problem.upper) {
+    if (std::isnan(u) || !(u >= 0.0)) return false;
+  }
+  for (double b : problem.rhs) {
+    if (!std::isfinite(b)) return false;
+  }
+  n_ = n;
+  m_ = m;
+  total_ = n + m;
+  cols_.assign(n * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cols_[j * m + i] = problem.rows[i][j];
+    }
+  }
+  obj_ = problem.objective;
+  rhs_ = problem.rhs;
+  problem_upper_ = problem.upper;
+  lower_.assign(total_, 0.0);
+  upper_.assign(total_, kInf);
+  for (std::size_t j = 0; j < n; ++j) upper_[j] = problem.upper[j];
+  basis_.assign(m, 0);
+  state_.assign(total_, kAtLower);
+  binv_.assign(m * m, 0.0);
+  xb_.assign(m, 0.0);
+  y_.assign(m, 0.0);
+  w_.assign(m, 0.0);
+  pivots_since_refactor_ = 0;
+  return true;
+}
+
+void RevisedLpSolver::set_bounds(std::size_t var, double lower, double upper) {
+  lower_[var] = lower;
+  upper_[var] = upper;
+}
+
+void RevisedLpSolver::reset_bounds() {
+  for (std::size_t j = 0; j < n_; ++j) {
+    lower_[j] = 0.0;
+    upper_[j] = problem_upper_[j];
+  }
+}
+
+double RevisedLpSolver::column_entry(std::size_t var, std::size_t row) const {
+  if (var < n_) return cols_[var * m_ + row];
+  return var - n_ == row ? 1.0 : 0.0;
+}
+
+double RevisedLpSolver::nonbasic_value(std::size_t var) const {
+  return state_[var] == kAtUpper ? upper_[var] : lower_[var];
+}
+
+void RevisedLpSolver::compute_column(std::size_t var,
+                                     std::vector<double>& w) const {
+  if (var < n_) {
+    const double* col = &cols_[var * m_];
+    for (std::size_t i = 0; i < m_; ++i) {
+      double v = 0.0;
+      const double* brow = &binv_[i * m_];
+      for (std::size_t k = 0; k < m_; ++k) v += brow[k] * col[k];
+      w[i] = v;
+    }
+  } else {
+    const std::size_t r = var - n_;
+    for (std::size_t i = 0; i < m_; ++i) w[i] = binv_[i * m_ + r];
+  }
+}
+
+bool RevisedLpSolver::refactorize() {
+  // Gauss-Jordan inversion of the basis matrix with partial pivoting,
+  // matching the dense solver's invert() numerics.
+  std::vector<double> a(m_ * m_, 0.0);
+  for (std::size_t c = 0; c < m_; ++c) {
+    for (std::size_t i = 0; i < m_; ++i) {
+      a[i * m_ + c] = column_entry(basis_[c], i);
+    }
+  }
+  std::vector<double> inv(m_ * m_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) inv[i * m_ + i] = 1.0;
+  for (std::size_t col = 0; col < m_; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < m_; ++r) {
+      if (std::fabs(a[r * m_ + col]) > std::fabs(a[pivot * m_ + col])) {
+        pivot = r;
+      }
+    }
+    if (std::fabs(a[pivot * m_ + col]) < 1e-12) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < m_; ++c) {
+        std::swap(a[pivot * m_ + c], a[col * m_ + c]);
+        std::swap(inv[pivot * m_ + c], inv[col * m_ + c]);
+      }
+    }
+    const double scale = a[col * m_ + col];
+    for (std::size_t c = 0; c < m_; ++c) {
+      a[col * m_ + c] /= scale;
+      inv[col * m_ + c] /= scale;
+    }
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == col) continue;
+      const double factor = a[r * m_ + col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < m_; ++c) {
+        a[r * m_ + c] -= factor * a[col * m_ + c];
+        inv[r * m_ + c] -= factor * inv[col * m_ + c];
+      }
+    }
+  }
+  binv_ = std::move(inv);
+  pivots_since_refactor_ = 0;
+  return true;
+}
+
+void RevisedLpSolver::compute_basic_values() {
+  // x_B = Binv * (b - sum over nonbasic j of A_j * value_j).
+  std::vector<double> residual = rhs_;
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (state_[j] == kBasic) continue;
+    const double v = nonbasic_value(j);
+    if (v == 0.0) continue;
+    if (j < n_) {
+      const double* col = &cols_[j * m_];
+      for (std::size_t i = 0; i < m_; ++i) residual[i] -= col[i] * v;
+    } else {
+      residual[j - n_] -= v;
+    }
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    double v = 0.0;
+    const double* brow = &binv_[i * m_];
+    for (std::size_t k = 0; k < m_; ++k) v += brow[k] * residual[k];
+    xb_[i] = v;
+  }
+}
+
+void RevisedLpSolver::eta_update(const std::vector<double>& w,
+                                 std::size_t row) {
+  // B^-1 <- E * B^-1 where E is the eta matrix of the pivot column.
+  const double inv_pivot = 1.0 / w[row];
+  double* prow = &binv_[row * m_];
+  for (std::size_t k = 0; k < m_; ++k) prow[k] *= inv_pivot;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (i == row) continue;
+    const double f = w[i];
+    if (f == 0.0) continue;
+    double* irow = &binv_[i * m_];
+    for (std::size_t k = 0; k < m_; ++k) irow[k] -= f * prow[k];
+  }
+  ++pivots_since_refactor_;
+}
+
+bool RevisedLpSolver::primal_feasible() const {
+  const double ftol = options_.tolerance * 100.0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::size_t b = basis_[i];
+    if (xb_[i] < lower_[b] - ftol) return false;
+    if (xb_[i] > upper_[b] + ftol) return false;
+  }
+  return true;
+}
+
+void RevisedLpSolver::compute_y(const std::vector<double>& costs) {
+  for (std::size_t k = 0; k < m_; ++k) y_[k] = 0.0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double cb = costs[basis_[i]];
+    if (cb == 0.0) continue;
+    const double* brow = &binv_[i * m_];
+    for (std::size_t k = 0; k < m_; ++k) y_[k] += cb * brow[k];
+  }
+}
+
+double RevisedLpSolver::reduced_cost(std::size_t var,
+                                     const std::vector<double>& costs) const {
+  double d = costs[var];
+  if (var < n_) {
+    const double* col = &cols_[var * m_];
+    for (std::size_t k = 0; k < m_; ++k) d -= y_[k] * col[k];
+  } else {
+    d -= y_[var - n_];
+  }
+  return d;
+}
+
+std::vector<double> RevisedLpSolver::shifted_costs() {
+  // Cost shifting: subtract each nonbasic variable's dual infeasibility
+  // from its cost so the current basis is dual feasible by construction.
+  // The dual phase then runs under the shifted vector; the infeasibility
+  // certificate it may produce is objective-independent, and the final
+  // primal phase restores the true costs.  When the basis is already dual
+  // feasible (the hot B&B re-solve path) this is the identity.
+  const double tol = options_.tolerance;
+  std::vector<double> costs(total_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j) costs[j] = obj_[j];
+  compute_y(costs);
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (state_[j] == kBasic) continue;
+    const double d = reduced_cost(j, costs);
+    if (state_[j] == kAtLower ? d > tol : d < -tol) costs[j] -= d;
+  }
+  return costs;
+}
+
+LpStatus RevisedLpSolver::primal_phase(const std::vector<double>& costs,
+                                       int& iters) {
+  const double tol = options_.tolerance;
+  int degenerate_streak = 0;
+  while (true) {
+    if (iters >= options_.max_iterations) return LpStatus::kIterationLimit;
+    compute_y(costs);
+
+    // Pricing: Dantzig normally, Bland (lowest index) when degenerate.
+    const bool bland = degenerate_streak > 64;
+    std::ptrdiff_t entering = -1;
+    double best_score = tol;
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (state_[j] == kBasic) continue;
+      if (!(upper_[j] - lower_[j] > 0.0)) continue;  // fixed in place
+      const double d = reduced_cost(j, costs);
+      const bool improving = state_[j] == kAtLower ? d > tol : d < -tol;
+      if (!improving) continue;
+      if (bland) {
+        entering = static_cast<std::ptrdiff_t>(j);
+        break;
+      }
+      if (std::fabs(d) > best_score) {
+        best_score = std::fabs(d);
+        entering = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+    if (entering < 0) return LpStatus::kOptimal;
+    ++iters;
+
+    const auto e = static_cast<std::size_t>(entering);
+    const double sigma = state_[e] == kAtLower ? 1.0 : -1.0;
+    compute_column(e, w_);
+
+    // Ratio test: basic i moves by -sigma * w_i per unit of t.
+    const double span = upper_[e] - lower_[e];
+    double t_max = span;  // bound-flip distance, may be +inf
+    std::ptrdiff_t leaving = -1;
+    bool leaving_to_upper = false;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double delta = -sigma * w_[i];
+      const std::size_t bi = basis_[i];
+      if (delta < -tol) {  // decreases toward its lower bound
+        const double limit = std::max(xb_[i] - lower_[bi], 0.0) / -delta;
+        if (limit < t_max - tol || (limit < t_max + tol && leaving < 0)) {
+          t_max = std::min(t_max, limit);
+          leaving = static_cast<std::ptrdiff_t>(i);
+          leaving_to_upper = false;
+        }
+      } else if (delta > tol) {  // increases toward its upper bound
+        const double hi = upper_[bi];
+        if (!std::isfinite(hi)) continue;
+        const double limit = std::max(hi - xb_[i], 0.0) / delta;
+        if (limit < t_max - tol || (limit < t_max + tol && leaving < 0)) {
+          t_max = std::min(t_max, limit);
+          leaving = static_cast<std::ptrdiff_t>(i);
+          leaving_to_upper = true;
+        }
+      }
+    }
+    if (!std::isfinite(t_max)) return LpStatus::kUnbounded;
+    degenerate_streak = t_max < tol ? degenerate_streak + 1 : 0;
+
+    if (leaving < 0 || (std::isfinite(span) && t_max >= span - tol)) {
+      // Bound flip: the entering variable traverses its whole span.
+      for (std::size_t i = 0; i < m_; ++i) xb_[i] -= sigma * w_[i] * span;
+      state_[e] = state_[e] == kAtLower ? kAtUpper : kAtLower;
+      continue;
+    }
+
+    // Pivot: basis[leaving] exits to a bound, e becomes basic.
+    const auto lrow = static_cast<std::size_t>(leaving);
+    for (std::size_t i = 0; i < m_; ++i) xb_[i] -= sigma * w_[i] * t_max;
+    const double enter_value = nonbasic_value(e) + sigma * t_max;
+    const std::size_t bl = basis_[lrow];
+    state_[bl] = leaving_to_upper ? kAtUpper : kAtLower;
+    basis_[lrow] = static_cast<std::uint32_t>(e);
+    state_[e] = kBasic;
+    xb_[lrow] = enter_value;
+    eta_update(w_, lrow);
+    if (pivots_since_refactor_ >= options_.refactor_interval) {
+      if (!refactorize()) return LpStatus::kMalformed;
+      compute_basic_values();
+    }
+  }
+}
+
+LpStatus RevisedLpSolver::dual_phase(const std::vector<double>& costs,
+                                     int& iters) {
+  const double tol = options_.tolerance;
+  const double ftol = tol * 100.0;
+  int degenerate_streak = 0;
+  while (true) {
+    if (iters >= options_.max_iterations) return LpStatus::kIterationLimit;
+
+    // Leaving: the basic variable with the largest bound violation (lowest
+    // row index under the Bland fallback).
+    const bool bland = degenerate_streak > 64;
+    std::ptrdiff_t r = -1;
+    bool below = false;
+    double worst = ftol;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t b = basis_[i];
+      if (xb_[i] < lower_[b] - ftol) {
+        const double v = lower_[b] - xb_[i];
+        if (v > worst) {
+          worst = v;
+          r = static_cast<std::ptrdiff_t>(i);
+          below = true;
+        }
+      } else if (xb_[i] > upper_[b] + ftol) {
+        const double v = xb_[i] - upper_[b];
+        if (v > worst) {
+          worst = v;
+          r = static_cast<std::ptrdiff_t>(i);
+          below = false;
+        }
+      }
+      if (bland && r >= 0) break;
+    }
+    if (r < 0) return LpStatus::kOptimal;  // primal feasible: phase done
+    ++iters;
+
+    const auto row = static_cast<std::size_t>(r);
+    compute_y(costs);
+    const double* rho = &binv_[row * m_];
+
+    // Entering: dual ratio test over the movable nonbasic candidates whose
+    // pivot direction repairs the violation.  All candidate ratios share a
+    // sign, so min |d/alpha| keeps every reduced cost on its feasible side;
+    // ties prefer larger |alpha| (stability) then lowest index, and the
+    // Bland fallback drops the |alpha| preference.
+    std::ptrdiff_t entering = -1;
+    double best_ratio = 0.0;
+    double best_alpha = 0.0;
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (state_[j] == kBasic) continue;
+      if (!(upper_[j] - lower_[j] > 0.0)) continue;  // fixed: cannot move
+      double alpha;
+      if (j < n_) {
+        const double* col = &cols_[j * m_];
+        alpha = 0.0;
+        for (std::size_t k = 0; k < m_; ++k) alpha += rho[k] * col[k];
+      } else {
+        alpha = rho[j - n_];
+      }
+      const bool candidate =
+          below ? (state_[j] == kAtLower ? alpha < -tol : alpha > tol)
+                : (state_[j] == kAtLower ? alpha > tol : alpha < -tol);
+      if (!candidate) continue;
+      const double ratio = std::fabs(reduced_cost(j, costs) / alpha);
+      const bool better =
+          entering < 0 || ratio < best_ratio - tol ||
+          (!bland && ratio < best_ratio + tol &&
+           std::fabs(alpha) > best_alpha);
+      if (better) {
+        entering = static_cast<std::ptrdiff_t>(j);
+        best_ratio = ratio;
+        best_alpha = std::fabs(alpha);
+      }
+    }
+    if (entering < 0) return LpStatus::kInfeasible;  // Farkas certificate
+
+    const auto e = static_cast<std::size_t>(entering);
+    compute_column(e, w_);
+    const double alpha_e = w_[row];
+    if (std::fabs(alpha_e) < 1e-12) return LpStatus::kMalformed;
+
+    // The leaving variable lands exactly on its violated bound.
+    const std::size_t bl = basis_[row];
+    const double target = below ? lower_[bl] : upper_[bl];
+    const double delta_e = (xb_[row] - target) / alpha_e;
+    const double enter_value = nonbasic_value(e) + delta_e;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      xb_[i] -= w_[i] * delta_e;
+    }
+    state_[bl] = below ? kAtLower : kAtUpper;
+    basis_[row] = static_cast<std::uint32_t>(e);
+    state_[e] = kBasic;
+    xb_[row] = enter_value;
+    eta_update(w_, row);
+    degenerate_streak = best_ratio < tol ? degenerate_streak + 1 : 0;
+    if (pivots_since_refactor_ >= options_.refactor_interval) {
+      if (!refactorize()) return LpStatus::kMalformed;
+      compute_basic_values();
+    }
+  }
+}
+
+LpSolution RevisedLpSolver::run() {
+  int iters = 0;
+  if (!refactorize()) return extract(LpStatus::kMalformed, iters);
+  compute_basic_values();
+  if (!primal_feasible()) {
+    const std::vector<double> costs = shifted_costs();
+    const LpStatus status = dual_phase(costs, iters);
+    if (status != LpStatus::kOptimal) return extract(status, iters);
+  }
+  std::vector<double> costs(total_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j) costs[j] = obj_[j];
+  return extract(primal_phase(costs, iters), iters);
+}
+
+LpSolution RevisedLpSolver::solve() {
+  for (std::size_t j = 0; j < total_; ++j) state_[j] = kAtLower;
+  for (std::size_t i = 0; i < m_; ++i) {
+    basis_[i] = static_cast<std::uint32_t>(n_ + i);
+    state_[n_ + i] = kBasic;
+  }
+  return run();
+}
+
+LpSolution RevisedLpSolver::resolve(const SimplexBasis& from) {
+  if (from.basic.size() != m_ || from.state.size() != total_) return solve();
+  std::size_t basic_count = 0;
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (from.state[j] == kBasic) ++basic_count;
+  }
+  if (basic_count != m_) return solve();
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::uint32_t b = from.basic[i];
+    if (b >= total_ || from.state[b] != kBasic) return solve();
+  }
+  basis_ = from.basic;
+  state_ = from.state;
+  // A nonbasic variable cannot sit at an infinite upper bound.
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (state_[j] == kAtUpper && !std::isfinite(upper_[j])) {
+      state_[j] = kAtLower;
+    }
+  }
+  LpSolution solution = run();
+  if (solution.status == LpStatus::kMalformed) {
+    // Singular under the new coefficients (or numeric breakdown): the
+    // snapshot is useless, solve cold.  Deterministic — singularity is a
+    // pure function of the inputs.
+    return solve();
+  }
+  return solution;
+}
+
+SimplexBasis RevisedLpSolver::basis() const {
+  SimplexBasis snapshot;
+  snapshot.basic = basis_;
+  snapshot.state = state_;
+  return snapshot;
+}
+
+LpSolution RevisedLpSolver::extract(LpStatus status, int iters) const {
+  LpSolution solution;
+  solution.status = status;
+  solution.iterations = iters;
+  if (status != LpStatus::kOptimal) return solution;
+  solution.x.assign(n_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (state_[j] != kBasic) solution.x[j] = nonbasic_value(j);
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::size_t b = basis_[i];
+    if (b < n_) solution.x[b] = std::clamp(xb_[i], lower_[b], upper_[b]);
+  }
+  solution.objective = 0.0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    solution.objective += obj_[j] * solution.x[j];
+  }
+  return solution;
+}
+
+}  // namespace lpvs::solver

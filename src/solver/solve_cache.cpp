@@ -67,6 +67,13 @@ std::uint64_t budget_fingerprint(
   mix(h, options.relative_gap);
   mix(h, static_cast<std::uint64_t>(options.lp.max_iterations));
   mix(h, options.lp.tolerance);
+  // The relaxation engine changes node counts and can change tie-broken
+  // assignments, so a dense entry must never exact-hit a revised lookup.
+  // Mixed only for non-default engines to keep every pre-existing dense
+  // fingerprint bit-stable.
+  if (options.engine != LpEngine::kDense) {
+    mix(h, static_cast<std::uint64_t>(options.engine));
+  }
   return h;
 }
 
@@ -207,6 +214,7 @@ SolveCache::Hint SolveCache::lookup(std::uint64_t key,
         return hint;
       }
       previous = it->second.solution;
+      hint.basis = it->second.basis;
       have_previous = true;
       ++stats_.warm_starts;
     } else {
@@ -222,7 +230,7 @@ SolveCache::Hint SolveCache::lookup(std::uint64_t key,
 }
 
 void SolveCache::store(std::uint64_t key, std::uint64_t problem_fingerprint,
-                       const IlpSolution& solution) {
+                       const IlpSolution& solution, const BasisHint* basis) {
   if (solution.status != IlpStatus::kOptimal &&
       solution.status != IlpStatus::kFeasible) {
     return;
@@ -231,6 +239,7 @@ void SolveCache::store(std::uint64_t key, std::uint64_t problem_fingerprint,
   Entry& entry = entries_[key];
   entry.fingerprint = problem_fingerprint;
   entry.solution = solution;
+  entry.basis = basis != nullptr ? *basis : BasisHint{};
 }
 
 std::vector<int> SolveCache::previous_assignment(std::uint64_t key) const {
@@ -298,14 +307,19 @@ CachedSolve solve_with_cache(const BranchAndBoundSolver& solver,
     result.exact_hit = true;
     return result;
   }
+  // Basis memory rides along with the warm start: the revised engine
+  // re-solves the root relaxation dually from the previous slot's basis
+  // and writes this slot's back; the dense engine clears it.
+  BasisHint basis = std::move(hint.basis);
   if (!hint.incumbent.empty()) {
     result.warm_started = true;
     result.incumbent_objective = problem.value(hint.incumbent);
-    result.solution = solver.solve(problem, hint.incumbent);
+    result.solution =
+        solver.solve_with_memory(problem, &hint.incumbent, &basis);
   } else {
-    result.solution = solver.solve(problem);
+    result.solution = solver.solve_with_memory(problem, nullptr, &basis);
   }
-  cache->store(key, fp, result.solution);
+  cache->store(key, fp, result.solution, &basis);
   return result;
 }
 

@@ -109,6 +109,75 @@ TEST(BatchScheduler, ThreadCountProducesIdenticalSchedules) {
   }
 }
 
+TEST(BatchScheduler, RevisedEngineNodeAccountingIdenticalAcrossThreads) {
+  // The revised/dual-simplex engine's node accounting must be a pure
+  // function of the per-stream solve sequence — not of how many workers
+  // the batch was sharded across.  Drive three consecutive warm-started
+  // slot batches at 1, 2, and 8 threads and require bit-identical
+  // schedules AND identical ilp_nodes / degradation rungs / cache-lookup
+  // classifications (exact hits are fingerprint-gated, so equal hit counts
+  // certify equal budget fingerprints too).
+  LpvsScheduler::Options options =
+      scheduler_options_for(SlotProblemConfig{});  // revised engine default
+  ASSERT_EQ(options.ilp.engine, solver::LpEngine::kRevised);
+  const LpvsScheduler scheduler(options);
+  const RunContext context(anxiety());
+
+  struct Observed {
+    std::vector<Schedule> schedules;
+    solver::SolveCacheStats stats;
+  };
+  std::vector<Observed> by_threads;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    BatchScheduler batch(BatchScheduler::Options{threads, true});
+    Observed obs;
+    for (const std::uint64_t seed : {41, 42, 43}) {
+      auto schedules =
+          batch.schedule_batch(random_batch(seed, 8), scheduler, context);
+      obs.schedules.insert(obs.schedules.end(), schedules.begin(),
+                           schedules.end());
+    }
+    obs.stats = batch.cache().stats();
+    by_threads.push_back(std::move(obs));
+  }
+  for (std::size_t variant = 1; variant < by_threads.size(); ++variant) {
+    const Observed& base = by_threads[0];
+    const Observed& got = by_threads[variant];
+    ASSERT_EQ(got.schedules.size(), base.schedules.size());
+    for (std::size_t s = 0; s < base.schedules.size(); ++s) {
+      EXPECT_EQ(got.schedules[s].x, base.schedules[s].x) << "slot " << s;
+      EXPECT_EQ(got.schedules[s].objective, base.schedules[s].objective)
+          << "slot " << s;
+      EXPECT_EQ(got.schedules[s].ilp_nodes, base.schedules[s].ilp_nodes)
+          << "slot " << s;
+      EXPECT_EQ(got.schedules[s].rung, base.schedules[s].rung)
+          << "slot " << s;
+    }
+    EXPECT_EQ(got.stats.lookups, base.stats.lookups);
+    EXPECT_EQ(got.stats.exact_hits, base.stats.exact_hits);
+    EXPECT_EQ(got.stats.warm_starts, base.stats.warm_starts);
+    EXPECT_EQ(got.stats.cold_starts, base.stats.cold_starts);
+  }
+}
+
+TEST(SolveCacheFingerprint, BudgetFingerprintSeparatesEnginesStably) {
+  // Engine choice is part of the solve budget: a dense-solved entry must
+  // never exact-hit a revised lookup.  The dense fingerprint stays
+  // bit-stable with the engine field at its default (kDense mixes
+  // nothing), so pre-engine cache entries and checkpoints remain valid.
+  const auto dense = scheduler_ilp_defaults(solver::LpEngine::kDense);
+  const auto revised = scheduler_ilp_defaults(solver::LpEngine::kRevised);
+  const std::uint64_t dense_fp = solver::budget_fingerprint(dense);
+  const std::uint64_t revised_fp = solver::budget_fingerprint(revised);
+  EXPECT_NE(dense_fp, revised_fp);
+  EXPECT_EQ(dense_fp, solver::budget_fingerprint(dense));
+  EXPECT_EQ(revised_fp, solver::budget_fingerprint(revised));
+
+  solver::BranchAndBoundSolver::Options no_engine_field = dense;
+  no_engine_field.engine = solver::LpEngine::kDense;
+  EXPECT_EQ(dense_fp, solver::budget_fingerprint(no_engine_field));
+}
+
 TEST(BatchScheduler, CacheClassifiesColdExactAndWarmLookups) {
   const LpvsScheduler scheduler;
   const RunContext context(anxiety());

@@ -83,10 +83,12 @@ TEST(LpSolver, UnboundedDetected) {
   LpProblem p;
   p.objective = {1.0};
   p.upper = {std::numeric_limits<double>::infinity()};
-  // well_formed() requires finite bounds, so this must be rejected...
-  EXPECT_FALSE(p.well_formed());
+  // An infinite upper bound is well-formed (slack variables use the same
+  // representation internally); with no row limiting x the LP is unbounded
+  // and the ratio test must say so rather than loop.
+  EXPECT_TRUE(p.well_formed());
   const LpSolution s = LpSolver().solve(p);
-  EXPECT_EQ(s.status, LpStatus::kMalformed);
+  EXPECT_EQ(s.status, LpStatus::kUnbounded);
 }
 
 TEST(LpSolver, MalformedNegativeRhsRejected) {

@@ -1,0 +1,378 @@
+// Property-based harness for the revised/dual-simplex engine and the
+// presolved best-first branch-and-bound built on it.
+//
+// The revised engine replaced the dense simplex on the serving hot path
+// (scheduler_ilp_defaults), so it carries the correctness burden of every
+// slot schedule.  This suite pins it from four directions:
+//
+//   1. LP differential: on seeded random LP families — degenerate
+//      (duplicate columns), dual-degenerate (tied reduced costs),
+//      near-tie objectives, infeasible (negative rhs), unbounded
+//      (infinite uppers) — the revised engine's verdict matches the dense
+//      simplex wherever the dense simplex is defined, and is provably
+//      right where it is not (rhs < 0).
+//   2. ILP differential: presolve + best-first B&B under the revised
+//      engine equals ExhaustiveSolver on random binary programs, and the
+//      two B&B engines agree with each other.
+//   3. Metamorphic basis reuse: perturb ONE coefficient of a solved LP and
+//      re-solve warm from the old basis — the objective must match a cold
+//      solve of the perturbed problem.
+//   4. Metamorphic incumbents: solve(p) vs solve(p, incumbent) never
+//      disagree on status or objective, for incumbents good, stale, and
+//      adversarial.
+//
+// Seeds are fixed and every assertion carries the trial seed, so any
+// failure replays in isolation.  Trial counts: 4 x 250 LP trials + 2 x 250
+// ILP trials + 250 + 250 metamorphic trials >= 1000 (the differential
+// label's floor from ISSUE 7 is enforced by sheer arithmetic here).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/solver/ilp.hpp"
+#include "lpvs/solver/lp.hpp"
+#include "lpvs/solver/presolve.hpp"
+#include "lpvs/solver/revised_lp.hpp"
+
+namespace lpvs::solver {
+namespace {
+
+constexpr int kLpTrials = 250;
+constexpr int kIlpTrials = 250;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Random LP in the dense solver's domain (rhs >= 0, finite uppers), with
+/// dials for the regimes that break simplex implementations:
+/// degenerate ties (duplicate columns), dual degeneracy (tied objective
+/// entries), zero rows, and near-tie objectives.
+LpProblem random_lp(common::Rng& rng) {
+  LpProblem p;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 10));
+  const auto m = static_cast<std::size_t>(rng.uniform_int(0, 4));
+  p.objective.resize(n);
+  const bool near_tie = rng.uniform() < 0.25;
+  for (auto& c : p.objective) {
+    c = near_tie ? 1.0 + rng.uniform(-1e-7, 1e-7) : rng.uniform(-5.0, 20.0);
+  }
+  p.rows.assign(m, std::vector<double>(n));
+  const bool duplicate_columns = rng.uniform() < 0.25;
+  for (auto& row : p.rows) {
+    for (auto& a : row) {
+      a = rng.uniform() < 0.15 ? 0.0 : rng.uniform(0.1, 8.0);
+    }
+    if (duplicate_columns && n > 1) {
+      for (std::size_t j = 1; j < n; ++j) row[j] = row[0];  // max ties
+    }
+  }
+  p.rhs.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    double total = 0.0;
+    for (double a : p.rows[i]) total += a;
+    // Binding, slack, or degenerate-at-zero right-hand sides.
+    const double roll = rng.uniform();
+    if (roll < 0.1) {
+      p.rhs[i] = 0.0;
+    } else if (roll < 0.25) {
+      p.rhs[i] = total + 1.0;
+    } else {
+      p.rhs[i] = total * rng.uniform(0.2, 0.8);
+    }
+  }
+  p.upper.resize(n);
+  for (auto& u : p.upper) u = rng.uniform(0.5, 3.0);
+  return p;
+}
+
+LpSolution solve_revised(const LpProblem& p) {
+  RevisedLpSolver engine;
+  EXPECT_TRUE(engine.load(p));
+  return engine.solve();
+}
+
+TEST(SolverProperty, RevisedMatchesDenseAcrossLpFamilies) {
+  const LpSolver dense;
+  for (int trial = 0; trial < kLpTrials; ++trial) {
+    common::Rng rng(11000 + static_cast<std::uint64_t>(trial));
+    const LpProblem p = random_lp(rng);
+    ASSERT_TRUE(p.well_formed()) << "trial seed " << 11000 + trial;
+    const LpSolution want = dense.solve(p);
+    const LpSolution got = solve_revised(p);
+    ASSERT_EQ(got.status, want.status) << "trial seed " << 11000 + trial;
+    if (!want.optimal()) continue;
+    const double scale = std::max(1.0, std::fabs(want.objective));
+    ASSERT_NEAR(got.objective, want.objective, 1e-6 * scale)
+        << "trial seed " << 11000 + trial;
+    // The revised answer must actually be primal feasible.
+    for (std::size_t i = 0; i < p.rows.size(); ++i) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < p.num_vars(); ++j) {
+        lhs += p.rows[i][j] * got.x[j];
+      }
+      ASSERT_LE(lhs, p.rhs[i] + 1e-6) << "trial seed " << 11000 + trial;
+    }
+    for (std::size_t j = 0; j < p.num_vars(); ++j) {
+      ASSERT_GE(got.x[j], -1e-9) << "trial seed " << 11000 + trial;
+      ASSERT_LE(got.x[j], p.upper[j] + 1e-9)
+          << "trial seed " << 11000 + trial;
+    }
+  }
+}
+
+TEST(SolverProperty, RevisedAgreesWithDenseOnUnboundedRays) {
+  for (int trial = 0; trial < kLpTrials; ++trial) {
+    common::Rng rng(12000 + static_cast<std::uint64_t>(trial));
+    LpProblem p = random_lp(rng);
+    // Free one profitable variable from its upper bound and from every
+    // row: a certain improving ray.
+    const auto star = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(p.num_vars()) - 1));
+    p.objective[star] = rng.uniform(0.5, 5.0);
+    p.upper[star] = kInf;
+    for (auto& row : p.rows) row[star] = 0.0;
+    ASSERT_TRUE(p.well_formed()) << "trial seed " << 12000 + trial;
+    ASSERT_EQ(LpSolver().solve(p).status, LpStatus::kUnbounded)
+        << "trial seed " << 12000 + trial;
+    ASSERT_EQ(solve_revised(p).status, LpStatus::kUnbounded)
+        << "trial seed " << 12000 + trial;
+  }
+}
+
+TEST(SolverProperty, RevisedProvesInfeasibilityOnNegativeRhs) {
+  // Non-negative rows with a negative rhs admit no point at all; the dense
+  // solver refuses these (kMalformed), the revised engine must produce the
+  // kInfeasible certificate via its dual phase — under any basis start.
+  for (int trial = 0; trial < kLpTrials; ++trial) {
+    common::Rng rng(13000 + static_cast<std::uint64_t>(trial));
+    LpProblem p = random_lp(rng);
+    if (p.rows.empty()) {
+      p.rows.assign(1, std::vector<double>(p.num_vars(), 1.0));
+      p.rhs.assign(1, 1.0);
+    }
+    const auto victim = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(p.rows.size()) - 1));
+    p.rhs[victim] = rng.uniform(-10.0, -0.01);
+    ASSERT_FALSE(p.well_formed()) << "trial seed " << 13000 + trial;
+    ASSERT_EQ(LpSolver().solve(p).status, LpStatus::kMalformed)
+        << "trial seed " << 13000 + trial;
+
+    RevisedLpSolver engine;
+    ASSERT_TRUE(engine.load(p)) << "trial seed " << 13000 + trial;
+    ASSERT_EQ(engine.solve().status, LpStatus::kInfeasible)
+        << "trial seed " << 13000 + trial;
+    // Re-solving from the (useless) final basis must reach the same
+    // verdict, not an incident loop.
+    ASSERT_EQ(engine.resolve(engine.basis()).status, LpStatus::kInfeasible)
+        << "trial seed " << 13000 + trial;
+  }
+}
+
+TEST(SolverProperty, WarmResolveMatchesColdAfterSingleCoefficientDelta) {
+  // Metamorphic basis reuse: solve, perturb exactly one coefficient
+  // (objective entry, row entry, rhs, or an upper bound), re-solve warm
+  // from the previous basis, and compare against a cold solve of the
+  // perturbed problem.  This is the exact contract the cross-slot
+  // BasisHint reuse and the per-node parent-basis re-solve lean on.
+  for (int trial = 0; trial < kLpTrials; ++trial) {
+    common::Rng rng(14000 + static_cast<std::uint64_t>(trial));
+    LpProblem p = random_lp(rng);
+    RevisedLpSolver warm;
+    ASSERT_TRUE(warm.load(p)) << "trial seed " << 14000 + trial;
+    if (!warm.solve().optimal()) continue;
+    const SimplexBasis basis = warm.basis();
+
+    const int kind = static_cast<int>(rng.uniform_int(0, 3));
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(p.num_vars()) - 1));
+    if (kind == 0) {
+      p.objective[j] += rng.uniform(-2.0, 2.0);
+    } else if (kind == 1 && !p.rows.empty()) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(p.rows.size()) - 1));
+      p.rows[i][j] = std::max(0.0, p.rows[i][j] + rng.uniform(-1.0, 1.0));
+    } else if (kind == 2 && !p.rhs.empty()) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(p.rhs.size()) - 1));
+      p.rhs[i] = std::max(0.0, p.rhs[i] * rng.uniform(0.5, 1.5));
+    } else {
+      p.upper[j] = std::max(0.1, p.upper[j] * rng.uniform(0.5, 1.5));
+    }
+
+    ASSERT_TRUE(warm.load(p)) << "trial seed " << 14000 + trial;
+    const LpSolution warmed = warm.resolve(basis);
+    const LpSolution cold = solve_revised(p);
+    ASSERT_EQ(warmed.status, cold.status) << "trial seed " << 14000 + trial;
+    if (!cold.optimal()) continue;
+    const double scale = std::max(1.0, std::fabs(cold.objective));
+    ASSERT_NEAR(warmed.objective, cold.objective, 1e-6 * scale)
+        << "trial seed " << 14000 + trial;
+  }
+}
+
+/// Random binary program mirroring the differential harness's generator:
+/// loose, binding, and infeasible capacity regimes, eligibility masks,
+/// worthless items, zero-cost columns.
+BinaryProgram random_program(common::Rng& rng) {
+  BinaryProgram problem;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  problem.objective.resize(n);
+  for (auto& c : problem.objective) {
+    c = rng.uniform() < 0.1 ? rng.uniform(-5.0, 0.0) : rng.uniform(0.1, 50.0);
+  }
+  problem.rows.assign(2, std::vector<double>(n));
+  for (auto& row : problem.rows) {
+    for (auto& a : row) {
+      a = rng.uniform() < 0.1 ? 0.0 : rng.uniform(0.1, 10.0);
+    }
+  }
+  problem.rhs.resize(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double roll = rng.uniform();
+    double total = 0.0;
+    for (double a : problem.rows[i]) total += a;
+    if (roll < 0.05) {
+      problem.rhs[i] = rng.uniform(-5.0, -0.1);  // infeasible row
+    } else if (roll < 0.15) {
+      problem.rhs[i] = total + 1.0;  // never binds
+    } else {
+      problem.rhs[i] = total * rng.uniform(0.2, 0.8);  // binding
+    }
+  }
+  if (rng.uniform() < 0.3) {
+    problem.eligible.resize(n);
+    for (auto& e : problem.eligible) {
+      e = rng.uniform() < 0.7 ? std::uint8_t{1} : std::uint8_t{0};
+    }
+  }
+  return problem;
+}
+
+BranchAndBoundSolver exact_solver(LpEngine engine) {
+  BranchAndBoundSolver::Options options;
+  options.max_nodes = 500'000;
+  options.relative_gap = 0.0;
+  options.engine = engine;
+  return BranchAndBoundSolver(options);
+}
+
+TEST(SolverProperty, RevisedBnbMatchesExhaustive) {
+  const BranchAndBoundSolver bnb = exact_solver(LpEngine::kRevised);
+  const ExhaustiveSolver exhaustive;
+  for (int trial = 0; trial < kIlpTrials; ++trial) {
+    common::Rng rng(15000 + static_cast<std::uint64_t>(trial));
+    const BinaryProgram problem = random_program(rng);
+    const IlpSolution truth = exhaustive.solve(problem);
+    const IlpSolution got = bnb.solve(problem);
+    ASSERT_EQ(got.status, truth.status) << "trial seed " << 15000 + trial;
+    if (truth.status != IlpStatus::kOptimal) continue;
+    ASSERT_NEAR(got.objective, truth.objective, 1e-9)
+        << "trial seed " << 15000 + trial;
+    ASSERT_TRUE(problem.feasible(got.x)) << "trial seed " << 15000 + trial;
+    ASSERT_NEAR(problem.value(got.x), got.objective, 1e-9)
+        << "trial seed " << 15000 + trial;
+  }
+}
+
+TEST(SolverProperty, EnginesAgreeAndPresolveIsLossless) {
+  const BranchAndBoundSolver dense = exact_solver(LpEngine::kDense);
+  const BranchAndBoundSolver revised = exact_solver(LpEngine::kRevised);
+  for (int trial = 0; trial < kIlpTrials; ++trial) {
+    common::Rng rng(16000 + static_cast<std::uint64_t>(trial));
+    const BinaryProgram problem = random_program(rng);
+    const IlpSolution a = dense.solve(problem);
+    const IlpSolution b = revised.solve(problem);
+    ASSERT_EQ(a.status, b.status) << "trial seed " << 16000 + trial;
+    if (a.status != IlpStatus::kOptimal) continue;
+    ASSERT_NEAR(a.objective, b.objective, 1e-9)
+        << "trial seed " << 16000 + trial;
+
+    // Presolve on its own must be a lossless projection: expanding the
+    // reduced optimum reaches the full optimum.
+    const PresolveResult pre =
+        presolve_binary_program(problem, /*tol=*/1e-7);
+    ASSERT_FALSE(pre.malformed) << "trial seed " << 16000 + trial;
+    if (pre.infeasible) continue;
+    const IlpSolution reduced_opt = dense.solve(pre.reduced);
+    if (reduced_opt.status != IlpStatus::kOptimal) continue;
+    const std::vector<int> expanded =
+        expand_solution(pre, reduced_opt.x);
+    ASSERT_TRUE(problem.feasible(expanded))
+        << "trial seed " << 16000 + trial;
+    ASSERT_NEAR(problem.value(expanded), a.objective, 1e-9)
+        << "trial seed " << 16000 + trial;
+  }
+}
+
+TEST(SolverProperty, IncumbentNeverChangesRevisedVerdictOrObjective) {
+  // solve(p) vs solve(p, incumbent): for incumbents optimal, stale, and
+  // adversarial, the status and the achieved objective must be identical —
+  // the incumbent may only change pruning.
+  const BranchAndBoundSolver bnb = exact_solver(LpEngine::kRevised);
+  for (int trial = 0; trial < kIlpTrials; ++trial) {
+    common::Rng rng(17000 + static_cast<std::uint64_t>(trial));
+    const BinaryProgram problem = random_program(rng);
+    const std::size_t n = problem.num_vars();
+    const IlpSolution cold = bnb.solve(problem);
+
+    std::vector<std::vector<int>> incumbents;
+    incumbents.push_back(cold.x);               // the optimum itself
+    incumbents.push_back(std::vector<int>(n, 0));  // trivial
+    std::vector<int> noise(n);
+    for (auto& v : noise) v = rng.uniform() < 0.5 ? 1 : 0;
+    incumbents.push_back(std::move(noise));     // likely infeasible
+    incumbents.push_back(std::vector<int>(n + 3, 1));  // wrong size
+
+    for (const auto& incumbent : incumbents) {
+      const IlpSolution warm = bnb.solve(problem, incumbent);
+      ASSERT_EQ(warm.status, cold.status) << "trial seed " << 17000 + trial;
+      if (cold.status == IlpStatus::kInfeasible) continue;
+      ASSERT_EQ(warm.objective, cold.objective)
+          << "trial seed " << 17000 + trial;
+    }
+  }
+}
+
+TEST(SolverProperty, BasisMemoryChangesPivotsNeverResults) {
+  // Consecutive-slot simulation: solve a stream of perturbed problems
+  // threading BasisHint memory through solve_with_memory, and compare each
+  // solve against a memoryless one.  Objectives and statuses must be
+  // bit-identical; node counts may differ (the memory steers the pivot
+  // path) but must be reproducible run over run.
+  const BranchAndBoundSolver bnb = exact_solver(LpEngine::kRevised);
+  for (int trial = 0; trial < 50; ++trial) {
+    common::Rng rng(18000 + static_cast<std::uint64_t>(trial));
+    BinaryProgram problem = random_program(rng);
+    BasisHint memory;
+    BasisHint replay_memory;
+    for (int slot = 0; slot < 6; ++slot) {
+      const IlpSolution with =
+          bnb.solve_with_memory(problem, nullptr, &memory);
+      const IlpSolution without = bnb.solve(problem);
+      ASSERT_EQ(with.status, without.status)
+          << "trial seed " << 18000 + trial << " slot " << slot;
+      ASSERT_EQ(with.objective, without.objective)
+          << "trial seed " << 18000 + trial << " slot " << slot;
+
+      // Replay determinism: same problem + same memory -> same node count.
+      BasisHint memory_copy = replay_memory;
+      const IlpSolution replayed =
+          bnb.solve_with_memory(problem, nullptr, &memory_copy);
+      ASSERT_EQ(replayed.nodes_explored, with.nodes_explored)
+          << "trial seed " << 18000 + trial << " slot " << slot;
+      replay_memory = memory;
+
+      // Drift into the next slot.
+      for (auto& c : problem.objective) c *= rng.uniform(0.97, 1.03);
+      for (auto& row : problem.rows) {
+        for (auto& a : row) a *= rng.uniform(0.98, 1.02);
+      }
+      for (auto& b : problem.rhs) b *= rng.uniform(0.97, 1.03);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lpvs::solver

@@ -152,6 +152,60 @@ TEST(BnbStress, NearIntegerCoefficients) {
   EXPECT_NEAR(s.objective, 2.0, 1e-6);
 }
 
+TEST(BnbStress, TruncatedBudgetStillReportsInfeasible) {
+  // Regression for the degradation-ladder path: an instance with a
+  // negative rhs admits NO 0/1 point, and a solve truncated to a single
+  // node (the smallest budget the ladder hands out) must still say
+  // kInfeasible — never kFeasible with a stale all-zeros "incumbent".
+  BinaryProgram p;
+  p.objective = {5.0, 3.0, 8.0};
+  p.rows = {{1.0, 1.0, 1.0}, {2.0, 0.5, 1.0}};
+  p.rhs = {4.0, -1.0};
+  for (const LpEngine engine : {LpEngine::kDense, LpEngine::kRevised}) {
+    BranchAndBoundSolver::Options options;
+    options.engine = engine;
+    options.max_nodes = 1;
+    const BranchAndBoundSolver bnb(options);
+    const IlpSolution cold = bnb.solve(p);
+    EXPECT_EQ(cold.status, IlpStatus::kInfeasible)
+        << "engine " << to_string(engine);
+    // A (necessarily bogus) warm incumbent must not smuggle in a feasible
+    // verdict either: the incumbent is infeasible by construction, so the
+    // solver must reject it and reach the same conclusion.
+    const IlpSolution warm = bnb.solve(p, std::vector<int>{1, 1, 1});
+    EXPECT_EQ(warm.status, IlpStatus::kInfeasible)
+        << "engine " << to_string(engine);
+  }
+}
+
+TEST(BnbStress, TruncatedBudgetInfeasibleAcrossRandomInstances) {
+  // Same property across random negative-rhs programs and budgets: with
+  // non-negative rows, rhs < 0 is a proof of infeasibility, and no node
+  // budget — 1, 2, or plenty — may convert it into a feasible answer.
+  for (int trial = 0; trial < 100; ++trial) {
+    common::Rng rng(21000 + static_cast<std::uint64_t>(trial));
+    BinaryProgram p;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 16));
+    p.objective.resize(n);
+    for (auto& c : p.objective) c = rng.uniform(-5.0, 50.0);
+    p.rows.assign(2, std::vector<double>(n));
+    for (auto& row : p.rows) {
+      for (auto& a : row) a = rng.uniform(0.0, 10.0);
+    }
+    p.rhs = {rng.uniform(0.0, 20.0), rng.uniform(-10.0, -0.01)};
+    const long budget = static_cast<long>(rng.uniform_int(1, 64));
+    for (const LpEngine engine : {LpEngine::kDense, LpEngine::kRevised}) {
+      BranchAndBoundSolver::Options options;
+      options.engine = engine;
+      options.max_nodes = budget;
+      const IlpSolution s = BranchAndBoundSolver(options).solve(p);
+      ASSERT_EQ(s.status, IlpStatus::kInfeasible)
+          << "trial seed " << 21000 + trial << " engine "
+          << to_string(engine) << " budget " << budget;
+    }
+  }
+}
+
 TEST(KnapsackStress, ManyZeroWeightItems) {
   const std::size_t n = 50;
   BinaryProgram p;
