@@ -1,17 +1,64 @@
 // Machine-readable bench output: benches that back a performance claim
 // write a BENCH_<name>.json next to their stdout tables, so CI and
 // regression tooling can diff runs without scraping text.
+//
+// Schema v2: every file carries the same envelope, so tooling can diff any
+// bench without per-bench knowledge of the payload:
+//
+//   {
+//     "schema": 2,
+//     "bench": "<name>",
+//     "pass": true,
+//     "meta":    { compiler, build flavor, core count, unix time },
+//     "knobs":   { the fixed/swept configuration of this run },
+//     "metrics": [ one object per measured configuration ]
+//   }
+//
+// `knobs` answers "what was asked for", `metrics` "what was measured";
+// regression tooling joins runs on (bench, knobs) and diffs metrics.
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lpvs/common/json.hpp"
 
 namespace lpvs::bench {
+
+/// Run metadata stamped into every schema-v2 document: enough to tell two
+/// archived runs apart (toolchain, build flavor, machine width, when).
+inline common::Json run_meta() {
+  common::Json meta = common::Json::object();
+  meta.set("compiler", std::string(__VERSION__));
+  meta.set("cplusplus", static_cast<long>(__cplusplus));
+#ifdef NDEBUG
+  meta.set("build", "release");
+#else
+  meta.set("build", "debug");
+#endif
+  meta.set("hardware_concurrency",
+           static_cast<long>(std::thread::hardware_concurrency()));
+  meta.set("unix_time_s", static_cast<long>(std::time(nullptr)));
+  return meta;
+}
+
+/// Assembles the schema-v2 envelope around a bench's knobs and metrics.
+inline common::Json bench_doc(const std::string& name, bool pass,
+                              common::Json knobs, common::Json metrics) {
+  common::Json doc = common::Json::object();
+  doc.set("schema", 2);
+  doc.set("bench", name);
+  doc.set("pass", pass);
+  doc.set("meta", run_meta());
+  doc.set("knobs", std::move(knobs));
+  doc.set("metrics", std::move(metrics));
+  return doc;
+}
 
 /// Writes `doc` to BENCH_<name>.json in the working directory.
 inline bool write_bench_json(const std::string& name,

@@ -124,10 +124,27 @@ int main() {
   std::printf("clean run (all sessions orderly, zero errors): %s\n",
               all_clean ? "PASS" : "FAIL");
 
-  common::Json doc = common::Json::object();
-  doc.set("bench", "server");
-  doc.set("pass", all_clean);
-  doc.set("fleets", std::move(rows));
-  const bool wrote = lpvs::bench::write_bench_json("server", doc);
+  common::Json knobs = common::Json::object();
+  knobs.set("seed", 7);
+  knobs.set("loadgen_threads", 8);
+  common::Json worker_sweep = common::Json::array();
+  for (const std::uint32_t workers : worker_counts) {
+    worker_sweep.push(static_cast<long>(workers));
+  }
+  knobs.set("workers", std::move(worker_sweep));
+  common::Json fleet_sweep = common::Json::array();
+  for (const FleetShape& shape : shapes) {
+    common::Json fleet = common::Json::object();
+    fleet.set("clusters", static_cast<long>(shape.clusters));
+    fleet.set("cluster_size", static_cast<long>(shape.cluster_size));
+    fleet.set("slots_per_session", static_cast<long>(shape.slots));
+    fleet_sweep.push(std::move(fleet));
+  }
+  knobs.set("fleets", std::move(fleet_sweep));
+
+  const bool wrote = lpvs::bench::write_bench_json(
+      "server",
+      lpvs::bench::bench_doc("server", all_clean, std::move(knobs),
+                             std::move(rows)));
   return all_clean && wrote ? 0 : 1;
 }

@@ -73,13 +73,19 @@ int main() {
   const obs::Histogram& solve_ms =
       registry.histogram("lpvs_scheduler_solve_ms",
                          obs::MetricsRegistry::time_buckets_ms());
-  common::Json doc = common::Json::object();
-  doc.set("bench", "trace_replay");
-  doc.set("clusters", static_cast<long>(report.clusters.size()));
-  doc.set("devices", report.total_devices);
-  doc.set("cluster_slots", cluster_slots);
-  doc.set("wall_ms", wall_ms);
-  doc.set("slots_per_sec",
+  common::Json knobs = common::Json::object();
+  knobs.set("seed", static_cast<long>(config.seed));
+  knobs.set("trace_seed", 77);
+  knobs.set("min_viewers", config.min_viewers);
+  knobs.set("max_clusters", config.max_clusters);
+  knobs.set("max_slots", config.max_slots);
+
+  common::Json row = common::Json::object();
+  row.set("clusters", static_cast<long>(report.clusters.size()));
+  row.set("devices", report.total_devices);
+  row.set("cluster_slots", cluster_slots);
+  row.set("wall_ms", wall_ms);
+  row.set("slots_per_sec",
           wall_ms > 0.0 ? 1000.0 * static_cast<double>(cluster_slots) /
                               wall_ms
                         : 0.0);
@@ -87,11 +93,18 @@ int main() {
   latency.set("mean_ms", report.mean_scheduler_ms);
   latency.set("p50_ms", solve_ms.quantile(0.5));
   latency.set("p99_ms", solve_ms.quantile(0.99));
-  doc.set("slot_latency", std::move(latency));
-  doc.set("ilp_nodes_total",
+  row.set("slot_latency", std::move(latency));
+  row.set("ilp_nodes_total",
           static_cast<long>(
               registry.counter("lpvs_scheduler_ilp_nodes_total").value()));
-  doc.set("energy_saving_ratio", report.energy_saving_ratio());
-  doc.set("anxiety_reduction_ratio", report.anxiety_reduction_ratio());
-  return lpvs::bench::write_bench_json("trace_replay", doc) ? 0 : 1;
+  row.set("energy_saving_ratio", report.energy_saving_ratio());
+  row.set("anxiety_reduction_ratio", report.anxiety_reduction_ratio());
+  common::Json metrics = common::Json::array();
+  metrics.push(std::move(row));
+  return lpvs::bench::write_bench_json(
+             "trace_replay", lpvs::bench::bench_doc("trace_replay", true,
+                                                    std::move(knobs),
+                                                    std::move(metrics)))
+             ? 0
+             : 1;
 }

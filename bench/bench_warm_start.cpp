@@ -277,10 +277,20 @@ int main() {
       "matches oracle, >=5x warm slots/s at 120 devices): %s\n",
       all_pass ? "PASS" : "FAIL");
 
-  common::Json doc = common::Json::object();
-  doc.set("bench", "warm_start");
-  doc.set("pass", all_pass);
-  doc.set("legs", std::move(rows));
-  const bool wrote = lpvs::bench::write_bench_json("warm_start", doc);
+  common::Json knobs = common::Json::object();
+  knobs.set("seed", 42);
+  knobs.set("slots", static_cast<long>(kSlots));
+  common::Json device_sweep = common::Json::array();
+  for (const int devices : {40, 60, 120}) device_sweep.push(devices);
+  knobs.set("devices", std::move(device_sweep));
+  common::Json engine_sweep = common::Json::array();
+  engine_sweep.push("dense");
+  engine_sweep.push("revised");
+  knobs.set("engines", std::move(engine_sweep));
+
+  const bool wrote = lpvs::bench::write_bench_json(
+      "warm_start",
+      lpvs::bench::bench_doc("warm_start", all_pass, std::move(knobs),
+                             std::move(rows)));
   return all_pass && wrote ? 0 : 1;
 }

@@ -36,6 +36,8 @@ const char* fault_site_name(FaultSite site) {
       return "server_crash";
     case FaultSite::kHandoffTransfer:
       return "handoff_transfer";
+    case FaultSite::kTelemetryExport:
+      return "telemetry_export";
   }
   return "unknown";
 }

@@ -39,8 +39,9 @@ enum class FaultSite : int {
   kSolverBudget,         ///< per-slot solve deadline (overrun -> degrade)
   kServerCrash,          ///< edge server loses in-memory state (fleet)
   kHandoffTransfer,      ///< inter-server session-state transfer (fleet)
+  kTelemetryExport,      ///< exporter -> collector delta frame (obs)
 };
-inline constexpr int kFaultSiteCount = 9;
+inline constexpr int kFaultSiteCount = 10;
 
 /// Stable lowercase label (metrics names, traces, logs).
 const char* fault_site_name(FaultSite site);

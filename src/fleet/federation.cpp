@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
@@ -34,6 +35,30 @@ common::Rng derived_rng(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
 constexpr std::uint64_t kMobilitySalt = 0x0F1EE7u;
 constexpr std::uint64_t kDeviceSalt = 0xF1u;
 constexpr std::uint64_t kBayesNoiseSalt = 0xBA1Eu;
+constexpr std::uint64_t kArrivalSalt = 0xD1A17Eu;  ///< diurnal arrivals
+
+/// Knuth's Poisson sampler — exact and cheap for the per-slot arrival
+/// means a diurnal curve produces (single digits to low tens).
+int poisson_draw(common::Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  const double limit = std::exp(-mean);
+  int count = -1;
+  double p = 1.0;
+  do {
+    ++count;
+    p *= rng.uniform();
+  } while (p > limit);
+  return count;
+}
+
+/// Exponential-ish bounds for the slot serve-phase wall time: sub-100us
+/// warm slots through second-scale stalls.
+const std::vector<double>& serve_ms_buckets() {
+  static const std::vector<double> bounds = {
+      0.05, 0.1, 0.25, 0.5, 1.0,   2.5,   5.0,   10.0,
+      25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0};
+  return bounds;
+}
 
 /// Fingerprint under which a server stores the handoff-derived warm hint.
 /// It matches no real problem fingerprint (collisions are the cache's
@@ -107,6 +132,9 @@ struct Federation::EdgeServer {
   long slot_selected = 0;
   long slot_scheduled = 0;
   long slot_capacity_violations = 0;
+  /// 1 when this slot's schedule came off a ladder rung below kFullSolve —
+  /// the degraded-share signal the autoscaler reads (never the registry).
+  long slot_degraded = 0;
 };
 
 Federation::Federation(FederationConfig config, const trace::Trace& trace,
@@ -202,6 +230,86 @@ void Federation::setup_users() {
     user.end_slot = session->end_slot();
     users_.push_back(std::move(user));
   }
+
+  // Channel templates the diurnal arrival process clones from: one per
+  // distinct live session, in the same popularity order as the users.
+  session_pool_.clear();
+  session_pool_.reserve(live.size());
+  for (const trace::Session* session : live) {
+    const trace::Channel& channel = trace_.channel(session->channel);
+    session_pool_.push_back({channel.genre, channel.bitrate_mbps});
+  }
+}
+
+void Federation::spawn_arrivals(int slot, FederationReport& report) {
+  const DiurnalLoadConfig& diurnal = config_.diurnal;
+  if (!diurnal.enabled || session_pool_.empty()) return;
+  const int global_slot = config_.start_slot + slot;
+
+  // Sinusoidal day curve: weight 1 at peak_phase through the period,
+  // 0 half a period away.
+  const double period =
+      static_cast<double>(std::max(1, diurnal.period_slots));
+  const double phase =
+      static_cast<double>(slot) / period - diurnal.peak_phase;
+  const double weight =
+      0.5 * (1.0 + std::cos(2.0 * 3.14159265358979323846 * phase));
+  const double mean =
+      diurnal.base_arrivals_per_slot +
+      (diurnal.peak_arrivals_per_slot - diurnal.base_arrivals_per_slot) *
+          weight;
+
+  common::Rng arrival_rng = derived_rng(
+      config_.seed ^ kArrivalSalt, static_cast<std::uint64_t>(slot), 0);
+  const int count = poisson_draw(arrival_rng, mean);
+  if (count <= 0) return;
+
+  const auto& catalog = display::DeviceCatalog::standard();
+  const survey::SyntheticPopulation population;
+  long spawned = 0;
+  for (int k = 0; k < count; ++k) {
+    if (diurnal.max_users > 0 &&
+        users_.size() >= static_cast<std::size_t>(diurnal.max_users)) {
+      break;
+    }
+    const auto id = static_cast<std::uint64_t>(users_.size());
+    const SessionSeed& channel = session_pool_[id % session_pool_.size()];
+    // Same per-user derived stream as the start-slot audience: ids are
+    // unique, so arrivals never collide with an existing user's draws.
+    common::Rng device_rng = derived_rng(config_.seed, kDeviceSalt, id);
+
+    FleetUser user;
+    user.id = id;
+    user.genre = channel.genre;
+    user.bitrate_mbps = channel.bitrate_mbps;
+    const auto& profile = catalog.sample(device_rng);
+    user.spec = profile.spec;
+    user.start_fraction = device_rng.truncated_normal(
+        config_.initial_battery_mean, config_.initial_battery_std, 0.05,
+        1.0);
+    user.battery = battery::Battery(
+        common::MilliwattHours{profile.battery_mwh *
+                               config_.effective_capacity_scale},
+        user.start_fraction);
+    common::Rng survey_rng =
+        derived_rng(config_.seed ^ kArrivalSalt, id, 1);
+    const std::vector<survey::Participant> participants =
+        population.generate(1, survey_rng);
+    user.giveup_percent = participants[0].giveup_level;
+    user.end_slot =
+        global_slot + static_cast<int>(device_rng.uniform_int(
+                          diurnal.min_lifetime_slots,
+                          diurnal.max_lifetime_slots));
+    users_.push_back(std::move(user));
+    ++spawned;
+  }
+  report.arrivals += spawned;
+  if (context_.metrics != nullptr && spawned > 0) {
+    context_.metrics
+        ->counter("lpvs_fleet_arrivals_total",
+                  "Diurnal mid-run viewer arrivals")
+        .add(spawned);
+  }
 }
 
 void Federation::handle_crashes(int slot, FederationReport& report) {
@@ -283,6 +391,14 @@ void Federation::reconcile_placement(int slot, bool rebalancing,
         auto it = servers_.find(user.server);
         if (it != servers_.end()) it->second->sessions.erase(user.id);
         user.placed = false;
+        // Orderly close: trace end, battery empty, or give-up.
+        ++report.sessions_ended;
+        if (registry != nullptr) {
+          registry
+              ->counter("lpvs_fleet_sessions_ended_total",
+                        "Viewer sessions closed in order")
+              .add(1);
+        }
       }
       user.prev_epoch = user.epoch;
       continue;
@@ -301,6 +417,13 @@ void Federation::reconcile_placement(int slot, bool rebalancing,
       // state to move.
       user.server = desired;
       user.placed = true;
+      ++report.sessions_started;
+      if (registry != nullptr) {
+        registry
+            ->counter("lpvs_fleet_sessions_started_total",
+                      "Viewer session attaches (initial and re-attach)")
+            .add(1);
+      }
       EdgeServer& dest = server(desired);
       if (dest.sessions.find(user.id) == dest.sessions.end()) {
         dest.sessions[user.id] = ServerSession{};
@@ -425,6 +548,30 @@ void Federation::reconcile_placement(int slot, bool rebalancing,
     user.prev_epoch = user.epoch;
   }
 
+  // Loss audit: every viewer who is still watching with charge left must
+  // hold a serving session somewhere after reconciliation — crash recovery,
+  // handoff fallback, and rebalancing all funnel through the branches
+  // above, so anyone left stranded here is a genuinely lost session (the
+  // soak's zero-lost-sessions SLO counts exactly this).
+  for (const FleetUser& user : users_) {
+    if (!user.watching || user.battery.empty()) continue;
+    bool has_session = false;
+    if (user.placed) {
+      const auto it = servers_.find(user.server);
+      has_session = it != servers_.end() &&
+                    it->second->sessions.count(user.id) != 0;
+    }
+    if (!has_session) {
+      ++report.sessions_lost;
+      if (registry != nullptr) {
+        registry
+            ->counter("lpvs_fleet_sessions_lost_total",
+                      "Active viewers stranded without a serving session")
+            .add(1);
+      }
+    }
+  }
+
   // Retire servers that left the placement once their users are gone.
   for (auto it = servers_.begin(); it != servers_.end();) {
     if (it->second->leaving && it->second->sessions.empty()) {
@@ -466,6 +613,7 @@ void Federation::serve_slot(int slot, FederationReport& report,
     edge.slot_selected = 0;
     edge.slot_scheduled = 0;
     edge.slot_capacity_violations = 0;
+    edge.slot_degraded = 0;
     ++edge.slots_run;
     ++edge.report.slots_run;
     if (edge.sessions.empty()) return;
@@ -541,6 +689,8 @@ void Federation::serve_slot(int slot, FederationReport& report,
     const core::Schedule schedule =
         scheduler_.schedule(problem, scheduling_context);
     edge.slot_objective = schedule.objective;
+    edge.slot_degraded =
+        schedule.rung != core::DegradationRung::kFullSolve ? 1 : 0;
     if (schedule.compute_used > problem.compute_capacity + 1e-9 ||
         schedule.storage_used > problem.storage_capacity + 1e-9) {
       ++edge.slot_capacity_violations;
@@ -626,6 +776,98 @@ void Federation::serve_slot(int slot, FederationReport& report,
     report.capacity_violations += edge->slot_capacity_violations;
     anxiety_accumulator += edge->slot_anxiety;
     report.anxiety_samples += edge->slot_anxiety_samples;
+    if (edge->slot_scheduled > 0) {
+      ++report.total_solves;
+      report.degraded_solves += edge->slot_degraded;
+    }
+  }
+}
+
+void Federation::evaluate_autoscale(int slot, FederationReport& report) {
+  const AutoscaleConfig& scale = config_.autoscale;
+  if (!scale.enabled || scale.interval_slots <= 0) return;
+  if ((slot + 1) % scale.interval_slots != 0) return;
+
+  long live = 0;
+  long sessions = 0;
+  std::uint64_t highest_live = 0;
+  for (const auto& [id, edge] : servers_) {
+    if (edge->leaving) continue;
+    ++live;
+    sessions += static_cast<long>(edge->sessions.size());
+    highest_live = std::max(highest_live, id);
+  }
+
+  // Window signals since the previous evaluation.  Baselines advance even
+  // when the cooldown suppresses action, so the next decision sees a fresh
+  // window instead of stale accumulated history.
+  const long window_solves = report.total_solves - solves_at_last_eval_;
+  const long window_degraded =
+      report.degraded_solves - degraded_at_last_eval_;
+  const long window_failovers = report.failovers - failovers_at_last_eval_;
+  solves_at_last_eval_ = report.total_solves;
+  degraded_at_last_eval_ = report.degraded_solves;
+  failovers_at_last_eval_ = report.failovers;
+
+  if (slot - last_scale_slot_ < scale.cooldown_slots) return;
+
+  const double per_server =
+      live > 0 ? static_cast<double>(sessions) / static_cast<double>(live)
+               : 1e18;
+  const double degraded_fraction =
+      window_solves > 0
+          ? static_cast<double>(window_degraded) /
+                static_cast<double>(window_solves)
+          : 0.0;
+
+  const bool scale_out =
+      live < scale.max_servers &&
+      (per_server > scale.target_sessions_per_server * scale.high_watermark ||
+       degraded_fraction > scale.degraded_fraction_out);
+  // Scale-in needs slack on every signal; fresh failovers mean restored
+  // sessions are re-learning from stale posteriors, the worst moment to
+  // also force a rebalancing wave.
+  const bool scale_in =
+      !scale_out && live > scale.min_servers &&
+      per_server < scale.target_sessions_per_server * scale.low_watermark &&
+      degraded_fraction < 0.5 * scale.degraded_fraction_out &&
+      window_failovers == 0;
+
+  obs::MetricsRegistry* registry = context_.metrics;
+  if (scale_out) {
+    const std::uint64_t id = next_auto_server_++;
+    placement_.add_server({id, 1.0});
+    auto edge = std::make_unique<EdgeServer>();
+    edge->info = {id, 1.0};
+    edge->report.id = id;
+    const auto old = departed_.find(id);
+    if (old != departed_.end()) {
+      edge->report = old->second;
+      departed_.erase(old);
+    }
+    servers_[id] = std::move(edge);
+    ++report.autoscale_joins;
+    last_scale_slot_ = slot;
+    if (registry != nullptr) {
+      registry
+          ->counter("lpvs_fleet_autoscale_joins_total",
+                    "Servers added by the load-derived autoscaler")
+          .add(1);
+    }
+  } else if (scale_in) {
+    // Retire the youngest server: autoscale-minted ids are highest, so
+    // scale-in unwinds scale-out before touching the configured fleet.
+    placement_.remove_server(highest_live);
+    const auto it = servers_.find(highest_live);
+    if (it != servers_.end()) it->second->leaving = true;
+    ++report.autoscale_leaves;
+    last_scale_slot_ = slot;
+    if (registry != nullptr) {
+      registry
+          ->counter("lpvs_fleet_autoscale_leaves_total",
+                    "Servers retired by the load-derived autoscaler")
+          .add(1);
+    }
   }
 }
 
@@ -665,6 +907,7 @@ void Federation::take_checkpoints(int slot) {
 FederationReport Federation::run() {
   setup_servers();
   setup_users();
+  next_auto_server_ = config_.autoscale.first_server_id;
 
   FederationReport report;
   report.users = static_cast<long>(users_.size());
@@ -673,6 +916,9 @@ FederationReport Federation::run() {
   double anxiety_accumulator = 0.0;
   for (int slot = 0; slot < config_.slots; ++slot) {
     const int global_slot = config_.start_slot + slot;
+
+    // (0) Diurnal arrivals: new viewers join following the day curve.
+    spawn_arrivals(slot, report);
 
     // (1) Membership: scheduled joins/leaves fire at the slot start, each
     // rebalancing only the users whose rendezvous winner changed.
@@ -722,16 +968,78 @@ FederationReport Federation::run() {
     // (4) Reconcile: desired vs. actual placement; moved users hand off.
     reconcile_placement(slot, rebalancing, report);
 
-    // (5) Serve the slot on every server (parallel across servers).
+    // (5) Serve the slot on every server (parallel across servers).  The
+    // wall time of the serve phase is the fleet-level request->schedule
+    // latency the soak's p99 SLO reads.
+    const long anxiety_samples_before = report.anxiety_samples;
+    const double anxiety_before = anxiety_accumulator;
+    const auto serve_start = std::chrono::steady_clock::now();
     serve_slot(slot, report, anxiety_accumulator);
+    const double serve_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - serve_start)
+            .count();
     ++report.slots_run;
+
+    long live_servers = 0;
+    long live_sessions = 0;
+    for (const auto& [id, edge] : servers_) {
+      if (edge->leaving) continue;
+      ++live_servers;
+      live_sessions += static_cast<long>(edge->sessions.size());
+    }
+    long active_users = 0;
+    for (const FleetUser& user : users_) {
+      if (user.watching && !user.battery.empty()) ++active_users;
+    }
+    report.peak_servers =
+        std::max(report.peak_servers, static_cast<int>(live_servers));
+
     if (registry != nullptr) {
       registry->counter("fleet_slots_total", "Federation slots executed")
           .add(1);
+      registry
+          ->histogram("lpvs_fleet_slot_serve_ms", serve_ms_buckets(),
+                      "Wall-clock serve phase per federation slot "
+                      "(fleet-level request->schedule)")
+          .observe(serve_ms);
+      registry
+          ->gauge("lpvs_fleet_active_users",
+                  "Viewers watching with charge left")
+          .set(static_cast<double>(active_users));
+      registry
+          ->gauge("lpvs_fleet_active_servers", "Live (non-leaving) servers")
+          .set(static_cast<double>(live_servers));
+      registry
+          ->gauge("lpvs_fleet_sessions", "Serving sessions across the fleet")
+          .set(static_cast<double>(live_sessions));
+      const long slot_samples =
+          report.anxiety_samples - anxiety_samples_before;
+      registry
+          ->gauge("lpvs_fleet_slot_anxiety",
+                  "Mean anxiety across this slot's chunk plays")
+          .set(slot_samples > 0
+                   ? (anxiety_accumulator - anxiety_before) /
+                         static_cast<double>(slot_samples)
+                   : 0.0);
+      registry
+          ->gauge("lpvs_fleet_energy_mwh",
+                  "Cumulative fleet energy drawn (mWh)")
+          .set(report.total_energy_mwh);
     }
 
-    // (6) Replicate end-of-interval checkpoints.
+    // (6) Load-derived membership control.
+    evaluate_autoscale(slot, report);
+
+    // (7) Replicate end-of-interval checkpoints.
     take_checkpoints(slot);
+
+    // (8) Export: hand the slot's simulated clock to the telemetry hook.
+    if (config_.slot_hook) {
+      const auto sim_time_ms = static_cast<std::int64_t>(
+          static_cast<double>(slot + 1) * config_.slot_seconds * 1000.0);
+      config_.slot_hook(slot, sim_time_ms);
+    }
 
     bool any_active = false;
     for (const FleetUser& user : users_) {
@@ -740,7 +1048,9 @@ FederationReport Federation::run() {
         break;
       }
     }
-    if (!any_active) break;
+    // A diurnal run keeps going through an empty trough: the arrival
+    // process will refill the audience.
+    if (!any_active && !config_.diurnal.enabled) break;
   }
 
   report.mean_anxiety =

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -48,6 +49,48 @@ struct MembershipEvent {
   std::uint64_t server = 0;
   bool join = true;
   double weight = 1.0;
+};
+
+/// Diurnal arrival process: new viewers join mid-run following a sinusoidal
+/// day curve, so a long-horizon soak sees the load the autoscaler must
+/// track instead of the fixed start-slot audience.  Arrival counts are
+/// deterministic Poisson draws keyed on (seed, slot); each arrival clones a
+/// channel from the trace-derived session pool and draws its own device,
+/// battery, give-up level, and lifetime from per-user derived streams.
+struct DiurnalLoadConfig {
+  bool enabled = false;
+  double base_arrivals_per_slot = 0.0;  ///< mean arrivals at the trough
+  double peak_arrivals_per_slot = 0.0;  ///< mean arrivals at the peak
+  int period_slots = 1440;              ///< one simulated day of 1-min slots
+  /// Fraction of the period where the peak falls (0.5 = mid-period).
+  double peak_phase = 0.5;
+  int min_lifetime_slots = 60;   ///< arrival watch-time bounds (uniform)
+  int max_lifetime_slots = 360;
+  int max_users = 0;  ///< hard cap on users ever created; 0 = unlimited
+};
+
+/// Load-derived membership control: every `interval_slots` the policy
+/// looks at queue depth (active sessions per live server), the degraded
+/// share of the slot's solves (any ladder rung below full solve), and
+/// posterior staleness risk (failovers since the last evaluation), then
+/// joins or retires one server.  Decisions read only federation-internal
+/// state — never the metrics registry — so an attached registry cannot
+/// perturb the run (the obs-determinism contract).
+struct AutoscaleConfig {
+  bool enabled = false;
+  int interval_slots = 10;  ///< evaluation cadence
+  int cooldown_slots = 20;  ///< min slots between membership actions
+  int min_servers = 2;
+  int max_servers = 16;
+  double target_sessions_per_server = 12.0;
+  double high_watermark = 1.25;  ///< scale out above target * high
+  double low_watermark = 0.5;    ///< scale in below target * low
+  /// Scale out when more than this fraction of the window's solves ran on
+  /// a degraded rung; scale-in additionally requires half this fraction.
+  double degraded_fraction_out = 0.15;
+  /// Server ids minted for autoscale joins start here (clear of the
+  /// initial fleet and any scheduled membership events).
+  std::uint64_t first_server_id = 1000;
 };
 
 /// Per-server capacities and seed come from the shared ClusterParams base
@@ -86,6 +129,18 @@ struct FederationConfig : emu::ClusterParams {
   unsigned threads = 1;
 
   std::vector<MembershipEvent> membership;
+
+  DiurnalLoadConfig diurnal;
+  AutoscaleConfig autoscale;
+
+  /// Simulated wall seconds per federation slot (the clock the telemetry
+  /// windows aggregate over — the paper's slots are one minute).
+  double slot_seconds = 60.0;
+  /// End-of-slot hook, called after the slot's metrics are exported with
+  /// (slot, simulated time at slot end in ms).  The diurnal soak wires
+  /// this to TelemetryExporter::publish(sim_time_ms); it must not mutate
+  /// federation state.
+  std::function<void(int slot, std::int64_t sim_time_ms)> slot_hook;
 };
 
 /// One server's totals over the run.
@@ -117,6 +172,17 @@ struct FederationReport {
   long failovers = 0;
   long placement_moves = 0;   ///< users moved by join/leave rebalancing
   long capacity_violations = 0;  ///< schedules breaking a capacity row (0!)
+  long arrivals = 0;           ///< diurnal mid-run viewer arrivals
+  long sessions_started = 0;   ///< session attaches (initial + re-attach)
+  long sessions_ended = 0;     ///< orderly session closes
+  /// Active viewers left without a serving session after a reconcile —
+  /// the zero-lost-sessions SLO counts exactly this.
+  long sessions_lost = 0;
+  long autoscale_joins = 0;
+  long autoscale_leaves = 0;
+  int peak_servers = 0;        ///< most live servers at any slot
+  long degraded_solves = 0;    ///< server-slots solved below kFullSolve
+  long total_solves = 0;       ///< server-slots that ran the scheduler
   /// FNV-1a digest over every user's end state (battery, posterior,
   /// watch-time bit patterns) — one number that differs iff any of it
   /// does; the bit-exactness tests compare it.
@@ -139,11 +205,13 @@ class Federation {
   void setup_users();
   void setup_servers();
   EdgeServer& server(std::uint64_t id);
+  void spawn_arrivals(int slot, FederationReport& report);
   void handle_crashes(int slot, FederationReport& report);
   void reconcile_placement(int slot, bool rebalancing,
                            FederationReport& report);
   void serve_slot(int slot, FederationReport& report,
                   double& anxiety_accumulator);
+  void evaluate_autoscale(int slot, FederationReport& report);
   void take_checkpoints(int slot);
 
   FederationConfig config_;
@@ -156,6 +224,19 @@ class Federation {
   std::vector<FleetUser> users_;
   std::map<std::uint64_t, std::unique_ptr<EdgeServer>> servers_;
   std::map<std::uint64_t, ServerReport> departed_;  ///< reports of left servers
+
+  /// Channel templates (genre, bitrate) the diurnal arrival process clones
+  /// viewers from; captured once at setup from the trace.
+  struct SessionSeed {
+    media::Genre genre = media::Genre::kIrlChat;
+    double bitrate_mbps = 3.0;
+  };
+  std::vector<SessionSeed> session_pool_;
+  std::uint64_t next_auto_server_ = 0;  ///< next autoscale join id
+  int last_scale_slot_ = -1 << 20;      ///< cooldown anchor
+  long degraded_at_last_eval_ = 0;      ///< rung-window baselines
+  long solves_at_last_eval_ = 0;
+  long failovers_at_last_eval_ = 0;     ///< staleness guard baseline
 };
 
 }  // namespace lpvs::fleet

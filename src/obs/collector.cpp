@@ -1,0 +1,480 @@
+#include "lpvs/obs/collector.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "lpvs/common/io.hpp"
+#include "lpvs/common/json.hpp"
+
+namespace lpvs::obs {
+
+namespace io = common::io;
+
+long WindowAggregate::counter(const std::string& name, long fallback) const {
+  const auto it = counter_increments.find(name);
+  return it == counter_increments.end() ? fallback : it->second;
+}
+
+double WindowAggregate::gauge(const std::string& name,
+                              double fallback) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? fallback : it->second;
+}
+
+double WindowAggregate::quantile(const std::string& name, double q,
+                                 double fallback) const {
+  const auto it = histograms.find(name);
+  if (it == histograms.end() || it->second.count <= 0) return fallback;
+  return it->second.quantile(q);
+}
+
+long TelemetrySeries::counter_total(const std::string& name,
+                                    long fallback) const {
+  const auto it = counter_totals.find(name);
+  return it == counter_totals.end() ? fallback : it->second;
+}
+
+const WindowAggregate* TelemetrySeries::window_at(
+    std::int64_t time_ms) const {
+  for (const WindowAggregate& w : windows) {
+    if (time_ms >= w.start_ms && time_ms < w.end_ms) return &w;
+  }
+  return nullptr;
+}
+
+CollectorDaemon::CollectorDaemon(CollectorConfig config)
+    : config_(config) {
+  if (config_.window_ms <= 0) config_.window_ms = 60000;
+}
+
+CollectorDaemon::~CollectorDaemon() { stop(); }
+
+common::Status CollectorDaemon::start() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (running_) {
+      return common::Status::Internal("collector already running");
+    }
+  }
+  io::ignore_sigpipe();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return common::Status::Unavailable(std::string("socket: ") +
+                                       std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return common::Status::Unavailable(std::string("bind: ") +
+                                       std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    return common::Status::Unavailable(std::string("listen: ") +
+                                       std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  common::Status status = io::set_nonblocking(listen_fd_);
+  if (!status.ok()) return status;
+
+  if (::pipe(wake_pipe_) < 0) {
+    return common::Status::Internal(std::string("pipe: ") +
+                                    std::strerror(errno));
+  }
+  (void)io::set_nonblocking(wake_pipe_[0]);
+  (void)io::set_nonblocking(wake_pipe_[1]);
+
+  loop_ = std::make_unique<server::EventLoop>(config_.backend);
+  status = loop_->add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
+  if (!status.ok()) return status;
+  status = loop_->add(wake_pipe_[0], true, false);
+  if (!status.ok()) return status;
+
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    running_ = true;
+  }
+  reactor_ = std::thread([this] { run_loop(); });
+  return common::Status::Ok();
+}
+
+common::Status CollectorDaemon::drain(int timeout_ms, long min_frames) {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  const bool done = progress_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [&] {
+        return !running_ || (open_connections_ == 0 &&
+                             frames_received_ >= min_frames);
+      });
+  if (!done) {
+    return common::Status::DeadlineExceeded(
+        "collector drain: connections still open or frames missing");
+  }
+  return common::Status::Ok();
+}
+
+void CollectorDaemon::stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  wake();
+  if (reactor_.joinable()) reactor_.join();
+  for (auto& [fd, conn] : connections_) io::close_fd(conn.fd);
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    io::close_fd(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      io::close_fd(fd);
+      fd = -1;
+    }
+  }
+  loop_.reset();
+  progress_.notify_all();
+}
+
+void CollectorDaemon::wake() {
+  const std::uint8_t byte = 1;
+  if (wake_pipe_[1] >= 0) {
+    (void)io::write_retry(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void CollectorDaemon::run_loop() {
+  std::vector<server::LoopEvent> events;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (!running_) break;
+    }
+    auto waited = loop_->wait(200, events);
+    if (!waited.ok()) break;
+    for (const server::LoopEvent& event : events) {
+      if (event.fd == wake_pipe_[0]) {
+        std::uint8_t sink[64];
+        while (io::read_retry(wake_pipe_[0], sink, sizeof(sink)).ok()) {
+        }
+        continue;
+      }
+      if (event.fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      const auto it = connections_.find(event.fd);
+      if (it == connections_.end()) continue;
+      if (event.broken || !service_connection(it->second)) {
+        (void)loop_->remove(it->first);
+        io::close_fd(it->second.fd);
+        connections_.erase(it);
+        {
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          --open_connections_;
+        }
+        progress_.notify_all();
+      }
+    }
+    progress_.notify_all();
+  }
+}
+
+void CollectorDaemon::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient error: back to the loop
+    }
+    (void)io::set_nonblocking(fd);
+    (void)io::set_tcp_nodelay(fd);
+    if (!loop_->add(fd, /*want_read=*/true, /*want_write=*/false).ok()) {
+      io::close_fd(fd);
+      continue;
+    }
+    Connection conn;
+    conn.fd = fd;
+    connections_.emplace(fd, std::move(conn));
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++open_connections_;
+    }
+    progress_.notify_all();
+  }
+}
+
+bool CollectorDaemon::service_connection(Connection& conn) {
+  std::uint8_t chunk[16384];
+  bool peer_done = false;
+  for (;;) {
+    const io::IoResult got = io::read_retry(conn.fd, chunk, sizeof(chunk));
+    if (got.kind == io::IoResult::Kind::kWouldBlock) break;
+    if (!got.ok() || got.count == 0) {
+      // EOF or transport error: cut whatever complete frames are already
+      // buffered, then close.  (A clean exporter shutdown leaves the
+      // buffer empty here.)
+      peer_done = true;
+      break;
+    }
+    conn.buffer.insert(conn.buffer.end(), chunk, chunk + got.count);
+  }
+
+  // Cut complete frames: length(u32 LE) + payload.
+  std::size_t cursor = 0;
+  bool poisoned = false;
+  while (conn.buffer.size() - cursor >= 4) {
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) {
+      length |= static_cast<std::uint32_t>(conn.buffer[cursor + i])
+                << (8 * i);
+    }
+    if (length == 0 || length > telemetry::kMaxFrameBytes) {
+      poisoned = true;
+      break;
+    }
+    if (conn.buffer.size() - cursor - 4 < length) break;  // incomplete
+    const auto decoded =
+        telemetry::decode_payload(conn.buffer.data() + cursor + 4, length);
+    if (decoded.ok()) {
+      fold(*decoded);
+    } else {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++decode_errors_;
+      poisoned = true;
+    }
+    cursor += 4 + length;
+    if (poisoned) break;
+  }
+  if (cursor > 0) {
+    conn.buffer.erase(conn.buffer.begin(),
+                      conn.buffer.begin() + static_cast<long>(cursor));
+  }
+  if (poisoned) return false;  // close: the stream cannot be trusted
+  return !peer_done;
+}
+
+void CollectorDaemon::fold(const telemetry::Frame& frame) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  ++frames_received_;
+
+  SourceState& source = sources_[frame.source_id];
+  source.source_id = frame.source_id;
+  if (frame.type == telemetry::FrameType::kHello) {
+    source.label = frame.label;
+    return;
+  }
+
+  const MetricsDelta& delta = frame.delta;
+  // Loss accounting: every export consumes a sequence, so a gap means
+  // frames never arrived.  base_sequence == last received sequence proves
+  // the exporter re-based over the gap (increments coalesced, only time
+  // resolution lost).
+  if (source.last_sequence != 0 &&
+      delta.sequence > source.last_sequence + 1) {
+    source.lost_deltas +=
+        static_cast<long>(delta.sequence - source.last_sequence - 1);
+    if (delta.base_sequence == source.last_sequence) ++source.coalesced_gaps;
+  } else if (source.last_sequence == 0 && delta.sequence > 1) {
+    source.lost_deltas += static_cast<long>(delta.sequence - 1);
+  }
+  if (delta.sequence <= source.last_sequence) return;  // stale duplicate
+  source.last_sequence = delta.sequence;
+  ++source.deltas_received;
+
+  // Running totals (fleet view).
+  for (const CounterDelta& c : delta.counters) {
+    counter_totals_[c.name] += c.increment;
+  }
+  for (const GaugeDelta& g : delta.gauges) {
+    gauge_last_[g.name] = g.value;
+  }
+  for (const HistogramDelta& h : delta.histograms) {
+    HistogramSample& total = histogram_totals_[h.name];
+    if (total.upper_bounds.empty()) {
+      total.name = h.name;
+      total.upper_bounds = h.upper_bounds;
+      total.bucket_counts.assign(h.upper_bounds.size() + 1, 0);
+    }
+    if (total.upper_bounds.size() == h.upper_bounds.size()) {
+      for (std::size_t b = 0; b < h.bucket_increments.size(); ++b) {
+        total.bucket_counts[b] += h.bucket_increments[b];
+      }
+      total.count += h.count_increment;
+      total.sum += h.sum_increment;
+    }
+  }
+
+  // Windowed series keyed by the exporter's clock.
+  const std::int64_t start =
+      (frame.time_ms / config_.window_ms) * config_.window_ms -
+      (frame.time_ms < 0 && frame.time_ms % config_.window_ms != 0
+           ? config_.window_ms
+           : 0);
+  WindowAggregate& window = windows_[start];
+  window.start_ms = start;
+  window.end_ms = start + config_.window_ms;
+  ++window.deltas;
+  for (const CounterDelta& c : delta.counters) {
+    window.counter_increments[c.name] += c.increment;
+  }
+  for (const GaugeDelta& g : delta.gauges) {
+    window.gauges[g.name] = g.value;
+  }
+  for (const HistogramDelta& h : delta.histograms) {
+    HistogramSample& slice = window.histograms[h.name];
+    if (slice.upper_bounds.empty()) {
+      slice.name = h.name;
+      slice.upper_bounds = h.upper_bounds;
+      slice.bucket_counts.assign(h.upper_bounds.size() + 1, 0);
+    }
+    if (slice.upper_bounds.size() == h.upper_bounds.size()) {
+      for (std::size_t b = 0; b < h.bucket_increments.size(); ++b) {
+        slice.bucket_counts[b] += h.bucket_increments[b];
+      }
+      slice.count += h.count_increment;
+      slice.sum += h.sum_increment;
+    }
+  }
+}
+
+TelemetrySeries CollectorDaemon::series() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  TelemetrySeries out;
+  out.sources.reserve(sources_.size());
+  for (const auto& [id, source] : sources_) {
+    out.sources.push_back(source);
+    out.lost_deltas += source.lost_deltas;
+  }
+  out.windows.reserve(windows_.size());
+  for (const auto& [start, window] : windows_) out.windows.push_back(window);
+  out.counter_totals = counter_totals_;
+  out.gauge_last = gauge_last_;
+  out.histogram_totals = histogram_totals_;
+  out.frames_received = frames_received_;
+  out.decode_errors = decode_errors_;
+  return out;
+}
+
+std::string CollectorDaemon::exposition() const {
+  const TelemetrySeries s = series();
+  // Reuse the registry exposition formatter by shaping the totals as a
+  // snapshot: the collector *is* a registry whose writers live elsewhere.
+  MetricsSnapshot snapshot;
+  for (const auto& [name, value] : s.counter_totals) {
+    snapshot.counters.push_back({name, "", value});
+  }
+  snapshot.counters.push_back({"lpvs_collector_frames_total",
+                               "Telemetry frames decoded by the collector",
+                               s.frames_received});
+  snapshot.counters.push_back(
+      {"lpvs_collector_decode_errors_total",
+       "Telemetry frames rejected (bad seal or malformed body)",
+       s.decode_errors});
+  snapshot.counters.push_back(
+      {"lpvs_collector_lost_deltas_total",
+       "Exporter deltas that never arrived (sequence gaps)",
+       s.lost_deltas});
+  for (const auto& [name, value] : s.gauge_last) {
+    snapshot.gauges.push_back({name, "", value});
+  }
+  for (const auto& [name, hist] : s.histogram_totals) {
+    snapshot.histograms.push_back(hist);
+  }
+  return obs::exposition(snapshot);
+}
+
+std::string CollectorDaemon::jsonl() const {
+  const TelemetrySeries s = series();
+  std::string out;
+
+  common::Json meta = common::Json::object();
+  meta.set("record", "meta");
+  meta.set("window_ms", static_cast<long>(config_.window_ms));
+  meta.set("frames_received", s.frames_received);
+  meta.set("decode_errors", s.decode_errors);
+  meta.set("lost_deltas", s.lost_deltas);
+  common::Json sources = common::Json::array();
+  for (const SourceState& src : s.sources) {
+    common::Json j = common::Json::object();
+    j.set("source_id", static_cast<long>(src.source_id));
+    j.set("label", src.label);
+    j.set("deltas_received", src.deltas_received);
+    j.set("lost_deltas", src.lost_deltas);
+    j.set("coalesced_gaps", src.coalesced_gaps);
+    sources.push(std::move(j));
+  }
+  meta.set("sources", std::move(sources));
+  common::Json totals = common::Json::object();
+  for (const auto& [name, value] : s.counter_totals) {
+    totals.set(name, value);
+  }
+  meta.set("counter_totals", std::move(totals));
+  out += meta.dump();
+  out += "\n";
+
+  for (const WindowAggregate& window : s.windows) {
+    common::Json j = common::Json::object();
+    j.set("record", "window");
+    j.set("start_ms", static_cast<long>(window.start_ms));
+    j.set("end_ms", static_cast<long>(window.end_ms));
+    j.set("deltas", window.deltas);
+    common::Json counters = common::Json::object();
+    for (const auto& [name, inc] : window.counter_increments) {
+      counters.set(name, inc);
+    }
+    j.set("counters", std::move(counters));
+    common::Json gauges = common::Json::object();
+    for (const auto& [name, value] : window.gauges) {
+      gauges.set(name, value);
+    }
+    j.set("gauges", std::move(gauges));
+    common::Json hists = common::Json::object();
+    for (const auto& [name, hist] : window.histograms) {
+      common::Json h = common::Json::object();
+      h.set("count", hist.count);
+      h.set("sum", hist.sum);
+      h.set("p50", hist.count > 0 ? hist.quantile(0.50) : 0.0);
+      h.set("p99", hist.count > 0 ? hist.quantile(0.99) : 0.0);
+      hists.set(name, std::move(h));
+    }
+    j.set("histograms", std::move(hists));
+    out += j.dump();
+    out += "\n";
+  }
+  return out;
+}
+
+common::Status CollectorDaemon::dump_jsonl(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return common::Status::Unavailable("cannot open " + path);
+  }
+  file << jsonl();
+  file.close();
+  if (!file) {
+    return common::Status::DataLoss("short write to " + path);
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace lpvs::obs

@@ -1,0 +1,171 @@
+// Telemetry collector: the consuming half of the continuous export path
+// (telemetry.hpp is the producing half).
+//
+// CollectorDaemon is a single-reactor loopback TCP daemon — the same
+// EventLoop + wake-pipe skeleton as the edge-server dispatcher — that
+// accepts TelemetryExporter connections, decodes sealed
+// lpvs-wire/telemetry frames, and folds every MetricsDelta into two views:
+//
+//   - Running totals per metric (counters summed, gauges last-write-wins,
+//     histogram buckets accumulated), dumped as Prometheus exposition.
+//     This is what a scrape of the *collector* shows for the whole fleet.
+//   - A windowed time series: deltas are bucketed by their export
+//     timestamp (wall or simulated) into fixed windows, each window
+//     holding per-metric increments and per-histogram bucket sums from
+//     which per-window quantiles (p50/p99) fall out.  This is what the
+//     24-hour diurnal soak asserts its SLOs against — one aggregate per
+//     simulated minute instead of one number for the whole day.
+//
+// Loss accounting is first-class: exporters stamp every delta with a
+// monotonic export sequence, so the collector detects dropped frames (ring
+// overflow on the exporter, injected kTelemetryExport link loss, send
+// failures) as sequence gaps and counts them per source as lost_deltas.
+// A gap whose base_sequence equals the last *received* sequence proves the
+// gap cost only time resolution, not counter increments — the exporter
+// re-bases dropped deltas — and the collector tracks the distinction as
+// coalesced_gaps vs lost_increment gaps.
+//
+// Corrupted frames (bad seal, short body, trailing garbage) are counted
+// and the connection is closed; a poisoned frame never reaches a series.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lpvs/common/status.hpp"
+#include "lpvs/obs/metrics.hpp"
+#include "lpvs/obs/telemetry.hpp"
+#include "lpvs/server/event_loop.hpp"
+
+namespace lpvs::obs {
+
+struct CollectorConfig {
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  /// Time-series window width over the exporters' time_ms clock.  The
+  /// compressed soak uses one simulated minute.
+  std::int64_t window_ms = 60000;
+  server::EventLoop::Backend backend = server::EventLoop::Backend::kAuto;
+};
+
+/// One exporter's connection/loss bookkeeping, keyed by source_id.
+struct SourceState {
+  std::uint64_t source_id = 0;
+  std::string label;
+  std::uint64_t last_sequence = 0;  ///< highest delta sequence received
+  long deltas_received = 0;
+  long lost_deltas = 0;      ///< sequence gaps (frames that never arrived)
+  long coalesced_gaps = 0;   ///< gaps whose increments rode a later delta
+};
+
+/// All deltas whose time_ms landed in [start_ms, end_ms), merged across
+/// sources.  Maps are ordered so dumps are deterministic.
+struct WindowAggregate {
+  std::int64_t start_ms = 0;
+  std::int64_t end_ms = 0;
+  long deltas = 0;
+  std::map<std::string, long> counter_increments;
+  std::map<std::string, double> gauges;  ///< last value seen in the window
+  /// Per-window histogram slice: bucket_counts hold only this window's
+  /// increments, so quantile() is the window-local estimate.
+  std::map<std::string, HistogramSample> histograms;
+
+  long counter(const std::string& name, long fallback = 0) const;
+  double gauge(const std::string& name, double fallback = 0.0) const;
+  /// Window-local quantile; fallback when the metric is absent or empty.
+  double quantile(const std::string& name, double q,
+                  double fallback = 0.0) const;
+};
+
+/// A locked copy of everything the collector has folded so far.
+struct TelemetrySeries {
+  std::vector<SourceState> sources;
+  std::vector<WindowAggregate> windows;  ///< sorted by start_ms
+  std::map<std::string, long> counter_totals;
+  std::map<std::string, double> gauge_last;
+  std::map<std::string, HistogramSample> histogram_totals;
+  long frames_received = 0;
+  long decode_errors = 0;
+  long lost_deltas = 0;  ///< summed over sources
+
+  long counter_total(const std::string& name, long fallback = 0) const;
+  const WindowAggregate* window_at(std::int64_t time_ms) const;
+};
+
+class CollectorDaemon {
+ public:
+  explicit CollectorDaemon(CollectorConfig config = {});
+  ~CollectorDaemon();
+  CollectorDaemon(const CollectorDaemon&) = delete;
+  CollectorDaemon& operator=(const CollectorDaemon&) = delete;
+
+  /// Binds the loopback listener and starts the reactor thread.
+  common::Status start();
+
+  /// The bound port (after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Waits until every accepted connection has closed and at least
+  /// `min_frames` frames have been decoded — the deterministic handshake
+  /// the tests use: the exporter's flush() reports how many frames it
+  /// offered to the socket, and drain() waits for exactly those.
+  common::Status drain(int timeout_ms, long min_frames = 0);
+
+  /// Stops the reactor and closes every connection.  Does not drain.
+  void stop();
+
+  TelemetrySeries series() const;
+
+  /// Prometheus exposition of the accumulated totals (fleet view), plus
+  /// the collector's own lpvs_collector_* health counters.
+  std::string exposition() const;
+
+  /// One compact JSON object per line: a `meta` line (sources, totals,
+  /// loss accounting) followed by one line per window.  This is the soak
+  /// artifact CI uploads.
+  std::string jsonl() const;
+  common::Status dump_jsonl(const std::string& path) const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::vector<std::uint8_t> buffer;  ///< bytes read, frames not yet cut
+  };
+
+  void run_loop();
+  void wake();
+  void accept_ready();
+  /// Reads until would-block/EOF, cutting and folding complete frames.
+  /// False when the connection is finished (EOF or error) and was closed.
+  bool service_connection(Connection& conn);
+  /// Folds one decoded frame into totals, windows, and source state.
+  void fold(const telemetry::Frame& frame);
+
+  CollectorConfig config_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::unique_ptr<server::EventLoop> loop_;
+  std::thread reactor_;
+  bool running_ = false;  ///< guarded by state_mutex_
+
+  std::map<int, Connection> connections_;  ///< reactor thread only
+
+  mutable std::mutex state_mutex_;
+  mutable std::condition_variable progress_;
+  long open_connections_ = 0;
+  long frames_received_ = 0;
+  long decode_errors_ = 0;
+  std::map<std::uint64_t, SourceState> sources_;
+  std::map<std::int64_t, WindowAggregate> windows_;  ///< keyed by start_ms
+  std::map<std::string, long> counter_totals_;
+  std::map<std::string, double> gauge_last_;
+  std::map<std::string, HistogramSample> histogram_totals_;
+};
+
+}  // namespace lpvs::obs

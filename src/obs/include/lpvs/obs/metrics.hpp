@@ -11,9 +11,16 @@
 //     lifetime, and every mutation is lock-free (atomics), so hot paths
 //     resolve a handle once and write without contention.
 //   - ScopedTimer: RAII wall-clock section timer feeding a histogram.
-//   - Snapshot: a plain-data copy of the registry, with Prometheus-style
-//     text exposition and a common::Json export sharing the same
-//     serialization path as emu/metrics_io.
+//   - MetricsSnapshot: a plain-data copy of the registry with *typed named
+//     lookups* (counter_value / gauge_value / histogram views) and a
+//     monotonic sequence number, with Prometheus-style text exposition and
+//     a common::Json export sharing the same serialization path as
+//     emu/metrics_io.  Consumers read fields by name through the typed
+//     accessors — never by parsing exposition text.
+//   - MetricsDelta: the change between two snapshots of the same registry
+//     (counter increments, gauge last-values, histogram bucket
+//     increments), cheap to compute and small to ship — the unit the
+//     telemetry exporter (telemetry.hpp) moves off-process.
 //
 // Design contract (enforced by tests/obs_test.cpp): instrumentation is
 // *observational only* — attaching or detaching a registry must never
@@ -28,6 +35,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -89,7 +97,7 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
-/// Plain-data copies of one metric each; what snapshot() returns.
+/// Plain-data copies of one metric each; what snapshot_all() returns.
 struct CounterSample {
   std::string name;
   std::string help;
@@ -113,12 +121,82 @@ struct HistogramSample {
   double quantile(double q) const;
 };
 
-/// A point-in-time copy of every registered metric, in registration order.
-struct Snapshot {
+/// A point-in-time copy of every registered metric, in registration order,
+/// stamped with a per-registry monotonic sequence number.
+///
+/// The typed accessors are the supported way to read a metric by name;
+/// scanning the vectors (or worse, parsing exposition() text) is what this
+/// API replaced.  Lookups are linear — registries hold tens of metrics,
+/// not thousands, and a snapshot is plain data with no index to keep
+/// coherent.
+struct MetricsSnapshot {
+  /// Monotonic per-registry snapshot counter (1 for the first snapshot).
+  /// Two snapshots of one registry order by it; the exporter uses it to
+  /// stamp deltas so the collector can detect loss.
+  std::uint64_t sequence = 0;
+
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+
+  /// Typed named lookups; null when `name` was never registered.
+  const CounterSample* counter(std::string_view name) const;
+  const GaugeSample* gauge(std::string_view name) const;
+  const HistogramSample* histogram(std::string_view name) const;
+
+  /// Value shorthands for the overwhelmingly common "read one number"
+  /// case; `fallback` when the metric is absent.
+  long counter_value(std::string_view name, long fallback = 0) const;
+  double gauge_value(std::string_view name, double fallback = 0.0) const;
+  /// Interpolated quantile of a named histogram; `fallback` when absent.
+  double histogram_quantile(std::string_view name, double q,
+                            double fallback = 0.0) const;
 };
+
+/// One counter's change between two snapshots: `increment` is always
+/// >= 0 (counters are monotone within a registry's lifetime).
+struct CounterDelta {
+  std::string name;
+  long increment = 0;
+};
+
+/// Gauges are last-write-wins, so the delta carries the new value.
+struct GaugeDelta {
+  std::string name;
+  double value = 0.0;
+};
+
+/// One histogram's change: per-bucket count increments plus the sum
+/// increment.  Bounds ride along so every delta frame is self-describing
+/// (a collector can join mid-stream).
+struct HistogramDelta {
+  std::string name;
+  std::vector<double> upper_bounds;
+  std::vector<long> bucket_increments;  ///< size upper_bounds + 1
+  long count_increment = 0;
+  double sum_increment = 0.0;
+};
+
+/// The change from one snapshot of a registry to a later one.  Metrics
+/// that did not move are omitted (gauges: omitted when bit-identical), so
+/// a quiet interval costs a near-empty frame on the wire.
+struct MetricsDelta {
+  std::uint64_t sequence = 0;       ///< the newer snapshot's sequence
+  std::uint64_t base_sequence = 0;  ///< the older snapshot's sequence
+  std::vector<CounterDelta> counters;
+  std::vector<GaugeDelta> gauges;
+  std::vector<HistogramDelta> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// The change from `older` to `newer`.  Both must come from the same
+/// registry (metrics matched by name; a metric absent from `older` is
+/// treated as starting from zero).
+MetricsDelta delta_since(const MetricsSnapshot& older,
+                         const MetricsSnapshot& newer);
 
 /// Thread-safe metric registry.  Registration takes a mutex; returned
 /// references stay valid (and lock-free to mutate) for the registry's
@@ -146,7 +224,16 @@ class MetricsRegistry {
   static std::vector<double> linear_buckets(double start, double step,
                                             int count);
 
-  Snapshot snapshot() const;
+  /// A consistent point-in-time copy of every metric: the registration
+  /// lock is held across the whole pass (no registration can interleave),
+  /// and each histogram is read with a bounded retry loop that re-checks
+  /// its total count, so within one HistogramSample the bucket counts sum
+  /// to `count` even while writers are observing concurrently.  Stamps the
+  /// next monotonic sequence number.
+  MetricsSnapshot snapshot_all() const;
+
+  /// Alias for snapshot_all() — the historical name.
+  MetricsSnapshot snapshot() const { return snapshot_all(); }
 
   /// Prometheus text exposition of a fresh snapshot.
   std::string exposition() const;
@@ -160,6 +247,7 @@ class MetricsRegistry {
   };
 
   mutable std::mutex mutex_;
+  mutable std::uint64_t snapshot_sequence_ = 0;  ///< guarded by mutex_
   std::vector<Entry<Counter>> counters_;
   std::vector<Entry<Gauge>> gauges_;
   std::vector<Entry<Histogram>> histograms_;
@@ -196,10 +284,10 @@ class ScopedTimer {
 
 /// Prometheus text exposition format (# HELP / # TYPE / samples, with
 /// cumulative le buckets for histograms).
-std::string exposition(const Snapshot& snapshot);
+std::string exposition(const MetricsSnapshot& snapshot);
 
 /// JSON export via the same common::Json path as emu/metrics_io (also
 /// re-exported there as emu::to_json alongside the RunMetrics overloads).
-common::Json to_json(const Snapshot& snapshot);
+common::Json to_json(const MetricsSnapshot& snapshot);
 
 }  // namespace lpvs::obs

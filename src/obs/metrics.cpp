@@ -1,9 +1,11 @@
 #include "lpvs/obs/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <numeric>
 
 namespace lpvs::obs {
 namespace {
@@ -83,6 +85,110 @@ double HistogramSample::quantile(double q) const {
   return quantile_from_buckets(upper_bounds, bucket_counts, count, q);
 }
 
+const CounterSample* MetricsSnapshot::counter(std::string_view name) const {
+  for (const CounterSample& sample : counters) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const GaugeSample* MetricsSnapshot::gauge(std::string_view name) const {
+  for (const GaugeSample& sample : gauges) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const HistogramSample* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const HistogramSample& sample : histograms) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+long MetricsSnapshot::counter_value(std::string_view name,
+                                    long fallback) const {
+  const CounterSample* sample = counter(name);
+  return sample != nullptr ? sample->value : fallback;
+}
+
+double MetricsSnapshot::gauge_value(std::string_view name,
+                                    double fallback) const {
+  const GaugeSample* sample = gauge(name);
+  return sample != nullptr ? sample->value : fallback;
+}
+
+double MetricsSnapshot::histogram_quantile(std::string_view name, double q,
+                                           double fallback) const {
+  const HistogramSample* sample = histogram(name);
+  return sample != nullptr ? sample->quantile(q) : fallback;
+}
+
+MetricsDelta delta_since(const MetricsSnapshot& older,
+                         const MetricsSnapshot& newer) {
+  MetricsDelta delta;
+  delta.sequence = newer.sequence;
+  delta.base_sequence = older.sequence;
+
+  // Registration is append-only, so the older snapshot's entries are a
+  // prefix of the newer's in the same order; walk both with an index and
+  // fall back to a by-name probe only if that invariant ever breaks.
+  const auto base_counter = [&](std::size_t i,
+                                const std::string& name) -> long {
+    if (i < older.counters.size() && older.counters[i].name == name) {
+      return older.counters[i].value;
+    }
+    return older.counter_value(name, 0);
+  };
+  for (std::size_t i = 0; i < newer.counters.size(); ++i) {
+    const CounterSample& sample = newer.counters[i];
+    const long increment = sample.value - base_counter(i, sample.name);
+    if (increment != 0) delta.counters.push_back({sample.name, increment});
+  }
+
+  for (std::size_t i = 0; i < newer.gauges.size(); ++i) {
+    const GaugeSample& sample = newer.gauges[i];
+    const GaugeSample* base =
+        i < older.gauges.size() && older.gauges[i].name == sample.name
+            ? &older.gauges[i]
+            : older.gauge(sample.name);
+    // Bit comparison, not ==: a gauge rewritten to the same value stays
+    // omitted, while NaN (which != itself) still exports once.
+    if (base != nullptr &&
+        std::bit_cast<std::uint64_t>(base->value) ==
+            std::bit_cast<std::uint64_t>(sample.value)) {
+      continue;
+    }
+    delta.gauges.push_back({sample.name, sample.value});
+  }
+
+  for (std::size_t i = 0; i < newer.histograms.size(); ++i) {
+    const HistogramSample& sample = newer.histograms[i];
+    const HistogramSample* base =
+        i < older.histograms.size() && older.histograms[i].name == sample.name
+            ? &older.histograms[i]
+            : older.histogram(sample.name);
+    const long base_count = base != nullptr ? base->count : 0;
+    if (sample.count == base_count) continue;
+    HistogramDelta h;
+    h.name = sample.name;
+    h.upper_bounds = sample.upper_bounds;
+    h.bucket_increments.resize(sample.bucket_counts.size());
+    for (std::size_t b = 0; b < sample.bucket_counts.size(); ++b) {
+      const long base_bucket =
+          base != nullptr && b < base->bucket_counts.size()
+              ? base->bucket_counts[b]
+              : 0;
+      h.bucket_increments[b] = sample.bucket_counts[b] - base_bucket;
+    }
+    h.count_increment = sample.count - base_count;
+    h.sum_increment = sample.sum - (base != nullptr ? base->sum : 0.0);
+    delta.histograms.push_back(std::move(h));
+  }
+  return delta;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -130,9 +236,10 @@ std::vector<double> MetricsRegistry::linear_buckets(double start, double step,
   return bounds;
 }
 
-Snapshot MetricsRegistry::snapshot() const {
+MetricsSnapshot MetricsRegistry::snapshot_all() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  Snapshot snap;
+  MetricsSnapshot snap;
+  snap.sequence = ++snapshot_sequence_;
   snap.counters.reserve(counters_.size());
   for (const auto& entry : counters_) {
     snap.counters.push_back({entry.name, entry.help, entry.metric->value()});
@@ -148,11 +255,23 @@ Snapshot MetricsRegistry::snapshot() const {
     sample.help = entry.help;
     sample.upper_bounds = entry.metric->upper_bounds();
     sample.bucket_counts.resize(sample.upper_bounds.size() + 1);
-    for (std::size_t b = 0; b < sample.bucket_counts.size(); ++b) {
-      sample.bucket_counts[b] = entry.metric->bucket_count(b);
+    // Consistent read under concurrent observe(): retry the bucket pass
+    // until the live total is unchanged across it (bounded — a failed pass
+    // means a writer landed mid-copy, which cannot repeat at snapshot
+    // cadence), then derive count from the buckets just read.  Within one
+    // sample the invariant `count == sum(bucket_counts)` therefore always
+    // holds, so an exporter delta can never mix bucket and count reads
+    // from different instants.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const long before = entry.metric->count();
+      for (std::size_t b = 0; b < sample.bucket_counts.size(); ++b) {
+        sample.bucket_counts[b] = entry.metric->bucket_count(b);
+      }
+      sample.sum = entry.metric->sum();
+      if (entry.metric->count() == before) break;
     }
-    sample.count = entry.metric->count();
-    sample.sum = entry.metric->sum();
+    sample.count = std::accumulate(sample.bucket_counts.begin(),
+                                   sample.bucket_counts.end(), 0L);
     snap.histograms.push_back(std::move(sample));
   }
   return snap;
@@ -162,7 +281,7 @@ std::string MetricsRegistry::exposition() const {
   return obs::exposition(snapshot());
 }
 
-std::string exposition(const Snapshot& snapshot) {
+std::string exposition(const MetricsSnapshot& snapshot) {
   std::string out;
   auto header = [&out](const std::string& name, const std::string& help,
                        const char* type) {
@@ -197,7 +316,7 @@ std::string exposition(const Snapshot& snapshot) {
   return out;
 }
 
-common::Json to_json(const Snapshot& snapshot) {
+common::Json to_json(const MetricsSnapshot& snapshot) {
   common::Json root = common::Json::object();
   common::Json counters = common::Json::object();
   for (const CounterSample& c : snapshot.counters) {

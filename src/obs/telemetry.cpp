@@ -1,0 +1,421 @@
+#include "lpvs/obs/telemetry.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <utility>
+
+#include "lpvs/common/io.hpp"
+#include "lpvs/common/wire.hpp"
+
+namespace lpvs::obs {
+namespace telemetry {
+
+void encode_into(const Frame& frame, std::vector<std::uint8_t>& out) {
+  common::wire::Writer writer(&out);
+  writer.u32(0);  // length prefix, patched below
+  const std::size_t payload_start = out.size();
+  writer.u32(kMagic);
+  writer.u32(kVersion);
+  writer.u8(static_cast<std::uint8_t>(frame.type));
+  writer.u64(frame.source_id);
+  if (frame.type == FrameType::kHello) {
+    writer.str(frame.label);
+  } else {
+    writer.u64(frame.delta.sequence);
+    writer.u64(frame.delta.base_sequence);
+    writer.i64(frame.time_ms);
+    writer.varint(frame.delta.counters.size());
+    for (const CounterDelta& c : frame.delta.counters) {
+      writer.str(c.name);
+      writer.varint(static_cast<std::uint64_t>(c.increment));
+    }
+    writer.varint(frame.delta.gauges.size());
+    for (const GaugeDelta& g : frame.delta.gauges) {
+      writer.str(g.name);
+      writer.f64(g.value);
+    }
+    writer.varint(frame.delta.histograms.size());
+    for (const HistogramDelta& h : frame.delta.histograms) {
+      writer.str(h.name);
+      writer.varint(h.upper_bounds.size());
+      for (double bound : h.upper_bounds) writer.f64(bound);
+      for (long inc : h.bucket_increments) {
+        writer.varint(static_cast<std::uint64_t>(inc));
+      }
+      writer.f64(h.sum_increment);
+    }
+  }
+  common::wire::seal(out, payload_start);
+  const auto payload_size =
+      static_cast<std::uint32_t>(out.size() - payload_start);
+  for (int i = 0; i < 4; ++i) {
+    out[payload_start - 4 + i] =
+        static_cast<std::uint8_t>((payload_size >> (8 * i)) & 0xFFu);
+  }
+}
+
+common::StatusOr<Frame> decode_payload(const std::uint8_t* data,
+                                       std::size_t size) {
+  const common::Status sealed = common::wire::verify_seal(data, size);
+  if (!sealed.ok()) return sealed;
+  common::wire::Reader reader(data, size - sizeof(std::uint64_t));
+
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint8_t raw_type = 0;
+  Frame frame;
+  if (!reader.u32(magic) || !reader.u32(version) || !reader.u8(raw_type) ||
+      !reader.u64(frame.source_id)) {
+    return common::Status::DataLoss("telemetry frame truncated");
+  }
+  if (magic != kMagic) {
+    return common::Status::InvalidArgument("telemetry frame: bad magic");
+  }
+  if (version != kVersion) {
+    return common::Status::InvalidArgument(
+        "telemetry frame: unsupported version");
+  }
+  if (raw_type != static_cast<std::uint8_t>(FrameType::kHello) &&
+      raw_type != static_cast<std::uint8_t>(FrameType::kDelta)) {
+    return common::Status::InvalidArgument("telemetry frame: unknown type");
+  }
+  frame.type = static_cast<FrameType>(raw_type);
+
+  if (frame.type == FrameType::kHello) {
+    if (!reader.str(frame.label)) {
+      return common::Status::DataLoss("telemetry hello truncated");
+    }
+  } else {
+    std::uint64_t n = 0;
+    if (!reader.u64(frame.delta.sequence) ||
+        !reader.u64(frame.delta.base_sequence) ||
+        !reader.i64(frame.time_ms) || !reader.varint(n)) {
+      return common::Status::DataLoss("telemetry delta truncated");
+    }
+    frame.delta.counters.resize(n);
+    for (CounterDelta& c : frame.delta.counters) {
+      std::uint64_t inc = 0;
+      if (!reader.str(c.name) || !reader.varint(inc)) {
+        return common::Status::DataLoss("telemetry delta: counter truncated");
+      }
+      c.increment = static_cast<long>(inc);
+    }
+    if (!reader.varint(n)) {
+      return common::Status::DataLoss("telemetry delta truncated");
+    }
+    frame.delta.gauges.resize(n);
+    for (GaugeDelta& g : frame.delta.gauges) {
+      if (!reader.str(g.name) || !reader.f64(g.value)) {
+        return common::Status::DataLoss("telemetry delta: gauge truncated");
+      }
+    }
+    if (!reader.varint(n)) {
+      return common::Status::DataLoss("telemetry delta truncated");
+    }
+    frame.delta.histograms.resize(n);
+    for (HistogramDelta& h : frame.delta.histograms) {
+      std::uint64_t bounds = 0;
+      if (!reader.str(h.name) || !reader.varint(bounds)) {
+        return common::Status::DataLoss(
+            "telemetry delta: histogram truncated");
+      }
+      if (bounds > kMaxFrameBytes / sizeof(double)) {
+        return common::Status::InvalidArgument(
+            "telemetry delta: implausible bound count");
+      }
+      h.upper_bounds.resize(bounds);
+      for (double& bound : h.upper_bounds) {
+        if (!reader.f64(bound)) {
+          return common::Status::DataLoss(
+              "telemetry delta: histogram truncated");
+        }
+      }
+      h.bucket_increments.resize(bounds + 1);
+      h.count_increment = 0;
+      for (long& inc : h.bucket_increments) {
+        std::uint64_t raw = 0;
+        if (!reader.varint(raw)) {
+          return common::Status::DataLoss(
+              "telemetry delta: histogram truncated");
+        }
+        inc = static_cast<long>(raw);
+        h.count_increment += inc;
+      }
+      if (!reader.f64(h.sum_increment)) {
+        return common::Status::DataLoss(
+            "telemetry delta: histogram truncated");
+      }
+    }
+  }
+  if (!reader.exhausted()) {
+    return common::Status::InvalidArgument(
+        "telemetry frame: trailing garbage");
+  }
+  return frame;
+}
+
+}  // namespace telemetry
+
+namespace {
+
+/// Blocking loopback connect (flush thread only; publishers never reach
+/// here).  -1 on failure — the flush thread retries on the next frame.
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    common::io::close_fd(fd);
+    return -1;
+  }
+  (void)common::io::set_tcp_nodelay(fd);
+  return fd;
+}
+
+std::int64_t wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TelemetryExporter::TelemetryExporter(TelemetryConfig config,
+                                     MetricsRegistry& registry)
+    : config_(std::move(config)),
+      registry_(registry),
+      ring_(config_.ring_capacity),
+      metric_published_(registry.counter(
+          "lpvs_telemetry_published_total",
+          "Metric deltas offered to the telemetry export ring")),
+      metric_dropped_(registry.counter(
+          "lpvs_telemetry_dropped_total",
+          "Metric deltas lost to ring overflow or injected link drops")),
+      metric_sent_frames_(registry.counter(
+          "lpvs_telemetry_sent_frames_total",
+          "Telemetry frames written to the collector connection")),
+      metric_send_failures_(registry.counter(
+          "lpvs_telemetry_send_failures_total",
+          "Telemetry frames lost to connect/write failures")) {
+  common::io::ignore_sigpipe();
+}
+
+TelemetryExporter::~TelemetryExporter() { stop(); }
+
+common::Status TelemetryExporter::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return common::Status::Internal("telemetry exporter already running");
+  }
+  running_.store(true, std::memory_order_release);
+  flusher_ = std::thread([this] { flush_loop(); });
+  return common::Status::Ok();
+}
+
+bool TelemetryExporter::publish() { return publish_at(wall_ms()); }
+
+bool TelemetryExporter::publish(std::int64_t time_ms) {
+  return publish_at(time_ms);
+}
+
+bool TelemetryExporter::publish_at(std::int64_t time_ms) {
+  auto item = std::make_unique<Item>();
+  bool enqueued = false;
+  {
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    MetricsSnapshot current = registry_.snapshot_all();
+    item->time_ms = time_ms;
+    item->delta = delta_since(baseline_, current);
+    // The export sequence is consumed whether or not the enqueue lands, so
+    // a ring overflow is visible at the collector as a sequence gap whose
+    // base_sequence proves no increments were lost (only time resolution).
+    item->delta.sequence = next_sequence_++;
+    item->delta.base_sequence = last_enqueued_sequence_;
+    published_.fetch_add(1, std::memory_order_relaxed);
+    metric_published_.add();
+    if (ring_.try_push(std::move(item))) {
+      enqueued = true;
+      last_enqueued_sequence_ = next_sequence_ - 1;
+      baseline_ = std::move(current);
+      pending_.fetch_add(1, std::memory_order_release);
+    } else {
+      // Baseline stays put: the dropped delta's increments ride the next
+      // one.  Never block, never retry — observability must not apply
+      // backpressure to the serving path.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      metric_dropped_.add();
+    }
+  }
+  if (enqueued) {
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      work_pending_ = true;
+    }
+    wake_.notify_one();
+  }
+  return enqueued;
+}
+
+common::Status TelemetryExporter::flush(int timeout_ms) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return common::Status::Internal("telemetry exporter not running");
+  }
+  publish();  // export the tail of the run
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  const bool drained = drained_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [this] {
+        return pending_.load(std::memory_order_acquire) == 0 ||
+               !running_.load(std::memory_order_acquire);
+      });
+  if (!drained) {
+    return common::Status::DeadlineExceeded("telemetry ring did not drain");
+  }
+  return common::Status::Ok();
+}
+
+void TelemetryExporter::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    work_pending_ = true;
+  }
+  wake_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  if (fd_ >= 0) {
+    common::io::close_fd(fd_);
+    fd_ = -1;
+  }
+}
+
+TelemetryStats TelemetryExporter::stats() const {
+  TelemetryStats stats;
+  stats.published = published_.load(std::memory_order_relaxed);
+  stats.dropped = dropped_.load(std::memory_order_relaxed);
+  stats.sent_frames = sent_frames_.load(std::memory_order_relaxed);
+  stats.sent_bytes = sent_bytes_.load(std::memory_order_relaxed);
+  stats.send_failures = send_failures_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+bool TelemetryExporter::ensure_connected() {
+  if (fd_ >= 0) return true;
+  fd_ = connect_loopback(config_.port);
+  if (fd_ < 0) return false;
+  telemetry::Frame hello;
+  hello.type = telemetry::FrameType::kHello;
+  hello.source_id = config_.source_id;
+  hello.label = config_.source_label;
+  encode_buffer_.clear();
+  telemetry::encode_into(hello, encode_buffer_);
+  if (!common::io::write_all(fd_, encode_buffer_.data(),
+                             encode_buffer_.size())
+           .ok()) {
+    common::io::close_fd(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+bool TelemetryExporter::send_frame(const telemetry::Frame& frame) {
+  if (!ensure_connected()) return false;
+  encode_buffer_.clear();
+  telemetry::encode_into(frame, encode_buffer_);
+  const common::Status written =
+      common::io::write_all(fd_, encode_buffer_.data(), encode_buffer_.size());
+  if (!written.ok()) {
+    common::io::close_fd(fd_);
+    fd_ = -1;
+    return false;
+  }
+  sent_frames_.fetch_add(1, std::memory_order_relaxed);
+  metric_sent_frames_.add();
+  sent_bytes_.fetch_add(static_cast<long>(encode_buffer_.size()),
+                        std::memory_order_relaxed);
+  return true;
+}
+
+void TelemetryExporter::flush_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::unique_ptr<Item> item;
+    while (ring_.try_pop(item)) {
+      const bool injected_drop =
+          config_.faults != nullptr &&
+          config_.faults->should_drop(fault::FaultSite::kTelemetryExport,
+                                      config_.source_id,
+                                      item->delta.sequence);
+      if (injected_drop) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        metric_dropped_.add();
+      } else {
+        telemetry::Frame frame;
+        frame.type = telemetry::FrameType::kDelta;
+        frame.source_id = config_.source_id;
+        frame.time_ms = item->time_ms;
+        frame.delta = std::move(item->delta);
+        if (!send_frame(frame)) {
+          send_failures_.fetch_add(1, std::memory_order_relaxed);
+          metric_send_failures_.add();
+        }
+      }
+      item.reset();
+      pending_.fetch_sub(1, std::memory_order_release);
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    drained_.notify_all();
+    if (config_.interval_ms > 0) {
+      const bool woken = wake_.wait_for(
+          lock, std::chrono::milliseconds(config_.interval_ms), [this] {
+            return work_pending_ ||
+                   !running_.load(std::memory_order_acquire);
+          });
+      work_pending_ = false;
+      lock.unlock();
+      if (!woken && running_.load(std::memory_order_acquire)) {
+        publish_at(wall_ms());  // interval self-publish (MPSC: safe here)
+      }
+    } else {
+      wake_.wait(lock, [this] {
+        return work_pending_ || !running_.load(std::memory_order_acquire);
+      });
+      work_pending_ = false;
+    }
+  }
+  // Orderly shutdown: offer whatever is still enqueued before exiting so
+  // stop()-after-flush() never strands sealed frames in the ring.
+  std::unique_ptr<Item> item;
+  while (ring_.try_pop(item)) {
+    const bool injected_drop =
+        config_.faults != nullptr &&
+        config_.faults->should_drop(fault::FaultSite::kTelemetryExport,
+                                    config_.source_id, item->delta.sequence);
+    if (injected_drop) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      metric_dropped_.add();
+    } else {
+      telemetry::Frame frame;
+      frame.type = telemetry::FrameType::kDelta;
+      frame.source_id = config_.source_id;
+      frame.time_ms = item->time_ms;
+      frame.delta = std::move(item->delta);
+      if (!send_frame(frame)) {
+        send_failures_.fetch_add(1, std::memory_order_relaxed);
+        metric_send_failures_.add();
+      }
+    }
+    item.reset();
+    pending_.fetch_sub(1, std::memory_order_release);
+  }
+  drained_.notify_all();
+}
+
+}  // namespace lpvs::obs

@@ -77,9 +77,10 @@ namespace lpvs::server {
 
 /// A point-in-time view of the daemon's counters, produced from the obs
 /// MetricsRegistry — the single source of truth.  Workers count into
-/// thread-local blocks; stats() folds them into the registry and parses
-/// the snapshot back into this struct, so the registry a caller attaches
-/// via RunContext and the struct returned here can never disagree.
+/// thread-local blocks; stats() folds them into the registry and reads the
+/// typed snapshot back into this struct via named lookups, so the registry
+/// a caller attaches via RunContext and the struct returned here can never
+/// disagree.
 struct ServerStats {
   long accepted = 0;
   long active = 0;
@@ -94,9 +95,9 @@ struct ServerStats {
   long forced_closes = 0;       ///< cut by stop() or a drain timeout
   long shed_slots = 0;          ///< slots pushed down the ladder by overload
 
-  /// Parses the lpvs_server_* samples out of a registry snapshot.  Fields
-  /// whose metric is absent stay zero.
-  static ServerStats from_snapshot(const obs::Snapshot& snapshot);
+  /// Reads the lpvs_server_* samples out of a typed registry snapshot.
+  /// Fields whose metric is absent stay zero.
+  static ServerStats from_snapshot(const obs::MetricsSnapshot& snapshot);
 };
 
 class EdgeServerDaemon {

@@ -30,38 +30,25 @@ using internal::Worker;
 
 }  // namespace
 
-ServerStats ServerStats::from_snapshot(const obs::Snapshot& snapshot) {
+ServerStats ServerStats::from_snapshot(const obs::MetricsSnapshot& snapshot) {
   ServerStats out;
-  for (const obs::CounterSample& sample : snapshot.counters) {
-    if (sample.name == "lpvs_server_accepted_total") {
-      out.accepted = sample.value;
-    } else if (sample.name == "lpvs_server_admission_rejects_total") {
-      out.admission_rejects = sample.value;
-    } else if (sample.name == "lpvs_server_decode_errors_total") {
-      out.decode_errors = sample.value;
-    } else if (sample.name == "lpvs_server_protocol_errors_total") {
-      out.protocol_errors = sample.value;
-    } else if (sample.name == "lpvs_server_backpressure_closes_total") {
-      out.backpressure_closes = sample.value;
-    } else if (sample.name == "lpvs_server_frames_rx_total") {
-      out.frames_rx = sample.value;
-    } else if (sample.name == "lpvs_server_frames_tx_total") {
-      out.frames_tx = sample.value;
-    } else if (sample.name == "lpvs_server_slots_total") {
-      out.slots_scheduled = sample.value;
-    } else if (sample.name == "lpvs_server_sessions_completed_total") {
-      out.sessions_completed = sample.value;
-    } else if (sample.name == "lpvs_server_forced_closes_total") {
-      out.forced_closes = sample.value;
-    } else if (sample.name == "lpvs_server_shed_total") {
-      out.shed_slots = sample.value;
-    }
-  }
-  for (const obs::GaugeSample& sample : snapshot.gauges) {
-    if (sample.name == "lpvs_server_active_sessions") {
-      out.active = static_cast<long>(sample.value);
-    }
-  }
+  out.accepted = snapshot.counter_value("lpvs_server_accepted_total");
+  out.admission_rejects =
+      snapshot.counter_value("lpvs_server_admission_rejects_total");
+  out.decode_errors = snapshot.counter_value("lpvs_server_decode_errors_total");
+  out.protocol_errors =
+      snapshot.counter_value("lpvs_server_protocol_errors_total");
+  out.backpressure_closes =
+      snapshot.counter_value("lpvs_server_backpressure_closes_total");
+  out.frames_rx = snapshot.counter_value("lpvs_server_frames_rx_total");
+  out.frames_tx = snapshot.counter_value("lpvs_server_frames_tx_total");
+  out.slots_scheduled = snapshot.counter_value("lpvs_server_slots_total");
+  out.sessions_completed =
+      snapshot.counter_value("lpvs_server_sessions_completed_total");
+  out.forced_closes = snapshot.counter_value("lpvs_server_forced_closes_total");
+  out.shed_slots = snapshot.counter_value("lpvs_server_shed_total");
+  out.active =
+      static_cast<long>(snapshot.gauge_value("lpvs_server_active_sessions"));
   return out;
 }
 

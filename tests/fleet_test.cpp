@@ -571,5 +571,152 @@ TEST(FleetFederation, ServerLeaveDrainsItsSessions) {
   }
 }
 
+// ------------------------------------------- diurnal load + autoscaling --
+
+trace::Trace diurnal_trace() {
+  trace::TraceConfig config;
+  config.channel_count = 40;
+  config.session_count = 160;
+  config.horizon_slots = 220;
+  return trace::TwitchLikeGenerator(config).generate(23);
+}
+
+/// One compressed "day" of 160 slots with the full control surface on:
+/// sinusoidal arrivals peaking mid-run, bounded lifetimes so the audience
+/// churns, and the load-derived autoscaler tracking it.
+fleet::FederationConfig diurnal_federation(unsigned threads) {
+  fleet::FederationConfig config;
+  config.seed = 11;
+  config.servers = 2;
+  config.users = 8;
+  config.min_viewers = 1;
+  config.start_slot = 10;
+  config.slots = 160;
+  config.chunks_per_slot = 6;
+  config.mobility_rate = 0.02;
+  config.checkpoint_interval = 2;
+  config.threads = threads;
+
+  config.diurnal.enabled = true;
+  config.diurnal.base_arrivals_per_slot = 0.05;
+  config.diurnal.peak_arrivals_per_slot = 2.5;
+  config.diurnal.period_slots = 160;
+  config.diurnal.peak_phase = 0.5;
+  config.diurnal.min_lifetime_slots = 10;
+  config.diurnal.max_lifetime_slots = 40;
+  config.diurnal.max_users = 400;
+
+  config.autoscale.enabled = true;
+  config.autoscale.interval_slots = 8;
+  config.autoscale.cooldown_slots = 10;
+  config.autoscale.min_servers = 2;
+  config.autoscale.max_servers = 8;
+  config.autoscale.target_sessions_per_server = 8.0;
+  return config;
+}
+
+TEST(FleetDiurnal, ArrivalsFollowTheDayCurve) {
+  const trace::Trace twitch = diurnal_trace();
+  const core::LpvsScheduler scheduler;
+  obs::MetricsRegistry registry;
+  const core::RunContext context =
+      core::RunContext(anxiety()).with_metrics(&registry);
+
+  fleet::FederationConfig config = diurnal_federation(1);
+  // Sample the cumulative arrival counter at every slot end through the
+  // telemetry hook (reads only; the hook must not steer the run).
+  std::vector<long> cumulative(static_cast<std::size_t>(config.slots), 0);
+  config.slot_hook = [&](int slot, std::int64_t sim_time_ms) {
+    EXPECT_EQ(sim_time_ms, static_cast<std::int64_t>(slot + 1) * 60'000);
+    cumulative[static_cast<std::size_t>(slot)] =
+        registry.snapshot_all().counter_value("lpvs_fleet_arrivals_total");
+  };
+  fleet::Federation federation(config, twitch, scheduler, context);
+  const fleet::FederationReport report = federation.run();
+
+  EXPECT_GT(report.arrivals, 50);
+  EXPECT_EQ(cumulative.back(), report.arrivals);
+  // The audience churns: bounded lifetimes end sessions, nobody is lost.
+  EXPECT_GT(report.sessions_ended, 0);
+  EXPECT_EQ(report.sessions_lost, 0);
+  EXPECT_EQ(report.capacity_violations, 0);
+
+  // The sinusoid shows in the counts: the half-day around the peak
+  // (slots 40..120, peak_phase 0.5 of 160) carries far more arrivals than
+  // the two trough quarters combined.
+  const long peak_half = cumulative[119] - cumulative[39];
+  const long trough_half = report.arrivals - peak_half;
+  EXPECT_GT(peak_half, 2 * std::max<long>(1, trough_half));
+}
+
+TEST(FleetAutoscale, ScalesOutUnderLoadAndUnwinds) {
+  const trace::Trace twitch = diurnal_trace();
+  const core::LpvsScheduler scheduler;
+  const core::RunContext context(anxiety());
+
+  fleet::Federation federation(diurnal_federation(1), twitch, scheduler,
+                               context);
+  const fleet::FederationReport report = federation.run();
+
+  // The peak forced scale-out past the initial fleet; the trough after it
+  // retired capacity again.
+  EXPECT_GT(report.autoscale_joins, 0);
+  EXPECT_GT(report.autoscale_leaves, 0);
+  EXPECT_GT(report.peak_servers, 2);
+  EXPECT_LE(report.peak_servers, 8);
+  EXPECT_EQ(report.capacity_violations, 0);
+  EXPECT_EQ(report.sessions_lost, 0);
+  // Every minted autoscale server that served shows up in the report with
+  // an id from the reserved range.
+  bool minted = false;
+  for (const fleet::ServerReport& row : report.servers) {
+    if (row.id >= 1000) {
+      minted = true;
+      EXPECT_GT(row.slots_run, 0);
+    }
+  }
+  EXPECT_TRUE(minted);
+}
+
+TEST(FleetDiurnal, FullControlSurfaceIsBitIdenticalAtAnyThreadCount) {
+  // Diurnal arrivals + autoscaling + injected crashes + lossy handoffs,
+  // replayed at 1/2/8 serve threads: the same determinism contract the
+  // static fleet keeps must hold with the whole control surface active.
+  const trace::Trace twitch = diurnal_trace();
+  const core::LpvsScheduler scheduler;
+  fault::FaultInjector::Config fault_config;
+  fault_config.seed = 31;
+  fault_config.site(fault::FaultSite::kServerCrash).drop = 0.01;
+  fault_config.site(fault::FaultSite::kHandoffTransfer).drop = 0.15;
+  const fault::FaultInjector injector(fault_config);
+  const core::RunContext context =
+      core::RunContext(anxiety()).with_fault_injector(&injector);
+
+  fleet::FederationReport reports[3];
+  const unsigned thread_counts[] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    fleet::Federation federation(diurnal_federation(thread_counts[i]),
+                                 twitch, scheduler, context);
+    reports[i] = federation.run();
+  }
+
+  ASSERT_GT(reports[0].arrivals, 0);
+  EXPECT_GT(reports[0].failovers, 0);
+  EXPECT_GT(reports[0].autoscale_joins, 0);
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(reports[i].state_digest, reports[0].state_digest);
+    EXPECT_EQ(reports[i].total_energy_mwh, reports[0].total_energy_mwh);
+    EXPECT_EQ(reports[i].arrivals, reports[0].arrivals);
+    EXPECT_EQ(reports[i].sessions_started, reports[0].sessions_started);
+    EXPECT_EQ(reports[i].sessions_ended, reports[0].sessions_ended);
+    EXPECT_EQ(reports[i].sessions_lost, reports[0].sessions_lost);
+    EXPECT_EQ(reports[i].autoscale_joins, reports[0].autoscale_joins);
+    EXPECT_EQ(reports[i].autoscale_leaves, reports[0].autoscale_leaves);
+    EXPECT_EQ(reports[i].peak_servers, reports[0].peak_servers);
+    EXPECT_EQ(reports[i].handoffs, reports[0].handoffs);
+    EXPECT_EQ(reports[i].failovers, reports[0].failovers);
+  }
+}
+
 }  // namespace
 }  // namespace lpvs

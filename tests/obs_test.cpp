@@ -75,7 +75,7 @@ TEST(ObsRegistry, ConcurrentWritersAreLossless) {
   EXPECT_EQ(registry.counter("lpvs_concurrent_registered_total").value(),
             static_cast<long>(kTasks) * kPerTask);
   long bucket_total = 0;
-  const obs::Snapshot snap = registry.snapshot();
+  const obs::MetricsSnapshot snap = registry.snapshot();
   for (long count : snap.histograms[0].bucket_counts) bucket_total += count;
   EXPECT_EQ(bucket_total, hist.count());
 }
@@ -260,7 +260,7 @@ TEST(ObsDeterminism, ObservedThreadedReplayMatchesPlainSerial) {
   EXPECT_EQ(plain.energy_without_mwh, observed.energy_without_mwh);
   EXPECT_EQ(plain.total_devices, observed.total_devices);
   ASSERT_EQ(plain.clusters.size(), observed.clusters.size());
-  const obs::Snapshot snap = registry.snapshot();
+  const obs::MetricsSnapshot snap = registry.snapshot();
   ASSERT_FALSE(snap.histograms.empty());
   EXPECT_EQ(registry.counter("lpvs_replay_clusters_total").value(),
             static_cast<long>(observed.clusters.size()));
@@ -307,7 +307,7 @@ TEST(ObsStreaming, FarmReportUnchangedByRegistry) {
   EXPECT_EQ(plain.mean_utilization, observed.mean_utilization);
   EXPECT_EQ(registry.counter("lpvs_farm_jobs_total").value(),
             observed.jobs_completed);
-  const obs::Snapshot snap = registry.snapshot();
+  const obs::MetricsSnapshot snap = registry.snapshot();
   ASSERT_EQ(snap.histograms.size(), 2u);
   EXPECT_EQ(snap.histograms[0].count, observed.jobs_completed);
 }

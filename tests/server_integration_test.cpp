@@ -177,32 +177,22 @@ TEST(ServingIntegration, LatencyExportedThroughMetricsRegistry) {
   EXPECT_GE(report->latency_p99_ms, report->latency_p50_ms);
   EXPECT_EQ(report->latency_samples, 4L * 4L * 25L);
 
-  // Both sides of the wire exported through the registry.
-  const obs::Snapshot snapshot = registry.snapshot();
-  bool loadgen_hist = false;
-  bool server_hist = false;
-  for (const obs::HistogramSample& h : snapshot.histograms) {
-    if (h.name == "lpvs_loadgen_request_schedule_ms") {
-      loadgen_hist = true;
-      EXPECT_EQ(h.count, 4L * 4L * 25L);
-      EXPECT_GE(h.quantile(0.99), h.quantile(0.50));
-    }
-    if (h.name == "lpvs_server_schedule_ms") {
-      server_hist = true;
-      EXPECT_EQ(h.count, 4L * 25L);  // one observation per cluster slot
-    }
-  }
-  EXPECT_TRUE(loadgen_hist);
-  EXPECT_TRUE(server_hist);
+  // Both sides of the wire exported through the registry, read back via
+  // the typed snapshot lookups.
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  const obs::HistogramSample* loadgen_hist =
+      snapshot.histogram("lpvs_loadgen_request_schedule_ms");
+  ASSERT_NE(loadgen_hist, nullptr);
+  EXPECT_EQ(loadgen_hist->count, 4L * 4L * 25L);
+  EXPECT_GE(loadgen_hist->quantile(0.99), loadgen_hist->quantile(0.50));
 
-  bool slots_counter = false;
-  for (const obs::CounterSample& c : snapshot.counters) {
-    if (c.name == "lpvs_server_slots_total") {
-      slots_counter = true;
-      EXPECT_EQ(c.value, 4L * 25L);
-    }
-  }
-  EXPECT_TRUE(slots_counter);
+  const obs::HistogramSample* server_hist =
+      snapshot.histogram("lpvs_server_schedule_ms");
+  ASSERT_NE(server_hist, nullptr);
+  EXPECT_EQ(server_hist->count, 4L * 25L);  // one observation per cluster slot
+
+  ASSERT_NE(snapshot.counter("lpvs_server_slots_total"), nullptr);
+  EXPECT_EQ(snapshot.counter_value("lpvs_server_slots_total"), 4L * 25L);
 }
 
 TEST(ServingIntegration, TraceReplaySessionsComplete) {

@@ -1,0 +1,265 @@
+// Compressed 24-hour diurnal autoscaling soak (label `stress`, nightly CI
+// job `telemetry-soak`).
+//
+// One simulated day of federation serving — 1440 one-minute slots — with
+// everything hostile enabled at once: a sinusoidal arrival curve refilling
+// the audience through the night trough, load-derived membership
+// autoscaling, injected server crashes, and lossy session handoffs.  The
+// run streams its MetricsRegistry through a TelemetryExporter (one delta
+// per simulated minute, stamped with the *simulated* clock) into a
+// CollectorDaemon, and — this is the point — the SLO gates below read the
+// collector's windowed time series, not the in-process report.  What CI
+// asserts is exactly what an operator's dashboard would show.
+//
+// SLOs (acceptance criteria for the telemetry pipeline):
+//   - zero lost sessions: no active viewer is ever left without a serving
+//     session after crash recovery / handoff / rebalancing,
+//   - rung budget: < 5% of slot solves land below the full-solve rung,
+//   - p99 fleet request->schedule (the serve phase wall clock) within
+//     budget, overall and in every simulated-minute window,
+//   - telemetry loss accounting closes: exporter drops == collector gaps.
+//
+// The exporter-attached run must also be bit-identical (state digest,
+// energy, membership history) to a run with no registry and no exporter —
+// observability cannot steer the fleet — and to itself at 2 serve threads.
+//
+// The collector's JSONL time series is written next to the binary as
+// telemetry_soak.jsonl; the nightly job uploads it as an artifact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "lpvs/core/scheduler.hpp"
+#include "lpvs/fault/fault_injector.hpp"
+#include "lpvs/fleet/federation.hpp"
+#include "lpvs/obs/collector.hpp"
+#include "lpvs/obs/metrics.hpp"
+#include "lpvs/obs/telemetry.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+#include "lpvs/trace/trace.hpp"
+
+namespace lpvs {
+namespace {
+
+constexpr int kDaySlots = 1440;  ///< 24 h of one-minute slots
+constexpr double kServeP99BudgetMs = 1000.0;
+constexpr double kRungBudget = 0.05;  ///< max degraded share of solves
+
+const survey::AnxietyModel& anxiety() {
+  static const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  return model;
+}
+
+const trace::Trace& day_trace() {
+  static const trace::Trace twitch = [] {
+    trace::TraceConfig config;
+    config.channel_count = 48;
+    config.session_count = 260;
+    config.horizon_slots = kDaySlots + 64;
+    config.max_duration_slots = 600;
+    config.duration_log_mean = 5.8;
+    return trace::TwitchLikeGenerator(config).generate(51);
+  }();
+  return twitch;
+}
+
+fleet::FederationConfig soak_config() {
+  fleet::FederationConfig config;
+  config.seed = 4711;
+  config.servers = 2;
+  config.users = 16;
+  config.min_viewers = 1;
+  config.start_slot = 16;
+  config.slots = kDaySlots;
+  config.chunks_per_slot = 6;
+  config.initial_battery_mean = 0.85;
+  config.initial_battery_std = 0.08;
+  config.mobility_rate = 0.01;
+  config.checkpoint_interval = 4;  // stale-checkpoint failover regime
+  config.threads = 1;
+  config.slot_seconds = 60.0;  // one simulated minute per slot
+
+  config.diurnal.enabled = true;
+  config.diurnal.base_arrivals_per_slot = 0.05;  // night trough
+  config.diurnal.peak_arrivals_per_slot = 1.6;   // evening peak
+  config.diurnal.period_slots = kDaySlots;
+  config.diurnal.peak_phase = 0.5;
+  config.diurnal.min_lifetime_slots = 45;
+  config.diurnal.max_lifetime_slots = 220;
+  config.diurnal.max_users = 2000;
+
+  config.autoscale.enabled = true;
+  config.autoscale.interval_slots = 15;
+  config.autoscale.cooldown_slots = 30;
+  config.autoscale.min_servers = 2;
+  config.autoscale.max_servers = 10;
+  config.autoscale.target_sessions_per_server = 10.0;
+  return config;
+}
+
+fault::FaultInjector::Config soak_faults() {
+  fault::FaultInjector::Config config;
+  config.seed = 1234;
+  config.site(fault::FaultSite::kServerCrash).drop = 0.004;
+  config.site(fault::FaultSite::kHandoffTransfer).drop = 0.10;
+  return config;
+}
+
+fleet::FederationReport run_soak(obs::MetricsRegistry* registry,
+                                 obs::TelemetryExporter* exporter,
+                                 unsigned threads) {
+  fleet::FederationConfig config = soak_config();
+  config.threads = threads;
+  if (exporter != nullptr) {
+    config.slot_hook = [exporter](int /*slot*/, std::int64_t sim_time_ms) {
+      exporter->publish(sim_time_ms);
+    };
+  }
+  const fault::FaultInjector injector(soak_faults());
+  const core::LpvsScheduler scheduler;
+  core::RunContext context =
+      core::RunContext(anxiety()).with_fault_injector(&injector);
+  if (registry != nullptr) context = context.with_metrics(registry);
+  fleet::Federation federation(config, day_trace(), scheduler, context);
+  return federation.run();
+}
+
+TEST(TelemetrySoak, DiurnalDayMeetsSlosMeasuredAtTheCollector) {
+  obs::CollectorConfig collector_config;
+  collector_config.window_ms = 60'000;  // one simulated minute per window
+  obs::CollectorDaemon collector(collector_config);
+  ASSERT_TRUE(collector.start().ok());
+
+  obs::MetricsRegistry registry;
+  obs::TelemetryConfig telemetry_config;
+  telemetry_config.port = collector.port();
+  telemetry_config.source_id = 1;
+  telemetry_config.source_label = "soak-federation";
+  telemetry_config.ring_capacity = 4096;  // never drop the soak's series
+  obs::TelemetryExporter exporter(telemetry_config, registry);
+  ASSERT_TRUE(exporter.start().ok());
+
+  const fleet::FederationReport report =
+      run_soak(&registry, &exporter, /*threads=*/1);
+
+  ASSERT_TRUE(exporter.flush(20'000).ok());
+  const obs::TelemetryStats stats = exporter.stats();
+  exporter.stop();
+  ASSERT_TRUE(collector.drain(20'000, stats.sent_frames + 1).ok());
+  const obs::TelemetrySeries series = collector.series();
+
+  // ---- the day actually happened: arrivals, autoscaling, chaos ----
+  EXPECT_EQ(report.slots_run, kDaySlots);
+  EXPECT_GT(report.arrivals, 200);  // the curve refilled the audience
+  EXPECT_GT(report.autoscale_joins, 0);
+  EXPECT_GT(report.autoscale_leaves, 0);
+  EXPECT_GT(report.peak_servers, 2);
+  EXPECT_GT(report.failovers, 0);  // injected crashes actually fired
+  EXPECT_GT(report.handoffs, 0);
+  EXPECT_EQ(report.capacity_violations, 0);
+
+  // ---- SLO 1: zero lost sessions, read from the collector ----
+  EXPECT_EQ(report.sessions_lost, 0);
+  EXPECT_EQ(series.counter_total("lpvs_fleet_sessions_lost_total"), 0);
+  EXPECT_EQ(series.counter_total("lpvs_fleet_arrivals_total"),
+            report.arrivals);
+  EXPECT_EQ(series.counter_total("lpvs_fleet_autoscale_joins_total"),
+            report.autoscale_joins);
+
+  // ---- SLO 2: rung budget over the day ----
+  const long full_solves =
+      series.counter_total("lpvs_scheduler_rung_full_solve_total");
+  long degraded = 0;
+  for (const char* rung :
+       {"lpvs_scheduler_rung_warm_repair_total",
+        "lpvs_scheduler_rung_replay_previous_total",
+        "lpvs_scheduler_rung_passthrough_total"}) {
+    degraded += series.counter_total(rung);
+  }
+  ASSERT_GT(full_solves + degraded, 0);
+  EXPECT_LT(static_cast<double>(degraded) /
+                static_cast<double>(full_solves + degraded),
+            kRungBudget);
+
+  // ---- SLO 3: p99 request->schedule, overall and per window ----
+  const auto serve_total = series.histogram_totals.find(
+      "lpvs_fleet_slot_serve_ms");
+  ASSERT_NE(serve_total, series.histogram_totals.end());
+  EXPECT_EQ(serve_total->second.count, kDaySlots);
+  EXPECT_LT(serve_total->second.quantile(0.99), kServeP99BudgetMs);
+  long windows_with_serve = 0;
+  long windows_over_budget = 0;
+  for (const obs::WindowAggregate& window : series.windows) {
+    const double window_p99 =
+        window.quantile("lpvs_fleet_slot_serve_ms", 0.99, 0.0);
+    if (window_p99 <= 0.0) continue;
+    ++windows_with_serve;
+    if (window_p99 >= kServeP99BudgetMs) ++windows_over_budget;
+  }
+  // One delta per simulated minute: the series covers the whole day.
+  EXPECT_EQ(windows_with_serve, kDaySlots);
+  // Per-window SLO with a 1% error budget: a shared CI box may stall a
+  // stray slot, but a pattern of slow minutes is a regression.
+  EXPECT_LE(windows_over_budget, kDaySlots / 100);
+
+  // ---- SLO 4: telemetry loss accounting closes ----
+  EXPECT_EQ(stats.dropped, 0);
+  EXPECT_EQ(series.lost_deltas, 0);
+  EXPECT_EQ(series.decode_errors, 0);
+  ASSERT_EQ(series.sources.size(), 1u);
+  EXPECT_EQ(series.sources[0].deltas_received, stats.sent_frames);
+
+  // The diurnal shape is visible in the time series itself: the busiest
+  // simulated minute carries more viewers than the quietest.
+  double min_users = 1e18;
+  double max_users = 0.0;
+  for (const obs::WindowAggregate& window : series.windows) {
+    const double users = window.gauge("lpvs_fleet_active_users", -1.0);
+    if (users < 0.0) continue;
+    min_users = std::min(min_users, users);
+    max_users = std::max(max_users, users);
+  }
+  EXPECT_GT(max_users, 2.0 * std::max(1.0, min_users));
+
+  // The soak artifact the nightly job uploads.
+  EXPECT_TRUE(collector.dump_jsonl("telemetry_soak.jsonl").ok());
+  collector.stop();
+}
+
+TEST(TelemetrySoak, ExporterAndThreadsNeverChangeTheDay) {
+  // Baseline: no registry, no exporter, serial serve phase.
+  const fleet::FederationReport bare =
+      run_soak(nullptr, nullptr, /*threads=*/1);
+  EXPECT_EQ(bare.sessions_lost, 0);
+
+  // Exporter attached, streaming to a live collector, 2 serve threads:
+  // the whole observability stack plus parallelism, same day bit-for-bit.
+  obs::CollectorDaemon collector;
+  ASSERT_TRUE(collector.start().ok());
+  obs::MetricsRegistry registry;
+  obs::TelemetryConfig telemetry_config;
+  telemetry_config.port = collector.port();
+  telemetry_config.ring_capacity = 4096;
+  obs::TelemetryExporter exporter(telemetry_config, registry);
+  ASSERT_TRUE(exporter.start().ok());
+  const fleet::FederationReport observed =
+      run_soak(&registry, &exporter, /*threads=*/2);
+  ASSERT_TRUE(exporter.flush(20'000).ok());
+  exporter.stop();
+  collector.stop();
+
+  EXPECT_EQ(observed.state_digest, bare.state_digest);
+  EXPECT_EQ(observed.total_energy_mwh, bare.total_energy_mwh);
+  EXPECT_EQ(observed.arrivals, bare.arrivals);
+  EXPECT_EQ(observed.autoscale_joins, bare.autoscale_joins);
+  EXPECT_EQ(observed.autoscale_leaves, bare.autoscale_leaves);
+  EXPECT_EQ(observed.peak_servers, bare.peak_servers);
+  EXPECT_EQ(observed.handoffs, bare.handoffs);
+  EXPECT_EQ(observed.failovers, bare.failovers);
+  EXPECT_EQ(observed.sessions_lost, 0);
+}
+
+}  // namespace
+}  // namespace lpvs

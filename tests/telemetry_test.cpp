@@ -1,0 +1,490 @@
+// Continuous telemetry export: wire codec, delta semantics, the
+// exporter -> collector round trip, and the loss model.
+//
+// The contract under test (label `server`, so the TSan CI lane runs the
+// collector round trip too): telemetry is *observational only*.  Frames
+// move off the hot path through a bounded ring, overflow and injected link
+// drops cost time resolution — never correctness — and an exporter
+// attached to the serving daemon leaves every schedule payload
+// bit-identical at any worker count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lpvs/common/wire.hpp"
+#include "lpvs/core/scheduler.hpp"
+#include "lpvs/fault/fault_injector.hpp"
+#include "lpvs/loadgen/loadgen.hpp"
+#include "lpvs/obs/collector.hpp"
+#include "lpvs/obs/metrics.hpp"
+#include "lpvs/obs/telemetry.hpp"
+#include "lpvs/server/server.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+
+namespace lpvs {
+namespace {
+
+namespace telemetry = obs::telemetry;
+
+const survey::AnxietyModel& anxiety() {
+  static const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  return model;
+}
+
+telemetry::Frame sample_delta_frame() {
+  telemetry::Frame frame;
+  frame.type = telemetry::FrameType::kDelta;
+  frame.source_id = 42;
+  frame.time_ms = 123456;
+  frame.delta.sequence = 9;
+  frame.delta.base_sequence = 7;
+  frame.delta.counters.push_back({"lpvs_requests_total", 17});
+  frame.delta.counters.push_back({"lpvs_errors_total", 1});
+  frame.delta.gauges.push_back({"lpvs_active_users", 12.5});
+  obs::HistogramDelta hist;
+  hist.name = "lpvs_latency_ms";
+  hist.upper_bounds = {1.0, 10.0, 100.0};
+  hist.bucket_increments = {3, 2, 1, 0};
+  hist.count_increment = 6;
+  hist.sum_increment = 47.25;
+  frame.delta.histograms.push_back(hist);
+  return frame;
+}
+
+/// encode_into() writes prefix + payload; tests decode the payload part.
+std::vector<std::uint8_t> payload_of(const telemetry::Frame& frame) {
+  std::vector<std::uint8_t> bytes;
+  telemetry::encode_into(frame, bytes);
+  return {bytes.begin() + 4, bytes.end()};
+}
+
+// ---------------------------------------------------------------- wire --
+
+TEST(TelemetryWire, HelloRoundTripsIdentity) {
+  telemetry::Frame hello;
+  hello.type = telemetry::FrameType::kHello;
+  hello.source_id = 7;
+  hello.label = "edge-7";
+
+  const std::vector<std::uint8_t> payload = payload_of(hello);
+  const auto decoded = telemetry::decode_payload(payload.data(),
+                                                 payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->type, telemetry::FrameType::kHello);
+  EXPECT_EQ(decoded->source_id, 7u);
+  EXPECT_EQ(decoded->label, "edge-7");
+}
+
+TEST(TelemetryWire, DeltaRoundTripsEveryField) {
+  const telemetry::Frame frame = sample_delta_frame();
+  const std::vector<std::uint8_t> payload = payload_of(frame);
+  const auto decoded = telemetry::decode_payload(payload.data(),
+                                                 payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->type, telemetry::FrameType::kDelta);
+  EXPECT_EQ(decoded->source_id, 42u);
+  EXPECT_EQ(decoded->time_ms, 123456);
+  EXPECT_EQ(decoded->delta.sequence, 9u);
+  EXPECT_EQ(decoded->delta.base_sequence, 7u);
+  ASSERT_EQ(decoded->delta.counters.size(), 2u);
+  EXPECT_EQ(decoded->delta.counters[0].name, "lpvs_requests_total");
+  EXPECT_EQ(decoded->delta.counters[0].increment, 17);
+  ASSERT_EQ(decoded->delta.gauges.size(), 1u);
+  EXPECT_EQ(decoded->delta.gauges[0].value, 12.5);
+  ASSERT_EQ(decoded->delta.histograms.size(), 1u);
+  const obs::HistogramDelta& hist = decoded->delta.histograms[0];
+  EXPECT_EQ(hist.upper_bounds, (std::vector<double>{1.0, 10.0, 100.0}));
+  EXPECT_EQ(hist.bucket_increments, (std::vector<long>{3, 2, 1, 0}));
+  EXPECT_EQ(hist.count_increment, 6);  // recomputed from the buckets
+  EXPECT_EQ(hist.sum_increment, 47.25);
+}
+
+TEST(TelemetryWire, RejectsCorruptionAtEveryByte) {
+  const std::vector<std::uint8_t> payload = payload_of(sample_delta_frame());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    std::vector<std::uint8_t> corrupted = payload;
+    corrupted[i] ^= 0xFF;
+    const auto decoded =
+        telemetry::decode_payload(corrupted.data(), corrupted.size());
+    EXPECT_FALSE(decoded.ok()) << "flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(TelemetryWire, RejectsBadMagicVersionTypeAndTrailingGarbage) {
+  const auto craft = [](std::uint32_t magic, std::uint32_t version,
+                        std::uint8_t type, bool trailing) {
+    std::vector<std::uint8_t> out;
+    common::wire::Writer writer(&out);
+    writer.u32(magic);
+    writer.u32(version);
+    writer.u8(type);
+    writer.u64(1);  // source_id
+    writer.str("x");
+    if (trailing) writer.u8(0xEE);
+    common::wire::seal(out);
+    return out;
+  };
+
+  const std::uint8_t hello =
+      static_cast<std::uint8_t>(telemetry::FrameType::kHello);
+  for (const auto& bytes :
+       {craft(0xBADBAD00u, telemetry::kVersion, hello, false),
+        craft(telemetry::kMagic, telemetry::kVersion + 1, hello, false),
+        craft(telemetry::kMagic, telemetry::kVersion, 99, false),
+        craft(telemetry::kMagic, telemetry::kVersion, hello, true)}) {
+    EXPECT_FALSE(telemetry::decode_payload(bytes.data(), bytes.size()).ok());
+  }
+}
+
+// --------------------------------------------------------------- delta --
+
+TEST(MetricsDeltaSemantics, CarriesOnlyWhatMoved) {
+  obs::MetricsRegistry registry;
+  obs::Counter& moving = registry.counter("moving_total");
+  registry.counter("idle_total").add(5);
+  obs::Gauge& gauge = registry.gauge("level");
+  obs::Histogram& hist =
+      registry.histogram("lat_ms", {1.0, 10.0});
+
+  moving.add(3);
+  gauge.set(2.0);
+  hist.observe(0.5);
+  const obs::MetricsSnapshot older = registry.snapshot_all();
+
+  moving.add(4);
+  hist.observe(5.0);
+  hist.observe(50.0);  // overflow bucket
+  const obs::MetricsSnapshot newer = registry.snapshot_all();
+
+  EXPECT_GT(newer.sequence, older.sequence);
+  const obs::MetricsDelta delta = obs::delta_since(older, newer);
+  ASSERT_EQ(delta.counters.size(), 1u);  // idle_total did not move
+  EXPECT_EQ(delta.counters[0].name, "moving_total");
+  EXPECT_EQ(delta.counters[0].increment, 4);
+  EXPECT_TRUE(delta.gauges.empty());  // bit-identical value omitted
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].count_increment, 2);
+  EXPECT_EQ(delta.histograms[0].bucket_increments,
+            (std::vector<long>{0, 1, 1}));
+
+  // Nothing moved since `newer`: the delta is empty (quiet intervals are
+  // near-free on the wire).
+  EXPECT_TRUE(obs::delta_since(newer, registry.snapshot_all()).empty());
+}
+
+TEST(MetricsDeltaSemantics, MetricAbsentFromBaseStartsFromZero) {
+  obs::MetricsRegistry registry;
+  const obs::MetricsSnapshot before = registry.snapshot_all();
+  registry.counter("late_total").add(9);
+  const obs::MetricsDelta delta =
+      obs::delta_since(before, registry.snapshot_all());
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0].increment, 9);
+}
+
+// ---------------------------------------------------------- round trip --
+
+TEST(TelemetryRoundTrip, ExporterStreamsWindowedSeriesToCollector) {
+  obs::CollectorDaemon collector;  // 60 s windows
+  ASSERT_TRUE(collector.start().ok());
+
+  obs::MetricsRegistry registry;
+  obs::Counter& requests = registry.counter("test_requests_total");
+  obs::Gauge& users = registry.gauge("test_active_users");
+  obs::Histogram& latency =
+      registry.histogram("test_latency_ms", {1.0, 10.0, 100.0});
+
+  obs::TelemetryConfig config;
+  config.port = collector.port();
+  config.source_id = 3;
+  config.source_label = "edge-3";
+  obs::TelemetryExporter exporter(config, registry);
+  ASSERT_TRUE(exporter.start().ok());
+
+  // Three publishes stamped into three distinct simulated minutes.
+  requests.add(10);
+  users.set(4.0);
+  latency.observe(0.5);
+  ASSERT_TRUE(exporter.publish(30'000));
+  requests.add(20);
+  users.set(6.0);
+  latency.observe(50.0);
+  ASSERT_TRUE(exporter.publish(90'000));
+  requests.add(5);
+  users.set(2.0);
+  ASSERT_TRUE(exporter.publish(150'000));
+
+  // flush() publishes one wall-clock-stamped tail delta of its own, so the
+  // three explicit publishes arrive as four frames.
+  ASSERT_TRUE(exporter.flush().ok());
+  const obs::TelemetryStats stats = exporter.stats();
+  EXPECT_EQ(stats.published, 4);
+  EXPECT_EQ(stats.dropped, 0);
+  EXPECT_EQ(stats.sent_frames, 4);
+  exporter.stop();
+  ASSERT_TRUE(collector.drain(5000, stats.sent_frames + 1).ok());  // + HELLO
+
+  const obs::TelemetrySeries series = collector.series();
+  EXPECT_EQ(series.frames_received, 5);
+  EXPECT_EQ(series.decode_errors, 0);
+  EXPECT_EQ(series.lost_deltas, 0);
+  ASSERT_EQ(series.sources.size(), 1u);
+  EXPECT_EQ(series.sources[0].label, "edge-3");
+  EXPECT_EQ(series.sources[0].deltas_received, 4);
+
+  // Fleet-view totals match the registry.
+  EXPECT_EQ(series.counter_total("test_requests_total"), 35);
+  EXPECT_EQ(series.gauge_last.at("test_active_users"), 2.0);
+  EXPECT_EQ(series.histogram_totals.at("test_latency_ms").count, 2);
+
+  // The windowed series separates what happened per simulated minute: the
+  // three sim-stamped windows plus the far-away one holding flush()'s
+  // wall-clock tail delta.
+  ASSERT_EQ(series.windows.size(), 4u);
+  const obs::WindowAggregate* first = series.window_at(30'000);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->counter("test_requests_total"), 10);
+  EXPECT_EQ(first->gauge("test_active_users"), 4.0);
+  EXPECT_GT(first->quantile("test_latency_ms", 0.5), 0.0);
+  const obs::WindowAggregate* second = series.window_at(90'000);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->counter("test_requests_total"), 20);
+  // The 50 ms sample lands in the second window, not the first.
+  EXPECT_GT(second->quantile("test_latency_ms", 0.5),
+            first->quantile("test_latency_ms", 0.5));
+
+  // Dumps: one meta line plus one line per window; exposition carries the
+  // accumulated totals and the collector's own health counters.
+  const std::string jsonl = collector.jsonl();
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 5);
+  EXPECT_NE(jsonl.find("\"record\":\"meta\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"record\":\"window\""), std::string::npos);
+  const std::string exposition = collector.exposition();
+  EXPECT_NE(exposition.find("test_requests_total 35"), std::string::npos);
+  EXPECT_NE(exposition.find("lpvs_collector_frames_total 5"),
+            std::string::npos);
+  collector.stop();
+}
+
+TEST(TelemetryRoundTrip, RingOverflowCoalescesIncrementsIntoNextDelta) {
+  obs::CollectorDaemon collector;
+  ASSERT_TRUE(collector.start().ok());
+
+  obs::MetricsRegistry registry;
+  obs::Counter& work = registry.counter("work_total");
+
+  obs::TelemetryConfig config;
+  config.port = collector.port();
+  config.ring_capacity = 2;
+  obs::TelemetryExporter exporter(config, registry);
+  // Flush thread not started yet: the ring fills after two publishes and
+  // every further delta is dropped with its increments re-based.
+  for (int i = 0; i < 6; ++i) {
+    work.add(10);
+    exporter.publish(1'000 * (i + 1));
+  }
+  obs::TelemetryStats stats = exporter.stats();
+  EXPECT_EQ(stats.published, 6);
+  EXPECT_EQ(stats.dropped, 4);
+
+  ASSERT_TRUE(exporter.start().ok());
+  // Let the flusher drain the two queued deltas before publishing again,
+  // or flush()'s own tail publish could hit the still-full ring.
+  for (int i = 0; i < 5000 && exporter.stats().sent_frames < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(exporter.stats().sent_frames, 2);
+  work.add(10);
+  ASSERT_TRUE(exporter.flush().ok());
+  stats = exporter.stats();
+  exporter.stop();
+  ASSERT_TRUE(collector.drain(5000, stats.sent_frames + 1).ok());
+
+  // The exporter's own drop counter is a metric in the exported registry,
+  // so the loss is visible downstream too.
+  EXPECT_EQ(registry.snapshot_all().counter_value(
+                "lpvs_telemetry_dropped_total"),
+            4);
+
+  const obs::TelemetrySeries series = collector.series();
+  ASSERT_EQ(series.sources.size(), 1u);
+  // The dropped deltas surface as a sequence gap...
+  EXPECT_EQ(series.sources[0].lost_deltas, 4);
+  // ...whose base_sequence proves the increments rode the next delta:
+  EXPECT_GE(series.sources[0].coalesced_gaps, 1);
+  // nothing was lost from the totals, only time resolution.
+  EXPECT_EQ(series.counter_total("work_total"), 70);
+  collector.stop();
+}
+
+TEST(TelemetryRoundTrip, InjectedLinkDropsAreCountedAndDeterministic) {
+  fault::FaultInjector::Config fault_config;
+  fault_config.seed = 77;
+  fault_config.site(fault::FaultSite::kTelemetryExport).drop = 0.4;
+
+  auto run_once = [&](long& dropped_out, long& received_out, long& total_out) {
+    const fault::FaultInjector injector(fault_config);
+    obs::CollectorDaemon collector;
+    ASSERT_TRUE(collector.start().ok());
+
+    obs::MetricsRegistry registry;
+    obs::Counter& work = registry.counter("work_total");
+    obs::TelemetryConfig config;
+    config.port = collector.port();
+    config.ring_capacity = 128;
+    config.faults = &injector;
+    obs::TelemetryExporter exporter(config, registry);
+    ASSERT_TRUE(exporter.start().ok());
+
+    for (int i = 0; i < 50; ++i) {
+      work.add(1);
+      ASSERT_TRUE(exporter.publish(1'000 * (i + 1)));
+    }
+    ASSERT_TRUE(exporter.flush().ok());
+    const obs::TelemetryStats stats = exporter.stats();
+    exporter.stop();
+    ASSERT_TRUE(collector.drain(5000, stats.sent_frames + 1).ok());
+
+    const obs::TelemetrySeries series = collector.series();
+    EXPECT_EQ(series.decode_errors, 0);
+    ASSERT_EQ(series.sources.size(), 1u);
+    const obs::SourceState& source = series.sources[0];
+    // The loss is visible on both ends.  The collector can only observe a
+    // gap once a later frame arrives, so its count is exactly the dropped
+    // sequences below the highest received one; drops past that (trailing
+    // frames) show up on the exporter's counter alone.
+    EXPECT_GT(stats.dropped, 0);
+    EXPECT_LT(stats.dropped, 51);
+    EXPECT_GT(source.lost_deltas, 0);
+    EXPECT_EQ(source.lost_deltas,
+              static_cast<long>(source.last_sequence) -
+                  source.deltas_received);
+    EXPECT_LE(source.lost_deltas, stats.dropped);
+    EXPECT_EQ(registry.snapshot_all().counter_value(
+                  "lpvs_telemetry_dropped_total"),
+              stats.dropped);
+    dropped_out = stats.dropped;
+    received_out = series.sources[0].deltas_received;
+    total_out = series.counter_total("work_total");
+    collector.stop();
+  };
+
+  long dropped_a = 0, received_a = 0, total_a = 0;
+  long dropped_b = 0, received_b = 0, total_b = 0;
+  run_once(dropped_a, received_a, total_a);
+  run_once(dropped_b, received_b, total_b);
+  // Drop decisions are pure functions of (seed, site, source, sequence):
+  // a replay loses exactly the same frames.
+  EXPECT_EQ(dropped_a, dropped_b);
+  EXPECT_EQ(received_a, received_b);
+  EXPECT_EQ(total_a, total_b);
+}
+
+// -------------------------------------------------- serving bit-identity --
+
+const core::LpvsScheduler& scheduler() {
+  static const core::LpvsScheduler instance;
+  return instance;
+}
+
+/// Runs the sharded daemon + loadgen fleet; when `exporter_port` is
+/// non-zero a TelemetryExporter self-publishing every millisecond streams
+/// the daemon's registry to that collector throughout the run.
+std::map<std::uint64_t, std::uint64_t> digests_at(
+    std::uint32_t workers, std::uint16_t exporter_port,
+    const fault::FaultInjector* link_faults = nullptr,
+    long* dropped_out = nullptr) {
+  obs::MetricsRegistry registry;
+  const server::ServerConfig server_config =
+      server::ServerConfig{}.with_seed(63).with_workers(workers);
+  server::EdgeServerDaemon daemon(
+      server_config, scheduler(),
+      core::RunContext(anxiety()).with_metrics(&registry));
+  EXPECT_TRUE(daemon.start().ok());
+
+  std::unique_ptr<obs::TelemetryExporter> exporter;
+  if (exporter_port != 0) {
+    obs::TelemetryConfig config;
+    config.port = exporter_port;
+    config.source_id = workers;  // one series per run
+    config.interval_ms = 1;      // continuous export during serving
+    config.ring_capacity = 256;
+    config.faults = link_faults;
+    exporter = std::make_unique<obs::TelemetryExporter>(config, registry);
+    EXPECT_TRUE(exporter->start().ok());
+  }
+
+  loadgen::LoadGenConfig load;
+  load.port = daemon.port();
+  load.clusters = 8;
+  load.cluster_size = 4;
+  load.slots = 30;
+  load.threads = 2;
+  load.seed = 63;
+
+  auto report = loadgen::run_load(load);
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(daemon.drain(10000).ok());
+  if (exporter != nullptr) {
+    EXPECT_TRUE(exporter->flush().ok());
+    if (dropped_out != nullptr) *dropped_out = exporter->stats().dropped;
+    exporter->stop();
+  }
+  return report.ok() ? report->digests
+                     : std::map<std::uint64_t, std::uint64_t>{};
+}
+
+TEST(TelemetryServing, PayloadsBitIdenticalWithExporterOnOrOff) {
+  // The acceptance gate: continuous export attached to the serving daemon
+  // must leave every session's schedule payload bytes untouched at 1, 2,
+  // and 8 workers.
+  const std::map<std::uint64_t, std::uint64_t> reference =
+      digests_at(1, /*exporter_port=*/0);
+  ASSERT_EQ(reference.size(), 32u);
+
+  obs::CollectorDaemon collector;
+  ASSERT_TRUE(collector.start().ok());
+  for (const std::uint32_t workers : {1u, 2u, 8u}) {
+    const std::map<std::uint64_t, std::uint64_t> digests =
+        digests_at(workers, collector.port());
+    EXPECT_EQ(digests, reference)
+        << "exporter-on digests diverged at workers=" << workers;
+  }
+  // The collector really did watch the runs: fleet counters flowed in.
+  const obs::TelemetrySeries series = collector.series();
+  EXPECT_EQ(series.decode_errors, 0);
+  EXPECT_GT(series.counter_total("lpvs_server_slots_total"), 0);
+  collector.stop();
+}
+
+TEST(TelemetryServing, LinkDropsNeverPerturbPayloads) {
+  const std::map<std::uint64_t, std::uint64_t> reference =
+      digests_at(2, /*exporter_port=*/0);
+
+  fault::FaultInjector::Config fault_config;
+  fault_config.seed = 99;
+  fault_config.site(fault::FaultSite::kTelemetryExport).drop = 0.5;
+  const fault::FaultInjector injector(fault_config);
+
+  obs::CollectorDaemon collector;
+  ASSERT_TRUE(collector.start().ok());
+  long dropped = 0;
+  const std::map<std::uint64_t, std::uint64_t> digests =
+      digests_at(2, collector.port(), &injector, &dropped);
+  EXPECT_EQ(digests, reference);
+  // Half the telemetry link is on fire and the schedules don't care; the
+  // loss itself is accounted, not hidden.
+  EXPECT_GT(dropped, 0);
+  EXPECT_GT(collector.series().lost_deltas, 0);
+  collector.stop();
+}
+
+}  // namespace
+}  // namespace lpvs
