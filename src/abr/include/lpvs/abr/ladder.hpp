@@ -1,0 +1,68 @@
+// Bitrate-ladder pricing: the energy and QoE contribution of each rung.
+//
+// The display transform attacks the panel's power draw; the *other* big
+// power knob of mobile streaming is the bitrate itself — receive (radio)
+// and decode power both grow with the bits moved (EVSO, Park & Kim; the
+// QoMEX crowdsourced energy/QoE model, Herglotz et al.).  Both lines of
+// work land on the same shape: over a DASH-style ladder, receive+decode
+// power is well fit by an affine function of bitrate,
+//
+//   P_rx(r) = p0 + k * r        [mW, r in Mbps]
+//
+// while perceptual quality is concave in bitrate; we use the BOLA-style
+// logarithmic utility v(r) = ln(r / r_min), which is zero at the lowest
+// rung and diminishing above it.  LadderModel packages the ladder with
+// both curves so the joint scheduler (joint.hpp), the serving daemon, and
+// the benches price rungs identically.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lpvs::abr {
+
+/// One ladder + its affine energy model and log utility curve.
+class LadderModel {
+ public:
+  struct Config {
+    /// Ascending bitrates, Mbps.  The default mirrors the streaming
+    /// session's ladder so client- and server-side policies compare 1:1.
+    std::vector<double> rungs_mbps = {1.0, 1.8, 2.5, 3.5, 5.0};
+    /// p0: radio + decode floor while streaming at all, mW.
+    double receive_base_mw = 350.0;
+    /// k: marginal receive+decode power per Mbps, mW/Mbps.
+    double receive_mw_per_mbps = 210.0;
+    /// Scales the log utility into the joint objective's units.
+    double utility_scale = 1.0;
+  };
+
+  LadderModel() : LadderModel(Config{}) {}
+  explicit LadderModel(Config config);
+
+  std::size_t size() const { return config_.rungs_mbps.size(); }
+  double bitrate_mbps(std::size_t m) const { return config_.rungs_mbps[m]; }
+
+  /// Receive+decode power at rung m: p0 + k * r_m, mW.
+  double receive_power_mw(std::size_t m) const;
+
+  /// Energy to stream `seconds` of playback at rung m, mWh.
+  double receive_energy_mwh(std::size_t m, double seconds) const;
+
+  /// Energy at rung m minus energy at rung 0 over `seconds` — the
+  /// coefficient the joint program's shared budget row uses (non-negative
+  /// for an ascending ladder, as BinaryProgram rows require).
+  double incremental_energy_mwh(std::size_t m, double seconds) const;
+
+  /// BOLA-style log utility: utility_scale * ln(r_m / r_0); utility(0)=0.
+  double utility(std::size_t m) const;
+
+  /// Highest rung whose bitrate is <= `mbps` (0 when none fits).
+  std::size_t rung_at_or_below(double mbps) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace lpvs::abr

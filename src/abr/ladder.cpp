@@ -1,0 +1,45 @@
+#include "lpvs/abr/ladder.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lpvs::abr {
+
+LadderModel::LadderModel(Config config) : config_(std::move(config)) {
+  assert(!config_.rungs_mbps.empty());
+  for (std::size_t m = 0; m + 1 < config_.rungs_mbps.size(); ++m) {
+    assert(config_.rungs_mbps[m] < config_.rungs_mbps[m + 1]);
+  }
+  assert(config_.rungs_mbps.front() > 0.0);
+  assert(config_.receive_base_mw >= 0.0);
+  assert(config_.receive_mw_per_mbps >= 0.0);
+}
+
+double LadderModel::receive_power_mw(std::size_t m) const {
+  return config_.receive_base_mw +
+         config_.receive_mw_per_mbps * config_.rungs_mbps[m];
+}
+
+double LadderModel::receive_energy_mwh(std::size_t m, double seconds) const {
+  return receive_power_mw(m) * seconds / 3600.0;
+}
+
+double LadderModel::incremental_energy_mwh(std::size_t m,
+                                           double seconds) const {
+  return receive_energy_mwh(m, seconds) - receive_energy_mwh(0, seconds);
+}
+
+double LadderModel::utility(std::size_t m) const {
+  return config_.utility_scale *
+         std::log(config_.rungs_mbps[m] / config_.rungs_mbps[0]);
+}
+
+std::size_t LadderModel::rung_at_or_below(double mbps) const {
+  std::size_t rung = 0;
+  for (std::size_t m = 0; m < size(); ++m) {
+    if (config_.rungs_mbps[m] <= mbps) rung = m;
+  }
+  return rung;
+}
+
+}  // namespace lpvs::abr

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "lpvs/common/status.hpp"
@@ -57,6 +58,11 @@ struct LoadGenConfig {
   /// falls below this fraction; 0 = never give up.
   double giveup_battery_fraction = 0.0;
 
+  /// Path to an lpvs-throughput v1 trace; every client replays it (each
+  /// phase-shifted by its user id) instead of sampling the synthetic
+  /// Gilbert-Elliott channel.  Empty = synthetic.
+  std::string throughput_trace;
+
   /// Optional sink for lpvs_loadgen_request_schedule_ms; null = off.
   obs::MetricsRegistry* metrics = nullptr;
 };
@@ -76,6 +82,16 @@ struct LoadGenReport {
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   long latency_samples = 0;
+
+  // Client playout accounting: every client simulates its slot's chunk
+  // downloads at the granted bitrate over its own stochastic last hop, so
+  // the fleet reports startup/rebuffer figures alongside the digests.
+  double startup_delay_s = 0.0;    ///< summed across sessions
+  double rebuffer_time_s = 0.0;    ///< summed across sessions
+  long rebuffer_events = 0;
+  /// Mean granted bitrate over every driven slot (the server's rung when
+  /// ABR is enabled; the HELLO bitrate otherwise).
+  double mean_granted_bitrate_mbps = 0.0;
 
   /// Per-user FNV-1a digest over every payload byte received, in order.
   /// The cross-run / cross-thread-count determinism witness.

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -17,6 +19,7 @@
 #include "lpvs/common/wire.hpp"
 #include "lpvs/media/video.hpp"
 #include "lpvs/server/protocol.hpp"
+#include "lpvs/streaming/network.hpp"
 #include "lpvs/trace/trace.hpp"
 
 namespace lpvs::loadgen {
@@ -38,6 +41,7 @@ constexpr std::uint64_t kBatterySalt = 0xBA77uLL;
 constexpr std::uint64_t kDrainSalt = 0xD4A1uLL;
 constexpr std::uint64_t kDeltaSalt = 0xDE17uLL;
 constexpr std::uint64_t kArrivalSalt = 0xA221uLL;
+constexpr std::uint64_t kNetSalt = 0x4E37uLL;
 
 /// What one cluster's sessions look like before any byte is sent.
 struct ClusterPlan {
@@ -63,7 +67,33 @@ struct Client {
   Clock::time_point report_sent{};
   std::vector<std::uint8_t> rx;  ///< buffered unconsumed socket bytes
   std::size_t rx_off = 0;        ///< consumed prefix of rx
+
+  // Playout simulation over the stochastic last hop: the client downloads
+  // its granted chunks, keeps a playout buffer, and reports buffer level +
+  // throughput estimate in each REPORT (the v2 fields the joint ABR
+  // scheduler prices).
+  streaming::ThroughputModel net;
+  common::Rng net_rng;
+  double buffer_s = 0.0;
+  bool playing = false;
+  bool was_starved = false;
+  double granted_bitrate_mbps = 3.0;
+  std::deque<double> recent_mbps;  ///< for the harmonic-mean estimate
 };
+
+/// Harmonic mean of the client's recent downloads (the standard robust
+/// estimator, matching streaming::StreamingSession).
+double throughput_estimate(const Client& client) {
+  if (client.recent_mbps.empty()) return 0.0;
+  double inv_sum = 0.0;
+  for (double r : client.recent_mbps) inv_sum += 1.0 / r;
+  return static_cast<double>(client.recent_mbps.size()) / inv_sum;
+}
+
+void push_recent(Client& client, double mbps) {
+  client.recent_mbps.push_back(mbps);
+  if (client.recent_mbps.size() > 5) client.recent_mbps.pop_front();
+}
 
 struct WorkerResult {
   long sessions = 0;
@@ -72,9 +102,45 @@ struct WorkerResult {
   long slots_driven = 0;
   long transport_errors = 0;
   long protocol_errors = 0;
+  double startup_delay_s = 0.0;
+  double rebuffer_time_s = 0.0;
+  long rebuffer_events = 0;
+  double granted_bitrate_sum = 0.0;
   std::vector<double> latencies_ms;
   std::map<std::uint64_t, std::uint64_t> digests;
 };
+
+/// Plays one granted slot: downloads `chunks` chunks at the granted
+/// bitrate over the client's channel, with the same buffer dynamics as
+/// streaming::StreamingSession (startup threshold one chunk, capacity two).
+void simulate_slot_playback(Client& client, std::uint32_t chunks,
+                            double chunk_seconds, WorkerResult& result) {
+  if (chunk_seconds <= 0.0) return;
+  const double capacity_s = 2.0 * chunk_seconds;
+  for (std::uint32_t k = 0; k < chunks; ++k) {
+    const double throughput = client.net.sample_mbps(client.net_rng);
+    push_recent(client, throughput);
+    const double download_s =
+        client.granted_bitrate_mbps * chunk_seconds / throughput;
+    if (!client.playing) {
+      result.startup_delay_s += download_s;
+      client.buffer_s += chunk_seconds;
+      if (client.buffer_s >= chunk_seconds) client.playing = true;
+    } else {
+      if (client.buffer_s >= download_s) {
+        client.buffer_s -= download_s;
+        client.was_starved = false;
+      } else {
+        result.rebuffer_time_s += download_s - client.buffer_s;
+        if (!client.was_starved) ++result.rebuffer_events;
+        client.was_starved = true;
+        client.buffer_s = 0.0;
+      }
+      client.buffer_s =
+          std::min(client.buffer_s + chunk_seconds, capacity_s);
+    }
+  }
+}
 
 int connect_loopback(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -165,8 +231,11 @@ void close_client(Client& client) {
 }
 
 /// Drives one cluster's whole lifetime (HELLO → slots in lockstep → BYE).
+/// `trace_net` non-null = every client replays that trace, phase-shifted
+/// by its user id.
 void drive_cluster(const LoadGenConfig& config, const ClusterPlan& plan,
-                   WorkerResult& result, obs::Histogram* latency_hist) {
+                   WorkerResult& result, obs::Histogram* latency_hist,
+                   const streaming::ThroughputModel* trace_net) {
   std::vector<Client> clients(plan.size);
   std::vector<std::uint8_t> tx;  // reused encode scratch for every frame
 
@@ -180,6 +249,20 @@ void drive_cluster(const LoadGenConfig& config, const ClusterPlan& plan,
     common::Rng drain_rng =
         derived_rng(config.seed, client.user_id, kDrainSalt);
     client.drain_per_slot = drain_rng.uniform(0.02, 0.08);
+
+    // Last-hop channel: a private phase of the shared trace, or the
+    // synthetic chain off a per-user derived stream.  Three probe samples
+    // seed the throughput estimate the first REPORT carries.
+    client.net_rng = derived_rng(config.seed, client.user_id, kNetSalt);
+    if (trace_net != nullptr) {
+      client.net = *trace_net;
+      client.net.set_trace_position(static_cast<std::size_t>(
+          client.user_id % trace_net->trace().size()));
+    }
+    client.granted_bitrate_mbps = plan.bitrate_mbps;
+    for (int probe = 0; probe < 3; ++probe) {
+      push_recent(client, client.net.sample_mbps(client.net_rng));
+    }
 
     client.fd = connect_loopback(config.port);
     if (client.fd < 0) {
@@ -240,6 +323,8 @@ void drive_cluster(const LoadGenConfig& config, const ClusterPlan& plan,
         report.has_delta = 1;
       }
       report.watching = giving_up ? 0 : 1;
+      report.buffer_s = client.buffer_s;
+      report.throughput_mbps = throughput_estimate(client);
       client.report_sent = Clock::now();
       if (!send_frame(client, protocol::make_frame(report), tx)) {
         ++result.transport_errors;
@@ -287,8 +372,16 @@ void drive_cluster(const LoadGenConfig& config, const ClusterPlan& plan,
       client.battery_fraction = std::max(
           0.0,
           client.battery_fraction - client.drain_per_slot * g.power_scale);
-      client.transformed_last =
-          schedule->as<protocol::Schedule>().transform != 0;
+      const auto& sched = schedule->as<protocol::Schedule>();
+      client.transformed_last = sched.transform != 0;
+
+      // Play the granted slot: an ABR-enabled server governs the bitrate
+      // (bitrate_mbps > 0); otherwise the client keeps its current rate.
+      if (sched.bitrate_mbps > 0.0) {
+        client.granted_bitrate_mbps = sched.bitrate_mbps;
+      }
+      result.granted_bitrate_sum += client.granted_bitrate_mbps;
+      simulate_slot_playback(client, g.chunks, g.chunk_seconds, result);
     }
   }
 
@@ -364,6 +457,19 @@ common::StatusOr<LoadGenReport> run_load(const LoadGenConfig& config) {
 
   io::ignore_sigpipe();
 
+  // A shared throughput trace, loaded once; clients copy it and replay
+  // their own phase.  A bad path or unusable trace fails the run up front.
+  streaming::ThroughputModel trace_model;
+  const streaming::ThroughputModel* trace_net = nullptr;
+  if (!config.throughput_trace.empty()) {
+    common::StatusOr<streaming::ThroughputModel> loaded =
+        streaming::ThroughputModel::from_trace_file(config.throughput_trace,
+                                                    config.metrics);
+    if (!loaded.ok()) return loaded.status();
+    trace_model = std::move(loaded).value();
+    trace_net = &trace_model;
+  }
+
   obs::Histogram* latency_hist = nullptr;
   if (config.metrics != nullptr) {
     latency_hist = &config.metrics->histogram(
@@ -387,7 +493,7 @@ common::StatusOr<LoadGenReport> run_load(const LoadGenConfig& config) {
                           std::chrono::duration<double>(
                               plans[c].arrival_offset_s)));
         }
-        drive_cluster(config, plans[c], results[w], latency_hist);
+        drive_cluster(config, plans[c], results[w], latency_hist, trace_net);
       }
     });
   }
@@ -396,6 +502,7 @@ common::StatusOr<LoadGenReport> run_load(const LoadGenConfig& config) {
   // --- Merge.
   LoadGenReport report;
   std::vector<double> latencies;
+  double granted_bitrate_sum = 0.0;
   for (WorkerResult& result : results) {
     report.sessions += result.sessions;
     report.completed += result.completed;
@@ -403,11 +510,19 @@ common::StatusOr<LoadGenReport> run_load(const LoadGenConfig& config) {
     report.slots_driven += result.slots_driven;
     report.transport_errors += result.transport_errors;
     report.protocol_errors += result.protocol_errors;
+    report.startup_delay_s += result.startup_delay_s;
+    report.rebuffer_time_s += result.rebuffer_time_s;
+    report.rebuffer_events += result.rebuffer_events;
+    granted_bitrate_sum += result.granted_bitrate_sum;
     latencies.insert(latencies.end(), result.latencies_ms.begin(),
                      result.latencies_ms.end());
     for (const auto& [user, digest] : result.digests) {
       report.digests[user] = digest;
     }
+  }
+  if (report.slots_driven > 0) {
+    report.mean_granted_bitrate_mbps =
+        granted_bitrate_sum / static_cast<double>(report.slots_driven);
   }
   report.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
   report.latency_samples = static_cast<long>(latencies.size());

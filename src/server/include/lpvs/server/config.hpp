@@ -20,7 +20,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 
+#include "lpvs/abr/ladder.hpp"
 #include "lpvs/core/run_context.hpp"
 #include "lpvs/core/slot_problem_config.hpp"
 #include "lpvs/server/event_loop.hpp"
@@ -91,6 +93,43 @@ struct AdmissionConfig {
   }
 };
 
+/// Joint ABR × transform scheduling (src/abr).  When enabled the daemon
+/// solves the joint slot ILP — bitrate rungs coupled to transform
+/// decisions — and SCHEDULE frames carry the granted rung; when disabled
+/// (the default) the daemon schedules transforms only and grants stay
+/// ungoverned (bitrate_mbps 0), exactly the v1 behavior.
+struct AbrConfig {
+  bool enabled = false;
+  abr::LadderModel::Config ladder{};
+  /// Cluster-wide incremental receive-energy allowance per slot, mWh.
+  double receive_budget_mwh = 1.0e18;
+  double qoe_weight = 3000.0;
+  double receive_energy_weight = 30.0;
+  double qoe_floor = 0.0;
+  double throughput_safety = 0.9;
+
+  AbrConfig with_enabled(bool v) const {
+    AbrConfig c = *this;
+    c.enabled = v;
+    return c;
+  }
+  AbrConfig with_ladder(abr::LadderModel::Config v) const {
+    AbrConfig c = *this;
+    c.ladder = std::move(v);
+    return c;
+  }
+  AbrConfig with_receive_budget_mwh(double v) const {
+    AbrConfig c = *this;
+    c.receive_budget_mwh = v;
+    return c;
+  }
+  AbrConfig with_qoe_weight(double v) const {
+    AbrConfig c = *this;
+    c.qoe_weight = v;
+    return c;
+  }
+};
+
 struct ServerConfig {
   ServerConfig() {
     // The serving slots are long (a few 100-second chunks) compared to the
@@ -113,6 +152,8 @@ struct ServerConfig {
   /// Adaptive shedding threshold (ready cluster barriers per worker batch);
   /// 0 = off.  Enabling sacrifices payload bit-determinism under load.
   std::uint32_t shed_ready_depth = 0;
+  /// Joint ABR × transform scheduling; off = transform-only (v1 behavior).
+  AbrConfig abr{};
 
   ServerConfig with_listener(ListenerConfig v) const {
     ServerConfig c = *this;
@@ -137,6 +178,11 @@ struct ServerConfig {
   ServerConfig with_shed_ready_depth(std::uint32_t v) const {
     ServerConfig c = *this;
     c.shed_ready_depth = v;
+    return c;
+  }
+  ServerConfig with_abr(AbrConfig v) const {
+    ServerConfig c = *this;
+    c.abr = std::move(v);
     return c;
   }
   // Shorthands for the most-set leaves.

@@ -1,4 +1,4 @@
-// lpvs-wire/session v1 — the client-facing binary session protocol.
+// lpvs-wire/session v2 — the client-facing binary session protocol.
 //
 // The paper's edge-server deployment (§V) has mobile clients report their
 // battery / power state every slot and receive the scheduler's per-slot
@@ -30,6 +30,13 @@
 // session's cluster composition and the reported state — never of socket
 // interleaving — so the byte stream a session receives is bit-identical
 // across runs (the serving integration test asserts it via FNV digests).
+//
+// Version history.  v2 (the joint ABR scheduler) appends streaming state
+// to REPORT (buffer level, throughput estimate) and the granted bitrate
+// rung to SCHEDULE.  All additions are strictly appended, so a v2 decoder
+// accepts v1 frames by stopping at the old body length and leaving the new
+// fields at their defaults (kMinVersion below); frames claiming any other
+// version are rejected.  Encoders always emit kVersion.
 #pragma once
 
 #include <cstdint>
@@ -44,7 +51,10 @@ namespace lpvs::server::protocol {
 
 /// "LWS1" little-endian: lpvs-wire/session.
 inline constexpr std::uint32_t kMagic = 0x3153574Cu;
-inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kVersion = 2;
+/// Oldest version this decoder still accepts (fields added since decode to
+/// their struct defaults).
+inline constexpr std::uint32_t kMinVersion = 1;
 
 /// Hard ceiling on one frame's payload size.  Every body below fits in well
 /// under 256 bytes; the slack covers ERROR messages.  A length prefix above
@@ -98,6 +108,11 @@ struct Report {
   double observed_delta = 0.0;
   std::uint8_t has_delta = 0;
   std::uint8_t watching = 1;  ///< 0 = giving up; the session will BYE next
+  // --- v2: client streaming state for the joint ABR scheduler.  A v1
+  // --- client reports neither; 0 throughput reads as "unknown" and keeps
+  // --- the granted rung at the ladder floor.
+  double buffer_s = 0.0;          ///< playout buffer level, seconds
+  double throughput_mbps = 0.0;   ///< client's own throughput estimate
 };
 
 /// The scheduler's decision for one session's slot.
@@ -109,6 +124,11 @@ struct Schedule {
   double objective = 0.0;          ///< cluster objective (13) achieved
   std::uint32_t selected_count = 0;
   std::uint32_t cluster_devices = 0;
+  // --- v2: the granted bitrate-ladder rung from the joint ABR solve.  A
+  // --- v1 server grants neither; bitrate_mbps 0 means "no grant, keep
+  // --- your current rate" so old-server/new-client sessions stay valid.
+  std::uint8_t bitrate_rung = 0;   ///< index into the ladder
+  double bitrate_mbps = 0.0;       ///< the rung's bitrate (0 = ungoverned)
 };
 
 /// Chunk grant for the slot: what the client may fetch and at what

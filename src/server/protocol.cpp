@@ -9,6 +9,10 @@ namespace {
 using common::wire::Reader;
 using common::wire::Writer;
 
+// decode_body takes the frame's claimed version so the two frames v2
+// extended can stop early on v1 bodies (appended fields keep their struct
+// defaults); every other body ignores it.
+
 void encode_body(Writer& w, const Hello& b) {
   w.u64(b.user_id);
   w.u64(b.cluster_id);
@@ -20,7 +24,7 @@ void encode_body(Writer& w, const Hello& b) {
   w.u8(b.giveup_percent);
 }
 
-bool decode_body(Reader& r, Hello& b) {
+bool decode_body(Reader& r, Hello& b, std::uint32_t) {
   return r.u64(b.user_id) && r.u64(b.cluster_id) && r.u32(b.cluster_size) &&
          r.u32(b.slots_total) && r.f64(b.battery_capacity_mwh) &&
          r.f64(b.bitrate_mbps) && r.u8(b.genre) && r.u8(b.giveup_percent);
@@ -31,7 +35,7 @@ void encode_body(Writer& w, const HelloAck& b) {
   w.u32(b.next_slot);
 }
 
-bool decode_body(Reader& r, HelloAck& b) {
+bool decode_body(Reader& r, HelloAck& b, std::uint32_t) {
   return r.u64(b.user_id) && r.u32(b.next_slot);
 }
 
@@ -41,11 +45,17 @@ void encode_body(Writer& w, const Report& b) {
   w.f64(b.observed_delta);
   w.u8(b.has_delta);
   w.u8(b.watching);
+  w.f64(b.buffer_s);
+  w.f64(b.throughput_mbps);
 }
 
-bool decode_body(Reader& r, Report& b) {
-  return r.u32(b.slot) && r.f64(b.battery_fraction) &&
-         r.f64(b.observed_delta) && r.u8(b.has_delta) && r.u8(b.watching);
+bool decode_body(Reader& r, Report& b, std::uint32_t version) {
+  if (!(r.u32(b.slot) && r.f64(b.battery_fraction) &&
+        r.f64(b.observed_delta) && r.u8(b.has_delta) && r.u8(b.watching))) {
+    return false;
+  }
+  if (version < 2) return true;  // v1 body ends here; defaults stand
+  return r.f64(b.buffer_s) && r.f64(b.throughput_mbps);
 }
 
 void encode_body(Writer& w, const Schedule& b) {
@@ -56,12 +66,18 @@ void encode_body(Writer& w, const Schedule& b) {
   w.f64(b.objective);
   w.u32(b.selected_count);
   w.u32(b.cluster_devices);
+  w.u8(b.bitrate_rung);
+  w.f64(b.bitrate_mbps);
 }
 
-bool decode_body(Reader& r, Schedule& b) {
-  return r.u32(b.slot) && r.u8(b.transform) && r.u8(b.rung) &&
-         r.f64(b.expected_gamma) && r.f64(b.objective) &&
-         r.u32(b.selected_count) && r.u32(b.cluster_devices);
+bool decode_body(Reader& r, Schedule& b, std::uint32_t version) {
+  if (!(r.u32(b.slot) && r.u8(b.transform) && r.u8(b.rung) &&
+        r.f64(b.expected_gamma) && r.f64(b.objective) &&
+        r.u32(b.selected_count) && r.u32(b.cluster_devices))) {
+    return false;
+  }
+  if (version < 2) return true;  // v1 body ends here; defaults stand
+  return r.u8(b.bitrate_rung) && r.f64(b.bitrate_mbps);
 }
 
 void encode_body(Writer& w, const Grant& b) {
@@ -71,28 +87,29 @@ void encode_body(Writer& w, const Grant& b) {
   w.f64(b.power_scale);
 }
 
-bool decode_body(Reader& r, Grant& b) {
+bool decode_body(Reader& r, Grant& b, std::uint32_t) {
   return r.u32(b.slot) && r.u32(b.chunks) && r.f64(b.chunk_seconds) &&
          r.f64(b.power_scale);
 }
 
 void encode_body(Writer& w, const Bye& b) { w.u8(b.reason); }
 
-bool decode_body(Reader& r, Bye& b) { return r.u8(b.reason); }
+bool decode_body(Reader& r, Bye& b, std::uint32_t) { return r.u8(b.reason); }
 
 void encode_body(Writer& w, const Error& b) {
   w.u8(b.code);
   w.str(b.message);
 }
 
-bool decode_body(Reader& r, Error& b) {
+bool decode_body(Reader& r, Error& b, std::uint32_t) {
   return r.u8(b.code) && r.str(b.message);
 }
 
 template <typename Body>
-common::StatusOr<Frame> finish_decode(Reader& r, FrameType type) {
+common::StatusOr<Frame> finish_decode(Reader& r, FrameType type,
+                                      std::uint32_t version) {
   Body body;
-  if (!decode_body(r, body)) {
+  if (!decode_body(r, body, version)) {
     return common::Status::DataLoss("truncated frame body");
   }
   if (!r.exhausted()) {
@@ -185,24 +202,24 @@ common::StatusOr<Frame> decode_payload(const std::uint8_t* data,
   if (magic != kMagic) {
     return common::Status::InvalidArgument("not an lpvs-wire/session frame");
   }
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return common::Status::InvalidArgument("unsupported session version");
   }
   switch (static_cast<FrameType>(type_raw)) {
     case FrameType::kHello:
-      return finish_decode<Hello>(r, FrameType::kHello);
+      return finish_decode<Hello>(r, FrameType::kHello, version);
     case FrameType::kHelloAck:
-      return finish_decode<HelloAck>(r, FrameType::kHelloAck);
+      return finish_decode<HelloAck>(r, FrameType::kHelloAck, version);
     case FrameType::kReport:
-      return finish_decode<Report>(r, FrameType::kReport);
+      return finish_decode<Report>(r, FrameType::kReport, version);
     case FrameType::kSchedule:
-      return finish_decode<Schedule>(r, FrameType::kSchedule);
+      return finish_decode<Schedule>(r, FrameType::kSchedule, version);
     case FrameType::kGrant:
-      return finish_decode<Grant>(r, FrameType::kGrant);
+      return finish_decode<Grant>(r, FrameType::kGrant, version);
     case FrameType::kBye:
-      return finish_decode<Bye>(r, FrameType::kBye);
+      return finish_decode<Bye>(r, FrameType::kBye, version);
     case FrameType::kError:
-      return finish_decode<Error>(r, FrameType::kError);
+      return finish_decode<Error>(r, FrameType::kError, version);
   }
   return common::Status::InvalidArgument("unknown frame type");
 }

@@ -51,7 +51,15 @@ Worker::Worker(const ServerConfig& config, const core::Scheduler& scheduler,
       context_(context),
       control_(control),
       schedule_ms_(schedule_ms),
-      ring_(kHandoffRingSlots) {}
+      ring_(kHandoffRingSlots),
+      joint_scheduler_(core::scheduler_ilp_defaults(config.slot.lp_engine)) {
+  joint_.ladder = abr::LadderModel(config.abr.ladder);
+  joint_.receive_budget_mwh = config.abr.receive_budget_mwh;
+  joint_.qoe_weight = config.abr.qoe_weight;
+  joint_.receive_energy_weight = config.abr.receive_energy_weight;
+  joint_.qoe_floor = config.abr.qoe_floor;
+  joint_.throughput_safety = config.abr.throughput_safety;
+}
 
 Worker::~Worker() {
   join();
@@ -460,7 +468,27 @@ void Worker::schedule_cluster(Cluster* cluster, int forced_rung) {
   }
   ctx = ctx.with_deadline(deadline);
 
-  const core::Schedule schedule = scheduler_.schedule(problem_, ctx);
+  core::Schedule schedule;
+  bool joint_mode = false;
+  if (config_.abr.enabled) {
+    // Joint ABR × transform: same device assembly, widened decision.  The
+    // joint solve replaces the degradation ladder for this cluster (the
+    // SCHEDULE rung byte reports full solve); everything stays a pure
+    // function of (cluster composition, reports), so payload bytes remain
+    // worker-count-independent.
+    std::swap(joint_.base, problem_);
+    joint_.streams.resize(order_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      joint_.streams[i].buffer_s = order_[i]->report.buffer_s;
+      joint_.streams[i].throughput_mbps = order_[i]->report.throughput_mbps;
+    }
+    joint_result_ = joint_scheduler_.schedule(joint_, ctx);
+    std::swap(joint_.base, problem_);
+    schedule = joint_result_.display;
+    joint_mode = true;
+  } else {
+    schedule = scheduler_.schedule(problem_, ctx);
+  }
   counters_.add(kSlots);
 
   const auto selected = static_cast<std::uint32_t>(schedule.selected_count());
@@ -476,6 +504,10 @@ void Worker::schedule_cluster(Cluster* cluster, int forced_rung) {
     push.objective = schedule.objective;
     push.selected_count = selected;
     push.cluster_devices = static_cast<std::uint32_t>(order_.size());
+    if (joint_mode) {
+      push.bitrate_rung = static_cast<std::uint8_t>(joint_result_.rung[i]);
+      push.bitrate_mbps = joint_result_.rung_mbps[i];
+    }
 
     protocol::Grant grant;
     grant.slot = cluster->next_slot;

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "lpvs/abr/joint.hpp"
 #include "lpvs/bayes/gamma_estimator.hpp"
 #include "lpvs/bayes/nig_estimator.hpp"
 #include "lpvs/common/pool.hpp"
@@ -239,6 +240,13 @@ class Worker {
   core::SlotProblem problem_;
   std::vector<Connection*> order_;
   media::Video video_;
+
+  // Joint ABR × transform path (config_.abr.enabled): the joint scratch
+  // borrows problem_ as its base via swap, so both modes share the device
+  // assembly above and its pooled capacity.
+  abr::JointAbrScheduler joint_scheduler_;
+  abr::JointSlotProblem joint_;
+  abr::JointSchedule joint_result_;
 };
 
 }  // namespace lpvs::server::internal

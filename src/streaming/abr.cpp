@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <deque>
 
 namespace lpvs::streaming {
@@ -30,6 +31,31 @@ std::size_t BufferBasedAbr::pick_rung(std::span<const double> ladder,
       (buffer_s - reservoir_s_) / (cushion_s_ - reservoir_s_);
   return static_cast<std::size_t>(t * static_cast<double>(ladder.size() - 1) +
                                   0.5);
+}
+
+std::size_t BolaAbr::pick_rung(std::span<const double> ladder,
+                               double buffer_s,
+                               double throughput_estimate_mbps) {
+  (void)throughput_estimate_mbps;
+  assert(!ladder.empty());
+  const double r0 = ladder.front();
+  const double v_max = std::log(ladder.back() / r0);
+  const double gain =
+      (buffer_capacity_s_ / chunk_seconds_ - 1.0) / (v_max + gp_);
+  const double q_chunks = buffer_s / chunk_seconds_;
+
+  std::size_t best = 0;
+  double best_score = 0.0;
+  for (std::size_t m = 0; m < ladder.size(); ++m) {
+    const double utility = std::log(ladder[m] / r0);
+    const double size = ladder[m] * chunk_seconds_;
+    const double score = (gain * (utility + gp_) - q_chunks) / size;
+    if (m == 0 || score > best_score) {
+      best = m;
+      best_score = score;
+    }
+  }
+  return best;
 }
 
 StreamingSession::StreamingSession(Config config)

@@ -34,12 +34,23 @@ struct SessionQoe {
 
   /// Standard linear QoE: bitrate reward minus rebuffering and switching
   /// penalties (the common MPC/Pensieve-style objective).
-  double score(double rebuffer_penalty = 4.3,
-               double switch_penalty = 0.5) const {
-    return mean_bitrate_mbps - rebuffer_penalty * rebuffer_time_s /
-                                   std::max(chunks_played, 1) * 10.0 -
-           switch_penalty * bitrate_switches /
-               static_cast<double>(std::max(chunks_played, 1));
+  ///
+  /// Normalization: the rebuffer term is the *freeze percentage* — stalled
+  /// time as a share of nominal playback time (chunks * chunk_seconds),
+  /// scaled by 100 so a session frozen 1% of the time loses
+  /// `rebuffer_penalty` points.  That keeps the term comparable to the
+  /// bitrate reward (single-digit Mbps) and independent of session length.
+  /// (A previous form multiplied `rebuffer_time_s / chunks` by a bare 10.0
+  /// — exactly this freeze percentage for the default 10-second chunks,
+  /// just with the chunk duration folded into an unexplained constant.)
+  /// The switch term is switches per chunk, as in the MPC objective.
+  double score(double rebuffer_penalty = 4.3, double switch_penalty = 0.5,
+               double chunk_seconds = 10.0) const {
+    const double chunks = static_cast<double>(std::max(chunks_played, 1));
+    const double freeze_percent =
+        100.0 * rebuffer_time_s / (chunks * chunk_seconds);
+    return mean_bitrate_mbps - rebuffer_penalty * freeze_percent -
+           switch_penalty * bitrate_switches / chunks;
   }
 };
 
@@ -80,6 +91,35 @@ class BufferBasedAbr : public AbrController {
  private:
   double reservoir_s_;
   double cushion_s_;
+};
+
+/// BOLA (Spiteri, Urgaonkar & Sitaraman): Lyapunov-drift-plus-penalty rung
+/// choice from the buffer level alone.  Each decision maximizes
+///
+///   (V * (v_m + gp) - Q) / S_m
+///
+/// over rungs m, where v_m = ln(r_m / r_0) is the rung's log utility,
+/// S_m = r_m * chunk_seconds its size, Q the buffer level in chunks, and
+/// V = (buffer_capacity/chunk_seconds - 1) / (v_max + gp) the control gain
+/// that keeps the chosen rung's buffer target inside the playout buffer.
+/// Ties go to the lowest rung (the conservative choice).  Throughput
+/// estimates are ignored — BOLA is the buffer-only corner of the policy
+/// menu, provably near-optimal for the utility it maximizes.
+class BolaAbr : public AbrController {
+ public:
+  explicit BolaAbr(double gp = 5.0, double chunk_seconds = 10.0,
+                   double buffer_capacity_s = 60.0)
+      : gp_(gp),
+        chunk_seconds_(chunk_seconds),
+        buffer_capacity_s_(buffer_capacity_s) {}
+  std::string name() const override { return "bola"; }
+  std::size_t pick_rung(std::span<const double> ladder, double buffer_s,
+                        double throughput_estimate_mbps) override;
+
+ private:
+  double gp_;
+  double chunk_seconds_;
+  double buffer_capacity_s_;
 };
 
 /// One viewer's streaming session simulation.

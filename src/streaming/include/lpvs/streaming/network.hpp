@@ -7,12 +7,32 @@
 // two-state Gilbert-Elliott-style channel — a good state and a degraded
 // state with log-normal throughput in each — the standard simple model for
 // cellular/WiFi variability.
+// Besides the synthetic channel, the model can *replay a recorded trace*
+// (from_trace): a line-oriented text file of per-download throughputs, so
+// loadgen and the benches can drive clients with real network captures.
+// Format, diff-friendly like lpvs-trace:
+//
+//   lpvs-throughput v1
+//   # optional comments
+//   12.5
+//   9.81
+//   ...
+//
+// one Mbps value per line.  Malformed or non-positive lines are skipped,
+// not fatal (counted as lpvs_throughput_skipped_lines_total on the
+// optional registry); a bad header or zero usable samples fails the load.
+// Replay is cyclic and consumes no randomness.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "lpvs/common/rng.hpp"
+#include "lpvs/common/status.hpp"
 #include "lpvs/fault/fault_injector.hpp"
+#include "lpvs/obs/metrics.hpp"
 
 namespace lpvs::streaming {
 
@@ -49,9 +69,30 @@ class ThroughputModel {
   /// of the two-state chain).
   double stationary_good_fraction() const;
 
+  /// Parses the lpvs-throughput v1 text format into a trace-replay model
+  /// (see the file comment).  Malformed lines are skipped and counted on
+  /// `registry`; zero usable samples or a foreign header fail the load.
+  static common::StatusOr<ThroughputModel> from_trace(
+      std::istream& in, obs::MetricsRegistry* registry = nullptr);
+  static common::StatusOr<ThroughputModel> from_trace_file(
+      const std::string& path, obs::MetricsRegistry* registry = nullptr);
+
+  /// Writes `mbps` in the lpvs-throughput v1 format (round-trips through
+  /// from_trace).
+  static void save_trace(const std::vector<double>& mbps, std::ostream& out);
+
+  /// True when sample_mbps replays a trace instead of the synthetic chain.
+  bool trace_mode() const { return !trace_mbps_.empty(); }
+  const std::vector<double>& trace() const { return trace_mbps_; }
+  /// Replay cursor (next sample = trace()[pos % size]); lets callers give
+  /// each client a distinct phase of a shared trace.
+  void set_trace_position(std::size_t pos) { trace_pos_ = pos; }
+
  private:
   Config config_;
   bool good_ = true;
+  std::vector<double> trace_mbps_;  ///< non-empty = trace-replay mode
+  std::size_t trace_pos_ = 0;
 };
 
 }  // namespace lpvs::streaming

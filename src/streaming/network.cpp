@@ -1,10 +1,21 @@
 #include "lpvs/streaming/network.hpp"
 
 #include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
 
 namespace lpvs::streaming {
 
 double ThroughputModel::sample_mbps(common::Rng& rng) {
+  if (trace_mode()) {
+    // Replay consumes no randomness: loadgen clients stay bit-identical
+    // whether their trace came from a file or was injected directly.
+    const double mbps = trace_mbps_[trace_pos_ % trace_mbps_.size()];
+    ++trace_pos_;
+    return mbps;
+  }
   // State transition first, then a draw from the new state's law.
   if (good_) {
     if (rng.bernoulli(config_.p_good_to_bad)) good_ = false;
@@ -39,6 +50,58 @@ double ThroughputModel::stationary_good_fraction() const {
   const double to_good = config_.p_bad_to_good;
   const double denom = to_bad + to_good;
   return denom > 0.0 ? to_good / denom : 1.0;
+}
+
+common::StatusOr<ThroughputModel> ThroughputModel::from_trace(
+    std::istream& in, obs::MetricsRegistry* registry) {
+  std::string header;
+  if (!std::getline(in, header) ||
+      header.rfind("lpvs-throughput v1", 0) != 0) {
+    return common::Status::InvalidArgument(
+        "not an lpvs-throughput v1 trace");
+  }
+
+  std::vector<double> mbps;
+  long skipped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    double value = 0.0;
+    std::string extra;
+    if (!(row >> value) || row >> extra || !std::isfinite(value) ||
+        value <= 0.0) {
+      ++skipped;  // a truncated tail or stray text must not kill the load
+      continue;
+    }
+    mbps.push_back(value);
+  }
+  if (skipped > 0 && registry != nullptr) {
+    registry
+        ->counter("lpvs_throughput_skipped_lines_total",
+                  "Malformed lines skipped while loading throughput traces")
+        .add(skipped);
+  }
+  if (mbps.empty()) {
+    return common::Status::InvalidArgument("trace has no usable samples");
+  }
+
+  ThroughputModel model;
+  model.trace_mbps_ = std::move(mbps);
+  return model;
+}
+
+common::StatusOr<ThroughputModel> ThroughputModel::from_trace_file(
+    const std::string& path, obs::MetricsRegistry* registry) {
+  std::ifstream in(path);
+  if (!in) return common::Status::NotFound("no trace at " + path);
+  return from_trace(in, registry);
+}
+
+void ThroughputModel::save_trace(const std::vector<double>& mbps,
+                                 std::ostream& out) {
+  out << "lpvs-throughput v1\n";
+  for (double value : mbps) out << value << "\n";
 }
 
 }  // namespace lpvs::streaming

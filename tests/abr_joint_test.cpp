@@ -1,0 +1,317 @@
+// Joint ABR x energy scheduling: ladder pricing, the MCKP program the
+// compiler emits (column layout, admissibility gates, budget/floor rows),
+// selection decoding, and the JointAbrScheduler end to end — including
+// solve-cache transparency and the observability contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "lpvs/abr/joint.hpp"
+#include "lpvs/abr/ladder.hpp"
+#include "lpvs/common/rng.hpp"
+#include "lpvs/core/run_context.hpp"
+#include "lpvs/core/slot_problem.hpp"
+#include "lpvs/obs/metrics.hpp"
+#include "lpvs/solver/solve_cache.hpp"
+#include "lpvs/survey/lba_curve.hpp"
+
+namespace lpvs::abr {
+namespace {
+
+const survey::AnxietyModel& anxiety() {
+  static const survey::AnxietyModel model = survey::AnxietyModel::reference();
+  return model;
+}
+
+/// A comfortable device: big battery, transform-eligible, 3 x 100 s chunks
+/// (the serving slot shape).
+core::DeviceSlotInput comfortable_device(std::uint32_t id) {
+  core::DeviceSlotInput device;
+  device.id = common::DeviceId{id};
+  device.power_rates_mw = {800.0, 900.0, 850.0};
+  device.chunk_durations_s = {100.0, 100.0, 100.0};
+  device.battery_capacity_mwh = 13000.0;
+  device.initial_energy_mwh = 8000.0;
+  device.gamma = 0.31;
+  device.compute_cost = 0.45;
+  device.storage_cost = 75.0;
+  return device;
+}
+
+JointSlotProblem comfortable_problem(std::size_t devices) {
+  JointSlotProblem problem;
+  for (std::size_t d = 0; d < devices; ++d) {
+    problem.base.devices.push_back(
+        comfortable_device(static_cast<std::uint32_t>(d + 1)));
+    problem.streams.push_back({20.0, 50.0});  // deep buffer, fast link
+  }
+  return problem;
+}
+
+TEST(LadderModel, AffineEnergyModel) {
+  const LadderModel ladder;
+  // P_rx(r) = 350 + 210 r mW over the default ladder.
+  EXPECT_DOUBLE_EQ(ladder.receive_power_mw(0), 350.0 + 210.0 * 1.0);
+  EXPECT_DOUBLE_EQ(ladder.receive_power_mw(4), 350.0 + 210.0 * 5.0);
+  // One hour at rung 0: energy in mWh equals power in mW.
+  EXPECT_NEAR(ladder.receive_energy_mwh(0, 3600.0), 560.0, 1e-9);
+  // Incremental energy is zero at the floor, positive and increasing above.
+  EXPECT_DOUBLE_EQ(ladder.incremental_energy_mwh(0, 300.0), 0.0);
+  double previous = 0.0;
+  for (std::size_t m = 1; m < ladder.size(); ++m) {
+    const double inc = ladder.incremental_energy_mwh(m, 300.0);
+    EXPECT_GT(inc, previous) << "rung " << m;
+    previous = inc;
+  }
+  // Incremental = energy(m) - energy(0), exactly.
+  EXPECT_NEAR(ladder.incremental_energy_mwh(3, 300.0),
+              ladder.receive_energy_mwh(3, 300.0) -
+                  ladder.receive_energy_mwh(0, 300.0),
+              1e-12);
+}
+
+TEST(LadderModel, LogUtilityAnchoredAtFloor) {
+  const LadderModel ladder;
+  EXPECT_DOUBLE_EQ(ladder.utility(0), 0.0);
+  EXPECT_NEAR(ladder.utility(4), std::log(5.0), 1e-12);
+  for (std::size_t m = 1; m < ladder.size(); ++m) {
+    EXPECT_GT(ladder.utility(m), ladder.utility(m - 1));
+  }
+}
+
+TEST(LadderModel, RungAtOrBelow) {
+  const LadderModel ladder;  // {1.0, 1.8, 2.5, 3.5, 5.0}
+  EXPECT_EQ(ladder.rung_at_or_below(0.5), 0u);
+  EXPECT_EQ(ladder.rung_at_or_below(1.0), 0u);
+  EXPECT_EQ(ladder.rung_at_or_below(2.49), 1u);
+  EXPECT_EQ(ladder.rung_at_or_below(2.5), 2u);
+  EXPECT_EQ(ladder.rung_at_or_below(99.0), 4u);
+}
+
+TEST(JointProgram, OneColumnPerAdmissibleEntry) {
+  const JointSlotProblem problem = comfortable_problem(1);
+  const JointProgram joint = build_joint_program(problem, anxiety());
+
+  // A fully admissible device gets every (t, m) pair except the implicit
+  // (0, 0) baseline: 2 * 5 - 1 columns.
+  ASSERT_EQ(joint.entries.size(), 9u);
+  ASSERT_EQ(joint.program.num_vars(), 9u);
+  // Rows: compute, storage, receive budget, one per-user row.
+  ASSERT_EQ(joint.program.rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(joint.program.rhs[0], problem.base.compute_capacity);
+  EXPECT_DOUBLE_EQ(joint.program.rhs[1], problem.base.storage_capacity);
+  EXPECT_DOUBLE_EQ(joint.program.rhs[2], problem.receive_budget_mwh);
+  EXPECT_DOUBLE_EQ(joint.program.rhs[3], 1.0);
+  for (const JointProgram::Entry& entry : joint.entries) {
+    EXPECT_FALSE(entry.transform == 0 && entry.rung == 0)
+        << "baseline entry must stay implicit";
+  }
+  // Every column sits in its device's one-decision row; transform columns
+  // carry the edge costs, pure-rung columns do not.
+  for (std::size_t j = 0; j < joint.entries.size(); ++j) {
+    EXPECT_DOUBLE_EQ(joint.program.rows[3][j], 1.0);
+    const double expected_compute =
+        joint.entries[j].transform != 0 ? 0.45 : 0.0;
+    EXPECT_DOUBLE_EQ(joint.program.rows[0][j], expected_compute);
+  }
+}
+
+TEST(JointProgram, ThroughputGatePrunesFastRungs) {
+  JointSlotProblem problem = comfortable_problem(1);
+  // Empty buffer, 2 Mbps link: rung m admissible iff r_m <= 0.9 * 2 = 1.8.
+  problem.streams[0] = {0.0, 2.0};
+  const JointProgram joint = build_joint_program(problem, anxiety());
+  for (const JointProgram::Entry& entry : joint.entries) {
+    EXPECT_LE(entry.rung, 1u) << "rung above the throughput gate admitted";
+  }
+  // Rung 0 stays grantable regardless: the transform-only column exists.
+  bool transform_only = false;
+  for (const JointProgram::Entry& entry : joint.entries) {
+    transform_only |= entry.transform != 0 && entry.rung == 0;
+  }
+  EXPECT_TRUE(transform_only);
+}
+
+TEST(JointProgram, BufferDepthRelaxesThroughputGate) {
+  JointSlotProblem problem = comfortable_problem(1);
+  // Same 2 Mbps link, but a 300 s buffer over a 300 s slot doubles the
+  // admissible download rate: r_m <= 0.9 * 2 * (1 + 300/300) = 3.6.
+  problem.streams[0] = {300.0, 2.0};
+  const JointProgram joint = build_joint_program(problem, anxiety());
+  std::size_t max_rung = 0;
+  for (const JointProgram::Entry& entry : joint.entries) {
+    max_rung = std::max(max_rung, entry.rung);
+  }
+  EXPECT_EQ(max_rung, 3u);  // 3.5 Mbps fits, 5.0 does not
+}
+
+TEST(JointProgram, BatteryGatePrunesExpensiveRungs) {
+  JointSlotProblem problem = comfortable_problem(1);
+  // Display energy untransformed: (800+900+850) mW * 100 s / 3600 ~ 70.8
+  // mWh.  Receive at rung 4 over 300 s: (350+1050)*300/3600 ~ 116.7 mWh.
+  // 150 mWh affords low rungs but not the top of the ladder.
+  problem.base.devices[0].initial_energy_mwh = 150.0;
+  const JointProgram joint = build_joint_program(problem, anxiety());
+  ASSERT_FALSE(joint.entries.empty());
+  for (const JointProgram::Entry& entry : joint.entries) {
+    const double display =
+        70.833 * (entry.transform != 0
+                      ? 1.0 - problem.base.devices[0].gamma
+                      : 1.0);
+    const double rx =
+        problem.ladder.receive_energy_mwh(entry.rung, 300.0);
+    EXPECT_LE(display + rx, 150.0 + 0.2)
+        << "transform " << int(entry.transform) << " rung " << entry.rung;
+  }
+}
+
+TEST(JointProgram, QoeFloorPrunesMidLadder) {
+  JointSlotProblem problem = comfortable_problem(1);
+  const LadderModel& ladder = problem.ladder;
+  // Floor between utility(1) and utility(2): rung 1 grants are pruned,
+  // rung 0 (the fallback) and rungs >= 2 stay.
+  problem.qoe_floor = 0.5 * (ladder.utility(1) + ladder.utility(2));
+  const JointProgram joint = build_joint_program(problem, anxiety());
+  bool saw_rung0 = false;
+  bool saw_rung2 = false;
+  for (const JointProgram::Entry& entry : joint.entries) {
+    EXPECT_NE(entry.rung, 1u) << "below-floor rung admitted";
+    saw_rung0 |= entry.rung == 0;
+    saw_rung2 |= entry.rung == 2;
+  }
+  EXPECT_TRUE(saw_rung0);
+  EXPECT_TRUE(saw_rung2);
+}
+
+TEST(JointProgram, DecodeSelectionFallsBackToBaseline) {
+  const JointSlotProblem problem = comfortable_problem(2);
+  const JointProgram joint = build_joint_program(problem, anxiety());
+  std::vector<int> x(joint.program.num_vars(), 0);
+  // Select one entry for device 0 only; device 1 takes the baseline.
+  std::size_t chosen = joint.entries.size();
+  for (std::size_t j = 0; j < joint.entries.size(); ++j) {
+    if (joint.entries[j].device == 0 && joint.entries[j].transform != 0 &&
+        joint.entries[j].rung == 2) {
+      chosen = j;
+      break;
+    }
+  }
+  ASSERT_LT(chosen, joint.entries.size());
+  x[chosen] = 1;
+  const JointSelection selection = decode_selection(joint, x);
+  ASSERT_EQ(selection.transform.size(), 2u);
+  EXPECT_EQ(selection.transform[0], 1);
+  EXPECT_EQ(selection.rung[0], 2u);
+  EXPECT_EQ(selection.transform[1], 0);
+  EXPECT_EQ(selection.rung[1], 0u);
+}
+
+TEST(JointScheduler, GrantsTopRungWhenUnconstrained) {
+  const JointSlotProblem problem = comfortable_problem(3);
+  const JointAbrScheduler scheduler;
+  const JointSchedule result =
+      scheduler.schedule(problem, core::RunContext(anxiety()));
+  ASSERT_EQ(result.rung.size(), 3u);
+  for (std::size_t d = 0; d < 3; ++d) {
+    // qoe_weight * ln(5) far outweighs the receive-energy price at the
+    // defaults, and nothing else binds: every device gets the top rung.
+    EXPECT_EQ(result.rung[d], 4u) << "device " << d;
+    EXPECT_DOUBLE_EQ(result.rung_mbps[d], 5.0);
+  }
+  EXPECT_GT(result.qoe_utility_sum, 3.0 * std::log(5.0) - 1e-9);
+  EXPECT_GT(result.receive_energy_mwh, 0.0);
+}
+
+TEST(JointScheduler, ReceiveBudgetForcesTriage) {
+  JointSlotProblem problem = comfortable_problem(3);
+  // One device's worth of top-rung incremental energy: 210 * 4 Mbps over
+  // 300 s = 70 mWh.  A 75 mWh budget lets roughly one top-rung grant
+  // through; the rest must settle lower.
+  problem.receive_budget_mwh = 75.0;
+  const JointAbrScheduler scheduler;
+  const JointSchedule result =
+      scheduler.schedule(problem, core::RunContext(anxiety()));
+  EXPECT_LE(result.incremental_rx_mwh, 75.0 + 1e-6);
+  std::size_t top_rung_grants = 0;
+  for (const std::size_t rung : result.rung) {
+    top_rung_grants += rung == 4 ? 1 : 0;
+  }
+  EXPECT_LT(top_rung_grants, 3u);
+  // The budget only throttles rungs — transform decisions stay available.
+  EXPECT_EQ(result.display.x.size(), 3u);
+}
+
+TEST(JointScheduler, EmptyMenuYieldsPureBaseline) {
+  JointSlotProblem problem = comfortable_problem(1);
+  problem.streams[0] = {0.0, 0.0};         // no throughput: rungs gated
+  problem.base.devices[0].gamma = 0.0;     // transform ineligible
+  const JointProgram joint = build_joint_program(problem, anxiety());
+  EXPECT_TRUE(joint.entries.empty());
+
+  const JointAbrScheduler scheduler;
+  const JointSchedule result =
+      scheduler.schedule(problem, core::RunContext(anxiety()));
+  EXPECT_EQ(result.rung[0], 0u);
+  EXPECT_EQ(result.display.x[0], 0);
+  EXPECT_DOUBLE_EQ(result.incremental_rx_mwh, 0.0);
+  EXPECT_DOUBLE_EQ(result.qoe_utility_sum, 0.0);
+}
+
+TEST(JointScheduler, SolveCacheIsTransparent) {
+  const JointSlotProblem problem = comfortable_problem(3);
+  const JointAbrScheduler scheduler;
+  const core::RunContext cold(anxiety());
+  const JointSchedule reference = scheduler.schedule(problem, cold);
+
+  solver::SolveCache cache;
+  const core::RunContext cached =
+      core::RunContext(anxiety()).with_solve_cache(&cache, 7);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const JointSchedule warm = scheduler.schedule(problem, cached);
+    EXPECT_EQ(warm.rung, reference.rung) << "repeat " << repeat;
+    EXPECT_NEAR(warm.display.objective, reference.display.objective, 1e-9);
+    EXPECT_NEAR(warm.qoe_utility_sum, reference.qoe_utility_sum, 1e-12);
+  }
+}
+
+TEST(JointScheduler, DeterministicAcrossRepeats) {
+  const JointSlotProblem problem = comfortable_problem(4);
+  const JointAbrScheduler scheduler;
+  const core::RunContext context(anxiety());
+  const JointSchedule first = scheduler.schedule(problem, context);
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    const JointSchedule again = scheduler.schedule(problem, context);
+    EXPECT_EQ(again.rung, first.rung);
+    EXPECT_EQ(again.display.x, first.display.x);
+    EXPECT_DOUBLE_EQ(again.display.objective, first.display.objective);
+    EXPECT_EQ(again.ilp_nodes, first.ilp_nodes);
+  }
+}
+
+TEST(JointScheduler, MetricsAreObservationalAndPresent) {
+  const JointSlotProblem problem = comfortable_problem(2);
+  const JointAbrScheduler scheduler;
+  const JointSchedule plain =
+      scheduler.schedule(problem, core::RunContext(anxiety()));
+
+  obs::MetricsRegistry registry;
+  const JointSchedule observed = scheduler.schedule(
+      problem, core::RunContext(anxiety()).with_metrics(&registry));
+  // Observational: attaching the registry changes nothing computed.
+  EXPECT_EQ(observed.rung, plain.rung);
+  EXPECT_DOUBLE_EQ(observed.display.objective, plain.display.objective);
+
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_value("lpvs_abr_joint_solves_total"), 1);
+  EXPECT_EQ(snapshot.counter_value("lpvs_abr_joint_nodes_total"),
+            observed.ilp_nodes);
+  const obs::HistogramSample* rungs =
+      snapshot.histogram("lpvs_abr_granted_rung");
+  ASSERT_NE(rungs, nullptr);
+  EXPECT_EQ(rungs->count, 2);  // one observation per device
+}
+
+}  // namespace
+}  // namespace lpvs::abr

@@ -3,6 +3,10 @@
 // and the scheduling-stall injection used by the SVII-D QoE experiment.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
+#include <string>
+
 #include "lpvs/common/stats.hpp"
 #include "lpvs/streaming/abr.hpp"
 
@@ -64,6 +68,144 @@ TEST(BufferBasedAbrTest, MapsBufferToLadder) {
   EXPECT_EQ(abr.pick_rung(ladder, 8.0, 99.0), 0u);
   EXPECT_EQ(abr.pick_rung(ladder, 40.0, 0.0), 4u);    // at the cushion
   EXPECT_EQ(abr.pick_rung(ladder, 24.0, 0.0), 2u);    // midpoint
+}
+
+TEST(BolaAbrTest, HandComputedRungChoices) {
+  // Defaults: gp = 5, 10 s chunks, 60 s buffer.  V = (60/10 - 1) /
+  // (ln(5) + 5) ~ 0.75635; score_m = (V * (ln(r_m / r_0) + gp) - Q) /
+  // (r_m * 10) with Q the buffer in chunks.  Working the formula by hand:
+  //
+  //   buffer  0 s (Q = 0):  0.3782, 0.2348, 0.1790, ...  -> rung 0
+  //   buffer 30 s (Q = 3):  0.0782, 0.0681, 0.0590, ...  -> rung 0
+  //   buffer 40 s (Q = 4): -0.0218, 0.0126, 0.0190, 0.0208, 0.0200 -> rung 3
+  //   buffer 50 s (Q = 5): best is the top rung (score -> 0^-)    -> rung 4
+  BolaAbr abr;
+  const std::vector<double> ladder = {1.0, 1.8, 2.5, 3.5, 5.0};
+  EXPECT_EQ(abr.pick_rung(ladder, 0.0, 99.0), 0u);
+  EXPECT_EQ(abr.pick_rung(ladder, 30.0, 99.0), 0u);
+  EXPECT_EQ(abr.pick_rung(ladder, 40.0, 99.0), 3u);
+  EXPECT_EQ(abr.pick_rung(ladder, 50.0, 99.0), 4u);
+  EXPECT_EQ(abr.pick_rung(ladder, 60.0, 99.0), 4u);  // at capacity
+}
+
+TEST(BolaAbrTest, IgnoresThroughputEstimate) {
+  BolaAbr abr;
+  const std::vector<double> ladder = {1.0, 1.8, 2.5, 3.5, 5.0};
+  for (const double buffer_s : {0.0, 25.0, 45.0, 60.0}) {
+    EXPECT_EQ(abr.pick_rung(ladder, buffer_s, 0.1),
+              abr.pick_rung(ladder, buffer_s, 100.0))
+        << "buffer " << buffer_s;
+  }
+}
+
+TEST(BolaAbrTest, RungMonotoneInBufferAndTiesGoLow) {
+  BolaAbr abr;
+  const std::vector<double> ladder = {1.0, 1.8, 2.5, 3.5, 5.0};
+  std::size_t previous = 0;
+  for (double buffer_s = 0.0; buffer_s <= 60.0; buffer_s += 1.0) {
+    const std::size_t rung = abr.pick_rung(ladder, buffer_s, 10.0);
+    EXPECT_GE(rung, previous) << "buffer " << buffer_s;
+    previous = rung;
+  }
+  // Identical rungs score identically at any buffer: the tie must resolve
+  // to the lowest index.
+  const std::vector<double> flat = {2.0, 2.0, 2.0};
+  EXPECT_EQ(abr.pick_rung(flat, 0.0, 10.0), 0u);
+  EXPECT_EQ(abr.pick_rung(flat, 55.0, 10.0), 0u);
+}
+
+TEST(BolaAbrTest, LargerGpParameterIsMoreConservative) {
+  // gp rescales the control gain V = (capacity/chunk - 1) / (v_max + gp):
+  // raising it flattens the utility differences between rungs, so high
+  // rungs need a deeper buffer before they win.
+  BolaAbr eager(2.0);
+  BolaAbr cautious(20.0);
+  const std::vector<double> ladder = {1.0, 1.8, 2.5, 3.5, 5.0};
+  for (double buffer_s = 0.0; buffer_s <= 60.0; buffer_s += 5.0) {
+    EXPECT_LE(cautious.pick_rung(ladder, buffer_s, 10.0),
+              eager.pick_rung(ladder, buffer_s, 10.0))
+        << "buffer " << buffer_s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The full controller menu, parameterized: every policy must drive a
+// session cleanly on a healthy link, adapt to the link it is given, and be
+// deterministic under fixed seeds.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<AbrController> make_controller(const std::string& name) {
+  if (name == "rate-based") return std::make_unique<RateBasedAbr>();
+  if (name == "buffer-based") return std::make_unique<BufferBasedAbr>();
+  return std::make_unique<BolaAbr>();
+}
+
+class AllControllers : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(PolicyMenu, AllControllers,
+                         ::testing::Values("rate-based", "buffer-based",
+                                           "bola"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST_P(AllControllers, NameMatchesFactory) {
+  EXPECT_EQ(make_controller(GetParam())->name(), GetParam());
+}
+
+TEST_P(AllControllers, HealthyLinkPlaysEveryChunkWithoutRebuffering) {
+  StreamingSession::Config config;
+  config.chunk_count = 120;
+  StreamingSession session(config);
+  ThroughputModel::Config net;
+  net.good_mbps_median = 40.0;
+  net.p_good_to_bad = 0.0;
+  ThroughputModel network(net);
+  auto abr = make_controller(GetParam());
+  common::Rng rng(11);
+  const SessionQoe qoe = session.run(network, *abr, rng);
+  EXPECT_EQ(qoe.rebuffer_events, 0);
+  EXPECT_DOUBLE_EQ(qoe.rebuffer_time_s, 0.0);
+  EXPECT_EQ(qoe.chunks_played, 120);
+}
+
+TEST_P(AllControllers, FasterLinkNeverHurtsBitrate) {
+  StreamingSession::Config config;
+  config.chunk_count = 200;
+  StreamingSession session(config);
+  ThroughputModel::Config strong;
+  strong.good_mbps_median = 30.0;
+  strong.p_good_to_bad = 0.0;
+  ThroughputModel fast(strong);
+  ThroughputModel::Config weak = strong;
+  weak.good_mbps_median = 2.2;
+  ThroughputModel slow(weak);
+  auto abr_fast = make_controller(GetParam());
+  auto abr_slow = make_controller(GetParam());
+  common::Rng rng_a(12);
+  common::Rng rng_b(12);
+  const SessionQoe fast_qoe = session.run(fast, *abr_fast, rng_a);
+  const SessionQoe slow_qoe = session.run(slow, *abr_slow, rng_b);
+  EXPECT_GE(fast_qoe.mean_bitrate_mbps, slow_qoe.mean_bitrate_mbps);
+}
+
+TEST_P(AllControllers, DeterministicGivenSeeds) {
+  StreamingSession session;
+  ThroughputModel net_a;
+  ThroughputModel net_b;
+  auto abr_a = make_controller(GetParam());
+  auto abr_b = make_controller(GetParam());
+  common::Rng rng_a(13);
+  common::Rng rng_b(13);
+  const SessionQoe a = session.run(net_a, *abr_a, rng_a);
+  const SessionQoe b = session.run(net_b, *abr_b, rng_b);
+  EXPECT_DOUBLE_EQ(a.rebuffer_time_s, b.rebuffer_time_s);
+  EXPECT_DOUBLE_EQ(a.mean_bitrate_mbps, b.mean_bitrate_mbps);
+  EXPECT_EQ(a.bitrate_switches, b.bitrate_switches);
 }
 
 TEST(Session, HealthyLinkNoRebuffering) {
@@ -173,6 +315,53 @@ TEST(SessionQoeTest, ScorePenalizesRebuffering) {
   freezing.rebuffer_time_s = 30.0;
   freezing.rebuffer_events = 5;
   EXPECT_GT(smooth.score(), freezing.score());
+}
+
+TEST(SessionQoeTest, ScoreMatchesHandComputedMpcObjective) {
+  // The standard linear QoE, worked by hand: 100 chunks of 10 s, 30 s
+  // frozen is a 3% freeze share, 10 switches is 0.1 per chunk:
+  //   3.0 - 4.3 * 3.0 - 0.5 * 0.1 = -9.95
+  SessionQoe qoe;
+  qoe.mean_bitrate_mbps = 3.0;
+  qoe.rebuffer_time_s = 30.0;
+  qoe.bitrate_switches = 10;
+  qoe.chunks_played = 100;
+  EXPECT_DOUBLE_EQ(qoe.score(), -9.95);
+  // A clean session scores exactly its bitrate.
+  SessionQoe clean;
+  clean.mean_bitrate_mbps = 2.5;
+  clean.chunks_played = 60;
+  EXPECT_DOUBLE_EQ(clean.score(), 2.5);
+  // Custom penalties flow through linearly.
+  EXPECT_DOUBLE_EQ(qoe.score(1.0, 0.0), 3.0 - 3.0);
+}
+
+TEST(SessionQoeTest, ScoreEqualsLegacyFormulaForTenSecondChunks) {
+  // The previous formula multiplied rebuffer_time_s / chunks by a bare
+  // 10.0 — the freeze percentage with the default 10-second chunk folded
+  // into the constant.  For chunk_seconds = 10 the two must agree exactly.
+  SessionQoe qoe;
+  qoe.mean_bitrate_mbps = 2.7;
+  qoe.rebuffer_time_s = 17.5;
+  qoe.bitrate_switches = 7;
+  qoe.chunks_played = 83;
+  const double chunks = 83.0;
+  const double legacy =
+      qoe.mean_bitrate_mbps - 4.3 * 10.0 * qoe.rebuffer_time_s / chunks -
+      0.5 * qoe.bitrate_switches / chunks;
+  EXPECT_DOUBLE_EQ(qoe.score(), legacy);
+}
+
+TEST(SessionQoeTest, ScoreNormalizesByChunkDuration) {
+  // The same absolute stall is a bigger share of a session made of short
+  // chunks: chunk_seconds must scale the freeze percentage.
+  SessionQoe qoe;
+  qoe.mean_bitrate_mbps = 3.0;
+  qoe.rebuffer_time_s = 10.0;
+  qoe.chunks_played = 100;
+  EXPECT_LT(qoe.score(4.3, 0.5, 2.0), qoe.score(4.3, 0.5, 10.0));
+  // Freeze share of 100 x 2 s chunks: 100 * 10 / 200 = 5%.
+  EXPECT_DOUBLE_EQ(qoe.score(4.3, 0.5, 2.0), 3.0 - 4.3 * 5.0);
 }
 
 }  // namespace

@@ -287,6 +287,199 @@ TEST(MalformedCorpus, EveryPayloadBitFlipIsDetected) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// lpvs-wire/session v2 — the joint-ABR fields.  The version bump is append-
+// only: v2 adds streaming state to REPORT and the granted rung to SCHEDULE.
+// These tests pin the compat contract: v1 frames still decode (new fields
+// defaulted), out-of-range versions are rejected, and a v2 frame whose new
+// tail is truncated-but-resealed surfaces as kDataLoss.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+protocol::Report sample_v2_report() {
+  protocol::Report report;
+  report.slot = 11;
+  report.battery_fraction = 0.48;
+  report.observed_delta = 0.22;
+  report.has_delta = 1;
+  report.watching = 1;
+  report.buffer_s = 37.5;
+  report.throughput_mbps = 18.25;
+  return report;
+}
+
+protocol::Schedule sample_v2_schedule() {
+  protocol::Schedule schedule;
+  schedule.slot = 11;
+  schedule.transform = 1;
+  schedule.rung = 0;
+  schedule.expected_gamma = 0.29;
+  schedule.objective = 451.5;
+  schedule.selected_count = 3;
+  schedule.cluster_devices = 4;
+  schedule.bitrate_rung = 4;
+  schedule.bitrate_mbps = 5.0;
+  return schedule;
+}
+
+/// Hand-builds a sealed payload claiming `version`, with `body` written by
+/// the caller — the only way to produce genuine v1 bytes now that the
+/// encoder always emits kVersion.
+template <typename BodyWriter>
+std::vector<std::uint8_t> sealed_payload(std::uint32_t version,
+                                         std::uint8_t type,
+                                         BodyWriter&& body) {
+  std::vector<std::uint8_t> payload;
+  wire::Writer w(&payload);
+  w.u32(protocol::kMagic);
+  w.u32(version);
+  w.u8(type);
+  body(w);
+  wire::seal(payload);
+  return payload;
+}
+
+/// Rewrites a valid frame's version field and re-seals, so only the
+/// version check can object.
+std::vector<std::uint8_t> with_version(const std::vector<std::uint8_t>& framed,
+                                       std::uint32_t version) {
+  std::vector<std::uint8_t> payload = payload_of(framed);
+  payload.resize(payload.size() - 8);  // strip seal
+  for (int i = 0; i < 4; ++i) {
+    payload[static_cast<std::size_t>(4 + i)] =
+        static_cast<std::uint8_t>((version >> (8 * i)) & 0xFFu);
+  }
+  wire::seal(payload);
+  return payload;
+}
+
+}  // namespace
+
+TEST(SessionProtocolV2, ReportAndScheduleFieldsSurviveRoundTrip) {
+  const protocol::Report report = sample_v2_report();
+  auto decoded_report =
+      protocol::decode_payload(payload_of(protocol::encode(
+          protocol::make_frame(report))));
+  ASSERT_TRUE(decoded_report.ok()) << decoded_report.status().to_string();
+  const auto& r = decoded_report->as<protocol::Report>();
+  EXPECT_DOUBLE_EQ(r.buffer_s, report.buffer_s);
+  EXPECT_DOUBLE_EQ(r.throughput_mbps, report.throughput_mbps);
+
+  const protocol::Schedule schedule = sample_v2_schedule();
+  auto decoded_schedule =
+      protocol::decode_payload(payload_of(protocol::encode(
+          protocol::make_frame(schedule))));
+  ASSERT_TRUE(decoded_schedule.ok()) << decoded_schedule.status().to_string();
+  const auto& s = decoded_schedule->as<protocol::Schedule>();
+  EXPECT_EQ(s.bitrate_rung, schedule.bitrate_rung);
+  EXPECT_DOUBLE_EQ(s.bitrate_mbps, schedule.bitrate_mbps);
+}
+
+TEST(SessionProtocolV2, V1ReportDecodesWithDefaultedStreamingFields) {
+  // Genuine v1 bytes: version 1, body stops at `watching`.  A v2 decoder
+  // must accept it and leave the streaming fields at their defaults —
+  // 0 throughput reads as "unknown" downstream.
+  const std::vector<std::uint8_t> payload = sealed_payload(
+      1, static_cast<std::uint8_t>(protocol::FrameType::kReport),
+      [](wire::Writer& w) {
+        w.u32(9);        // slot
+        w.f64(0.73);     // battery_fraction
+        w.f64(0.18);     // observed_delta
+        w.u8(1);         // has_delta
+        w.u8(1);         // watching
+      });
+  auto decoded = protocol::decode_payload(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  ASSERT_EQ(decoded->type, protocol::FrameType::kReport);
+  const auto& report = decoded->as<protocol::Report>();
+  EXPECT_EQ(report.slot, 9u);
+  EXPECT_DOUBLE_EQ(report.battery_fraction, 0.73);
+  EXPECT_DOUBLE_EQ(report.buffer_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.throughput_mbps, 0.0);
+}
+
+TEST(SessionProtocolV2, V1ScheduleDecodesAsUngoverned) {
+  const std::vector<std::uint8_t> payload = sealed_payload(
+      1, static_cast<std::uint8_t>(protocol::FrameType::kSchedule),
+      [](wire::Writer& w) {
+        w.u32(9);        // slot
+        w.u8(1);         // transform
+        w.u8(2);         // rung
+        w.f64(0.31);     // expected_gamma
+        w.f64(-12.5);    // objective
+        w.u32(5);        // selected_count
+        w.u32(8);        // cluster_devices
+      });
+  auto decoded = protocol::decode_payload(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  const auto& schedule = decoded->as<protocol::Schedule>();
+  EXPECT_EQ(schedule.rung, 2);
+  EXPECT_EQ(schedule.bitrate_rung, 0);
+  EXPECT_DOUBLE_EQ(schedule.bitrate_mbps, 0.0);  // "keep your current rate"
+}
+
+TEST(SessionProtocolV2, VersionsOutsideTheAcceptedWindowAreRejected) {
+  const std::vector<std::uint8_t> framed =
+      protocol::encode(protocol::make_frame(sample_v2_report()));
+  for (const std::uint32_t version : {0u, protocol::kVersion + 1}) {
+    auto decoded = protocol::decode_payload(with_version(framed, version));
+    ASSERT_FALSE(decoded.ok()) << "version " << version << " accepted";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument)
+        << "version " << version;
+  }
+  // Both window edges still decode.  (Use a version-independent body: a
+  // v2-length REPORT re-stamped v1 would correctly die on trailing bytes.)
+  const std::vector<std::uint8_t> grant =
+      protocol::encode(protocol::make_frame(protocol::Grant{5, 3, 100.0, 1.0}));
+  EXPECT_TRUE(
+      protocol::decode_payload(with_version(grant, protocol::kMinVersion))
+          .ok());
+  EXPECT_TRUE(
+      protocol::decode_payload(with_version(grant, protocol::kVersion)).ok());
+}
+
+TEST(SessionProtocolV2, TruncatedV2TailResealedIsDataLoss) {
+  // Drop 1..9 trailing body bytes from a v2 SCHEDULE (9 = the whole v2
+  // tail: rung u8 + bitrate f64) and re-seal.  The checksum passes, the
+  // frame still claims v2, so the body decoder must flag the short tail.
+  const std::vector<std::uint8_t> framed =
+      protocol::encode(protocol::make_frame(sample_v2_schedule()));
+  for (std::size_t drop = 1; drop <= 9; ++drop) {
+    std::vector<std::uint8_t> payload = payload_of(framed);
+    payload.resize(payload.size() - 8);      // strip seal
+    payload.resize(payload.size() - drop);   // truncate the v2 tail
+    wire::seal(payload);
+    auto decoded = protocol::decode_payload(payload);
+    ASSERT_FALSE(decoded.ok()) << "drop " << drop << " accepted";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss)
+        << "drop " << drop;
+  }
+}
+
+TEST(SessionProtocolV2, EveryBitFlipOnV2FramesIsDetected) {
+  // The v1 bit-flip sweep, extended over the frames that carry the new
+  // fields: no flip anywhere in a sealed v2 REPORT or SCHEDULE payload may
+  // decode.
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      protocol::encode(protocol::make_frame(sample_v2_report())),
+      protocol::encode(protocol::make_frame(sample_v2_schedule())),
+  };
+  for (const std::vector<std::uint8_t>& framed : frames) {
+    for (std::size_t i = 4; i < framed.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> copy = framed;
+        copy[i] ^= static_cast<std::uint8_t>(1u << bit);
+        protocol::FrameDecoder decoder;
+        decoder.feed(copy.data(), copy.size());
+        const auto result = decoder.next();
+        EXPECT_EQ(result.kind, protocol::FrameDecoder::Result::Kind::kError)
+            << "byte " << i << " bit " << bit << " accepted";
+      }
+    }
+  }
+}
+
 TEST(MalformedCorpus, RandomNoiseNeverDecodes) {
   // Deterministic pseudo-noise: whatever the length prefix claims, the
   // decoder must either wait for more bytes or reject — never return a

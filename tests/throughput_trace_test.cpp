@@ -1,0 +1,118 @@
+// lpvs-throughput v1 trace loading and replay: save/load round-trips,
+// malformed-line skipping (with its counter), header validation, and the
+// cyclic no-randomness replay contract loadgen's determinism leans on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "lpvs/common/rng.hpp"
+#include "lpvs/obs/metrics.hpp"
+#include "lpvs/streaming/network.hpp"
+
+namespace lpvs::streaming {
+namespace {
+
+TEST(ThroughputTrace, SaveLoadRoundTrip) {
+  const std::vector<double> mbps = {12.5, 9.81, 3.0, 0.75, 44.0};
+  std::stringstream buffer;
+  ThroughputModel::save_trace(mbps, buffer);
+
+  auto model = ThroughputModel::from_trace(buffer);
+  ASSERT_TRUE(model.ok()) << model.status().to_string();
+  EXPECT_TRUE(model->trace_mode());
+  ASSERT_EQ(model->trace().size(), mbps.size());
+  for (std::size_t i = 0; i < mbps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(model->trace()[i], mbps[i]) << "sample " << i;
+  }
+}
+
+TEST(ThroughputTrace, MalformedLinesSkippedAndCounted) {
+  std::stringstream in;
+  in << "lpvs-throughput v1\n"
+     << "# a comment\n"
+     << "\n"
+     << "12.5\n"
+     << "not-a-number\n"    // skipped
+     << "-3.0\n"            // skipped: non-positive
+     << "0\n"               // skipped: non-positive
+     << "3.5 trailing\n"    // skipped: stray token
+     << "nan\n"             // skipped: non-finite
+     << "9.81\n";
+
+  obs::MetricsRegistry registry;
+  auto model = ThroughputModel::from_trace(in, &registry);
+  ASSERT_TRUE(model.ok()) << model.status().to_string();
+  ASSERT_EQ(model->trace().size(), 2u);
+  EXPECT_DOUBLE_EQ(model->trace()[0], 12.5);
+  EXPECT_DOUBLE_EQ(model->trace()[1], 9.81);
+  EXPECT_EQ(registry.snapshot().counter_value(
+                "lpvs_throughput_skipped_lines_total"),
+            5);
+}
+
+TEST(ThroughputTrace, CleanTraceLeavesCounterUntouched) {
+  std::stringstream in;
+  in << "lpvs-throughput v1\n5.0\n";
+  obs::MetricsRegistry registry;
+  auto model = ThroughputModel::from_trace(in, &registry);
+  ASSERT_TRUE(model.ok());
+  // Nothing skipped: the counter is never even registered.
+  EXPECT_EQ(registry.snapshot().counter(
+                "lpvs_throughput_skipped_lines_total"),
+            nullptr);
+}
+
+TEST(ThroughputTrace, ForeignHeaderRejected) {
+  std::stringstream in("lpvs-trace v1\n5.0\n");
+  auto model = ThroughputModel::from_trace(in);
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(ThroughputTrace, ZeroUsableSamplesRejected) {
+  std::stringstream in("lpvs-throughput v1\n# nothing but comments\n\n");
+  auto model = ThroughputModel::from_trace(in);
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(ThroughputTrace, MissingFileIsNotFound) {
+  auto model =
+      ThroughputModel::from_trace_file("/nonexistent/throughput.txt");
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(ThroughputTrace, ReplayIsCyclicAndConsumesNoRandomness) {
+  std::stringstream in("lpvs-throughput v1\n1.0\n2.0\n3.0\n");
+  auto loaded = ThroughputModel::from_trace(in);
+  ASSERT_TRUE(loaded.ok());
+  ThroughputModel model = *loaded;
+
+  common::Rng rng(42);
+  common::Rng untouched(42);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    EXPECT_DOUBLE_EQ(model.sample_mbps(rng), 1.0);
+    EXPECT_DOUBLE_EQ(model.sample_mbps(rng), 2.0);
+    EXPECT_DOUBLE_EQ(model.sample_mbps(rng), 3.0);
+  }
+  // Replay drew nothing from the generator: the next draw from `rng`
+  // matches a generator that never touched the model at all.
+  EXPECT_DOUBLE_EQ(rng.uniform(), untouched.uniform());
+}
+
+TEST(ThroughputTrace, TracePositionPhaseShiftsReplay) {
+  std::stringstream in("lpvs-throughput v1\n1.0\n2.0\n3.0\n");
+  auto loaded = ThroughputModel::from_trace(in);
+  ASSERT_TRUE(loaded.ok());
+  ThroughputModel model = *loaded;
+  model.set_trace_position(5);  // 5 % 3 == 2
+
+  common::Rng rng(1);
+  EXPECT_DOUBLE_EQ(model.sample_mbps(rng), 3.0);
+  EXPECT_DOUBLE_EQ(model.sample_mbps(rng), 1.0);
+}
+
+}  // namespace
+}  // namespace lpvs::streaming
