@@ -22,6 +22,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include <sys/uio.h>
+
 #include "lpvs/common/status.hpp"
 
 namespace lpvs::common::io {
@@ -65,6 +67,24 @@ common::Status read_exact(int fd, void* buf, std::size_t count);
 
 /// Blocking helper: loops until exactly `count` bytes are written.
 common::Status write_all(int fd, const void* buf, std::size_t count);
+
+/// One writev(2), retrying EINTR.  Like write_retry but gathers from an
+/// iovec batch; the kernel may accept any prefix of the total, including a
+/// cut mid-entry — callers advance with advance_iovecs() and call again.
+IoResult writev_retry(int fd, const struct iovec* iov, int iovcnt);
+
+/// Advances (iov, iovcnt) past `accepted` bytes of a partially written
+/// batch.  Fully consumed entries are skipped by bumping the pointer and
+/// shrinking the count; a mid-buffer cut adjusts iov_base/iov_len of the
+/// first surviving entry in place.  `accepted` beyond the batch total
+/// clamps to empty.  This is the one piece of iovec arithmetic the batched
+/// flush paths share, so it lives here and is unit-tested in isolation.
+void advance_iovecs(struct iovec*& iov, int& iovcnt, std::size_t accepted);
+
+/// Blocking helper: loops (EINTR, partial acceptance) until every byte of
+/// the batch is written.  Mutates the iovec array via advance_iovecs as it
+/// goes.  kUnavailable on EPIPE/reset or an SO_SNDTIMEO timeout.
+common::Status writev_all(int fd, struct iovec* iov, int iovcnt);
 
 /// close(2), retrying EINTR (and swallowing the post-close EINTR ambiguity
 /// the POSIX way: the fd is gone either way).

@@ -115,6 +115,61 @@ common::Status write_all(int fd, const void* buf, std::size_t count) {
   return Status::Ok();
 }
 
+IoResult writev_retry(int fd, const struct iovec* iov, int iovcnt) {
+  for (;;) {
+    const ssize_t n = ::writev(fd, iov, iovcnt);
+    if (n >= 0) {
+      return IoResult{IoResult::Kind::kOk, static_cast<std::size_t>(n), 0};
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoResult{IoResult::Kind::kWouldBlock, 0, 0};
+    }
+    return IoResult{IoResult::Kind::kError, 0, errno};
+  }
+}
+
+void advance_iovecs(struct iovec*& iov, int& iovcnt, std::size_t accepted) {
+  while (iovcnt > 0 && accepted >= iov->iov_len) {
+    accepted -= iov->iov_len;
+    ++iov;
+    --iovcnt;
+  }
+  if (iovcnt > 0 && accepted > 0) {
+    iov->iov_base = static_cast<std::uint8_t*>(iov->iov_base) + accepted;
+    iov->iov_len -= accepted;
+  }
+}
+
+common::Status writev_all(int fd, struct iovec* iov, int iovcnt) {
+  // Skip empty leading entries so writev never sees iovcnt == 0 with bytes
+  // still owed (and a fully empty batch is a successful no-op).
+  advance_iovecs(iov, iovcnt, 0);
+  while (iovcnt > 0 && iov->iov_len == 0) {
+    ++iov;
+    --iovcnt;
+  }
+  while (iovcnt > 0) {
+    const IoResult r = writev_retry(fd, iov, iovcnt);
+    switch (r.kind) {
+      case IoResult::Kind::kOk:
+        advance_iovecs(iov, iovcnt, r.count);
+        while (iovcnt > 0 && iov->iov_len == 0) {
+          ++iov;
+          --iovcnt;
+        }
+        break;
+      case IoResult::Kind::kWouldBlock:
+        return Status::Unavailable("writev timed out");
+      case IoResult::Kind::kEof:  // unreachable for writes
+      case IoResult::Kind::kError:
+        return Status::Unavailable(std::string("writev: ") +
+                                   std::strerror(r.error));
+    }
+  }
+  return Status::Ok();
+}
+
 void close_fd(int fd) {
   if (fd < 0) return;
   // POSIX leaves the fd state unspecified after EINTR from close; Linux

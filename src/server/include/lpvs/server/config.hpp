@@ -30,6 +30,23 @@
 
 namespace lpvs::server {
 
+/// How a worker flushes coalesced outbound frames through the EventLoop
+/// submission queue.  kBurst is the production default; the two finer
+/// granularities exist as measurement baselines so the syscall budget in
+/// BENCH_server.json compares like against like (the payload bytes are
+/// identical in all three — only the write syscall count changes).
+enum class FlushMode : std::uint8_t {
+  /// One write syscall per frame (SCHEDULE and GRANT flushed separately).
+  kPerFrame,
+  /// One writev per member per slot (SCHEDULE+GRANT gathered, no
+  /// cross-member coalescing) — the pre-batching behavior.
+  kPerMember,
+  /// Cross-member coalescing: every member's SCHEDULE+GRANT burst across
+  /// all clusters ready in a wakeup batch flushes as one submission (one
+  /// io_uring_enter on uring; one writev per member on epoll/poll).
+  kBurst,
+};
+
 struct ListenerConfig {
   /// TCP port on 127.0.0.1; 0 = pick an ephemeral port (see port()).
   std::uint16_t port = 0;
@@ -39,6 +56,8 @@ struct ListenerConfig {
   /// cluster's barrier, solve cache, and problem assembly stay thread-local
   /// and the payload bytes are identical at any worker count.
   std::uint32_t workers = 1;
+  /// Outbound flush granularity (see FlushMode).
+  FlushMode flush_mode = FlushMode::kBurst;
 
   ListenerConfig with_port(std::uint16_t v) const {
     ListenerConfig c = *this;
@@ -58,6 +77,11 @@ struct ListenerConfig {
   ListenerConfig with_workers(std::uint32_t v) const {
     ListenerConfig c = *this;
     c.workers = v;
+    return c;
+  }
+  ListenerConfig with_flush_mode(FlushMode v) const {
+    ListenerConfig c = *this;
+    c.flush_mode = v;
     return c;
   }
 };
@@ -199,6 +223,11 @@ struct ServerConfig {
   ServerConfig with_workers(std::uint32_t v) const {
     ServerConfig c = *this;
     c.listener.workers = v;
+    return c;
+  }
+  ServerConfig with_flush_mode(FlushMode v) const {
+    ServerConfig c = *this;
+    c.listener.flush_mode = v;
     return c;
   }
   ServerConfig with_seed(std::uint64_t v) const {

@@ -1,20 +1,51 @@
-// Readiness event loop for the edge-server daemon.
+// Readiness event loop + batched submission queue for the edge daemon.
 //
-// A thin, allocation-light abstraction over epoll (level-triggered) with a
-// portable poll(2) fallback.  The daemon is single-threaded — one loop owns
-// every connection — so the interface is deliberately minimal: register an
-// fd with its interest set, adjust the interest set as outbound buffers
-// fill and drain, wait.  Both backends are built on Linux and the backend
-// is runtime-selectable, so the test suite exercises the poll path on the
-// same machine that runs epoll in production.
+// Two layers, one object per reactor thread:
+//
+//   Readiness  — a thin, allocation-light abstraction over epoll
+//     (level-triggered) with a portable poll(2) fallback: register an fd
+//     with its interest set, adjust it as outbound buffers fill and drain,
+//     wait.
+//   Submission — a submission-queue-style batch API (submit_read /
+//     submit_writev / flush) for the data-path syscalls themselves.  The
+//     worker queues every read and every member's SCHEDULE+GRANT burst for
+//     a wakeup, then flushes once.  On the io_uring backend the whole
+//     batch becomes SQEs completed by a single io_uring_enter(2); on
+//     epoll/poll each op costs one read(2)/writev(2) — per-fd iovec
+//     gathering still collapses multi-frame bursts into one call, so the
+//     coalescing win is layered: fewer write calls on every backend, fewer
+//     enter calls on uring.
+//
+// Backend selection is runtime: kUring probes the kernel at construction
+// (a real SQE round trip, not just io_uring_setup) and falls back cleanly
+// to epoll when the kernel or a seccomp sandbox lacks it — fell_back()
+// reports the degradation so the daemon can count it.  kUring keeps epoll
+// for *readiness* (wait() is already one syscall per wakeup; the batching
+// target is the per-frame data syscalls) and uses the ring purely as the
+// batched data engine.  kAuto resolves to epoll unless the LPVS_IO_BACKEND
+// environment variable (uring|epoll|poll) overrides it.
+//
+// Every flush updates IoStats — the per-backend syscall ledger the daemon
+// folds into lpvs_io_*_total — so the syscall budget is observable, not
+// inferred.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include <sys/uio.h>
+
+#include "lpvs/common/io.hpp"
 #include "lpvs/common/status.hpp"
 
 namespace lpvs::server {
+
+namespace iouring {
+class Ring;
+struct Op;
+}
 
 /// One fd's readiness, as reported by wait().
 struct LoopEvent {
@@ -25,12 +56,40 @@ struct LoopEvent {
   bool broken = false;
 };
 
+/// Result of one submitted op, reported by flush() in submission order.
+struct IoOutcome {
+  std::uint64_t tag = 0;  ///< caller's tag, echoed back
+  int fd = -1;
+  bool is_write = false;
+  common::io::IoResult result;
+};
+
+/// Data-path syscall ledger for one loop (single-threaded owner; plain
+/// counters).  "Direct" syscalls come from the epoll/poll execution path;
+/// uring batches cost enter syscalls instead.  The *_path_syscalls fields
+/// attribute every data syscall to the direction it served (an enter for a
+/// write batch counts as one write-path syscall), so write-syscall budgets
+/// compare across backends.
+struct IoStats {
+  long read_syscalls = 0;        ///< direct read(2) calls
+  long write_syscalls = 0;       ///< direct writev(2) calls
+  long enter_syscalls = 0;       ///< io_uring_enter(2) calls
+  long read_path_syscalls = 0;   ///< syscalls that moved inbound bytes
+  long write_path_syscalls = 0;  ///< syscalls that moved outbound bytes
+  long submissions = 0;          ///< ops queued through submit_*
+  long flushes = 0;              ///< non-empty flush() batches
+  long total_syscalls() const {
+    return read_syscalls + write_syscalls + enter_syscalls;
+  }
+};
+
 class EventLoop {
  public:
   enum class Backend {
-    kAuto,   ///< epoll where available, poll otherwise
-    kEpoll,  ///< fails to construct off Linux
+    kAuto,   ///< LPVS_IO_BACKEND env override, else epoll, else poll
+    kEpoll,  ///< falls back to kPoll off Linux
     kPoll,
+    kUring,  ///< falls back to kEpoll when the runtime probe fails
   };
 
   explicit EventLoop(Backend backend = Backend::kAuto);
@@ -38,8 +97,21 @@ class EventLoop {
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
-  /// The backend actually in use (kAuto resolved).
+  /// The backend actually in use (kAuto resolved, fallbacks applied).
   Backend backend() const { return backend_; }
+
+  /// True when the requested backend was unavailable and the loop degraded
+  /// (kUring without kernel support -> kEpoll; kEpoll without epoll ->
+  /// kPoll).  Feeds lpvs_io_backend_fallback_total.
+  bool fell_back() const { return fell_back_; }
+
+  /// Cached process-wide probe: does this kernel/sandbox support the ops
+  /// the uring backend needs?  (One real SQE round trip on first call.)
+  static bool uring_supported();
+
+  /// Test hook: forces uring_supported() to report false process-wide so
+  /// the fallback path is testable on uring-capable kernels.
+  static void force_uring_unsupported_for_testing(bool unsupported);
 
   common::Status add(int fd, bool want_read, bool want_write);
   common::Status modify(int fd, bool want_read, bool want_write);
@@ -51,16 +123,59 @@ class EventLoop {
 
   std::size_t watched() const { return watched_; }
 
+  // --- Batched submission API -------------------------------------------
+  //
+  // Queue ops, then flush() executes the whole batch: one io_uring_enter
+  // on uring, one read/writev per op on epoll/poll.  Ops never block (the
+  // fds are non-blocking / MSG_DONTWAIT); would-block surfaces per op in
+  // its IoOutcome.  Buffers and iovec arrays must stay valid until flush()
+  // returns; iovcnt is capped at kMaxIov per op (the iovecs are copied
+  // inline at submit time, so the caller's array may be transient).
+
+  static constexpr int kMaxIov = 4;
+
+  void submit_read(int fd, void* buf, std::size_t len, std::uint64_t tag);
+  void submit_writev(int fd, const struct iovec* iov, int iovcnt,
+                     std::uint64_t tag);
+
+  /// Executes every queued op, appending one IoOutcome per op to `out` in
+  /// submission order (out is NOT cleared).  Returns the batch occupancy
+  /// (ops executed).
+  std::size_t flush(std::vector<IoOutcome>& out);
+
+  std::size_t pending_submissions() const { return pending_.size(); }
+  const IoStats& io_stats() const { return stats_; }
+
  private:
   struct PollEntry {
     int fd;
     short events;
   };
+  struct PendingOp {
+    int fd;
+    bool is_write;
+    void* buf;                       // read
+    std::size_t len;                 // read
+    struct iovec iov[kMaxIov];       // write (copied at submit time)
+    int iovcnt;
+    std::uint64_t tag;
+  };
+
+  bool uses_epoll() const;
 
   Backend backend_;
-  int epoll_fd_ = -1;            // epoll backend
+  bool fell_back_ = false;
+  int epoll_fd_ = -1;            // epoll readiness (also the uring backend)
   std::vector<PollEntry> poll_;  // poll backend: registered interest sets
   std::size_t watched_ = 0;
+
+  std::unique_ptr<iouring::Ring> ring_;  // kUring only
+  std::vector<PendingOp> pending_;
+  // Flush scratch for the uring path (capacity retained; the hot path must
+  // not allocate at steady state).
+  std::unique_ptr<std::vector<iouring::Op>> ring_ops_;
+  std::vector<common::io::IoResult> ring_results_;
+  IoStats stats_;
 };
 
 }  // namespace lpvs::server

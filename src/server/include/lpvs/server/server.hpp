@@ -95,6 +95,16 @@ struct ServerStats {
   long forced_closes = 0;       ///< cut by stop() or a drain timeout
   long shed_slots = 0;          ///< slots pushed down the ladder by overload
 
+  // Data-path syscall budget (event_loop.hpp IoStats, summed over the
+  // dispatcher and every worker).
+  long io_syscalls = 0;        ///< read + writev + io_uring_enter
+  long io_read_syscalls = 0;   ///< syscalls that moved inbound bytes
+  long io_write_syscalls = 0;  ///< syscalls that moved outbound bytes
+  long io_uring_enters = 0;    ///< batch submissions on the uring backend
+  long io_submissions = 0;     ///< ops queued through the submission API
+  long io_flushes = 0;         ///< non-empty submission batches
+  long backend_fallbacks = 0;  ///< loops degraded from their requested backend
+
   /// Reads the lpvs_server_* samples out of a typed registry snapshot.
   /// Fields whose metric is absent stay zero.
   static ServerStats from_snapshot(const obs::MetricsSnapshot& snapshot);

@@ -1,0 +1,243 @@
+#include "io/uring.hpp"
+
+#if defined(__linux__)
+
+#include <cerrno>
+#include <cstring>
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace lpvs::server::iouring {
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+common::io::IoResult map_cqe(int res, bool is_write) {
+  using common::io::IoResult;
+  if (res > 0) {
+    return IoResult{IoResult::Kind::kOk, static_cast<std::size_t>(res), 0};
+  }
+  if (res == 0) {
+    // recvmsg() == 0 is orderly EOF; a 0-byte sendmsg of a non-empty batch
+    // does not happen, but map it like a would-block so a caller never
+    // spins on "0 bytes accepted, try again immediately".
+    return is_write ? IoResult{IoResult::Kind::kWouldBlock, 0, 0}
+                    : IoResult{IoResult::Kind::kEof, 0, 0};
+  }
+  const int err = -res;
+  if (err == EAGAIN || err == EWOULDBLOCK || err == EINTR) {
+    // EINTR on a MSG_DONTWAIT op is rare but possible; the fd stays armed
+    // in the readiness set, so report would-block and let the next wakeup
+    // retry rather than special-casing a resubmit here.
+    return IoResult{IoResult::Kind::kWouldBlock, 0, 0};
+  }
+  return IoResult{IoResult::Kind::kError, 0, err};
+}
+
+}  // namespace
+
+std::unique_ptr<Ring> Ring::create(unsigned entries) {
+  std::unique_ptr<Ring> ring(new Ring());
+  if (!ring->setup(entries)) return nullptr;
+  return ring;
+}
+
+bool Ring::setup(unsigned entries) {
+  io_uring_params params{};
+  ring_fd_ = sys_io_uring_setup(entries, &params);
+  if (ring_fd_ < 0) return false;
+  sq_entries_ = params.sq_entries;
+  cq_entries_ = params.cq_entries;
+  single_mmap_ = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+
+  sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  cq_ring_bytes_ =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  if (single_mmap_) {
+    sq_ring_bytes_ = cq_ring_bytes_ =
+        sq_ring_bytes_ > cq_ring_bytes_ ? sq_ring_bytes_ : cq_ring_bytes_;
+  }
+  sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_ == MAP_FAILED) {
+    sq_ring_ = nullptr;
+    return false;
+  }
+  if (single_mmap_) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) {
+      cq_ring_ = nullptr;
+      return false;
+    }
+  }
+  sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+  sqes_mem_ = ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+  if (sqes_mem_ == MAP_FAILED) {
+    sqes_mem_ = nullptr;
+    return false;
+  }
+
+  auto* sq = static_cast<std::uint8_t*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+  auto* cq = static_cast<std::uint8_t*>(cq_ring_);
+  cq_head_ = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+  cqes_ = cq + params.cq_off.cqes;
+  return true;
+}
+
+Ring::~Ring() {
+  if (sqes_mem_ != nullptr) ::munmap(sqes_mem_, sqes_bytes_);
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+    ::munmap(cq_ring_, cq_ring_bytes_);
+  }
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+}
+
+int Ring::run_batch(const Op* ops, common::io::IoResult* results,
+                    std::size_t count) {
+  auto* sqes = static_cast<io_uring_sqe*>(sqes_mem_);
+  auto* cqes = static_cast<io_uring_cqe*>(cqes_);
+  int enters = 0;
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t batch = count - done < static_cast<std::size_t>(
+                                                 sq_entries_)
+                                  ? count - done
+                                  : sq_entries_;
+    msgs_.resize(batch);
+    read_iovs_.resize(batch);
+    const unsigned tail = __atomic_load_n(sq_tail_, __ATOMIC_RELAXED);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const Op& op = ops[done + i];
+      const unsigned idx = (tail + static_cast<unsigned>(i)) & sq_mask_;
+      io_uring_sqe* sqe = &sqes[idx];
+      std::memset(sqe, 0, sizeof(*sqe));
+      struct msghdr& mh = msgs_[i];
+      std::memset(&mh, 0, sizeof(mh));
+      if (op.is_write) {
+        sqe->opcode = IORING_OP_SENDMSG;
+        mh.msg_iov = const_cast<struct iovec*>(op.iov);
+        mh.msg_iovlen = static_cast<std::size_t>(op.iovcnt);
+        sqe->msg_flags = MSG_DONTWAIT | MSG_NOSIGNAL;
+      } else {
+        sqe->opcode = IORING_OP_RECVMSG;
+        read_iovs_[i] = iovec{op.buf, op.len};
+        mh.msg_iov = &read_iovs_[i];
+        mh.msg_iovlen = 1;
+        sqe->msg_flags = MSG_DONTWAIT;
+      }
+      sqe->fd = op.fd;
+      sqe->addr = reinterpret_cast<std::uint64_t>(&mh);
+      sqe->len = 1;
+      sqe->user_data = done + i;
+      sq_array_[idx] = idx;
+    }
+    __atomic_store_n(sq_tail_, tail + static_cast<unsigned>(batch),
+                     __ATOMIC_RELEASE);
+
+    std::size_t harvested = 0;
+    while (harvested < batch) {
+      // EINTR may land after the kernel consumed some SQEs; the SQ head
+      // says how many remain unsubmitted, so recompute instead of blindly
+      // resubmitting (which would corrupt the ring accounting).
+      const unsigned consumed_head =
+          __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+      const unsigned to_submit = (tail + static_cast<unsigned>(batch)) -
+                                 consumed_head;
+      const int rc = sys_io_uring_enter(
+          ring_fd_, to_submit, static_cast<unsigned>(batch - harvested),
+          IORING_ENTER_GETEVENTS);
+      ++enters;
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      unsigned chead = __atomic_load_n(cq_head_, __ATOMIC_RELAXED);
+      const unsigned ctail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+      while (chead != ctail) {
+        const io_uring_cqe& cqe = cqes[chead & cq_mask_];
+        const std::size_t gi = static_cast<std::size_t>(cqe.user_data);
+        if (gi < count) {
+          results[gi] = map_cqe(cqe.res, ops[gi].is_write);
+        }
+        ++chead;
+        ++harvested;
+      }
+      __atomic_store_n(cq_head_, chead, __ATOMIC_RELEASE);
+    }
+    done += batch;
+  }
+  return enters;
+}
+
+bool Ring::probe() {
+  auto ring = Ring::create(8);
+  if (!ring) return false;
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return false;
+  bool ok = false;
+  {
+    static const char kPing[] = "lpvs-uring-probe";
+    char echo[sizeof(kPing)] = {};
+    struct iovec wv {
+      const_cast<char*>(kPing), sizeof(kPing)
+    };
+    Op send_op;
+    send_op.fd = fds[0];
+    send_op.is_write = true;
+    send_op.iov = &wv;
+    send_op.iovcnt = 1;
+    Op recv_op;
+    recv_op.fd = fds[1];
+    recv_op.buf = echo;
+    recv_op.len = sizeof(echo);
+    common::io::IoResult wr, rr;
+    const int we = ring->run_batch(&send_op, &wr, 1);
+    const int re = ring->run_batch(&recv_op, &rr, 1);
+    ok = we > 0 && re > 0 && wr.ok() && wr.count == sizeof(kPing) &&
+         rr.ok() && rr.count == sizeof(kPing) &&
+         std::memcmp(echo, kPing, sizeof(kPing)) == 0;
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+  return ok;
+}
+
+}  // namespace lpvs::server::iouring
+
+#else  // !__linux__
+
+namespace lpvs::server::iouring {
+
+std::unique_ptr<Ring> Ring::create(unsigned) { return nullptr; }
+bool Ring::probe() { return false; }
+Ring::~Ring() = default;
+int Ring::run_batch(const Op*, common::io::IoResult*, std::size_t) {
+  return -1;
+}
+
+}  // namespace lpvs::server::iouring
+
+#endif

@@ -1,0 +1,106 @@
+// Minimal raw-syscall io_uring wrapper for the batched submission path.
+//
+// Deliberately not liburing (the container carries no dev package for it,
+// and the serving loop needs only a sliver of the interface): ring setup,
+// the two mmap'd rings plus the SQE array, and a synchronous batch engine
+// that turns N queued socket ops into one io_uring_enter(2).
+//
+// Every op is submitted as IORING_OP_SENDMSG / IORING_OP_RECVMSG with
+// MSG_DONTWAIT, never plain IORING_OP_WRITEV/READV: on a non-blocking
+// socket the kernel would arm its internal fast-poll machinery for a
+// would-block writev and complete it *later*, which turns the synchronous
+// flush into an async completion problem.  MSG_DONTWAIT guarantees every
+// CQE is available by the time enter(GETEVENTS, min_complete = batch)
+// returns, so EAGAIN surfaces in the CQE exactly like it does from
+// writev(2) and the caller's backpressure logic is backend-independent.
+//
+// This header is internal to src/server (not installed under include/);
+// the public surface is EventLoop's submit_read/submit_writev/flush.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include "lpvs/common/io.hpp"
+
+namespace lpvs::server::iouring {
+
+/// One batched data-path op.  Reads fill (buf, len); writes gather from
+/// the caller's iovec array, which must stay valid until run_batch returns.
+struct Op {
+  int fd = -1;
+  bool is_write = false;
+  void* buf = nullptr;                // read target
+  std::size_t len = 0;                // read capacity
+  const struct iovec* iov = nullptr;  // write source
+  int iovcnt = 0;
+};
+
+class Ring {
+ public:
+  /// nullptr when the kernel lacks io_uring (ENOSYS), seccomp blocks it
+  /// (EPERM), or any mmap of the rings fails.
+  static std::unique_ptr<Ring> create(unsigned entries);
+
+  /// One-time probe: builds a small ring and round-trips real bytes over a
+  /// socketpair through SENDMSG + RECVMSG SQEs.  A full round trip (not
+  /// just a successful setup syscall) is required so partially filtered
+  /// sandboxes — setup allowed, enter blocked — still report unsupported.
+  static bool probe();
+
+  ~Ring();
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  /// Submits ops[0..count) and harvests all their completions, chunking by
+  /// ring capacity when count exceeds it.  Fills results[i] per op with
+  /// the same IoResult mapping the direct-syscall path uses (kOk/short,
+  /// kWouldBlock, kEof for a 0-byte read, kError with errno).  Returns the
+  /// number of io_uring_enter calls made, or -1 on a fatal ring failure —
+  /// after -1 the results are unspecified and the caller must stop using
+  /// the ring (EventLoop degrades to direct syscalls).
+  int run_batch(const Op* ops, common::io::IoResult* results,
+                std::size_t count);
+
+  unsigned entries() const { return sq_entries_; }
+
+ private:
+  Ring() = default;
+  bool setup(unsigned entries);
+
+  int ring_fd_ = -1;
+  unsigned sq_entries_ = 0;
+  unsigned cq_entries_ = 0;
+  bool single_mmap_ = false;
+
+  void* sq_ring_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  void* cq_ring_ = nullptr;
+  std::size_t cq_ring_bytes_ = 0;
+  void* sqes_mem_ = nullptr;
+  std::size_t sqes_bytes_ = 0;
+
+  // Pointers into the mapped rings (kernel-shared; tail/head ordering uses
+  // __atomic builtins directly on these).
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  void* cqes_ = nullptr;
+
+  // Per-chunk scratch (capacity retained across batches): msghdrs for every
+  // SQE plus one iovec per read op.  Writes point msg_iov at the caller's
+  // iovecs directly.
+  std::vector<struct msghdr> msgs_;
+  std::vector<struct iovec> read_iovs_;
+};
+
+}  // namespace lpvs::server::iouring

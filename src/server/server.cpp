@@ -47,6 +47,16 @@ ServerStats ServerStats::from_snapshot(const obs::MetricsSnapshot& snapshot) {
       snapshot.counter_value("lpvs_server_sessions_completed_total");
   out.forced_closes = snapshot.counter_value("lpvs_server_forced_closes_total");
   out.shed_slots = snapshot.counter_value("lpvs_server_shed_total");
+  out.io_syscalls = snapshot.counter_value("lpvs_io_syscalls_total");
+  out.io_read_syscalls =
+      snapshot.counter_value("lpvs_io_read_syscalls_total");
+  out.io_write_syscalls =
+      snapshot.counter_value("lpvs_io_write_syscalls_total");
+  out.io_uring_enters = snapshot.counter_value("lpvs_io_uring_enters_total");
+  out.io_submissions = snapshot.counter_value("lpvs_io_submissions_total");
+  out.io_flushes = snapshot.counter_value("lpvs_io_flushes_total");
+  out.backend_fallbacks =
+      snapshot.counter_value("lpvs_io_backend_fallback_total");
   out.active =
       static_cast<long>(snapshot.gauge_value("lpvs_server_active_sessions"));
   return out;
@@ -81,6 +91,10 @@ class EdgeServerDaemon::Impl {
     m_schedule_ms_ = &registry_->histogram(
         "lpvs_server_schedule_ms", obs::MetricsRegistry::time_buckets_ms(),
         "per-cluster slot scheduling wall time");
+    m_batch_occupancy_ = &registry_->histogram(
+        "lpvs_io_batch_occupancy",
+        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0},
+        "ops per submission-queue flush (worker data path)");
   }
 
   ~Impl() {
@@ -131,6 +145,9 @@ class EdgeServerDaemon::Impl {
     (void)io::set_nonblocking(wake_pipe_[1]);
 
     loop_ = std::make_unique<EventLoop>(config_.listener.backend);
+    if (loop_->fell_back()) {
+      counters_block_.add(internal::kIoBackendFallback);
+    }
     status = loop_->add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
     if (!status.ok()) return status;
     status = loop_->add(wake_pipe_[0], true, false);
@@ -139,7 +156,8 @@ class EdgeServerDaemon::Impl {
     workers_.reserve(config_.listener.workers);
     for (std::uint32_t i = 0; i < config_.listener.workers; ++i) {
       workers_.push_back(std::make_unique<Worker>(
-          config_, scheduler_, context_, control_, m_schedule_ms_));
+          config_, scheduler_, context_, control_, m_schedule_ms_,
+          m_batch_occupancy_));
       status = workers_.back()->start();
       if (!status.ok()) {
         // Unwind whatever already started.
@@ -264,6 +282,7 @@ class EdgeServerDaemon::Impl {
         }
         if (event.writable) flush_pending(conn);
       }
+      sync_io_stats();
     }
 
     // Exit: connections still waiting on their first frame are cut short.
@@ -272,6 +291,7 @@ class EdgeServerDaemon::Impl {
     while (!pending_.empty()) {
       close_pending(pending_.begin()->second, /*orderly=*/false);
     }
+    sync_io_stats();
     // After this store (release), no further ring pushes can happen; workers
     // acquire it before concluding their ring is dry.
     control_.dispatcher_done.store(true, std::memory_order_release);
@@ -317,11 +337,28 @@ class EdgeServerDaemon::Impl {
     }
   }
 
+  /// One data-path op through the loop's submission queue.  The dispatcher
+  /// handles one first-frame per connection lifetime, so there is nothing
+  /// to coalesce — it still routes through the same API as the workers so
+  /// its syscalls land in the same lpvs_io_* ledger.
+  io::IoResult submit_one(bool is_write, int fd, void* buf, std::size_t len) {
+    if (is_write) {
+      const struct iovec iov{buf, len};
+      loop_->submit_writev(fd, &iov, 1, 0);
+    } else {
+      loop_->submit_read(fd, buf, len, 0);
+    }
+    io_scratch_.clear();
+    (void)loop_->flush(io_scratch_);
+    return io_scratch_.back().result;
+  }
+
   void handle_readable(Pending* conn) {
     std::uint8_t buffer[4096];
     bool hung_up = false;
     for (;;) {
-      const io::IoResult r = io::read_retry(conn->fd, buffer, sizeof(buffer));
+      const io::IoResult r =
+          submit_one(/*is_write=*/false, conn->fd, buffer, sizeof(buffer));
       if (r.kind == io::IoResult::Kind::kOk) {
         conn->decoder.feed(buffer, r.count);
         if (r.count < sizeof(buffer)) break;
@@ -437,13 +474,15 @@ class EdgeServerDaemon::Impl {
   bool flush_pending(Pending* conn) {
     while (conn->out_offset < conn->outbound.size()) {
       const io::IoResult r =
-          io::write_retry(conn->fd, conn->outbound.data() + conn->out_offset,
-                          conn->outbound.size() - conn->out_offset);
-      if (r.kind == io::IoResult::Kind::kOk) {
+          submit_one(/*is_write=*/true, conn->fd,
+                     conn->outbound.data() + conn->out_offset,
+                     conn->outbound.size() - conn->out_offset);
+      if (r.kind == io::IoResult::Kind::kOk && r.count > 0) {
         conn->out_offset += r.count;
         continue;
       }
-      if (r.kind == io::IoResult::Kind::kWouldBlock) {
+      if (r.kind == io::IoResult::Kind::kWouldBlock ||
+          r.kind == io::IoResult::Kind::kOk) {  // 0-byte acceptance: park
         if (!conn->want_write) {
           conn->want_write = true;
           (void)loop_->modify(conn->fd, true, true);
@@ -473,6 +512,27 @@ class EdgeServerDaemon::Impl {
     pending_.erase(conn->fd);
     pending_pool_.release(conn);
     control_.open_connections.fetch_sub(1);
+  }
+
+  /// Mirrors Worker::sync_io_stats for the dispatcher's loop: copies the
+  /// IoStats deltas into the dispatcher's counter slab for the fold.
+  void sync_io_stats() {
+    const IoStats& stats = loop_->io_stats();
+    const auto bump = [this](CounterId id, long now, long& seen) {
+      if (now != seen) {
+        counters_block_.add(id, now - seen);
+        seen = now;
+      }
+    };
+    bump(internal::kIoReadSyscalls, stats.read_path_syscalls,
+         io_seen_.read_path_syscalls);
+    bump(internal::kIoWriteSyscalls, stats.write_path_syscalls,
+         io_seen_.write_path_syscalls);
+    bump(internal::kIoUringEnters, stats.enter_syscalls,
+         io_seen_.enter_syscalls);
+    bump(internal::kIoSubmissions, stats.submissions, io_seen_.submissions);
+    bump(internal::kIoFlushes, stats.flushes, io_seen_.flushes);
+    bump(internal::kIoSyscalls, stats.total_syscalls(), io_total_seen_);
   }
 
   void shutdown_fds() {
@@ -516,8 +576,12 @@ class EdgeServerDaemon::Impl {
   obs::Counter* counters_[internal::kNumCounters] = {};
   obs::Gauge* m_active_ = nullptr;
   obs::Histogram* m_schedule_ms_ = nullptr;
+  obs::Histogram* m_batch_occupancy_ = nullptr;
   mutable std::mutex fold_mutex_;
   mutable LocalCounters counters_block_;  ///< the dispatcher's slab
+  std::vector<IoOutcome> io_scratch_;     ///< dispatcher submit_one results
+  IoStats io_seen_;                       ///< loop stats already folded
+  long io_total_seen_ = 0;
 
   SharedControl control_;
   std::vector<std::unique_ptr<Worker>> workers_;

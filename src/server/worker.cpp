@@ -39,18 +39,31 @@ const std::array<CounterSpec, kNumCounters>& counter_specs() {
        "slots forced down the degradation ladder by overload"},
       {"lpvs_server_handoffs_total",
        "connections routed from the dispatcher to a worker"},
+      {"lpvs_io_syscalls_total",
+       "data-path syscalls (read + writev + io_uring_enter)"},
+      {"lpvs_io_read_syscalls_total",
+       "data-path syscalls that moved inbound bytes"},
+      {"lpvs_io_write_syscalls_total",
+       "data-path syscalls that moved outbound bytes"},
+      {"lpvs_io_uring_enters_total", "io_uring_enter batch submissions"},
+      {"lpvs_io_submissions_total",
+       "ops queued through the batched submission API"},
+      {"lpvs_io_flushes_total", "non-empty submission batches flushed"},
+      {"lpvs_io_backend_fallback_total",
+       "event loops degraded from their requested backend"},
   }};
   return specs;
 }
 
 Worker::Worker(const ServerConfig& config, const core::Scheduler& scheduler,
                const core::RunContext& context, SharedControl& control,
-               obs::Histogram* schedule_ms)
+               obs::Histogram* schedule_ms, obs::Histogram* batch_occupancy)
     : config_(config),
       scheduler_(scheduler),
       context_(context),
       control_(control),
       schedule_ms_(schedule_ms),
+      batch_occupancy_(batch_occupancy),
       ring_(kHandoffRingSlots),
       joint_scheduler_(core::scheduler_ilp_defaults(config.slot.lp_engine)) {
   joint_.ladder = abr::LadderModel(config.abr.ladder);
@@ -75,6 +88,7 @@ common::Status Worker::start() {
   (void)io::set_nonblocking(wake_pipe_[1]);
 
   loop_ = std::make_unique<EventLoop>(config_.listener.backend);
+  if (loop_->fell_back()) counters_.add(kIoBackendFallback);
   const common::Status status =
       loop_->add(wake_pipe_[0], /*want_read=*/true, /*want_write=*/false);
   if (!status.ok()) return status;
@@ -136,6 +150,10 @@ void Worker::run() {
     common::StatusOr<int> waited = loop_->wait(timeout_ms, events);
     if (!waited.ok()) break;  // loop fd gone; nothing recoverable
 
+    // One wakeup = one batch: collect every fd's direction first, then run
+    // the writable backlog, the reads, and the ready schedules as three
+    // coalesced submission flushes instead of per-fd syscalls.
+    read_ready_.clear();
     for (const LoopEvent& event : events) {
       if (event.fd == wake_pipe_[0]) {
         drain_wake_pipe();
@@ -149,14 +167,15 @@ void Worker::run() {
         close_connection(conn, /*orderly=*/false);
         continue;
       }
-      if (event.readable) {
-        handle_readable(conn);
-        if (connections_.find(event.fd) == connections_.end()) continue;
-      }
-      if (event.writable) flush(conn);
+      if (event.writable) enlist(conn);
+      if (event.readable) read_ready_.push_back(event.fd);
     }
-
+    // Writable backlog drains first: it frees outbound room the frames
+    // decoded below may need.
+    flush_burst();
+    service_reads();
     schedule_ready_clusters();
+    sync_io_stats();
   }
 
   // Loop exit: anything still open is cut short.
@@ -165,6 +184,7 @@ void Worker::run() {
   while (!connections_.empty()) {
     close_connection(connections_.begin()->second, /*orderly=*/false);
   }
+  sync_io_stats();
 }
 
 void Worker::drain_wake_pipe() {
@@ -250,58 +270,82 @@ void Worker::adopt(ConnectionHandoff&& handoff) {
   // burst as the HELLO; those bytes rode along in the handoff.
   if (conn->decoder.buffered() > 0 &&
       connections_.find(conn->fd) != connections_.end()) {
-    for (;;) {
-      protocol::FrameDecoder::Result result = conn->decoder.next();
-      if (result.kind != protocol::FrameDecoder::Result::Kind::kFrame) {
-        if (result.kind == protocol::FrameDecoder::Result::Kind::kError) {
-          counters_.add(kDecodeErrors);
-          close_connection(conn, /*orderly=*/false);
-        }
-        break;
-      }
-      counters_.add(kFramesRx);
-      if (!handle_frame(conn, result.frame)) break;
-    }
+    (void)drain_decoder(conn);
   }
 }
 
 // ---- Inbound path ---------------------------------------------------------
 
-void Worker::handle_readable(Connection* conn) {
-  std::uint8_t buffer[4096];
-  bool hung_up = false;
-  for (;;) {
-    const io::IoResult r = io::read_retry(conn->fd, buffer, sizeof(buffer));
-    if (r.kind == io::IoResult::Kind::kOk) {
-      conn->decoder.feed(buffer, r.count);
-      if (r.count < sizeof(buffer)) break;  // drained the socket
-      continue;
+// Every fd readable this wakeup submits one 4 KiB read into its own
+// scratch, the batch flushes as one submission (one io_uring_enter on
+// uring), and fds whose read filled the whole buffer go another round
+// until each socket is drained to would-block.
+void Worker::service_reads() {
+  while (!read_ready_.empty()) {
+    for (const int fd : read_ready_) {
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed since collection
+      Connection* conn = it->second;
+      loop_->submit_read(fd, conn->rx_scratch.data(),
+                         conn->rx_scratch.size(),
+                         static_cast<std::uint64_t>(fd));
     }
-    if (r.kind == io::IoResult::Kind::kWouldBlock) break;
-    // EOF or error.  A peer may BYE and hang up in one burst, so the
-    // buffered frames are decoded below *before* the close — otherwise an
-    // orderly goodbye would race its own EOF and count as a cut session.
-    hung_up = true;
-    break;
-  }
-
-  if (!conn->close_after_flush) {
-    for (;;) {
-      protocol::FrameDecoder::Result result = conn->decoder.next();
-      if (result.kind == protocol::FrameDecoder::Result::Kind::kNeedMore) {
-        break;
+    read_ready_.clear();
+    read_outcomes_.clear();
+    const std::size_t ops = loop_->flush(read_outcomes_);
+    if (ops == 0) break;
+    observe_occupancy(ops);
+    for (const IoOutcome& outcome : read_outcomes_) {
+      auto it = connections_.find(outcome.fd);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second;
+      bool hung_up = false;
+      bool more = false;
+      switch (outcome.result.kind) {
+        case io::IoResult::Kind::kOk:
+          conn->decoder.feed(conn->rx_scratch.data(), outcome.result.count);
+          more = outcome.result.count == conn->rx_scratch.size();
+          break;
+        case io::IoResult::Kind::kWouldBlock:
+          break;
+        case io::IoResult::Kind::kEof:
+        case io::IoResult::Kind::kError:
+          // A peer may BYE and hang up in one burst, so the buffered
+          // frames are decoded below *before* the close — otherwise an
+          // orderly goodbye would race its own EOF and count as a cut
+          // session.
+          hung_up = true;
+          break;
       }
-      if (result.kind == protocol::FrameDecoder::Result::Kind::kError) {
-        // Malformed input is terminal: count it and drop the connection.
-        counters_.add(kDecodeErrors);
+      if (!conn->close_after_flush) {
+        if (!drain_decoder(conn)) continue;  // connection closed
+      }
+      if (hung_up) {
         close_connection(conn, /*orderly=*/false);
-        return;
+      } else if (more) {
+        read_ready_.push_back(outcome.fd);
       }
-      counters_.add(kFramesRx);
-      if (!handle_frame(conn, result.frame)) return;  // connection closed
     }
   }
-  if (hung_up) close_connection(conn, /*orderly=*/false);
+}
+
+/// Decodes every buffered frame.  False = the connection was closed
+/// (malformed input or a handler that ended the session).
+bool Worker::drain_decoder(Connection* conn) {
+  for (;;) {
+    protocol::FrameDecoder::Result result = conn->decoder.next();
+    if (result.kind == protocol::FrameDecoder::Result::Kind::kNeedMore) {
+      return true;
+    }
+    if (result.kind == protocol::FrameDecoder::Result::Kind::kError) {
+      // Malformed input is terminal: count it and drop the connection.
+      counters_.add(kDecodeErrors);
+      close_connection(conn, /*orderly=*/false);
+      return false;
+    }
+    counters_.add(kFramesRx);
+    if (!handle_frame(conn, result.frame)) return false;  // closed
+  }
 }
 
 bool Worker::handle_frame(Connection* conn, const protocol::Frame& frame) {
@@ -393,6 +437,10 @@ void Worker::schedule_ready_clusters() {
   }
   ready_.erase(ready_.begin(),
                ready_.begin() + static_cast<std::ptrdiff_t>(batch));
+  // kBurst: every member of every cluster in this ready batch enlisted its
+  // SCHEDULE+GRANT bytes above; they leave in one cross-member submission
+  // (a no-op in the finer-grained modes, which flushed inline).
+  flush_burst();
 }
 
 int Worker::overload_rung(std::size_t batch, std::size_t index) const {
@@ -516,11 +564,30 @@ void Worker::schedule_cluster(Cluster* cluster, int forced_rung) {
     grant.power_scale = transformed ? 1.0 - problem_.devices[i].gamma : 1.0;
 
     member->has_report = false;
-    // SCHEDULE and GRANT accumulate back to back in the outbound buffer and
-    // leave in one write(2) — half the syscalls of flushing per frame.
-    if (!queue_frame(member, protocol::make_frame(push))) continue;
-    if (!queue_frame(member, protocol::make_frame(grant))) continue;
-    (void)flush(member);
+    // SCHEDULE and GRANT accumulate back to back in the outbound buffer,
+    // so one gathered write covers both frames; under kBurst the member
+    // only enlists here and the whole ready batch flushes as one
+    // submission in schedule_ready_clusters.  kPerMember/kPerFrame exist
+    // as measurement baselines for the syscall budget (payload bytes are
+    // identical in all three modes).
+    switch (config_.listener.flush_mode) {
+      case FlushMode::kPerFrame:
+        if (!queue_frame(member, protocol::make_frame(push))) continue;
+        if (!flush(member)) continue;
+        if (!queue_frame(member, protocol::make_frame(grant))) continue;
+        (void)flush(member);
+        break;
+      case FlushMode::kPerMember:
+        if (!queue_frame(member, protocol::make_frame(push))) continue;
+        if (!queue_frame(member, protocol::make_frame(grant))) continue;
+        (void)flush(member);
+        break;
+      case FlushMode::kBurst:
+        if (!queue_frame(member, protocol::make_frame(push))) continue;
+        if (!queue_frame(member, protocol::make_frame(grant))) continue;
+        enlist(member);
+        break;
+    }
   }
   ++cluster->next_slot;
 }
@@ -541,36 +608,116 @@ bool Worker::queue_frame(Connection* conn, const protocol::Frame& frame) {
   return true;
 }
 
-bool Worker::flush(Connection* conn) {
-  while (conn->out_offset < conn->outbound.size()) {
-    const io::IoResult r =
-        io::write_retry(conn->fd, conn->outbound.data() + conn->out_offset,
-                        conn->outbound.size() - conn->out_offset);
-    if (r.kind == io::IoResult::Kind::kOk) {
-      conn->out_offset += r.count;
-      continue;
-    }
-    if (r.kind == io::IoResult::Kind::kWouldBlock) {
-      if (!conn->want_write) {
-        conn->want_write = true;
-        (void)loop_->modify(conn->fd, true, true);
+void Worker::enlist(Connection* conn) {
+  if (conn->in_burst) return;
+  conn->in_burst = true;
+  burst_.push_back(conn);
+}
+
+// Flushes every enlisted connection's outbound through the submission
+// queue.  One round submits one gathered write per connection and flushes
+// the batch (one io_uring_enter on uring; one writev per connection on
+// epoll/poll); partially accepted connections go another round, so the
+// loop ends only when every burst member is drained, parked on
+// want-write, or closed.
+void Worker::flush_burst() {
+  while (!burst_.empty()) {
+    burst_round_.clear();
+    burst_round_.swap(burst_);  // enlist() during this round goes to burst_
+    for (Connection* conn : burst_round_) {
+      if (conn->out_offset < conn->outbound.size()) {
+        const struct iovec iov{conn->outbound.data() + conn->out_offset,
+                               conn->outbound.size() - conn->out_offset};
+        loop_->submit_writev(conn->fd, &iov, 1,
+                             static_cast<std::uint64_t>(conn->fd));
+      } else {
+        conn->in_burst = false;
+        finalize_drained(conn);  // may close this connection (only this one)
       }
-      return true;
     }
-    close_connection(conn, /*orderly=*/false);
-    return false;
+    write_outcomes_.clear();
+    const std::size_t ops = loop_->flush(write_outcomes_);
+    if (ops == 0) continue;  // everything finalized without bytes owed
+    observe_occupancy(ops);
+    for (const IoOutcome& outcome : write_outcomes_) {
+      auto it = connections_.find(outcome.fd);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second;
+      conn->in_burst = false;
+      switch (outcome.result.kind) {
+        case io::IoResult::Kind::kOk:
+          if (outcome.result.count > 0) {
+            conn->out_offset += outcome.result.count;
+            if (conn->out_offset < conn->outbound.size()) {
+              enlist(conn);  // partial acceptance: another round
+            } else {
+              finalize_drained(conn);
+            }
+            break;
+          }
+          [[fallthrough]];  // 0-byte acceptance: treat as would-block
+        case io::IoResult::Kind::kWouldBlock:
+          if (!conn->want_write) {
+            conn->want_write = true;
+            (void)loop_->modify(conn->fd, true, true);
+          }
+          break;
+        case io::IoResult::Kind::kEof:
+        case io::IoResult::Kind::kError:
+          close_connection(conn, /*orderly=*/false);
+          break;
+      }
+    }
   }
+}
+
+/// Outbound fully written: recycle the buffer, honor a deferred close,
+/// drop write interest.
+void Worker::finalize_drained(Connection* conn) {
   conn->outbound.clear();
   conn->out_offset = 0;
   if (conn->close_after_flush) {
     close_connection(conn, conn->orderly);
-    return false;
+    return;
   }
   if (conn->want_write) {
     conn->want_write = false;
     (void)loop_->modify(conn->fd, true, false);
   }
-  return true;
+}
+
+bool Worker::flush(Connection* conn) {
+  const int fd = conn->fd;
+  enlist(conn);
+  flush_burst();
+  return connections_.find(fd) != connections_.end();
+}
+
+void Worker::observe_occupancy(std::size_t ops) {
+  if (batch_occupancy_ != nullptr) {
+    batch_occupancy_->observe(static_cast<double>(ops));
+  }
+}
+
+// Copies the loop's syscall ledger deltas into the thread's counter slab
+// (the metrics fold reads the slab; the loop's IoStats are plain fields
+// only this thread touches).
+void Worker::sync_io_stats() {
+  const IoStats& stats = loop_->io_stats();
+  const auto bump = [this](CounterId id, long now, long& seen) {
+    if (now != seen) {
+      counters_.add(id, now - seen);
+      seen = now;
+    }
+  };
+  bump(kIoReadSyscalls, stats.read_path_syscalls,
+       io_seen_.read_path_syscalls);
+  bump(kIoWriteSyscalls, stats.write_path_syscalls,
+       io_seen_.write_path_syscalls);
+  bump(kIoUringEnters, stats.enter_syscalls, io_seen_.enter_syscalls);
+  bump(kIoSubmissions, stats.submissions, io_seen_.submissions);
+  bump(kIoFlushes, stats.flushes, io_seen_.flushes);
+  bump(kIoSyscalls, stats.total_syscalls(), io_total_seen_);
 }
 
 bool Worker::fail_session(Connection* conn, common::StatusCode code,
@@ -586,6 +733,13 @@ bool Worker::fail_session(Connection* conn, common::StatusCode code,
 }
 
 void Worker::close_connection(Connection* conn, bool orderly) {
+  if (conn->in_burst) {
+    // Enlisted but dying before the flush (e.g. a backpressure close while
+    // its cluster batch was still queueing): the burst list would dangle.
+    conn->in_burst = false;
+    burst_.erase(std::remove(burst_.begin(), burst_.end(), conn),
+                 burst_.end());
+  }
   if (conn->cluster != nullptr) {
     Cluster* cluster = conn->cluster;
     cluster->members.erase(conn->hello.user_id);

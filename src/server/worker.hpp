@@ -68,6 +68,13 @@ enum CounterId : int {
   kForcedCloses,
   kShed,
   kHandoffs,
+  kIoSyscalls,
+  kIoReadSyscalls,
+  kIoWriteSyscalls,
+  kIoUringEnters,
+  kIoSubmissions,
+  kIoFlushes,
+  kIoBackendFallback,
   kNumCounters,
 };
 
@@ -124,7 +131,7 @@ class Worker {
   /// outlive the worker.  `schedule_ms` may be null (no timing).
   Worker(const ServerConfig& config, const core::Scheduler& scheduler,
          const core::RunContext& context, SharedControl& control,
-         obs::Histogram* schedule_ms);
+         obs::Histogram* schedule_ms, obs::Histogram* batch_occupancy);
   ~Worker();
   Worker(const Worker&) = delete;
   Worker& operator=(const Worker&) = delete;
@@ -154,10 +161,16 @@ class Worker {
   struct Connection {
     int fd = -1;
     protocol::FrameDecoder decoder;
+    /// Receive scratch for the batched read path: the submission API needs
+    /// every buffer in a wakeup's read batch alive until the batch flushes,
+    /// so each connection carries its own (pooled, so no steady-state
+    /// allocation) instead of sharing one stack buffer.
+    std::array<std::uint8_t, 4096> rx_scratch;
 
     std::vector<std::uint8_t> outbound;
     std::size_t out_offset = 0;
     bool want_write = false;
+    bool in_burst = false;  ///< enlisted in the current outbound burst
     bool close_after_flush = false;
     bool orderly = false;  ///< reached BYE; counted as completed on close
 
@@ -175,6 +188,7 @@ class Worker {
       outbound.clear();
       out_offset = 0;
       want_write = false;
+      in_burst = false;
       close_after_flush = false;
       orderly = false;
       hello = {};
@@ -201,7 +215,8 @@ class Worker {
   void drain_wake_pipe();
   void adopt_pending();
   void adopt(ConnectionHandoff&& handoff);
-  void handle_readable(Connection* conn);
+  void service_reads();
+  bool drain_decoder(Connection* conn);
   bool handle_frame(Connection* conn, const protocol::Frame& frame);
   bool handle_report(Connection* conn, const protocol::Report& report);
   void mark_ready_if_barrier_met(Cluster* cluster);
@@ -209,7 +224,12 @@ class Worker {
   int overload_rung(std::size_t batch, std::size_t index) const;
   void schedule_cluster(Cluster* cluster, int forced_rung);
   bool queue_frame(Connection* conn, const protocol::Frame& frame);
+  void enlist(Connection* conn);
+  void flush_burst();
+  void finalize_drained(Connection* conn);
   bool flush(Connection* conn);
+  void observe_occupancy(std::size_t ops);
+  void sync_io_stats();
   bool fail_session(Connection* conn, common::StatusCode code,
                     std::string message);
   void close_connection(Connection* conn, bool orderly);
@@ -220,6 +240,7 @@ class Worker {
   core::RunContext context_;
   SharedControl& control_;
   obs::Histogram* schedule_ms_ = nullptr;
+  obs::Histogram* batch_occupancy_ = nullptr;
   LocalCounters counters_;
 
   common::SpscRing<ConnectionHandoff> ring_;
@@ -231,6 +252,18 @@ class Worker {
   std::map<int, Connection*> connections_;  ///< fd → pooled session
   std::map<std::uint64_t, std::unique_ptr<Cluster>> clusters_;
   std::vector<Cluster*> ready_;
+
+  // Batched-I/O state (capacity retained across wakeups).  Reads and
+  // writes keep separate outcome scratch because a frame handled while
+  // iterating read outcomes may fail_session -> flush_burst, which must
+  // not clobber the read batch mid-iteration.
+  std::vector<Connection*> burst_;        ///< enlisted for the next flush
+  std::vector<Connection*> burst_round_;  ///< one flush round (swap scratch)
+  std::vector<int> read_ready_;           ///< fds readable this wakeup
+  std::vector<IoOutcome> read_outcomes_;
+  std::vector<IoOutcome> write_outcomes_;
+  IoStats io_seen_;       ///< loop stats already folded into the slab
+  long io_total_seen_ = 0;
 
   media::PowerRateEstimator rate_estimator_;
   transform::ResourceModel resources_;

@@ -1,0 +1,484 @@
+// Batched-submission I/O subsystem: iovec advance arithmetic and the
+// EventLoop submission-queue API (submit_read / submit_writev / flush)
+// exercised over socketpairs on every backend the host supports.
+//
+// The backend-parameterized suites pin the subsystem's core contract: the
+// bytes an op moves and the IoOutcome it reports are identical on epoll,
+// poll, and io_uring — only the syscall ledger differs (uring: one
+// io_uring_enter per flush; epoll/poll: one read/writev per op).  The
+// uring suites skip visibly when the kernel or sandbox lacks io_uring, and
+// the forced-fallback test covers the degradation path on hosts that do.
+#include "lpvs/server/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "lpvs/common/io.hpp"
+
+namespace lpvs {
+namespace {
+
+namespace io = common::io;
+using server::EventLoop;
+using server::IoOutcome;
+using Backend = server::EventLoop::Backend;
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+    EXPECT_TRUE(io::set_nonblocking(a).ok());
+    EXPECT_TRUE(io::set_nonblocking(b).ok());
+  }
+  ~SocketPair() {
+    io::close_fd(a);
+    io::close_fd(b);
+  }
+};
+
+std::string backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kEpoll:
+      return "epoll";
+    case Backend::kPoll:
+      return "poll";
+    case Backend::kUring:
+      return "uring";
+    default:
+      return "auto";
+  }
+}
+
+/// Backends to parameterize over: epoll and poll always, uring only when
+/// the runtime probe succeeds (the uring-specific suites skip visibly).
+std::vector<Backend> available_backends() {
+  std::vector<Backend> backends = {Backend::kEpoll, Backend::kPoll};
+  if (EventLoop::uring_supported()) backends.push_back(Backend::kUring);
+  return backends;
+}
+
+}  // namespace
+
+// --- advance_iovecs: pure pointer arithmetic --------------------------------
+
+TEST(AdvanceIovecs, ZeroAcceptedIsNoop) {
+  char a[4] = "abc";
+  char b[4] = "def";
+  struct iovec vecs[2] = {{a, 3}, {b, 3}};
+  struct iovec* iov = vecs;
+  int iovcnt = 2;
+  io::advance_iovecs(iov, iovcnt, 0);
+  EXPECT_EQ(iov, vecs);
+  EXPECT_EQ(iovcnt, 2);
+  EXPECT_EQ(iov[0].iov_len, 3u);
+}
+
+TEST(AdvanceIovecs, MidEntryCutAdjustsBaseAndLen) {
+  char a[8] = "abcdefg";
+  struct iovec vecs[1] = {{a, 7}};
+  struct iovec* iov = vecs;
+  int iovcnt = 1;
+  io::advance_iovecs(iov, iovcnt, 3);
+  ASSERT_EQ(iovcnt, 1);
+  EXPECT_EQ(iov[0].iov_base, a + 3);
+  EXPECT_EQ(iov[0].iov_len, 4u);
+}
+
+TEST(AdvanceIovecs, SkipsFullyConsumedEntries) {
+  char a[4] = "abc";
+  char b[4] = "def";
+  char c[4] = "ghi";
+  struct iovec vecs[3] = {{a, 3}, {b, 3}, {c, 3}};
+  struct iovec* iov = vecs;
+  int iovcnt = 3;
+  // 3 + 3 + 1: the first two entries are gone, the third starts 1 byte in.
+  io::advance_iovecs(iov, iovcnt, 7);
+  ASSERT_EQ(iovcnt, 1);
+  EXPECT_EQ(iov, vecs + 2);
+  EXPECT_EQ(iov[0].iov_base, c + 1);
+  EXPECT_EQ(iov[0].iov_len, 2u);
+}
+
+TEST(AdvanceIovecs, ExactBoundaryLandsOnNextEntry) {
+  char a[4] = "abc";
+  char b[4] = "def";
+  struct iovec vecs[2] = {{a, 3}, {b, 3}};
+  struct iovec* iov = vecs;
+  int iovcnt = 2;
+  io::advance_iovecs(iov, iovcnt, 3);
+  ASSERT_EQ(iovcnt, 1);
+  EXPECT_EQ(iov, vecs + 1);
+  EXPECT_EQ(iov[0].iov_base, b);
+  EXPECT_EQ(iov[0].iov_len, 3u);
+}
+
+TEST(AdvanceIovecs, ConsumingEverythingEmptiesTheArray) {
+  char a[4] = "abc";
+  char b[4] = "def";
+  struct iovec vecs[2] = {{a, 3}, {b, 3}};
+  struct iovec* iov = vecs;
+  int iovcnt = 2;
+  io::advance_iovecs(iov, iovcnt, 6);
+  EXPECT_EQ(iovcnt, 0);
+}
+
+TEST(AdvanceIovecs, PastEndClampsToEmpty) {
+  char a[4] = "abc";
+  struct iovec vecs[1] = {{a, 3}};
+  struct iovec* iov = vecs;
+  int iovcnt = 1;
+  io::advance_iovecs(iov, iovcnt, 99);  // more than the array holds
+  EXPECT_EQ(iovcnt, 0);
+}
+
+// --- Backend resolution, probe, fallback ------------------------------------
+
+TEST(BatchIoBackend, ProbeOutcomeIsVisible) {
+  // Deliberately loud: CI logs grep for this line to confirm which backend
+  // variant the io-backend job actually exercised on the host kernel.
+  const bool supported = EventLoop::uring_supported();
+  std::printf("[io-backend] io_uring probe: %s\n",
+              supported ? "SUPPORTED" : "UNSUPPORTED (fallback paths active)");
+  // Probe result must agree with what a kUring loop resolves to.
+  EventLoop loop(Backend::kUring);
+  if (supported) {
+    EXPECT_EQ(loop.backend(), Backend::kUring);
+    EXPECT_FALSE(loop.fell_back());
+  } else {
+    EXPECT_EQ(loop.backend(), Backend::kEpoll);
+    EXPECT_TRUE(loop.fell_back());
+  }
+}
+
+TEST(BatchIoBackend, EpollAndPollNeverFallBack) {
+  EventLoop epoll_loop(Backend::kEpoll);
+  EXPECT_EQ(epoll_loop.backend(), Backend::kEpoll);
+  EXPECT_FALSE(epoll_loop.fell_back());
+
+  EventLoop poll_loop(Backend::kPoll);
+  EXPECT_EQ(poll_loop.backend(), Backend::kPoll);
+  EXPECT_FALSE(poll_loop.fell_back());
+}
+
+TEST(BatchIoBackend, ForcedFallbackDegradesUringToEpoll) {
+  // The test hook simulates a uring-less kernel: a kUring loop must come up
+  // on epoll, report the degradation, and still move bytes correctly.
+  EventLoop::force_uring_unsupported_for_testing(true);
+  EventLoop loop(Backend::kUring);
+  EXPECT_EQ(loop.backend(), Backend::kEpoll);
+  EXPECT_TRUE(loop.fell_back());
+
+  SocketPair pair;
+  const char msg[] = "fallback still serves";
+  const struct iovec iov{const_cast<char*>(msg), sizeof(msg) - 1};
+  loop.submit_writev(pair.a, &iov, 1, 7);
+  std::vector<IoOutcome> outcomes;
+  ASSERT_EQ(loop.flush(outcomes), 1u);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].result.kind, io::IoResult::Kind::kOk);
+  EXPECT_EQ(outcomes[0].result.count, sizeof(msg) - 1);
+  char buf[64] = {};
+  EXPECT_EQ(::read(pair.b, buf, sizeof(buf)),
+            static_cast<ssize_t>(sizeof(msg) - 1));
+  EXPECT_STREQ(buf, msg);
+
+  EventLoop::force_uring_unsupported_for_testing(false);
+  EXPECT_FALSE(EventLoop(Backend::kEpoll).fell_back());
+}
+
+// --- Submission API parameterized over backends -----------------------------
+
+class SubmissionApiTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    loop_ = std::make_unique<EventLoop>(GetParam());
+    // Parameterization only hands out backends the host supports, so the
+    // loop must be running exactly what the parameter asked for.
+    ASSERT_EQ(loop_->backend(), GetParam());
+    ASSERT_FALSE(loop_->fell_back());
+  }
+
+  std::unique_ptr<EventLoop> loop_;
+  std::vector<IoOutcome> outcomes_;
+};
+
+TEST_P(SubmissionApiTest, BatchedWritesLandOrderedPerFdWithTagsEchoed) {
+  SocketPair p1, p2, p3;
+  const std::string m1 = "alpha-payload";
+  const std::string m2 = "bravo";
+  const std::string m3 = "charlie-longer-payload";
+  const struct iovec v1{const_cast<char*>(m1.data()), m1.size()};
+  const struct iovec v2{const_cast<char*>(m2.data()), m2.size()};
+  const struct iovec v3{const_cast<char*>(m3.data()), m3.size()};
+  loop_->submit_writev(p1.a, &v1, 1, 101);
+  loop_->submit_writev(p2.a, &v2, 1, 202);
+  loop_->submit_writev(p3.a, &v3, 1, 303);
+  EXPECT_EQ(loop_->pending_submissions(), 3u);
+
+  ASSERT_EQ(loop_->flush(outcomes_), 3u);
+  EXPECT_EQ(loop_->pending_submissions(), 0u);
+  ASSERT_EQ(outcomes_.size(), 3u);
+  // Outcomes come back in submission order with the caller's tags.
+  EXPECT_EQ(outcomes_[0].tag, 101u);
+  EXPECT_EQ(outcomes_[1].tag, 202u);
+  EXPECT_EQ(outcomes_[2].tag, 303u);
+  for (const IoOutcome& outcome : outcomes_) {
+    EXPECT_TRUE(outcome.is_write);
+    EXPECT_EQ(outcome.result.kind, io::IoResult::Kind::kOk);
+  }
+  EXPECT_EQ(outcomes_[0].result.count, m1.size());
+  EXPECT_EQ(outcomes_[1].result.count, m2.size());
+  EXPECT_EQ(outcomes_[2].result.count, m3.size());
+
+  // The bytes on the wire are exactly what was submitted, per fd.
+  const SocketPair* pairs[3] = {&p1, &p2, &p3};
+  const std::string* messages[3] = {&m1, &m2, &m3};
+  for (int i = 0; i < 3; ++i) {
+    char buf[64] = {};
+    ASSERT_EQ(::read(pairs[i]->b, buf, sizeof(buf)),
+              static_cast<ssize_t>(messages[i]->size()));
+    EXPECT_EQ(std::string(buf, messages[i]->size()), *messages[i]);
+  }
+}
+
+TEST_P(SubmissionApiTest, SyscallLedgerMatchesBackend) {
+  SocketPair p1, p2, p3;
+  const std::string msg = "ledger";
+  const struct iovec iov{const_cast<char*>(msg.data()), msg.size()};
+  loop_->submit_writev(p1.a, &iov, 1, 1);
+  loop_->submit_writev(p2.a, &iov, 1, 2);
+  loop_->submit_writev(p3.a, &iov, 1, 3);
+  ASSERT_EQ(loop_->flush(outcomes_), 3u);
+
+  const server::IoStats& stats = loop_->io_stats();
+  EXPECT_EQ(stats.submissions, 3);
+  EXPECT_EQ(stats.flushes, 1);
+  if (GetParam() == Backend::kUring) {
+    // The whole batch rides one io_uring_enter; no direct writev at all.
+    EXPECT_EQ(stats.enter_syscalls, 1);
+    EXPECT_EQ(stats.write_syscalls, 0);
+    EXPECT_EQ(stats.write_path_syscalls, 1);
+  } else {
+    // Direct path: one writev per fd in the batch.
+    EXPECT_EQ(stats.enter_syscalls, 0);
+    EXPECT_EQ(stats.write_syscalls, 3);
+    EXPECT_EQ(stats.write_path_syscalls, 3);
+  }
+  EXPECT_EQ(stats.total_syscalls(),
+            stats.read_syscalls + stats.write_syscalls + stats.enter_syscalls);
+}
+
+TEST_P(SubmissionApiTest, MultiIovecWritesGatherInOrder) {
+  SocketPair pair;
+  const std::string h = "header|";
+  const std::string b = "body|";
+  const std::string t = "tail";
+  struct iovec iov[3] = {{const_cast<char*>(h.data()), h.size()},
+                         {const_cast<char*>(b.data()), b.size()},
+                         {const_cast<char*>(t.data()), t.size()}};
+  loop_->submit_writev(pair.a, iov, 3, 9);
+  // The iovec array is copied at submit time: scribbling over the caller's
+  // array before flush must not change what goes on the wire.
+  std::memset(iov, 0, sizeof(iov));
+  ASSERT_EQ(loop_->flush(outcomes_), 1u);
+  ASSERT_EQ(outcomes_[0].result.kind, io::IoResult::Kind::kOk);
+  EXPECT_EQ(outcomes_[0].result.count, h.size() + b.size() + t.size());
+
+  char buf[64] = {};
+  ASSERT_EQ(::read(pair.b, buf, sizeof(buf)),
+            static_cast<ssize_t>(h.size() + b.size() + t.size()));
+  EXPECT_STREQ(buf, "header|body|tail");
+}
+
+TEST_P(SubmissionApiTest, BatchedReadsFillBuffersAndReportCounts) {
+  SocketPair p1, p2;
+  ASSERT_TRUE(io::write_all(p1.b, "first", 5).ok());
+  ASSERT_TRUE(io::write_all(p2.b, "second!", 7).ok());
+
+  char buf1[32] = {};
+  char buf2[32] = {};
+  loop_->submit_read(p1.a, buf1, sizeof(buf1), 11);
+  loop_->submit_read(p2.a, buf2, sizeof(buf2), 22);
+  ASSERT_EQ(loop_->flush(outcomes_), 2u);
+  ASSERT_EQ(outcomes_.size(), 2u);
+  EXPECT_FALSE(outcomes_[0].is_write);
+  EXPECT_EQ(outcomes_[0].tag, 11u);
+  EXPECT_EQ(outcomes_[0].result.kind, io::IoResult::Kind::kOk);
+  EXPECT_EQ(outcomes_[0].result.count, 5u);
+  EXPECT_STREQ(buf1, "first");
+  EXPECT_EQ(outcomes_[1].tag, 22u);
+  EXPECT_EQ(outcomes_[1].result.count, 7u);
+  EXPECT_STREQ(buf2, "second!");
+
+  const server::IoStats& stats = loop_->io_stats();
+  if (GetParam() == Backend::kUring) {
+    EXPECT_EQ(stats.enter_syscalls, 1);
+    EXPECT_EQ(stats.read_syscalls, 0);
+    EXPECT_EQ(stats.read_path_syscalls, 1);
+  } else {
+    EXPECT_EQ(stats.read_syscalls, 2);
+    EXPECT_EQ(stats.read_path_syscalls, 2);
+  }
+}
+
+TEST_P(SubmissionApiTest, EmptySocketReadReportsWouldBlock) {
+  SocketPair pair;
+  char buf[16];
+  loop_->submit_read(pair.a, buf, sizeof(buf), 5);
+  ASSERT_EQ(loop_->flush(outcomes_), 1u);
+  EXPECT_EQ(outcomes_[0].result.kind, io::IoResult::Kind::kWouldBlock);
+}
+
+TEST_P(SubmissionApiTest, PeerCloseReadReportsEof) {
+  SocketPair pair;
+  io::close_fd(pair.b);
+  pair.b = -1;
+  char buf[16];
+  loop_->submit_read(pair.a, buf, sizeof(buf), 5);
+  ASSERT_EQ(loop_->flush(outcomes_), 1u);
+  EXPECT_EQ(outcomes_[0].result.kind, io::IoResult::Kind::kEof);
+}
+
+TEST_P(SubmissionApiTest, WriteToClosedPeerReportsEpipeNotDeath) {
+  io::ignore_sigpipe();
+  SocketPair pair;
+  io::close_fd(pair.b);
+  pair.b = -1;
+  std::vector<std::uint8_t> junk(1 << 16, 0x5A);
+  io::IoResult last{};
+  // The first write may be accepted into the kernel buffer; keep pushing
+  // until the broken pipe surfaces as an outcome value.
+  for (int i = 0; i < 8 && last.kind != io::IoResult::Kind::kError; ++i) {
+    const struct iovec iov{junk.data(), junk.size()};
+    loop_->submit_writev(pair.a, &iov, 1, 1);
+    outcomes_.clear();
+    ASSERT_EQ(loop_->flush(outcomes_), 1u);
+    last = outcomes_[0].result;
+  }
+  EXPECT_EQ(last.kind, io::IoResult::Kind::kError);
+  EXPECT_EQ(last.error, EPIPE);
+}
+
+TEST_P(SubmissionApiTest, PartialWriteResubmitLoopDrainsWithAdvanceIovecs) {
+  // A socket with a tiny send buffer forces partial acceptance.  The
+  // caller-side recovery loop — advance_iovecs + resubmit on kWouldBlock /
+  // short count — must land every byte in order, exactly as the worker's
+  // burst logic does.
+  SocketPair pair;
+  int sndbuf = 4096;
+  ASSERT_EQ(::setsockopt(pair.a, SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                         sizeof(sndbuf)),
+            0);
+  std::vector<std::uint8_t> message(256 * 1024);
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+
+  std::vector<std::uint8_t> received;
+  std::size_t sent = 0;
+  bool saw_partial = false;
+  int rounds = 0;
+  while (sent < message.size()) {
+    ASSERT_LT(++rounds, 100000) << "writer made no progress";
+    struct iovec iov{message.data() + sent, message.size() - sent};
+    loop_->submit_writev(pair.a, &iov, 1, 1);
+    outcomes_.clear();
+    ASSERT_EQ(loop_->flush(outcomes_), 1u);
+    const io::IoResult& r = outcomes_[0].result;
+    if (r.kind == io::IoResult::Kind::kOk && r.count > 0) {
+      if (r.count < message.size() - sent) saw_partial = true;
+      struct iovec* cursor = &iov;
+      int iovcnt = 1;
+      io::advance_iovecs(cursor, iovcnt, r.count);
+      sent = message.size() - (iovcnt > 0 ? cursor->iov_len : 0);
+    } else {
+      ASSERT_TRUE(r.kind == io::IoResult::Kind::kWouldBlock ||
+                  (r.kind == io::IoResult::Kind::kOk && r.count == 0));
+    }
+    // Drain the peer so the writer can make progress.
+    std::uint8_t buf[8192];
+    for (;;) {
+      const ssize_t n = ::read(pair.b, buf, sizeof(buf));
+      if (n <= 0) break;
+      received.insert(received.end(), buf, buf + n);
+    }
+  }
+  for (;;) {
+    std::uint8_t buf[8192];
+    const ssize_t n = ::read(pair.b, buf, sizeof(buf));
+    if (n <= 0) break;
+    received.insert(received.end(), buf, buf + n);
+  }
+  EXPECT_TRUE(saw_partial) << "SO_SNDBUF cap never forced a partial write";
+  EXPECT_EQ(received, message);
+}
+
+TEST_P(SubmissionApiTest, LargeBatchExceedingRingCapacityCompletes) {
+  // 300 ops > the 256-entry ring: the uring backend must chunk the batch
+  // across multiple enters; the direct path is unaffected.  Either way all
+  // outcomes arrive in submission order.
+  constexpr int kOps = 300;
+  std::vector<SocketPair> pairs(kOps / 2);
+  std::vector<std::array<char, 8>> read_bufs(kOps);
+  ASSERT_TRUE(io::write_all(pairs[0].b, "x", 1).ok());
+  const std::string msg = "y";
+  for (int i = 0; i < kOps; ++i) {
+    SocketPair& pair = pairs[i % pairs.size()];
+    if (i % 2 == 0) {
+      const struct iovec iov{const_cast<char*>(msg.data()), msg.size()};
+      loop_->submit_writev(pair.a, &iov, 1, static_cast<std::uint64_t>(i));
+    } else {
+      loop_->submit_read(pair.a, read_bufs[i].data(), read_bufs[i].size(),
+                         static_cast<std::uint64_t>(i));
+    }
+  }
+  ASSERT_EQ(loop_->flush(outcomes_), static_cast<std::size_t>(kOps));
+  ASSERT_EQ(outcomes_.size(), static_cast<std::size_t>(kOps));
+  for (int i = 0; i < kOps; ++i) {
+    EXPECT_EQ(outcomes_[i].tag, static_cast<std::uint64_t>(i));
+  }
+  if (GetParam() == Backend::kUring) {
+    EXPECT_GE(loop_->io_stats().enter_syscalls, 2);
+  }
+}
+
+TEST_P(SubmissionApiTest, FlushAppendsWithoutClearing) {
+  SocketPair pair;
+  const std::string msg = "ab";
+  const struct iovec iov{const_cast<char*>(msg.data()), msg.size()};
+  loop_->submit_writev(pair.a, &iov, 1, 1);
+  ASSERT_EQ(loop_->flush(outcomes_), 1u);
+  loop_->submit_writev(pair.a, &iov, 1, 2);
+  ASSERT_EQ(loop_->flush(outcomes_), 1u);
+  ASSERT_EQ(outcomes_.size(), 2u);  // appended, not clobbered
+  EXPECT_EQ(outcomes_[0].tag, 1u);
+  EXPECT_EQ(outcomes_[1].tag, 2u);
+}
+
+TEST_P(SubmissionApiTest, EmptyFlushIsFreeAndCountsNothing) {
+  EXPECT_EQ(loop_->flush(outcomes_), 0u);
+  EXPECT_TRUE(outcomes_.empty());
+  EXPECT_EQ(loop_->io_stats().flushes, 0);
+  EXPECT_EQ(loop_->io_stats().total_syscalls(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SubmissionApiTest,
+                         ::testing::ValuesIn(available_backends()),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return backend_name(info.param);
+                         });
+
+}  // namespace lpvs

@@ -5,13 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <fcntl.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -140,4 +143,139 @@ TEST(IoWriteAll, ClosedPeerIsUnavailable) {
 TEST(IoCloseFd, NegativeFdIsNoop) {
   io::close_fd(-1);  // must not crash or touch errno meaningfully
   SUCCEED();
+}
+
+TEST(IoWritevRetry, GathersAcrossIovecs) {
+  SocketPair pair;
+  const char* a = "writev";
+  const char* b = "-";
+  const char* c = "gather";
+  struct iovec iov[3] = {{const_cast<char*>(a), 6},
+                         {const_cast<char*>(b), 1},
+                         {const_cast<char*>(c), 6}};
+  const io::IoResult r = io::writev_retry(pair.a, iov, 3);
+  ASSERT_EQ(r.kind, io::IoResult::Kind::kOk);
+  EXPECT_EQ(r.count, 13u);
+  char buf[32] = {};
+  ASSERT_EQ(::read(pair.b, buf, sizeof(buf)), 13);
+  EXPECT_STREQ(buf, "writev-gather");
+}
+
+TEST(IoWritevRetry, FullSocketIsWouldBlock) {
+  SocketPair pair;
+  ASSERT_TRUE(io::set_nonblocking(pair.a).ok());
+  std::vector<std::uint8_t> junk(1 << 16, 0x5A);
+  struct iovec iov{junk.data(), junk.size()};
+  io::IoResult r{};
+  for (int i = 0; i < 64; ++i) {
+    r = io::writev_retry(pair.a, &iov, 1);
+    if (r.kind != io::IoResult::Kind::kOk) break;
+  }
+  EXPECT_EQ(r.kind, io::IoResult::Kind::kWouldBlock);
+}
+
+TEST(IoWritevAll, MidBufferPartialAcceptanceStillLandsEveryByte) {
+  // A tiny SO_SNDBUF plus a deliberately slow reader forces the kernel to
+  // accept writes mid-iovec; writev_all must resume from the exact cut
+  // point (advance_iovecs) and the assembled stream must match the
+  // pattern byte for byte.
+  SocketPair pair;
+  int sndbuf = 4096;
+  ASSERT_EQ(::setsockopt(pair.a, SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                         sizeof(sndbuf)),
+            0);
+  std::vector<std::uint8_t> message(512 * 1024);
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<std::uint8_t>(i * 197 + 13);
+  }
+
+  std::vector<std::uint8_t> received;
+  received.reserve(message.size());
+  std::thread reader([&] {
+    std::uint8_t buf[1536];
+    while (received.size() < message.size()) {
+      const io::IoResult r = io::read_retry(pair.b, buf, sizeof(buf));
+      if (r.kind != io::IoResult::Kind::kOk) break;
+      received.insert(received.end(), buf, buf + r.count);
+    }
+  });
+
+  // Split the message into several iovecs so the mid-entry cut is hit in
+  // more than one entry over the run.
+  constexpr std::size_t kPieces = 8;
+  struct iovec iov[kPieces];
+  const std::size_t piece = message.size() / kPieces;
+  for (std::size_t i = 0; i < kPieces; ++i) {
+    iov[i].iov_base = message.data() + i * piece;
+    iov[i].iov_len = (i + 1 == kPieces) ? message.size() - i * piece : piece;
+  }
+  EXPECT_TRUE(io::writev_all(pair.a, iov, kPieces).ok());
+  reader.join();
+  EXPECT_EQ(received, message);
+}
+
+TEST(IoWritevAll, ClosedPeerIsUnavailableNotDeath) {
+  io::ignore_sigpipe();
+  SocketPair pair;
+  io::close_fd(pair.a);
+  pair.a = -1;
+  std::vector<std::uint8_t> junk(1 << 18, 0x5A);
+  struct iovec iov{junk.data(), junk.size()};
+  const lpvs::common::Status status = io::writev_all(pair.b, &iov, 1);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST(IoWritevAll, SurvivesEintrMidTransfer) {
+  // A no-op SIGUSR1 handler installed WITHOUT SA_RESTART makes blocking
+  // writev return EINTR instead of resuming transparently; writev_retry
+  // must absorb the interruptions and writev_all still deliver everything.
+  struct sigaction action{};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction previous{};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  SocketPair pair;
+  int sndbuf = 4096;
+  ASSERT_EQ(::setsockopt(pair.a, SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                         sizeof(sndbuf)),
+            0);
+  std::vector<std::uint8_t> message(256 * 1024, 0xA7);
+  std::atomic<bool> writer_done{false};
+  lpvs::common::Status write_status = lpvs::common::Status::Ok();
+  std::thread writer([&] {
+    struct iovec iov{message.data(), message.size()};
+    write_status = io::writev_all(pair.a, &iov, 1);
+    writer_done.store(true);
+  });
+  const pthread_t writer_handle = writer.native_handle();
+
+  // Pepper the blocked writer with signals while slowly draining the peer.
+  // Reads are bounded by the message size, so the loop can never block on
+  // an empty socket after the writer finishes.
+  std::vector<std::uint8_t> received;
+  std::uint8_t buf[2048];
+  while (received.size() < message.size()) {
+    if (!writer_done.load()) ::pthread_kill(writer_handle, SIGUSR1);
+    const io::IoResult r = io::read_retry(pair.b, buf, sizeof(buf));
+    if (r.kind != io::IoResult::Kind::kOk) break;
+    received.insert(received.end(), buf, buf + r.count);
+  }
+  writer.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &previous, nullptr), 0);
+  EXPECT_TRUE(write_status.ok()) << write_status.to_string();
+  EXPECT_EQ(received, message);
+}
+
+TEST(IoWritevAll, SkipsEmptyIovecEntries) {
+  SocketPair pair;
+  const char* msg = "xyz";
+  struct iovec iov[3] = {{nullptr, 0},
+                         {const_cast<char*>(msg), 3},
+                         {nullptr, 0}};
+  EXPECT_TRUE(io::writev_all(pair.a, iov, 3).ok());
+  char buf[8] = {};
+  ASSERT_EQ(::read(pair.b, buf, sizeof(buf)), 3);
+  EXPECT_STREQ(buf, "xyz");
 }

@@ -41,10 +41,13 @@ const core::LpvsScheduler& scheduler() {
   return instance;
 }
 
-std::map<std::uint64_t, std::uint64_t> digests_at(std::uint32_t workers,
-                                                  std::uint32_t threads) {
-  const server::ServerConfig server_config =
-      server::ServerConfig{}.with_seed(63).with_workers(workers);
+std::map<std::uint64_t, std::uint64_t> digests_at(
+    std::uint32_t workers, std::uint32_t threads,
+    server::EventLoop::Backend backend = server::EventLoop::Backend::kAuto) {
+  const server::ServerConfig server_config = server::ServerConfig{}
+                                                 .with_seed(63)
+                                                 .with_workers(workers)
+                                                 .with_backend(backend);
   server::EdgeServerDaemon daemon(server_config, scheduler(),
                                   core::RunContext(anxiety()));
   EXPECT_TRUE(daemon.start().ok());
@@ -116,6 +119,37 @@ TEST(MultiWorker, PayloadsBitIdenticalAcrossWorkerAndThreadCounts) {
           << "digests diverged at workers=" << workers
           << " threads=" << threads;
     }
+  }
+}
+
+TEST(MultiWorker, PayloadsBitIdenticalAcrossPollBackend) {
+  // Same fleet, poll readiness instead of epoll: the backend is a pure
+  // transport knob at every worker count.
+  const std::map<std::uint64_t, std::uint64_t> reference =
+      digests_at(1, 2, server::EventLoop::Backend::kEpoll);
+  ASSERT_EQ(reference.size(), 32u);
+  for (const std::uint32_t workers : {1u, 2u, 8u}) {
+    const std::map<std::uint64_t, std::uint64_t> digests =
+        digests_at(workers, 4, server::EventLoop::Backend::kPoll);
+    EXPECT_EQ(digests, reference)
+        << "poll backend digests diverged at workers=" << workers;
+  }
+}
+
+TEST(MultiWorker, PayloadsBitIdenticalAcrossUringBackend) {
+  if (!server::EventLoop::uring_supported()) {
+    GTEST_SKIP() << "[SKIPPED: no io_uring] kernel/sandbox lacks io_uring";
+  }
+  // io_uring batches the data-path syscalls; the bytes each session
+  // receives must not move by a bit at any worker count.
+  const std::map<std::uint64_t, std::uint64_t> reference =
+      digests_at(1, 2, server::EventLoop::Backend::kEpoll);
+  ASSERT_EQ(reference.size(), 32u);
+  for (const std::uint32_t workers : {1u, 2u, 8u}) {
+    const std::map<std::uint64_t, std::uint64_t> digests =
+        digests_at(workers, 4, server::EventLoop::Backend::kUring);
+    EXPECT_EQ(digests, reference)
+        << "uring backend digests diverged at workers=" << workers;
   }
 }
 
